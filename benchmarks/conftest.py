@@ -1,0 +1,29 @@
+"""Shared benchmark fixtures and the summary-table helper.
+
+Every benchmark module regenerates one experiment of DESIGN.md's index
+(E1-E10).  The paper has no numeric tables (it is a formal-specification
+paper); each experiment's *shape* claim — who wins, how costs scale with
+database size / history window / formula depth — is printed as a series next
+to the pytest-benchmark timings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.domains import make_domain
+
+
+@pytest.fixture()
+def domain():
+    return make_domain()
+
+
+def print_series(title: str, rows: list[tuple], header: tuple) -> None:
+    """Render a small aligned table to stdout (visible with -s or on the
+    captured benchmark summary)."""
+    print(f"\n--- {title}")
+    widths = [max(len(str(h)), *(len(str(r[i])) for r in rows)) for i, h in enumerate(header)]
+    print("  " + "  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  " + "  ".join(str(v).ljust(w) for v, w in zip(row, widths)))

@@ -1,0 +1,94 @@
+"""E10 — regression/rewriting cost vs transaction size, and the state-
+sharing ablation (DESIGN.md decision 1).
+
+Claims reproduced: regression of a constraint through a composition of k
+atomic updates produces a pre-state formula in one pass per step (cost grows
+with k and with the constraint size); persistent states make the unchanged
+relations literally shared between pre- and post-states.
+"""
+
+import pytest
+
+from repro.db.generators import employee_state
+from repro.logic import builder as b
+from repro.theory.regression import regress_formula
+from repro.theory.rewriting import normalize
+from repro.transactions import execute
+
+
+def _update_chain(domain, k):
+    """k alternating inserts/deletes on SKILL."""
+    steps = []
+    for i in range(k):
+        t = b.mktuple(b.atom(f"emp{i % 5}"), b.atom(i % 9 + 1))
+        if i % 2 == 0:
+            steps.append(b.insert(t, domain.skill.rid()))
+        else:
+            steps.append(b.delete(t, domain.skill.rid()))
+    return b.seq(*steps)
+
+
+def _skill_formula(domain):
+    e = domain.emp.var("e")
+    k = domain.skill.var("k")
+    return b.forall(
+        [e, k],
+        b.implies(
+            b.land(
+                b.member(e, domain.emp.rel()),
+                b.member(k, domain.skill.rel()),
+            ),
+            b.le(domain.skill.attr("s-no", k), b.atom(9)),
+        ),
+    )
+
+
+@pytest.mark.parametrize("k", [1, 4, 16])
+def test_bench_regression_by_chain_length(benchmark, domain, k):
+    chain = _update_chain(domain, k)
+    formula = _skill_formula(domain)
+    regressed = benchmark(lambda: regress_formula(formula, chain))
+    assert regressed.size() >= formula.size()
+
+
+@pytest.mark.parametrize("k", [1, 4, 16])
+def test_bench_normalization(benchmark, domain, k):
+    s = b.state_var("s")
+    chain = _update_chain(domain, k)
+    obligation = b.forall(s, b.holds(b.after(s, chain), _skill_formula(domain)))
+    result = benchmark(lambda: normalize(obligation))
+    assert result.fully_reduced
+
+
+@pytest.mark.parametrize("size", [40, 160])
+def test_bench_state_sharing_ablation(benchmark, domain, size):
+    """Persistent update vs whole-state rebuild at the same size."""
+    state = employee_state(domain, size)
+    step = b.insert(b.mktuple(b.atom("emp0"), b.atom(7)), domain.skill.rid())
+    after = benchmark(lambda: execute(state, step))
+    # sharing: the four untouched relations are the same objects
+    shared = sum(
+        1
+        for name in state.relation_names()
+        if name != "SKILL" and after.relations[name] is state.relations[name]
+    )
+    assert shared == len(state.relation_names()) - 1
+
+
+@pytest.mark.parametrize("size", [40, 160])
+def test_bench_deep_copy_strawman(benchmark, domain, size):
+    """The ablation baseline: rebuilding every relation from rows."""
+    from repro.db.state import state_from_rows
+
+    state = employee_state(domain, size)
+
+    def rebuild():
+        rows = {
+            name: [t.values for t in state.relation(name)]
+            for name in state.relation_names()
+        }
+        rows["SKILL"].append(("emp0", 7))
+        return state_from_rows(domain.schema, rows)
+
+    result = benchmark(rebuild)
+    assert len(result.relation("SKILL")) == len(state.relation("SKILL")) + 1

@@ -1,0 +1,51 @@
+"""E8 — the executability checker (Section 2's sound-transaction subset).
+
+Claims reproduced: executability is a linear syntactic scan (cost grows with
+the program size, never with the database); the paper's salary
+counterexample is rejected with an explanation while staying expressible.
+"""
+
+import pytest
+
+from repro.logic import builder as b
+from repro.transactions import is_executable, violations
+from tests.test_executability import paper_counterexample
+
+
+def _deep_program(depth):
+    """A composition of ``depth`` inserts."""
+    steps = [
+        b.insert(b.mktuple(b.atom(i), b.atom("x")), "R") for i in range(depth)
+    ]
+    return b.seq(*steps)
+
+
+@pytest.mark.parametrize("depth", [10, 100, 1000])
+def test_bench_executability_scan(benchmark, depth):
+    program = _deep_program(depth)
+    result = benchmark(lambda: is_executable(program))
+    assert result
+
+
+def test_bench_cancel_project_check(benchmark, domain):
+    result = benchmark(
+        lambda: is_executable(domain.cancel_project.body, domain.cancel_project.params)
+    )
+    assert result
+
+
+def test_bench_rejection_with_reasons(benchmark):
+    bad = paper_counterexample()
+    reasons = benchmark(lambda: violations(bad))
+    assert reasons
+
+
+def test_rejection_shape(domain):
+    """Shape claim: every situational construct is rejected; every paper
+    transaction is accepted."""
+    assert not is_executable(paper_counterexample())
+    for program in (
+        domain.hire, domain.fire, domain.allocate, domain.cancel_project,
+        domain.marry, domain.birthday, domain.set_salary, domain.transfer,
+    ):
+        assert is_executable(program.body, program.params), program.name

@@ -1,0 +1,50 @@
+"""E1 — static constraint checking vs database size (paper Example 1).
+
+Claim reproduced: static constraints need only the current state, and their
+checking cost grows with the active domain (roughly linearly for the
+membership-guarded constraints, quadratically for the nested-join ones).
+"""
+
+import pytest
+
+from repro.constraints import check_state
+from repro.db.generators import employee_state
+
+
+SIZES = [10, 40, 160]
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_bench_every_employee_allocated(benchmark, domain, size):
+    state = employee_state(domain, size)
+    c = domain.every_employee_allocated()
+    result = benchmark(lambda: check_state(c, state))
+    assert result.ok
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_bench_alloc_references_project(benchmark, domain, size):
+    state = employee_state(domain, size)
+    c = domain.alloc_references_project()
+    result = benchmark(lambda: check_state(c, state))
+    assert result.ok
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_bench_allocation_within_limit(benchmark, domain, size):
+    state = employee_state(domain, size)
+    c = domain.allocation_within_limit()
+    result = benchmark(lambda: check_state(c, state))
+    assert result.ok
+
+
+def test_bench_all_static_batch(benchmark, domain):
+    """The engine's per-transaction static check at a fixed size."""
+    state = employee_state(domain, 40)
+    constraints = domain.static_constraints
+
+    def run():
+        return [check_state(c, state) for c in constraints]
+
+    results = benchmark(run)
+    assert all(r.ok for r in results)

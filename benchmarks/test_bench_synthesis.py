@@ -1,0 +1,79 @@
+"""E6 — synthesis time vs constraint-set size and database size (Example 6).
+
+Claims reproduced: synthesis converges in a small number of repair rounds
+determined by the constraint cascade depth (not by database size); each
+additional repairing constraint adds one round; certification against the
+spec costs one extra model-check.
+"""
+
+import pytest
+
+from repro.db.generators import employee_state
+from repro.logic import builder as b
+from repro.synthesis import ModifyGoal, RemoveGoal, Synthesizer
+
+
+def _goals(domain):
+    pname, v = b.atom_var("pname"), b.atom_var("v")
+    p = domain.proj.var("p")
+    e = domain.emp.var("e")
+    a = domain.alloc.var("a")
+    allocated = b.exists(
+        a,
+        b.land(
+            b.member(a, domain.alloc.rel()),
+            b.eq(domain.alloc.attr("a-proj", a), pname),
+            b.eq(domain.alloc.attr("a-emp", a), domain.emp.attr("e-name", e)),
+        ),
+    )
+    return (pname, v), [
+        RemoveGoal(domain.proj, p, b.eq(domain.proj.attr("p-name", p), pname)),
+        ModifyGoal(domain.emp, e, allocated, "salary",
+                   b.minus(domain.emp.attr("salary", e), v)),
+    ]
+
+
+@pytest.mark.parametrize("size", [10, 40])
+def test_bench_synthesis_full_cascade(benchmark, domain, size):
+    state = employee_state(domain, size)
+    params, goals = _goals(domain)
+    synth = Synthesizer(domain.static_constraints)
+    result = benchmark(
+        lambda: synth.synthesize("cancel", params, goals, [(state, ("p0", 5))])
+    )
+    assert result.rounds >= 2  # the cascade fires
+
+
+@pytest.mark.parametrize("n_constraints", [0, 1, 3])
+def test_bench_rounds_scale_with_constraints(benchmark, domain, n_constraints):
+    state = employee_state(domain, 10)
+    params, goals = _goals(domain)
+    constraints = domain.static_constraints[:n_constraints]
+    synth = Synthesizer(constraints)
+    result = benchmark(
+        lambda: synth.synthesize("cancel", params, goals, [(state, ("p0", 5))])
+    )
+    assert result.rounds <= n_constraints + 1
+
+
+def test_bench_certification_overhead(benchmark, domain):
+    state = domain.sample_state()
+    params, goals = _goals(domain)
+    synth = Synthesizer(domain.static_constraints)
+    spec = domain.cancel_project_spec("net", 10)
+    result = benchmark(
+        lambda: synth.synthesize("cancel", params, goals, [(state, ("net", 10))], spec)
+    )
+    assert result.certified
+
+
+def test_repair_cascade_shape(domain):
+    """Shape claim: exactly the paper's two repairs, in cascade order."""
+    state = domain.sample_state()
+    params, goals = _goals(domain)
+    synth = Synthesizer(domain.static_constraints)
+    result = synth.synthesize("cancel", params, goals, [(state, ("net", 10))])
+    assert [r.constraint.name for r in result.repairs] == [
+        "alloc-references-project",
+        "every-employee-allocated",
+    ]

@@ -1,0 +1,84 @@
+"""E7 — the δ embedding: agreement and cost vs chain length / depth.
+
+Claims reproduced: the direct temporal checker and the δ-translated
+situational evaluation agree on every formula; both costs grow with the
+evolution-graph size (the δ route pays for transition quantification, which
+is the paper's point about the formalisms' relative economy, not a defect).
+"""
+
+import pytest
+
+from repro.constraints import Evaluator, PartialModel
+from repro.db import chain_graph
+from repro.db.generators import benign_history
+from repro.logic import builder as b
+from repro.temporal import always, atom, check, delta, eventually, until
+from repro.transactions import Env
+
+
+def _model(domain, length):
+    states = benign_history(domain, 8, length)
+    return states[0], PartialModel(chain_graph(states))
+
+
+LENGTHS = [2, 4, 6]
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+def test_bench_direct_always(benchmark, domain, length):
+    s0, model = _model(domain, length)
+    f = always(atom(domain.employed(b.atom("emp0"))))
+    result = benchmark(lambda: check(model, s0, f))
+    assert result  # benign histories never fire emp0
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+def test_bench_delta_translated_always(benchmark, domain, length):
+    s0, model = _model(domain, length)
+    f = always(atom(domain.employed(b.atom("emp0"))))
+    s = b.state_var("s")
+    translated = delta(s, f)
+    evaluator = Evaluator(model)
+    result = benchmark(lambda: evaluator._formula(translated, Env({s: s0})))
+    assert result
+
+
+@pytest.mark.parametrize("length", [2, 4])
+def test_bench_until_both_routes(benchmark, domain, length):
+    s0, model = _model(domain, length)
+    f = until(
+        atom(domain.employed(b.atom("emp0"))),
+        atom(domain.employed(b.atom("no-such-person"))),
+    )
+    s = b.state_var("s")
+    translated = delta(s, f)
+    evaluator = Evaluator(model)
+
+    def both():
+        direct = check(model, s0, f)
+        via = evaluator._formula(translated, Env({s: s0}))
+        assert direct == via
+        return direct
+
+    assert benchmark(both)
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+def test_agreement_series(domain, length):
+    """Shape claim: agreement holds at every chain length and depth."""
+    s0, model = _model(domain, length)
+    s = b.state_var("s")
+    evaluator = Evaluator(model)
+    formulas = [
+        always(atom(domain.employed(b.atom("emp0")))),
+        eventually(atom(domain.employed(b.atom("emp1")))),
+        always(eventually(atom(domain.employed(b.atom("emp0"))))),
+        until(
+            atom(domain.employed(b.atom("emp0"))),
+            atom(domain.employed(b.atom("emp1"))),
+        ),
+    ]
+    for f in formulas:
+        direct = check(model, s0, f)
+        via = evaluator._formula(delta(s, f), Env({s: s0}))
+        assert direct == via

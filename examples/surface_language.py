@@ -1,0 +1,77 @@
+"""The surface language: declaring a database in concrete syntax.
+
+Parses a complete source program — relations, constraints (with declared
+checkability windows), transactions, queries — and runs it through the
+engine.
+
+Run:  python examples/surface_language.py
+"""
+
+from repro import ConstraintViolation, Database, parse
+
+SOURCE = """
+relation BOOK(title, author, copies);
+relation LOAN(l-title, l-member);
+relation MEMBER(m-name, m-joined);
+
+// every loan refers to a known book
+constraint loans-reference-books [window 1] :=
+  forall s: state. holds(s, forall l: LOAN. l in LOAN ->
+    (exists bk: BOOK. bk in BOOK and l-title(l) = title(bk)));
+
+// a book is never lent beyond its copies
+constraint copies-respected [window 1] :=
+  forall s: state. holds(s, forall bk: BOOK. bk in BOOK ->
+    size({ l-member(l) | l: LOAN . l in LOAN and l-title(l) = title(bk) })
+      <= copies(bk));
+
+// members never un-join (their join date is stable across transitions)
+constraint join-date-stable [window 2] :=
+  forall s: state, t: trans, m: MEMBER.
+    holds(s, m in MEMBER) and holds(after(s, t), m in MEMBER)
+    -> at(s, m-joined(m)) = at(after(s, t), m-joined(m));
+
+transaction add-book(ttl, who, n) := insert row(ttl, who, n) into BOOK;
+transaction join(name, day) := insert row(name, day) into MEMBER;
+transaction borrow(ttl, name) := insert row(ttl, name) into LOAN;
+transaction give-back(ttl, name) := delete row(ttl, name) from LOAN;
+
+query loans-of(name) :=
+  { l-title(l) | l: LOAN . l in LOAN and l-member(l) = name };
+"""
+
+
+def main() -> None:
+    program = parse(SOURCE)
+    for c in program.constraints:
+        program.schema.add_constraint(c)
+    print("parsed:", ", ".join(sorted(program.schema.relations)), "/",
+          len(program.constraints), "constraints /",
+          len(program.transactions), "transactions")
+
+    db = Database(program.schema, window=2)
+    tx = program.transactions
+    db.execute(tx["add-book"], "tlogic", "qian-waldinger", 1)
+    db.execute(tx["join"], "alice", 100)
+    db.execute(tx["join"], "bob", 101)
+    db.execute(tx["borrow"], "tlogic", "alice")
+    print("\nloans:", db.current.relation("LOAN"))
+
+    try:
+        db.execute(tx["borrow"], "tlogic", "bob")  # only one copy!
+    except ConstraintViolation as violation:
+        print("rejected:", violation)
+
+    try:
+        db.execute(tx["borrow"], "unknown-book", "bob")
+    except ConstraintViolation as violation:
+        print("rejected:", violation)
+
+    db.execute(tx["give-back"], "tlogic", "alice")
+    db.execute(tx["borrow"], "tlogic", "bob")
+    print("\nafter return + re-borrow:", db.current.relation("LOAN"))
+    print("bob's loans:", db.query(program.queries["loans-of"], "bob"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Section 3: embedding temporal logic, and where it runs out.
+
+Demonstrates the δ translation — every temporal formula checks identically
+through its situational translation — and the strictness of the inclusion:
+a constraint that names a concrete transaction (Example 3's department-
+deletion precondition) has no temporal counterpart, because programs are not
+objects in temporal logic.
+
+Run:  python examples/temporal_vs_situational.py
+"""
+
+from repro import chain_graph, make_domain
+from repro.constraints import Evaluator, PartialModel
+from repro.logic import builder as b
+from repro.temporal import (
+    TNot,
+    always,
+    atom,
+    check,
+    delta,
+    eventually,
+    precedes,
+    until,
+)
+from repro.transactions import Env
+
+
+def main() -> None:
+    domain = make_domain()
+    s0 = domain.sample_state()
+    s1 = domain.fire.run(s0, "dan")
+    s2 = domain.hire.run(s1, "erin", "cs", 80, 22, "S")
+    s3 = domain.allocate.run(s2, "erin", "db", 10)
+    chain = [s0, s1, s2, s3]
+    model = PartialModel(chain_graph(chain, ["fire dan", "hire erin", "alloc"]))
+
+    employed = lambda name: atom(domain.employed(b.atom(name)))
+    formulas = {
+        "□ employed(alice)": always(employed("alice")),
+        "□ employed(dan)": always(employed("dan")),
+        "◇ employed(erin)": eventually(employed("erin")),
+        "employed(dan) U employed(erin)": until(employed("dan"), employed("erin")),
+        "¬employed(dan) V employed(erin)": precedes(
+            TNot(employed("dan")), employed("erin")
+        ),
+    }
+
+    print(f"{'formula':38s} {'temporal':>9s} {'δ-translated':>13s}")
+    s_var = b.state_var("s")
+    evaluator = Evaluator(model)
+    for label, formula in formulas.items():
+        direct = check(model, s0, formula)
+        translated = evaluator._formula(delta(s_var, formula), Env({s_var: s0}))
+        marker = "AGREE" if direct == translated else "DISAGREE!"
+        print(f"{label:38s} {str(direct):>9s} {str(translated):>13s}   {marker}")
+
+    print("\nthe δ translation of '◇ employed(erin)' reads:")
+    print(" ", delta(s_var, formulas["◇ employed(erin)"]))
+
+    print(
+        "\nstrictness: the dept-deletion precondition mentions the concrete\n"
+        "transaction delete_3(d, DEPT) — its formula is situational, and\n"
+        "temporal atoms (fluent formulas) cannot express it:"
+    )
+    constraint = domain.dept_deletion_precondition()
+    print(" ", constraint.formula)
+    from repro.errors import SortError
+    from repro.temporal.syntax import TAtom
+
+    try:
+        TAtom(constraint.formula)
+    except SortError as err:
+        print("  TAtom rejects it:", err)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,111 @@
+"""repro — a reproduction of "A Transaction Logic for Database Specification"
+(Xiaolei Qian & Richard Waldinger, SIGMOD 1988).
+
+A situational transaction logic in which database states and state
+transitions are explicit objects: integrity constraints and transactions are
+uniformly expressible; constraints classify as static / transaction /
+dynamic with analyzable checkability; transactions verify against
+constraints by regression + resolution + model checking, and synthesize from
+declarative specifications by goal planning with constraint repairs.
+
+Quick tour::
+
+    from repro import Database, make_domain
+
+    domain = make_domain()
+    domain.install_constraints()
+    db = Database(domain.schema, window=2, initial=domain.sample_state())
+    db.execute(domain.hire, "erin", "cs", 90, 25, "S")   # raises: unallocated!
+
+Subsystem map (see DESIGN.md):
+
+* :mod:`repro.logic` — the many-sorted two-layer logic (S1)
+* :mod:`repro.theory` — axioms, rewriting, regression (S2)
+* :mod:`repro.db` — states, relations, evolution graphs (S3)
+* :mod:`repro.transactions` — programs and the interpreter (S4)
+* :mod:`repro.constraints` — classification, checking, checkability (S5)
+* :mod:`repro.temporal` — FO temporal logic and the δ embedding (S6)
+* :mod:`repro.prover` — resolution with answers, tableau, model finding (S7)
+* :mod:`repro.verification` — constraint-preservation verification (S8)
+* :mod:`repro.synthesis` — transaction synthesis with repairs (S9)
+* :mod:`repro.domains` — the paper's employee database (S10)
+* :mod:`repro.lang` — the surface syntax (S11)
+"""
+
+from repro.constraints import (
+    Constraint,
+    ConstraintKind,
+    Window,
+    analyze,
+    check_history,
+    check_state,
+    check_transition,
+    classify,
+    constraint,
+    validate_window,
+)
+from repro.db import (
+    DBTuple,
+    EvolutionGraph,
+    History,
+    Relation,
+    RelationSchema,
+    Schema,
+    State,
+    Transition,
+    TupleSet,
+    chain_graph,
+    initial_state,
+    make_tuple,
+    state_from_rows,
+)
+from repro.domains import EmployeeDomain, make_domain
+from repro.engine import Database
+from repro.errors import (
+    CheckabilityError,
+    ConstraintViolation,
+    EvaluationError,
+    ExecutabilityError,
+    ParseError,
+    ProofError,
+    ReproError,
+    SchemaError,
+    SortError,
+    SynthesisError,
+)
+from repro.lang import parse, parse_formula, parse_transaction
+from repro.transactions import (
+    DatabaseProgram,
+    Env,
+    Interpreter,
+    evaluate,
+    execute,
+    is_executable,
+    query,
+    satisfies,
+    transaction,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError", "SortError", "EvaluationError", "ExecutabilityError",
+    "ConstraintViolation", "CheckabilityError", "ProofError",
+    "SynthesisError", "ParseError", "SchemaError",
+    # db
+    "Schema", "RelationSchema", "State", "Relation", "DBTuple", "TupleSet",
+    "make_tuple", "initial_state", "state_from_rows",
+    "History", "EvolutionGraph", "Transition", "chain_graph",
+    # transactions
+    "DatabaseProgram", "transaction", "query", "Interpreter", "Env",
+    "evaluate", "satisfies", "execute", "is_executable",
+    # constraints
+    "Constraint", "ConstraintKind", "Window", "constraint", "classify",
+    "analyze", "check_state", "check_history", "check_transition",
+    "validate_window",
+    # engine, domain, lang
+    "Database", "EmployeeDomain", "make_domain",
+    "parse", "parse_formula", "parse_transaction",
+]

@@ -1,0 +1,39 @@
+"""Integrity constraints: models, classification, checking, checkability."""
+
+from repro.constraints.checkability import (
+    CheckabilityReport,
+    WindowValidation,
+    analyze,
+    validate_window,
+)
+from repro.constraints.checker import (
+    CheckReport,
+    CheckResult,
+    check_all,
+    check_history,
+    check_model,
+    check_state,
+    check_transition,
+)
+from repro.constraints.classify import analyze_state_usage, classify
+from repro.constraints.hierarchy import (
+    Reduction,
+    Spectrum,
+    cheapest_equivalent,
+    compare,
+    spectrum,
+)
+from repro.constraints.history import HistoryEncoding
+from repro.constraints.model import Constraint, ConstraintKind, Window, constraint
+from repro.constraints.semantics import Evaluator, PartialModel, TransitionInapplicable
+
+__all__ = [
+    "Constraint", "ConstraintKind", "Window", "constraint",
+    "classify", "analyze_state_usage",
+    "CheckResult", "CheckReport",
+    "check_state", "check_history", "check_model", "check_all", "check_transition",
+    "CheckabilityReport", "analyze", "WindowValidation", "validate_window",
+    "HistoryEncoding",
+    "Spectrum", "spectrum", "compare", "Reduction", "cheapest_equivalent",
+    "Evaluator", "PartialModel", "TransitionInapplicable",
+]

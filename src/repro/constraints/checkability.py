@@ -1,0 +1,202 @@
+"""Checkability analysis: how much history does a constraint need?
+
+Section 3: "an integrity constraint is *checkable* if its validity in the
+maintained partial model, together with the assumption that the database has
+been valid in the history, implies its validity in the complete model."
+The paper characterizes checkability only informally; this module provides
+
+1. a **syntactic analyzer** (:func:`analyze`) reproducing every verdict the
+   paper states — static constraints need one state, transaction constraints
+   with a transitive core need two (or three when the consequent constrains
+   intermediate transitions), existential-future constraints are
+   uncheckable; and
+2. an **empirical validator** (:func:`validate_window`) that tests a claimed
+   window ``k`` against generated histories: the window verdict at every
+   prefix must imply the full-history verdict.  This is the tool behind
+   experiment E3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.constraints.checker import check_history
+from repro.constraints.classify import analyze_state_usage
+from repro.constraints.model import Constraint, ConstraintKind, Window
+from repro.db.evolution import History
+from repro.db.state import State
+from repro.transactions.interpreter import Interpreter
+
+
+@dataclass(frozen=True)
+class CheckabilityReport:
+    """Verdict plus the reasoning trail."""
+
+    constraint: Constraint
+    window: int | Window
+    justification: str
+
+    @property
+    def checkable(self) -> bool:
+        return self.window is not Window.UNCHECKABLE
+
+    def __str__(self) -> str:
+        if isinstance(self.window, int):
+            head = f"checkable with a history of {self.window} state(s)"
+        elif self.window is Window.FULL_HISTORY:
+            head = "checkable only with the complete history"
+        else:
+            head = "not checkable"
+        return f"{self.constraint.name}: {head} — {self.justification}"
+
+
+def analyze(constraint: Constraint) -> CheckabilityReport:
+    """The syntactic verdict (conservative; see module docstring)."""
+    usage = analyze_state_usage(constraint.formula)
+    kind = constraint.kind
+
+    if kind is ConstraintKind.STATIC:
+        return CheckabilityReport(
+            constraint,
+            1,
+            "static constraint: every state is constrained in isolation "
+            "(Definition 4), so the current state suffices",
+        )
+
+    if usage.existential_state_vars or usage.existential_transition_vars:
+        return CheckabilityReport(
+            constraint,
+            Window.UNCHECKABLE,
+            "a (positively) existential state/transition must be exhibited "
+            "in the unbounded future — like Example 4's invertibility and "
+            "'no eternal projects', this cannot be established from any "
+            "maintained history",
+        )
+
+    if kind is ConstraintKind.TRANSACTION:
+        declared = constraint.declared_window
+        if isinstance(declared, int):
+            return CheckabilityReport(
+                constraint,
+                declared,
+                f"transaction constraint; declared window {declared} "
+                f"(assumption: {constraint.assumption or 'none'}) — "
+                f"validate empirically with validate_window()",
+            )
+        if declared is Window.FULL_HISTORY:
+            return CheckabilityReport(
+                constraint,
+                Window.FULL_HISTORY,
+                "transaction constraint whose core relation is not "
+                "transitive (declared); windows cannot compose verdicts",
+            )
+        return CheckabilityReport(
+            constraint,
+            2,
+            "transaction constraint relating s and s;t: with the current "
+            "and previous state maintained the new transition is checked; "
+            "soundness for the complete model additionally needs the core "
+            "relation to be transitive (declare and validate)",
+        )
+
+    # Dynamic, universally quantified, multi-hop (e.g. never-rehire).
+    declared = constraint.declared_window
+    if isinstance(declared, int) or declared in (Window.FULL_HISTORY, Window.UNCHECKABLE):
+        return CheckabilityReport(
+            constraint,
+            declared,
+            "dynamic constraint; using the declared checkability — a "
+            "history encoding (Example 4's FIRE relation) can replace it "
+            "with a statically checkable constraint",
+        )
+    return CheckabilityReport(
+        constraint,
+        Window.FULL_HISTORY,
+        "dynamic constraint mentioning states more than one transition "
+        "apart (depth "
+        f"{usage.max_transition_depth}); without an encoding of the history "
+        "into the state (Example 4's FIRE relation) the complete history is "
+        "needed",
+    )
+
+
+HistoryFactory = Callable[[], Sequence[State]]
+
+
+@dataclass(frozen=True)
+class WindowValidation:
+    """Outcome of empirically validating a window claim."""
+
+    constraint: Constraint
+    window: int
+    trials: int
+    agreed: int
+    disagreements: list[str]
+
+    @property
+    def valid(self) -> bool:
+        return not self.disagreements
+
+    def __str__(self) -> str:
+        if self.valid:
+            return (
+                f"{self.constraint.name}: window {self.window} agreed with "
+                f"full-history checking on {self.agreed}/{self.trials} trials"
+            )
+        return (
+            f"{self.constraint.name}: window {self.window} UNSOUND — "
+            f"{len(self.disagreements)} disagreement(s); first: "
+            f"{self.disagreements[0]}"
+        )
+
+
+def validate_window(
+    constraint: Constraint,
+    window: int,
+    histories: Iterable[Sequence[State]],
+    interpreter: Interpreter | None = None,
+) -> WindowValidation:
+    """Test: if every k-window along a history is accepted, is the complete
+    history accepted?  A disagreement (all windows pass but the full history
+    fails) witnesses that ``window`` is too small for this constraint.
+    """
+    interp = interpreter or Interpreter()
+    agreed = 0
+    trials = 0
+    disagreements: list[str] = []
+    for states in histories:
+        trials += 1
+        windows_ok = _all_windows_pass(constraint, list(states), window, interp)
+        full = History(window=None)
+        full.start(states[0])
+        for s in states[1:]:
+            full.advance(s)
+        full_ok = check_history(constraint, full, interp).ok
+        if windows_ok and not full_ok:
+            disagreements.append(
+                f"trial {trials}: every {window}-window passed but the "
+                f"complete {len(states)}-state history is violated"
+            )
+        else:
+            agreed += 1
+    return WindowValidation(constraint, window, trials, agreed, disagreements)
+
+
+def _all_windows_pass(
+    constraint: Constraint,
+    states: list[State],
+    window: int,
+    interp: Interpreter,
+) -> bool:
+    """Simulate maintaining a k-window along the history, checking at every
+    advance — the incremental regime of a running database."""
+    h = History(window=window)
+    h.start(states[0])
+    if not check_history(constraint, h, interp).ok:
+        return False
+    for s in states[1:]:
+        h.advance(s)
+        if not check_history(constraint, h, interp).ok:
+            return False
+    return True

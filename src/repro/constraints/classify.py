@@ -1,0 +1,129 @@
+"""Syntactic classification of integrity constraints (paper, Definition 4).
+
+A constraint is **static** when it is equivalent to ``(∀s)(s::q)`` for some
+f-formula ``q`` — it speaks about every state in isolation.  Otherwise it is
+**dynamic**; within the dynamic constraints, the paper singles out the
+**transaction constraints**, "which describe the relationships among two
+states and a transaction that connects them".
+
+The classifier analyzes the *state terms* occurring in the formula:
+
+* static — one universally quantified state variable ``s``; every state term
+  is ``s`` itself (no ``s;t``, no second state variable, no existential
+  state quantifier);
+* transaction — one universal state variable ``s`` and one universal
+  transition variable ``t``; state terms are only ``s`` and ``s;t`` (one hop);
+* dynamic — everything else: composed transitions (``s;t1;t2``), existential
+  state/transition quantifiers (invertibility, "no eternal projects"),
+  several independent state variables, or named state constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.constraints.model import ConstraintKind
+from repro.logic.formulas import Exists, Forall, Formula
+from repro.logic.terms import ConstExpr, EvalState, Expr, Node, Var
+
+
+@dataclass
+class StateUsage:
+    """How a formula refers to states: the evidence for classification."""
+
+    universal_state_vars: set[Var] = field(default_factory=set)
+    existential_state_vars: set[Var] = field(default_factory=set)
+    universal_transition_vars: set[Var] = field(default_factory=set)
+    existential_transition_vars: set[Var] = field(default_factory=set)
+    state_constants: set[str] = field(default_factory=set)
+    max_transition_depth: int = 0
+    distinct_state_terms: set[str] = field(default_factory=set)
+
+
+def analyze_state_usage(formula: Formula) -> StateUsage:
+    """Collect all state-referencing structure of a closed s-formula."""
+    usage = StateUsage()
+
+    def walk(node: Node, polarity: bool) -> None:
+        if isinstance(node, Forall):
+            bucket_for(node.var, universal=polarity, usage=usage)
+            walk(node.body, polarity)
+            return
+        if isinstance(node, Exists):
+            bucket_for(node.var, universal=not polarity, usage=usage)
+            walk(node.body, polarity)
+            return
+        from repro.logic.formulas import Implies, Not
+
+        if isinstance(node, Not):
+            walk(node.body, not polarity)
+            return
+        if isinstance(node, Implies):
+            walk(node.antecedent, not polarity)
+            walk(node.consequent, polarity)
+            return
+        if isinstance(node, EvalState):
+            usage.max_transition_depth = max(
+                usage.max_transition_depth, _depth(node)
+            )
+            usage.distinct_state_terms.add(str(node))
+        if isinstance(node, ConstExpr) and node.const_sort.is_state:
+            usage.state_constants.add(node.name)
+        if isinstance(node, Var) and node.sort.is_state:
+            usage.distinct_state_terms.add(node.name)
+        for child in node.children():
+            walk(child, polarity)
+
+    walk(formula, True)
+    return usage
+
+
+def bucket_for(var: Var, universal: bool, usage: StateUsage) -> None:
+    if not var.sort.is_state:
+        return
+    if var.is_state_var:
+        (usage.universal_state_vars if universal else usage.existential_state_vars).add(var)
+    else:
+        (
+            usage.universal_transition_vars
+            if universal
+            else usage.existential_transition_vars
+        ).add(var)
+
+
+def _depth(node: Expr) -> int:
+    depth = 0
+    current = node
+    while isinstance(current, EvalState):
+        depth += 1
+        current = current.state
+    return depth
+
+
+def classify(formula: Formula) -> ConstraintKind:
+    """Classify per Definition 4 (see the module docstring for the rules)."""
+    usage = analyze_state_usage(formula)
+    has_existential = bool(
+        usage.existential_state_vars or usage.existential_transition_vars
+    )
+    if (
+        len(usage.universal_state_vars) <= 1
+        and not usage.universal_transition_vars
+        and not has_existential
+        and not usage.state_constants
+        and usage.max_transition_depth == 0
+    ):
+        return ConstraintKind.STATIC
+    if (
+        len(usage.universal_state_vars) == 1
+        and len(usage.universal_transition_vars) <= 1
+        and not has_existential
+        and not usage.state_constants
+        and usage.max_transition_depth == 1
+    ):
+        # One hop from a single universal state — via a quantified
+        # transition variable or a *concrete* transaction term (Example 3's
+        # dept-deletion precondition mentions delete_3 explicitly; such
+        # constraints are exactly the ones inexpressible in temporal logic).
+        return ConstraintKind.TRANSACTION
+    return ConstraintKind.DYNAMIC

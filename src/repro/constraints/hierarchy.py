@@ -1,0 +1,133 @@
+"""Checkability as a specification complexity measure (paper, Section 5).
+
+The paper's future work: "We may treat checkability as a specification
+complexity measure and investigate the relationships between various
+classes of integrity constraints."  This module makes the measure
+operational:
+
+* a total preorder on checkability verdicts —
+  ``1 ⊑ 2 ⊑ ... ⊑ FULL_HISTORY ⊑ UNCHECKABLE`` (cheaper-to-maintain first);
+* :func:`compare` on constraints via their analyzed verdicts;
+* :func:`spectrum` — the complexity profile of a whole constraint set, the
+  quantity a schema designer trades against expressiveness (Section 3's
+  "certain compromise between the expressiveness of the semantic
+  specification and the ability of the database system to properly maintain
+  the semantics");
+* :func:`cheapest_equivalent` — applies known cost-reducing transforms (the
+  history encoding) and reports the improvement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.constraints.checkability import analyze
+from repro.constraints.history import HistoryEncoding
+from repro.constraints.model import Constraint, Window
+
+
+def rank(window: int | Window) -> tuple[int, int]:
+    """A sort key: (class, within-class) — smaller is cheaper to maintain."""
+    if isinstance(window, int):
+        return (0, window)
+    if window is Window.FULL_HISTORY:
+        return (1, 0)
+    return (2, 0)
+
+
+def compare(a: Constraint, b: Constraint) -> int:
+    """-1 / 0 / +1: is ``a`` cheaper, equal, or costlier than ``b``?"""
+    ra, rb = rank(analyze(a).window), rank(analyze(b).window)
+    return (ra > rb) - (ra < rb)
+
+
+@dataclass(frozen=True)
+class SpectrumEntry:
+    constraint: Constraint
+    window: int | Window
+
+    def __str__(self) -> str:
+        return f"{self.constraint.name}: {self.window}"
+
+
+@dataclass
+class Spectrum:
+    """The checkability profile of a constraint set."""
+
+    entries: list[SpectrumEntry]
+
+    @property
+    def max_window(self) -> Optional[int]:
+        """The window the engine must maintain to check every bounded
+        constraint, or ``None`` when some constraint needs more than any
+        finite window."""
+        widest = 0
+        for entry in self.entries:
+            if isinstance(entry.window, int):
+                widest = max(widest, entry.window)
+            else:
+                return None
+        return widest
+
+    def bounded(self) -> list[SpectrumEntry]:
+        return [e for e in self.entries if isinstance(e.window, int)]
+
+    def full_history(self) -> list[SpectrumEntry]:
+        return [e for e in self.entries if e.window is Window.FULL_HISTORY]
+
+    def uncheckable(self) -> list[SpectrumEntry]:
+        return [e for e in self.entries if e.window is Window.UNCHECKABLE]
+
+    def __str__(self) -> str:
+        lines = ["checkability spectrum (cheapest first):"]
+        lines.extend(f"  {e}" for e in self.entries)
+        if self.max_window is not None:
+            lines.append(f"  => a window of {self.max_window} state(s) suffices")
+        else:
+            lines.append("  => no finite window suffices for the whole set")
+        return "\n".join(lines)
+
+
+def spectrum(constraints: Iterable[Constraint]) -> Spectrum:
+    """Analyze and sort a constraint set by maintenance cost."""
+    entries = [SpectrumEntry(c, analyze(c).window) for c in constraints]
+    entries.sort(key=lambda e: (rank(e.window), e.constraint.name))
+    return Spectrum(entries)
+
+
+@dataclass(frozen=True)
+class Reduction:
+    """A cost-reducing transform applied to a constraint."""
+
+    original: Constraint
+    replacement: Constraint
+    encoding: Optional[HistoryEncoding]
+    saved_from: int | Window
+    saved_to: int | Window
+
+    def __str__(self) -> str:
+        return (
+            f"{self.original.name}: {self.saved_from} -> {self.saved_to} "
+            f"via {self.encoding.log_name if self.encoding else 'rewrite'}"
+        )
+
+
+def cheapest_equivalent(
+    constraint: Constraint, encoding: Optional[HistoryEncoding] = None
+) -> Optional[Reduction]:
+    """Apply the history-encoding transform when it reduces the measure.
+
+    The caller supplies the encoding (which relation to watch, which key to
+    log); the reduction is reported only when the replacement's verdict is
+    strictly cheaper — Example 4's FIRE case moves never-rehire from
+    FULL_HISTORY to window 1.
+    """
+    if encoding is None:
+        return None
+    before = analyze(constraint).window
+    replacement = encoding.static_constraint(f"{constraint.name}-encoded")
+    after = analyze(replacement).window
+    if rank(after) < rank(before):
+        return Reduction(constraint, replacement, encoding, before, after)
+    return None

@@ -1,0 +1,110 @@
+"""History encoding: trading dynamic constraints for static ones.
+
+Example 4 of the paper: "once an employee is fired, he should never be hired
+again" is not checkable without the complete history — but "we may encode
+part of the history by having a relation FIRE about those employees fired by
+the company.  Such an encoding makes the constraint statically checkable, by
+adding a static constraint ``(∀s)(∀e')(e' ∈ FIRE → e' ∉ EMP)``."
+
+:class:`HistoryEncoding` is the generic transform: watch a relation, log the
+key of every tuple that disappears from it into a log relation, and replace
+the uncheckable dynamic constraint by a static exclusion constraint over the
+log.  The engine (:mod:`repro.engine`) applies registered encodings after
+every transaction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constraints.model import Constraint
+from repro.db.schema import RelationSchema, Schema
+from repro.db.state import State
+from repro.db.values import DBTuple
+from repro.logic import builder as b
+
+
+@dataclass(frozen=True)
+class HistoryEncoding:
+    """Log disappearing keys of ``watched`` into the 1-ary ``log_name``.
+
+    ``key_attr`` names the attribute whose value identifies the entity
+    (``e-name`` for employees).  The encoding is *sound* for never-return
+    constraints when the key is never reused for a different entity — the
+    paper's "given that employees are never rehired" assumption made
+    structural.
+    """
+
+    watched: RelationSchema
+    log_name: str
+    key_attr: str
+
+    @property
+    def key_index(self) -> int:
+        return self.watched.attr_index(self.key_attr)
+
+    def log_schema(self) -> RelationSchema:
+        return RelationSchema(self.log_name, (f"{self.key_attr}",))
+
+    def extend_schema(self, schema: Schema) -> Schema:
+        """Register the log relation on the schema (idempotent)."""
+        if self.log_name not in schema:
+            schema.add_relation(self.log_name, (self.key_attr,))
+        return schema
+
+    def prepare_state(self, state: State) -> State:
+        """Ensure the log relation exists in a state."""
+        return state.create_relation(self.log_name, 1)
+
+    def record(self, before: State, after: State) -> State:
+        """Append to the log the key of every tuple that left ``watched``.
+
+        A tuple "left" when its identifier is present before and absent
+        after — modification does not trigger logging (the entity is still
+        there), matching the paper's intent that FIRE records firings.
+        """
+        result = self.prepare_state(after)
+        if not before.has_relation(self.watched.name):
+            return result
+        watched_before = before.relation(self.watched.name)
+        watched_after = (
+            after.relation(self.watched.name)
+            if after.has_relation(self.watched.name)
+            else None
+        )
+        for t in watched_before:
+            still_there = watched_after is not None and watched_after.get(t.tid) is not None
+            if not still_there:
+                key = t.select(self.key_index)
+                result, _ = result.insert_tuple(self.log_name, DBTuple(None, (key,)))
+        return result
+
+    def static_constraint(self, name: str | None = None) -> Constraint:
+        """The replacement constraint: logged keys never reappear.
+
+        ``(∀s)(∀k)(k ∈ LOG → ¬(∃e)(e ∈ W ∧ key(e) = first(k)))``
+        """
+        s = b.state_var("s")
+        k = b.ftup_var("k", 1)
+        e = self.watched.var("e")
+        log_rel = b.rel(self.log_name, 1)
+        reappears = b.exists(
+            e,
+            b.land(
+                b.member(e, self.watched.rel()),
+                b.eq(self.watched.attr(self.key_attr, e), b.select(k, 1)),
+            ),
+        )
+        body = b.implies(b.member(k, log_rel), b.lnot(reappears))
+        formula = b.forall([s, k], b.holds(s, body))
+        return Constraint(
+            name or f"{self.log_name.lower()}-excludes-{self.watched.name.lower()}",
+            formula,
+            description=(
+                f"keys logged in {self.log_name} never reappear in "
+                f"{self.watched.name} (static encoding of a never-return "
+                f"dynamic constraint)"
+            ),
+            source="paper Example 4 (FIRE encoding)",
+            declared_window=1,
+        )

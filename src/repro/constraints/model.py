@@ -1,0 +1,96 @@
+"""Integrity constraints: named closed s-formulas (paper, Definition 1).
+
+A constraint may be *static* (Definition 4: equivalent to ``(∀s)(s::q)``),
+a *transaction constraint* (relating two states joined by one transition),
+or a more general *dynamic* constraint.  Classification is syntactic
+(:mod:`repro.constraints.classify`); a constraint may also carry a declared
+checkability window which the empirical validator of
+:mod:`repro.constraints.checkability` can test.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import SortError
+from repro.logic.formulas import Formula
+from repro.logic.terms import Layer
+
+
+class ConstraintKind(enum.Enum):
+    """The paper's taxonomy of integrity constraints."""
+
+    STATIC = "static"
+    TRANSACTION = "transaction"
+    DYNAMIC = "dynamic"
+
+
+class Window(enum.Enum):
+    """Non-numeric checkability verdicts."""
+
+    FULL_HISTORY = "full-history"
+    UNCHECKABLE = "uncheckable"
+
+
+Checkability = int | Window
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """A named integrity constraint.
+
+    ``declared_window`` records the paper's (or the user's) checkability
+    claim — e.g. Example 3's skill-retention constraint is checkable with a
+    2-state history; ``assumption`` documents side conditions the claim
+    depends on (Example 2's "employees are never rehired").
+    """
+
+    name: str
+    formula: Formula
+    description: str = ""
+    source: str = ""
+    declared_window: Optional[Checkability] = field(default=None, compare=False)
+    assumption: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.formula.free_vars():
+            names = ", ".join(sorted(v.name for v in self.formula.free_vars()))
+            raise SortError(
+                f"constraint {self.name}: formula must be closed; free: {names}"
+            )
+        if self.formula.layer is Layer.FLUENT:
+            raise SortError(
+                f"constraint {self.name}: constraints are s-formulas; wrap the "
+                f"fluent formula with a universally quantified w::p"
+            )
+
+    @property
+    def kind(self) -> ConstraintKind:
+        from repro.constraints.classify import classify
+
+        return classify(self.formula)
+
+    @property
+    def is_static(self) -> bool:
+        return self.kind is ConstraintKind.STATIC
+
+    @property
+    def is_transaction_constraint(self) -> bool:
+        return self.kind is ConstraintKind.TRANSACTION
+
+    def __str__(self) -> str:
+        return f"{self.name} [{self.kind.value}]: {self.formula}"
+
+
+def constraint(
+    name: str,
+    formula: Formula,
+    description: str = "",
+    source: str = "",
+    declared_window: Optional[Checkability] = None,
+    assumption: str = "",
+) -> Constraint:
+    """Declare a constraint (thin dataclass wrapper for a fluent API)."""
+    return Constraint(name, formula, description, source, declared_window, assumption)

@@ -1,0 +1,15 @@
+"""Relational database substrate: values, relations, states, evolution."""
+
+from repro.db.evolution import EvolutionGraph, History, Transition, chain_graph
+from repro.db.relation import Relation, empty_relation
+from repro.db.schema import RelationSchema, Schema
+from repro.db.state import State, initial_state, state_from_rows
+from repro.db.values import Atom, DBTuple, RelationId, TupleId, TupleSet, make_tuple
+
+__all__ = [
+    "Atom", "DBTuple", "TupleId", "TupleSet", "RelationId", "make_tuple",
+    "Relation", "empty_relation",
+    "RelationSchema", "Schema",
+    "State", "initial_state", "state_from_rows",
+    "EvolutionGraph", "History", "Transition", "chain_graph",
+]

@@ -1,0 +1,95 @@
+"""Scaled workload generation for the benchmarks (E1-E10).
+
+Generates valid employee-database states of parametric size (every state
+satisfies the Example 1 constraints by construction) and histories of
+parametric length, with deterministic seeding.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING
+
+from repro.db.state import State, state_from_rows
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.domains.employee import EmployeeDomain
+
+_DEPTS = ["cs", "ee", "ops", "hr"]
+_STATUSES = ["S", "M"]
+
+
+def employee_state(domain: "EmployeeDomain", employees: int, seed: int = 0) -> State:
+    """A valid state with ``employees`` employees, ~employees/4 projects,
+    1-2 allocations each (total <= 100%), and one skill per employee."""
+    rng = random.Random(seed)
+    projects = max(1, employees // 4)
+    proj_rows = [(f"p{i}", 100 + i) for i in range(projects)]
+    emp_rows = []
+    alloc_rows = []
+    skill_rows = []
+    for i in range(employees):
+        name = f"emp{i}"
+        emp_rows.append(
+            (
+                name,
+                _DEPTS[i % len(_DEPTS)],
+                60 + rng.randint(0, 80),
+                22 + rng.randint(0, 40),
+                _STATUSES[i % 2],
+            )
+        )
+        first = rng.randrange(projects)
+        if rng.random() < 0.5 or projects == 1:
+            alloc_rows.append((name, f"p{first}", 100))
+        else:
+            second = (first + 1) % projects
+            split = rng.choice([30, 40, 50])
+            alloc_rows.append((name, f"p{first}", split))
+            alloc_rows.append((name, f"p{second}", 100 - split))
+        skill_rows.append((name, rng.randint(1, 9)))
+    dept_rows = [(d, f"chair-{d}", f"b{i}") for i, d in enumerate(_DEPTS)]
+    return state_from_rows(
+        domain.schema,
+        {
+            "DEPT": dept_rows,
+            "PROJ": proj_rows,
+            "EMP": emp_rows,
+            "ALLOC": alloc_rows,
+            "SKILL": skill_rows,
+        },
+    )
+
+
+def benign_history(
+    domain: "EmployeeDomain", employees: int, steps: int, seed: int = 0
+) -> list[State]:
+    """A history of ``steps`` constraint-preserving transitions."""
+    rng = random.Random(seed)
+    states = [employee_state(domain, employees, seed)]
+    for step in range(steps):
+        current = states[-1]
+        name = f"emp{rng.randrange(employees)}"
+        action = step % 3
+        if action == 0:
+            nxt = domain.birthday.run(current, name)
+        elif action == 1:
+            nxt = domain.set_salary.run(current, name, 60 + 100 + step)
+        else:
+            nxt = domain.add_skill.run(current, name, rng.randint(1, 9))
+        states.append(nxt)
+    return states
+
+
+def violating_history(
+    domain: "EmployeeDomain", employees: int, gap: int, seed: int = 0
+) -> list[State]:
+    """A history where a never-rehire violation spans ``gap`` intermediate
+    transitions (benchmark E4: only windows > gap+2, or the encoding, see it)."""
+    states = [employee_state(domain, employees, seed)]
+    states.append(domain.fire.run(states[-1], "emp0"))
+    for i in range(gap):
+        states.append(domain.birthday.run(states[-1], f"emp{1 + i % max(1, employees - 1)}"))
+    states.append(domain.hire.run(states[-1], "emp0", "cs", 77, 30, "S"))
+    states.append(domain.allocate.run(states[-1], "emp0", "p0", 100))
+    return states

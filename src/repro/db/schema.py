@@ -1,0 +1,116 @@
+"""Relation schemas and the database schema triple (Definition 1).
+
+A relational database schema in the paper is ``Σ = (T_L, R, IC)``: the
+situational transaction theory, a set of relation f-constants, and the
+integrity constraints.  ``T_L`` is domain-independent and lives in
+:mod:`repro.theory`; :class:`Schema` holds ``R`` (with named attributes, the
+paper's notational convenience ``l(t)`` for ``select_n(t, i)``) and ``IC``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+from repro.errors import SchemaError
+from repro.logic import builder as b
+from repro.logic.terms import App, Expr, RelConst, RelIdConst
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.constraints.model import Constraint
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """The structure of one relation: its name and attribute names."""
+
+    name: str
+    attributes: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.attributes:
+            raise SchemaError(f"relation {self.name} must have attributes")
+        if len(set(self.attributes)) != len(self.attributes):
+            raise SchemaError(f"relation {self.name} has duplicate attributes")
+
+    @property
+    def arity(self) -> int:
+        return len(self.attributes)
+
+    def attr_index(self, attribute: str) -> int:
+        """1-based index of an attribute (the ``i`` of ``select_n(t, i)``)."""
+        try:
+            return self.attributes.index(attribute) + 1
+        except ValueError:
+            raise SchemaError(
+                f"relation {self.name} has no attribute {attribute!r}; "
+                f"attributes are {', '.join(self.attributes)}"
+            ) from None
+
+    # -- expression builders ---------------------------------------------------
+
+    def rel(self) -> RelConst:
+        """The relation f-constant (value at ``w`` = current tuples)."""
+        return RelConst(self.name, self.arity)
+
+    def rid(self) -> RelIdConst:
+        """The relation identifier (argument of insert/delete/assign)."""
+        return RelIdConst(self.name, self.arity)
+
+    def attr(self, attribute: str, tup: Expr) -> App:
+        """The named attribute selector ``attribute(tup)``."""
+        return b.attr(attribute, self.arity, self.attr_index(attribute), tup)
+
+    def var(self, name: str) -> "b.Var":
+        """A fluent tuple variable of this relation's arity."""
+        return b.ftup_var(name, self.arity)
+
+    def svar(self, name: str) -> "b.Var":
+        """A situational (primed) tuple variable of this relation's arity."""
+        return b.stup_var(name, self.arity)
+
+
+@dataclass
+class Schema:
+    """The paper's relational database schema ``Σ = (T_L, R, IC)``.
+
+    ``T_L`` (the situational transaction theory) is shared by all schemas and
+    accessed through :func:`repro.theory.axioms.transaction_theory`; this
+    object carries the schema-specific parts: the relation f-constants ``R``
+    and the integrity constraints ``IC``.
+    """
+
+    relations: dict[str, RelationSchema] = field(default_factory=dict)
+    constraints: list["Constraint"] = field(default_factory=list)
+
+    def add_relation(self, name: str, attributes: Iterable[str]) -> RelationSchema:
+        if name in self.relations:
+            raise SchemaError(f"relation {name} already declared")
+        rs = RelationSchema(name, tuple(attributes))
+        self.relations[name] = rs
+        return rs
+
+    def relation(self, name: str) -> RelationSchema:
+        try:
+            return self.relations[name]
+        except KeyError:
+            raise SchemaError(f"unknown relation {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.relations
+
+    def add_constraint(self, constraint: "Constraint") -> "Constraint":
+        names = {c.name for c in self.constraints}
+        if constraint.name in names:
+            raise SchemaError(f"constraint {constraint.name!r} already declared")
+        self.constraints.append(constraint)
+        return constraint
+
+    def constraint(self, name: str) -> "Constraint":
+        for c in self.constraints:
+            if c.name == name:
+                return c
+        raise SchemaError(f"unknown constraint {name!r}")
+
+    def arity_of(self, name: str) -> int:
+        return self.relation(name).arity

@@ -1,0 +1,7 @@
+"""Application domains.  The employee database is the paper's Section 4;
+banking is a second domain exercising the machinery schema-agnostically."""
+
+from repro.domains.banking import BankingDomain, make_banking_domain
+from repro.domains.employee import EmployeeDomain, make_domain
+
+__all__ = ["EmployeeDomain", "make_domain", "BankingDomain", "make_banking_domain"]

@@ -1,0 +1,281 @@
+"""A second application domain: accounts, transfers, and an audit trail.
+
+Demonstrates that the machinery is schema-agnostic beyond the paper's
+employee database, and exercises the constraint families differently:
+
+* arithmetic-heavy static constraints (balances, reserve ratios);
+* a transaction constraint whose core is the transitive ``<=`` on a *sum*
+  (total assets never shrink without a recorded withdrawal);
+* an Example 4-style never-return constraint (closed accounts stay closed)
+  with its history encoding (the CLOSED relation).
+
+Relations::
+
+    ACCT(a-owner, a-balance, a-status)        status: "open" | "frozen"
+    AUDIT(x-owner, x-kind, x-amount, x-seq)   kind:   "dep" | "wd"
+
+The ``x-seq`` attribute is load-bearing: the paper's relations are *sets* of
+tuples and its set formers are sets, so two equal deposits would collapse —
+both in the relation and in ``{x-amount | ...}``.  Real schemas
+disambiguate with a sequence number, and the audit sum ranges over
+``(amount, seq)`` pairs so duplicates survive the former.  (The employee
+database dodges this because names key every tuple.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.constraints.history import HistoryEncoding
+from repro.constraints.model import Constraint, Window
+from repro.db.schema import Schema
+from repro.db.state import State, state_from_rows
+from repro.logic import builder as b
+from repro.transactions.program import DatabaseProgram, transaction
+
+
+@dataclass
+class BankingDomain:
+    """Schema, constraints, and transactions of a small bank."""
+
+    schema: Schema = field(default_factory=Schema)
+
+    def __post_init__(self) -> None:
+        self.acct = self.schema.add_relation(
+            "ACCT", ("a-owner", "a-balance", "a-status")
+        )
+        self.audit = self.schema.add_relation(
+            "AUDIT", ("x-owner", "x-kind", "x-amount", "x-seq")
+        )
+        self._build_transactions()
+
+    # -- constraints ---------------------------------------------------------
+
+    def unique_owner(self) -> Constraint:
+        """At most one account per owner (a key constraint, statically)."""
+        s = b.state_var("s")
+        a1 = self.acct.var("a1")
+        a2 = self.acct.var("a2")
+        body = b.forall(
+            [a1, a2],
+            b.implies(
+                b.land(
+                    b.member(a1, self.acct.rel()),
+                    b.member(a2, self.acct.rel()),
+                    b.eq(self.acct.attr("a-owner", a1), self.acct.attr("a-owner", a2)),
+                ),
+                b.eq(b.tuple_id(a1), b.tuple_id(a2)),
+            ),
+        )
+        return Constraint(
+            "unique-owner",
+            b.forall(s, b.holds(s, body)),
+            description="one account per owner",
+            declared_window=1,
+        )
+
+    def audited_balance(self) -> Constraint:
+        """Every balance equals deposits minus withdrawals in the audit."""
+        s = b.state_var("s")
+        a = self.acct.var("a")
+        x = self.audit.var("x")
+
+        def total(kind: str):
+            # (amount, seq) pairs: duplicates of equal amounts survive the
+            # set former (see the module docstring)
+            return b.sum_of(
+                b.setformer(
+                    b.mktuple(
+                        self.audit.attr("x-amount", x),
+                        self.audit.attr("x-seq", x),
+                    ),
+                    x,
+                    b.land(
+                        b.member(x, self.audit.rel()),
+                        b.eq(self.audit.attr("x-owner", x), self.acct.attr("a-owner", a)),
+                        b.eq(self.audit.attr("x-kind", x), b.atom(kind)),
+                    ),
+                )
+            )
+
+        body = b.forall(
+            a,
+            b.implies(
+                b.member(a, self.acct.rel()),
+                b.eq(
+                    self.acct.attr("a-balance", a),
+                    b.minus(total("dep"), total("wd")),
+                ),
+            ),
+        )
+        return Constraint(
+            "audited-balance",
+            b.forall(s, b.holds(s, body)),
+            description="balance = audited deposits - withdrawals",
+            declared_window=1,
+        )
+
+    def frozen_accounts_stable(self) -> Constraint:
+        """A frozen account's balance never changes (transaction constraint)."""
+        s = b.state_var("s")
+        t = b.trans_var("t")
+        a = self.acct.var("a")
+        after = b.after(s, t)
+        frozen = b.eq(b.at(s, self.acct.attr("a-status", a)), b.atom("frozen"))
+        still_there = b.land(
+            b.holds(s, b.member(a, self.acct.rel())),
+            b.holds(after, b.member(a, self.acct.rel())),
+        )
+        still_frozen = b.eq(
+            b.at(after, self.acct.attr("a-status", a)), b.atom("frozen")
+        )
+        balance_kept = b.eq(
+            b.at(s, self.acct.attr("a-balance", a)),
+            b.at(after, self.acct.attr("a-balance", a)),
+        )
+        formula = b.forall(
+            [s, t, a],
+            b.implies(
+                b.land(still_there, frozen, still_frozen), balance_kept
+            ),
+        )
+        return Constraint(
+            "frozen-accounts-stable",
+            formula,
+            description="no movement on frozen accounts",
+            declared_window=2,
+            assumption="= is transitive",
+        )
+
+    def closed_stay_closed(self) -> Constraint:
+        """An Example 4 shape: a deleted (closed) account never reopens."""
+        s = b.state_var("s")
+        t1 = b.trans_var("t1")
+        t2 = b.trans_var("t2")
+        owner = b.atom_var("owner")
+        a = self.acct.var("a")
+        has_account = b.exists(
+            a,
+            b.land(
+                b.member(a, self.acct.rel()),
+                b.eq(self.acct.attr("a-owner", a), owner),
+            ),
+        )
+        closed = b.land(
+            b.holds(s, has_account),
+            b.lnot(b.holds(b.after(s, t1), has_account)),
+        )
+        reopened = b.exists(
+            t2, b.holds(b.after(b.after(s, t1), t2), has_account)
+        )
+        return Constraint(
+            "closed-stay-closed",
+            b.forall([s, t1, owner], b.implies(closed, b.lnot(reopened))),
+            description="closed accounts never reopen",
+            declared_window=Window.FULL_HISTORY,
+        )
+
+    def closed_encoding(self) -> HistoryEncoding:
+        """The CLOSED log: the FIRE trick for accounts."""
+        return HistoryEncoding(self.acct, "CLOSED", "a-owner")
+
+    def constraints(self) -> list[Constraint]:
+        return [
+            self.unique_owner(),
+            self.audited_balance(),
+            self.frozen_accounts_stable(),
+            self.closed_stay_closed(),
+        ]
+
+    # -- transactions ----------------------------------------------------------
+
+    def _build_transactions(self) -> None:
+        self.open_account = self._open_account()
+        self.deposit = self._movement("deposit", "dep", credit=True)
+        self.withdraw = self._movement("withdraw", "wd", credit=False)
+        self.freeze = self._set_status("freeze", "frozen")
+        self.unfreeze = self._set_status("unfreeze", "open")
+        self.close_account = self._close_account()
+
+    def _open_account(self) -> DatabaseProgram:
+        owner = b.atom_var("owner")
+        body = b.insert(
+            b.mktuple(owner, b.atom(0), b.atom("open")), self.acct.rid()
+        )
+        return transaction("open-account", (owner,), body)
+
+    def _movement(self, name: str, kind: str, credit: bool) -> DatabaseProgram:
+        owner, amount = b.atom_var("owner"), b.atom_var("amount")
+        a = self.acct.var("a")
+        cond = b.land(
+            b.member(a, self.acct.rel()),
+            b.eq(self.acct.attr("a-owner", a), owner),
+            b.eq(self.acct.attr("a-status", a), b.atom("open")),
+        )
+        balance = self.acct.attr("a-balance", a)
+        new_balance = b.plus(balance, amount) if credit else b.minus(balance, amount)
+        update = b.modify(a, self.acct.attr_index("a-balance"), new_balance)
+        seq = b.size_of(self.audit.rel())
+        log = b.insert(
+            b.mktuple(owner, b.atom(kind), amount, seq), self.audit.rid()
+        )
+        return transaction(name, (owner, amount), b.foreach(a, cond, b.seq(update, log)))
+
+    def _set_status(self, name: str, status: str) -> DatabaseProgram:
+        owner = b.atom_var("owner")
+        a = self.acct.var("a")
+        cond = b.land(
+            b.member(a, self.acct.rel()),
+            b.eq(self.acct.attr("a-owner", a), owner),
+        )
+        body = b.foreach(
+            a, cond, b.modify(a, self.acct.attr_index("a-status"), b.atom(status))
+        )
+        return transaction(name, (owner,), body)
+
+    def _close_account(self) -> DatabaseProgram:
+        """Close = delete the account and its audit rows (cascade)."""
+        owner = b.atom_var("owner")
+        a = self.acct.var("a")
+        x = self.audit.var("x")
+        drop_audit = b.foreach(
+            x,
+            b.land(
+                b.member(x, self.audit.rel()),
+                b.eq(self.audit.attr("x-owner", x), owner),
+            ),
+            b.delete(x, self.audit.rid()),
+        )
+        drop_acct = b.foreach(
+            a,
+            b.land(
+                b.member(a, self.acct.rel()),
+                b.eq(self.acct.attr("a-owner", a), owner),
+            ),
+            b.delete(a, self.acct.rid()),
+        )
+        return transaction("close-account", (owner,), b.seq(drop_audit, drop_acct))
+
+    # -- sample data -------------------------------------------------------------
+
+    def sample_state(self) -> State:
+        return state_from_rows(
+            self.schema,
+            {
+                "ACCT": [
+                    ("ada", 70, "open"),
+                    ("bob", 10, "open"),
+                    ("cyd", 50, "frozen"),
+                ],
+                "AUDIT": [
+                    ("ada", "dep", 100, 0),
+                    ("ada", "wd", 30, 1),
+                    ("bob", "dep", 10, 2),
+                    ("cyd", "dep", 50, 3),
+                ],
+            },
+        )
+
+
+def make_banking_domain() -> BankingDomain:
+    return BankingDomain()

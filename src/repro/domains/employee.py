@@ -1,0 +1,805 @@
+"""The paper's running example: the employee database of Section 4.
+
+Relations::
+
+    EMP(e-name, e-dept, salary, age, m-status)
+    DEPT(d-name, chair, location)
+    PROJ(p-name, t-alloc)
+    ALLOC(a-emp, a-proj, perc)
+    SKILL(s-emp, s-no)
+
+This module defines every constraint of Examples 1–4, the ``cancel-project``
+transaction of Example 5 (procedurally), and the declarative specification of
+Example 6, along with the supporting transactions (hire, fire, allocate, …)
+the examples presuppose.
+
+Two places in the proceedings scan are garbled; we encode the evident
+intent and note the deviation:
+
+* Example 3's association-connection constraint prints a stray negation; the
+  text ("all allocations should be deleted along with the deletion of a
+  project") fixes the reading: *p in PROJ at s and not at s;t implies no
+  allocation references p at s;t*.
+* Example 4's never-rehire constraint prints ``s;t1:e ∈ s;t1:EMP`` where the
+  firing requires ``∉``; the text ("once an employee is fired, he should
+  never be hired again") fixes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.constraints.history import HistoryEncoding
+from repro.constraints.model import Constraint, Window
+from repro.db.schema import RelationSchema, Schema
+from repro.db.state import State, state_from_rows
+from repro.logic import builder as b
+from repro.logic.formulas import Formula
+from repro.logic.terms import Expr
+from repro.transactions.program import DatabaseProgram, transaction
+
+SINGLE = "S"  # the paper's marital status constant S
+
+
+@dataclass
+class EmployeeDomain:
+    """Schema, constraints, and transactions of the paper's Section 4."""
+
+    schema: Schema = field(default_factory=Schema)
+
+    def __post_init__(self) -> None:
+        self.emp = self.schema.add_relation(
+            "EMP", ("e-name", "e-dept", "salary", "age", "m-status")
+        )
+        self.dept = self.schema.add_relation("DEPT", ("d-name", "chair", "location"))
+        self.proj = self.schema.add_relation("PROJ", ("p-name", "t-alloc"))
+        self.alloc = self.schema.add_relation("ALLOC", ("a-emp", "a-proj", "perc"))
+        self.skill = self.schema.add_relation("SKILL", ("s-emp", "s-no"))
+        self._build_constraints()
+        self._build_transactions()
+
+    # ------------------------------------------------------------------
+    # Example 1: static constraints
+    # ------------------------------------------------------------------
+
+    def _alloc_of(self, a: Expr, name_expr: Expr) -> Formula:
+        """``a ∈ ALLOC ∧ a-emp(a) = name``."""
+        return b.land(
+            b.member(a, self.alloc.rel()),
+            b.eq(self.alloc.attr("a-emp", a), name_expr),
+        )
+
+    def every_employee_allocated(self) -> Constraint:
+        """(1) Each employee works for at least one project."""
+        s = b.state_var("s")
+        e = self.emp.var("e")
+        a = self.alloc.var("a")
+        body = b.forall(
+            e,
+            b.implies(
+                b.member(e, self.emp.rel()),
+                b.exists(a, self._alloc_of(a, self.emp.attr("e-name", e))),
+            ),
+        )
+        return Constraint(
+            "every-employee-allocated",
+            b.forall(s, b.holds(s, body)),
+            description="each employee works for at least one project",
+            source="Example 1 (1)",
+            declared_window=1,
+        )
+
+    def alloc_references_project(self) -> Constraint:
+        """(2) Each alloc tuple must be associated with a valid project."""
+        s = b.state_var("s")
+        a = self.alloc.var("a")
+        p = self.proj.var("p")
+        body = b.forall(
+            a,
+            b.implies(
+                b.member(a, self.alloc.rel()),
+                b.exists(
+                    p,
+                    b.land(
+                        b.member(p, self.proj.rel()),
+                        b.eq(self.alloc.attr("a-proj", a), self.proj.attr("p-name", p)),
+                    ),
+                ),
+            ),
+        )
+        return Constraint(
+            "alloc-references-project",
+            b.forall(s, b.holds(s, body)),
+            description="every allocation references an existing project",
+            source="Example 1 (2)",
+            declared_window=1,
+        )
+
+    def allocation_within_limit(self) -> Constraint:
+        """(3) No employee is allocated over 100% of their time."""
+        s = b.state_var("s")
+        e = self.emp.var("e")
+        a = self.alloc.var("a")
+        percs = b.setformer(
+            self.alloc.attr("perc", a), a, self._alloc_of(a, self.emp.attr("e-name", e))
+        )
+        body = b.forall(
+            e,
+            b.implies(
+                b.member(e, self.emp.rel()),
+                b.le(b.sum_of(percs), b.atom(100)),
+            ),
+        )
+        return Constraint(
+            "allocation-within-limit",
+            b.forall(s, b.holds(s, body)),
+            description="no employee is allocated over 100% of their time",
+            source="Example 1 (3)",
+            declared_window=1,
+        )
+
+    # ------------------------------------------------------------------
+    # Example 2: once married, never single again
+    # ------------------------------------------------------------------
+
+    def once_married_wrong(self) -> Constraint:
+        """The paper's *incorrect* two-state formulation.
+
+        It relates any two states in which the employee has aged — but
+        "two states may very well be in contradiction as long as they are
+        not reachable from each other".  Kept to demonstrate the
+        classification (dynamic, not a transaction constraint).
+        """
+        s1 = b.state_var("s1")
+        s2 = b.state_var("s2")
+        e = self.emp.var("e")
+        single = b.atom(SINGLE)
+        premise = b.land(
+            b.holds(s1, b.member(e, self.emp.rel())),
+            b.holds(s2, b.member(e, self.emp.rel())),
+            b.lt(b.at(s1, self.emp.attr("age", e)), b.at(s2, self.emp.attr("age", e))),
+            b.neq(b.at(s1, self.emp.attr("m-status", e)), single),
+        )
+        formula = b.forall(
+            [s1, s2, e],
+            b.implies(premise, b.neq(b.at(s2, self.emp.attr("m-status", e)), single)),
+        )
+        return Constraint(
+            "once-married-wrong",
+            formula,
+            description="INCORRECT two-state version: constrains unreachable state pairs",
+            source="Example 2 (first, rejected formulation)",
+        )
+
+    def once_married(self) -> Constraint:
+        """The correct transaction-constraint formulation.
+
+        If an employee is not single at ``s`` and is older at ``s;t`` then he
+        is not single at ``s;t``.  Checkable with two states given that
+        employees are never rehired.
+        """
+        s = b.state_var("s")
+        t = b.trans_var("t")
+        e = self.emp.var("e")
+        single = b.atom(SINGLE)
+        after = b.after(s, t)
+        premise = b.land(
+            b.holds(s, b.member(e, self.emp.rel())),
+            b.holds(after, b.member(e, self.emp.rel())),
+            b.lt(b.at(s, self.emp.attr("age", e)), b.at(after, self.emp.attr("age", e))),
+            b.neq(b.at(s, self.emp.attr("m-status", e)), single),
+        )
+        formula = b.forall(
+            [s, t, e],
+            b.implies(premise, b.neq(b.at(after, self.emp.attr("m-status", e)), single)),
+        )
+        return Constraint(
+            "once-married",
+            formula,
+            description="an employee cannot become single after being married",
+            source="Example 2 (transaction-constraint formulation)",
+            declared_window=2,
+            assumption="employees are never rehired",
+        )
+
+    # ------------------------------------------------------------------
+    # Example 3: transaction constraints with bounded checkability
+    # ------------------------------------------------------------------
+
+    def skill_retention(self) -> Constraint:
+        """An employee retains a skill as soon as he obtains it.
+
+        Checkable with a history of two states because ``⊆`` is transitive.
+        Deliberately *not* "skill deletion is prohibited": deleting the
+        employee deletes his skills.
+        """
+        s = b.state_var("s")
+        t = b.trans_var("t")
+        e = self.emp.var("e")
+        k = self.skill.var("k")
+        after = b.after(s, t)
+        premise = b.land(
+            b.holds(s, b.member(e, self.emp.rel())),
+            b.holds(after, b.member(e, self.emp.rel())),
+            b.holds(s, b.member(k, self.skill.rel())),
+            b.eq(
+                b.at(s, self.skill.attr("s-emp", k)),
+                b.at(s, self.emp.attr("e-name", e)),
+            ),
+        )
+        formula = b.forall(
+            [s, t, e, k],
+            b.implies(premise, b.holds(after, b.member(k, self.skill.rel()))),
+        )
+        return Constraint(
+            "skill-retention",
+            formula,
+            description="employees keep every skill they obtain (while employed)",
+            source="Example 3 (skills)",
+            declared_window=2,
+            assumption="employees are never rehired; ⊆ is transitive",
+        )
+
+    def salary_decrease_needs_dept_change(self) -> Constraint:
+        """A salary cannot decrease unless the employee switches departments.
+
+        Checkable with three states because ``<`` is transitive; replacing
+        ``<`` with ``≠`` (see :meth:`salary_never_same`) forces a complete
+        history.
+        """
+        s = b.state_var("s")
+        t = b.trans_var("t")
+        e = self.emp.var("e")
+        after = b.after(s, t)
+        premise = b.land(
+            b.holds(s, b.member(e, self.emp.rel())),
+            b.holds(after, b.member(e, self.emp.rel())),
+        )
+        conclusion = b.lor(
+            b.le(
+                b.at(s, self.emp.attr("salary", e)),
+                b.at(after, self.emp.attr("salary", e)),
+            ),
+            b.neq(
+                b.at(s, self.emp.attr("e-dept", e)),
+                b.at(after, self.emp.attr("e-dept", e)),
+            ),
+        )
+        formula = b.forall([s, t, e], b.implies(premise, conclusion))
+        return Constraint(
+            "salary-decrease-needs-dept-change",
+            formula,
+            description="salary never decreases without a department switch",
+            source="Example 3 (salary)",
+            declared_window=3,
+            assumption="< is transitive; the dept switch may happen at an intermediate state",
+        )
+
+    def salary_never_same(self) -> Constraint:
+        """The ``≠`` variant: a salary never returns to a previous value
+        (unless the employee switches departments) — checkable only with a
+        complete history because ``≠`` is not transitive."""
+        s = b.state_var("s")
+        t = b.trans_var("t")
+        e = self.emp.var("e")
+        after = b.after(s, t)
+        premise = b.land(
+            b.holds(s, b.member(e, self.emp.rel())),
+            b.holds(after, b.member(e, self.emp.rel())),
+        )
+        conclusion = b.lor(
+            b.neq(
+                b.at(s, self.emp.attr("salary", e)),
+                b.at(after, self.emp.attr("salary", e)),
+            ),
+            b.neq(
+                b.at(s, self.emp.attr("e-dept", e)),
+                b.at(after, self.emp.attr("e-dept", e)),
+            ),
+        )
+        formula = b.forall([s, t, e], b.implies(premise, conclusion))
+        return Constraint(
+            "salary-never-same",
+            formula,
+            description="the salary of an employee is never the same as before",
+            source="Example 3 (≠ variant)",
+            declared_window=Window.FULL_HISTORY,
+            assumption="≠ is not transitive",
+        )
+
+    def dept_deletion_precondition(self) -> Constraint:
+        """A department is not deleted while it has employees.
+
+        Mentions the concrete transaction ``delete_3(d, DEPT)`` — a
+        constraint about a *specific* transaction, inexpressible in temporal
+        logic (Section 3).  Reading: deleting an employee-free department
+        succeeds (the reference connection only blocks populated ones).
+        """
+        s = b.state_var("s")
+        d = self.dept.var("d")
+        e = self.emp.var("e")
+        no_employees = b.lnot(
+            b.exists(
+                e,
+                b.land(
+                    b.member(e, self.emp.rel()),
+                    b.eq(self.emp.attr("e-dept", e), self.dept.attr("d-name", d)),
+                ),
+            )
+        )
+        premise = b.holds(s, b.land(b.member(d, self.dept.rel()), no_employees))
+        after_delete = b.after(s, b.delete(d, self.dept.rid()))
+        conclusion = b.lnot(b.holds(after_delete, b.member(d, self.dept.rel())))
+        formula = b.forall([s, d], b.implies(premise, conclusion))
+        return Constraint(
+            "dept-deletion-precondition",
+            formula,
+            description="reference connection: delete an employee-free department",
+            source="Example 3 (Structural Model, reference connection)",
+            declared_window=2,
+        )
+
+    def project_deletion_cascades(self) -> Constraint:
+        """Association connection: a deleted project loses its allocations.
+
+        (Scan deviation noted in the module docstring.)  Dynamically
+        equivalent to the static referential constraint of Example 1.
+        """
+        s = b.state_var("s")
+        t = b.trans_var("t")
+        p = self.proj.var("p")
+        a = self.alloc.var("a")
+        after = b.after(s, t)
+        premise = b.land(
+            b.holds(s, b.member(p, self.proj.rel())),
+            b.lnot(b.holds(after, b.member(p, self.proj.rel()))),
+        )
+        dangling = b.exists(
+            a,
+            b.land(
+                b.member(a, self.alloc.rel()),
+                b.eq(self.alloc.attr("a-proj", a), self.proj.attr("p-name", p)),
+            ),
+        )
+        formula = b.forall(
+            [s, t, p], b.implies(premise, b.lnot(b.holds(after, dangling)))
+        )
+        return Constraint(
+            "project-deletion-cascades",
+            formula,
+            description="association connection: allocations die with their project",
+            source="Example 3 (Structural Model, association connection)",
+            declared_window=2,
+        )
+
+    # ------------------------------------------------------------------
+    # Example 4: beyond transaction constraints
+    # ------------------------------------------------------------------
+
+    def employed(self, name_expr: Expr) -> Formula:
+        """The f-formula ``(∃e)(e ∈ EMP ∧ e-name(e) = name)``.
+
+        Employee identity across firing and rehiring is the *name*: a
+        rehired employee is a fresh tuple (new identifier), so never-return
+        constraints must track the entity-identifying attribute — the same
+        key the FIRE encoding logs.
+        """
+        e = self.emp.var("e")
+        return b.exists(
+            e,
+            b.land(
+                b.member(e, self.emp.rel()),
+                b.eq(self.emp.attr("e-name", e), name_expr),
+            ),
+        )
+
+    def never_rehire(self) -> Constraint:
+        """Once an employee is fired, he is never hired again.
+
+        Not checkable without the complete history; the FIRE encoding
+        (:meth:`fire_encoding`) makes it statically checkable.
+        """
+        s = b.state_var("s")
+        t1 = b.trans_var("t1")
+        t2 = b.trans_var("t2")
+        n = b.atom_var("n")
+        fired = b.land(
+            b.holds(s, self.employed(n)),
+            b.lnot(b.holds(b.after(s, t1), self.employed(n))),
+        )
+        rehired = b.exists(
+            t2, b.holds(b.after(b.after(s, t1), t2), self.employed(n))
+        )
+        formula = b.forall([s, t1, n], b.implies(fired, b.lnot(rehired)))
+        return Constraint(
+            "never-rehire",
+            formula,
+            description="a fired employee is never hired again",
+            source="Example 4 (scan deviation noted in module docstring)",
+            declared_window=Window.FULL_HISTORY,
+        )
+
+    def fire_encoding(self) -> HistoryEncoding:
+        """The FIRE relation: the paper's history encoding for never-rehire."""
+        return HistoryEncoding(self.emp, "FIRE", "e-name")
+
+    def fire_excludes_emp(self) -> Constraint:
+        """The static replacement: ``e' ∈ FIRE → e' ∉ EMP``."""
+        return self.fire_encoding().static_constraint("fire-excludes-emp")
+
+    def invertibility(self) -> Constraint:
+        """Every transaction is invertible unless it modifies an age.
+
+        Not checkable: the inverse transaction's existence must be proved at
+        every execution.
+        """
+        s = b.state_var("s")
+        t1 = b.trans_var("t1")
+        t2 = b.trans_var("t2")
+        e = self.emp.var("e")
+        after1 = b.after(s, t1)
+        ages_kept = b.forall(
+            e,
+            b.implies(
+                b.land(
+                    b.holds(s, b.member(e, self.emp.rel())),
+                    b.holds(after1, b.member(e, self.emp.rel())),
+                ),
+                b.eq(
+                    b.at(s, self.emp.attr("age", e)),
+                    b.at(after1, self.emp.attr("age", e)),
+                ),
+            ),
+        )
+        inverse_exists = b.exists(t2, b.eq(s, b.after(after1, t2)))
+        formula = b.forall([s, t1], b.implies(ages_kept, inverse_exists))
+        return Constraint(
+            "invertibility",
+            formula,
+            description="age-preserving transactions are invertible",
+            source="Example 4",
+            declared_window=Window.UNCHECKABLE,
+        )
+
+    def no_eternal_project(self) -> Constraint:
+        """No project lasts forever — uncheckable for the same reason."""
+        s = b.state_var("s")
+        t = b.trans_var("t")
+        p = self.proj.var("p")
+        eventually_gone = b.exists(
+            t, b.lnot(b.holds(b.after(s, t), b.member(p, self.proj.rel())))
+        )
+        formula = b.forall(
+            [s, p],
+            b.implies(b.holds(s, b.member(p, self.proj.rel())), eventually_gone),
+        )
+        return Constraint(
+            "no-eternal-project",
+            formula,
+            description="every project eventually ends",
+            source="Example 4 (scan deviation noted in module docstring)",
+            declared_window=Window.UNCHECKABLE,
+        )
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+
+    def _build_transactions(self) -> None:
+        self.hire = self._hire()
+        self.fire = self._fire()
+        self.allocate = self._allocate()
+        self.deallocate = self._deallocate()
+        self.add_skill = self._add_skill()
+        self.create_project = self._create_project()
+        self.create_dept = self._create_dept()
+        self.marry = self._marry()
+        self.birthday = self._birthday()
+        self.set_salary = self._set_salary()
+        self.transfer = self._transfer()
+        self.cancel_project = self._cancel_project()
+
+    def _hire(self) -> DatabaseProgram:
+        name, dept, salary, age, status = (
+            b.atom_var(v) for v in ("name", "dept", "salary", "age", "status")
+        )
+        body = b.insert(b.mktuple(name, dept, salary, age, status), self.emp.rid())
+        return transaction("hire", (name, dept, salary, age, status), body)
+
+    def _fire(self) -> DatabaseProgram:
+        """Delete the employee and (cascade) his allocations and skills."""
+        name = b.atom_var("name")
+        e = self.emp.var("e")
+        a = self.alloc.var("a")
+        k = self.skill.var("k")
+        del_allocs = b.foreach(
+            a,
+            b.land(b.member(a, self.alloc.rel()), b.eq(self.alloc.attr("a-emp", a), name)),
+            b.delete(a, self.alloc.rid()),
+        )
+        del_skills = b.foreach(
+            k,
+            b.land(b.member(k, self.skill.rel()), b.eq(self.skill.attr("s-emp", k), name)),
+            b.delete(k, self.skill.rid()),
+        )
+        del_emp = b.foreach(
+            e,
+            b.land(b.member(e, self.emp.rel()), b.eq(self.emp.attr("e-name", e), name)),
+            b.delete(e, self.emp.rid()),
+        )
+        return transaction("fire", (name,), b.seq(del_allocs, del_skills, del_emp))
+
+    def _allocate(self) -> DatabaseProgram:
+        emp_name, proj_name, perc = (
+            b.atom_var(v) for v in ("emp_name", "proj_name", "perc")
+        )
+        body = b.insert(b.mktuple(emp_name, proj_name, perc), self.alloc.rid())
+        return transaction("allocate", (emp_name, proj_name, perc), body)
+
+    def _deallocate(self) -> DatabaseProgram:
+        emp_name, proj_name = (b.atom_var(v) for v in ("emp_name", "proj_name"))
+        a = self.alloc.var("a")
+        cond = b.land(
+            b.member(a, self.alloc.rel()),
+            b.eq(self.alloc.attr("a-emp", a), emp_name),
+            b.eq(self.alloc.attr("a-proj", a), proj_name),
+        )
+        return transaction(
+            "deallocate", (emp_name, proj_name), b.foreach(a, cond, b.delete(a, self.alloc.rid()))
+        )
+
+    def _add_skill(self) -> DatabaseProgram:
+        emp_name, skill_no = (b.atom_var(v) for v in ("emp_name", "skill_no"))
+        body = b.insert(b.mktuple(emp_name, skill_no), self.skill.rid())
+        return transaction("add-skill", (emp_name, skill_no), body)
+
+    def _create_project(self) -> DatabaseProgram:
+        proj_name, total = (b.atom_var(v) for v in ("proj_name", "total"))
+        body = b.insert(b.mktuple(proj_name, total), self.proj.rid())
+        return transaction("create-project", (proj_name, total), body)
+
+    def _create_dept(self) -> DatabaseProgram:
+        dname, chair, location = (b.atom_var(v) for v in ("dname", "chair", "location"))
+        body = b.insert(b.mktuple(dname, chair, location), self.dept.rid())
+        return transaction("create-dept", (dname, chair, location), body)
+
+    def _marry(self) -> DatabaseProgram:
+        """Set the marital status of an employee."""
+        name, status = (b.atom_var(v) for v in ("name", "status"))
+        e = self.emp.var("e")
+        cond = b.land(b.member(e, self.emp.rel()), b.eq(self.emp.attr("e-name", e), name))
+        body = b.foreach(e, cond, b.modify(e, self.emp.attr_index("m-status"), status))
+        return transaction("set-status", (name, status), body)
+
+    def _birthday(self) -> DatabaseProgram:
+        """Increment the age of an employee."""
+        name = b.atom_var("name")
+        e = self.emp.var("e")
+        cond = b.land(b.member(e, self.emp.rel()), b.eq(self.emp.attr("e-name", e), name))
+        body = b.foreach(
+            e,
+            cond,
+            b.modify(
+                e,
+                self.emp.attr_index("age"),
+                b.plus(self.emp.attr("age", e), b.atom(1)),
+            ),
+        )
+        return transaction("birthday", (name,), body)
+
+    def _set_salary(self) -> DatabaseProgram:
+        name, amount = (b.atom_var(v) for v in ("name", "amount"))
+        e = self.emp.var("e")
+        cond = b.land(b.member(e, self.emp.rel()), b.eq(self.emp.attr("e-name", e), name))
+        body = b.foreach(e, cond, b.modify(e, self.emp.attr_index("salary"), amount))
+        return transaction("set-salary", (name, amount), body)
+
+    def _transfer(self) -> DatabaseProgram:
+        """Move an employee to another department (optionally new salary)."""
+        name, dept, amount = (b.atom_var(v) for v in ("name", "dept", "amount"))
+        e = self.emp.var("e")
+        cond = b.land(b.member(e, self.emp.rel()), b.eq(self.emp.attr("e-name", e), name))
+        body = b.foreach(
+            e,
+            cond,
+            b.seq(
+                b.modify(e, self.emp.attr_index("e-dept"), dept),
+                b.modify(e, self.emp.attr_index("salary"), amount),
+            ),
+        )
+        return transaction("transfer", (name, dept, amount), body)
+
+    def _cancel_project(self) -> DatabaseProgram:
+        """Example 5's transaction, verbatim in structure::
+
+            transaction cancel-project(p, v)
+              assign(E, {a-emp(a) | a ∈ ALLOC ∧ a-proj(a) = p-name(p)});;
+              foreach a | a ∈ ALLOC ∧ a-proj(a) = p-name(p) do delete(a, ALLOC);;
+              delete(p, PROJ);;
+              foreach e | e ∈ EMP ∧ e-name(e) ∈ E do
+                if (∃a)(a ∈ ALLOC ∧ a-emp(a) = e-name(e))
+                then modify(e, salary, salary(e) - v)
+                else delete(e, EMP)
+
+        Parameterized here by the project's *name* (the paper passes the
+        tuple ``p``; ``p-name(p)`` is then our ``pname``).
+        """
+        pname, v = b.atom_var("pname"), b.atom_var("v")
+        a = self.alloc.var("a")
+        e = self.emp.var("e")
+        p = self.proj.var("p")
+        a2 = self.alloc.var("a2")
+
+        alloc_of_p = b.land(
+            b.member(a, self.alloc.rel()), b.eq(self.alloc.attr("a-proj", a), pname)
+        )
+        save_names = b.assign(
+            b.rel_id("E", 1), b.setformer(self.alloc.attr("a-emp", a), a, alloc_of_p)
+        )
+        drop_allocs = b.foreach(a, alloc_of_p, b.delete(a, self.alloc.rid()))
+        drop_proj = b.foreach(
+            p,
+            b.land(b.member(p, self.proj.rel()), b.eq(self.proj.attr("p-name", p), pname)),
+            b.delete(p, self.proj.rid()),
+        )
+        still_allocated = b.exists(
+            a2,
+            b.land(
+                b.member(a2, self.alloc.rel()),
+                b.eq(self.alloc.attr("a-emp", a2), self.emp.attr("e-name", e)),
+            ),
+        )
+        fix_emp = b.foreach(
+            e,
+            b.land(
+                b.member(e, self.emp.rel()),
+                b.member(b.mktuple(self.emp.attr("e-name", e)), b.rel("E", 1)),
+            ),
+            b.ifthen(
+                still_allocated,
+                b.modify(
+                    e,
+                    self.emp.attr_index("salary"),
+                    b.minus(self.emp.attr("salary", e), v),
+                ),
+                b.delete(e, self.emp.rid()),
+            ),
+        )
+        body = b.seq(save_names, drop_allocs, drop_proj, fix_emp)
+        return transaction("cancel-project", (pname, v), body)
+
+    # ------------------------------------------------------------------
+    # Example 6: the declarative specification of cancel-project
+    # ------------------------------------------------------------------
+
+    def cancel_project_spec(self, pname_value: str, v_value: int) -> Formula:
+        """``(∀s)(∃t)``: after ``t`` the project is gone and every employee
+        allocated to it earns ``v`` less (scan deviation noted in the module
+        docstring: the project must *leave* PROJ)."""
+        s = b.state_var("s")
+        t = b.trans_var("t")
+        e = self.emp.var("e")
+        a = self.alloc.var("a")
+        p = self.proj.var("p")
+        after = b.after(s, t)
+        pname = b.atom(pname_value)
+        v = b.atom(v_value)
+        project_gone = b.lnot(
+            b.holds(
+                after,
+                b.exists(
+                    p,
+                    b.land(
+                        b.member(p, self.proj.rel()),
+                        b.eq(self.proj.attr("p-name", p), pname),
+                    ),
+                ),
+            )
+        )
+        salaries_cut = b.forall(
+            [e, a],
+            b.implies(
+                b.land(
+                    b.holds(
+                        s,
+                        b.land(
+                            b.member(e, self.emp.rel()),
+                            b.member(a, self.alloc.rel()),
+                            b.eq(self.alloc.attr("a-proj", a), pname),
+                            b.eq(
+                                self.alloc.attr("a-emp", a),
+                                self.emp.attr("e-name", e),
+                            ),
+                        ),
+                    ),
+                    # s;t:e presupposes the employee still exists; employees
+                    # working only for p are deleted by the repairs the proof
+                    # introduces (paper: "created during the proof").
+                    b.holds(after, b.member(e, self.emp.rel())),
+                ),
+                b.eq(
+                    b.minus(b.at(s, self.emp.attr("salary", e)), v),
+                    b.at(after, self.emp.attr("salary", e)),
+                ),
+            ),
+        )
+        return b.forall(s, b.exists(t, b.land(project_gone, salaries_cut)))
+
+    # ------------------------------------------------------------------
+    # Constraint bundles and sample data
+    # ------------------------------------------------------------------
+
+    def _build_constraints(self) -> None:
+        self.static_constraints = [
+            self.every_employee_allocated(),
+            self.alloc_references_project(),
+            self.allocation_within_limit(),
+        ]
+        self.transaction_constraints = [
+            self.once_married(),
+            self.skill_retention(),
+            self.salary_decrease_needs_dept_change(),
+            self.dept_deletion_precondition(),
+            self.project_deletion_cascades(),
+        ]
+        self.dynamic_constraints = [
+            self.never_rehire(),
+            self.salary_never_same(),
+            self.invertibility(),
+            self.no_eternal_project(),
+        ]
+        self.all_constraints = (
+            self.static_constraints
+            + self.transaction_constraints
+            + self.dynamic_constraints
+        )
+
+    def install_constraints(self, *names: str) -> None:
+        """Register (a subset of) the constraints on the schema."""
+        chosen = (
+            [c for c in self.all_constraints if c.name in names]
+            if names
+            else list(self.all_constraints)
+        )
+        for c in chosen:
+            self.schema.add_constraint(c)
+
+    def sample_state(self) -> State:
+        """The canonical worked-example state (consistent with Example 1)."""
+        return state_from_rows(
+            self.schema,
+            {
+                "DEPT": [
+                    ("cs", "knuth", "b1"),
+                    ("ee", "shannon", "b2"),
+                    ("ops", "taylor", "b3"),
+                ],
+                "PROJ": [("db", 200), ("ai", 150), ("net", 100)],
+                "EMP": [
+                    ("alice", "cs", 120, 35, "M"),
+                    ("bob", "cs", 100, 28, "S"),
+                    ("carol", "ee", 110, 41, "M"),
+                    ("dan", "ee", 90, 30, "S"),
+                ],
+                "ALLOC": [
+                    ("alice", "db", 60),
+                    ("alice", "ai", 40),
+                    ("bob", "db", 100),
+                    ("carol", "ai", 50),
+                    ("carol", "net", 50),
+                    ("dan", "net", 100),
+                ],
+                "SKILL": [
+                    ("alice", 1),
+                    ("alice", 2),
+                    ("bob", 1),
+                    ("carol", 3),
+                    ("dan", 2),
+                ],
+            },
+        )
+
+
+def make_domain() -> EmployeeDomain:
+    """A fresh employee domain (schema + constraints + transactions)."""
+    return EmployeeDomain()

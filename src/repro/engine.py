@@ -1,0 +1,222 @@
+"""The database engine: executing transactions under integrity enforcement.
+
+:class:`Database` is the runtime a downstream user interacts with.  It owns
+
+* the current state and a maintained :class:`~repro.db.evolution.History`
+  window (the partial model of Section 3),
+* the schema's integrity constraints, checked after every transaction with
+  as much history as each constraint needs — a constraint needing more
+  history than the window is either rejected eagerly (``strict=True``) or
+  skipped with a record (``strict=False``),
+* registered :class:`~repro.constraints.history.HistoryEncoding` transforms
+  (Example 4's FIRE relation) that run after every transaction, and
+* an optional :class:`~repro.db.evolution.EvolutionGraph` recording the
+  whole execution for later model checking.
+
+A violated constraint rolls the transaction back (the state does not
+advance) and raises :class:`~repro.errors.ConstraintViolation` — the
+"database system must handle changes and check, when a state transition
+occurs, that both the new state and the state transition are valid" of
+Section 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import CheckabilityError, ConstraintViolation
+from repro.constraints.checkability import analyze
+from repro.constraints.checker import CheckResult, check_history
+from repro.constraints.history import HistoryEncoding
+from repro.constraints.model import Constraint, Window
+from repro.db.evolution import EvolutionGraph, History
+from repro.db.state import State, initial_state
+from repro.db.schema import Schema
+from repro.db.values import Value
+from repro.transactions.interpreter import Interpreter
+from repro.transactions.program import DatabaseProgram
+
+
+@dataclass
+class SkippedCheck:
+    """A constraint that could not be checked with the maintained window."""
+
+    constraint: Constraint
+    reason: str
+
+
+@dataclass
+class ExecutionRecord:
+    """What happened during one :meth:`Database.execute`."""
+
+    label: str
+    results: list[CheckResult] = field(default_factory=list)
+    skipped: list[SkippedCheck] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results)
+
+
+class Database:
+    """A running database over a schema, with constraint enforcement.
+
+    >>> db = Database(schema, window=2)
+    >>> db.execute(hire, "alice", "cs", 100, 30, "S")
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        window: Optional[int] = 2,
+        initial: Optional[State] = None,
+        interpreter: Optional[Interpreter] = None,
+        strict: bool = False,
+        record_graph: bool = True,
+    ) -> None:
+        self.schema = schema
+        self.interpreter = interpreter or Interpreter()
+        self.strict = strict
+        self.encodings: list[HistoryEncoding] = []
+        self.history = History(window=window)
+        start = initial if initial is not None else initial_state(schema)
+        self.history.start(start)
+        self.graph: Optional[EvolutionGraph] = EvolutionGraph() if record_graph else None
+        if self.graph is not None:
+            self.graph.add_state(start)
+        self.records: list[ExecutionRecord] = []
+        self._windows: dict[str, int | Window] = {}
+        self._trusted: set[tuple[str, str]] = set()
+
+    # -- configuration -------------------------------------------------------
+
+    def trust(self, constraint_name: str, program_name: str) -> None:
+        """Mark (constraint, transaction) as verified-preserved: runtime
+        checking of that constraint is skipped for that transaction.
+
+        This is the paper's closing extension: "Transaction verification can
+        be combined with constraint validation to make more constraints
+        checkable with less amount of history maintained."  Use
+        :meth:`verify_and_trust` to establish trust by actual verification.
+        """
+        self._trusted.add((constraint_name, program_name))
+
+    def verify_and_trust(
+        self, constraint: Constraint, program, scenarios=()
+    ) -> bool:
+        """Verify preservation; on success register the trust pair.
+
+        Returns whether the pair is now trusted.  Only PROVED verdicts are
+        trusted automatically — model-checked results depend on the scenario
+        coverage, so the caller must :meth:`trust` those explicitly.
+        """
+        from repro.verification.verifier import Verdict, Verifier
+
+        result = Verifier().verify(constraint, program, scenarios)
+        if result.verdict is Verdict.PROVED:
+            self.trust(constraint.name, program.name)
+            return True
+        return False
+
+    def register_encoding(self, encoding: HistoryEncoding) -> None:
+        """Register a history encoding; its log relation is added to the
+        schema and to the current state."""
+        encoding.extend_schema(self.schema)
+        self.encodings.append(encoding)
+        current = self.history.states[-1]
+        self.history.states[-1] = encoding.prepare_state(current)
+
+    def required_window(self, constraint: Constraint) -> int | Window:
+        cached = self._windows.get(constraint.name)
+        if cached is None:
+            cached = analyze(constraint).window
+            self._windows[constraint.name] = cached
+        return cached
+
+    # -- access ----------------------------------------------------------------
+
+    @property
+    def current(self) -> State:
+        return self.history.current
+
+    def query(self, program: DatabaseProgram, *args: object) -> Value:
+        return program.query(self.current, *args, interpreter=self.interpreter)
+
+    # -- execution ----------------------------------------------------------------
+
+    def execute(
+        self, program: DatabaseProgram, *args: object, label: Optional[str] = None
+    ) -> State:
+        """Run a transaction; enforce constraints; advance the history.
+
+        On violation the state does not advance and
+        :class:`ConstraintViolation` is raised.
+        """
+        label = label or program.name
+        before = self.current
+        after = program.run(before, *args, interpreter=self.interpreter)
+        for encoding in self.encodings:
+            after = encoding.record(before, after)
+
+        record = ExecutionRecord(label)
+        candidate = History(window=self.history.window)
+        candidate.states = list(self.history.states)
+        candidate.labels = list(self.history.labels)
+        candidate.advance(after, label)
+
+        for c in self.schema.constraints:
+            if (c.name, program.name) in self._trusted:
+                record.skipped.append(
+                    SkippedCheck(c, f"verified preserved by {program.name}")
+                )
+                continue
+            needed = self.required_window(c)
+            if needed is Window.UNCHECKABLE:
+                reason = "not checkable with any maintained history"
+                if self.strict:
+                    raise CheckabilityError(f"{c.name}: {reason}")
+                record.skipped.append(SkippedCheck(c, reason))
+                continue
+            if needed is Window.FULL_HISTORY and self.history.window is not None:
+                reason = (
+                    f"needs the complete history; window keeps "
+                    f"{self.history.window}"
+                )
+                if self.strict:
+                    raise CheckabilityError(f"{c.name}: {reason}")
+                record.skipped.append(SkippedCheck(c, reason))
+                continue
+            if (
+                isinstance(needed, int)
+                and self.history.window is not None
+                and needed > self.history.window
+            ):
+                reason = f"needs {needed} states; window keeps {self.history.window}"
+                if self.strict:
+                    raise CheckabilityError(f"{c.name}: {reason}")
+                record.skipped.append(SkippedCheck(c, reason))
+                continue
+            record.results.append(check_history(c, candidate, self.interpreter))
+
+        self.records.append(record)
+        if not record.ok:
+            failed = next(r for r in record.results if not r.ok)
+            raise ConstraintViolation(
+                failed.constraint.name, f"transaction {label} rolled back"
+            )
+
+        self.history.advance(after, label)
+        if self.graph is not None:
+            self.graph.add_transition(before, after, label)
+        return after
+
+    def try_execute(
+        self, program: DatabaseProgram, *args: object, label: Optional[str] = None
+    ) -> tuple[bool, State]:
+        """Like :meth:`execute` but returns ``(ok, state)`` instead of
+        raising on violation (the state is unchanged when not ok)."""
+        try:
+            return True, self.execute(program, *args, label=label)
+        except ConstraintViolation:
+            return False, self.current

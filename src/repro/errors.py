@@ -1,0 +1,76 @@
+"""Exception hierarchy for the transaction-logic reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch one base class.  Subclasses mirror the subsystems:
+sort checking, evaluation, executability, constraint checking, proving,
+synthesis, and parsing.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SortError(ReproError):
+    """An expression is not well-sorted (wrong argument sort, arity, ...)."""
+
+
+class EvaluationError(ReproError):
+    """An expression could not be evaluated at a state."""
+
+
+class UnboundVariableError(EvaluationError):
+    """A free variable had no binding in the environment."""
+
+
+class UndefinedFluentError(EvaluationError):
+    """A fluent is undefined at the given state.
+
+    The paper makes iteration fluents undefined when the bound set is
+    infinite or the result is order-dependent; evaluation raises this.
+    """
+
+
+class OrderDependenceError(UndefinedFluentError):
+    """A ``foreach`` fluent's result depends on the enumeration order."""
+
+
+class ExecutabilityError(ReproError):
+    """A program is not an executable transaction (not a sound f-term)."""
+
+
+class ConstraintViolation(ReproError):
+    """A state or transition violates an integrity constraint."""
+
+    def __init__(self, constraint_name: str, message: str = "") -> None:
+        self.constraint_name = constraint_name
+        detail = f": {message}" if message else ""
+        super().__init__(f"integrity constraint {constraint_name!r} violated{detail}")
+
+
+class CheckabilityError(ReproError):
+    """A constraint cannot be checked with the maintained history."""
+
+
+class ProofError(ReproError):
+    """The prover failed (resource limits, malformed input, ...)."""
+
+
+class SynthesisError(ReproError):
+    """No transaction could be synthesized from the specification."""
+
+
+class ParseError(ReproError):
+    """The surface syntax could not be parsed."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.line = line
+        self.column = column
+        where = f" at {line}:{column}" if line else ""
+        super().__init__(f"{message}{where}")
+
+
+class SchemaError(ReproError):
+    """A relation schema is malformed or inconsistent with its use."""

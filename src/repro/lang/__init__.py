@@ -1,0 +1,15 @@
+"""Surface syntax: lexer and parser for the transaction logic."""
+
+from repro.lang.lexer import Token, TokenKind, tokenize
+from repro.lang.parser import (
+    ParsedProgram,
+    Parser,
+    parse,
+    parse_formula,
+    parse_transaction,
+)
+
+__all__ = [
+    "tokenize", "Token", "TokenKind",
+    "Parser", "ParsedProgram", "parse", "parse_formula", "parse_transaction",
+]

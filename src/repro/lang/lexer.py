@@ -1,0 +1,132 @@
+"""Tokenizer for the surface syntax of the transaction logic.
+
+Identifiers may contain interior dashes (the paper's ``e-name``,
+``m-status``): a ``-`` directly followed by a letter continues the
+identifier, so subtraction must be written with whitespace (``x - y``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import ParseError
+
+
+class TokenKind(Enum):
+    NAME = "name"
+    INT = "int"
+    STRING = "string"
+    SYMBOL = "symbol"
+    KEYWORD = "keyword"
+    EOF = "eof"
+
+
+KEYWORDS = {
+    "relation", "constraint", "transaction", "query",
+    "forall", "exists", "not", "and", "or", "true", "false",
+    "in", "subset", "holds", "at", "after",
+    "if", "then", "else", "end", "foreach", "do", "skip",
+    "insert", "into", "delete", "from", "set", "assign", "row", "ite",
+    "sum", "size", "max", "min", "sel", "id",
+    "union", "intersect", "diff",
+    "state", "trans", "atom", "window", "full", "uncheckable", "assume",
+}
+
+# multi-character symbols first (longest match)
+SYMBOLS = [
+    ";;", "::", ":=", "<->", "->", "<=", ">=", "!=",
+    "(", ")", "{", "}", "[", "]", ",", ".", ":", ";", "|",
+    "=", "<", ">", "+", "-", "*", "/",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.kind.value}({self.text!r})@{self.line}:{self.column}"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize ``source``; raises :class:`ParseError` on illegal input."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def advance(count: int) -> None:
+        nonlocal i, line, col
+        for _ in range(count):
+            if i < n and source[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        ch = source[i]
+        if ch in " \t\r\n":
+            advance(1)
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                advance(1)
+            continue
+        if ch.isdigit():
+            start, start_col = i, col
+            while i < n and source[i].isdigit():
+                advance(1)
+            tokens.append(Token(TokenKind.INT, source[start:i], line, start_col))
+            continue
+        if ch == '"' or ch == "'":
+            quote = ch
+            start_col = col
+            advance(1)
+            start = i
+            while i < n and source[i] != quote:
+                if source[i] == "\n":
+                    raise ParseError("unterminated string", line, start_col)
+                advance(1)
+            if i >= n:
+                raise ParseError("unterminated string", line, start_col)
+            text = source[start:i]
+            advance(1)
+            tokens.append(Token(TokenKind.STRING, text, line, start_col))
+            continue
+        if ch.isalpha() or ch == "_":
+            start, start_col = i, col
+            while i < n:
+                c = source[i]
+                if c.isalnum() or c == "_":
+                    advance(1)
+                    continue
+                if (
+                    c == "-"
+                    and i + 1 < n
+                    and (source[i + 1].isalpha() or source[i + 1] == "_")
+                ):
+                    advance(1)
+                    continue
+                break
+            text = source[start:i]
+            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.NAME
+            tokens.append(Token(kind, text, line, start_col))
+            continue
+        matched = False
+        for symbol in SYMBOLS:
+            if source.startswith(symbol, i):
+                tokens.append(Token(TokenKind.SYMBOL, symbol, line, col))
+                advance(len(symbol))
+                matched = True
+                break
+        if not matched:
+            raise ParseError(f"illegal character {ch!r}", line, col)
+    tokens.append(Token(TokenKind.EOF, "", line, col))
+    return tokens

@@ -1,0 +1,707 @@
+"""Recursive-descent parser for the surface syntax.
+
+A source file declares relations, constraints, transactions, and queries::
+
+    relation EMP(e-name, e-dept, salary, age, m-status);
+
+    constraint skill-retention [window 2, assume "no rehire"] :=
+      forall s: state, t: trans, e: EMP, k: SKILL.
+        holds(s, e in EMP) and holds(after(s, t), e in EMP)
+          and holds(s, k in SKILL) and at(s, s-emp(k)) = at(s, e-name(e))
+        -> holds(after(s, t), k in SKILL);
+
+    transaction hire(name, dept, sal, age, status) :=
+      insert row(name, dept, sal, age, status) into EMP;
+
+Binder sorts: ``state`` (situational state variable), ``trans`` (transition
+variable), ``atom`` (default for parameters), or a relation name (fluent
+tuple variable of that relation's arity — enabling attribute resolution).
+
+Grammar sketch (see the test suite for worked programs)::
+
+    formula  := implies ('<->' implies)*
+    implies  := or ('->' implies)?
+    or       := and ('or' and)*
+    and      := unary ('and' unary)*
+    unary    := 'not' unary | ('forall'|'exists') binders '.' formula | atom
+    atom     := 'true' | 'false' | '(' formula ')'
+              | 'holds' '(' sterm ',' formula ')'
+              | expr (('='|'!='|'<'|'<='|'>'|'>=') expr | 'in' expr | 'subset' expr)
+    fluent   := step (';;' step)*
+    step     := 'skip' | 'insert' expr 'into' REL | 'delete' expr 'from' REL
+              | 'set' VAR '.' ATTR ':=' expr | 'assign' REL ':=' expr
+              | 'if' formula 'then' fluent ['else' fluent] 'end'
+              | 'foreach' binder '|' formula 'do' fluent 'end'
+              | VAR | '(' fluent ')'
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ParseError
+from repro.constraints.model import Constraint, Window
+from repro.db.schema import RelationSchema, Schema
+from repro.logic import builder as b
+from repro.logic.formulas import Eq, Formula, Not
+from repro.logic.sorts import STATE
+from repro.logic.terms import Expr, Layer, RelConst, RelIdConst, Var
+from repro.lang.lexer import Token, TokenKind, tokenize
+from repro.transactions.program import DatabaseProgram, query, transaction
+
+
+@dataclass
+class ParsedProgram:
+    """Everything a source file declares."""
+
+    schema: Schema = field(default_factory=Schema)
+    constraints: list[Constraint] = field(default_factory=list)
+    transactions: dict[str, DatabaseProgram] = field(default_factory=dict)
+    queries: dict[str, DatabaseProgram] = field(default_factory=dict)
+
+    def constraint(self, name: str) -> Constraint:
+        for c in self.constraints:
+            if c.name == name:
+                return c
+        raise KeyError(name)
+
+
+@dataclass
+class _Binding:
+    var: Var
+    relation: Optional[str]  # for attribute resolution on tuple variables
+
+
+class Parser:
+    """One-pass parser with schema-driven name resolution."""
+
+    def __init__(self, source: str, schema: Optional[Schema] = None) -> None:
+        self.tokens = tokenize(source)
+        self.pos = 0
+        self.program = ParsedProgram(schema=schema or Schema())
+        # relations created by `assign` inside transaction bodies
+        self.local_relations: dict[str, int] = {}
+        self.scope: list[dict[str, _Binding]] = [{}]
+
+    # ------------------------------------------------------------------
+    # token plumbing
+    # ------------------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def next(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind is not TokenKind.EOF:
+            self.pos += 1
+        return token
+
+    def at(self, text: str) -> bool:
+        token = self.peek()
+        return token.text == text and token.kind in (
+            TokenKind.SYMBOL,
+            TokenKind.KEYWORD,
+        )
+
+    def accept(self, text: str) -> bool:
+        if self.at(text):
+            self.next()
+            return True
+        return False
+
+    def expect(self, text: str) -> Token:
+        token = self.peek()
+        if not self.at(text):
+            raise ParseError(
+                f"expected {text!r}, found {token.text!r}", token.line, token.column
+            )
+        return self.next()
+
+    def expect_name(self) -> Token:
+        token = self.peek()
+        if token.kind is not TokenKind.NAME:
+            raise ParseError(
+                f"expected a name, found {token.text!r}", token.line, token.column
+            )
+        return self.next()
+
+    def error(self, message: str) -> ParseError:
+        token = self.peek()
+        return ParseError(message, token.line, token.column)
+
+    # ------------------------------------------------------------------
+    # scope
+    # ------------------------------------------------------------------
+
+    def lookup(self, name: str) -> Optional[_Binding]:
+        for frame in reversed(self.scope):
+            if name in frame:
+                return frame[name]
+        return None
+
+    def bind(self, binding: _Binding) -> None:
+        self.scope[-1][binding.var.name] = binding
+
+    def push_scope(self) -> None:
+        self.scope.append({})
+
+    def pop_scope(self) -> None:
+        self.scope.pop()
+
+    # ------------------------------------------------------------------
+    # declarations
+    # ------------------------------------------------------------------
+
+    def parse_program(self) -> ParsedProgram:
+        while self.peek().kind is not TokenKind.EOF:
+            if self.accept("relation"):
+                self._relation_decl()
+            elif self.accept("constraint"):
+                self._constraint_decl()
+            elif self.accept("transaction"):
+                self._program_decl(is_transaction=True)
+            elif self.accept("query"):
+                self._program_decl(is_transaction=False)
+            else:
+                raise self.error(
+                    "expected 'relation', 'constraint', 'transaction' or 'query'"
+                )
+        return self.program
+
+    def _relation_decl(self) -> None:
+        name = self.expect_name().text
+        self.expect("(")
+        attrs = [self.expect_name().text]
+        while self.accept(","):
+            attrs.append(self.expect_name().text)
+        self.expect(")")
+        self.expect(";")
+        self.program.schema.add_relation(name, attrs)
+
+    def _constraint_meta(self) -> tuple[Optional[int | Window], str]:
+        window: Optional[int | Window] = None
+        assumption = ""
+        if self.accept("["):
+            while True:
+                if self.accept("window"):
+                    token = self.next()
+                    if token.text == "full":
+                        window = Window.FULL_HISTORY
+                    elif token.text == "uncheckable":
+                        window = Window.UNCHECKABLE
+                    elif token.kind is TokenKind.INT:
+                        window = int(token.text)
+                    else:
+                        raise self.error("window takes an integer, 'full' or 'uncheckable'")
+                elif self.accept("assume"):
+                    token = self.next()
+                    if token.kind is not TokenKind.STRING:
+                        raise self.error("assume takes a string")
+                    assumption = token.text
+                else:
+                    raise self.error("expected 'window' or 'assume'")
+                if not self.accept(","):
+                    break
+            self.expect("]")
+        return window, assumption
+
+    def _constraint_decl(self) -> None:
+        name = self.expect_name().text
+        window, assumption = self._constraint_meta()
+        self.expect(":=")
+        formula = self.parse_formula()
+        self.expect(";")
+        self.program.constraints.append(
+            Constraint(
+                name,
+                formula,
+                declared_window=window,
+                assumption=assumption,
+                source="surface",
+            )
+        )
+
+    def _program_decl(self, is_transaction: bool) -> None:
+        name = self.expect_name().text
+        self.expect("(")
+        params: list[Var] = []
+        self.push_scope()
+        if not self.at(")"):
+            while True:
+                pname = self.expect_name().text
+                relation = None
+                if self.accept(":"):
+                    var, relation = self._sorted_var(pname)
+                else:
+                    var = b.atom_var(pname)
+                params.append(var)
+                self.bind(_Binding(var, relation))
+                if not self.accept(","):
+                    break
+        self.expect(")")
+        self.expect(":=")
+        if is_transaction:
+            body = self.parse_fluent()
+            self.expect(";")
+            self.pop_scope()
+            self.program.transactions[name] = transaction(name, params, body)
+        else:
+            body = self.parse_expr()
+            self.expect(";")
+            self.pop_scope()
+            self.program.queries[name] = query(name, params, body)
+
+    def _sorted_var(self, name: str) -> tuple[Var, Optional[str]]:
+        token = self.next()
+        sort_name = token.text
+        if sort_name == "state":
+            return Var(name, STATE, Layer.SITUATIONAL), None
+        if sort_name == "trans":
+            return b.trans_var(name), None
+        if sort_name == "atom":
+            return b.atom_var(name), None
+        arity = self._relation_arity(sort_name)
+        if arity is None:
+            raise ParseError(
+                f"unknown sort {sort_name!r} (expected state/trans/atom or a "
+                f"relation name)",
+                token.line,
+                token.column,
+            )
+        return b.ftup_var(name, arity), sort_name
+
+    def _relation_arity(self, name: str) -> Optional[int]:
+        if name in self.program.schema:
+            return self.program.schema.relation(name).arity
+        if name in self.local_relations:
+            return self.local_relations[name]
+        return None
+
+    # ------------------------------------------------------------------
+    # formulas
+    # ------------------------------------------------------------------
+
+    def parse_formula(self) -> Formula:
+        return self._iff()
+
+    def _iff(self) -> Formula:
+        left = self._implies()
+        while self.accept("<->"):
+            left = b.iff(left, self._implies())
+        return left
+
+    def _implies(self) -> Formula:
+        left = self._or()
+        if self.accept("->"):
+            return b.implies(left, self._implies())
+        return left
+
+    def _or(self) -> Formula:
+        left = self._and()
+        while self.accept("or"):
+            left = b.lor(left, self._and())
+        return left
+
+    def _and(self) -> Formula:
+        left = self._unary_formula()
+        while self.accept("and"):
+            left = b.land(left, self._unary_formula())
+        return left
+
+    def _unary_formula(self) -> Formula:
+        if self.accept("not"):
+            return Not(self._unary_formula())
+        if self.at("forall") or self.at("exists"):
+            universal = self.next().text == "forall"
+            self.push_scope()
+            variables = [self._binder()]
+            while self.accept(","):
+                variables.append(self._binder())
+            self.expect(".")
+            body = self.parse_formula()
+            self.pop_scope()
+            return b.forall(variables, body) if universal else b.exists(variables, body)
+        return self._atom_formula()
+
+    def _binder(self) -> Var:
+        name = self.expect_name().text
+        self.expect(":")
+        var, relation = self._sorted_var(name)
+        self.bind(_Binding(var, relation))
+        return var
+
+    def _atom_formula(self) -> Formula:
+        if self.accept("true"):
+            return b.true()
+        if self.accept("false"):
+            return b.false()
+        if self.accept("holds"):
+            self.expect("(")
+            state = self.parse_expr()
+            self.expect(",")
+            inner = self.parse_formula()
+            self.expect(")")
+            return b.holds(state, inner)
+        if self.at("(") and self._looks_like_formula_paren():
+            self.expect("(")
+            inner = self.parse_formula()
+            self.expect(")")
+            return inner
+        left = self.parse_expr()
+        if self.accept("in"):
+            return b.member(self._coerce_tuple(left), self.parse_expr())
+        if self.accept("subset"):
+            return b.subset(left, self.parse_expr())
+        for op, builder in (
+            ("=", b.eq), ("!=", b.neq), ("<=", b.le), (">=", b.ge),
+            ("<", b.lt), (">", b.gt),
+        ):
+            if self.accept(op):
+                return builder(left, self.parse_expr())
+        raise self.error("expected a comparison, 'in', or 'subset'")
+
+    def _coerce_tuple(self, expr: Expr) -> Expr:
+        """``x in R`` with atom-sorted x means the 1-tuple row(x)."""
+        if expr.sort.is_atom:
+            return b.mktuple(expr)
+        return expr
+
+    def _looks_like_formula_paren(self) -> bool:
+        """Disambiguate ``( formula )`` from a parenthesized expression by
+        scanning for a top-level connective before the matching paren."""
+        depth = 0
+        i = self.pos
+        while i < len(self.tokens):
+            token = self.tokens[i]
+            if token.text == "(":
+                depth += 1
+            elif token.text == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            elif depth == 1 and token.text in (
+                "and", "or", "->", "<->", "not", "forall", "exists", "in",
+                "subset", "=", "!=", "<", "<=", ">", ">=", "holds", "true",
+                "false",
+            ):
+                return True
+            i += 1
+        return False
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+
+    def parse_expr(self) -> Expr:
+        left = self._term()
+        while self.at("+") or self.at("-"):
+            op = self.next().text
+            right = self._term()
+            left = b.plus(left, right) if op == "+" else b.minus(left, right)
+        return left
+
+    def _term(self) -> Expr:
+        left = self._factor()
+        while self.at("*") or self.at("/"):
+            op = self.next().text
+            right = self._factor()
+            if op == "*":
+                left = b.times(left, right)
+            else:
+                from repro.logic import symbols as sym
+                from repro.logic.terms import App
+
+                left = App(sym.DIV, (left, right))
+        return left
+
+    def _factor(self) -> Expr:
+        token = self.peek()
+        if token.kind is TokenKind.INT:
+            self.next()
+            return b.atom(int(token.text))
+        if token.kind is TokenKind.STRING:
+            self.next()
+            return b.atom(token.text)
+        if self.accept("{"):
+            return self._set_former()
+        if self.accept("row"):
+            self.expect("(")
+            values = [self.parse_expr()]
+            while self.accept(","):
+                values.append(self.parse_expr())
+            self.expect(")")
+            return b.mktuple(*values)
+        if self.accept("sel"):
+            self.expect("(")
+            tup = self.parse_expr()
+            self.expect(",")
+            index = self.peek()
+            if index.kind is not TokenKind.INT:
+                raise self.error("sel takes a literal index")
+            self.next()
+            self.expect(")")
+            return b.select(tup, int(index.text))
+        if self.accept("id"):
+            self.expect("(")
+            tup = self.parse_expr()
+            self.expect(")")
+            return b.tuple_id(tup)
+        if self.accept("ite"):
+            self.expect("(")
+            cond = self.parse_formula()
+            self.expect(",")
+            then_branch = self.parse_expr()
+            self.expect(",")
+            else_branch = self.parse_expr()
+            self.expect(")")
+            return b.ite(cond, then_branch, else_branch)
+        for agg, builder in (
+            ("sum", b.sum_of), ("size", b.size_of), ("max", b.max_of), ("min", b.min_of),
+        ):
+            if self.accept(agg):
+                self.expect("(")
+                inner = self.parse_expr()
+                self.expect(")")
+                return builder(inner)
+        for setop, builder in (
+            ("union", b.union), ("intersect", b.intersect), ("diff", b.diff),
+        ):
+            if self.accept(setop):
+                self.expect("(")
+                lhs = self.parse_expr()
+                self.expect(",")
+                rhs = self.parse_expr()
+                self.expect(")")
+                return builder(lhs, rhs)
+        if self.accept("at"):
+            self.expect("(")
+            state = self.parse_expr()
+            self.expect(",")
+            inner = self.parse_expr()
+            self.expect(")")
+            return b.at(state, inner)
+        if self.accept("after"):
+            self.expect("(")
+            state = self.parse_expr()
+            self.expect(",")
+            inner = self.parse_fluent()
+            self.expect(")")
+            return b.after(state, inner)
+        if self.accept("("):
+            inner = self.parse_expr()
+            self.expect(")")
+            return inner
+        if token.kind is TokenKind.NAME:
+            return self._name_expr()
+        raise self.error(f"unexpected token {token.text!r} in expression")
+
+    def _set_former(self) -> Expr:
+        """``{ expr | binders . formula }`` (the opening brace is consumed)."""
+        self.push_scope()
+        # binders are needed to resolve names in the result expression, but
+        # appear after it; scan ahead: save position, parse binders first.
+        result_start = self.pos
+        depth = 0
+        while True:
+            token = self.peek()
+            if token.kind is TokenKind.EOF:
+                raise self.error("unterminated set former")
+            if token.text in ("(", "{"):
+                depth += 1
+            elif token.text in (")", "}"):
+                if depth == 0:
+                    raise self.error("set former needs a '|' separator")
+                depth -= 1
+            elif token.text == "|" and depth == 0:
+                break
+            self.next()
+        self.next()  # consume '|'
+        bound = [self._binder()]
+        while self.accept(","):
+            bound.append(self._binder())
+        self.expect(".")
+        cond_start = self.pos
+        cond = self.parse_formula()
+        self.expect("}")
+        end = self.pos
+        # re-parse the result expression now that binders are in scope
+        self.pos = result_start
+        result = self.parse_expr()
+        if not self.at("|"):
+            raise self.error("malformed set former result expression")
+        self.pos = end
+        self.pop_scope()
+        return b.setformer(result, bound, cond)
+
+    def _name_expr(self) -> Expr:
+        token = self.expect_name()
+        name = token.text
+        if self.at("("):
+            return self._attribute_app(token)
+        binding = self.lookup(name)
+        if binding is not None:
+            return binding.var
+        arity = self._relation_arity(name)
+        if arity is not None:
+            return RelConst(name, arity)
+        raise ParseError(
+            f"unknown name {name!r} (not a variable or relation)",
+            token.line,
+            token.column,
+        )
+
+    def _attribute_app(self, token: Token) -> Expr:
+        """``attr(e)``: resolve via the bound variable's relation, else by
+        the unique relation carrying the attribute."""
+        name = token.text
+        self.expect("(")
+        arg = self.parse_expr()
+        self.expect(")")
+        if not arg.sort.is_tuple:
+            raise ParseError(
+                f"{name}(...) needs a tuple-sorted argument", token.line, token.column
+            )
+        relation = self._relation_of(arg)
+        candidates = []
+        for rs in self.program.schema.relations.values():
+            if name in rs.attributes and rs.arity == arg.sort.arity:
+                if relation is None or rs.name == relation:
+                    candidates.append(rs)
+        if len(candidates) != 1:
+            raise ParseError(
+                f"attribute {name!r} is not uniquely resolvable "
+                f"({len(candidates)} candidates)",
+                token.line,
+                token.column,
+            )
+        rs = candidates[0]
+        return rs.attr(name, arg)
+
+    def _relation_of(self, expr: Expr) -> Optional[str]:
+        if isinstance(expr, Var):
+            binding = self.lookup(expr.name)
+            if binding is not None:
+                return binding.relation
+        return None
+
+    # ------------------------------------------------------------------
+    # fluents (transaction bodies)
+    # ------------------------------------------------------------------
+
+    def parse_fluent(self) -> Expr:
+        steps = [self._fluent_step()]
+        while self.accept(";;"):
+            steps.append(self._fluent_step())
+        from repro.logic.fluents import seq
+
+        return seq(*steps)
+
+    def _fluent_step(self) -> Expr:
+        if self.accept("skip"):
+            return b.identity()
+        if self.accept("insert"):
+            value = self.parse_expr()
+            self.expect("into")
+            rel = self._relation_target(value.sort.arity if value.sort.is_tuple else 1)
+            return b.insert(self._coerce_tuple(value), rel)
+        if self.accept("delete"):
+            value = self.parse_expr()
+            self.expect("from")
+            rel = self._relation_target(value.sort.arity if value.sort.is_tuple else 1)
+            return b.delete(self._coerce_tuple(value), rel)
+        if self.accept("set"):
+            var_token = self.expect_name()
+            binding = self.lookup(var_token.text)
+            if binding is None or not binding.var.sort.is_tuple:
+                raise ParseError(
+                    f"set needs a bound tuple variable, got {var_token.text!r}",
+                    var_token.line,
+                    var_token.column,
+                )
+            self.expect(".")
+            attr_token = self.expect_name()
+            if binding.relation is None:
+                raise ParseError(
+                    f"variable {var_token.text} has no relation for attribute "
+                    f"resolution",
+                    attr_token.line,
+                    attr_token.column,
+                )
+            rs = self.program.schema.relation(binding.relation)
+            index = rs.attr_index(attr_token.text)
+            self.expect(":=")
+            value = self.parse_expr()
+            return b.modify(binding.var, index, value)
+        if self.accept("assign"):
+            name = self.expect_name().text
+            self.expect(":=")
+            value = self.parse_expr()
+            if not value.sort.is_set:
+                raise self.error("assign needs a set-valued expression")
+            self.local_relations[name] = value.sort.arity
+            return b.assign(RelIdConst(name, value.sort.arity), value)
+        if self.accept("if"):
+            cond = self.parse_formula()
+            self.expect("then")
+            then_branch = self.parse_fluent()
+            else_branch = None
+            if self.accept("else"):
+                else_branch = self.parse_fluent()
+            self.expect("end")
+            return b.ifthen(cond, then_branch, else_branch)
+        if self.accept("foreach"):
+            self.push_scope()
+            var = self._binder()
+            self.expect("|")
+            cond = self.parse_formula()
+            self.expect("do")
+            body = self.parse_fluent()
+            self.expect("end")
+            self.pop_scope()
+            return b.foreach(var, cond, body)
+        if self.accept("("):
+            inner = self.parse_fluent()
+            self.expect(")")
+            return inner
+        token = self.expect_name()
+        binding = self.lookup(token.text)
+        if binding is not None and binding.var.is_transition_var:
+            return binding.var
+        raise ParseError(
+            f"expected a transaction step, found {token.text!r}",
+            token.line,
+            token.column,
+        )
+
+    def _relation_target(self, arity_hint: int) -> RelIdConst:
+        token = self.expect_name()
+        arity = self._relation_arity(token.text)
+        if arity is None:
+            raise ParseError(
+                f"unknown relation {token.text!r}", token.line, token.column
+            )
+        return RelIdConst(token.text, arity)
+
+
+def parse(source: str, schema: Optional[Schema] = None) -> ParsedProgram:
+    """Parse a full source file."""
+    return Parser(source, schema).parse_program()
+
+
+def parse_formula(source: str, schema: Schema) -> Formula:
+    """Parse a single formula against an existing schema."""
+    parser = Parser(source, schema)
+    formula = parser.parse_formula()
+    token = parser.peek()
+    if token.kind is not TokenKind.EOF:
+        raise ParseError(f"trailing input {token.text!r}", token.line, token.column)
+    return formula
+
+
+def parse_transaction(source: str, schema: Schema) -> DatabaseProgram:
+    """Parse a single ``transaction ... ;`` declaration."""
+    program = parse(source, schema)
+    if len(program.transactions) != 1:
+        raise ParseError("expected exactly one transaction declaration")
+    return next(iter(program.transactions.values()))

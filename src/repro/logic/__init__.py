@@ -1,0 +1,70 @@
+"""The many-sorted situational transaction logic (paper, Section 2).
+
+Public surface:
+
+* :mod:`repro.logic.sorts` — the five sort families;
+* :mod:`repro.logic.symbols` — builtin function/predicate symbols;
+* :mod:`repro.logic.terms` / :mod:`repro.logic.formulas` /
+  :mod:`repro.logic.fluents` — the two-layer AST;
+* :mod:`repro.logic.substitution` / :mod:`repro.logic.unify` — machinery;
+* :mod:`repro.logic.builder` — the construction DSL;
+* :mod:`repro.logic.pretty` — paper-style rendering.
+"""
+
+from repro.logic.fluents import CondExpr, CondFluent, Foreach, Identity, Seq, SetFormer
+from repro.logic.formulas import (
+    And,
+    Eq,
+    EvalBool,
+    Exists,
+    FalseF,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Pred,
+    SPred,
+    TrueF,
+)
+from repro.logic.sorts import (
+    ATOM,
+    BOOL,
+    STATE,
+    Sort,
+    SortKind,
+    set_id_sort,
+    set_sort,
+    tuple_id_sort,
+    tuple_sort,
+)
+from repro.logic.substitution import Substitution, fresh_var, substitute
+from repro.logic.terms import (
+    App,
+    AtomConst,
+    ConstExpr,
+    EvalObj,
+    EvalState,
+    Expr,
+    Layer,
+    Node,
+    RelConst,
+    RelIdConst,
+    SApp,
+    Var,
+    is_pure_fluent,
+)
+from repro.logic.unify import alpha_equal, match, unify
+
+__all__ = [
+    "ATOM", "BOOL", "STATE", "Sort", "SortKind",
+    "set_id_sort", "set_sort", "tuple_id_sort", "tuple_sort",
+    "Node", "Expr", "Formula", "Layer", "Var", "AtomConst", "ConstExpr",
+    "RelConst", "RelIdConst", "App", "SApp", "EvalObj", "EvalState",
+    "Identity", "Seq", "CondFluent", "CondExpr", "Foreach", "SetFormer",
+    "TrueF", "FalseF", "Pred", "SPred", "EvalBool", "Eq", "Not", "And", "Or",
+    "Implies", "Iff", "Forall", "Exists",
+    "Substitution", "substitute", "fresh_var",
+    "unify", "match", "alpha_equal", "is_pure_fluent",
+]

@@ -1,0 +1,359 @@
+"""Convenience constructors for building expressions and formulas.
+
+The AST constructors are verbose by design (sorts and layers are explicit);
+this module provides the short forms used throughout the domain definitions,
+tests, and examples:
+
+>>> from repro.logic import builder as b
+>>> s = b.state_var("s")
+>>> e = b.ftup_var("e", 5)
+>>> b.holds(s, b.member(e, b.rel("EMP", 5)))    # s::(e in EMP)
+"""
+
+from __future__ import annotations
+
+from repro.logic import symbols as sym
+from repro.logic.formulas import (
+    And,
+    Eq,
+    EvalBool,
+    Exists,
+    FalseF,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Pred,
+    SPred,
+    TrueF,
+    conj,
+    disj,
+    exists,
+    forall,
+)
+from repro.logic.fluents import (
+    CondExpr,
+    CondFluent,
+    Foreach,
+    Identity,
+    Seq,
+    SetFormer,
+    seq,
+)
+from repro.logic.sorts import (
+    ATOM,
+    STATE,
+    Sort,
+    set_sort,
+    tuple_sort,
+)
+from repro.logic.terms import (
+    App,
+    AtomConst,
+    ConstExpr,
+    EvalObj,
+    EvalState,
+    Expr,
+    Layer,
+    RelConst,
+    RelIdConst,
+    SApp,
+    Var,
+)
+
+__all__ = [
+    "state_var", "trans_var", "ftup_var", "stup_var", "atom_var", "fset_var",
+    "atom", "state_const", "rel", "rel_id",
+    "at", "after", "holds",
+    "member", "subset", "lt", "le", "gt", "ge", "eq", "neq",
+    "plus", "minus", "times", "sum_of", "size_of", "max_of", "min_of",
+    "select", "mktuple", "attr", "union", "intersect", "diff",
+    "insert", "delete", "modify", "assign", "tuple_id",
+    "land", "lor", "lnot", "implies", "iff", "true", "false",
+    "forall", "exists", "conj", "disj",
+    "seq", "ifthen", "foreach", "setformer", "ite", "identity",
+    "sapp", "spred",
+]
+
+
+# -- variables ---------------------------------------------------------------
+
+
+def state_var(name: str) -> Var:
+    """A situational state variable (the paper's ``∀state' s``)."""
+    return Var(name, STATE, Layer.SITUATIONAL)
+
+
+def trans_var(name: str) -> Var:
+    """A transition variable: a fluent variable of state sort (the ``t`` in
+    ``s;t``)."""
+    return Var(name, STATE, Layer.FLUENT)
+
+
+def ftup_var(name: str, arity: int) -> Var:
+    """A fluent tuple variable (denotes a tuple once evaluated at a state)."""
+    return Var(name, tuple_sort(arity), Layer.FLUENT)
+
+
+def stup_var(name: str, arity: int) -> Var:
+    """A situational (primed) tuple variable — denotes a particular tuple."""
+    return Var(name, tuple_sort(arity), Layer.SITUATIONAL)
+
+
+def atom_var(name: str, layer: Layer = Layer.EITHER) -> Var:
+    """An atom variable.  Atoms are rigid designators, so atom variables
+    default to the layer-neutral EITHER and embed in both fluent and
+    situational contexts (the ``v`` of the modify axioms appears in both)."""
+    return Var(name, ATOM, layer)
+
+
+def fset_var(name: str, arity: int) -> Var:
+    return Var(name, set_sort(arity), Layer.FLUENT)
+
+
+# -- constants ---------------------------------------------------------------
+
+
+def atom(value: int | str) -> AtomConst:
+    return AtomConst(value)
+
+
+def state_const(name: str) -> ConstExpr:
+    """A named state constant (``s0`` in the paper's examples)."""
+    return ConstExpr(name, STATE)
+
+
+def rel(name: str, arity: int) -> RelConst:
+    """A relation f-constant: its value at ``w`` is the relation's tuples."""
+    return RelConst(name, arity)
+
+
+def rel_id(name: str, arity: int) -> RelIdConst:
+    """The relation *identifier*, for state-changing fluents."""
+    return RelIdConst(name, arity)
+
+
+# -- situational functions -----------------------------------------------------
+
+
+def at(state: Expr, expr: Expr) -> EvalObj:
+    """``w:e`` — the object value of fluent ``e`` at state ``w``."""
+    return EvalObj(state, expr)
+
+
+def after(state: Expr, trans: Expr) -> EvalState:
+    """``w;e`` — the state after evaluating transaction ``e`` at ``w``."""
+    return EvalState(state, trans)
+
+
+def holds(state: Expr, formula: Formula) -> EvalBool:
+    """``w::p`` — the truth value of f-formula ``p`` at state ``w``."""
+    return EvalBool(state, formula)
+
+
+def sapp(symbol: sym.FunctionSymbol, state: Expr, *args: Expr) -> SApp:
+    """Primed application ``f'(w, ...)``."""
+    return SApp(symbol, state, tuple(args))
+
+
+def spred(symbol: sym.PredicateSymbol, state: Expr, *args: Expr) -> SPred:
+    """Primed predicate ``P'(w, ...)``."""
+    return SPred(symbol, state, tuple(args))
+
+
+# -- predicates ----------------------------------------------------------------
+
+
+def member(tup: Expr, rel_expr: Expr) -> Pred:
+    """``t in R`` for an n-tuple and n-set."""
+    return Pred(sym.member_sym(tup.sort.arity), (tup, rel_expr))
+
+
+def subset(a: Expr, b: Expr) -> Pred:
+    return Pred(sym.subset_sym(a.sort.arity), (a, b))
+
+
+def lt(a: Expr, b: Expr) -> Pred:
+    return Pred(sym.LT, (a, b))
+
+
+def le(a: Expr, b: Expr) -> Pred:
+    return Pred(sym.LE, (a, b))
+
+
+def gt(a: Expr, b: Expr) -> Pred:
+    return Pred(sym.GT, (a, b))
+
+
+def ge(a: Expr, b: Expr) -> Pred:
+    return Pred(sym.GE, (a, b))
+
+
+def eq(a: Expr, b: Expr) -> Eq:
+    return Eq(a, b)
+
+
+def neq(a: Expr, b: Expr) -> Not:
+    return Not(Eq(a, b))
+
+
+# -- arithmetic ------------------------------------------------------------------
+
+
+def plus(a: Expr, b: Expr) -> App:
+    return App(sym.PLUS, (a, b))
+
+
+def minus(a: Expr, b: Expr) -> App:
+    return App(sym.MINUS, (a, b))
+
+
+def times(a: Expr, b: Expr) -> App:
+    return App(sym.TIMES, (a, b))
+
+
+def sum_of(set_expr: Expr) -> App:
+    """``sum_n(S)``: sum of the first attribute over the tuples of ``S``."""
+    return App(sym.sum_sym(set_expr.sort.arity), (set_expr,))
+
+
+def size_of(set_expr: Expr) -> App:
+    return App(sym.size_sym(set_expr.sort.arity), (set_expr,))
+
+
+def max_of(set_expr: Expr) -> App:
+    return App(sym.max_sym(set_expr.sort.arity), (set_expr,))
+
+
+def min_of(set_expr: Expr) -> App:
+    return App(sym.min_sym(set_expr.sort.arity), (set_expr,))
+
+
+# -- tuples ------------------------------------------------------------------------
+
+
+def select(tup: Expr, index: int) -> App:
+    """``select_n(t, i)`` — 1-based attribute selection."""
+    return App(sym.select_sym(tup.sort.arity), (tup, AtomConst(index)))
+
+
+def mktuple(*values: Expr) -> App:
+    """``tuple_n(v1, ..., vn)`` — construct a fresh n-tuple from atoms."""
+    return App(sym.tuple_sym(len(values)), tuple(values))
+
+
+def attr(name: str, arity: int, index: int, tup: Expr) -> App:
+    """Named attribute selector ``name(t)`` = ``select_n(t, index)``."""
+    return App(sym.attr_sym(name, arity, index), (tup,))
+
+
+def tuple_id(tup: Expr) -> App:
+    """``id(t)`` — the identifier of a tuple."""
+    return App(sym.tuple_id_sym(tup.sort.arity), (tup,))
+
+
+# -- set operations ----------------------------------------------------------------
+
+
+def union(a: Expr, b: Expr) -> App:
+    return App(sym.union_sym(a.sort.arity), (a, b))
+
+
+def intersect(a: Expr, b: Expr) -> App:
+    return App(sym.intersect_sym(a.sort.arity), (a, b))
+
+
+def diff(a: Expr, b: Expr) -> App:
+    return App(sym.diff_sym(a.sort.arity), (a, b))
+
+
+# -- state-changing fluents ----------------------------------------------------------
+
+
+def insert(tup: Expr, relation: RelIdConst | str, arity: int | None = None) -> App:
+    """``insert_n(t, R)``."""
+    rid = _coerce_rel_id(relation, arity or tup.sort.arity)
+    return App(sym.insert_sym(rid.arity), (tup, rid))
+
+
+def delete(tup: Expr, relation: RelIdConst | str, arity: int | None = None) -> App:
+    """``delete_n(t, R)``."""
+    rid = _coerce_rel_id(relation, arity or tup.sort.arity)
+    return App(sym.delete_sym(rid.arity), (tup, rid))
+
+
+def modify(tup: Expr, index: int | Expr, value: Expr) -> App:
+    """``modify_n(t, i, v)`` — set the i-th attribute of ``t`` to ``v``."""
+    idx = AtomConst(index) if isinstance(index, int) else index
+    return App(sym.modify_sym(tup.sort.arity), (tup, idx, value))
+
+
+def assign(relation: RelIdConst | str, value: Expr) -> App:
+    """``assign(R, S)`` — (re)create relation ``R`` with the tuples of ``S``."""
+    rid = _coerce_rel_id(relation, value.sort.arity)
+    return App(sym.assign_sym(rid.arity), (rid, value))
+
+
+def _coerce_rel_id(relation: RelIdConst | str, arity: int) -> RelIdConst:
+    if isinstance(relation, RelIdConst):
+        return relation
+    return RelIdConst(relation, arity)
+
+
+# -- connectives (aliases; the formula module has the n-ary smart forms) -------------
+
+
+def land(*formulas: Formula) -> Formula:
+    return conj(*formulas)
+
+
+def lor(*formulas: Formula) -> Formula:
+    return disj(*formulas)
+
+
+def lnot(formula: Formula) -> Not:
+    return Not(formula)
+
+
+def implies(antecedent: Formula, consequent: Formula) -> Implies:
+    return Implies(antecedent, consequent)
+
+
+def iff(a: Formula, b: Formula) -> Iff:
+    return Iff(a, b)
+
+
+def true() -> TrueF:
+    return TrueF()
+
+
+def false() -> FalseF:
+    return FalseF()
+
+
+# -- fluent combinators ----------------------------------------------------------------
+
+
+def ifthen(cond: Formula, then_branch: Expr, else_branch: Expr | None = None) -> CondFluent:
+    """``if p then s else t``; the else branch defaults to ``Λ``."""
+    return CondFluent(cond, then_branch, else_branch or Identity())
+
+
+def foreach(var: Var, cond: Formula, body: Expr) -> Foreach:
+    return Foreach(var, cond, body)
+
+
+def setformer(result: Expr, bound: Var | list[Var] | tuple[Var, ...], cond: Formula) -> SetFormer:
+    if isinstance(bound, Var):
+        bound = (bound,)
+    return SetFormer(result, tuple(bound), cond)
+
+
+def ite(cond: Formula, then_branch: Expr, else_branch: Expr) -> CondExpr:
+    return CondExpr(cond, then_branch, else_branch)
+
+
+def identity() -> Identity:
+    return Identity()

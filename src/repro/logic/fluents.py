@@ -1,0 +1,276 @@
+"""Fluent combinators and set formers (paper, Section 2).
+
+Since f-expressions are mappings from states to objects/truth values/states,
+they compose.  The paper's three fluent functions:
+
+* the **composition fluent** ``s ;; t`` (:class:`Seq`) — evaluate ``s``, then
+  ``t`` in the resulting state; associative with identity ``Λ``
+  (:class:`Identity`);
+* the **condition fluent** ``if p then s else t`` (:class:`CondFluent`);
+* the **iteration fluent** ``foreach x|p do s`` (:class:`Foreach`) — the
+  composition ``s[x1/x] ;; ... ;; s[xn/x]`` over an enumeration of the ``x``
+  satisfying ``p``; undefined when the enumeration is infinite or the result
+  is order-dependent.
+
+Also here: the set former ``{f(y) | p(x, y)}`` (:class:`SetFormer`), which
+exists at both layers (setformer-linkage axiom), and an object-sorted
+conditional (:class:`CondExpr`) used by defined functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SortError
+from repro.logic.formulas import Formula
+from repro.logic.sorts import STATE, Sort, set_sort
+from repro.logic.terms import Expr, Layer, Node, Var, join_layers
+
+
+@dataclass(frozen=True)
+class Identity(Expr):
+    """The identity fluent ``Λ``: the null transaction.
+
+    The identity-fluent axiom: ``Λ ;; s = s ;; Λ = s``.  Its existence makes
+    the database evolution graph reflexive (paper, Section 1).
+    """
+
+    @property
+    def sort(self) -> Sort:
+        return STATE
+
+    @property
+    def layer(self) -> Layer:
+        return Layer.FLUENT
+
+    def children(self) -> tuple[Node, ...]:
+        return ()
+
+    def with_children(self, new_children: tuple[Node, ...]) -> "Identity":
+        assert not new_children
+        return self
+
+
+@dataclass(frozen=True)
+class Seq(Expr):
+    """The composition fluent ``first ;; second`` (both of state sort).
+
+    Associative (composition-associativity axiom); the concatenation of two
+    transactions is a transaction, making the evolution graph transitive.
+    """
+
+    first: Expr
+    second: Expr
+
+    def __post_init__(self) -> None:
+        if not (self.first.sort.is_state and self.second.sort.is_state):
+            raise SortError("composition ;; requires state-sorted fluents")
+        if (
+            self.first.layer is Layer.SITUATIONAL
+            or self.second.layer is Layer.SITUATIONAL
+        ):
+            raise SortError("composition ;; requires fluent operands")
+
+    @property
+    def sort(self) -> Sort:
+        return STATE
+
+    @property
+    def layer(self) -> Layer:
+        return Layer.FLUENT
+
+    def children(self) -> tuple[Node, ...]:
+        return (self.first, self.second)
+
+    def with_children(self, new_children: tuple[Node, ...]) -> "Seq":
+        first, second = new_children
+        return Seq(first, second)  # type: ignore[arg-type]
+
+
+def seq(*fluents: Expr) -> Expr:
+    """Right-associated composition of state fluents, dropping identities."""
+    parts = [f for f in fluents if not isinstance(f, Identity)]
+    if not parts:
+        return Identity()
+    result = parts[-1]
+    for part in reversed(parts[:-1]):
+        result = Seq(part, result)
+    return result
+
+
+def seq_parts(fluent: Expr) -> list[Expr]:
+    """Flatten nested compositions into the list of atomic steps."""
+    if isinstance(fluent, Identity):
+        return []
+    if isinstance(fluent, Seq):
+        return seq_parts(fluent.first) + seq_parts(fluent.second)
+    return [fluent]
+
+
+@dataclass(frozen=True)
+class CondFluent(Expr):
+    """The condition fluent ``if p then s else t``.
+
+    ``p`` is an f-formula evaluated in the *current* state; the chosen branch
+    is then evaluated in that same state (condition-linkage axiom).
+    """
+
+    cond: Formula
+    then_branch: Expr
+    else_branch: Expr
+
+    def __post_init__(self) -> None:
+        if self.cond.layer is Layer.SITUATIONAL:
+            raise SortError("condition fluent guard must be an f-formula")
+        if not (self.then_branch.sort.is_state and self.else_branch.sort.is_state):
+            raise SortError("condition fluent branches must have state sort")
+        if (
+            self.then_branch.layer is Layer.SITUATIONAL
+            or self.else_branch.layer is Layer.SITUATIONAL
+        ):
+            raise SortError("condition fluent branches must be fluent")
+
+    @property
+    def sort(self) -> Sort:
+        return STATE
+
+    @property
+    def layer(self) -> Layer:
+        return Layer.FLUENT
+
+    def children(self) -> tuple[Node, ...]:
+        return (self.cond, self.then_branch, self.else_branch)
+
+    def with_children(self, new_children: tuple[Node, ...]) -> "CondFluent":
+        cond, then_branch, else_branch = new_children
+        return CondFluent(cond, then_branch, else_branch)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class Foreach(Expr):
+    """The iteration fluent ``foreach x|p do s``.
+
+    Equivalent to the composition ``s[x1/x] ;; ... ;; s[xn/x]`` over an
+    arbitrary enumeration ``x1, ..., xn`` of the ``x`` satisfying ``p`` at
+    the evaluation state.  Undefined (evaluation raises) if the set is
+    infinite or the resulting state depends on the enumeration order.
+    """
+
+    var: Var
+    cond: Formula
+    body: Expr
+
+    def __post_init__(self) -> None:
+        if self.var.layer is Layer.SITUATIONAL:
+            raise SortError("foreach binds a fluent variable")
+        if self.var.sort.is_state:
+            raise SortError("foreach ranges over object sorts, not states")
+        if self.cond.layer is Layer.SITUATIONAL:
+            raise SortError("foreach range predicate must be an f-formula")
+        if not self.body.sort.is_state or self.body.layer is Layer.SITUATIONAL:
+            raise SortError("foreach body must be a state-sorted fluent")
+
+    @property
+    def sort(self) -> Sort:
+        return STATE
+
+    @property
+    def layer(self) -> Layer:
+        return Layer.FLUENT
+
+    def children(self) -> tuple[Node, ...]:
+        return (self.cond, self.body)
+
+    def with_children(self, new_children: tuple[Node, ...]) -> "Foreach":
+        cond, body = new_children
+        return Foreach(self.var, cond, body)  # type: ignore[arg-type]
+
+    def bound_vars(self) -> tuple[Var, ...]:
+        return (self.var,)
+
+
+@dataclass(frozen=True)
+class SetFormer(Expr):
+    """The set former ``{result(y) | cond(x, y)}``.
+
+    ``bound`` lists the variables ``y`` enumerated by the former; other free
+    variables of ``cond`` are parameters.  The sort is ``set(n)`` where the
+    result is an n-tuple; an atom-sorted result forms a set of 1-tuples.
+
+    Set formers exist at both layers: the setformer-linkage axiom
+    ``w:{f(y) | p(x,y)} = {f'(w,y) | p'(w,x,y)}`` maps the fluent former to
+    the situational one.
+    """
+
+    result: Expr
+    bound: tuple[Var, ...]
+    cond: Formula
+
+    def __post_init__(self) -> None:
+        if not self.bound:
+            raise SortError("set former must bind at least one variable")
+        for v in self.bound:
+            if v.sort.is_state:
+                raise SortError("set formers range over object sorts")
+        if not (self.result.sort.is_atom or self.result.sort.is_tuple):
+            raise SortError(
+                f"set former result must be an atom or tuple, got {self.result.sort}"
+            )
+        join_layers((self.result.layer, self.cond.layer), "set former")
+
+    @property
+    def element_arity(self) -> int:
+        return self.result.sort.arity if self.result.sort.is_tuple else 1
+
+    @property
+    def sort(self) -> Sort:
+        return set_sort(self.element_arity)
+
+    @property
+    def layer(self) -> Layer:
+        return join_layers((self.result.layer, self.cond.layer), "set former")
+
+    def children(self) -> tuple[Node, ...]:
+        return (self.result, self.cond)
+
+    def with_children(self, new_children: tuple[Node, ...]) -> "SetFormer":
+        result, cond = new_children
+        return SetFormer(result, self.bound, cond)  # type: ignore[arg-type]
+
+    def bound_vars(self) -> tuple[Var, ...]:
+        return self.bound
+
+
+@dataclass(frozen=True)
+class CondExpr(Expr):
+    """Object-sorted conditional ``ite(p, a, b)`` for defined functions."""
+
+    cond: Formula
+    then_branch: Expr
+    else_branch: Expr
+
+    def __post_init__(self) -> None:
+        if self.then_branch.sort != self.else_branch.sort:
+            raise SortError("ite branches must have the same sort")
+        if not self.then_branch.sort.is_object:
+            raise SortError("ite is for object sorts; use CondFluent for states")
+        join_layers(
+            (self.cond.layer, self.then_branch.layer, self.else_branch.layer), "ite"
+        )
+
+    @property
+    def sort(self) -> Sort:
+        return self.then_branch.sort
+
+    @property
+    def layer(self) -> Layer:
+        return join_layers(
+            (self.cond.layer, self.then_branch.layer, self.else_branch.layer), "ite"
+        )
+
+    def children(self) -> tuple[Node, ...]:
+        return (self.cond, self.then_branch, self.else_branch)
+
+    def with_children(self, new_children: tuple[Node, ...]) -> "CondExpr":
+        cond, then_branch, else_branch = new_children
+        return CondExpr(cond, then_branch, else_branch)  # type: ignore[arg-type]

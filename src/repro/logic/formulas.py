@@ -1,0 +1,388 @@
+"""Formula AST of the transaction logic.
+
+Formulas follow the same two-layer discipline as expressions:
+
+* **f-formulas** are fluent — ``work-in-project(e, p)``, the guard of a
+  condition fluent, the range predicate of a ``foreach`` or a set former;
+* **s-formulas** are situational — the paper's axioms and integrity
+  constraints, e.g. ``w::p`` (:class:`EvalBool`), primed predicates
+  ``P'(w, t1, ..., tn)`` (:class:`SPred`), and quantified assertions over
+  states and transitions.
+
+Connectives and quantifiers are shared between the layers; a connective's
+layer is the join of its children's layers (mixing raises
+:class:`~repro.errors.SortError`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SortError
+from repro.logic.symbols import PredicateSymbol
+from repro.logic.terms import Expr, Layer, Node, Var, join_layers
+
+
+class Formula(Node):
+    """Base class of formulas (truth-valued nodes)."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class TrueF(Formula):
+    """The constant true formula."""
+
+    @property
+    def layer(self) -> Layer:
+        return Layer.EITHER
+
+    def children(self) -> tuple[Node, ...]:
+        return ()
+
+    def with_children(self, new_children: tuple[Node, ...]) -> "TrueF":
+        assert not new_children
+        return self
+
+
+@dataclass(frozen=True)
+class FalseF(Formula):
+    """The constant false formula."""
+
+    @property
+    def layer(self) -> Layer:
+        return Layer.EITHER
+
+    def children(self) -> tuple[Node, ...]:
+        return ()
+
+    def with_children(self, new_children: tuple[Node, ...]) -> "FalseF":
+        assert not new_children
+        return self
+
+
+@dataclass(frozen=True)
+class Pred(Formula):
+    """Predicate application: ``member(t, EMP)``, ``x < y``.
+
+    The builtin predicates are rigid (their truth is determined by the
+    argument values alone), so — like rigid function applications — they
+    accept situational arguments; the layer is the join of the arguments'
+    layers.  ``age'(s1, e) < age'(s2, e)`` is the rigid ``<`` over two
+    situational values.
+    """
+
+    symbol: PredicateSymbol
+    args: tuple[Expr, ...]
+
+    def __post_init__(self) -> None:
+        self.symbol.check_args(tuple(a.sort for a in self.args))
+        join_layers((a.layer for a in self.args), self.symbol.name)
+
+    @property
+    def layer(self) -> Layer:
+        return join_layers((a.layer for a in self.args), self.symbol.name)
+
+    def children(self) -> tuple[Node, ...]:
+        return self.args
+
+    def with_children(self, new_children: tuple[Node, ...]) -> "Pred":
+        return Pred(self.symbol, tuple(new_children))  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class SPred(Formula):
+    """Primed (situational) predicate application ``P'(w, t1, ..., tn)``."""
+
+    symbol: PredicateSymbol
+    state: Expr
+    args: tuple[Expr, ...]
+
+    def __post_init__(self) -> None:
+        if not self.state.sort.is_state:
+            raise SortError(f"{self.symbol.primed_name()}: first argument not a state")
+        self.symbol.check_args(tuple(a.sort for a in self.args))
+        for a in self.args:
+            if a.layer is Layer.FLUENT:
+                raise SortError(
+                    f"{self.symbol.primed_name()}: fluent argument in "
+                    f"situational application"
+                )
+
+    @property
+    def layer(self) -> Layer:
+        return Layer.SITUATIONAL
+
+    def children(self) -> tuple[Node, ...]:
+        return (self.state, *self.args)
+
+    def with_children(self, new_children: tuple[Node, ...]) -> "SPred":
+        state, *args = new_children
+        return SPred(self.symbol, state, tuple(args))  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class EvalBool(Formula):
+    """The situational function ``w::p`` — the truth value of f-formula ``p``
+    at state ``w``."""
+
+    state: Expr
+    formula: Formula
+
+    def __post_init__(self) -> None:
+        if not self.state.sort.is_state:
+            raise SortError("w::p — w must have state sort")
+        if self.state.layer is Layer.FLUENT:
+            raise SortError("w::p — w must be situational")
+        if self.formula.layer is Layer.SITUATIONAL:
+            raise SortError("w::p — p must be a fluent formula")
+
+    @property
+    def layer(self) -> Layer:
+        return Layer.SITUATIONAL
+
+    def children(self) -> tuple[Node, ...]:
+        return (self.state, self.formula)
+
+    def with_children(self, new_children: tuple[Node, ...]) -> "EvalBool":
+        state, formula = new_children
+        return EvalBool(state, formula)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class Eq(Formula):
+    """Equality, available at either layer and any matching sort.
+
+    State equality (``s = s;t1;t2`` in the invertibility constraint of
+    Example 4) is the situational instance at sort ``state``.  Equality
+    between two *fluent* state-sorted terms (the δ translation's
+    ``t = t1;;t2``) is an equation between the transitions themselves —
+    rigid, hence layer-neutral.
+    """
+
+    lhs: Expr
+    rhs: Expr
+
+    def __post_init__(self) -> None:
+        if self.lhs.sort != self.rhs.sort:
+            raise SortError(
+                f"equality between different sorts {self.lhs.sort} and "
+                f"{self.rhs.sort}"
+            )
+        join_layers((self.lhs.layer, self.rhs.layer), "equality")
+
+    @property
+    def layer(self) -> Layer:
+        joined = join_layers((self.lhs.layer, self.rhs.layer), "equality")
+        if joined is Layer.FLUENT and self.lhs.sort.is_state:
+            # transition equality: a rigid statement about the fluents
+            return Layer.EITHER
+        return joined
+
+    def children(self) -> tuple[Node, ...]:
+        return (self.lhs, self.rhs)
+
+    def with_children(self, new_children: tuple[Node, ...]) -> "Eq":
+        lhs, rhs = new_children
+        return Eq(lhs, rhs)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    body: Formula
+
+    @property
+    def layer(self) -> Layer:
+        return self.body.layer
+
+    def children(self) -> tuple[Node, ...]:
+        return (self.body,)
+
+    def with_children(self, new_children: tuple[Node, ...]) -> "Not":
+        (body,) = new_children
+        return Not(body)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    conjuncts: tuple[Formula, ...]
+
+    def __post_init__(self) -> None:
+        join_layers((c.layer for c in self.conjuncts), "conjunction")
+
+    @property
+    def layer(self) -> Layer:
+        return join_layers((c.layer for c in self.conjuncts), "conjunction")
+
+    def children(self) -> tuple[Node, ...]:
+        return self.conjuncts
+
+    def with_children(self, new_children: tuple[Node, ...]) -> "And":
+        return And(tuple(new_children))  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    disjuncts: tuple[Formula, ...]
+
+    def __post_init__(self) -> None:
+        join_layers((d.layer for d in self.disjuncts), "disjunction")
+
+    @property
+    def layer(self) -> Layer:
+        return join_layers((d.layer for d in self.disjuncts), "disjunction")
+
+    def children(self) -> tuple[Node, ...]:
+        return self.disjuncts
+
+    def with_children(self, new_children: tuple[Node, ...]) -> "Or":
+        return Or(tuple(new_children))  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class Implies(Formula):
+    antecedent: Formula
+    consequent: Formula
+
+    def __post_init__(self) -> None:
+        join_layers((self.antecedent.layer, self.consequent.layer), "implication")
+
+    @property
+    def layer(self) -> Layer:
+        return join_layers((self.antecedent.layer, self.consequent.layer), "implication")
+
+    def children(self) -> tuple[Node, ...]:
+        return (self.antecedent, self.consequent)
+
+    def with_children(self, new_children: tuple[Node, ...]) -> "Implies":
+        antecedent, consequent = new_children
+        return Implies(antecedent, consequent)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class Iff(Formula):
+    lhs: Formula
+    rhs: Formula
+
+    def __post_init__(self) -> None:
+        join_layers((self.lhs.layer, self.rhs.layer), "equivalence")
+
+    @property
+    def layer(self) -> Layer:
+        return join_layers((self.lhs.layer, self.rhs.layer), "equivalence")
+
+    def children(self) -> tuple[Node, ...]:
+        return (self.lhs, self.rhs)
+
+    def with_children(self, new_children: tuple[Node, ...]) -> "Iff":
+        lhs, rhs = new_children
+        return Iff(lhs, rhs)  # type: ignore[arg-type]
+
+
+class Quant(Formula):
+    """Base of the sorted quantifiers."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Forall(Quant):
+    """Sorted universal quantification ``(∀_sort v) body``.
+
+    The bound variable may be fluent (tuple variables in transaction
+    constraints, transition variables ``t``) or situational (state variables
+    ``s``, primed tuple variables).
+    """
+
+    var: Var
+    body: Formula
+
+    @property
+    def layer(self) -> Layer:
+        return self.body.layer
+
+    def children(self) -> tuple[Node, ...]:
+        return (self.body,)
+
+    def with_children(self, new_children: tuple[Node, ...]) -> "Forall":
+        (body,) = new_children
+        return Forall(self.var, body)  # type: ignore[arg-type]
+
+    def bound_vars(self) -> tuple[Var, ...]:
+        return (self.var,)
+
+
+@dataclass(frozen=True)
+class Exists(Quant):
+    """Sorted existential quantification ``(∃_sort v) body``."""
+
+    var: Var
+    body: Formula
+
+    @property
+    def layer(self) -> Layer:
+        return self.body.layer
+
+    def children(self) -> tuple[Node, ...]:
+        return (self.body,)
+
+    def with_children(self, new_children: tuple[Node, ...]) -> "Exists":
+        (body,) = new_children
+        return Exists(self.var, body)  # type: ignore[arg-type]
+
+    def bound_vars(self) -> tuple[Var, ...]:
+        return (self.var,)
+
+
+def conj(*formulas: Formula) -> Formula:
+    """N-ary conjunction with unit simplification."""
+    flat: list[Formula] = []
+    for f in formulas:
+        if isinstance(f, TrueF):
+            continue
+        if isinstance(f, And):
+            flat.extend(f.conjuncts)
+        else:
+            flat.append(f)
+    if not flat:
+        return TrueF()
+    if len(flat) == 1:
+        return flat[0]
+    return And(tuple(flat))
+
+
+def disj(*formulas: Formula) -> Formula:
+    """N-ary disjunction with unit simplification."""
+    flat: list[Formula] = []
+    for f in formulas:
+        if isinstance(f, FalseF):
+            continue
+        if isinstance(f, Or):
+            flat.extend(f.disjuncts)
+        else:
+            flat.append(f)
+    if not flat:
+        return FalseF()
+    if len(flat) == 1:
+        return flat[0]
+    return Or(tuple(flat))
+
+
+def forall(variables: Var | list[Var] | tuple[Var, ...], body: Formula) -> Formula:
+    """Universally close ``body`` over ``variables`` (innermost last)."""
+    if isinstance(variables, Var):
+        variables = [variables]
+    result = body
+    for var in reversed(list(variables)):
+        result = Forall(var, result)
+    return result
+
+
+def exists(variables: Var | list[Var] | tuple[Var, ...], body: Formula) -> Formula:
+    """Existentially close ``body`` over ``variables`` (innermost last)."""
+    if isinstance(variables, Var):
+        variables = [variables]
+    result = body
+    for var in reversed(list(variables)):
+        result = Exists(var, result)
+    return result

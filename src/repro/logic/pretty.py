@@ -1,0 +1,188 @@
+"""Pretty-printing of expressions and formulas, close to the paper's notation.
+
+``w:e``, ``w::p`` and ``w;e`` print exactly as in the paper; composition is
+``;;``, quantifiers print their sort subscript (``forall[state] s. ...``),
+primed applications print as ``f'(w, ...)``.
+"""
+
+from __future__ import annotations
+
+from repro.logic.fluents import (
+    CondExpr,
+    CondFluent,
+    Foreach,
+    Identity,
+    Seq,
+    SetFormer,
+)
+from repro.logic.formulas import (
+    And,
+    Eq,
+    EvalBool,
+    Exists,
+    FalseF,
+    Forall,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Pred,
+    SPred,
+    TrueF,
+)
+from repro.logic.symbols import SymbolKind
+from repro.logic.terms import (
+    App,
+    AtomConst,
+    ConstExpr,
+    EvalObj,
+    EvalState,
+    Node,
+    RelConst,
+    RelIdConst,
+    SApp,
+    Var,
+)
+
+_INFIX_FUNCTIONS = {"+", "-", "*", "div", "mod"}
+_INFIX_PREDICATES = {"<", "<=", ">", ">="}
+
+
+def pretty(node: Node) -> str:
+    """Render ``node`` in paper-style concrete syntax."""
+    return _pp(node)
+
+
+def _parens_if(text: str, condition: bool) -> str:
+    return f"({text})" if condition else text
+
+
+def _pp(node: Node) -> str:
+    if isinstance(node, Var):
+        suffix = "'" if node.layer.value == "situational" and not node.sort.is_state else ""
+        return node.name + suffix if not node.name.endswith("'") else node.name
+    if isinstance(node, AtomConst):
+        return repr(node.value) if isinstance(node.value, str) else str(node.value)
+    if isinstance(node, ConstExpr):
+        return node.name
+    if isinstance(node, (RelConst, RelIdConst)):
+        return node.name
+    if isinstance(node, Identity):
+        return "Λ"
+    if isinstance(node, App):
+        return _pp_app(node.symbol.name, node.symbol.kind, node.args)
+    if isinstance(node, SApp):
+        args = ", ".join(_pp(a) for a in (node.state, *node.args))
+        return f"{node.symbol.primed_name()}({args})"
+    if isinstance(node, EvalObj):
+        return f"{_pp_state(node.state)}:{_pp_atomic(node.expr)}"
+    if isinstance(node, EvalState):
+        return f"{_pp_state(node.state)};{_pp_atomic(node.trans)}"
+    if isinstance(node, EvalBool):
+        return f"{_pp_state(node.state)}::{_pp_atomic(node.formula)}"
+    if isinstance(node, Seq):
+        return f"{_pp_seq_operand(node.first)} ;; {_pp_seq_operand(node.second)}"
+    if isinstance(node, CondFluent):
+        return (
+            f"if {_pp(node.cond)} then {_pp(node.then_branch)} "
+            f"else {_pp(node.else_branch)}"
+        )
+    if isinstance(node, CondExpr):
+        return (
+            f"ite({_pp(node.cond)}, {_pp(node.then_branch)}, "
+            f"{_pp(node.else_branch)})"
+        )
+    if isinstance(node, Foreach):
+        return f"foreach {node.var.name}|{_pp(node.cond)} do {_pp(node.body)}"
+    if isinstance(node, SetFormer):
+        bound = ", ".join(v.name for v in node.bound)
+        return f"{{{_pp(node.result)} | [{bound}] {_pp(node.cond)}}}"
+    if isinstance(node, Pred):
+        return _pp_pred(node.symbol.name, node.args)
+    if isinstance(node, SPred):
+        args = ", ".join(_pp(a) for a in (node.state, *node.args))
+        return f"{node.symbol.primed_name()}({args})"
+    if isinstance(node, Eq):
+        return f"{_pp(node.lhs)} = {_pp(node.rhs)}"
+    if isinstance(node, Not):
+        return f"~{_pp_atomic(node.body)}"
+    if isinstance(node, And):
+        return " & ".join(_pp_atomic(c) for c in node.conjuncts)
+    if isinstance(node, Or):
+        return " | ".join(_pp_atomic(d) for d in node.disjuncts)
+    if isinstance(node, Implies):
+        return f"{_pp_atomic(node.antecedent)} -> {_pp_atomic(node.consequent)}"
+    if isinstance(node, Iff):
+        return f"{_pp_atomic(node.lhs)} <-> {_pp_atomic(node.rhs)}"
+    if isinstance(node, TrueF):
+        return "true"
+    if isinstance(node, FalseF):
+        return "false"
+    if isinstance(node, Forall):
+        return f"forall[{node.var.sort}] {node.var.name}. {_pp(node.body)}"
+    if isinstance(node, Exists):
+        return f"exists[{node.var.sort}] {node.var.name}. {_pp(node.body)}"
+    raise TypeError(f"pretty: unhandled node {type(node).__name__}")
+
+
+def _pp_app(name: str, kind: SymbolKind, args: tuple) -> str:
+    if name in _INFIX_FUNCTIONS and len(args) == 2:
+        return f"{_pp_atomic(args[0])} {name} {_pp_atomic(args[1])}"
+    if kind is SymbolKind.SET and len(args) == 2:
+        op = {"union": " U ", "intersect": " ∩ ", "diff": " \\ "}.get(
+            name.rstrip("0123456789")
+        )
+        if op:
+            return f"{_pp_atomic(args[0])}{op}{_pp_atomic(args[1])}"
+    rendered = ", ".join(_pp(a) for a in args)
+    return f"{name}({rendered})"
+
+
+def _pp_pred(name: str, args: tuple) -> str:
+    base = name.rstrip("0123456789")
+    if name in _INFIX_PREDICATES and len(args) == 2:
+        return f"{_pp(args[0])} {name} {_pp(args[1])}"
+    if base == "member" and len(args) == 2:
+        return f"{_pp_atomic(args[0])} in {_pp_atomic(args[1])}"
+    if base == "subset" and len(args) == 2:
+        return f"{_pp_atomic(args[0])} subset {_pp_atomic(args[1])}"
+    rendered = ", ".join(_pp(a) for a in args)
+    return f"{name}({rendered})"
+
+
+def _pp_state(node: Node) -> str:
+    text = _pp(node)
+    compound = not isinstance(node, (Var, ConstExpr, EvalState))
+    return _parens_if(text, compound)
+
+
+def _pp_atomic(node: Node) -> str:
+    text = _pp(node)
+    atomic = isinstance(
+        node,
+        (
+            Var,
+            AtomConst,
+            ConstExpr,
+            RelConst,
+            RelIdConst,
+            Identity,
+            App,
+            SApp,
+            Pred,
+            SPred,
+            EvalObj,
+            EvalBool,
+            EvalState,
+            TrueF,
+            FalseF,
+            SetFormer,
+            CondExpr,
+        ),
+    )
+    return _parens_if(text, not atomic)
+
+
+def _pp_seq_operand(node: Node) -> str:
+    text = _pp(node)
+    return _parens_if(text, isinstance(node, (CondFluent, Foreach)))

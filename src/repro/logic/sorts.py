@@ -1,0 +1,156 @@
+"""Sorts of the many-sorted transaction logic (paper, Section 2).
+
+The logic distinguishes *situational* sorts from *fluent* sorts; each
+situational sort has an associated fluent sort and vice versa.  In this
+implementation a :class:`Sort` names the underlying value sort, and whether an
+expression is situational or fluent is carried by the expression class
+(:mod:`repro.logic.terms`), which keeps the pairing total by construction.
+
+The five families of the paper:
+
+1. the state sort ``state``;
+2. the atom sort ``atom`` (the paper uses natural numbers; we also admit
+   interned strings, see DESIGN.md substitution table);
+3. the n-ary tuple sorts ``tup(n)`` for n >= 0;
+4. the finite n-ary set sorts ``set(n)`` for n >= 0 (sorts of relations);
+5. the identifier sorts ``tup-id(n)`` and ``set-id(n)``.
+
+``bool`` is the sort of truth values; formulas have it implicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import SortError
+
+
+class SortKind(Enum):
+    """The family a sort belongs to."""
+
+    STATE = "state"
+    ATOM = "atom"
+    BOOL = "bool"
+    TUPLE = "tup"
+    SET = "set"
+    TUPLE_ID = "tup-id"
+    SET_ID = "set-id"
+
+
+@dataclass(frozen=True)
+class Sort:
+    """A sort of the many-sorted logic.
+
+    ``arity`` is meaningful only for the parameterized families (tuple, set,
+    and identifier sorts); it is 0 for ``state``, ``atom`` and ``bool``.
+    """
+
+    kind: SortKind
+    arity: int = 0
+
+    def __post_init__(self) -> None:
+        if self.arity < 0:
+            raise SortError(f"sort arity must be non-negative, got {self.arity}")
+        parameterized = self.kind in (
+            SortKind.TUPLE,
+            SortKind.SET,
+            SortKind.TUPLE_ID,
+            SortKind.SET_ID,
+        )
+        if not parameterized and self.arity != 0:
+            raise SortError(f"sort {self.kind.value} takes no arity parameter")
+
+    # -- predicates ---------------------------------------------------------
+
+    @property
+    def is_state(self) -> bool:
+        return self.kind is SortKind.STATE
+
+    @property
+    def is_atom(self) -> bool:
+        return self.kind is SortKind.ATOM
+
+    @property
+    def is_bool(self) -> bool:
+        return self.kind is SortKind.BOOL
+
+    @property
+    def is_tuple(self) -> bool:
+        return self.kind is SortKind.TUPLE
+
+    @property
+    def is_set(self) -> bool:
+        return self.kind is SortKind.SET
+
+    @property
+    def is_identifier(self) -> bool:
+        return self.kind in (SortKind.TUPLE_ID, SortKind.SET_ID)
+
+    @property
+    def is_object(self) -> bool:
+        """True for object sorts: everything except ``state`` and ``bool``.
+
+        Database programs of object sort are *queries*; programs of state
+        sort are *transactions* (paper, Definition 3).
+        """
+        return not (self.is_state or self.is_bool)
+
+    def element_sort(self) -> "Sort":
+        """The sort of elements of a set sort: ``set(n)`` -> ``tup(n)``."""
+        if not self.is_set:
+            raise SortError(f"element_sort of non-set sort {self}")
+        return tuple_sort(self.arity)
+
+    def __str__(self) -> str:
+        if self.arity or self.kind in (
+            SortKind.TUPLE,
+            SortKind.SET,
+            SortKind.TUPLE_ID,
+            SortKind.SET_ID,
+        ):
+            return f"{self.kind.value}({self.arity})"
+        return self.kind.value
+
+
+# -- canonical instances ----------------------------------------------------
+
+STATE = Sort(SortKind.STATE)
+ATOM = Sort(SortKind.ATOM)
+BOOL = Sort(SortKind.BOOL)
+
+
+def tuple_sort(n: int) -> Sort:
+    """The sort of n-ary tuples (rows of n-ary relations)."""
+    return Sort(SortKind.TUPLE, n)
+
+
+def set_sort(n: int) -> Sort:
+    """The sort of finite sets of n-ary tuples (n-ary relations)."""
+    return Sort(SortKind.SET, n)
+
+
+def tuple_id_sort(n: int) -> Sort:
+    """The sort of identifiers of n-ary tuples."""
+    return Sort(SortKind.TUPLE_ID, n)
+
+
+def set_id_sort(n: int) -> Sort:
+    """The sort of identifiers of n-ary relations."""
+    return Sort(SortKind.SET_ID, n)
+
+
+def require_sort(actual: Sort, expected: Sort, context: str) -> None:
+    """Raise :class:`SortError` unless ``actual == expected``."""
+    if actual != expected:
+        raise SortError(f"{context}: expected sort {expected}, got {actual}")
+
+
+def require_state(actual: Sort, context: str) -> None:
+    if not actual.is_state:
+        raise SortError(f"{context}: expected state sort, got {actual}")
+
+
+def require_object(actual: Sort, context: str) -> None:
+    if not actual.is_object:
+        raise SortError(f"{context}: expected an object sort, got {actual}")

@@ -1,0 +1,177 @@
+"""Capture-avoiding substitution over the two-layer AST.
+
+The iteration fluent's semantics (``s[x1/x] ;; ... ;; s[xn/x]``), quantifier
+instantiation in the evaluator, axiom-schema instantiation in the theory, and
+the prover's unifiers all funnel through :class:`Substitution`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.errors import SortError
+from repro.logic.terms import Expr, Node, Var
+
+_fresh_counter = itertools.count(1)
+
+
+def fresh_var(template: Var, hint: str = "") -> Var:
+    """A variable of the same sort and layer with a globally fresh name."""
+    base = hint or template.name.split("#")[0]
+    return Var(f"{base}#{next(_fresh_counter)}", template.var_sort, template.var_layer)
+
+
+@dataclass(frozen=True)
+class Substitution:
+    """A finite map from variables to expressions of the same sort."""
+
+    mapping: Mapping[Var, Expr] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for var, expr in self.mapping.items():
+            if var.sort != expr.sort:
+                raise SortError(
+                    f"substitution {var.name} -> {expr}: sort {expr.sort} "
+                    f"does not match variable sort {var.sort}"
+                )
+
+    @staticmethod
+    def of(*pairs: tuple[Var, Expr]) -> "Substitution":
+        return Substitution(dict(pairs))
+
+    def __bool__(self) -> bool:
+        return bool(self.mapping)
+
+    def __len__(self) -> int:
+        return len(self.mapping)
+
+    def get(self, var: Var) -> Expr | None:
+        return self.mapping.get(var)
+
+    def domain(self) -> frozenset[Var]:
+        return frozenset(self.mapping)
+
+    def range_free_vars(self) -> frozenset[Var]:
+        acc: set[Var] = set()
+        for expr in self.mapping.values():
+            acc.update(expr.free_vars())
+        return frozenset(acc)
+
+    def restrict(self, variables: Iterable[Var]) -> "Substitution":
+        keep = set(variables)
+        return Substitution({v: e for v, e in self.mapping.items() if v in keep})
+
+    def without(self, variables: Iterable[Var]) -> "Substitution":
+        drop = set(variables)
+        return Substitution({v: e for v, e in self.mapping.items() if v not in drop})
+
+    def extend(self, var: Var, expr: Expr) -> "Substitution":
+        new = dict(self.mapping)
+        new[var] = expr
+        return Substitution(new)
+
+    def compose(self, later: "Substitution") -> "Substitution":
+        """``self`` then ``later``: ``(self.compose(later))(t) = later(self(t))``."""
+        new: dict[Var, Expr] = {
+            v: later.apply(e) for v, e in self.mapping.items()
+        }
+        for v, e in later.mapping.items():
+            new.setdefault(v, e)
+        return Substitution(new)
+
+    def apply(self, node: Node) -> Node:
+        """Apply capture-avoidingly to any expression or formula node."""
+        return _apply(self, node)
+
+    def __str__(self) -> str:
+        items = ", ".join(f"{v.name} -> {e}" for v, e in self.mapping.items())
+        return "{" + items + "}"
+
+
+def _apply(subst: Substitution, node: Node) -> Node:
+    if not subst.mapping:
+        return node
+    if isinstance(node, Var):
+        replacement = subst.get(node)
+        return replacement if replacement is not None else node
+
+    binders = node.bound_vars()
+    if binders:
+        # Drop bindings shadowed by this binder.
+        local = subst.without(binders)
+        if not local.mapping:
+            return node
+        # Rename binders that would capture free variables of the range.
+        range_fv = local.range_free_vars()
+        renaming: dict[Var, Expr] = {}
+        new_binders: list[Var] = []
+        for b in binders:
+            if b in range_fv:
+                fresh = fresh_var(b)
+                renaming[b] = fresh
+                new_binders.append(fresh)
+            else:
+                new_binders.append(b)
+        if renaming:
+            node = rename_bound(node, renaming, tuple(new_binders))
+            local = local.without(renaming)  # renamed vars no longer bound names
+        new_children = tuple(_apply(local, c) for c in node.children())
+        return node.with_children(new_children)
+
+    new_children = tuple(_apply(subst, c) for c in node.children())
+    if all(nc is oc for nc, oc in zip(new_children, node.children())):
+        return node
+    return node.with_children(new_children)
+
+
+def rename_bound(
+    node: Node, renaming: Mapping[Var, Var], new_binders: tuple[Var, ...]
+) -> Node:
+    """Rename a binder node's bound variables throughout its body.
+
+    Works for the binding constructs (quantifiers, ``foreach``, set formers),
+    all of which store their binders in a ``var`` or ``bound`` field.
+    """
+    body_subst = Substitution({old: new for old, new in renaming.items()})
+    new_children = tuple(_apply(body_subst, c) for c in node.children())
+    rebuilt = node.with_children(new_children)
+    return _replace_binders(rebuilt, new_binders)
+
+
+def _replace_binders(node: Node, new_binders: tuple[Var, ...]) -> Node:
+    """Swap the binder variables of a rebuilt binding node."""
+    from repro.logic.fluents import Foreach, SetFormer
+    from repro.logic.formulas import Exists, Forall
+
+    if isinstance(node, Forall):
+        (var,) = new_binders
+        return Forall(var, node.body)
+    if isinstance(node, Exists):
+        (var,) = new_binders
+        return Exists(var, node.body)
+    if isinstance(node, Foreach):
+        (var,) = new_binders
+        return Foreach(var, node.cond, node.body)
+    if isinstance(node, SetFormer):
+        return SetFormer(node.result, new_binders, node.cond)
+    raise SortError(f"not a binding node: {type(node).__name__}")
+
+
+def substitute(node: Node, var: Var, expr: Expr) -> Node:
+    """The paper's ``s[e/x]``: replace free ``x`` by ``e`` in ``s``."""
+    return Substitution({var: expr}).apply(node)
+
+
+def rename_apart(node: Node, avoid: frozenset[Var]) -> tuple[Node, Substitution]:
+    """Rename the free variables of ``node`` away from ``avoid``.
+
+    Returns the renamed node and the renaming used (var -> fresh var), as the
+    prover needs both when standardizing clauses apart.
+    """
+    clashes = node.free_vars() & avoid
+    if not clashes:
+        return node, Substitution({})
+    renaming = Substitution({v: fresh_var(v) for v in clashes})
+    return renaming.apply(node), renaming

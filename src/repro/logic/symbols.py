@@ -1,0 +1,391 @@
+"""Function and predicate symbols of the transaction logic.
+
+The paper (Section 2) fixes five groups of symbols beyond the situational and
+fluent functions:
+
+1. functions and predicates over natural numbers
+   (``+``, ``max``, ``min``, ``sum``, ``size_n``, ``<``);
+2. functions over n-ary tuples (selector ``select_n``, generator ``tuple_n``);
+3. functions and predicates over sets of n-ary tuples (union, intersection,
+   difference, cartesian product, set formers, membership, subset);
+4. state-changing functions (``insert_n``, ``delete_n``, ``modify_n``,
+   ``assign``); and
+5. the identifier function ``id``.
+
+Every f-function symbol ``f`` has an associated primed s-function ``f'``
+taking an extra state argument; in this implementation the priming is
+implicit: the same :class:`FunctionSymbol` appears inside a fluent
+application (:class:`repro.logic.terms.FApp`) or a situational application
+(:class:`repro.logic.terms.SApp`, whose first argument is the state).
+
+Symbols for the arity-indexed families are created by cached factories
+(:func:`insert_sym`, :func:`select_sym`, ...).  Domain schemas add
+*attribute* symbols (named selectors such as ``salary``) and *defined*
+symbols with user equations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from functools import lru_cache
+
+from repro.errors import SortError
+from repro.logic.sorts import (
+    ATOM,
+    BOOL,
+    STATE,
+    Sort,
+    set_id_sort,
+    set_sort,
+    tuple_id_sort,
+    tuple_sort,
+)
+
+
+class SymbolKind(Enum):
+    """How a symbol is interpreted by the evaluator and the axioms."""
+
+    ARITHMETIC = "arithmetic"
+    TUPLE = "tuple"
+    SET = "set"
+    STATE_CHANGING = "state-changing"
+    IDENTIFIER = "identifier"
+    ATTRIBUTE = "attribute"
+    RELATION = "relation"
+    DEFINED = "defined"
+    SKOLEM = "skolem"
+    PREDICATE = "predicate"
+
+
+@dataclass(frozen=True)
+class FunctionSymbol:
+    """A sorted function symbol.
+
+    ``param_sorts`` and ``result_sort`` describe the *fluent* signature; the
+    primed situational version prepends a ``state`` parameter.  ``index``
+    carries symbol-specific metadata (e.g. the attribute position for
+    attribute selectors).
+    """
+
+    name: str
+    param_sorts: tuple[Sort, ...]
+    result_sort: Sort
+    kind: SymbolKind
+    index: int = 0
+
+    @property
+    def arity(self) -> int:
+        return len(self.param_sorts)
+
+    @property
+    def is_state_changing(self) -> bool:
+        return self.kind is SymbolKind.STATE_CHANGING
+
+    def primed_name(self) -> str:
+        """The display name of the associated s-function (``f`` -> ``f'``)."""
+        return self.name + "'"
+
+    def check_args(self, arg_sorts: tuple[Sort, ...]) -> None:
+        """Raise :class:`SortError` if ``arg_sorts`` do not fit."""
+        if len(arg_sorts) != len(self.param_sorts):
+            raise SortError(
+                f"{self.name} expects {len(self.param_sorts)} arguments, "
+                f"got {len(arg_sorts)}"
+            )
+        for i, (actual, expected) in enumerate(zip(arg_sorts, self.param_sorts)):
+            if actual != expected:
+                raise SortError(
+                    f"{self.name}: argument {i + 1} has sort {actual}, "
+                    f"expected {expected}"
+                )
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class PredicateSymbol:
+    """A sorted predicate symbol (result is a truth value)."""
+
+    name: str
+    param_sorts: tuple[Sort, ...]
+    kind: SymbolKind = SymbolKind.PREDICATE
+    negatable: bool = True
+
+    @property
+    def arity(self) -> int:
+        return len(self.param_sorts)
+
+    def primed_name(self) -> str:
+        return self.name + "'"
+
+    def check_args(self, arg_sorts: tuple[Sort, ...]) -> None:
+        if len(arg_sorts) != len(self.param_sorts):
+            raise SortError(
+                f"{self.name} expects {len(self.param_sorts)} arguments, "
+                f"got {len(arg_sorts)}"
+            )
+        for i, (actual, expected) in enumerate(zip(arg_sorts, self.param_sorts)):
+            if actual != expected:
+                raise SortError(
+                    f"{self.name}: argument {i + 1} has sort {actual}, "
+                    f"expected {expected}"
+                )
+
+    def __str__(self) -> str:
+        return self.name
+
+
+# ---------------------------------------------------------------------------
+# Group 1: natural-number functions and predicates
+# ---------------------------------------------------------------------------
+
+PLUS = FunctionSymbol("+", (ATOM, ATOM), ATOM, SymbolKind.ARITHMETIC)
+MINUS = FunctionSymbol("-", (ATOM, ATOM), ATOM, SymbolKind.ARITHMETIC)
+TIMES = FunctionSymbol("*", (ATOM, ATOM), ATOM, SymbolKind.ARITHMETIC)
+DIV = FunctionSymbol("div", (ATOM, ATOM), ATOM, SymbolKind.ARITHMETIC)
+MOD = FunctionSymbol("mod", (ATOM, ATOM), ATOM, SymbolKind.ARITHMETIC)
+MAX2 = FunctionSymbol("max2", (ATOM, ATOM), ATOM, SymbolKind.ARITHMETIC)
+MIN2 = FunctionSymbol("min2", (ATOM, ATOM), ATOM, SymbolKind.ARITHMETIC)
+
+LT = PredicateSymbol("<", (ATOM, ATOM))
+LE = PredicateSymbol("<=", (ATOM, ATOM))
+GT = PredicateSymbol(">", (ATOM, ATOM))
+GE = PredicateSymbol(">=", (ATOM, ATOM))
+
+
+@lru_cache(maxsize=None)
+def sum_sym(n: int) -> FunctionSymbol:
+    """``sum_n``: sum of the first attribute of each tuple of an n-set."""
+    return FunctionSymbol(f"sum{n}", (set_sort(n),), ATOM, SymbolKind.ARITHMETIC)
+
+
+@lru_cache(maxsize=None)
+def max_sym(n: int) -> FunctionSymbol:
+    return FunctionSymbol(f"max{n}", (set_sort(n),), ATOM, SymbolKind.ARITHMETIC)
+
+
+@lru_cache(maxsize=None)
+def min_sym(n: int) -> FunctionSymbol:
+    return FunctionSymbol(f"min{n}", (set_sort(n),), ATOM, SymbolKind.ARITHMETIC)
+
+
+@lru_cache(maxsize=None)
+def size_sym(n: int) -> FunctionSymbol:
+    """``size_n``: cardinality of an n-set."""
+    return FunctionSymbol(f"size{n}", (set_sort(n),), ATOM, SymbolKind.ARITHMETIC)
+
+
+# ---------------------------------------------------------------------------
+# Group 2: tuple functions
+# ---------------------------------------------------------------------------
+
+
+@lru_cache(maxsize=None)
+def select_sym(n: int) -> FunctionSymbol:
+    """``select_n(t, i)``: the i-th attribute (1-based) of an n-tuple."""
+    return FunctionSymbol(f"select{n}", (tuple_sort(n), ATOM), ATOM, SymbolKind.TUPLE)
+
+
+@lru_cache(maxsize=None)
+def tuple_sym(n: int) -> FunctionSymbol:
+    """``tuple_n(v1, ..., vn)``: construct an n-tuple from atoms."""
+    return FunctionSymbol(f"tuple{n}", (ATOM,) * n, tuple_sort(n), SymbolKind.TUPLE)
+
+
+@lru_cache(maxsize=None)
+def attr_sym(name: str, arity: int, index: int) -> FunctionSymbol:
+    """A named attribute selector: the paper's ``l(t)`` for ``select_n(t, i)``.
+
+    ``index`` is 1-based, matching the paper's ``modify_n(t, i, v)``.
+    """
+    if not 1 <= index <= arity:
+        raise SortError(f"attribute {name}: index {index} out of range 1..{arity}")
+    return FunctionSymbol(name, (tuple_sort(arity),), ATOM, SymbolKind.ATTRIBUTE, index)
+
+
+# ---------------------------------------------------------------------------
+# Group 3: set functions and predicates
+# ---------------------------------------------------------------------------
+
+
+@lru_cache(maxsize=None)
+def union_sym(n: int) -> FunctionSymbol:
+    return FunctionSymbol(
+        f"union{n}", (set_sort(n), set_sort(n)), set_sort(n), SymbolKind.SET
+    )
+
+
+@lru_cache(maxsize=None)
+def intersect_sym(n: int) -> FunctionSymbol:
+    return FunctionSymbol(
+        f"intersect{n}", (set_sort(n), set_sort(n)), set_sort(n), SymbolKind.SET
+    )
+
+
+@lru_cache(maxsize=None)
+def diff_sym(n: int) -> FunctionSymbol:
+    return FunctionSymbol(
+        f"diff{n}", (set_sort(n), set_sort(n)), set_sort(n), SymbolKind.SET
+    )
+
+
+@lru_cache(maxsize=None)
+def product_sym(m: int, n: int) -> FunctionSymbol:
+    """Cartesian product ``m x n``: set(m) x set(n) -> set(m + n)."""
+    return FunctionSymbol(
+        f"product{m}x{n}", (set_sort(m), set_sort(n)), set_sort(m + n), SymbolKind.SET
+    )
+
+
+@lru_cache(maxsize=None)
+def empty_sym(n: int) -> FunctionSymbol:
+    return FunctionSymbol(f"empty{n}", (), set_sort(n), SymbolKind.SET)
+
+
+@lru_cache(maxsize=None)
+def with_sym(n: int) -> FunctionSymbol:
+    """``with_n(S, t)``: the set ``S`` with tuple ``t`` added.
+
+    Not in the paper's list; introduced so that regression of ``insert_n``
+    stays compositional (``R`` after insert = ``with(R, t)``).
+    """
+    return FunctionSymbol(
+        f"with{n}", (set_sort(n), tuple_sort(n)), set_sort(n), SymbolKind.SET
+    )
+
+
+@lru_cache(maxsize=None)
+def without_sym(n: int) -> FunctionSymbol:
+    """``without_n(S, t)``: the set ``S`` with tuple ``t`` removed."""
+    return FunctionSymbol(
+        f"without{n}", (set_sort(n), tuple_sort(n)), set_sort(n), SymbolKind.SET
+    )
+
+
+@lru_cache(maxsize=None)
+def member_sym(n: int) -> PredicateSymbol:
+    """Membership of an n-tuple in an n-set (the paper's epsilon_n)."""
+    return PredicateSymbol(f"member{n}", (tuple_sort(n), set_sort(n)))
+
+
+@lru_cache(maxsize=None)
+def subset_sym(n: int) -> PredicateSymbol:
+    return PredicateSymbol(f"subset{n}", (set_sort(n), set_sort(n)))
+
+
+# ---------------------------------------------------------------------------
+# Group 4: state-changing functions
+# ---------------------------------------------------------------------------
+
+
+@lru_cache(maxsize=None)
+def insert_sym(n: int) -> FunctionSymbol:
+    """``insert_n(t, R)``: insert n-tuple ``t`` into relation ``R``."""
+    return FunctionSymbol(
+        f"insert{n}", (tuple_sort(n), set_id_sort(n)), STATE, SymbolKind.STATE_CHANGING
+    )
+
+
+@lru_cache(maxsize=None)
+def delete_sym(n: int) -> FunctionSymbol:
+    """``delete_n(t, R)``: delete n-tuple ``t`` from relation ``R``."""
+    return FunctionSymbol(
+        f"delete{n}", (tuple_sort(n), set_id_sort(n)), STATE, SymbolKind.STATE_CHANGING
+    )
+
+
+@lru_cache(maxsize=None)
+def modify_sym(n: int) -> FunctionSymbol:
+    """``modify_n(t, i, v)``: set the i-th attribute of ``t`` to ``v``.
+
+    The tuple keeps its identifier (modify-frame axiom).
+    """
+    return FunctionSymbol(
+        f"modify{n}", (tuple_sort(n), ATOM, ATOM), STATE, SymbolKind.STATE_CHANGING
+    )
+
+
+@lru_cache(maxsize=None)
+def assign_sym(n: int) -> FunctionSymbol:
+    """``assign(R, S)``: (re)create relation ``R`` with the value of ``S``."""
+    return FunctionSymbol(
+        f"assign{n}", (set_id_sort(n), set_sort(n)), STATE, SymbolKind.STATE_CHANGING
+    )
+
+
+# ---------------------------------------------------------------------------
+# Group 5: the identifier function
+# ---------------------------------------------------------------------------
+
+
+@lru_cache(maxsize=None)
+def tuple_id_sym(n: int) -> FunctionSymbol:
+    """``id(t)``: the identifier of a tuple."""
+    return FunctionSymbol(f"id{n}", (tuple_sort(n),), tuple_id_sort(n), SymbolKind.IDENTIFIER)
+
+
+@lru_cache(maxsize=None)
+def rel_id_sym(n: int) -> FunctionSymbol:
+    """``id(R)``: the identifier of a relation value."""
+    return FunctionSymbol(
+        f"relid{n}", (set_sort(n),), set_id_sort(n), SymbolKind.IDENTIFIER
+    )
+
+
+# ---------------------------------------------------------------------------
+# Defined symbols (recursive definitions over the builtins)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DefinedSymbol:
+    """A user-defined f-function with a defining body.
+
+    The body is an f-expression over the formal parameters; evaluation
+    unfolds the definition (``new functions can be (recursively) defined in
+    terms of these built-in functions``, paper Section 2).
+    """
+
+    symbol: FunctionSymbol
+    params: tuple  # tuple[Var, ...]; typed loosely to avoid an import cycle
+    body: object  # FExpr
+
+    def __post_init__(self) -> None:
+        if len(self.params) != self.symbol.arity:
+            raise SortError(
+                f"definition of {self.symbol.name}: {len(self.params)} formal "
+                f"parameters for arity {self.symbol.arity}"
+            )
+
+
+@dataclass
+class SymbolTable:
+    """Registry of the non-builtin symbols of a schema or session."""
+
+    functions: dict[str, FunctionSymbol] = field(default_factory=dict)
+    predicates: dict[str, PredicateSymbol] = field(default_factory=dict)
+    definitions: dict[str, DefinedSymbol] = field(default_factory=dict)
+
+    def add_function(self, sym: FunctionSymbol) -> FunctionSymbol:
+        existing = self.functions.get(sym.name)
+        if existing is not None and existing != sym:
+            raise SortError(f"conflicting declarations for function {sym.name}")
+        self.functions[sym.name] = sym
+        return sym
+
+    def add_predicate(self, sym: PredicateSymbol) -> PredicateSymbol:
+        existing = self.predicates.get(sym.name)
+        if existing is not None and existing != sym:
+            raise SortError(f"conflicting declarations for predicate {sym.name}")
+        self.predicates[sym.name] = sym
+        return sym
+
+    def define(self, definition: DefinedSymbol) -> DefinedSymbol:
+        self.add_function(definition.symbol)
+        self.definitions[definition.symbol.name] = definition
+        return definition
+
+    def lookup_definition(self, name: str) -> DefinedSymbol | None:
+        return self.definitions.get(name)

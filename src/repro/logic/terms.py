@@ -1,0 +1,458 @@
+"""Expression AST of the transaction logic: the two-layer term language.
+
+The paper distinguishes
+
+* **f-expressions** (fluent expressions), which never mention states and only
+  denote a value when *evaluated at* a state — ``salary(e)``, ``hire(e)``,
+  ``insert_2(t, ALLOC)``; and
+* **s-expressions** (situational expressions), which denote particular values
+  and may mention states explicitly — ``salary'(w, e')``, ``w:salary(e)``,
+  ``w;hire(e)``.
+
+Here the layer of an expression is computed structurally
+(:func:`Node.layer`): fluent constructors (:class:`App`, the combinators in
+:mod:`repro.logic.fluents`) require fluent children; situational constructors
+(:class:`EvalObj`, :class:`EvalState`, :class:`SApp`) are situational by
+fiat.  Rigid constants are layer-neutral (:data:`Layer.EITHER`) — they denote
+the same value at every state, so they embed in both layers.
+
+Definition 3 of the paper ("a database program is an f-term") then becomes a
+structural test: see :mod:`repro.transactions.executability`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Iterator
+
+from repro.errors import SortError
+from repro.logic.sorts import STATE, Sort, set_id_sort, set_sort
+from repro.logic.symbols import FunctionSymbol, SymbolKind
+
+
+class Layer(Enum):
+    """Which of the paper's two expression classes a node belongs to."""
+
+    FLUENT = "fluent"
+    SITUATIONAL = "situational"
+    EITHER = "either"
+
+
+def join_layers(layers: Iterable[Layer], context: str) -> Layer:
+    """Combine child layers; fluent and situational children cannot mix.
+
+    A fluent expression may not contain a situational subexpression (a fluent
+    is a mapping from states to values and has no state to offer its
+    children); mixing raises :class:`SortError`.
+    """
+    result = Layer.EITHER
+    for layer in layers:
+        if layer is Layer.EITHER:
+            continue
+        if result is Layer.EITHER:
+            result = layer
+        elif result is not layer:
+            raise SortError(f"{context}: cannot mix fluent and situational children")
+    return result
+
+
+class Node:
+    """Base class for every expression and formula node.
+
+    Subclasses are frozen dataclasses.  The generic traversal protocol is
+    ``children()`` / ``with_children(new_children)``; binding constructs
+    additionally expose ``bound_vars()`` so substitution can avoid capture.
+    """
+
+    __slots__ = ()
+
+    def children(self) -> tuple["Node", ...]:
+        raise NotImplementedError
+
+    def with_children(self, new_children: tuple["Node", ...]) -> "Node":
+        raise NotImplementedError
+
+    def bound_vars(self) -> tuple["Var", ...]:
+        """Variables bound by this node (empty for non-binders)."""
+        return ()
+
+    @property
+    def layer(self) -> Layer:
+        raise NotImplementedError
+
+    # -- derived traversals -------------------------------------------------
+
+    def iter_subnodes(self) -> Iterator["Node"]:
+        """Pre-order traversal of this node and all descendants."""
+        stack: list[Node] = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children()))
+
+    def free_vars(self) -> frozenset["Var"]:
+        """The free variables of this node (iterative: deep compositions of
+        thousands of steps are legal programs)."""
+        acc: set[Var] = set()
+        stack: list[tuple[Node, frozenset[Var]]] = [(self, frozenset())]
+        while stack:
+            node, bound = stack.pop()
+            if isinstance(node, Var):
+                if node not in bound:
+                    acc.add(node)
+                continue
+            binders = node.bound_vars()
+            if binders:
+                bound = bound | frozenset(binders)
+            for child in node.children():
+                stack.append((child, bound))
+        return frozenset(acc)
+
+    def size(self) -> int:
+        """Number of nodes in the tree (for prover weight heuristics)."""
+        return sum(1 for _ in self.iter_subnodes())
+
+    def __str__(self) -> str:  # pragma: no cover - thin delegation
+        from repro.logic.pretty import pretty
+
+        return pretty(self)
+
+
+class Expr(Node):
+    """Base class of expressions (terms); formulas derive from Formula."""
+
+    __slots__ = ()
+
+    @property
+    def sort(self) -> Sort:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A sorted variable of one of the two layers.
+
+    The paper writes fluent variables unprimed (``e``) and situational
+    variables primed (``e'``).  A *fluent* variable of state sort is a
+    transition variable (the ``t`` in ``s;t``); a *situational* variable of
+    state sort ranges over states (the ``s`` in ``∀state' s``).
+    """
+
+    name: str
+    var_sort: Sort
+    var_layer: Layer = Layer.SITUATIONAL
+
+    def __post_init__(self) -> None:
+        if self.var_layer is Layer.EITHER and not (
+            self.var_sort.is_atom or self.var_sort.is_identifier
+        ):
+            raise SortError(
+                f"variable {self.name}: only atom- and identifier-sorted "
+                f"variables are rigid (layer EITHER); {self.var_sort} "
+                f"variables must be fluent or situational"
+            )
+
+    @property
+    def sort(self) -> Sort:
+        return self.var_sort
+
+    @property
+    def layer(self) -> Layer:
+        return self.var_layer
+
+    def children(self) -> tuple[Node, ...]:
+        return ()
+
+    def with_children(self, new_children: tuple[Node, ...]) -> "Var":
+        assert not new_children
+        return self
+
+    @property
+    def is_transition_var(self) -> bool:
+        return self.var_sort.is_state and self.var_layer is Layer.FLUENT
+
+    @property
+    def is_state_var(self) -> bool:
+        return self.var_sort.is_state and self.var_layer is Layer.SITUATIONAL
+
+
+@dataclass(frozen=True)
+class AtomConst(Expr):
+    """A literal atom: a natural number or an interned symbolic name."""
+
+    value: int | str
+
+    def __post_init__(self) -> None:
+        if isinstance(self.value, bool) or not isinstance(self.value, (int, str)):
+            raise SortError(f"atom literals are naturals or names, got {self.value!r}")
+        if isinstance(self.value, int) and self.value < 0:
+            raise SortError(f"atoms are natural numbers, got {self.value}")
+
+    @property
+    def sort(self) -> Sort:
+        from repro.logic.sorts import ATOM
+
+        return ATOM
+
+    @property
+    def layer(self) -> Layer:
+        return Layer.EITHER
+
+    def children(self) -> tuple[Node, ...]:
+        return ()
+
+    def with_children(self, new_children: tuple[Node, ...]) -> "AtomConst":
+        assert not new_children
+        return self
+
+
+@dataclass(frozen=True)
+class ConstExpr(Expr):
+    """A rigid named constant of an arbitrary sort.
+
+    Used for named states in proofs (``s0``), skolem constants, and symbolic
+    atoms with sort other than ``atom``.
+    """
+
+    name: str
+    const_sort: Sort
+
+    @property
+    def sort(self) -> Sort:
+        return self.const_sort
+
+    @property
+    def layer(self) -> Layer:
+        # Rigid designators fit in both layers, except state constants,
+        # which are intrinsically situational (a state names itself).
+        return Layer.SITUATIONAL if self.const_sort.is_state else Layer.EITHER
+
+    def children(self) -> tuple[Node, ...]:
+        return ()
+
+    def with_children(self, new_children: tuple[Node, ...]) -> "ConstExpr":
+        assert not new_children
+        return self
+
+
+@dataclass(frozen=True)
+class RelConst(Expr):
+    """A relation f-constant from the schema's set ``R``.
+
+    Its value at a state is the relation's current set of tuples; its sort is
+    ``set(arity)``.
+    """
+
+    name: str
+    arity: int
+
+    @property
+    def sort(self) -> Sort:
+        return set_sort(self.arity)
+
+    @property
+    def layer(self) -> Layer:
+        return Layer.FLUENT
+
+    def children(self) -> tuple[Node, ...]:
+        return ()
+
+    def with_children(self, new_children: tuple[Node, ...]) -> "RelConst":
+        assert not new_children
+        return self
+
+
+@dataclass(frozen=True)
+class RelIdConst(Expr):
+    """The *identifier* of a relation — the ``R`` in ``insert_n(t, R)``.
+
+    Rigid across states (the identifier function ``id`` gives the same
+    identifier for a relation at every state), hence layer EITHER.
+    """
+
+    name: str
+    arity: int
+
+    @property
+    def sort(self) -> Sort:
+        return set_id_sort(self.arity)
+
+    @property
+    def layer(self) -> Layer:
+        return Layer.EITHER
+
+    def children(self) -> tuple[Node, ...]:
+        return ()
+
+    def with_children(self, new_children: tuple[Node, ...]) -> "RelIdConst":
+        assert not new_children
+        return self
+
+
+@dataclass(frozen=True)
+class App(Expr):
+    """Application of a function symbol: ``salary(e)``, ``x + y``.
+
+    When ``symbol.is_state_changing`` this is an atomic transaction
+    (``insert``/``delete``/``modify``/``assign``) of state sort, and the
+    arguments must be fluent (the operation executes at the current state).
+
+    Every other builtin is *rigid*: given its argument values it denotes the
+    same result at every state (state-dependence enters only through fluent
+    variables and relation constants).  Rigid symbols therefore also apply to
+    situational arguments — the paper's ``age'(s1, e) < age'(s2, e)`` is the
+    rigid ``<`` over two situational values — and the application's layer is
+    the join of its arguments' layers.
+    """
+
+    symbol: FunctionSymbol
+    args: tuple[Expr, ...]
+
+    def __post_init__(self) -> None:
+        self.symbol.check_args(tuple(a.sort for a in self.args))
+        layer = join_layers((a.layer for a in self.args), f"{self.symbol.name}(...)")
+        if layer is Layer.SITUATIONAL and self.symbol.is_state_changing:
+            raise SortError(
+                f"{self.symbol.name}: state-changing fluent over situational "
+                f"arguments; use the primed form SApp instead"
+            )
+
+    @property
+    def sort(self) -> Sort:
+        return self.symbol.result_sort
+
+    @property
+    def layer(self) -> Layer:
+        if self.symbol.is_state_changing:
+            return Layer.FLUENT
+        layer = join_layers((a.layer for a in self.args), self.symbol.name)
+        if layer is Layer.EITHER and self.symbol.kind in (
+            SymbolKind.RELATION,
+            SymbolKind.DEFINED,
+        ):
+            # Defined symbols may read the state through their bodies.
+            return Layer.FLUENT
+        return layer
+
+    def children(self) -> tuple[Node, ...]:
+        return self.args
+
+    def with_children(self, new_children: tuple[Node, ...]) -> "App":
+        return App(self.symbol, tuple(new_children))  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class SApp(Expr):
+    """Primed (situational) application ``f'(w, t1, ..., tn)``.
+
+    The paper associates an s-function ``f'`` with every f-function ``f``;
+    ``f'`` takes the state as an extra first argument and situational
+    arguments.  The object-linkage axiom relates ``w:f(t1,...,tn)`` to
+    ``f'(w, w:t1, ..., w:tn)``.
+    """
+
+    symbol: FunctionSymbol
+    state: Expr
+    args: tuple[Expr, ...]
+
+    def __post_init__(self) -> None:
+        if not self.state.sort.is_state:
+            raise SortError(f"{self.symbol.primed_name()}: first argument not a state")
+        self.symbol.check_args(tuple(a.sort for a in self.args))
+        for a in self.args:
+            if a.layer is Layer.FLUENT:
+                raise SortError(
+                    f"{self.symbol.primed_name()}: fluent argument in "
+                    f"situational application"
+                )
+
+    @property
+    def sort(self) -> Sort:
+        # A primed state-changing function such as hire'(w, e) denotes the
+        # successor state, so the result sort carries over unchanged.
+        return self.symbol.result_sort
+
+    @property
+    def layer(self) -> Layer:
+        return Layer.SITUATIONAL
+
+    def children(self) -> tuple[Node, ...]:
+        return (self.state, *self.args)
+
+    def with_children(self, new_children: tuple[Node, ...]) -> "SApp":
+        state, *args = new_children
+        return SApp(self.symbol, state, tuple(args))  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class EvalObj(Expr):
+    """The situational function ``w:e`` — the object value of fluent ``e`` at
+    state ``w``."""
+
+    state: Expr
+    expr: Expr
+
+    def __post_init__(self) -> None:
+        if not self.state.sort.is_state:
+            raise SortError("w:e — w must have state sort")
+        if self.state.layer is Layer.FLUENT:
+            raise SortError("w:e — w must be situational")
+        if self.expr.layer is Layer.SITUATIONAL:
+            raise SortError("w:e — e must be a fluent expression")
+        if not self.expr.sort.is_object:
+            raise SortError(f"w:e — e must have an object sort, got {self.expr.sort}")
+
+    @property
+    def sort(self) -> Sort:
+        return self.expr.sort
+
+    @property
+    def layer(self) -> Layer:
+        return Layer.SITUATIONAL
+
+    def children(self) -> tuple[Node, ...]:
+        return (self.state, self.expr)
+
+    def with_children(self, new_children: tuple[Node, ...]) -> "EvalObj":
+        state, expr = new_children
+        return EvalObj(state, expr)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class EvalState(Expr):
+    """The situational function ``w;e`` — the state after evaluating the
+    transaction ``e`` at state ``w``."""
+
+    state: Expr
+    trans: Expr
+
+    def __post_init__(self) -> None:
+        if not self.state.sort.is_state:
+            raise SortError("w;e — w must have state sort")
+        if self.state.layer is Layer.FLUENT:
+            raise SortError("w;e — w must be situational")
+        if self.trans.layer is Layer.SITUATIONAL:
+            raise SortError("w;e — e must be a fluent expression")
+        if not self.trans.sort.is_state:
+            raise SortError(f"w;e — e must have state sort, got {self.trans.sort}")
+
+    @property
+    def sort(self) -> Sort:
+        return STATE
+
+    @property
+    def layer(self) -> Layer:
+        return Layer.SITUATIONAL
+
+    def children(self) -> tuple[Node, ...]:
+        return (self.state, self.trans)
+
+    def with_children(self, new_children: tuple[Node, ...]) -> "EvalState":
+        state, trans = new_children
+        return EvalState(state, trans)  # type: ignore[arg-type]
+
+
+def is_pure_fluent(node: Node) -> bool:
+    """True iff no situational subexpression occurs anywhere in ``node``."""
+    return all(sub.layer is not Layer.SITUATIONAL for sub in node.iter_subnodes())

@@ -1,0 +1,243 @@
+"""Sorted first-order unification over the two-layer AST.
+
+Used by the prover (resolution, paramodulation), the rewrite engine (matching
+axiom left-hand sides), and the synthesizer (matching action-axiom effects
+against goals).
+
+Unification is syntactic: binding constructs (quantifiers, ``foreach``, set
+formers) unify only when alpha-equal; a variable binds an expression of the
+same sort whose layer is compatible with the variable's layer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.logic.fluents import CondExpr, CondFluent, Foreach, Identity, Seq, SetFormer
+from repro.logic.formulas import (
+    And,
+    Eq,
+    EvalBool,
+    Exists,
+    FalseF,
+    Forall,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Pred,
+    SPred,
+    TrueF,
+)
+from repro.logic.substitution import Substitution
+from repro.logic.terms import (
+    App,
+    AtomConst,
+    ConstExpr,
+    EvalObj,
+    EvalState,
+    Expr,
+    Layer,
+    Node,
+    RelConst,
+    RelIdConst,
+    SApp,
+    Var,
+)
+
+
+def head_key(node: Node) -> tuple:
+    """A discriminator: two nodes can unify only if their heads match."""
+    if isinstance(node, Var):
+        return ("var", node.name, node.var_sort, node.var_layer)
+    if isinstance(node, AtomConst):
+        return ("atom", node.value)
+    if isinstance(node, ConstExpr):
+        return ("const", node.name, node.const_sort)
+    if isinstance(node, RelConst):
+        return ("rel", node.name, node.arity)
+    if isinstance(node, RelIdConst):
+        return ("relid", node.name, node.arity)
+    if isinstance(node, App):
+        return ("app", node.symbol)
+    if isinstance(node, SApp):
+        return ("sapp", node.symbol)
+    if isinstance(node, EvalObj):
+        return ("evalobj",)
+    if isinstance(node, EvalState):
+        return ("evalstate",)
+    if isinstance(node, EvalBool):
+        return ("evalbool",)
+    if isinstance(node, Identity):
+        return ("identity",)
+    if isinstance(node, Seq):
+        return ("seq",)
+    if isinstance(node, CondFluent):
+        return ("condfluent",)
+    if isinstance(node, CondExpr):
+        return ("condexpr",)
+    if isinstance(node, Pred):
+        return ("pred", node.symbol)
+    if isinstance(node, SPred):
+        return ("spred", node.symbol)
+    if isinstance(node, Eq):
+        return ("eq", node.lhs.sort)
+    if isinstance(node, Not):
+        return ("not",)
+    if isinstance(node, And):
+        return ("and", len(node.conjuncts))
+    if isinstance(node, Or):
+        return ("or", len(node.disjuncts))
+    if isinstance(node, Implies):
+        return ("implies",)
+    if isinstance(node, Iff):
+        return ("iff",)
+    if isinstance(node, TrueF):
+        return ("true",)
+    if isinstance(node, FalseF):
+        return ("false",)
+    if isinstance(node, (Forall, Exists, Foreach, SetFormer)):
+        return ("binder", type(node).__name__)
+    raise TypeError(f"head_key: unhandled node {type(node).__name__}")
+
+
+def _layer_compatible(var: Var, expr: Expr) -> bool:
+    if var.var_layer is Layer.EITHER or expr.layer is Layer.EITHER:
+        # Rigid variables bind anything of the right sort; substituting a
+        # situational binding into a fluent context fails loudly at node
+        # construction rather than silently mixing layers.
+        return True
+    return expr.layer is var.var_layer
+
+
+def occurs_in(var: Var, node: Node) -> bool:
+    return any(sub == var for sub in node.iter_subnodes() if isinstance(sub, Var))
+
+
+def alpha_equal(a: Node, b: Node, _env: dict[Var, Var] | None = None) -> bool:
+    """Alpha-equivalence (equality up to consistent renaming of binders).
+
+    ``_env`` maps bound variables of ``b`` to the corresponding bound
+    variables of ``a`` while descending under binders.
+    """
+    env = _env or {}
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, Var):
+        assert isinstance(b, Var)
+        return env.get(b, b) == a
+    a_binders = a.bound_vars()
+    b_binders = b.bound_vars()
+    if len(a_binders) != len(b_binders):
+        return False
+    if head_key(a) != head_key(b):
+        return False
+    if a_binders:
+        if any(
+            x.sort != y.sort or x.var_layer != y.var_layer
+            for x, y in zip(a_binders, b_binders)
+        ):
+            return False
+        env = dict(env)
+        env.update({y: x for x, y in zip(a_binders, b_binders)})
+    a_children = a.children()
+    b_children = b.children()
+    if len(a_children) != len(b_children):
+        return False
+    return all(alpha_equal(x, y, env) for x, y in zip(a_children, b_children))
+
+
+def unify(
+    a: Node, b: Node, subst: Optional[Substitution] = None
+) -> Optional[Substitution]:
+    """Most general unifier of ``a`` and ``b`` extending ``subst``.
+
+    Returns ``None`` when not unifiable.  The result maps variables to
+    expressions such that ``result.apply(a)`` equals ``result.apply(b)``.
+    """
+    current = subst if subst is not None else Substitution({})
+    stack: list[tuple[Node, Node]] = [(a, b)]
+    bindings = dict(current.mapping)
+
+    def walk(node: Node) -> Node:
+        while isinstance(node, Var) and node in bindings:
+            node = bindings[node]
+        return node
+
+    def resolve(node: Node) -> Node:
+        """Fully apply current bindings (for occurs check)."""
+        return Substitution(dict(bindings)).apply(node)
+
+    while stack:
+        x, y = stack.pop()
+        x = walk(x)
+        y = walk(y)
+        if x is y or x == y:
+            continue
+        if isinstance(x, Var) or isinstance(y, Var):
+            if not isinstance(x, Var):
+                x, y = y, x
+            assert isinstance(x, Var)
+            if not isinstance(y, Expr):
+                return None
+            if x.sort != y.sort or not _layer_compatible(x, y):
+                return None
+            resolved = resolve(y)
+            if occurs_in(x, resolved):
+                return None
+            bindings[x] = resolved
+            # keep existing bindings fully resolved w.r.t. the new one
+            one = Substitution({x: resolved})
+            bindings = {v: one.apply(e) for v, e in bindings.items()}  # type: ignore[misc]
+            continue
+        if x.bound_vars() or y.bound_vars():
+            if alpha_equal(x, y):
+                continue
+            return None
+        if head_key(x) != head_key(y):
+            return None
+        xc, yc = x.children(), y.children()
+        if len(xc) != len(yc):
+            return None
+        stack.extend(zip(xc, yc))
+
+    return Substitution(bindings)
+
+
+def match(
+    pattern: Node, target: Node, subst: Optional[Substitution] = None
+) -> Optional[Substitution]:
+    """One-way matching: find sigma with ``sigma(pattern) == target``.
+
+    Variables of ``target`` are treated as constants — the rewrite engine
+    matches axiom left-hand sides against subterms of a goal.
+    """
+    current = dict(subst.mapping) if subst is not None else {}
+    stack: list[tuple[Node, Node]] = [(pattern, target)]
+    while stack:
+        p, t = stack.pop()
+        if isinstance(p, Var):
+            bound = current.get(p)
+            if bound is not None:
+                if bound != t and not alpha_equal(bound, t):
+                    return None
+                continue
+            if not isinstance(t, Expr) or p.sort != t.sort:
+                return None
+            if not _layer_compatible(p, t):
+                return None
+            current[p] = t
+            continue
+        if p == t:
+            continue
+        if p.bound_vars() or t.bound_vars():
+            if alpha_equal(p, t):
+                continue
+            return None
+        if head_key(p) != head_key(t):
+            return None
+        pc, tc = p.children(), t.children()
+        if len(pc) != len(tc):
+            return None
+        stack.extend(zip(pc, tc))
+    return Substitution(current)

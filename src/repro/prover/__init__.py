@@ -1,0 +1,15 @@
+"""First-order proving: clauses, resolution with answers, tableau, models."""
+
+from repro.prover.clauses import Answer, Clause, Literal, clause, negative, positive
+from repro.prover.modelfinder import ConsistencyWitness, ModelFinder
+from repro.prover.resolution import ProofResult, Prover, prove, prove_with_answers
+from repro.prover.skolem import clausify, clausify_negated, nnf, skolemize
+from repro.prover.tableau import Row, Tableau, prove_goal
+
+__all__ = [
+    "Literal", "Clause", "Answer", "clause", "positive", "negative",
+    "nnf", "skolemize", "clausify", "clausify_negated",
+    "Prover", "ProofResult", "prove", "prove_with_answers",
+    "Tableau", "Row", "prove_goal",
+    "ModelFinder", "ConsistencyWitness",
+]

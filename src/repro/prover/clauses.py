@@ -1,0 +1,138 @@
+"""Clauses and literals for the resolution core.
+
+A literal is a signed atom (atoms: :class:`Pred`, :class:`SPred`,
+:class:`Eq`, :class:`EvalBool` leaves); a clause is a disjunction of
+literals with optional *answer literals* recording witness bindings for
+constructive proofs (the mechanism the Manna–Waldinger deductive tableau
+uses to extract programs; see DESIGN.md substitution table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.logic.formulas import Formula
+from repro.logic.substitution import Substitution, rename_apart
+from repro.logic.terms import Expr, Node, Var
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A signed atomic formula."""
+
+    positive: bool
+    atom: Formula
+
+    def negate(self) -> "Literal":
+        return Literal(not self.positive, self.atom)
+
+    def apply(self, subst: Substitution) -> "Literal":
+        return Literal(self.positive, subst.apply(self.atom))  # type: ignore[arg-type]
+
+    def free_vars(self) -> frozenset[Var]:
+        return self.atom.free_vars()
+
+    def weight(self) -> int:
+        return self.atom.size()
+
+    def __str__(self) -> str:
+        return ("" if self.positive else "~") + str(self.atom)
+
+
+@dataclass(frozen=True)
+class Answer:
+    """An answer literal ``ans(x1 -> e1, ...)``: witness bindings carried
+    through the proof; the empty clause's answers are the synthesis output."""
+
+    bindings: tuple[tuple[Var, Expr], ...]
+
+    def apply(self, subst: Substitution) -> "Answer":
+        return Answer(
+            tuple((v, subst.apply(e)) for v, e in self.bindings)  # type: ignore[misc]
+        )
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{v.name} -> {e}" for v, e in self.bindings)
+        return f"ans({inner})"
+
+
+@dataclass(frozen=True)
+class Clause:
+    """A disjunction of literals (plus answers), with provenance."""
+
+    literals: tuple[Literal, ...]
+    answers: tuple[Answer, ...] = ()
+    provenance: str = field(default="input", compare=False)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.literals
+
+    def apply(self, subst: Substitution) -> "Clause":
+        return Clause(
+            tuple(lit.apply(subst) for lit in self.literals),
+            tuple(a.apply(subst) for a in self.answers),
+            self.provenance,
+        )
+
+    def free_vars(self) -> frozenset[Var]:
+        acc: set[Var] = set()
+        for lit in self.literals:
+            acc |= lit.free_vars()
+        return frozenset(acc)
+
+    def weight(self) -> int:
+        return sum(lit.weight() for lit in self.literals)
+
+    def without(self, index: int) -> tuple[Literal, ...]:
+        return self.literals[:index] + self.literals[index + 1:]
+
+    def dedupe(self) -> "Clause":
+        seen: list[Literal] = []
+        for lit in self.literals:
+            if lit not in seen:
+                seen.append(lit)
+        if len(seen) == len(self.literals):
+            return self
+        return Clause(tuple(seen), self.answers, self.provenance)
+
+    def is_tautology(self) -> bool:
+        positives = {lit.atom for lit in self.literals if lit.positive}
+        return any(
+            not lit.positive and lit.atom in positives for lit in self.literals
+        )
+
+    def rename_apart_from(self, avoid: frozenset[Var]) -> "Clause":
+        clashes = self.free_vars() & avoid
+        if not clashes:
+            return self
+        from repro.logic.substitution import fresh_var
+
+        renaming = Substitution({v: fresh_var(v) for v in clashes})
+        return self.apply(renaming)
+
+    def subsumes_syntactically(self, other: "Clause") -> bool:
+        """Cheap subsumption: every literal occurs verbatim in ``other``."""
+        return all(lit in other.literals for lit in self.literals)
+
+    def __str__(self) -> str:
+        if self.is_empty:
+            body = "⊥"
+        else:
+            body = " | ".join(str(lit) for lit in self.literals)
+        if self.answers:
+            body += "  [" + ", ".join(str(a) for a in self.answers) + "]"
+        return body
+
+
+def clause(*literals: Literal, answers: Iterable[Answer] = ()) -> Clause:
+    return Clause(tuple(literals), tuple(answers))
+
+
+def positive(atom: Formula) -> Literal:
+    return Literal(True, atom)
+
+
+def negative(atom: Formula) -> Literal:
+    return Literal(False, atom)

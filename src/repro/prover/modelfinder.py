@@ -1,0 +1,162 @@
+"""Finite model search: schema verification as consistency (E9).
+
+Section 3: "the verification of Σ involves a proof that the theory
+T_L ∪ IC is consistent, or T_L ∪ IC has a model M … schema verification is
+no more difficult than a first-order consistency problem and taking dynamic
+constraints into consideration does not increase the complexity."
+
+Because the interpreter *is* a model of T_L (property tests E10), exhibiting
+a consistent schema reduces to finding a finite partial model — states and
+transitions — satisfying the integrity constraints:
+
+* static constraints: search for one valid state over a small atom universe;
+* dynamic constraints: extend the witness to a short transaction chain
+  checked as a partial model.
+
+The searcher enumerates candidate states generated from a seed corpus (user
+scenarios and random row samples) rather than raw combinatorics — the goal
+is a *witness*, and any valid state is one.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.constraints.checker import check_state
+from repro.constraints.model import Constraint, ConstraintKind
+from repro.constraints.semantics import Evaluator, PartialModel
+from repro.db.evolution import chain_graph
+from repro.db.schema import Schema
+from repro.db.state import State, initial_state, state_from_rows
+from repro.transactions.program import DatabaseProgram
+
+
+@dataclass
+class ConsistencyWitness:
+    """A model exhibiting consistency: states, transitions, verdicts."""
+
+    schema: Schema
+    states: list[State]
+    labels: list[str]
+    satisfied: list[str]
+    candidates_tried: int
+    elapsed: float
+
+    @property
+    def consistent(self) -> bool:
+        return bool(self.states)
+
+    def __str__(self) -> str:
+        if not self.consistent:
+            return (
+                f"no witness found ({self.candidates_tried} candidates, "
+                f"{self.elapsed:.2f}s)"
+            )
+        return (
+            f"consistent: witness chain of {len(self.states)} state(s) "
+            f"satisfying {len(self.satisfied)} constraint(s) after "
+            f"{self.candidates_tried} candidate(s)"
+        )
+
+
+@dataclass
+class ModelFinder:
+    """Searches for a witness model of a schema's constraints."""
+
+    schema: Schema
+    seed_states: Sequence[State] = ()
+    transactions: Sequence[tuple[DatabaseProgram, tuple]] = ()
+    random_seed: int = 0
+    max_candidates: int = 200
+    max_chain_length: int = 3
+
+    def find_valid_state(
+        self, constraints: Optional[Iterable[Constraint]] = None
+    ) -> tuple[Optional[State], int]:
+        """A state satisfying all (static) constraints, plus candidates
+        tried.  The empty state is always a candidate — most schemas are
+        vacuously consistent, which is itself a meaningful verdict."""
+        chosen = list(constraints) if constraints is not None else list(
+            self.schema.constraints
+        )
+        static = [c for c in chosen if c.kind is ConstraintKind.STATIC]
+        tried = 0
+        for candidate in self._candidates():
+            tried += 1
+            if all(check_state(c, candidate).ok for c in static):
+                return candidate, tried
+            if tried >= self.max_candidates:
+                break
+        return None, tried
+
+    def verify_schema(
+        self, constraints: Optional[Iterable[Constraint]] = None
+    ) -> ConsistencyWitness:
+        """Find a chain witnessing consistency of static + dynamic parts."""
+        start = time.monotonic()
+        chosen = list(constraints) if constraints is not None else list(
+            self.schema.constraints
+        )
+        state, tried = self.find_valid_state(chosen)
+        if state is None:
+            return ConsistencyWitness(
+                self.schema, [], [], [], tried, time.monotonic() - start
+            )
+        states = [state]
+        labels: list[str] = []
+        for program, args in list(self.transactions)[: self.max_chain_length - 1]:
+            try:
+                nxt = program.run(states[-1], *args)
+            except Exception:
+                continue
+            candidate_states = states + [nxt]
+            if self._chain_ok(candidate_states, chosen):
+                states = candidate_states
+                labels.append(program.name)
+        satisfied = [
+            c.name
+            for c in chosen
+            if self._holds_on_chain(states, c)
+        ]
+        return ConsistencyWitness(
+            self.schema, states, labels, satisfied, tried, time.monotonic() - start
+        )
+
+    # -- internals --------------------------------------------------------------
+
+    def _chain_ok(self, states: list[State], constraints: list[Constraint]) -> bool:
+        return all(self._holds_on_chain(states, c) for c in constraints)
+
+    def _holds_on_chain(self, states: list[State], c: Constraint) -> bool:
+        model = PartialModel(chain_graph(states), max_transition_length=4)
+        try:
+            return Evaluator(model).holds(c.formula)
+        except Exception:
+            return False
+
+    def _candidates(self) -> Iterable[State]:
+        yield initial_state(self.schema)
+        for seed in self.seed_states:
+            yield seed
+        rng = random.Random(self.random_seed)
+        atoms = ["a", "b", "c"]
+        numbers = [0, 1, 2, 10, 50, 100]
+        for _ in range(self.max_candidates):
+            rows = {}
+            for name, rs in self.schema.relations.items():
+                count = rng.randint(0, 2)
+                rows[name] = [
+                    tuple(
+                        rng.choice(atoms if i % 2 == 0 else numbers)
+                        for i in range(rs.arity)
+                    )
+                    for _ in range(count)
+                ]
+            try:
+                yield state_from_rows(self.schema, rows)
+            except Exception:
+                continue

@@ -1,0 +1,155 @@
+"""Negation normal form, skolemization, and clausification.
+
+Converts closed s-formulas (or fluent formulas) into clause sets for the
+resolution core.  Existential variables become skolem constants/functions
+over the governing universals; universal variables stay as free clause
+variables (standardized apart at use).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.errors import ProofError
+from repro.logic.formulas import (
+    And,
+    Eq,
+    EvalBool,
+    Exists,
+    FalseF,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Pred,
+    SPred,
+    TrueF,
+)
+from repro.logic.substitution import Substitution, fresh_var
+from repro.logic.symbols import FunctionSymbol, SymbolKind
+from repro.logic.terms import App, ConstExpr, Expr, Var
+from repro.prover.clauses import Clause, Literal
+
+_skolem_counter = itertools.count(1)
+
+
+def nnf(formula: Formula, positive: bool = True) -> Formula:
+    """Negation normal form (negations pushed to atoms)."""
+    if isinstance(formula, Not):
+        return nnf(formula.body, not positive)
+    if isinstance(formula, And):
+        parts = tuple(nnf(c, positive) for c in formula.conjuncts)
+        return And(parts) if positive else Or(parts)
+    if isinstance(formula, Or):
+        parts = tuple(nnf(d, positive) for d in formula.disjuncts)
+        return Or(parts) if positive else And(parts)
+    if isinstance(formula, Implies):
+        if positive:
+            return Or((nnf(formula.antecedent, False), nnf(formula.consequent, True)))
+        return And((nnf(formula.antecedent, True), nnf(formula.consequent, False)))
+    if isinstance(formula, Iff):
+        a, c = formula.lhs, formula.rhs
+        if positive:
+            return And((nnf(Implies(a, c)), nnf(Implies(c, a))))
+        return Or(
+            (
+                And((nnf(a, True), nnf(c, False))),
+                And((nnf(a, False), nnf(c, True))),
+            )
+        )
+    if isinstance(formula, Forall):
+        inner = nnf(formula.body, positive)
+        return Forall(formula.var, inner) if positive else Exists(formula.var, inner)
+    if isinstance(formula, Exists):
+        inner = nnf(formula.body, positive)
+        return Exists(formula.var, inner) if positive else Forall(formula.var, inner)
+    if isinstance(formula, TrueF):
+        return TrueF() if positive else FalseF()
+    if isinstance(formula, FalseF):
+        return FalseF() if positive else TrueF()
+    # atoms
+    return formula if positive else Not(formula)
+
+
+def _skolem_term(var: Var, universals: list[Var]) -> Expr:
+    index = next(_skolem_counter)
+    if not universals:
+        return ConstExpr(f"sk_{var.name.split('#')[0]}_{index}", var.sort)
+    symbol = FunctionSymbol(
+        f"sk_{var.name.split('#')[0]}_{index}",
+        tuple(u.sort for u in universals),
+        var.sort,
+        SymbolKind.SKOLEM,
+    )
+    return App(symbol, tuple(universals))
+
+
+def skolemize(formula: Formula) -> Formula:
+    """Skolemize an NNF formula; universals remain quantifier-free free
+    variables (renamed fresh to avoid clashes)."""
+
+    def walk(node: Formula, universals: list[Var], subst: Substitution) -> Formula:
+        if isinstance(node, Forall):
+            fresh = fresh_var(node.var)
+            inner = subst.extend(node.var, fresh)
+            return walk(node.body, universals + [fresh], inner)  # type: ignore[arg-type]
+        if isinstance(node, Exists):
+            term = _skolem_term(node.var, universals)
+            inner = subst.extend(node.var, term)
+            return walk(node.body, universals, inner)  # type: ignore[arg-type]
+        if isinstance(node, And):
+            return And(tuple(walk(c, universals, subst) for c in node.conjuncts))
+        if isinstance(node, Or):
+            return Or(tuple(walk(d, universals, subst) for d in node.disjuncts))
+        if isinstance(node, Not):
+            return Not(subst.apply(node.body))  # type: ignore[arg-type]
+        return subst.apply(node)  # type: ignore[return-value]
+
+    return walk(formula, [], Substitution({}))
+
+
+def cnf_clauses(formula: Formula, provenance: str = "input") -> list[Clause]:
+    """Clausify a skolemized NNF formula (distribution with a size guard)."""
+
+    def distribute(node: Formula) -> list[list[Literal]]:
+        if isinstance(node, And):
+            result: list[list[Literal]] = []
+            for c in node.conjuncts:
+                result.extend(distribute(c))
+            return result
+        if isinstance(node, Or):
+            branches = [distribute(d) for d in node.disjuncts]
+            product: list[list[Literal]] = [[]]
+            for branch in branches:
+                product = [p + q for p in product for q in branch]
+                if len(product) > 512:
+                    raise ProofError("CNF blow-up; refactor the input formula")
+            return product
+        if isinstance(node, Not):
+            return [[Literal(False, node.body)]]
+        if isinstance(node, TrueF):
+            return []
+        if isinstance(node, FalseF):
+            return [[]]
+        if isinstance(node, (Pred, SPred, Eq, EvalBool)):
+            return [[Literal(True, node)]]
+        raise ProofError(f"cannot clausify {type(node).__name__}")
+
+    clauses = []
+    for lits in distribute(formula):
+        c = Clause(tuple(lits), provenance=provenance).dedupe()
+        if not c.is_tautology():
+            clauses.append(c)
+    return clauses
+
+
+def clausify(formula: Formula, provenance: str = "input") -> list[Clause]:
+    """NNF → skolemize → CNF."""
+    return cnf_clauses(skolemize(nnf(formula)), provenance)
+
+
+def clausify_negated(formula: Formula, provenance: str = "goal") -> list[Clause]:
+    """Clauses of ¬formula — the refutation target."""
+    return cnf_clauses(skolemize(nnf(Not(formula))), provenance)

@@ -1,0 +1,100 @@
+"""A deductive-tableau front end over the resolution core.
+
+The paper points at the Manna–Waldinger deductive tableau [13] as "a
+first-order proof system … sufficient for performing deduction in this
+theory".  This module offers the tableau *interface* — rows of assertions
+and goals, proved by deriving a true goal / refuting the assertions — on top
+of the resolution engine (see DESIGN.md substitution table): assertions
+contribute their clauses, goals contribute the clauses of their negation,
+and the proof succeeds when the union is refuted.  Answer columns become
+answer literals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ProofError
+from repro.logic.formulas import Exists, Formula
+from repro.logic.terms import Var
+from repro.prover.clauses import Answer, Clause
+from repro.prover.resolution import ProofResult, Prover
+from repro.prover.skolem import clausify, clausify_negated
+
+
+@dataclass(frozen=True)
+class Row:
+    """One tableau row: an assertion or a goal, with an optional output
+    column (the variables whose witnesses the proof must construct)."""
+
+    formula: Formula
+    is_goal: bool
+    outputs: tuple[Var, ...] = ()
+    label: str = ""
+
+    def __str__(self) -> str:
+        kind = "goal" if self.is_goal else "assert"
+        outs = f" outputs[{', '.join(v.name for v in self.outputs)}]" if self.outputs else ""
+        return f"[{kind}]{outs} {self.formula}"
+
+
+@dataclass
+class Tableau:
+    """A deductive tableau: build rows, then :meth:`prove`."""
+
+    rows: list[Row] = field(default_factory=list)
+    prover: Prover = field(default_factory=Prover)
+
+    def assert_(self, formula: Formula, label: str = "") -> "Tableau":
+        self.rows.append(Row(formula, is_goal=False, label=label))
+        return self
+
+    def goal(self, formula: Formula, label: str = "") -> "Tableau":
+        """Add a goal row; outer existentials become output columns."""
+        outputs: list[Var] = []
+        body = formula
+        while isinstance(body, Exists):
+            outputs.append(body.var)
+            body = body.body
+        self.rows.append(Row(formula, is_goal=True, outputs=tuple(outputs), label=label))
+        return self
+
+    def clauses(self) -> list[Clause]:
+        result: list[Clause] = []
+        for row in self.rows:
+            if not row.is_goal:
+                result.extend(clausify(row.formula, row.label or "assertion"))
+                continue
+            if row.outputs:
+                body = row.formula
+                for _ in row.outputs:
+                    assert isinstance(body, Exists)
+                    body = body.body
+                answer = Answer(tuple((v, v) for v in row.outputs))
+                for c in clausify_negated(body, row.label or "goal"):
+                    result.append(Clause(c.literals, (answer,), c.provenance))
+            else:
+                result.extend(clausify_negated(row.formula, row.label or "goal"))
+        return result
+
+    def prove(self) -> ProofResult:
+        if not any(row.is_goal for row in self.rows):
+            raise ProofError("a tableau needs at least one goal row")
+        return self.prover.refute(self.clauses())
+
+    def __str__(self) -> str:
+        return "\n".join(str(row) for row in self.rows)
+
+
+def prove_goal(
+    goal: Formula,
+    assertions: Optional[list[Formula]] = None,
+    prover: Optional[Prover] = None,
+) -> ProofResult:
+    """One-shot tableau proof."""
+    t = Tableau(prover=prover or Prover())
+    for a in assertions or []:
+        t.assert_(a)
+    t.goal(goal)
+    return t.prove()

@@ -1,0 +1,11 @@
+"""Transaction synthesis from declarative goals (Example 6)."""
+
+from repro.synthesis.goals import Goal, InsertGoal, ModifyGoal, RemoveGoal, goal_order
+from repro.synthesis.repair import Repair, derive_repair
+from repro.synthesis.synthesizer import SynthesisResult, Synthesizer
+
+__all__ = [
+    "Goal", "RemoveGoal", "ModifyGoal", "InsertGoal", "goal_order",
+    "Repair", "derive_repair",
+    "Synthesizer", "SynthesisResult",
+]

@@ -1,0 +1,103 @@
+"""Synthesis goals: the structured reading of declarative specifications.
+
+A specification like Example 6's is a conjunction of achievement goals about
+the post-state; the synthesizer plans state-changing fluents whose *action
+axioms* achieve each goal.  Three goal forms cover the paper's examples:
+
+* :class:`RemoveGoal` — no tuple satisfying a condition remains in a
+  relation (``delete``'s action axiom);
+* :class:`ModifyGoal` — an attribute of the matching tuples takes a new
+  value computed from the pre-state (``modify``'s action axiom);
+* :class:`InsertGoal` — a tuple is present (``insert``'s action axiom).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.db.schema import RelationSchema
+from repro.logic import builder as b
+from repro.logic.formulas import Formula
+from repro.logic.terms import Expr, Var
+
+
+class Goal:
+    """Base class of synthesis goals."""
+
+    __slots__ = ()
+
+    def achieving_fluent(self) -> Expr:
+        """A transaction fragment whose action axiom achieves this goal."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class RemoveGoal(Goal):
+    """After the transaction, no tuple of ``relation`` satisfies ``cond``.
+
+    ``var`` is the tuple variable ``cond`` constrains.
+    """
+
+    relation: RelationSchema
+    var: Var
+    cond: Formula
+
+    def achieving_fluent(self) -> Expr:
+        full_cond = b.land(b.member(self.var, self.relation.rel()), self.cond)
+        return b.foreach(self.var, full_cond, b.delete(self.var, self.relation.rid()))
+
+    def describe(self) -> str:
+        return f"remove from {self.relation.name} where {self.cond}"
+
+
+@dataclass(frozen=True)
+class ModifyGoal(Goal):
+    """After the transaction, ``attribute`` of every matching tuple equals
+    ``value`` (an expression over ``var``, read in the pre-state of the
+    enclosing foreach iteration)."""
+
+    relation: RelationSchema
+    var: Var
+    cond: Formula
+    attribute: str
+    value: Expr
+
+    def achieving_fluent(self) -> Expr:
+        full_cond = b.land(b.member(self.var, self.relation.rel()), self.cond)
+        index = self.relation.attr_index(self.attribute)
+        return b.foreach(self.var, full_cond, b.modify(self.var, index, self.value))
+
+    def describe(self) -> str:
+        return (
+            f"set {self.relation.name}.{self.attribute} := {self.value} "
+            f"where {self.cond}"
+        )
+
+
+@dataclass(frozen=True)
+class InsertGoal(Goal):
+    """After the transaction, ``values`` is a tuple of ``relation``."""
+
+    relation: RelationSchema
+    values: tuple[Expr, ...]
+
+    def achieving_fluent(self) -> Expr:
+        return b.insert(b.mktuple(*self.values), self.relation.rid())
+
+    def describe(self) -> str:
+        rendered = ", ".join(str(v) for v in self.values)
+        return f"insert ({rendered}) into {self.relation.name}"
+
+
+def goal_order(goals: list[Goal]) -> list[Goal]:
+    """Plan order: reads before destructive writes.
+
+    Modifications read the pre-state (Example 6's salary cut must see the
+    allocations before they are cascaded away), so modify-goals run first,
+    then inserts, then removals.
+    """
+    rank = {ModifyGoal: 0, InsertGoal: 1, RemoveGoal: 2}
+    return sorted(goals, key=lambda g: rank[type(g)])

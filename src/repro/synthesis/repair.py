@@ -1,0 +1,110 @@
+"""Constraint-driven repairs — the "created during the proof" steps.
+
+Example 6: "the deletion of the associated allocations and those employees
+who do not work for any projects are not specified in the theorem, they are
+created during the proof to satisfy the integrity constraints in Example 1."
+
+A static constraint of the guarded shape
+
+    ``(∀s) s::(∀x)(x ∈ R ∧ extra(x) → ψ(x))``
+
+has a canonical repair: delete the offending tuples —
+
+    ``foreach x | x ∈ R ∧ extra(x) ∧ ¬ψ(x) do delete(x, R)``
+
+which is precisely how the paper's proof introduces the cascade (dangling
+allocations deleted by the referential constraint; unallocated employees
+deleted by the total-allocation constraint).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.constraints.model import Constraint
+from repro.logic import builder as b
+from repro.logic.formulas import And, EvalBool, Forall, Implies, Formula, Not, Pred
+from repro.logic.fluents import Foreach
+from repro.logic.terms import Expr, RelConst, RelIdConst, Var
+
+
+@dataclass(frozen=True)
+class Repair:
+    """A repair step derived from a constraint."""
+
+    constraint: Constraint
+    fluent: Expr
+    description: str
+
+    def __str__(self) -> str:
+        return f"repair[{self.constraint.name}]: {self.description}"
+
+
+def derive_repair(constraint: Constraint) -> Optional[Repair]:
+    """The delete-offenders repair for a guarded static constraint, or
+    ``None`` when the constraint does not have the guarded shape."""
+    body = _static_body(constraint.formula)
+    if body is None:
+        return None
+    guarded = _guarded_parts(body)
+    if guarded is None:
+        return None
+    var, relation, extra, psi = guarded
+    offenders = b.land(
+        b.member(var, relation),
+        *( [extra] if extra is not None else [] ),
+        b.lnot(psi),
+    )
+    fluent = Foreach(
+        var, offenders, b.delete(var, RelIdConst(relation.name, relation.arity))
+    )
+    return Repair(
+        constraint,
+        fluent,
+        f"delete tuples of {relation.name} violating {constraint.name}",
+    )
+
+
+def _static_body(formula: Formula) -> Optional[Formula]:
+    """The f-formula q of a constraint ``(∀s)(s::q)``."""
+    if isinstance(formula, Forall) and formula.var.is_state_var:
+        inner = formula.body
+        if isinstance(inner, EvalBool):
+            return inner.formula
+    return None
+
+
+def _guarded_parts(
+    body: Formula,
+) -> Optional[tuple[Var, RelConst, Optional[Formula], Formula]]:
+    """Destructure ``(∀x)(x ∈ R ∧ extra → ψ)``."""
+    if not isinstance(body, Forall):
+        return None
+    var = body.var
+    implication = body.body
+    if not isinstance(implication, Implies):
+        return None
+    premise = implication.antecedent
+    conjuncts = list(premise.conjuncts) if isinstance(premise, And) else [premise]
+    membership = None
+    rest: list[Formula] = []
+    for c in conjuncts:
+        if (
+            membership is None
+            and isinstance(c, Pred)
+            and c.symbol.name.rstrip("0123456789") == "member"
+            and c.args[0] == var
+            and isinstance(c.args[1], RelConst)
+        ):
+            membership = c
+        else:
+            rest.append(c)
+    if membership is None:
+        return None
+    relation = membership.args[1]
+    assert isinstance(relation, RelConst)
+    extra = None
+    if rest:
+        extra = rest[0] if len(rest) == 1 else And(tuple(rest))
+    return var, relation, extra, implication.consequent

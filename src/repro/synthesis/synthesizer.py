@@ -1,0 +1,149 @@
+"""The transaction synthesizer (Example 6).
+
+Given achievement goals and the schema's integrity constraints, produce a
+procedural transaction:
+
+1. **Planning** — order the goals (reads before destructive writes) and emit
+   the fluent whose action axiom achieves each one;
+2. **Repair loop** — execute the candidate on validation scenarios; for each
+   violated static constraint, append its canonical repair
+   (:func:`repro.synthesis.repair.derive_repair`) and re-validate.  Repairs
+   can cascade (deleting dangling allocations strands employees, whose
+   repair then fires them) — the fixpoint is the paper's constructed
+   transaction;
+3. **Certification** — optionally model-check a declarative spec formula
+   over the (pre, post) chain of every scenario: the constructive-proof
+   by-product, checked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.errors import SynthesisError
+from repro.constraints.checker import check_state
+from repro.constraints.model import Constraint, ConstraintKind
+from repro.constraints.semantics import Evaluator, PartialModel
+from repro.db.evolution import chain_graph
+from repro.db.state import State
+from repro.logic.fluents import seq
+from repro.logic.formulas import Formula
+from repro.logic.terms import Var
+from repro.synthesis.goals import Goal, goal_order
+from repro.synthesis.repair import Repair, derive_repair
+from repro.transactions.interpreter import Interpreter
+from repro.transactions.program import DatabaseProgram, transaction
+
+
+@dataclass
+class SynthesisResult:
+    """The synthesized program and how it was constructed."""
+
+    program: DatabaseProgram
+    goals: list[Goal]
+    repairs: list[Repair]
+    rounds: int
+    certified: bool
+    trace: list[str] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        lines = [
+            f"synthesized {self.program.name} in {self.rounds} round(s); "
+            f"{len(self.repairs)} repair(s); certified={self.certified}"
+        ]
+        lines.extend(f"  {line}" for line in self.trace)
+        return "\n".join(lines)
+
+
+@dataclass
+class Synthesizer:
+    """Plans transactions from goals under integrity constraints."""
+
+    constraints: Sequence[Constraint]
+    interpreter: Interpreter = field(default_factory=Interpreter)
+    max_rounds: int = 6
+
+    def synthesize(
+        self,
+        name: str,
+        params: Sequence[Var],
+        goals: Sequence[Goal],
+        scenarios: Sequence[tuple[State, tuple]],
+        spec: Optional[Formula] = None,
+    ) -> SynthesisResult:
+        """Synthesize ``name(params)`` achieving ``goals``.
+
+        ``scenarios`` are (state, argument-values) pairs used to validate
+        repair rounds and certify the spec; states should satisfy the
+        constraints (valid databases).
+        """
+        ordered = goal_order(list(goals))
+        steps = [g.achieving_fluent() for g in ordered]
+        trace = [f"goal: {g.describe()}" for g in ordered]
+        repairs: list[Repair] = []
+        static = [c for c in self.constraints if c.kind is ConstraintKind.STATIC]
+
+        for round_index in range(1, self.max_rounds + 1):
+            candidate = transaction(name, tuple(params), seq(*steps))
+            violated = self._violated_constraints(candidate, scenarios, static)
+            if not violated:
+                certified = self._certify(candidate, scenarios, spec)
+                return SynthesisResult(
+                    candidate, ordered, repairs, round_index, certified, trace
+                )
+            progressed = False
+            for constraint in violated:
+                if any(r.constraint.name == constraint.name for r in repairs):
+                    continue  # its repair is already in place; cascading only
+                repair = derive_repair(constraint)
+                if repair is None:
+                    raise SynthesisError(
+                        f"no repair known for violated constraint "
+                        f"{constraint.name}; the proof cannot be completed"
+                    )
+                repairs.append(repair)
+                steps.append(repair.fluent)
+                trace.append(f"round {round_index}: {repair}")
+                progressed = True
+            if not progressed:
+                raise SynthesisError(
+                    "repairs no longer make progress; violated: "
+                    + ", ".join(c.name for c in violated)
+                )
+        raise SynthesisError(f"no fixpoint after {self.max_rounds} repair rounds")
+
+    # -- internals -----------------------------------------------------------
+
+    def _violated_constraints(
+        self,
+        candidate: DatabaseProgram,
+        scenarios: Sequence[tuple[State, tuple]],
+        static: Sequence[Constraint],
+    ) -> list[Constraint]:
+        violated: list[Constraint] = []
+        for state, args in scenarios:
+            after = candidate.run(state, *args, interpreter=self.interpreter)
+            for c in static:
+                if c in violated:
+                    continue
+                if not check_state(c, after, self.interpreter).ok:
+                    violated.append(c)
+        return violated
+
+    def _certify(
+        self,
+        candidate: DatabaseProgram,
+        scenarios: Sequence[tuple[State, tuple]],
+        spec: Optional[Formula],
+    ) -> bool:
+        if spec is None:
+            return False
+        for state, args in scenarios:
+            after = candidate.run(state, *args, interpreter=self.interpreter)
+            model = PartialModel(
+                chain_graph([state, after], [candidate.name]), self.interpreter
+            )
+            if not Evaluator(model).holds(spec):
+                return False
+        return True

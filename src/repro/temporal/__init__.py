@@ -1,0 +1,31 @@
+"""First-order temporal logic and its embedding into the transaction logic."""
+
+from repro.temporal.semantics import TemporalChecker, check
+from repro.temporal.syntax import (
+    Always,
+    Eventually,
+    Next,
+    Precedes,
+    TAnd,
+    TAtom,
+    TemporalFormula,
+    TImplies,
+    TNot,
+    TOr,
+    Until,
+    always,
+    atom,
+    eventually,
+    nxt,
+    precedes,
+    until,
+)
+from repro.temporal.translate import delta, translate_validity
+
+__all__ = [
+    "TemporalFormula", "TAtom", "TNot", "TAnd", "TOr", "TImplies",
+    "Always", "Next", "Eventually", "Until", "Precedes",
+    "atom", "always", "eventually", "nxt", "until", "precedes",
+    "TemporalChecker", "check",
+    "delta", "translate_validity",
+]

@@ -1,0 +1,122 @@
+"""Direct model-checking semantics for temporal formulas over evolution
+graphs.
+
+Implemented independently of the δ translation so the two can be tested for
+agreement (experiment E7): ``check(model, s, α)`` here versus evaluating
+``δ(s, α)`` with the situational evaluator.
+
+The accessibility relation is the reflexive-transitive reachability of the
+evolution graph (the null transaction and transaction composition make the
+graph reflexive and transitive — paper, Section 1), under which ``○`` and
+``◇`` coincide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constraints.semantics import PartialModel
+from repro.db.evolution import Transition
+from repro.db.state import State
+from repro.temporal.syntax import (
+    Always,
+    Eventually,
+    Next,
+    Precedes,
+    TAnd,
+    TAtom,
+    TemporalFormula,
+    TImplies,
+    TNot,
+    TOr,
+    Until,
+)
+
+
+@dataclass
+class TemporalChecker:
+    """Checks temporal formulas at states of a partial model."""
+
+    model: PartialModel
+
+    def check(self, state: State, formula: TemporalFormula) -> bool:
+        if isinstance(formula, TAtom):
+            return self.model.interpreter.eval_formula(state, formula.formula)
+        if isinstance(formula, TNot):
+            return not self.check(state, formula.body)
+        if isinstance(formula, TAnd):
+            return self.check(state, formula.lhs) and self.check(state, formula.rhs)
+        if isinstance(formula, TOr):
+            return self.check(state, formula.lhs) or self.check(state, formula.rhs)
+        if isinstance(formula, TImplies):
+            return (not self.check(state, formula.antecedent)) or self.check(
+                state, formula.consequent
+            )
+        if isinstance(formula, Always):
+            return all(
+                self.check(target, formula.body)
+                for target in self._reachable(state)
+            )
+        if isinstance(formula, (Eventually, Next)):
+            # ○a = ◇a over transitive evolution graphs (paper, Section 3)
+            return any(
+                self.check(target, formula.body)
+                for target in self._reachable(state)
+            )
+        if isinstance(formula, Until):
+            # For every reachable state w (via transition t), either lhs
+            # holds at w or rhs held at some state on the way (t = t1 ;; t2,
+            # rhs at s;t1).
+            for t in self.model.transitions_from(state):
+                target = t.apply(state)
+                assert target is not None
+                if self.check(target, formula.lhs):
+                    continue
+                if not any(
+                    self.check(mid, formula.rhs)
+                    for mid in self._prefix_states(state, t)
+                ):
+                    return False
+            return True
+        if isinstance(formula, Precedes):
+            # Some reachable state (via t) satisfies lhs with rhs false at
+            # *every* decomposition point t = t1 ;; t2 — including t1 = Λ
+            # (the start) and t1 = t (the endpoint), exactly as the paper's
+            # δ clause quantifies.
+            for t in self.model.transitions_from(state):
+                target = t.apply(state)
+                assert target is not None
+                if not self.check(target, formula.lhs):
+                    continue
+                if all(
+                    not self.check(mid, formula.rhs)
+                    for mid in self._prefix_states(state, t)
+                ):
+                    return True
+            return False
+        raise TypeError(f"check: unhandled {type(formula).__name__}")
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _reachable(self, state: State) -> list[State]:
+        seen: list[State] = []
+        for t in self.model.transitions_from(state):
+            target = t.apply(state)
+            if target is not None and target not in seen:
+                seen.append(target)
+        return seen
+
+    def _prefix_states(self, state: State, t: Transition) -> list[State]:
+        """States s;t1 for every decomposition t = t1 ;; t2 (inclusive of
+        t1 = Λ and t1 = t)."""
+        states = [state]
+        current = state
+        for _, _, target in t.steps:
+            current = target
+            states.append(current)
+        return states
+
+
+def check(model: PartialModel, state: State, formula: TemporalFormula) -> bool:
+    """Convenience wrapper: is ``formula`` valid at ``state`` in ``model``?"""
+    return TemporalChecker(model).check(state, formula)

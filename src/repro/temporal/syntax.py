@@ -1,0 +1,193 @@
+"""First-order temporal logic syntax (paper, Section 3).
+
+The five modal operators the paper compares against::
+
+    □a   from now on a is always true          (Always)
+    ○a   a is true in the next state           (Next)
+    ◇a   a is eventually true                  (Eventually)
+    aUb  a is true until b is true             (Until)
+    aVb  a precedes b                          (Precedes)
+
+Atoms are *fluent* formulas of the transaction logic — evaluated at whichever
+state the temporal operators select.  Because database evolution graphs are
+transitive, the next-state and accessibility relations collapse: ``○a = ◇a``
+(the paper notes this explicitly); :class:`Next` is kept as syntax and given
+the collapsed semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SortError
+from repro.logic.formulas import Formula
+from repro.logic.terms import Layer
+
+
+class TemporalFormula:
+    """Base class of temporal formulas."""
+
+    __slots__ = ()
+
+    def children(self) -> tuple["TemporalFormula", ...]:
+        return ()
+
+    def operator_depth(self) -> int:
+        """Maximum nesting of temporal operators (benchmark parameter)."""
+        child_depth = max((c.operator_depth() for c in self.children()), default=0)
+        is_modal = isinstance(self, (Always, Next, Eventually, Until, Precedes))
+        return child_depth + (1 if is_modal else 0)
+
+    def __str__(self) -> str:  # pragma: no cover - delegation
+        return render(self)
+
+
+@dataclass(frozen=True)
+class TAtom(TemporalFormula):
+    """An atomic temporal formula: a fluent formula of the base logic."""
+
+    formula: Formula
+
+    def __post_init__(self) -> None:
+        if self.formula.layer is Layer.SITUATIONAL:
+            raise SortError(
+                "temporal atoms are fluent formulas; states enter only "
+                "through the modal operators"
+            )
+
+
+@dataclass(frozen=True)
+class TNot(TemporalFormula):
+    body: TemporalFormula
+
+    def children(self):
+        return (self.body,)
+
+
+@dataclass(frozen=True)
+class TAnd(TemporalFormula):
+    lhs: TemporalFormula
+    rhs: TemporalFormula
+
+    def children(self):
+        return (self.lhs, self.rhs)
+
+
+@dataclass(frozen=True)
+class TOr(TemporalFormula):
+    lhs: TemporalFormula
+    rhs: TemporalFormula
+
+    def children(self):
+        return (self.lhs, self.rhs)
+
+
+@dataclass(frozen=True)
+class TImplies(TemporalFormula):
+    antecedent: TemporalFormula
+    consequent: TemporalFormula
+
+    def children(self):
+        return (self.antecedent, self.consequent)
+
+
+@dataclass(frozen=True)
+class Always(TemporalFormula):
+    """□a — a holds in every reachable state (reflexively)."""
+
+    body: TemporalFormula
+
+    def children(self):
+        return (self.body,)
+
+
+@dataclass(frozen=True)
+class Next(TemporalFormula):
+    """○a — collapses to ◇a over transitive evolution graphs."""
+
+    body: TemporalFormula
+
+    def children(self):
+        return (self.body,)
+
+
+@dataclass(frozen=True)
+class Eventually(TemporalFormula):
+    """◇a — a holds in some reachable state (reflexively)."""
+
+    body: TemporalFormula
+
+    def children(self):
+        return (self.body,)
+
+
+@dataclass(frozen=True)
+class Until(TemporalFormula):
+    """aUb — at every reachable state, either a holds there or b held at
+    some state on the way (the paper's δ clause, weak form)."""
+
+    lhs: TemporalFormula
+    rhs: TemporalFormula
+
+    def children(self):
+        return (self.lhs, self.rhs)
+
+
+@dataclass(frozen=True)
+class Precedes(TemporalFormula):
+    """aVb — some reachable state satisfies a with b false at every state
+    strictly on the way there (the paper's δ clause)."""
+
+    lhs: TemporalFormula
+    rhs: TemporalFormula
+
+    def children(self):
+        return (self.lhs, self.rhs)
+
+
+def atom(formula: Formula) -> TAtom:
+    return TAtom(formula)
+
+
+def always(body: TemporalFormula) -> Always:
+    return Always(body)
+
+
+def eventually(body: TemporalFormula) -> Eventually:
+    return Eventually(body)
+
+
+def nxt(body: TemporalFormula) -> Next:
+    return Next(body)
+
+
+def until(lhs: TemporalFormula, rhs: TemporalFormula) -> Until:
+    return Until(lhs, rhs)
+
+
+def precedes(lhs: TemporalFormula, rhs: TemporalFormula) -> Precedes:
+    return Precedes(lhs, rhs)
+
+
+def render(f: TemporalFormula) -> str:
+    if isinstance(f, TAtom):
+        return str(f.formula)
+    if isinstance(f, TNot):
+        return f"~({render(f.body)})"
+    if isinstance(f, TAnd):
+        return f"({render(f.lhs)} & {render(f.rhs)})"
+    if isinstance(f, TOr):
+        return f"({render(f.lhs)} | {render(f.rhs)})"
+    if isinstance(f, TImplies):
+        return f"({render(f.antecedent)} -> {render(f.consequent)})"
+    if isinstance(f, Always):
+        return f"□({render(f.body)})"
+    if isinstance(f, Next):
+        return f"○({render(f.body)})"
+    if isinstance(f, Eventually):
+        return f"◇({render(f.body)})"
+    if isinstance(f, Until):
+        return f"({render(f.lhs)} U {render(f.rhs)})"
+    if isinstance(f, Precedes):
+        return f"({render(f.lhs)} V {render(f.rhs)})"
+    raise TypeError(f"render: unhandled {type(f).__name__}")

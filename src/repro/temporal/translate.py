@@ -1,0 +1,106 @@
+"""The δ translation from temporal logic into the transaction logic.
+
+Section 3 of the paper defines a mapping δ such that a temporal formula α is
+valid at state s in temporal logic iff δ(s, α) is valid in situational
+logic::
+
+    δ(s, a)    = s::a                                (no temporal operators)
+    δ(s, □a)   = (∀t) δ(s;t, a)
+    δ(s, ◇a)   = (∃t) δ(s;t, a)
+    δ(s, aUb)  = (∀t)(δ(s;t, a) ∨ (∃t1)(∃t2)(t = t1;;t2 ∧ δ(s;t1, b)))
+    δ(s, aVb)  = (∃t)(δ(s;t, a) ∧ (∀t1)(∀t2)(t = t1;;t2 → δ(s;t1, ¬b)))
+
+with ○a = ◇a because evolution graphs are transitive.  This construction
+shows the transaction logic is *at least* as expressive as first-order
+temporal logic; constraints about specific transactions (the modify axioms,
+Example 3's dept-deletion precondition) witness that it is strictly more
+expressive, since programs are not objects in temporal logic.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.logic import builder as b
+from repro.logic.formulas import Eq, EvalBool, Formula
+from repro.logic.fluents import Seq
+from repro.logic.terms import Expr, Var
+from repro.temporal.syntax import (
+    Always,
+    Eventually,
+    Next,
+    Precedes,
+    TAnd,
+    TAtom,
+    TemporalFormula,
+    TImplies,
+    TNot,
+    TOr,
+    Until,
+)
+
+_counter = itertools.count(1)
+
+
+def _fresh_trans(prefix: str = "t") -> Var:
+    return b.trans_var(f"{prefix}δ{next(_counter)}")
+
+
+def delta(state: Expr, formula: TemporalFormula) -> Formula:
+    """``δ(state, formula)`` — the paper's translation, verbatim."""
+    if isinstance(formula, TAtom):
+        return EvalBool(state, formula.formula)
+    if isinstance(formula, TNot):
+        return b.lnot(delta(state, formula.body))
+    if isinstance(formula, TAnd):
+        return b.land(delta(state, formula.lhs), delta(state, formula.rhs))
+    if isinstance(formula, TOr):
+        return b.lor(delta(state, formula.lhs), delta(state, formula.rhs))
+    if isinstance(formula, TImplies):
+        return b.implies(
+            delta(state, formula.antecedent), delta(state, formula.consequent)
+        )
+    if isinstance(formula, Always):
+        t = _fresh_trans()
+        return b.forall(t, delta(b.after(state, t), formula.body))
+    if isinstance(formula, (Eventually, Next)):
+        t = _fresh_trans()
+        return b.exists(t, delta(b.after(state, t), formula.body))
+    if isinstance(formula, Until):
+        t = _fresh_trans()
+        t1 = _fresh_trans("t1")
+        t2 = _fresh_trans("t2")
+        b_on_the_way = b.exists(
+            t1,
+            b.exists(
+                t2,
+                b.land(Eq(t, Seq(t1, t2)), delta(b.after(state, t1), formula.rhs)),
+            ),
+        )
+        return b.forall(
+            t, b.lor(delta(b.after(state, t), formula.lhs), b_on_the_way)
+        )
+    if isinstance(formula, Precedes):
+        t = _fresh_trans()
+        t1 = _fresh_trans("t1")
+        t2 = _fresh_trans("t2")
+        no_b_before = b.forall(
+            t1,
+            b.forall(
+                t2,
+                b.implies(
+                    Eq(t, Seq(t1, t2)),
+                    b.lnot(delta(b.after(state, t1), formula.rhs)),
+                ),
+            ),
+        )
+        return b.exists(
+            t, b.land(delta(b.after(state, t), formula.lhs), no_b_before)
+        )
+    raise TypeError(f"delta: unhandled {type(formula).__name__}")
+
+
+def translate_validity(formula: TemporalFormula) -> Formula:
+    """``(∀s) δ(s, α)`` — α valid everywhere, as one situational sentence."""
+    s = b.state_var("sδ")
+    return b.forall(s, delta(s, formula))

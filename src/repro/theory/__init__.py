@@ -1,0 +1,40 @@
+"""The situational transaction theory T_L: axioms, rewriting, regression."""
+
+from repro.theory.axioms import (
+    Axiom,
+    arity_axioms,
+    composition_associativity,
+    composition_linkage,
+    core_axioms,
+    delete_action,
+    delete_frame,
+    identity_fluent,
+    insert_action,
+    insert_frame,
+    modify_action,
+    modify_frame,
+    object_linkage,
+    predicate_linkage,
+    state_linkage,
+    transaction_theory,
+)
+from repro.theory.regression import NotRegressable, regress_expr, regress_formula
+from repro.theory.rewriting import (
+    NormalizationResult,
+    RewriteStats,
+    distribute_eval_bool,
+    normalize,
+    reduce_transitions,
+    to_primed,
+)
+
+__all__ = [
+    "Axiom", "core_axioms", "arity_axioms", "transaction_theory",
+    "composition_associativity", "identity_fluent", "composition_linkage",
+    "object_linkage", "predicate_linkage", "state_linkage",
+    "modify_action", "modify_frame", "insert_action", "insert_frame",
+    "delete_action", "delete_frame",
+    "regress_formula", "regress_expr", "NotRegressable",
+    "normalize", "NormalizationResult", "RewriteStats",
+    "distribute_eval_bool", "reduce_transitions", "to_primed",
+]

@@ -1,0 +1,306 @@
+"""The situational transaction theory ``T_L`` (paper, Section 2).
+
+The domain-independent first-order theory of database evolution, with four
+groups of axioms:
+
+* **fluent-algebra axioms** — composition-associativity, identity-fluent;
+* **linkage axioms** — object-/predicate-/state-/setformer-linkage relate
+  ``w:e`` / ``w::p`` / ``w;e`` on compound fluents to their components, and
+  composition-/condition-/iteration-linkage do the same for the fluent
+  combinators;
+* **action axioms** — what ``insert_n`` / ``delete_n`` / ``modify_n`` /
+  ``assign`` change;
+* **frame axioms** — what they leave untouched (the modify-frame axiom of
+  the paper, and its insert/delete analogues).
+
+Axioms are closed s-formulas (only s-expressions denote values, so "axioms
+in our transaction logic are s-formulas").  Arity-indexed schemas are
+instantiated on demand; :func:`transaction_theory` collects the instances
+needed for a schema.  Property tests (experiment E10) check that the
+operational interpreter is a model of every axiom here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.logic import builder as b
+from repro.logic import symbols as sym
+from repro.logic.formulas import Eq, Formula, Implies, forall
+from repro.logic.fluents import Seq
+from repro.logic.terms import App, EvalObj, EvalState, Var
+
+
+@dataclass(frozen=True)
+class Axiom:
+    """A named closed s-formula of the theory."""
+
+    name: str
+    formula: Formula
+    group: str  # "fluent-algebra" | "linkage" | "action" | "frame"
+
+    def __str__(self) -> str:
+        return f"{self.name}: {self.formula}"
+
+
+# ---------------------------------------------------------------------------
+# Fluent-algebra axioms
+# ---------------------------------------------------------------------------
+
+
+def composition_associativity() -> Axiom:
+    """``(s ;; t) ;; u = s ;; (t ;; u)``.
+
+    Stated on the evaluation results (only s-expressions denote values):
+    ``w;((s;;t);;u) = w;(s;;(t;;u))`` for all states w.
+    """
+    w = b.state_var("w")
+    s = b.trans_var("s")
+    t = b.trans_var("t")
+    u = b.trans_var("u")
+    lhs = b.after(w, Seq(Seq(s, t), u))
+    rhs = b.after(w, Seq(s, Seq(t, u)))
+    return Axiom(
+        "composition-associativity", forall([w, s, t, u], Eq(lhs, rhs)), "fluent-algebra"
+    )
+
+
+def identity_fluent() -> Axiom:
+    """``Λ ;; s = s ;; Λ = s`` (evaluated form)."""
+    w = b.state_var("w")
+    s = b.trans_var("s")
+    left = Eq(b.after(w, Seq(b.identity(), s)), b.after(w, s))
+    right = Eq(b.after(w, Seq(s, b.identity())), b.after(w, s))
+    return Axiom("identity-fluent", forall([w, s], b.land(left, right)), "fluent-algebra")
+
+
+def identity_is_null() -> Axiom:
+    """``w;Λ = w`` — the null transaction makes evolution reflexive."""
+    w = b.state_var("w")
+    return Axiom("identity-null", forall(w, Eq(b.after(w, b.identity()), w)), "fluent-algebra")
+
+
+# ---------------------------------------------------------------------------
+# Linkage axioms for the fluent combinators
+# ---------------------------------------------------------------------------
+
+
+def composition_linkage() -> Axiom:
+    """``w;(s;;t) = (w;s);t``."""
+    w = b.state_var("w")
+    s = b.trans_var("s")
+    t = b.trans_var("t")
+    lhs = b.after(w, Seq(s, t))
+    rhs = b.after(b.after(w, s), t)
+    return Axiom("composition-linkage", forall([w, s, t], Eq(lhs, rhs)), "linkage")
+
+
+def object_linkage(symbol: sym.FunctionSymbol, variables: tuple[Var, ...]) -> Axiom:
+    """``w:f(t1, ..., tn) = f'(w, w:t1, ..., w:tn)`` for object-sorted f."""
+    w = b.state_var("w")
+    lhs = EvalObj(w, App(symbol, variables))
+    rhs = b.sapp(symbol, w, *[_eval_if_needed(w, v) for v in variables])
+    return Axiom(
+        f"object-linkage[{symbol.name}]", forall([w, *variables], Eq(lhs, rhs)), "linkage"
+    )
+
+
+def state_linkage(symbol: sym.FunctionSymbol, variables: tuple[Var, ...]) -> Axiom:
+    """``w;g(t1, ..., tn) = g'(w, w:t1, ..., w:tn)`` for state-sorted g."""
+    w = b.state_var("w")
+    lhs = EvalState(w, App(symbol, variables))
+    rhs = b.sapp(symbol, w, *[_eval_if_needed(w, v) for v in variables])
+    return Axiom(
+        f"state-linkage[{symbol.name}]", forall([w, *variables], Eq(lhs, rhs)), "linkage"
+    )
+
+
+def predicate_linkage(symbol: sym.PredicateSymbol, variables: tuple[Var, ...]) -> Axiom:
+    """``w::P(t1, ..., tn) <-> P'(w, w:t1, ..., w:tn)``."""
+    w = b.state_var("w")
+    lhs = b.holds(w, b.Pred(symbol, variables))
+    rhs = b.spred(symbol, w, *[_eval_if_needed(w, v) for v in variables])
+    return Axiom(
+        f"predicate-linkage[{symbol.name}]",
+        forall([w, *variables], b.iff(lhs, rhs)),
+        "linkage",
+    )
+
+
+def _eval_if_needed(w: Var, v: Var):
+    """``w:v`` for fluent variables; atoms and identifiers are rigid."""
+    if v.sort.is_atom or v.sort.is_identifier:
+        return v
+    return b.at(w, v)
+
+
+# ---------------------------------------------------------------------------
+# Action and frame axioms for the state-changing fluents
+# ---------------------------------------------------------------------------
+
+
+def modify_action(n: int) -> Axiom:
+    """The paper's modify-action axiom::
+
+        (1 <= i <= n) -> select_n(modify'_n(w, w:t, i, v),
+                                  modify'_n(w, w:t, i, v):t, i) = v
+
+    After modifying attribute ``i`` of tuple ``t`` to ``v``, selecting
+    attribute ``i`` of (the evolved) ``t`` yields ``v``.
+    """
+    w = b.state_var("w")
+    t = b.ftup_var("t", n)
+    i = b.atom_var("i")
+    v = b.atom_var("v")
+    new_state = b.after(w, b.modify(t, i, v))
+    lhs = EvalObj(new_state, App(sym.select_sym(n), (t, i)))
+    guard = b.land(b.le(b.atom(1), i), b.le(i, b.atom(n)))
+    return Axiom(
+        f"modify-action[{n}]",
+        forall([w, t, i, v], Implies(guard, Eq(lhs, v))),
+        "action",
+    )
+
+
+def modify_frame(n: int) -> Axiom:
+    """The paper's modify-frame axiom::
+
+        (i != j  or  id'(w, w:t1) != id'(w, w:t2)) ->
+            select'_n(w, w:t1, i) =
+            select'_n(modify'_n(w, w:t2, j, v), modify'_n(w, w:t2, j, v):t1, i)
+
+    Modifying attribute ``j`` of ``t2`` leaves attribute ``i`` of ``t1``
+    unchanged whenever the positions differ or the tuples are distinct.
+    """
+    w = b.state_var("w")
+    t1 = b.ftup_var("t1", n)
+    t2 = b.ftup_var("t2", n)
+    i = b.atom_var("i")
+    j = b.atom_var("j")
+    v = b.atom_var("v")
+    ids_differ = b.lnot(Eq(EvalObj(w, b.tuple_id(t1)), EvalObj(w, b.tuple_id(t2))))
+    guard = b.lor(b.lnot(Eq(i, j)), ids_differ)
+    select_t1 = App(sym.select_sym(n), (t1, i))
+    before = EvalObj(w, select_t1)
+    after_state = b.after(w, b.modify(t2, j, v))
+    after = EvalObj(after_state, select_t1)
+    return Axiom(
+        f"modify-frame[{n}]",
+        forall([w, t1, t2, i, j, v], Implies(guard, Eq(before, after))),
+        "frame",
+    )
+
+
+def insert_action(n: int, relation: str) -> Axiom:
+    """``w;insert_n(t, R) :: (t in R)`` — the inserted tuple is present."""
+    w = b.state_var("w")
+    t = b.ftup_var("t", n)
+    new_state = b.after(w, b.insert(t, b.rel_id(relation, n)))
+    return Axiom(
+        f"insert-action[{relation}]",
+        forall([w, t], b.holds(new_state, b.member(t, b.rel(relation, n)))),
+        "action",
+    )
+
+
+def insert_frame(n: int, relation: str, other: str, other_arity: int) -> Axiom:
+    """Inserting into ``R`` leaves every other relation unchanged."""
+    w = b.state_var("w")
+    t = b.ftup_var("t", n)
+    u = b.ftup_var("u", other_arity)
+    new_state = b.after(w, b.insert(t, b.rel_id(relation, n)))
+    before = b.holds(w, b.member(u, b.rel(other, other_arity)))
+    after = b.holds(new_state, b.member(u, b.rel(other, other_arity)))
+    return Axiom(
+        f"insert-frame[{relation}/{other}]",
+        forall([w, t, u], b.iff(before, after)),
+        "frame",
+    )
+
+
+def delete_action(n: int, relation: str) -> Axiom:
+    """``not w;delete_n(t, R) :: (t in R)`` — the deleted tuple is absent."""
+    w = b.state_var("w")
+    t = b.ftup_var("t", n)
+    new_state = b.after(w, b.delete(t, b.rel_id(relation, n)))
+    return Axiom(
+        f"delete-action[{relation}]",
+        forall(
+            [w, t], b.lnot(b.holds(new_state, b.member(t, b.rel(relation, n))))
+        ),
+        "action",
+    )
+
+
+def delete_frame(n: int, relation: str) -> Axiom:
+    """Deleting ``t`` keeps every *other* tuple of ``R``."""
+    w = b.state_var("w")
+    t = b.ftup_var("t", n)
+    u = b.ftup_var("u", n)
+    new_state = b.after(w, b.delete(t, b.rel_id(relation, n)))
+    distinct = b.lnot(Eq(EvalObj(w, b.tuple_id(u)), EvalObj(w, b.tuple_id(t))))
+    before = b.holds(w, b.member(u, b.rel(relation, n)))
+    after = b.holds(new_state, b.member(u, b.rel(relation, n)))
+    return Axiom(
+        f"delete-frame[{relation}]",
+        forall([w, t, u], Implies(b.land(distinct, before), after)),
+        "frame",
+    )
+
+
+def assign_action(n: int, relation: str) -> Axiom:
+    """``w;assign(R, S) : R = w:S`` — the relation takes the set's value."""
+    w = b.state_var("w")
+    s = b.fset_var("S", n)
+    new_state = b.after(w, b.assign(b.rel_id(relation, n), s))
+    lhs = EvalObj(new_state, b.rel(relation, n))
+    rhs = EvalObj(w, s)
+    return Axiom(
+        f"assign-action[{relation}]", forall([w, s], Eq(lhs, rhs)), "action"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Theory assembly
+# ---------------------------------------------------------------------------
+
+
+def core_axioms() -> list[Axiom]:
+    """The schema-independent axioms (fluent algebra + composition)."""
+    return [
+        composition_associativity(),
+        identity_fluent(),
+        identity_is_null(),
+        composition_linkage(),
+    ]
+
+
+def arity_axioms(n: int) -> list[Axiom]:
+    """Arity-indexed axiom instances for tuples of arity ``n``."""
+    axioms = [modify_action(n), modify_frame(n)]
+    t = b.ftup_var("t", n)
+    i = b.atom_var("i")
+    axioms.append(object_linkage(sym.select_sym(n), (t, i)))
+    axioms.append(predicate_linkage(sym.member_sym(n), (t, b.fset_var("S", n))))
+    return axioms
+
+
+def transaction_theory(schema) -> list[Axiom]:
+    """``T_L`` instantiated for a schema's relations (Definition 1's first
+    component, restricted to the instances the schema can mention)."""
+    axioms = core_axioms()
+    arities = sorted({rs.arity for rs in schema.relations.values()})
+    for n in arities:
+        axioms.extend(arity_axioms(n))
+    names = sorted(schema.relations)
+    for name in names:
+        rs = schema.relations[name]
+        axioms.append(insert_action(rs.arity, name))
+        axioms.append(delete_action(rs.arity, name))
+        axioms.append(delete_frame(rs.arity, name))
+        axioms.append(assign_action(rs.arity, name))
+        for other in names:
+            if other != name:
+                o = schema.relations[other]
+                axioms.append(insert_frame(rs.arity, name, other, o.arity))
+    return axioms

@@ -1,0 +1,154 @@
+"""Ground simplification: the executable fragment of the data-structure
+axioms (Presburger-style arithmetic and finite-set facts).
+
+The paper assumes "an appropriate set of axioms for natural numbers, n-ary
+tuples, and finite sets" [17]; here the ground consequences of those axioms
+are decided by evaluation, which is how the prover and the VC generator
+discharge arithmetic and set literals without search.
+"""
+
+from __future__ import annotations
+
+from repro.logic.formulas import (
+    And,
+    Eq,
+    FalseF,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Pred,
+    TrueF,
+)
+from repro.logic.terms import App, AtomConst, Expr, Node
+
+
+def _ground_int(expr: Expr) -> int | str | None:
+    """Evaluate a variable-free arithmetic/atom term, or ``None``."""
+    if isinstance(expr, AtomConst):
+        return expr.value
+    if isinstance(expr, App):
+        base = expr.symbol.name.rstrip("0123456789")
+        args = [_ground_int(a) for a in expr.args]
+        if any(a is None for a in args):
+            return None
+        ints = [a for a in args if isinstance(a, int)]
+        if len(ints) != len(args):
+            return None
+        table = {
+            "+": lambda x, y: x + y,
+            "-": lambda x, y: max(0, x - y),
+            "*": lambda x, y: x * y,
+            "max": max,
+            "min": min,
+        }
+        if base in table and len(ints) == 2:
+            return table[base](*ints)
+        if base == "div" and len(ints) == 2 and ints[1] != 0:
+            return ints[0] // ints[1]
+        if base == "mod" and len(ints) == 2 and ints[1] != 0:
+            return ints[0] % ints[1]
+    return None
+
+
+def simplify_expr(expr: Expr) -> Expr:
+    """Fold ground arithmetic subterms to literals."""
+    new_children = tuple(
+        simplify_expr(c) if isinstance(c, Expr) else simplify(c)  # type: ignore[arg-type]
+        for c in expr.children()
+    )
+    rebuilt = expr if all(
+        nc is oc for nc, oc in zip(new_children, expr.children())
+    ) else expr.with_children(new_children)
+    if isinstance(rebuilt, App):
+        value = _ground_int(rebuilt)
+        if value is not None:
+            return AtomConst(value)
+    return rebuilt  # type: ignore[return-value]
+
+
+def simplify(formula: Formula) -> Formula:
+    """Boolean + ground-atom simplification to a fixpoint-ish single pass."""
+    if isinstance(formula, (TrueF, FalseF)):
+        return formula
+    if isinstance(formula, Not):
+        body = simplify(formula.body)
+        if isinstance(body, TrueF):
+            return FalseF()
+        if isinstance(body, FalseF):
+            return TrueF()
+        if isinstance(body, Not):
+            return body.body
+        return Not(body)
+    if isinstance(formula, And):
+        parts = []
+        for c in formula.conjuncts:
+            s = simplify(c)
+            if isinstance(s, FalseF):
+                return FalseF()
+            if not isinstance(s, TrueF):
+                parts.append(s)
+        if not parts:
+            return TrueF()
+        return parts[0] if len(parts) == 1 else And(tuple(parts))
+    if isinstance(formula, Or):
+        parts = []
+        for d in formula.disjuncts:
+            s = simplify(d)
+            if isinstance(s, TrueF):
+                return TrueF()
+            if not isinstance(s, FalseF):
+                parts.append(s)
+        if not parts:
+            return FalseF()
+        return parts[0] if len(parts) == 1 else Or(tuple(parts))
+    if isinstance(formula, Implies):
+        a = simplify(formula.antecedent)
+        c = simplify(formula.consequent)
+        if isinstance(a, FalseF) or isinstance(c, TrueF):
+            return TrueF()
+        if isinstance(a, TrueF):
+            return c
+        if isinstance(c, FalseF):
+            return simplify(Not(a))
+        return Implies(a, c)
+    if isinstance(formula, Iff):
+        a, c = simplify(formula.lhs), simplify(formula.rhs)
+        if isinstance(a, TrueF):
+            return c
+        if isinstance(c, TrueF):
+            return a
+        if isinstance(a, FalseF):
+            return simplify(Not(c))
+        if isinstance(c, FalseF):
+            return simplify(Not(a))
+        return Iff(a, c)
+    if isinstance(formula, Eq):
+        lhs = simplify_expr(formula.lhs)
+        rhs = simplify_expr(formula.rhs)
+        if lhs == rhs:
+            return TrueF()
+        lg, rg = _ground_int(lhs), _ground_int(rhs)
+        if lg is not None and rg is not None:
+            return TrueF() if lg == rg else FalseF()
+        return Eq(lhs, rhs)
+    if isinstance(formula, Pred):
+        base = formula.symbol.name.rstrip("0123456789")
+        args = tuple(simplify_expr(a) for a in formula.args)
+        if base in ("<", "<=", ">", ">="):
+            lg, rg = _ground_int(args[0]), _ground_int(args[1])
+            if isinstance(lg, int) and isinstance(rg, int):
+                verdict = {
+                    "<": lg < rg, "<=": lg <= rg, ">": lg > rg, ">=": lg >= rg
+                }[base]
+                return TrueF() if verdict else FalseF()
+        return Pred(formula.symbol, args)
+    # Quantifiers and situational atoms: recurse into children generically.
+    new_children = tuple(
+        simplify(c) if isinstance(c, Formula) else simplify_expr(c)  # type: ignore[arg-type]
+        for c in formula.children()
+    )
+    if all(nc is oc for nc, oc in zip(new_children, formula.children())):
+        return formula
+    return formula.with_children(new_children)  # type: ignore[return-value]

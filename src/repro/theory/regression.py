@@ -1,0 +1,267 @@
+"""Regression of fluent formulas through transactions.
+
+The central deductive tool of the reproduction (DESIGN.md decision 3): given
+an f-formula ``p`` and a transaction ``T``, :func:`regress_formula` computes
+an f-formula ``q`` with
+
+    ``w :: q``   iff   ``(w ; T) :: p``       for every state ``w``,
+
+by applying the action and frame axioms of Section 2 as directed rewrites —
+for example the modify-action / modify-frame pair becomes: ``select_n(t, i)``
+after ``modify_n(u, j, v)`` is ``v`` when ``i = j`` and ``id(t) = id(u)``,
+and ``select_n(t, i)`` unchanged otherwise.
+
+Regression turns "show that transaction T preserves constraint φ" into a
+single-state verification condition, which is the paper's "the effects of
+transactions on the validity of the integrity constraints should be
+derivable from formal proofs".
+
+Limits (and how the verifier compensates):
+
+* ``foreach`` iterates a dynamically determined set; its effect is not a
+  finite first-order rewrite.  :func:`regress_formula` raises
+  :class:`NotRegressable`; the verifier then falls back to model checking
+  (the paper's own Example 5 "combines model checking with theorem-proving").
+* membership of *constructed* tuple values (not variables) after ``modify``
+  would need value-level reasoning about the modified tuple; this also
+  raises :class:`NotRegressable`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ProofError
+from repro.logic import builder as b
+from repro.logic import symbols as sym
+from repro.logic.fluents import CondExpr, CondFluent, Foreach, Identity, Seq, SetFormer
+from repro.logic.formulas import (
+    And,
+    Eq,
+    FalseF,
+    Forall,
+    Exists,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Pred,
+    TrueF,
+)
+from repro.logic.terms import (
+    App,
+    AtomConst,
+    Expr,
+    RelConst,
+    RelIdConst,
+    Var,
+)
+
+
+class NotRegressable(ProofError):
+    """The transaction's effect on the formula is outside the first-order
+    rewrite fragment; the caller should fall back to model checking."""
+
+
+def regress_formula(p: Formula, step: Expr) -> Formula:
+    """``q`` such that ``w::q`` iff ``(w;step)::p``."""
+    if isinstance(step, Identity):
+        return p
+    if isinstance(step, Seq):
+        return regress_formula(regress_formula(p, step.second), step.first)
+    if isinstance(step, CondFluent):
+        through_then = regress_formula(p, step.then_branch)
+        through_else = regress_formula(p, step.else_branch)
+        return b.lor(
+            b.land(step.cond, through_then),
+            b.land(b.lnot(step.cond), through_else),
+        )
+    if isinstance(step, Foreach):
+        raise NotRegressable(
+            "foreach iterates a dynamically determined set; regression is "
+            "not first-order — use model checking for this obligation"
+        )
+    if isinstance(step, App) and step.symbol.is_state_changing:
+        return _regress_atomic_formula(p, step)
+    if isinstance(step, Var):
+        raise NotRegressable(f"cannot regress through transition variable {step.name}")
+    raise NotRegressable(f"cannot regress through {type(step).__name__}")
+
+
+def regress_expr(e: Expr, step: Expr) -> Expr:
+    """``e'`` such that ``w:e'`` equals ``(w;step):e``."""
+    if isinstance(step, Identity):
+        return e
+    if isinstance(step, Seq):
+        return regress_expr(regress_expr(e, step.second), step.first)
+    if isinstance(step, CondFluent):
+        through_then = regress_expr(e, step.then_branch)
+        through_else = regress_expr(e, step.else_branch)
+        if through_then == through_else:
+            return through_then
+        return CondExpr(step.cond, through_then, through_else)
+    if isinstance(step, App) and step.symbol.is_state_changing:
+        return _regress_atomic_expr(e, step)
+    if isinstance(step, Foreach):
+        raise NotRegressable("foreach effect on expressions is not first-order")
+    raise NotRegressable(f"cannot regress through {type(step).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Atomic steps
+# ---------------------------------------------------------------------------
+
+
+def _step_parts(step: App) -> tuple[str, tuple[Expr, ...]]:
+    base = step.symbol.name.rstrip("0123456789")
+    return base, step.args
+
+
+def _regress_atomic_formula(p: Formula, step: App) -> Formula:
+    if isinstance(p, (TrueF, FalseF)):
+        return p
+    if isinstance(p, Not):
+        return Not(_regress_atomic_formula(p.body, step))
+    if isinstance(p, And):
+        return And(tuple(_regress_atomic_formula(c, step) for c in p.conjuncts))
+    if isinstance(p, Or):
+        return Or(tuple(_regress_atomic_formula(d, step) for d in p.disjuncts))
+    if isinstance(p, Implies):
+        return Implies(
+            _regress_atomic_formula(p.antecedent, step),
+            _regress_atomic_formula(p.consequent, step),
+        )
+    if isinstance(p, Iff):
+        return Iff(
+            _regress_atomic_formula(p.lhs, step),
+            _regress_atomic_formula(p.rhs, step),
+        )
+    if isinstance(p, Forall):
+        return Forall(p.var, _regress_atomic_formula(p.body, step))
+    if isinstance(p, Exists):
+        return Exists(p.var, _regress_atomic_formula(p.body, step))
+    if isinstance(p, Eq):
+        return Eq(_regress_atomic_expr(p.lhs, step), _regress_atomic_expr(p.rhs, step))
+    if isinstance(p, Pred):
+        return _regress_pred(p, step)
+    raise NotRegressable(f"cannot regress formula {type(p).__name__}")
+
+
+def _regress_pred(p: Pred, step: App) -> Pred | Formula:
+    base = p.symbol.name.rstrip("0123456789")
+    kind, args = _step_parts(step)
+    if base == "member":
+        element, collection = p.args
+        new_collection = _regress_atomic_expr(collection, step)
+        new_element = _regress_atomic_expr(element, step)
+        if kind == "insert" and _is_relation(collection, args[1]):
+            # t in R  after insert(u, R)   <=>   t in R  or  t = u
+            return b.lor(
+                Pred(p.symbol, (new_element, _strip_change(new_collection, step))),
+                Eq(new_element, args[0]),
+            )
+        if kind == "delete" and _is_relation(collection, args[1]):
+            # t in R  after delete(u, R)   <=>   t in R  and  t != u
+            return b.land(
+                Pred(p.symbol, (new_element, _strip_change(new_collection, step))),
+                Not(Eq(new_element, args[0])),
+            )
+        return Pred(p.symbol, (new_element, new_collection))
+    new_args = tuple(_regress_atomic_expr(a, step) for a in p.args)
+    return Pred(p.symbol, new_args)
+
+
+def _is_relation(collection: Expr, rid: Expr) -> bool:
+    return (
+        isinstance(collection, RelConst)
+        and isinstance(rid, RelIdConst)
+        and collection.name == rid.name
+    )
+
+
+def _strip_change(regressed: Expr, step: App) -> Expr:
+    """Undo the with/without wrapper added by expression regression, for the
+    member special case that already accounts for the change."""
+    if isinstance(regressed, App):
+        base = regressed.symbol.name.rstrip("0123456789")
+        if base in ("with", "without"):
+            return regressed.args[0]
+    return regressed
+
+
+def _regress_atomic_expr(e: Expr, step: App) -> Expr:
+    kind, args = _step_parts(step)
+    if isinstance(e, (AtomConst, RelIdConst)):
+        return e
+    if isinstance(e, Var):
+        # Variables dereference by identifier; insert/delete/assign do not
+        # change any existing tuple's attributes, and modify is handled at
+        # the selector level.  A tuple variable's *denotation* is stable.
+        return e
+    if isinstance(e, RelConst):
+        if kind == "insert" and _is_relation(e, args[1]):
+            return App(sym.with_sym(e.arity), (e, args[0]))
+        if kind == "delete" and _is_relation(e, args[1]):
+            return App(sym.without_sym(e.arity), (e, args[0]))
+        if kind == "assign" and _is_relation(e, args[0]):
+            return args[1]
+        return e
+    if isinstance(e, SetFormer):
+        return SetFormer(
+            _regress_atomic_expr(e.result, step),
+            e.bound,
+            _regress_atomic_formula(e.cond, step),
+        )
+    if isinstance(e, CondExpr):
+        return CondExpr(
+            _regress_atomic_formula(e.cond, step),
+            _regress_atomic_expr(e.then_branch, step),
+            _regress_atomic_expr(e.else_branch, step),
+        )
+    if isinstance(e, App):
+        return _regress_app(e, step, kind, args)
+    raise NotRegressable(f"cannot regress expression {type(e).__name__}")
+
+
+def _regress_app(e: App, step: App, kind: str, step_args: tuple[Expr, ...]) -> Expr:
+    base = e.symbol.name.rstrip("0123456789")
+    new_args = tuple(_regress_atomic_expr(a, step) for a in e.args)
+    rebuilt = App(e.symbol, new_args)
+
+    if kind != "modify":
+        return rebuilt
+
+    target, pos, value = step_args
+    if not isinstance(target, (Var, App)):
+        raise NotRegressable("modify of a non-variable tuple expression")
+
+    if base == "select" or e.symbol.kind.value == "attribute":
+        if base == "select":
+            tup, index = new_args
+        else:
+            tup = new_args[0]
+            index = AtomConst(e.symbol.index)
+        if tup.sort != target.sort:
+            return rebuilt  # different arity: untouched by this modify
+        if not isinstance(tup, Var) or not isinstance(target, Var):
+            # Constructed tuple values are unidentified; modify cannot reach
+            # them, so the frame axiom applies.
+            return rebuilt
+        same_pos = _positions_equal(index, pos)
+        if same_pos is False:
+            return rebuilt  # modify-frame: different attribute
+        same_tuple = Eq(b.tuple_id(tup), b.tuple_id(target))
+        guard = same_tuple if same_pos is True else b.land(Eq(index, pos), same_tuple)
+        # modify-action when the guard holds, modify-frame otherwise.  The
+        # value operand of modify is evaluated in the pre state, so it is
+        # already a pre-state expression.
+        return CondExpr(guard, value, rebuilt)
+    return rebuilt
+
+
+def _positions_equal(a: Expr, c: Expr) -> bool | None:
+    """Statically compare attribute positions: True / False / unknown."""
+    if isinstance(a, AtomConst) and isinstance(c, AtomConst):
+        return a.value == c.value
+    if a == c:
+        return True
+    return None

@@ -1,0 +1,260 @@
+"""Rewriting with the linkage axioms: normal forms for situational formulas.
+
+Three normalizations, built from the axioms of Section 2:
+
+* :func:`distribute_eval_bool` — pushes ``w::p`` through the connectives and
+  quantifiers of ``p`` (``w::(p & q)`` = ``w::p & w::q`` and so on), leaving
+  ``w::atom`` leaves;
+* :func:`reduce_transitions` — eliminates ``w;T`` for *concrete* transaction
+  terms ``T`` by regression (composition-/condition-linkage plus the
+  action/frame axioms, via :mod:`repro.theory.regression`);
+* :func:`to_primed` — applies object-/predicate-linkage to turn
+  ``w::P(t1, ..., tn)`` into ``P'(w, w:t1, ..., w:tn)`` and
+  ``w:f(t1, ..., tn)`` into ``f'(w, w:t1, ..., w:tn)``, the flat first-order
+  form consumed by the prover.
+
+:func:`normalize` chains all three to a fixpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.logic.formulas import (
+    And,
+    Eq,
+    EvalBool,
+    Exists,
+    FalseF,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Pred,
+    SPred,
+    TrueF,
+)
+from repro.logic.fluents import Identity, Seq
+from repro.logic.terms import (
+    App,
+    AtomConst,
+    EvalObj,
+    EvalState,
+    Expr,
+    Layer,
+    Node,
+    RelIdConst,
+    SApp,
+    Var,
+)
+from repro.theory.regression import NotRegressable, regress_expr, regress_formula
+
+
+@dataclass
+class RewriteStats:
+    """Counts of rule applications (benchmark E10 reports these)."""
+
+    eval_bool_distributed: int = 0
+    transitions_reduced: int = 0
+    primed: int = 0
+    passes: int = 0
+
+    def total(self) -> int:
+        return self.eval_bool_distributed + self.transitions_reduced + self.primed
+
+
+def _map_children(node: Node, fn) -> Node:
+    children = node.children()
+    new_children = tuple(fn(c) for c in children)
+    if all(nc is oc for nc, oc in zip(new_children, children)):
+        return node
+    return node.with_children(new_children)
+
+
+# ---------------------------------------------------------------------------
+# w::p distribution
+# ---------------------------------------------------------------------------
+
+
+def distribute_eval_bool(formula: Formula, stats: RewriteStats | None = None) -> Formula:
+    """Push every ``w::p`` inward through p's connectives and quantifiers.
+
+    ``w::(forall x. p)`` becomes ``forall x. w::p`` — sound because fluent
+    variables denote rigid designators (identifiers / atoms) whose range does
+    not depend on the state under the active-domain semantics *of the model
+    being checked*; the checker quantifies over the model's domain either way.
+    """
+    stats = stats if stats is not None else RewriteStats()
+
+    def walk(node: Node) -> Node:
+        node = _map_children(node, walk)
+        if isinstance(node, EvalBool):
+            inner = node.formula
+            w = node.state
+            if isinstance(inner, (TrueF, FalseF)):
+                stats.eval_bool_distributed += 1
+                return inner
+            if isinstance(inner, Not):
+                stats.eval_bool_distributed += 1
+                return Not(walk(EvalBool(w, inner.body)))
+            if isinstance(inner, And):
+                stats.eval_bool_distributed += 1
+                return And(tuple(walk(EvalBool(w, c)) for c in inner.conjuncts))
+            if isinstance(inner, Or):
+                stats.eval_bool_distributed += 1
+                return Or(tuple(walk(EvalBool(w, d)) for d in inner.disjuncts))
+            if isinstance(inner, Implies):
+                stats.eval_bool_distributed += 1
+                return Implies(
+                    walk(EvalBool(w, inner.antecedent)),
+                    walk(EvalBool(w, inner.consequent)),
+                )
+            if isinstance(inner, Iff):
+                stats.eval_bool_distributed += 1
+                return Iff(walk(EvalBool(w, inner.lhs)), walk(EvalBool(w, inner.rhs)))
+            if isinstance(inner, Forall):
+                stats.eval_bool_distributed += 1
+                return Forall(inner.var, walk(EvalBool(w, inner.body)))
+            if isinstance(inner, Exists):
+                stats.eval_bool_distributed += 1
+                return Exists(inner.var, walk(EvalBool(w, inner.body)))
+            if isinstance(inner, Eq) and inner.layer is not Layer.SITUATIONAL:
+                stats.eval_bool_distributed += 1
+                return Eq(_eval_obj(w, inner.lhs), _eval_obj(w, inner.rhs))
+        return node
+
+    return walk(formula)  # type: ignore[return-value]
+
+
+def _eval_obj(w: Expr, e: Expr) -> Expr:
+    """``w:e`` unless ``e`` is rigid (then ``e`` itself)."""
+    if e.layer is not Layer.FLUENT:
+        return e
+    return EvalObj(w, e)
+
+
+# ---------------------------------------------------------------------------
+# w;T elimination by regression
+# ---------------------------------------------------------------------------
+
+
+def reduce_transitions(formula: Formula, stats: RewriteStats | None = None) -> Formula:
+    """Replace ``(w;T)::p`` by ``w::regress(p, T)`` and ``(w;T):e`` by
+    ``w:regress(e, T)`` for concrete transaction terms ``T``.
+
+    Occurrences whose ``T`` contains transition variables or ``foreach`` are
+    left in place (:class:`NotRegressable` is swallowed per-occurrence); the
+    caller can inspect the output for residual :class:`EvalState` nodes.
+    """
+    stats = stats if stats is not None else RewriteStats()
+
+    def walk(node: Node) -> Node:
+        node = _map_children(node, walk)
+        if isinstance(node, EvalBool) and isinstance(node.state, EvalState):
+            ev = node.state
+            try:
+                reduced = regress_formula(node.formula, ev.trans)
+            except NotRegressable:
+                return node
+            stats.transitions_reduced += 1
+            return walk(EvalBool(ev.state, reduced))
+        if isinstance(node, EvalObj) and isinstance(node.state, EvalState):
+            ev = node.state
+            try:
+                reduced = regress_expr(node.expr, ev.trans)
+            except NotRegressable:
+                return node
+            stats.transitions_reduced += 1
+            return walk(EvalObj(ev.state, reduced))
+        if isinstance(node, EvalState):
+            if isinstance(node.trans, Identity):
+                stats.transitions_reduced += 1
+                return node.state
+            if isinstance(node.trans, Seq):
+                stats.transitions_reduced += 1
+                return walk(
+                    EvalState(EvalState(node.state, node.trans.first), node.trans.second)
+                )
+        return node
+
+    return walk(formula)  # type: ignore[return-value]
+
+
+# ---------------------------------------------------------------------------
+# Priming (object-/predicate-linkage)
+# ---------------------------------------------------------------------------
+
+
+def to_primed(formula: Formula, stats: RewriteStats | None = None) -> Formula:
+    """Apply the object- and predicate-linkage axioms left to right.
+
+    ``w::P(t1, ..., tn)`` becomes ``P'(w, w:t1, ..., w:tn)`` and, inside any
+    situational term, ``w:f(t1, ..., tn)`` becomes ``f'(w, w:t1, ..., w:tn)``
+    — producing the flat many-sorted first-order form used by the prover and
+    the finite model finder.
+    """
+    stats = stats if stats is not None else RewriteStats()
+
+    def walk(node: Node) -> Node:
+        node = _map_children(node, walk)
+        if isinstance(node, EvalBool) and isinstance(node.formula, Pred):
+            pred = node.formula
+            stats.primed += 1
+            return SPred(
+                pred.symbol,
+                node.state,
+                tuple(walk(_eval_obj(node.state, a)) for a in pred.args),
+            )
+        if isinstance(node, EvalObj) and isinstance(node.expr, App):
+            app = node.expr
+            stats.primed += 1
+            return SApp(
+                app.symbol,
+                node.state,
+                tuple(walk(_eval_obj(node.state, a)) for a in app.args),
+            )
+        if isinstance(node, EvalObj) and isinstance(
+            node.expr, (AtomConst, RelIdConst)
+        ):
+            stats.primed += 1
+            return node.expr
+        return node
+
+    return walk(formula)  # type: ignore[return-value]
+
+
+# ---------------------------------------------------------------------------
+# Combined normalization
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class NormalizationResult:
+    formula: Formula
+    stats: RewriteStats = field(default_factory=RewriteStats)
+
+    @property
+    def fully_reduced(self) -> bool:
+        """No residual ``w;T`` for compound T remains."""
+        return not any(
+            isinstance(sub, EvalState) and not isinstance(sub.trans, (Var,))
+            for sub in self.formula.iter_subnodes()
+        )
+
+
+def normalize(formula: Formula, prime: bool = False, max_passes: int = 20) -> NormalizationResult:
+    """Distribute ``::``, reduce transitions, optionally prime — to fixpoint."""
+    stats = RewriteStats()
+    current = formula
+    for _ in range(max_passes):
+        stats.passes += 1
+        before = current
+        current = distribute_eval_bool(current, stats)
+        current = reduce_transitions(current, stats)
+        if current == before:
+            break
+    if prime:
+        current = to_primed(current, stats)
+    return NormalizationResult(current, stats)

@@ -1,0 +1,30 @@
+"""The transaction language: programs, interpreter, executability."""
+
+from repro.transactions.executability import (
+    check_program,
+    explain_unexecutable,
+    is_executable,
+    violations,
+)
+from repro.transactions.interpreter import (
+    DEFAULT_INTERPRETER,
+    Env,
+    Interpreter,
+    evaluate,
+    execute,
+    satisfies,
+    value_eq,
+)
+from repro.transactions.program import (
+    DatabaseProgram,
+    literal_args,
+    query,
+    transaction,
+)
+
+__all__ = [
+    "Env", "Interpreter", "DEFAULT_INTERPRETER",
+    "evaluate", "satisfies", "execute", "value_eq",
+    "DatabaseProgram", "transaction", "query", "literal_args",
+    "is_executable", "check_program", "violations", "explain_unexecutable",
+]

@@ -1,0 +1,89 @@
+"""Executability of programs: the paper's sound-transaction subset.
+
+Section 2 motivates the restriction with a program that increases a salary
+by 100, *then* tests the pre-increase salary — unexecutable because "computer
+memory represents implicitly the current state … programs only have access to
+this current state".  The paper's resolution: only **f-terms** are programs
+(Definition 3); the full situational language remains available for
+specification and proof.
+
+Because the two layers are distinct AST classes here, executability is a
+structural check:
+
+1. the node is an expression of the fluent layer — no situational
+   subexpression (``w:e``, ``w::p``, ``w;e``, primed applications, state
+   variables) occurs anywhere;
+2. every free variable is a declared parameter;
+3. no uninterpreted constants remain (those exist for proofs, not programs).
+
+``explain_unexecutable`` reports *why* an expression is rejected, which the
+examples use to reproduce the paper's salary counterexample (experiment E8).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import ExecutabilityError
+from repro.logic.formulas import EvalBool, SPred
+from repro.logic.terms import (
+    ConstExpr,
+    EvalObj,
+    EvalState,
+    Expr,
+    Layer,
+    Node,
+    SApp,
+    Var,
+)
+
+_SITUATIONAL_NODES = (EvalObj, EvalState, EvalBool, SApp, SPred)
+
+
+def violations(node: Node, params: Iterable[Var] = ()) -> list[str]:
+    """All reasons why ``node`` is not an executable program body."""
+    reasons: list[str] = []
+    if not isinstance(node, Expr):
+        reasons.append("a program is a term, not a formula")
+    declared = set(params)
+    for sub in node.iter_subnodes():
+        if isinstance(sub, _SITUATIONAL_NODES):
+            reasons.append(
+                f"situational subexpression {type(sub).__name__} "
+                f"({sub}) — programs only access the current state"
+            )
+        elif isinstance(sub, Var) and sub.var_layer is Layer.SITUATIONAL:
+            reasons.append(
+                f"situational variable {sub.name} — programs cannot refer to "
+                f"named states"
+            )
+        elif isinstance(sub, ConstExpr):
+            reasons.append(
+                f"uninterpreted constant {sub.name} has no executable meaning"
+            )
+    for free in sorted(node.free_vars(), key=lambda v: v.name):
+        if free not in declared:
+            reasons.append(f"free variable {free.name} is not a parameter")
+    return reasons
+
+
+def is_executable(node: Node, params: Iterable[Var] = ()) -> bool:
+    """Is ``node`` a sound program body over the given parameters?"""
+    return not violations(node, params)
+
+
+def check_program(node: Node, params: Iterable[Var] = ()) -> None:
+    """Raise :class:`ExecutabilityError` with every violation, or pass."""
+    reasons = violations(node, params)
+    if reasons:
+        raise ExecutabilityError(
+            "not an executable program:\n  - " + "\n  - ".join(reasons)
+        )
+
+
+def explain_unexecutable(node: Node, params: Iterable[Var] = ()) -> str:
+    """A human-readable report (empty string when executable)."""
+    reasons = violations(node, params)
+    if not reasons:
+        return ""
+    return "rejected because:\n  - " + "\n  - ".join(reasons)

@@ -1,0 +1,67 @@
+"""Generic transaction-building helpers shared by domains and examples.
+
+Domain-specific transactions (``cancel-project`` and friends) live in
+:mod:`repro.domains.employee`; this module provides schema-driven generic
+builders: insert/delete/update-by-key transactions and bulk operations.
+"""
+
+from __future__ import annotations
+
+from repro.db.schema import RelationSchema
+from repro.logic import builder as b
+from repro.logic.formulas import Formula
+from repro.logic.terms import Expr, Var
+from repro.transactions.program import DatabaseProgram, transaction
+
+
+def insert_transaction(rs: RelationSchema) -> DatabaseProgram:
+    """``insert-<rel>(v1, ..., vn)``: insert a freshly built tuple."""
+    params = tuple(b.atom_var(f"v{i + 1}") for i in range(rs.arity))
+    body = b.insert(b.mktuple(*params), rs.rid())
+    return transaction(f"insert-{rs.name.lower()}", params, body)
+
+
+def delete_by_key_transaction(rs: RelationSchema, key_attr: str) -> DatabaseProgram:
+    """``delete-<rel>-by-<attr>(k)``: delete every tuple whose attribute
+    equals the key."""
+    k = b.atom_var("k")
+    t = rs.var("t")
+    cond = b.land(b.member(t, rs.rel()), b.eq(rs.attr(key_attr, t), k))
+    body = b.foreach(t, cond, b.delete(t, rs.rid()))
+    return transaction(f"delete-{rs.name.lower()}-by-{key_attr}", (k,), body)
+
+
+def update_by_key_transaction(
+    rs: RelationSchema, key_attr: str, target_attr: str
+) -> DatabaseProgram:
+    """``set-<rel>-<attr>(k, v)``: set ``target_attr`` on every tuple whose
+    ``key_attr`` equals ``k``."""
+    k = b.atom_var("k")
+    v = b.atom_var("v")
+    t = rs.var("t")
+    cond = b.land(b.member(t, rs.rel()), b.eq(rs.attr(key_attr, t), k))
+    body = b.foreach(t, cond, b.modify(t, rs.attr_index(target_attr), v))
+    return transaction(f"set-{rs.name.lower()}-{target_attr}", (k, v), body)
+
+
+def conditional_transaction(
+    name: str,
+    params: tuple[Var, ...],
+    cond: Formula,
+    then_branch: Expr,
+    else_branch: Expr | None = None,
+) -> DatabaseProgram:
+    """A guarded transaction ``if p then s else t`` (else defaults to Λ)."""
+    return transaction(name, params, b.ifthen(cond, then_branch, else_branch))
+
+
+def clear_relation_transaction(rs: RelationSchema) -> DatabaseProgram:
+    """``clear-<rel>()``: delete every tuple of the relation."""
+    t = rs.var("t")
+    body = b.foreach(t, b.member(t, rs.rel()), b.delete(t, rs.rid()))
+    return transaction(f"clear-{rs.name.lower()}", (), body)
+
+
+def null_transaction() -> DatabaseProgram:
+    """The null transaction ``Λ`` as a program (reflexivity of evolution)."""
+    return transaction("null", (), b.identity())

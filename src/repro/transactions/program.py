@@ -1,0 +1,131 @@
+"""Database programs: transactions and queries (paper, Definition 3).
+
+A database program ``Tr(x)`` over a schema is an f-term whose only free
+variables are its parameters.  A program of state sort is a **transaction**;
+a program of object sort is a **query**.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import ExecutabilityError, SortError
+from repro.db.state import State
+from repro.db.values import Value
+from repro.logic.formulas import Formula
+from repro.logic.substitution import Substitution
+from repro.logic.terms import AtomConst, Expr, Var
+from repro.transactions.executability import check_program
+from repro.transactions.interpreter import DEFAULT_INTERPRETER, Env, Interpreter
+
+
+@dataclass(frozen=True)
+class DatabaseProgram:
+    """A named, parameterized f-term.
+
+    >>> cancel = DatabaseProgram("cancel-project", (p, v), body)
+    >>> new_state = cancel(state, project_tuple, 10)
+    """
+
+    name: str
+    params: tuple[Var, ...]
+    body: Expr
+    precondition: Formula | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        check_program(self.body, self.params)
+        if self.precondition is not None:
+            extra = self.precondition.free_vars() - set(self.params)
+            if extra:
+                names = ", ".join(sorted(v.name for v in extra))
+                raise ExecutabilityError(
+                    f"{self.name}: precondition has non-parameter variables {names}"
+                )
+
+    @property
+    def is_transaction(self) -> bool:
+        """State-sorted programs are transactions (Definition 3)."""
+        return self.body.sort.is_state
+
+    @property
+    def is_query(self) -> bool:
+        return not self.is_transaction
+
+    def instantiate(self, *args: Expr) -> Expr:
+        """The body with parameters replaced by argument *expressions*."""
+        if len(args) != len(self.params):
+            raise SortError(
+                f"{self.name} takes {len(self.params)} arguments, got {len(args)}"
+            )
+        mapping = {}
+        for param, arg in zip(self.params, args):
+            if param.sort != arg.sort:
+                raise SortError(
+                    f"{self.name}: argument for {param.name} has sort "
+                    f"{arg.sort}, expected {param.sort}"
+                )
+            mapping[param] = arg
+        return Substitution(mapping).apply(self.body)  # type: ignore[return-value]
+
+    def bind(self, *args: object) -> Env:
+        """An environment binding parameters to runtime *values*."""
+        if len(args) != len(self.params):
+            raise SortError(
+                f"{self.name} takes {len(self.params)} arguments, got {len(args)}"
+            )
+        return Env(dict(zip(self.params, args)))
+
+    def run(
+        self,
+        state: State,
+        *args: object,
+        interpreter: Interpreter | None = None,
+    ) -> State:
+        """Execute a transaction at ``state`` with runtime argument values."""
+        if not self.is_transaction:
+            raise ExecutabilityError(f"{self.name} is a query, not a transaction")
+        interp = interpreter or DEFAULT_INTERPRETER
+        env = self.bind(*args)
+        if self.precondition is not None and not interp.eval_formula(
+            state, self.precondition, env
+        ):
+            raise ExecutabilityError(f"{self.name}: precondition fails at this state")
+        return interp.run(state, self.body, env)
+
+    def query(
+        self,
+        state: State,
+        *args: object,
+        interpreter: Interpreter | None = None,
+    ) -> Value:
+        """Evaluate a query at ``state`` with runtime argument values."""
+        if not self.is_query:
+            raise ExecutabilityError(f"{self.name} is a transaction, not a query")
+        interp = interpreter or DEFAULT_INTERPRETER
+        return interp.eval_object(state, self.body, self.bind(*args))
+
+    def __call__(self, state: State, *args: object) -> State | Value:
+        return self.run(state, *args) if self.is_transaction else self.query(state, *args)
+
+
+def transaction(name: str, params: Sequence[Var], body: Expr,
+                precondition: Formula | None = None) -> DatabaseProgram:
+    """Declare a transaction, checking it is a state-sorted program."""
+    program = DatabaseProgram(name, tuple(params), body, precondition)
+    if not program.is_transaction:
+        raise ExecutabilityError(f"{name}: body has sort {body.sort}, not state")
+    return program
+
+
+def query(name: str, params: Sequence[Var], body: Expr) -> DatabaseProgram:
+    """Declare a query, checking it is an object-sorted program."""
+    program = DatabaseProgram(name, tuple(params), body)
+    if not program.is_query:
+        raise ExecutabilityError(f"{name}: body has state sort; use transaction()")
+    return program
+
+
+def literal_args(*values: int | str) -> tuple[AtomConst, ...]:
+    """Atom literals for :meth:`DatabaseProgram.instantiate`."""
+    return tuple(AtomConst(v) for v in values)

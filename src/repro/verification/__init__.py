@@ -1,0 +1,22 @@
+"""Transaction verification: VC generation, proving, model checking."""
+
+from repro.verification.report import VerificationReport, verify_transaction
+from repro.verification.vcgen import (
+    VCStatus,
+    VerificationCondition,
+    preservation_vc,
+)
+from repro.verification.verifier import (
+    Scenario,
+    Verdict,
+    VerificationResult,
+    Verifier,
+    verify_preservation,
+)
+
+__all__ = [
+    "VerificationCondition", "VCStatus", "preservation_vc",
+    "Verifier", "Verdict", "VerificationResult", "Scenario",
+    "verify_preservation",
+    "VerificationReport", "verify_transaction",
+]

@@ -1,0 +1,56 @@
+"""Verification reports: batch results over constraints × transactions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.constraints.model import Constraint
+from repro.transactions.program import DatabaseProgram
+from repro.verification.verifier import Scenario, VerificationResult, Verdict, Verifier
+
+
+@dataclass
+class VerificationReport:
+    """All results for one transaction against a constraint battery."""
+
+    program: DatabaseProgram
+    results: list[VerificationResult] = field(default_factory=list)
+
+    @property
+    def all_preserved(self) -> bool:
+        return all(r.preserved for r in self.results)
+
+    def violated(self) -> list[VerificationResult]:
+        return [r for r in self.results if r.verdict is Verdict.VIOLATED]
+
+    def proved(self) -> list[VerificationResult]:
+        return [r for r in self.results if r.verdict is Verdict.PROVED]
+
+    def model_checked(self) -> list[VerificationResult]:
+        return [r for r in self.results if r.verdict is Verdict.MODEL_CHECKED]
+
+    def by_name(self, constraint_name: str) -> VerificationResult:
+        for r in self.results:
+            if r.constraint.name == constraint_name:
+                return r
+        raise KeyError(constraint_name)
+
+    def __str__(self) -> str:
+        lines = [f"verification of {self.program.name}:"]
+        lines.extend(f"  {r}" for r in self.results)
+        return "\n".join(lines)
+
+
+def verify_transaction(
+    program: DatabaseProgram,
+    constraints: Sequence[Constraint],
+    scenarios: Sequence[Scenario] = (),
+    verifier: Verifier | None = None,
+) -> VerificationReport:
+    """Verify one transaction against many constraints."""
+    engine = verifier or Verifier()
+    report = VerificationReport(program)
+    for c in constraints:
+        report.results.append(engine.verify(c, program, scenarios))
+    return report

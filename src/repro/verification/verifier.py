@@ -1,0 +1,172 @@
+"""The transaction verifier: proving + model checking, per the paper.
+
+Example 5: "Many constraints can also be checked by proving certain
+properties of the transactions involved, with only a history of one state
+maintained.  This combines model checking with theorem-proving."
+
+Pipeline per (constraint, transaction):
+
+1. Generate the VC (:mod:`repro.verification.vcgen`).
+2. If fully reduced, try to *prove* it:
+   a. trivial-implication check — the regressed constraint is alpha-equal to
+      the original (frame case: the transaction does not touch the
+      constraint's relations), or simplifies to ``true``;
+   b. a bounded resolution attempt.
+3. Complement/fallback: model checking over caller-provided scenarios —
+   execute the transaction and check the (pre, post) transition.
+
+Verdicts: ``PROVED`` (2a/2b succeeded), ``MODEL_CHECKED`` (all scenarios
+pass; count reported), ``VIOLATED`` (a scenario fails — counterexample
+included), ``UNKNOWN`` (no proof and no scenarios).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.constraints.checker import check_transition
+from repro.constraints.model import Constraint
+from repro.db.state import State
+from repro.logic.formulas import Implies, TrueF
+from repro.logic.unify import alpha_equal
+from repro.prover.resolution import Prover
+from repro.prover.tableau import prove_goal
+from repro.theory.ground import simplify
+from repro.transactions.interpreter import Interpreter
+from repro.transactions.program import DatabaseProgram
+from repro.verification.vcgen import VCStatus, VerificationCondition, preservation_vc
+
+
+class Verdict(enum.Enum):
+    PROVED = "proved"
+    MODEL_CHECKED = "model-checked"
+    VIOLATED = "violated"
+    UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A concrete execution to model-check: a state and argument values."""
+
+    state: State
+    args: tuple
+
+    def label(self) -> str:
+        return f"args={self.args}"
+
+
+@dataclass
+class VerificationResult:
+    constraint: Constraint
+    program: DatabaseProgram
+    verdict: Verdict
+    vc: Optional[VerificationCondition] = None
+    detail: str = ""
+    scenarios_checked: int = 0
+    counterexample: Optional[Scenario] = None
+
+    @property
+    def preserved(self) -> bool:
+        return self.verdict in (Verdict.PROVED, Verdict.MODEL_CHECKED)
+
+    def __str__(self) -> str:
+        head = (
+            f"{self.program.name} ⊨ {self.constraint.name}: "
+            f"{self.verdict.value.upper()}"
+        )
+        if self.verdict is Verdict.MODEL_CHECKED:
+            head += f" ({self.scenarios_checked} scenario(s))"
+        if self.detail:
+            head += f" — {self.detail}"
+        return head
+
+
+@dataclass
+class Verifier:
+    """Verifies constraint preservation for transactions."""
+
+    prover: Prover = field(default_factory=lambda: Prover(max_steps=400, timeout_seconds=2.0))
+    interpreter: Interpreter = field(default_factory=Interpreter)
+
+    def verify(
+        self,
+        constraint: Constraint,
+        program: DatabaseProgram,
+        scenarios: Sequence[Scenario] = (),
+    ) -> VerificationResult:
+        vc = preservation_vc(constraint, program)
+
+        if vc.status is VCStatus.REDUCED:
+            proof_detail = self._try_prove(vc)
+            if proof_detail is not None:
+                return VerificationResult(
+                    constraint, program, Verdict.PROVED, vc, proof_detail
+                )
+
+        checked = 0
+        for scenario in scenarios:
+            after = program.run(
+                scenario.state, *scenario.args, interpreter=self.interpreter
+            )
+            result = check_transition(
+                constraint, scenario.state, after, program.name, self.interpreter
+            )
+            checked += 1
+            if not result.ok:
+                return VerificationResult(
+                    constraint,
+                    program,
+                    Verdict.VIOLATED,
+                    vc,
+                    f"counterexample at scenario {scenario.label()}",
+                    checked,
+                    scenario,
+                )
+        if checked:
+            return VerificationResult(
+                constraint,
+                program,
+                Verdict.MODEL_CHECKED,
+                vc,
+                "all scenarios pass",
+                checked,
+            )
+        return VerificationResult(
+            constraint, program, Verdict.UNKNOWN, vc, "no proof, no scenarios"
+        )
+
+    # -- proving -------------------------------------------------------------
+
+    def _try_prove(self, vc: VerificationCondition) -> Optional[str]:
+        formula = simplify(vc.formula)
+        if isinstance(formula, TrueF):
+            return "VC simplifies to true"
+        if self._trivial_implication(formula):
+            return "frame: regression left the constraint untouched"
+        result = prove_goal(formula, [], self.prover)
+        if result.proved:
+            return f"resolution proof ({result.steps} steps)"
+        return None
+
+    def _trivial_implication(self, formula) -> bool:
+        """Strip quantifiers; alpha-equal antecedent/consequent implication
+        (or any implication whose consequent contains the antecedent)."""
+        from repro.logic.formulas import Exists, Forall
+
+        body = formula
+        while isinstance(body, (Forall, Exists)):
+            body = body.body
+        if isinstance(body, Implies):
+            return alpha_equal(body.antecedent, body.consequent)
+        return False
+
+
+def verify_preservation(
+    constraint: Constraint,
+    program: DatabaseProgram,
+    scenarios: Sequence[Scenario] = (),
+) -> VerificationResult:
+    """One-shot verification with default settings."""
+    return Verifier().verify(constraint, program, scenarios)

@@ -1,0 +1,144 @@
+"""E2/E3: checkability analysis — the paper's verdicts, plus empirical
+validation of declared windows."""
+
+import pytest
+
+from repro.constraints import Window, analyze, validate_window
+from repro.db import History
+from repro.constraints.checker import check_history
+
+
+class TestSyntacticVerdicts:
+    """Every checkability claim the paper makes, pinned."""
+
+    def test_static_need_one_state(self, domain):
+        for c in domain.static_constraints:
+            assert analyze(c).window == 1, c.name
+
+    def test_once_married_two_states(self, domain):
+        report = analyze(domain.once_married())
+        assert report.window == 2
+        assert "never rehired" in report.justification
+
+    def test_skill_retention_two_states(self, domain):
+        assert analyze(domain.skill_retention()).window == 2
+
+    def test_salary_constraint_three_states(self, domain):
+        assert analyze(domain.salary_decrease_needs_dept_change()).window == 3
+
+    def test_salary_neq_variant_full_history(self, domain):
+        assert analyze(domain.salary_never_same()).window is Window.FULL_HISTORY
+
+    def test_never_rehire_full_history(self, domain):
+        report = analyze(domain.never_rehire())
+        assert report.window is Window.FULL_HISTORY
+        assert "FIRE" in report.justification or "encoding" in report.justification
+
+    def test_fire_encoding_statically_checkable(self, domain):
+        assert analyze(domain.fire_excludes_emp()).window == 1
+
+    def test_invertibility_uncheckable(self, domain):
+        report = analyze(domain.invertibility())
+        assert report.window is Window.UNCHECKABLE
+        assert not report.checkable
+
+    def test_no_eternal_project_uncheckable(self, domain):
+        assert analyze(domain.no_eternal_project()).window is Window.UNCHECKABLE
+
+    def test_undeclared_transaction_constraint_defaults_to_two(self, domain):
+        from dataclasses import replace
+
+        c = replace(domain.skill_retention(), declared_window=None)
+        assert analyze(c).window == 2
+
+    def test_report_renders(self, domain):
+        text = str(analyze(domain.once_married()))
+        assert "once-married" in text and "2 state" in text
+
+
+def _histories_violating_late(domain):
+    """Histories where a never-rehire violation spans > 2 states."""
+    s0 = domain.sample_state()
+    s1 = domain.fire.run(s0, "dan")
+    s2 = domain.birthday.run(s1, "alice")  # unrelated step widens the gap
+    s3 = domain.hire.run(s2, "dan", "cs", 95, 31, "S")
+    s4 = domain.allocate.run(s3, "dan", "db", 10)
+    return [[s0, s1, s2, s3, s4]]
+
+
+class TestEmpiricalValidation:
+    def test_skill_retention_window_two_validates(self, domain):
+        s0 = domain.sample_state()
+        histories = []
+        s1 = domain.add_skill.run(s0, "bob", 7)
+        s2 = domain.birthday.run(s1, "bob")
+        histories.append([s0, s1, s2])
+        s1b = domain.fire.run(s0, "dan")
+        histories.append([s0, s1b])
+        result = validate_window(domain.skill_retention(), 2, histories)
+        assert result.valid and result.trials == 2
+
+    def test_never_rehire_window_two_unsound(self, domain):
+        """The heart of Example 4: every 2-window passes while the complete
+        history is violated — the window claim is refuted empirically."""
+        result = validate_window(
+            domain.never_rehire(), 2, _histories_violating_late(domain)
+        )
+        assert not result.valid
+        assert "UNSOUND" in str(result)
+
+    def test_full_history_catches_the_same_violation(self, domain):
+        (states,) = _histories_violating_late(domain)
+        h = History(window=None)
+        h.start(states[0])
+        for s in states[1:]:
+            h.advance(s)
+        assert not check_history(domain.never_rehire(), h).ok
+
+    def test_salary_three_window_catches_two_hop_decrease(self, domain):
+        s0 = domain.sample_state()
+        s1 = domain.set_salary.run(s0, "alice", 100)
+        s2 = domain.set_salary.run(s1, "alice", 80)
+        c = domain.salary_decrease_needs_dept_change()
+        result3 = validate_window(c, 3, [[s0, s1, s2]])
+        # the 3-window checker itself flags the violation, so windows do NOT
+        # all pass -> no disagreement recorded
+        assert result3.valid
+
+    def test_validation_summary_strings(self, domain):
+        s0 = domain.sample_state()
+        result = validate_window(domain.skill_retention(), 2, [[s0]])
+        assert "agreed" in str(result)
+
+    def test_why_example2_needs_the_no_rehire_assumption(self, domain):
+        """The paper conditions Example 2's 2-state checkability on
+        "employees cannot be rehired".  The mechanism: once-married tracks
+        the employee *tuple*; a rehire creates a fresh tuple, so the
+        married history of the person detaches from the new tuple and the
+        constraint goes vacuous — under rehiring, no window (not even the
+        complete history) recovers person-level tracking; the FIRE
+        encoding, keyed by name, is the remedy."""
+        from repro.constraints.checker import check_history
+        from repro.db import History
+
+        s0 = domain.sample_state()  # alice is married (M), age 35
+        s1 = domain.fire.run(s0, "alice")
+        s2 = domain.hire.run(s1, "alice", "cs", 100, 36, "S")  # older & single!
+        h = History(window=None)
+        h.start(s0)
+        h.advance(s1, "fire")
+        h.advance(s2, "rehire")
+        # tuple-level tracking is blind to the person-level violation:
+        assert check_history(domain.once_married(), h).ok
+        # the name-keyed encoding is what catches the rehire itself:
+        enc = domain.fire_encoding()
+        tracked = enc.prepare_state(s0)
+        tracked = enc.record(tracked, s1)
+        from repro.db.values import DBTuple
+
+        carried = enc.prepare_state(s2)
+        for t in tracked.relation("FIRE"):
+            carried, _ = carried.insert_tuple("FIRE", DBTuple(None, t.values))
+        from repro.constraints.checker import check_state
+
+        assert not check_state(enc.static_constraint(), carried).ok

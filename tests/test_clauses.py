@@ -1,0 +1,82 @@
+"""Prover data structures: literals, clauses, answers."""
+
+from repro.logic import builder as b
+from repro.logic.formulas import Pred
+from repro.logic.sorts import ATOM
+from repro.logic.substitution import Substitution
+from repro.logic.symbols import PredicateSymbol
+from repro.prover.clauses import Answer, Clause, Literal, clause, negative, positive
+
+
+P = PredicateSymbol("p", (ATOM,))
+
+
+def p(x):
+    return Pred(P, (x,))
+
+
+class TestLiterals:
+    def test_negation(self):
+        lit = positive(p(b.atom(1)))
+        assert lit.negate() == negative(p(b.atom(1)))
+        assert lit.negate().negate() == lit
+
+    def test_apply(self):
+        x = b.atom_var("x")
+        lit = positive(p(x))
+        result = lit.apply(Substitution({x: b.atom(3)}))
+        assert result.atom == p(b.atom(3))
+
+    def test_weight(self):
+        assert positive(p(b.atom(1))).weight() == 2
+
+
+class TestClauses:
+    def test_empty_clause(self):
+        assert clause().is_empty
+        assert str(clause()) == "⊥"
+
+    def test_dedupe(self):
+        lit = positive(p(b.atom(1)))
+        c = Clause((lit, lit)).dedupe()
+        assert len(c.literals) == 1
+
+    def test_tautology_detection(self):
+        lit = positive(p(b.atom(1)))
+        assert Clause((lit, lit.negate())).is_tautology()
+        assert not Clause((lit,)).is_tautology()
+
+    def test_without(self):
+        a, c = positive(p(b.atom(1))), positive(p(b.atom(2)))
+        assert Clause((a, c)).without(0) == (c,)
+
+    def test_free_vars(self):
+        x = b.atom_var("x")
+        c = Clause((positive(p(x)),))
+        assert c.free_vars() == frozenset({x})
+
+    def test_rename_apart(self):
+        x = b.atom_var("x")
+        c = Clause((positive(p(x)),))
+        renamed = c.rename_apart_from(frozenset({x}))
+        assert x not in renamed.free_vars()
+        same = c.rename_apart_from(frozenset())
+        assert same is c
+
+    def test_syntactic_subsumption(self):
+        a, c = positive(p(b.atom(1))), positive(p(b.atom(2)))
+        assert Clause((a,)).subsumes_syntactically(Clause((a, c)))
+        assert not Clause((a, c)).subsumes_syntactically(Clause((a,)))
+
+    def test_apply_threads_answers(self):
+        x = b.atom_var("x")
+        c = Clause((positive(p(x)),), (Answer(((x, x),)),))
+        result = c.apply(Substitution({x: b.atom(7)}))
+        ((var, expr),) = result.answers[0].bindings
+        assert expr == b.atom(7)
+
+    def test_render_with_answers(self):
+        x = b.atom_var("x")
+        c = Clause((positive(p(x)),), (Answer(((x, b.atom(5)),)),))
+        text = str(c)
+        assert "ans(" in text and "p(" in text

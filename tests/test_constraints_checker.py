@@ -1,0 +1,173 @@
+"""Constraint checking against states, transitions, histories, graphs."""
+
+import pytest
+
+from repro.errors import CheckabilityError
+from repro.constraints import (
+    PartialModel,
+    Evaluator,
+    check_all,
+    check_history,
+    check_model,
+    check_state,
+    check_transition,
+)
+from repro.db import History, chain_graph
+from repro.logic import builder as b
+
+
+class TestStaticChecking:
+    def test_valid_state_passes(self, domain, sample_state):
+        for c in domain.static_constraints:
+            assert check_state(c, sample_state).ok
+
+    def test_unallocated_employee_violates(self, domain, sample_state):
+        s2 = domain.hire.run(sample_state, "eve", "cs", 90, 25, "S")
+        result = check_state(domain.every_employee_allocated(), s2)
+        assert not result.ok
+
+    def test_dangling_allocation_violates(self, domain, sample_state):
+        s2 = domain.allocate.run(sample_state, "alice", "ghost-project", 10)
+        assert not check_state(domain.alloc_references_project(), s2).ok
+
+    def test_overallocation_violates(self, domain, sample_state):
+        s2 = domain.allocate.run(sample_state, "alice", "net", 50)
+        assert not check_state(domain.allocation_within_limit(), s2).ok
+
+    def test_exactly_100_percent_ok(self, domain, sample_state):
+        # bob is at 100 already — boundary passes
+        assert check_state(domain.allocation_within_limit(), sample_state).ok
+
+
+class TestTransactionChecking:
+    def test_once_married_violation_detected(self, domain, sample_state):
+        # alice is married; a transition making her single violates
+        s2 = domain.marry.run(sample_state, "alice", "S")
+        s2 = domain.birthday.run(s2, "alice")
+        result = check_transition(domain.once_married(), sample_state, s2)
+        assert not result.ok
+
+    def test_once_married_without_aging_is_vacuous(self, domain, sample_state):
+        """The constraint's premise requires the employee to be *older* at
+        the second state (that is how the paper encodes forward time)."""
+        s2 = domain.marry.run(sample_state, "alice", "S")
+        assert check_transition(domain.once_married(), sample_state, s2).ok
+
+    def test_skill_retention_violation(self, domain, sample_state):
+        from repro.logic import builder as b
+        from repro.transactions import execute
+
+        k = domain.skill.var("k")
+        drop_skill = b.foreach(
+            k,
+            b.land(
+                b.member(k, domain.skill.rel()),
+                b.eq(domain.skill.attr("s-emp", k), b.atom("alice")),
+            ),
+            b.delete(k, domain.skill.rid()),
+        )
+        s2 = execute(sample_state, drop_skill)
+        assert not check_transition(domain.skill_retention(), sample_state, s2).ok
+
+    def test_skill_retention_allows_firing(self, domain, sample_state):
+        """Deleting the employee together with his skills is permitted."""
+        s2 = domain.fire.run(sample_state, "dan")
+        assert check_transition(domain.skill_retention(), sample_state, s2).ok
+
+    def test_salary_decrease_without_transfer_violates(self, domain, sample_state):
+        s2 = domain.set_salary.run(sample_state, "alice", 50)
+        c = domain.salary_decrease_needs_dept_change()
+        assert not check_transition(c, sample_state, s2).ok
+
+    def test_salary_decrease_with_transfer_ok(self, domain, sample_state):
+        s2 = domain.transfer.run(sample_state, "alice", "ee", 50)
+        c = domain.salary_decrease_needs_dept_change()
+        assert check_transition(c, sample_state, s2).ok
+
+    def test_salary_raise_ok(self, domain, sample_state):
+        s2 = domain.set_salary.run(sample_state, "alice", 500)
+        c = domain.salary_decrease_needs_dept_change()
+        assert check_transition(c, sample_state, s2).ok
+
+
+class TestHistoryChecking:
+    def test_three_state_window_sees_two_hop_violation(self, domain, sample_state):
+        """Salary decreases over two hops with the dept switch missing."""
+        s1 = domain.set_salary.run(sample_state, "alice", 80)  # decrease!
+        s2 = domain.set_salary.run(s1, "alice", 60)
+        h = History(window=3)
+        h.start(sample_state)
+        h.advance(s1, "cut1")
+        h.advance(s2, "cut2")
+        c = domain.salary_decrease_needs_dept_change()
+        result = check_history(c, h)
+        assert not result.ok
+
+    def test_window_enforcement(self, domain, sample_state):
+        h = History(window=1)
+        h.start(sample_state)
+        c = domain.once_married()  # declared window 2
+        with pytest.raises(CheckabilityError):
+            check_history(c, h, enforce_window=True)
+
+    def test_full_history_requirement_enforced(self, domain, sample_state):
+        h = History(window=2)
+        h.start(sample_state)
+        with pytest.raises(CheckabilityError):
+            check_history(domain.salary_never_same(), h, enforce_window=True)
+
+    def test_uncheckable_always_refused(self, domain, sample_state):
+        h = History(window=None)
+        h.start(sample_state)
+        with pytest.raises(CheckabilityError):
+            check_history(domain.invertibility(), h, enforce_window=True)
+
+    def test_check_all_reports_each(self, domain, sample_state):
+        h = History(window=2)
+        h.start(sample_state)
+        report = check_all(domain.static_constraints, h)
+        assert report.ok and len(report.results) == 3
+
+    def test_violations_listed(self, domain, sample_state):
+        s2 = domain.hire.run(sample_state, "eve", "cs", 90, 25, "S")
+        h = History(window=2)
+        h.start(s2)
+        report = check_all(domain.static_constraints, h)
+        assert not report.ok
+        assert [r.constraint.name for r in report.violations()] == [
+            "every-employee-allocated"
+        ]
+
+
+class TestGraphChecking:
+    def test_never_rehire_full_history(self, domain, sample_state):
+        s1 = domain.fire.run(sample_state, "dan")
+        s2 = domain.hire.run(s1, "dan", "cs", 95, 31, "S")
+        s3 = domain.allocate.run(s2, "dan", "db", 10)
+        model = PartialModel(chain_graph([sample_state, s1, s2, s3]))
+        assert not Evaluator(model).holds(domain.never_rehire().formula)
+
+    def test_never_rehire_invisible_in_two_state_window(self, domain, sample_state):
+        """With only (s2, s3) maintained, the firing is out of the window —
+        the paper's point that this constraint needs the complete history."""
+        s1 = domain.fire.run(sample_state, "dan")
+        s2 = domain.hire.run(s1, "dan", "cs", 95, 31, "S")
+        s3 = domain.allocate.run(s2, "dan", "db", 10)
+        model = PartialModel(chain_graph([s2, s3]))
+        assert Evaluator(model).holds(domain.never_rehire().formula)
+
+    def test_check_model(self, domain, sample_state):
+        model = PartialModel(chain_graph([sample_state]))
+        assert check_model(domain.every_employee_allocated(), model).ok
+
+    def test_invertibility_semantics(self, domain, sample_state):
+        """A pure marry/unmarry round trip leaves ages intact and *is*
+        invertible within the recorded graph."""
+        s1 = domain.marry.run(sample_state, "bob", "M")
+        from repro.db import EvolutionGraph
+
+        g = EvolutionGraph()
+        g.add_transition(sample_state, s1, "marry")
+        g.add_transition(s1, sample_state, "unmarry")
+        model = PartialModel(g, max_transition_length=4)
+        assert Evaluator(model).holds(domain.invertibility().formula)

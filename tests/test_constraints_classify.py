@@ -1,0 +1,105 @@
+"""Definition 4: static / transaction / dynamic classification.
+
+Every verdict the paper states for its examples is pinned here.
+"""
+
+from repro.constraints import ConstraintKind, classify
+from repro.constraints.classify import analyze_state_usage
+from repro.logic import builder as b
+
+
+class TestPaperVerdicts:
+    def test_example1_all_static(self, domain):
+        for c in domain.static_constraints:
+            assert c.kind is ConstraintKind.STATIC, c.name
+
+    def test_example2_wrong_version_is_dynamic(self, domain):
+        """Two independent state variables: not a transaction constraint."""
+        assert domain.once_married_wrong().kind is ConstraintKind.DYNAMIC
+
+    def test_example2_right_version_is_transaction(self, domain):
+        assert domain.once_married().kind is ConstraintKind.TRANSACTION
+
+    def test_example3_verdicts(self, domain):
+        assert domain.skill_retention().kind is ConstraintKind.TRANSACTION
+        assert (
+            domain.salary_decrease_needs_dept_change().kind
+            is ConstraintKind.TRANSACTION
+        )
+        assert domain.dept_deletion_precondition().kind is ConstraintKind.TRANSACTION
+        assert domain.project_deletion_cascades().kind is ConstraintKind.TRANSACTION
+
+    def test_example4_verdicts(self, domain):
+        assert domain.never_rehire().kind is ConstraintKind.DYNAMIC
+        assert domain.invertibility().kind is ConstraintKind.DYNAMIC
+        assert domain.no_eternal_project().kind is ConstraintKind.DYNAMIC
+
+    def test_fire_encoding_replacement_is_static(self, domain):
+        assert domain.fire_excludes_emp().kind is ConstraintKind.STATIC
+
+
+class TestStructuralRules:
+    def test_no_states_at_all_is_static(self):
+        s = b.state_var("s")
+        f = b.forall(s, b.holds(s, b.true()))
+        assert classify(f) is ConstraintKind.STATIC
+
+    def test_composed_transitions_are_dynamic(self):
+        s = b.state_var("s")
+        t1, t2 = b.trans_var("t1"), b.trans_var("t2")
+        f = b.forall([s, t1, t2], b.holds(b.after(b.after(s, t1), t2), b.true()))
+        assert classify(f) is ConstraintKind.DYNAMIC
+
+    def test_existential_transition_is_dynamic(self):
+        s = b.state_var("s")
+        t = b.trans_var("t")
+        f = b.forall(s, b.exists(t, b.holds(b.after(s, t), b.true())))
+        assert classify(f) is ConstraintKind.DYNAMIC
+
+    def test_state_constant_is_dynamic(self):
+        f = b.holds(b.state_const("s0"), b.true())
+        assert classify(f) is ConstraintKind.DYNAMIC
+
+    def test_concrete_transaction_term_is_transaction(self):
+        s = b.state_var("s")
+        e = b.ftup_var("e", 5)
+        f = b.forall(
+            [s, e],
+            b.holds(b.after(s, b.delete(e, "EMP")), b.true()),
+        )
+        assert classify(f) is ConstraintKind.TRANSACTION
+
+
+class TestUsageAnalysis:
+    def test_polarity_of_negated_existential(self, domain):
+        """¬∃t2 in a positive consequent is a universal transition."""
+        usage = analyze_state_usage(domain.never_rehire().formula)
+        names = {v.name for v in usage.universal_transition_vars}
+        assert "t2" in names
+        assert not usage.existential_transition_vars
+
+    def test_positive_existential_detected(self, domain):
+        usage = analyze_state_usage(domain.invertibility().formula)
+        names = {v.name for v in usage.existential_transition_vars}
+        assert "t2" in names
+
+    def test_antecedent_flips_polarity(self):
+        s = b.state_var("s")
+        t = b.trans_var("t")
+        # (exists t. P(s;t)) -> Q : the existential is in negative position,
+        # so it behaves universally
+        f = b.forall(
+            s,
+            b.implies(
+                b.exists(t, b.holds(b.after(s, t), b.true())),
+                b.holds(s, b.true()),
+            ),
+        )
+        usage = analyze_state_usage(f)
+        assert {v.name for v in usage.universal_transition_vars} == {"t"}
+
+    def test_transition_depth(self, domain):
+        usage = analyze_state_usage(domain.never_rehire().formula)
+        assert usage.max_transition_depth == 2
+        usage2 = analyze_state_usage(domain.once_married().formula)
+        assert usage2.max_transition_depth == 1

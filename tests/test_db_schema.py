@@ -1,0 +1,86 @@
+"""Relation schemas and the schema triple."""
+
+import pytest
+
+from repro.errors import SchemaError, SortError
+from repro.db import RelationSchema, Schema
+from repro.logic import builder as b
+from repro.logic.sorts import set_id_sort, set_sort
+
+
+class TestRelationSchema:
+    def test_arity(self):
+        rs = RelationSchema("EMP", ("e-name", "salary"))
+        assert rs.arity == 2
+
+    def test_attr_index_one_based(self):
+        rs = RelationSchema("EMP", ("e-name", "salary"))
+        assert rs.attr_index("e-name") == 1
+        assert rs.attr_index("salary") == 2
+
+    def test_unknown_attribute(self):
+        rs = RelationSchema("EMP", ("e-name",))
+        with pytest.raises(SchemaError, match="salary"):
+            rs.attr_index("salary")
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("EMP", ("a", "a"))
+
+    def test_empty_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("EMP", ())
+
+    def test_rel_and_rid_sorts(self):
+        rs = RelationSchema("EMP", ("a", "b"))
+        assert rs.rel().sort == set_sort(2)
+        assert rs.rid().sort == set_id_sort(2)
+
+    def test_attr_builder(self):
+        rs = RelationSchema("EMP", ("e-name", "salary"))
+        e = rs.var("e")
+        expr = rs.attr("salary", e)
+        assert expr.symbol.index == 2
+
+    def test_var_builders(self):
+        rs = RelationSchema("EMP", ("a", "b"))
+        assert rs.var("e").sort == rs.svar("e").sort
+        assert rs.var("e").layer != rs.svar("e").layer
+
+
+class TestSchema:
+    def test_add_and_lookup(self):
+        s = Schema()
+        s.add_relation("R", ("a",))
+        assert s.relation("R").arity == 1
+        assert "R" in s and "T" not in s
+
+    def test_duplicate_relation_rejected(self):
+        s = Schema()
+        s.add_relation("R", ("a",))
+        with pytest.raises(SchemaError):
+            s.add_relation("R", ("b",))
+
+    def test_unknown_relation(self):
+        with pytest.raises(SchemaError):
+            Schema().relation("R")
+
+    def test_constraints_registry(self):
+        from repro.constraints import constraint
+
+        s = Schema()
+        sv = b.state_var("s")
+        c = constraint("always", b.forall(sv, b.holds(sv, b.true())))
+        s.add_constraint(c)
+        assert s.constraint("always") is c
+        with pytest.raises(SchemaError):
+            s.add_constraint(c)
+
+    def test_unknown_constraint(self):
+        with pytest.raises(SchemaError):
+            Schema().constraint("nope")
+
+    def test_arity_of(self):
+        s = Schema()
+        s.add_relation("R", ("a", "b", "c"))
+        assert s.arity_of("R") == 3

@@ -1,0 +1,111 @@
+"""Atoms, tuples with identifiers, and value sets."""
+
+import pytest
+
+from repro.errors import EvaluationError, SortError
+from repro.db.values import DBTuple, RelationId, TupleSet, check_atom, make_tuple
+
+
+class TestAtoms:
+    def test_naturals_and_strings_accepted(self):
+        assert check_atom(0) == 0
+        assert check_atom("alice") == "alice"
+
+    def test_negative_rejected(self):
+        with pytest.raises(SortError):
+            check_atom(-1)
+
+    def test_bool_rejected(self):
+        with pytest.raises(SortError):
+            check_atom(True)
+
+    def test_float_rejected(self):
+        with pytest.raises(SortError):
+            check_atom(1.5)
+
+
+class TestDBTuple:
+    def test_fresh_tuple_has_no_id(self):
+        t = make_tuple("alice", 100)
+        assert t.tid is None and t.arity == 2
+
+    def test_select_is_one_based(self):
+        t = make_tuple("alice", 100)
+        assert t.select(1) == "alice" and t.select(2) == 100
+
+    def test_select_out_of_range(self):
+        t = make_tuple("alice")
+        with pytest.raises(EvaluationError):
+            t.select(2)
+        with pytest.raises(EvaluationError):
+            t.select(0)
+
+    def test_with_value_keeps_identifier(self):
+        t = DBTuple(7, ("alice", 100))
+        t2 = t.with_value(2, 110)
+        assert t2.tid == 7 and t2.values == ("alice", 110)
+        assert t.values == ("alice", 100)  # immutable
+
+    def test_identifier_of_fresh_tuple_fails(self):
+        with pytest.raises(EvaluationError):
+            make_tuple("x").identifier()
+
+    def test_identifier(self):
+        assert DBTuple(3, ("x",)).identifier() == 3
+
+
+class TestTupleSet:
+    def test_value_semantics_collapse_duplicates(self):
+        a = DBTuple(1, ("x", 1))
+        b = DBTuple(2, ("x", 1))  # same values, different id
+        s = TupleSet.of(2, [a, b])
+        assert len(s) == 1
+
+    def test_arity_checked(self):
+        with pytest.raises(SortError):
+            TupleSet.of(2, [make_tuple("x")])
+
+    def test_union_intersect_difference(self):
+        s1 = TupleSet.of(1, [make_tuple("a"), make_tuple("b")])
+        s2 = TupleSet.of(1, [make_tuple("b"), make_tuple("c")])
+        assert len(s1.union(s2)) == 3
+        assert len(s1.intersect(s2)) == 1
+        assert len(s1.difference(s2)) == 1
+
+    def test_product(self):
+        s1 = TupleSet.of(1, [make_tuple("a"), make_tuple("b")])
+        s2 = TupleSet.of(2, [make_tuple(1, 2)])
+        p = s1.product(s2)
+        assert p.arity == 3 and len(p) == 2
+
+    def test_subset(self):
+        s1 = TupleSet.of(1, [make_tuple("a")])
+        s2 = TupleSet.of(1, [make_tuple("a"), make_tuple("b")])
+        assert s1.is_subset(s2) and not s2.is_subset(s1)
+
+    def test_empty(self):
+        assert len(TupleSet.empty(3)) == 0
+
+    def test_mixed_arity_operations_rejected(self):
+        s1 = TupleSet.of(1, [make_tuple("a")])
+        s2 = TupleSet.of(2, [make_tuple("a", "b")])
+        with pytest.raises(SortError):
+            s1.union(s2)
+
+    def test_first_column(self):
+        s = TupleSet.of(2, [make_tuple(10, "x"), make_tuple(20, "y")])
+        assert sorted(s.first_column()) == [10, 20]
+
+    def test_contains_by_value(self):
+        s = TupleSet.of(1, [DBTuple(5, ("a",))])
+        assert s.contains(make_tuple("a"))
+        assert not s.contains(make_tuple("b"))
+
+
+class TestRelationId:
+    def test_str(self):
+        assert str(RelationId("EMP", 5)) == "EMP"
+
+    def test_equality(self):
+        assert RelationId("EMP", 5) == RelationId("EMP", 5)
+        assert RelationId("EMP", 5) != RelationId("EMP", 4)

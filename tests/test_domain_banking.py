@@ -1,0 +1,119 @@
+"""The banking domain: the machinery beyond the paper's example."""
+
+import pytest
+
+from repro.errors import ConstraintViolation
+from repro.constraints import (
+    ConstraintKind,
+    Window,
+    analyze,
+    check_state,
+    check_transition,
+)
+from repro.domains import make_banking_domain
+from repro.engine import Database
+
+
+@pytest.fixture()
+def bank():
+    return make_banking_domain()
+
+
+@pytest.fixture()
+def state(bank):
+    return bank.sample_state()
+
+
+class TestClassification:
+    def test_kinds(self, bank):
+        kinds = {c.name: c.kind for c in bank.constraints()}
+        assert kinds["unique-owner"] is ConstraintKind.STATIC
+        assert kinds["audited-balance"] is ConstraintKind.STATIC
+        assert kinds["frozen-accounts-stable"] is ConstraintKind.TRANSACTION
+        assert kinds["closed-stay-closed"] is ConstraintKind.DYNAMIC
+
+    def test_checkability(self, bank):
+        assert analyze(bank.frozen_accounts_stable()).window == 2
+        assert analyze(bank.closed_stay_closed()).window is Window.FULL_HISTORY
+
+
+class TestStaticConstraints:
+    def test_sample_state_valid(self, bank, state):
+        for c in (bank.unique_owner(), bank.audited_balance()):
+            assert check_state(c, state).ok, c.name
+
+    def test_duplicate_owner_violates(self, bank, state):
+        s2 = bank.open_account.run(state, "ada")
+        assert not check_state(bank.unique_owner(), s2).ok
+
+    def test_equal_deposits_stay_audited(self, bank, state):
+        """Two equal deposits: the x-seq attribute prevents set collapse."""
+        s1 = bank.deposit.run(state, "ada", 25)
+        s2 = bank.deposit.run(s1, "ada", 25)
+        assert check_state(bank.audited_balance(), s2).ok
+        ada = next(t for t in s2.relation("ACCT") if t.values[0] == "ada")
+        assert ada.values[1] == 120
+
+    def test_unaudited_mutation_violates(self, bank, state):
+        t = next(t for t in state.relation("ACCT") if t.values[0] == "ada")
+        tampered = state.modify_tuple(t, 2, 999)
+        assert not check_state(bank.audited_balance(), tampered).ok
+
+
+class TestTransactions:
+    def test_deposit_ignores_frozen(self, bank, state):
+        s2 = bank.deposit.run(state, "cyd", 10)  # cyd is frozen
+        cyd = next(t for t in s2.relation("ACCT") if t.values[0] == "cyd")
+        assert cyd.values[1] == 50
+
+    def test_frozen_constraint_accepts_legal_transitions(self, bank, state):
+        s2 = bank.deposit.run(state, "ada", 5)
+        assert check_transition(bank.frozen_accounts_stable(), state, s2).ok
+
+    def test_frozen_constraint_catches_tampering(self, bank, state):
+        t = next(t for t in state.relation("ACCT") if t.values[0] == "cyd")
+        tampered = state.modify_tuple(t, 2, 0)
+        assert not check_transition(bank.frozen_accounts_stable(), state, tampered).ok
+
+    def test_unfreeze_then_move_is_legal(self, bank, state):
+        s1 = bank.unfreeze.run(state, "cyd")
+        s2 = bank.deposit.run(s1, "cyd", 10)
+        assert check_transition(bank.frozen_accounts_stable(), s1, s2).ok
+
+    def test_withdrawal_truncates_at_zero(self, bank, state):
+        s2 = bank.withdraw.run(state, "bob", 1000)
+        bob = next(t for t in s2.relation("ACCT") if t.values[0] == "bob")
+        assert bob.values[1] == 0
+
+
+class TestClosedEncoding:
+    def test_engine_with_encoding(self, bank, state):
+        enc = bank.closed_encoding()
+        db = Database(bank.schema, window=2, initial=state)
+        db.register_encoding(enc)
+        bank.schema.add_constraint(enc.static_constraint())
+        db.execute(bank.close_account, "bob")
+        assert {t.values for t in db.current.relation("CLOSED")} == {("bob",)}
+        db.execute(bank.deposit, "ada", 5)
+        with pytest.raises(ConstraintViolation):
+            db.execute(bank.open_account, "bob")
+
+    def test_fresh_owner_still_welcome(self, bank, state):
+        enc = bank.closed_encoding()
+        db = Database(bank.schema, window=2, initial=state)
+        db.register_encoding(enc)
+        bank.schema.add_constraint(enc.static_constraint())
+        db.execute(bank.close_account, "bob")
+        db.execute(bank.open_account, "dee")
+        assert any(t.values[0] == "dee" for t in db.current.relation("ACCT"))
+
+
+class TestVerification:
+    def test_freeze_preserves_frozen_stability_by_model_check(self, bank, state):
+        from repro.verification import Scenario, Verifier
+
+        result = Verifier().verify(
+            bank.frozen_accounts_stable(), bank.deposit,
+            [Scenario(state, ("ada", 10)), Scenario(state, ("cyd", 10))],
+        )
+        assert result.preserved

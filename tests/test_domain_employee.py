@@ -1,0 +1,93 @@
+"""The employee domain object itself: schema shape, transactions, bundles."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.constraints import check_state
+from repro.transactions import is_executable
+
+
+class TestSchemaShape:
+    def test_relations_match_the_paper(self, domain):
+        assert set(domain.schema.relations) == {
+            "EMP", "DEPT", "PROJ", "ALLOC", "SKILL"
+        }
+        assert domain.emp.attributes == (
+            "e-name", "e-dept", "salary", "age", "m-status"
+        )
+        assert domain.alloc.attributes == ("a-emp", "a-proj", "perc")
+
+    def test_constraint_bundles(self, domain):
+        assert len(domain.static_constraints) == 3
+        assert len(domain.transaction_constraints) == 5
+        assert len(domain.dynamic_constraints) == 4
+        names = {c.name for c in domain.all_constraints}
+        assert len(names) == 12
+
+    def test_install_all(self, domain):
+        domain.install_constraints()
+        assert len(domain.schema.constraints) == 12
+
+    def test_install_subset(self, domain):
+        domain.install_constraints("once-married", "skill-retention")
+        assert {c.name for c in domain.schema.constraints} == {
+            "once-married", "skill-retention"
+        }
+
+    def test_double_install_rejected(self, domain):
+        domain.install_constraints("once-married")
+        with pytest.raises(SchemaError):
+            domain.install_constraints("once-married")
+
+    def test_sample_state_is_valid(self, domain, sample_state):
+        for c in domain.static_constraints:
+            assert check_state(c, sample_state).ok, c.name
+
+
+class TestTransactions:
+    def test_all_paper_transactions_executable(self, domain):
+        for tx in (
+            domain.hire, domain.fire, domain.allocate, domain.deallocate,
+            domain.add_skill, domain.create_project, domain.create_dept,
+            domain.marry, domain.birthday, domain.set_salary,
+            domain.transfer, domain.cancel_project,
+        ):
+            assert tx.is_transaction
+            assert is_executable(tx.body, tx.params), tx.name
+
+    def test_hire_then_fire_roundtrip(self, domain, sample_state):
+        s1 = domain.hire.run(sample_state, "zed", "cs", 50, 20, "S")
+        s2 = domain.fire.run(s1, "zed")
+        assert {t.values for t in s2.relation("EMP")} == {
+            t.values for t in sample_state.relation("EMP")
+        }
+
+    def test_fire_cascades_allocations_and_skills(self, domain, sample_state):
+        s1 = domain.fire.run(sample_state, "alice")
+        assert not any(t.values[0] == "alice" for t in s1.relation("ALLOC"))
+        assert not any(t.values[0] == "alice" for t in s1.relation("SKILL"))
+
+    def test_birthday_increments_age(self, domain, sample_state):
+        s1 = domain.birthday.run(sample_state, "bob")
+        bob = next(t for t in s1.relation("EMP") if t.values[0] == "bob")
+        assert bob.values[3] == 29
+
+    def test_transfer_changes_dept_and_salary(self, domain, sample_state):
+        s1 = domain.transfer.run(sample_state, "bob", "ee", 90)
+        bob = next(t for t in s1.relation("EMP") if t.values[0] == "bob")
+        assert bob.values[1] == "ee" and bob.values[2] == 90
+
+    def test_deallocate_is_selective(self, domain, sample_state):
+        s1 = domain.deallocate.run(sample_state, "alice", "db")
+        alice_allocs = [t for t in s1.relation("ALLOC") if t.values[0] == "alice"]
+        assert [t.values[1] for t in alice_allocs] == ["ai"]
+
+    def test_unknown_employee_is_noop(self, domain, sample_state):
+        assert domain.set_salary.run(sample_state, "ghost", 1) == sample_state
+
+    def test_employed_helper(self, domain, sample_state):
+        from repro.logic import builder as b
+        from repro.transactions import satisfies
+
+        assert satisfies(sample_state, domain.employed(b.atom("alice")))
+        assert not satisfies(sample_state, domain.employed(b.atom("ghost")))

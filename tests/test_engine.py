@@ -1,0 +1,161 @@
+"""The database engine: enforcement, rollback, windows, encodings."""
+
+import pytest
+
+from repro.errors import CheckabilityError, ConstraintViolation
+from repro.engine import Database
+
+
+@pytest.fixture()
+def db(domain):
+    domain.install_constraints(
+        "every-employee-allocated",
+        "alloc-references-project",
+        "allocation-within-limit",
+        "once-married",
+        "skill-retention",
+    )
+    return Database(domain.schema, window=2, initial=domain.sample_state())
+
+
+class TestEnforcement:
+    def test_valid_transaction_advances(self, domain, db):
+        before = db.current
+        db.execute(domain.set_salary, "alice", 150)
+        assert db.current != before
+        assert len(db.records) == 1 and db.records[0].ok
+
+    def test_violation_rolls_back(self, domain, db):
+        before = db.current
+        with pytest.raises(ConstraintViolation) as err:
+            db.execute(domain.hire, "eve", "cs", 90, 25, "S")  # unallocated
+        assert "every-employee-allocated" in str(err.value)
+        assert db.current == before
+
+    def test_try_execute_reports(self, domain, db):
+        ok, state = db.try_execute(domain.hire, "eve", "cs", 90, 25, "S")
+        assert not ok and state == db.current
+        ok2, _ = db.try_execute(domain.set_salary, "alice", 130)
+        assert ok2
+
+    def test_transaction_constraint_checked_across_window(self, domain, db):
+        from repro.logic import builder as b
+        from repro.transactions import transaction
+
+        e = domain.emp.var("e")
+        cond = b.land(
+            b.member(e, domain.emp.rel()),
+            b.eq(domain.emp.attr("e-name", e), b.atom("alice")),
+        )
+        age_and_single = transaction(
+            "age-and-single",
+            (),
+            b.foreach(
+                e,
+                cond,
+                b.seq(
+                    b.modify(
+                        e,
+                        domain.emp.attr_index("age"),
+                        b.plus(domain.emp.attr("age", e), b.atom(1)),
+                    ),
+                    b.modify(e, domain.emp.attr_index("m-status"), b.atom("S")),
+                ),
+            ),
+        )
+        # alice is married in the sample state; aging her while making her
+        # single in one transition violates once-married
+        with pytest.raises(ConstraintViolation):
+            db.execute(age_and_single, label="bad")
+
+    def test_graph_records_transitions(self, domain, db):
+        db.execute(domain.set_salary, "alice", 150)
+        db.execute(domain.birthday, "bob")
+        assert db.graph is not None
+        assert db.graph.edge_count() == 2
+
+
+class TestWindows:
+    def test_constraint_needing_more_history_is_skipped(self, domain):
+        domain.schema.add_constraint(domain.salary_decrease_needs_dept_change())
+        db = Database(domain.schema, window=2, initial=domain.sample_state())
+        db.execute(domain.set_salary, "alice", 150)
+        skipped = db.records[0].skipped
+        assert any(s.constraint.name == "salary-decrease-needs-dept-change" for s in skipped)
+
+    def test_strict_mode_raises_instead(self, domain):
+        domain.schema.add_constraint(domain.salary_decrease_needs_dept_change())
+        db = Database(
+            domain.schema, window=2, initial=domain.sample_state(), strict=True
+        )
+        with pytest.raises(CheckabilityError):
+            db.execute(domain.set_salary, "alice", 150)
+
+    def test_wide_window_checks_it(self, domain):
+        domain.schema.add_constraint(domain.salary_decrease_needs_dept_change())
+        db = Database(domain.schema, window=3, initial=domain.sample_state())
+        db.execute(domain.set_salary, "alice", 150)
+        assert not db.records[0].skipped
+        with pytest.raises(ConstraintViolation):
+            db.execute(domain.set_salary, "alice", 100)
+
+    def test_uncheckable_skipped_with_reason(self, domain):
+        domain.schema.add_constraint(domain.invertibility())
+        db = Database(domain.schema, window=2, initial=domain.sample_state())
+        db.execute(domain.set_salary, "alice", 150)
+        (skip,) = db.records[0].skipped
+        assert "not checkable" in skip.reason
+
+    def test_unbounded_window_checks_full_history_constraints(self, domain):
+        domain.schema.add_constraint(domain.never_rehire())
+        db = Database(domain.schema, window=None, initial=domain.sample_state())
+        db.execute(domain.fire, "dan")
+        with pytest.raises(ConstraintViolation):
+            db.execute(domain.hire, "dan", "cs", 95, 31, "S")
+
+
+class TestEncodings:
+    def test_fire_encoding_via_engine(self, domain):
+        enc = domain.fire_encoding()
+        db = Database(domain.schema, window=2, initial=domain.sample_state())
+        db.register_encoding(enc)
+        domain.schema.add_constraint(enc.static_constraint())
+        db.execute(domain.fire, "dan")
+        assert {t.values for t in db.current.relation("FIRE")} == {("dan",)}
+        with pytest.raises(ConstraintViolation):
+            db.execute(domain.hire, "dan", "ee", 90, 31, "S")
+
+    def test_encoding_makes_two_window_sufficient(self, domain):
+        """E4's crossover: with the encoding, a 2-state window catches what
+        otherwise needs the complete history."""
+        enc = domain.fire_encoding()
+        db = Database(domain.schema, window=2, initial=domain.sample_state())
+        db.register_encoding(enc)
+        domain.schema.add_constraint(enc.static_constraint())
+        db.execute(domain.fire, "dan")
+        db.execute(domain.birthday, "alice")
+        db.execute(domain.birthday, "bob")  # firing long out of the window
+        with pytest.raises(ConstraintViolation):
+            db.execute(domain.hire, "dan", "ee", 90, 31, "S")
+
+
+class TestQueries:
+    def test_query_through_engine(self, domain, db):
+        from repro.logic import builder as b
+        from repro.transactions import query
+
+        a = domain.alloc.var("a")
+        q = query(
+            "allocs-of",
+            (b.atom_var("n"),),
+            b.setformer(
+                domain.alloc.attr("perc", a),
+                a,
+                b.land(
+                    b.member(a, domain.alloc.rel()),
+                    b.eq(domain.alloc.attr("a-emp", a), b.atom_var("n")),
+                ),
+            ),
+        )
+        result = db.query(q, "alice")
+        assert sorted(result.first_column()) == [40, 60]

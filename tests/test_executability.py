@@ -1,0 +1,122 @@
+"""Executability: only f-terms are programs (Definition 3 / experiment E8)."""
+
+import pytest
+
+from repro.errors import ExecutabilityError
+from repro.logic import builder as b
+from repro.logic.formulas import EvalBool
+from repro.logic.terms import EvalObj, EvalState
+from repro.transactions import (
+    check_program,
+    explain_unexecutable,
+    is_executable,
+    violations,
+)
+
+
+def paper_counterexample():
+    """The paper's non-executable salary program (Section 2)::
+
+        if greater-than(modify(s0, sal(c), sal(c)+100), sal(c), sal(mgr(c)))
+        then modify(s0, sal(c), 1.1 * sal(c))
+        else modify(s0, sal(c), 1.2 * sal(c))
+
+    As soon as the salary is increased by 100 the original value is
+    destroyed; the guard inspects a *different* state than the branches —
+    expressible situationally, but not an f-term.  We build the situational
+    guard: compare the salary at ``s0;modify(...)`` with the manager's.
+    """
+    s0 = b.state_const("s0")
+    c = b.ftup_var("c", 5)
+    mgr = b.ftup_var("m", 5)
+    sal = lambda e: b.attr("salary", 5, 3, e)
+    bumped = b.after(s0, b.modify(c, 3, b.plus(sal(c), b.atom(100))))
+    guard = b.gt(b.at(bumped, sal(c)), b.at(s0, sal(mgr)))
+    return guard
+
+
+class TestExecutableExamples:
+    def test_atomic_updates_executable(self):
+        e = b.ftup_var("e", 5)
+        assert is_executable(b.insert(e, "EMP"), [e])
+        assert is_executable(b.delete(e, "EMP"), [e])
+        assert is_executable(b.modify(e, 3, b.atom(0)), [e])
+
+    def test_composition_executable(self):
+        e = b.ftup_var("e", 5)
+        tx = b.seq(b.delete(e, "EMP"), b.insert(e, "EMP"))
+        assert is_executable(tx, [e])
+
+    def test_foreach_executable(self):
+        a = b.ftup_var("a", 3)
+        tx = b.foreach(a, b.member(a, b.rel("ALLOC", 3)), b.delete(a, "ALLOC"))
+        assert is_executable(tx)
+
+    def test_cancel_project_executable(self):
+        from repro.domains import make_domain
+
+        d = make_domain()
+        assert is_executable(d.cancel_project.body, d.cancel_project.params)
+
+    def test_queries_executable(self):
+        a = b.ftup_var("a", 3)
+        q = b.setformer(b.select(a, 3), a, b.member(a, b.rel("ALLOC", 3)))
+        assert is_executable(q)
+
+
+class TestRejections:
+    def test_paper_salary_example_rejected(self):
+        guard = paper_counterexample()
+        reasons = violations(guard)
+        assert reasons, "the paper's counterexample must be rejected"
+        assert any("situational" in r for r in reasons)
+
+    def test_explanation_mentions_current_state(self):
+        guard = paper_counterexample()
+        report = explain_unexecutable(guard)
+        assert "programs only access the current state" in report
+
+    def test_eval_obj_rejected(self):
+        s = b.state_var("s")
+        e = b.ftup_var("e", 5)
+        assert not is_executable(EvalObj(s, e))
+
+    def test_eval_state_rejected(self):
+        s = b.state_var("s")
+        assert not is_executable(EvalState(s, b.identity()))
+
+    def test_eval_bool_rejected(self):
+        s = b.state_var("s")
+        assert not is_executable(EvalBool(s, b.true()))
+
+    def test_state_variable_rejected(self):
+        s = b.state_var("s")
+        assert any("named states" in r for r in violations(s))
+
+    def test_state_constant_rejected(self):
+        assert not is_executable(b.state_const("s0"))
+
+    def test_undeclared_parameter_rejected(self):
+        e = b.ftup_var("e", 5)
+        reasons = violations(b.insert(e, "EMP"), params=[])
+        assert any("not a parameter" in r for r in reasons)
+
+    def test_check_program_raises_with_all_reasons(self):
+        s = b.state_var("s")
+        e = b.ftup_var("e", 5)
+        bad = EvalObj(s, e)
+        with pytest.raises(ExecutabilityError) as err:
+            check_program(bad)
+        assert "situational" in str(err.value)
+
+    def test_executable_has_empty_explanation(self):
+        e = b.ftup_var("e", 5)
+        assert explain_unexecutable(b.insert(e, "EMP"), [e]) == ""
+
+    def test_specification_power_retained(self):
+        """The full situational language remains usable for specification —
+        the counterexample is *expressible*, just not executable."""
+        guard = paper_counterexample()
+        from repro.logic.terms import Layer
+
+        assert guard.layer is Layer.SITUATIONAL

@@ -1,0 +1,60 @@
+"""Workload generators: validity and determinism of generated data."""
+
+import pytest
+
+from repro.constraints import check_state
+from repro.db.generators import benign_history, employee_state, violating_history
+
+
+class TestEmployeeState:
+    @pytest.mark.parametrize("size", [1, 5, 25, 80])
+    def test_generated_states_satisfy_example1(self, domain, size):
+        state = employee_state(domain, size)
+        for c in domain.static_constraints:
+            assert check_state(c, state).ok, (c.name, size)
+
+    def test_requested_size_honoured(self, domain):
+        assert len(employee_state(domain, 17).relation("EMP")) == 17
+
+    def test_deterministic_per_seed(self, domain):
+        a = employee_state(domain, 12, seed=3)
+        b = employee_state(domain, 12, seed=3)
+        assert a == b
+
+    def test_seeds_vary(self, domain):
+        a = employee_state(domain, 12, seed=1)
+        b = employee_state(domain, 12, seed=2)
+        assert a != b
+
+    def test_every_allocation_total_at_most_100(self, domain):
+        state = employee_state(domain, 30, seed=7)
+        totals: dict[str, int] = {}
+        for t in state.relation("ALLOC"):
+            totals[t.values[0]] = totals.get(t.values[0], 0) + t.values[2]
+        assert all(v <= 100 for v in totals.values())
+
+
+class TestHistories:
+    def test_benign_history_length(self, domain):
+        states = benign_history(domain, 8, 5)
+        assert len(states) == 6
+
+    def test_benign_history_static_valid_throughout(self, domain):
+        for state in benign_history(domain, 8, 5, seed=2):
+            for c in domain.static_constraints:
+                assert check_state(c, state).ok
+
+    def test_violating_history_contains_fire_and_rehire(self, domain):
+        states = violating_history(domain, 8, gap=3)
+        assert len(states) == 3 + 4  # initial, fire, gap birthdays, hire, alloc
+        names_first = {t.values[0] for t in states[0].relation("EMP")}
+        names_after_fire = {t.values[0] for t in states[1].relation("EMP")}
+        assert "emp0" in names_first and "emp0" not in names_after_fire
+        names_final = {t.values[0] for t in states[-1].relation("EMP")}
+        assert "emp0" in names_final
+
+    def test_violating_history_final_state_statically_valid(self, domain):
+        """The violation is purely dynamic — every snapshot looks fine."""
+        states = violating_history(domain, 8, gap=2)
+        for c in domain.static_constraints:
+            assert check_state(c, states[-1]).ok

@@ -1,0 +1,76 @@
+"""Ground simplification: the executable arithmetic/set theory."""
+
+from repro.logic import builder as b
+from repro.logic.formulas import Eq, FalseF, Implies, Not, TrueF
+from repro.theory.ground import simplify, simplify_expr
+
+
+class TestExpressionFolding:
+    def test_arithmetic_folds(self):
+        assert simplify_expr(b.plus(b.atom(2), b.atom(3))) == b.atom(5)
+
+    def test_truncated_subtraction(self):
+        assert simplify_expr(b.minus(b.atom(2), b.atom(5))) == b.atom(0)
+
+    def test_nested_folding(self):
+        expr = b.times(b.plus(b.atom(1), b.atom(2)), b.atom(4))
+        assert simplify_expr(expr) == b.atom(12)
+
+    def test_variables_block_folding(self):
+        x = b.atom_var("x")
+        expr = b.plus(x, b.atom(0))
+        assert simplify_expr(expr) == expr
+
+    def test_partial_folding_inside(self):
+        x = b.atom_var("x")
+        expr = b.plus(x, b.plus(b.atom(1), b.atom(2)))
+        assert simplify_expr(expr) == b.plus(x, b.atom(3))
+
+
+class TestFormulaSimplification:
+    def test_ground_comparison_decides(self):
+        assert isinstance(simplify(b.lt(b.atom(1), b.atom(2))), TrueF)
+        assert isinstance(simplify(b.ge(b.atom(1), b.atom(2))), FalseF)
+
+    def test_ground_equality_decides(self):
+        assert isinstance(simplify(Eq(b.atom(3), b.atom(3))), TrueF)
+        assert isinstance(simplify(Eq(b.atom("a"), b.atom("b"))), FalseF)
+
+    def test_reflexive_equality(self):
+        x = b.atom_var("x")
+        assert isinstance(simplify(Eq(x, x)), TrueF)
+
+    def test_boolean_unit_laws(self):
+        p = b.lt(b.atom_var("x"), b.atom(2))
+        assert simplify(b.land(b.true(), p)) == p
+        assert isinstance(simplify(b.land(b.false(), p)), FalseF)
+        assert isinstance(simplify(b.lor(b.true(), p)), TrueF)
+        assert simplify(b.lor(b.false(), p)) == p
+
+    def test_implication_laws(self):
+        p = b.lt(b.atom_var("x"), b.atom(2))
+        assert isinstance(simplify(Implies(b.false(), p)), TrueF)
+        assert simplify(Implies(b.true(), p)) == p
+        assert simplify(Implies(p, b.false())) == Not(p)
+
+    def test_double_negation(self):
+        p = b.lt(b.atom_var("x"), b.atom(2))
+        assert simplify(Not(Not(p))) == p
+
+    def test_iff_laws(self):
+        p = b.lt(b.atom_var("x"), b.atom(2))
+        assert simplify(b.iff(p, b.true())) == p
+        assert simplify(b.iff(b.false(), p)) == Not(p)
+
+    def test_comparison_folds_through_arithmetic(self):
+        f = b.lt(b.plus(b.atom(1), b.atom(1)), b.plus(b.atom(1), b.atom(2)))
+        assert isinstance(simplify(f), TrueF)
+
+    def test_quantified_bodies_simplified(self):
+        x = b.atom_var("x")
+        f = b.forall(x, b.implies(b.true(), b.lt(x, b.atom(5))))
+        result = simplify(f)
+        from repro.logic.formulas import Forall
+
+        assert isinstance(result, Forall)
+        assert result.body == b.lt(x, b.atom(5))

@@ -1,0 +1,75 @@
+"""Checkability as a complexity measure (the paper's Section 5 direction)."""
+
+import pytest
+
+from repro.constraints import Window
+from repro.constraints.hierarchy import (
+    Reduction,
+    cheapest_equivalent,
+    compare,
+    rank,
+    spectrum,
+)
+
+
+class TestOrdering:
+    def test_rank_total_order(self):
+        assert rank(1) < rank(2) < rank(3)
+        assert rank(99) < rank(Window.FULL_HISTORY) < rank(Window.UNCHECKABLE)
+
+    def test_compare_static_cheaper_than_transaction(self, domain):
+        assert compare(domain.every_employee_allocated(), domain.once_married()) == -1
+
+    def test_compare_transaction_cheaper_than_dynamic(self, domain):
+        assert compare(domain.once_married(), domain.never_rehire()) == -1
+
+    def test_compare_equal(self, domain):
+        assert compare(domain.once_married(), domain.skill_retention()) == 0
+
+    def test_compare_symmetric(self, domain):
+        assert compare(domain.never_rehire(), domain.once_married()) == 1
+
+
+class TestSpectrum:
+    def test_sorted_cheapest_first(self, domain):
+        s = spectrum(domain.all_constraints)
+        ranks = [rank(e.window) for e in s.entries]
+        assert ranks == sorted(ranks)
+
+    def test_partition(self, domain):
+        s = spectrum(domain.all_constraints)
+        assert len(s.bounded()) == 8       # 3 static + 5 transaction-windowed
+        assert len(s.full_history()) == 2  # never-rehire, salary-never-same
+        assert len(s.uncheckable()) == 2   # invertibility, no-eternal-project
+
+    def test_max_window_none_with_unbounded(self, domain):
+        s = spectrum(domain.all_constraints)
+        assert s.max_window is None
+
+    def test_max_window_of_bounded_set(self, domain):
+        s = spectrum(domain.static_constraints + [domain.once_married(),
+                                                  domain.salary_decrease_needs_dept_change()])
+        assert s.max_window == 3
+
+    def test_render(self, domain):
+        text = str(spectrum(domain.static_constraints))
+        assert "spectrum" in text and "1 state(s) suffices" in text
+
+
+class TestReduction:
+    def test_fire_encoding_reduces_never_rehire(self, domain):
+        reduction = cheapest_equivalent(domain.never_rehire(), domain.fire_encoding())
+        assert isinstance(reduction, Reduction)
+        assert reduction.saved_from is Window.FULL_HISTORY
+        assert reduction.saved_to == 1
+        assert "FIRE" in str(reduction)
+
+    def test_no_encoding_no_reduction(self, domain):
+        assert cheapest_equivalent(domain.never_rehire()) is None
+
+    def test_not_reported_when_not_cheaper(self, domain):
+        # encoding a static constraint cannot make it cheaper than 1
+        result = cheapest_equivalent(
+            domain.every_employee_allocated(), domain.fire_encoding()
+        )
+        assert result is None

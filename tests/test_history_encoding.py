@@ -1,0 +1,86 @@
+"""E4: the FIRE-relation history encoding (Example 4)."""
+
+import pytest
+
+from repro.constraints import check_state
+from repro.constraints.history import HistoryEncoding
+from repro.db import Schema, state_from_rows
+
+
+class TestRecording:
+    def test_deleted_key_logged(self, domain, sample_state):
+        enc = domain.fire_encoding()
+        before = enc.prepare_state(sample_state)
+        after = domain.fire.run(before, "dan")
+        logged = enc.record(before, after)
+        fire = logged.relation("FIRE")
+        assert {t.values for t in fire} == {("dan",)}
+
+    def test_modification_not_logged(self, domain, sample_state):
+        enc = domain.fire_encoding()
+        before = enc.prepare_state(sample_state)
+        after = domain.set_salary.run(before, "alice", 999)
+        logged = enc.record(before, after)
+        assert len(logged.relation("FIRE")) == 0
+
+    def test_multiple_firings_accumulate(self, domain, sample_state):
+        enc = domain.fire_encoding()
+        s = enc.prepare_state(sample_state)
+        s1 = enc.record(s, domain.fire.run(s, "dan"))
+        s2 = enc.record(s1, domain.fire.run(s1, "bob"))
+        assert {t.values for t in s2.relation("FIRE")} == {("dan",), ("bob",)}
+
+    def test_record_is_idempotent_per_transition(self, domain, sample_state):
+        enc = domain.fire_encoding()
+        s = enc.prepare_state(sample_state)
+        after = domain.fire.run(s, "dan")
+        once = enc.record(s, after)
+        twice = enc.record(s, after)  # same endpoints, set semantics
+        assert once.relation("FIRE") == twice.relation("FIRE")
+
+
+class TestStaticReplacement:
+    def test_rehire_violates_static_constraint(self, domain, sample_state):
+        enc = domain.fire_encoding()
+        c = enc.static_constraint()
+        s = enc.prepare_state(sample_state)
+        s1 = enc.record(s, domain.fire.run(s, "dan"))
+        assert check_state(c, s1).ok
+        s2 = domain.hire.run(s1, "dan", "cs", 95, 31, "S")
+        assert not check_state(c, s2).ok
+
+    def test_fresh_hire_passes(self, domain, sample_state):
+        enc = domain.fire_encoding()
+        c = enc.static_constraint()
+        s = enc.prepare_state(sample_state)
+        s1 = enc.record(s, domain.fire.run(s, "dan"))
+        s2 = domain.hire.run(s1, "erin", "cs", 95, 31, "S")
+        assert check_state(c, s2).ok
+
+    def test_constraint_is_static_and_one_window(self, domain):
+        from repro.constraints import ConstraintKind, analyze
+
+        c = domain.fire_excludes_emp()
+        assert c.kind is ConstraintKind.STATIC
+        assert analyze(c).window == 1
+
+
+class TestSchemaIntegration:
+    def test_extend_schema_adds_log(self, domain):
+        enc = domain.fire_encoding()
+        enc.extend_schema(domain.schema)
+        assert "FIRE" in domain.schema
+        enc.extend_schema(domain.schema)  # idempotent
+
+    def test_generic_encoding_other_relation(self):
+        schema = Schema()
+        proj = schema.add_relation("PROJ", ("p-name", "t-alloc"))
+        enc = HistoryEncoding(proj, "CANCELLED", "p-name")
+        state = state_from_rows(schema, {"PROJ": [("db", 100)]})
+        state = enc.prepare_state(state)
+        after = state.delete_tuple("PROJ", next(iter(state.relation("PROJ"))))
+        logged = enc.record(state, after)
+        assert {t.values for t in logged.relation("CANCELLED")} == {("db",)}
+
+    def test_key_index_resolution(self, domain):
+        assert domain.fire_encoding().key_index == 1

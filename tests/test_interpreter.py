@@ -1,0 +1,295 @@
+"""Operational semantics: w:e, w::p, w;e on concrete states."""
+
+import pytest
+
+from repro.errors import (
+    EvaluationError,
+    OrderDependenceError,
+    UnboundVariableError,
+)
+from repro.db import Schema, make_tuple, state_from_rows
+from repro.db.values import RelationId, TupleSet
+from repro.logic import builder as b
+from repro.logic.symbols import DefinedSymbol, FunctionSymbol, SymbolKind, SymbolTable
+from repro.logic.sorts import ATOM
+from repro.transactions import Env, Interpreter, evaluate, execute, satisfies
+
+
+@pytest.fixture()
+def schema():
+    s = Schema()
+    s.add_relation("NUM", ("n", "tag"))
+    s.add_relation("ACC", ("total",))
+    return s
+
+
+@pytest.fixture()
+def state(schema):
+    return state_from_rows(
+        schema, {"NUM": [(1, "a"), (2, "b"), (3, "c")], "ACC": [(0,)]}
+    )
+
+
+NUM = b.rel("NUM", 2)
+ACC = b.rel("ACC", 1)
+
+
+class TestObjectEvaluation:
+    def test_arithmetic(self, state):
+        assert evaluate(state, b.plus(b.atom(2), b.atom(3))) == 5
+        assert evaluate(state, b.times(b.atom(2), b.atom(3))) == 6
+
+    def test_truncated_subtraction(self, state):
+        assert evaluate(state, b.minus(b.atom(2), b.atom(5))) == 0
+
+    def test_division_by_zero(self, state):
+        with pytest.raises(EvaluationError):
+            evaluate(state, _div(1, 0))
+
+    def test_relation_value(self, state):
+        value = evaluate(state, NUM)
+        assert isinstance(value, TupleSet) and len(value) == 3
+
+    def test_rel_id_value(self, state):
+        assert evaluate(state, b.rel_id("NUM", 2)) == RelationId("NUM", 2)
+
+    def test_select_and_attr(self, state):
+        n = b.ftup_var("t", 2)
+        t = next(iter(state.relation("NUM")))
+        env = Env({n: t})
+        assert evaluate(state, b.select(n, 1), env) == t.values[0]
+        assert evaluate(state, b.attr("tag", 2, 2, n), env) == t.values[1]
+
+    def test_tuple_construction(self, state):
+        value = evaluate(state, b.mktuple(b.atom(9), b.atom("z")))
+        assert value.values == (9, "z") and value.tid is None
+
+    def test_set_former(self, state):
+        t = b.ftup_var("t", 2)
+        former = b.setformer(b.select(t, 1), t, b.member(t, NUM))
+        value = evaluate(state, former)
+        assert sorted(value.first_column()) == [1, 2, 3]
+
+    def test_set_former_filtering(self, state):
+        t = b.ftup_var("t", 2)
+        former = b.setformer(
+            b.select(t, 1), t, b.land(b.member(t, NUM), b.gt(b.select(t, 1), b.atom(1)))
+        )
+        assert sorted(evaluate(state, former).first_column()) == [2, 3]
+
+    def test_aggregates(self, state):
+        t = b.ftup_var("t", 2)
+        former = b.setformer(b.select(t, 1), t, b.member(t, NUM))
+        assert evaluate(state, b.sum_of(former)) == 6
+        assert evaluate(state, b.max_of(former)) == 3
+        assert evaluate(state, b.min_of(former)) == 1
+        assert evaluate(state, b.size_of(former)) == 3
+
+    def test_aggregate_of_empty(self, state):
+        t = b.ftup_var("t", 2)
+        former = b.setformer(
+            b.select(t, 1), t, b.land(b.member(t, NUM), b.gt(b.select(t, 1), b.atom(99)))
+        )
+        assert evaluate(state, b.sum_of(former)) == 0
+        assert evaluate(state, b.size_of(former)) == 0
+        with pytest.raises(EvaluationError):
+            evaluate(state, b.max_of(former))
+
+    def test_set_operations(self, state):
+        t = b.ftup_var("t", 2)
+        low = b.setformer(t, t, b.land(b.member(t, NUM), b.lt(b.select(t, 1), b.atom(3))))
+        high = b.setformer(t, t, b.land(b.member(t, NUM), b.gt(b.select(t, 1), b.atom(1))))
+        assert len(evaluate(state, b.union(low, high))) == 3
+        assert len(evaluate(state, b.intersect(low, high))) == 1
+        assert len(evaluate(state, b.diff(low, high))) == 1
+
+    def test_tuple_id(self, state):
+        n = b.ftup_var("t", 2)
+        t = next(iter(state.relation("NUM")))
+        assert evaluate(state, b.tuple_id(n), Env({n: t})) == t.tid
+
+    def test_unbound_variable(self, state):
+        with pytest.raises(UnboundVariableError):
+            evaluate(state, b.atom_var("x"))
+
+    def test_ite(self, state):
+        expr = b.ite(b.lt(b.atom(1), b.atom(2)), b.atom(10), b.atom(20))
+        assert evaluate(state, expr) == 10
+
+    def test_deref_follows_state(self, state):
+        """A tuple variable denotes *the identified tuple at the evaluation
+        state* — the heart of cross-state constraint semantics."""
+        n = b.ftup_var("t", 2)
+        t = next(iter(state.relation("NUM")))
+        s2 = state.modify_tuple(t, 1, 99)
+        env = Env({n: t})
+        assert evaluate(state, b.select(n, 1), env) == t.values[0]
+        assert evaluate(s2, b.select(n, 1), env) == 99
+
+
+def _div(a, c):
+    from repro.logic import symbols as sym
+    from repro.logic.terms import App
+
+    return App(sym.DIV, (b.atom(a), b.atom(c)))
+
+
+class TestFormulaEvaluation:
+    def test_membership(self, state):
+        assert satisfies(state, b.member(b.mktuple(b.atom(1), b.atom("a")), NUM))
+        assert not satisfies(state, b.member(b.mktuple(b.atom(9), b.atom("x")), NUM))
+
+    def test_quantifiers(self, state):
+        t = b.ftup_var("t", 2)
+        assert satisfies(
+            state,
+            b.forall(t, b.implies(b.member(t, NUM), b.le(b.select(t, 1), b.atom(3)))),
+        )
+        assert satisfies(
+            state, b.exists(t, b.land(b.member(t, NUM), b.eq(b.select(t, 1), b.atom(2))))
+        )
+        assert not satisfies(
+            state, b.exists(t, b.land(b.member(t, NUM), b.eq(b.select(t, 1), b.atom(9))))
+        )
+
+    def test_connectives(self, state):
+        lt = b.lt(b.atom(1), b.atom(2))
+        gt = b.gt(b.atom(1), b.atom(2))
+        assert satisfies(state, b.land(lt, b.lnot(gt)))
+        assert satisfies(state, b.lor(gt, lt))
+        assert satisfies(state, b.implies(gt, b.false()))
+        assert satisfies(state, b.iff(gt, b.false()))
+
+    def test_subset(self, state):
+        t = b.ftup_var("t", 2)
+        low = b.setformer(t, t, b.land(b.member(t, NUM), b.lt(b.select(t, 1), b.atom(2))))
+        assert satisfies(state, b.subset(low, NUM))
+        assert not satisfies(state, b.subset(NUM, low))
+
+    def test_equality_of_tuples_by_value(self, state):
+        assert satisfies(
+            state,
+            b.eq(b.mktuple(b.atom(1), b.atom("a")), b.mktuple(b.atom(1), b.atom("a"))),
+        )
+
+
+class TestTransactionExecution:
+    def test_insert(self, state):
+        s2 = execute(state, b.insert(b.mktuple(b.atom(7), b.atom("q")), "NUM"))
+        assert len(s2.relation("NUM")) == 4
+
+    def test_delete(self, state):
+        s2 = execute(state, b.delete(b.mktuple(b.atom(1), b.atom("a")), "NUM"))
+        assert len(s2.relation("NUM")) == 2
+
+    def test_modify(self, state):
+        n = b.ftup_var("t", 2)
+        t = next(iter(state.relation("NUM")))
+        s2 = execute(state, b.modify(n, 2, b.atom("Z")), Env({n: t}))
+        assert s2.relation("NUM").get(t.tid).values[1] == "Z"
+
+    def test_assign(self, state):
+        t = b.ftup_var("t", 2)
+        former = b.setformer(b.select(t, 1), t, b.member(t, NUM))
+        s2 = execute(state, b.assign(b.rel_id("COPY", 1), former))
+        assert len(s2.relation("COPY")) == 3
+
+    def test_seq_threads_states(self, state):
+        tx = b.seq(
+            b.insert(b.mktuple(b.atom(8), b.atom("w")), "NUM"),
+            b.delete(b.mktuple(b.atom(1), b.atom("a")), "NUM"),
+        )
+        s2 = execute(state, tx)
+        assert len(s2.relation("NUM")) == 3
+
+    def test_identity(self, state):
+        assert execute(state, b.identity()) == state
+
+    def test_cond_fluent_guard_uses_current_state(self, state):
+        t = b.ftup_var("t", 2)
+        guard = b.exists(t, b.land(b.member(t, NUM), b.eq(b.select(t, 1), b.atom(1))))
+        tx = b.ifthen(guard, b.delete(b.mktuple(b.atom(1), b.atom("a")), "NUM"))
+        s2 = execute(state, tx)
+        assert len(s2.relation("NUM")) == 2
+        s3 = execute(s2, tx)  # guard now false -> identity
+        assert s3 == s2
+
+    def test_foreach_iterates_satisfiers(self, state):
+        t = b.ftup_var("t", 2)
+        tx = b.foreach(t, b.member(t, NUM), b.delete(t, "NUM"))
+        s2 = execute(state, tx)
+        assert len(s2.relation("NUM")) == 0
+
+    def test_foreach_satisfiers_fixed_at_entry(self, state):
+        """The enumeration happens at the evaluation state; tuples inserted
+        by the body are not iterated."""
+        t = b.ftup_var("t", 2)
+        tx = b.foreach(
+            t,
+            b.member(t, NUM),
+            b.insert(b.mktuple(b.plus(b.select(t, 1), b.atom(10)), b.select(t, 2)), "NUM"),
+        )
+        s2 = execute(state, tx)
+        assert len(s2.relation("NUM")) == 6
+
+    def test_order_dependent_foreach_rejected(self, schema):
+        """The paper: the iteration fluent is undefined when the result
+        depends on the enumeration order."""
+        state = state_from_rows(schema, {"NUM": [(1, "a"), (2, "b")], "ACC": [(0,)]})
+        t = b.ftup_var("t", 2)
+        acc = b.ftup_var("acc", 1)
+        # acc.total := 2 * acc.total + t.n   — order-dependent
+        body = b.foreach(
+            acc,
+            b.member(acc, ACC),
+            b.modify(
+                acc, 1, b.plus(b.times(b.atom(2), b.select(acc, 1)), b.select(t, 1))
+            ),
+        )
+        tx = b.foreach(t, b.member(t, NUM), body)
+        with pytest.raises(OrderDependenceError):
+            execute(state, tx)
+
+    def test_order_check_none_skips_detection(self, schema):
+        state = state_from_rows(schema, {"NUM": [(1, "a"), (2, "b")], "ACC": [(0,)]})
+        t = b.ftup_var("t", 2)
+        acc = b.ftup_var("acc", 1)
+        body = b.foreach(
+            acc,
+            b.member(acc, ACC),
+            b.modify(
+                acc, 1, b.plus(b.times(b.atom(2), b.select(acc, 1)), b.select(t, 1))
+            ),
+        )
+        tx = b.foreach(t, b.member(t, NUM), body)
+        interp = Interpreter(order_check="none")
+        interp.run(state, tx)  # no error: caller accepted the risk
+
+    def test_full_order_check(self, state):
+        t = b.ftup_var("t", 2)
+        tx = b.foreach(t, b.member(t, NUM), b.delete(t, "NUM"))
+        interp = Interpreter(order_check="full")
+        s2 = interp.run(state, tx)
+        assert len(s2.relation("NUM")) == 0
+
+    def test_with_without(self, state):
+        from repro.logic import symbols as sym
+        from repro.logic.terms import App
+
+        t = b.mktuple(b.atom(9), b.atom("n"))
+        added = App(sym.with_sym(2), (NUM, t))
+        assert len(evaluate(state, added)) == 4
+        removed = App(sym.without_sym(2), (NUM, b.mktuple(b.atom(1), b.atom("a"))))
+        assert len(evaluate(state, removed)) == 2
+
+
+class TestDefinedSymbols:
+    def test_definition_unfolds(self, state):
+        x = b.atom_var("x")
+        double = FunctionSymbol("double", (ATOM,), ATOM, SymbolKind.DEFINED)
+        table = SymbolTable()
+        table.define(DefinedSymbol(double, (x,), b.plus(x, x)))
+        interp = Interpreter(definitions=table)
+        from repro.logic.terms import App
+
+        assert interp.eval_object(state, App(double, (b.atom(4),))) == 8

@@ -1,0 +1,97 @@
+"""Property tests on the operational semantics beyond the axiom schemas."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import Schema, state_from_rows
+from repro.logic import builder as b
+from repro.transactions import Env, Interpreter, execute, satisfies
+
+
+rows = st.lists(
+    st.tuples(st.integers(0, 30), st.sampled_from("abc")),
+    min_size=0, max_size=6, unique=True,
+)
+
+
+def make_state(data):
+    schema = Schema()
+    schema.add_relation("R", ("n", "tag"))
+    return state_from_rows(schema, {"R": [tuple(r) for r in data]})
+
+
+R = b.rel("R", 2)
+
+
+class TestDeterminism:
+    @given(rows, st.integers(0, 30), st.sampled_from("abc"))
+    @settings(max_examples=60, deadline=None)
+    def test_execution_is_a_function(self, data, n, tag):
+        """'the resulting state of performing a transaction in a state is
+        uniquely determined by the initial state and the transaction'."""
+        state = make_state(data)
+        tx = b.seq(
+            b.insert(b.mktuple(b.atom(n), b.atom(tag)), "R"),
+            b.delete(b.mktuple(b.atom(n + 1), b.atom(tag)), "R"),
+        )
+        assert execute(state, tx) == execute(state, tx)
+
+    @given(rows)
+    @settings(max_examples=40, deadline=None)
+    def test_foreach_delete_all_empties(self, data):
+        state = make_state(data)
+        t = b.ftup_var("t", 2)
+        tx = b.foreach(t, b.member(t, R), b.delete(t, "R"))
+        assert len(execute(state, tx).relation("R")) == 0
+
+    @given(rows, st.integers(0, 30), st.sampled_from("abc"))
+    @settings(max_examples=60, deadline=None)
+    def test_insert_delete_roundtrip(self, data, n, tag):
+        """Deleting what was just inserted restores the relation contents
+        (by value; the allocator may have moved)."""
+        state = make_state(data)
+        t = b.mktuple(b.atom(n), b.atom(tag))
+        out = execute(state, b.seq(b.insert(t, "R"), b.delete(t, "R")))
+        assert {x.values for x in out.relation("R")} <= {
+            x.values for x in state.relation("R")
+        }
+        # strict equality unless (n, tag) was already present (then the
+        # roundtrip deletes the original)
+        if not state.relation("R").has_value((n, tag)):
+            assert {x.values for x in out.relation("R")} == {
+                x.values for x in state.relation("R")
+            }
+
+    @given(rows)
+    @settings(max_examples=40, deadline=None)
+    def test_immutability_of_inputs(self, data):
+        state = make_state(data)
+        snapshot = {x.values for x in state.relation("R")}
+        t = b.ftup_var("t", 2)
+        execute(state, b.foreach(t, b.member(t, R), b.delete(t, "R")))
+        assert {x.values for x in state.relation("R")} == snapshot
+
+
+class TestQuantifierDuality:
+    @given(rows, st.integers(0, 30))
+    @settings(max_examples=60, deadline=None)
+    def test_forall_not_exists_not(self, data, bound):
+        state = make_state(data)
+        t = b.ftup_var("t", 2)
+        body = b.implies(b.member(t, R), b.le(b.select(t, 1), b.atom(bound)))
+        via_forall = satisfies(state, b.forall(t, body))
+        via_exists = not satisfies(
+            state,
+            b.exists(t, b.land(b.member(t, R), b.gt(b.select(t, 1), b.atom(bound)))),
+        )
+        assert via_forall == via_exists
+
+    @given(rows)
+    @settings(max_examples=40, deadline=None)
+    def test_setformer_counts_match_quantification(self, data):
+        state = make_state(data)
+        t = b.ftup_var("t", 2)
+        former = b.setformer(t, t, b.member(t, R))
+        from repro.transactions import evaluate
+
+        assert evaluate(state, b.size_of(former)) == len(state.relation("R"))

@@ -1,0 +1,247 @@
+"""The surface language: lexer, parser, end-to-end declarations."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.constraints import ConstraintKind, Window, check_state
+from repro.lang import parse, parse_formula, parse_transaction, tokenize
+from repro.lang.lexer import TokenKind
+
+
+class TestLexer:
+    def test_dashed_identifiers(self):
+        tokens = tokenize("e-name m-status")
+        assert [t.text for t in tokens[:-1]] == ["e-name", "m-status"]
+
+    def test_subtraction_needs_spaces(self):
+        tokens = tokenize("salary(e) - v")
+        texts = [t.text for t in tokens[:-1]]
+        assert "-" in texts
+
+    def test_dash_letter_binds_into_identifier(self):
+        tokens = tokenize("a-b")
+        assert [t.text for t in tokens[:-1]] == ["a-b"]
+
+    def test_longest_match_symbols(self):
+        tokens = tokenize(";; :: := <-> -> <= >= !=")
+        assert [t.text for t in tokens[:-1]] == [
+            ";;", "::", ":=", "<->", "->", "<=", ">=", "!=",
+        ]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("x // a comment\ny")
+        assert [t.text for t in tokens[:-1]] == ["x", "y"]
+
+    def test_strings(self):
+        (tok, _eof) = tokenize('"hello world"')
+        assert tok.kind is TokenKind.STRING and tok.text == "hello world"
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            tokenize('"oops')
+
+    def test_illegal_character(self):
+        with pytest.raises(ParseError):
+            tokenize("@")
+
+    def test_positions_tracked(self):
+        tokens = tokenize("a\n  b")
+        assert tokens[0].line == 1 and tokens[1].line == 2 and tokens[1].column == 3
+
+    def test_keywords_recognized(self):
+        tokens = tokenize("forall exists foreach")
+        assert all(t.kind is TokenKind.KEYWORD for t in tokens[:-1])
+
+
+SCHEMA_SRC = """
+relation EMP(e-name, e-dept, salary, age, m-status);
+relation ALLOC(a-emp, a-proj, perc);
+relation PROJ(p-name, t-alloc);
+"""
+
+
+@pytest.fixture()
+def parsed_schema():
+    return parse(SCHEMA_SRC).schema
+
+
+class TestFormulaParsing:
+    def test_static_constraint(self, parsed_schema):
+        f = parse_formula(
+            "forall s: state. holds(s, forall e: EMP. e in EMP -> salary(e) >= 0)",
+            parsed_schema,
+        )
+        from repro.constraints import classify
+
+        assert classify(f) is ConstraintKind.STATIC
+
+    def test_precedence_and_binds_tighter_than_implies(self, parsed_schema):
+        f = parse_formula("1 < 2 and 2 < 3 -> 3 < 4", parsed_schema)
+        from repro.logic.formulas import And, Implies
+
+        assert isinstance(f, Implies)
+        assert isinstance(f.antecedent, And)
+
+    def test_implies_right_associative(self, parsed_schema):
+        f = parse_formula("1 < 2 -> 2 < 3 -> 3 < 4", parsed_schema)
+        from repro.logic.formulas import Implies
+
+        assert isinstance(f, Implies) and isinstance(f.consequent, Implies)
+
+    def test_cross_state_comparison(self, parsed_schema):
+        f = parse_formula(
+            "forall s: state, t: trans, e: EMP. "
+            "at(s, salary(e)) <= at(after(s, t), salary(e)) "
+            "or at(s, e-dept(e)) != at(after(s, t), e-dept(e))",
+            parsed_schema,
+        )
+        assert not f.free_vars()
+
+    def test_set_former_with_parameters(self, parsed_schema):
+        f = parse_formula(
+            "forall s: state. holds(s, forall e: EMP. e in EMP -> "
+            "sum({ perc(a) | a: ALLOC . a in ALLOC and a-emp(a) = e-name(e) }) <= 100)",
+            parsed_schema,
+        )
+        assert not f.free_vars()
+
+    def test_unknown_name_reported(self, parsed_schema):
+        with pytest.raises(ParseError, match="unknown name"):
+            parse_formula("mystery < 3", parsed_schema)
+
+    def test_ambiguous_attribute_reported(self):
+        schema = parse(
+            "relation A(x, common); relation B(y, common);"
+        ).schema
+        # a constructed row has no declared relation: two candidates
+        with pytest.raises(ParseError, match="not uniquely"):
+            parse_formula("common(row(1, 2)) = 1", schema)
+        # a bound variable resolves through its declared relation
+        f = parse_formula("forall a: A. common(a) = 1", schema)
+        assert not f.free_vars()
+
+    def test_atom_in_relation_coerces_to_row(self, parsed_schema):
+        schema = parse("relation NAMES(n);").schema
+        f = parse_formula("forall s: state. holds(s, \"alice\" in NAMES)", schema)
+        assert not f.free_vars()
+
+    def test_trailing_input_rejected(self, parsed_schema):
+        with pytest.raises(ParseError, match="trailing"):
+            parse_formula("1 < 2 extra", parsed_schema)
+
+
+class TestTransactionParsing:
+    def test_insert_transaction(self, parsed_schema):
+        tx = parse_transaction(
+            "transaction hire(n, d, s, a, m) := insert row(n, d, s, a, m) into EMP;",
+            parsed_schema,
+        )
+        assert tx.is_transaction and len(tx.params) == 5
+
+    def test_foreach_modify(self, parsed_schema):
+        tx = parse_transaction(
+            "transaction raise-all(amount) := "
+            "foreach e: EMP | e in EMP do set e.salary := salary(e) + amount end;",
+            parsed_schema,
+        )
+        from repro.domains import make_domain
+
+        d = make_domain()
+        s0 = d.sample_state()
+        s1 = tx.run(s0, 5)
+        assert all(
+            t.values[2] == o.values[2] + 5
+            for t, o in zip(
+                sorted(s1.relation("EMP"), key=lambda x: x.tid),
+                sorted(s0.relation("EMP"), key=lambda x: x.tid),
+            )
+        )
+
+    def test_conditional(self, parsed_schema):
+        tx = parse_transaction(
+            "transaction maybe(n) := "
+            "if exists e: EMP. e in EMP and e-name(e) = n "
+            "then skip else insert row(n, \"cs\", 0, 20, \"S\") into EMP end;",
+            parsed_schema,
+        )
+        from repro.domains import make_domain
+
+        d = make_domain()
+        s0 = d.sample_state()
+        assert tx.run(s0, "alice") == s0
+        s1 = tx.run(s0, "zoe")
+        assert len(s1.relation("EMP")) == 5
+
+    def test_assign_declares_local_relation(self, parsed_schema):
+        tx = parse_transaction(
+            "transaction snap() := "
+            "assign NAMES := { e-name(e) | e: EMP . e in EMP };",
+            parsed_schema,
+        )
+        from repro.domains import make_domain
+
+        s1 = tx.run(make_domain().sample_state())
+        assert len(s1.relation("NAMES")) == 4
+
+    def test_composition(self, parsed_schema):
+        tx = parse_transaction(
+            "transaction two(n) := "
+            "insert row(n, \"p\", 1) into ALLOC ;; delete row(n, \"p\", 1) from ALLOC;",
+            parsed_schema,
+        )
+        from repro.domains import make_domain
+
+        s0 = make_domain().sample_state()
+        assert tx.run(s0, "alice") == s0
+
+    def test_unknown_relation_rejected(self, parsed_schema):
+        with pytest.raises(ParseError, match="unknown relation"):
+            parse_transaction(
+                "transaction bad(n) := insert row(n) into NOPE;", parsed_schema
+            )
+
+    def test_set_requires_bound_tuple_var(self, parsed_schema):
+        with pytest.raises(ParseError, match="bound tuple variable"):
+            parse_transaction(
+                "transaction bad(n) := set n.salary := 3;", parsed_schema
+            )
+
+
+class TestFullPrograms:
+    def test_constraint_metadata(self):
+        program = parse(
+            SCHEMA_SRC
+            + 'constraint c1 [window full] := forall s: state. holds(s, true);'
+            + 'constraint c2 [window uncheckable] := forall s: state. holds(s, true);'
+            + 'constraint c3 [window 3, assume "x"] := forall s: state. holds(s, true);'
+        )
+        assert program.constraint("c1").declared_window is Window.FULL_HISTORY
+        assert program.constraint("c2").declared_window is Window.UNCHECKABLE
+        assert program.constraint("c3").declared_window == 3
+        assert program.constraint("c3").assumption == "x"
+
+    def test_parsed_constraint_checks_like_builtin(self):
+        from repro.domains import make_domain
+
+        d = make_domain()
+        source = (
+            "constraint limit := forall s: state. holds(s, forall e: EMP. "
+            "e in EMP -> sum({ perc(a) | a: ALLOC . a in ALLOC and "
+            "a-emp(a) = e-name(e) }) <= 100);"
+        )
+        program = parse(source, d.schema)
+        c = program.constraint("limit")
+        s0 = d.sample_state()
+        assert check_state(c, s0).ok
+        over = d.allocate.run(s0, "bob", "ai", 50)
+        assert not check_state(c, over).ok
+
+    def test_duplicate_relation_rejected(self):
+        with pytest.raises(Exception):
+            parse("relation R(a); relation R(b);")
+
+    def test_queries_parsed(self):
+        program = parse(
+            SCHEMA_SRC + "query names() := { e-name(e) | e: EMP . e in EMP };"
+        )
+        assert "names" in program.queries

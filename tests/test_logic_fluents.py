@@ -1,0 +1,133 @@
+"""Fluent combinators: composition, condition, iteration, set formers."""
+
+import pytest
+
+from repro.errors import SortError
+from repro.logic import builder as b
+from repro.logic.fluents import (
+    CondExpr,
+    CondFluent,
+    Foreach,
+    Identity,
+    Seq,
+    SetFormer,
+    seq,
+    seq_parts,
+)
+from repro.logic.sorts import STATE, set_sort
+from repro.logic.terms import Layer, RelConst
+
+
+def _ins(name="x"):
+    return b.insert(b.mktuple(b.atom_var(name)), "R")
+
+
+class TestComposition:
+    def test_seq_sort_is_state(self):
+        assert Seq(_ins("x"), _ins("y")).sort == STATE
+
+    def test_seq_requires_state_sorts(self):
+        with pytest.raises(SortError):
+            Seq(b.atom(1), _ins())
+
+    def test_seq_builder_drops_identities(self):
+        assert seq(b.identity(), _ins(), b.identity()) == _ins()
+
+    def test_seq_builder_empty_is_identity(self):
+        assert seq() == Identity()
+
+    def test_seq_parts_flattens(self):
+        composite = seq(_ins("x"), _ins("y"), _ins("z"))
+        assert len(seq_parts(composite)) == 3
+
+    def test_seq_parts_of_identity_empty(self):
+        assert seq_parts(Identity()) == []
+
+    def test_identity_sort(self):
+        assert Identity().sort == STATE
+        assert Identity().layer is Layer.FLUENT
+
+
+class TestCondFluent:
+    def test_guard_must_be_fluent(self):
+        s = b.state_var("s")
+        e = b.ftup_var("e", 5)
+        situational_guard = b.holds(s, b.member(e, RelConst("EMP", 5)))
+        with pytest.raises(SortError):
+            CondFluent(situational_guard, _ins(), Identity())
+
+    def test_branches_must_be_state_sorted(self):
+        guard = b.lt(b.atom(1), b.atom(2))
+        with pytest.raises(SortError):
+            CondFluent(guard, b.atom(1), Identity())
+
+    def test_ifthen_defaults_else_to_identity(self):
+        f = b.ifthen(b.lt(b.atom(1), b.atom(2)), _ins())
+        assert f.else_branch == Identity()
+
+
+class TestForeach:
+    def test_binds_variable(self):
+        a = b.ftup_var("a", 3)
+        f = Foreach(a, b.member(a, RelConst("ALLOC", 3)), b.delete(a, "ALLOC"))
+        assert f.free_vars() == frozenset()
+        assert f.bound_vars() == (a,)
+
+    def test_rejects_situational_binder(self):
+        a = b.stup_var("a", 3)
+        with pytest.raises(SortError):
+            Foreach(a, b.true(), _ins())
+
+    def test_rejects_state_sorted_binder(self):
+        t = b.trans_var("t")
+        with pytest.raises(SortError):
+            Foreach(t, b.true(), _ins())
+
+    def test_body_must_be_state_sorted(self):
+        a = b.ftup_var("a", 3)
+        with pytest.raises(SortError):
+            Foreach(a, b.true(), b.atom(1))
+
+
+class TestSetFormer:
+    def test_sort_from_tuple_result(self):
+        a = b.ftup_var("a", 3)
+        f = SetFormer(a, (a,), b.member(a, RelConst("ALLOC", 3)))
+        assert f.sort == set_sort(3)
+
+    def test_atom_result_becomes_one_set(self):
+        a = b.ftup_var("a", 3)
+        f = b.setformer(b.attr("perc", 3, 3, a), a, b.member(a, RelConst("ALLOC", 3)))
+        assert f.sort == set_sort(1)
+
+    def test_must_bind_something(self):
+        a = b.ftup_var("a", 3)
+        with pytest.raises(SortError):
+            SetFormer(a, (), b.true())
+
+    def test_parameters_stay_free(self):
+        a = b.ftup_var("a", 3)
+        name = b.atom_var("n")
+        f = b.setformer(
+            b.attr("perc", 3, 3, a),
+            a,
+            b.land(
+                b.member(a, RelConst("ALLOC", 3)),
+                b.eq(b.attr("a-emp", 3, 1, a), name),
+            ),
+        )
+        assert f.free_vars() == frozenset({name})
+
+
+class TestCondExpr:
+    def test_branch_sorts_must_match(self):
+        with pytest.raises(SortError):
+            CondExpr(b.true(), b.atom(1), b.ftup_var("e", 2))
+
+    def test_ite_builder(self):
+        f = b.ite(b.lt(b.atom(1), b.atom(2)), b.atom(1), b.atom(2))
+        assert f.sort.is_atom
+
+    def test_state_branches_rejected(self):
+        with pytest.raises(SortError):
+            CondExpr(b.true(), _ins(), _ins())

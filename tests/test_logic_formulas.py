@@ -1,0 +1,136 @@
+"""Formulas: connectives, quantifiers, layer discipline, smart constructors."""
+
+import pytest
+
+from repro.errors import SortError
+from repro.logic import builder as b
+from repro.logic.formulas import (
+    And,
+    Eq,
+    EvalBool,
+    Exists,
+    FalseF,
+    Forall,
+    Or,
+    TrueF,
+    conj,
+    disj,
+    exists,
+    forall,
+)
+from repro.logic.terms import Layer, RelConst
+
+
+class TestAtoms:
+    def test_member_is_fluent_over_fluent_args(self):
+        e = b.ftup_var("e", 5)
+        f = b.member(e, RelConst("EMP", 5))
+        assert f.layer is Layer.FLUENT
+
+    def test_comparison_of_cross_state_values(self):
+        """The paper's age'(s1,e) < age'(s2,e): rigid < over situational args."""
+        s1, s2 = b.state_var("s1"), b.state_var("s2")
+        e = b.ftup_var("e", 5)
+        age = lambda s: b.at(s, b.attr("age", 5, 4, e))
+        f = b.lt(age(s1), age(s2))
+        assert f.layer is Layer.SITUATIONAL
+
+    def test_eq_requires_same_sort(self):
+        with pytest.raises(SortError):
+            Eq(b.atom(1), b.ftup_var("e", 2))
+
+    def test_state_equality_allowed(self):
+        """Example 4's invertibility: s = s;t1;t2."""
+        s = b.state_var("s")
+        t1, t2 = b.trans_var("t1"), b.trans_var("t2")
+        f = Eq(s, b.after(b.after(s, t1), t2))
+        assert f.layer is Layer.SITUATIONAL
+
+    def test_eval_bool_requires_fluent_formula(self):
+        s = b.state_var("s")
+        inner = b.holds(s, TrueF())
+        with pytest.raises(SortError):
+            EvalBool(s, inner)
+
+    def test_ground_comparison_is_either(self):
+        assert b.lt(b.atom(1), b.atom(2)).layer is Layer.EITHER
+
+
+class TestConnectives:
+    def test_mixing_layers_rejected(self):
+        s = b.state_var("s")
+        e = b.ftup_var("e", 5)
+        fluent = b.member(e, RelConst("EMP", 5))
+        situational = b.holds(s, fluent)
+        with pytest.raises(SortError):
+            And((fluent, situational))
+
+    def test_either_joins_freely(self):
+        ground = b.lt(b.atom(1), b.atom(2))
+        e = b.ftup_var("e", 5)
+        fluent = b.member(e, RelConst("EMP", 5))
+        assert And((ground, fluent)).layer is Layer.FLUENT
+
+    def test_conj_flattens(self):
+        f = conj(b.true(), conj(b.false(), b.true()))
+        assert f == FalseF()
+
+    def test_conj_empty_is_true(self):
+        assert conj() == TrueF()
+
+    def test_conj_single_passthrough(self):
+        g = b.lt(b.atom(1), b.atom(2))
+        assert conj(g) is g
+
+    def test_disj_flattens(self):
+        g = b.lt(b.atom(1), b.atom(2))
+        f = disj(b.false(), g)
+        assert f is g
+
+    def test_disj_empty_is_false(self):
+        assert disj() == FalseF()
+
+    def test_nested_and_flattening(self):
+        g1 = b.lt(b.atom(1), b.atom(2))
+        g2 = b.lt(b.atom(2), b.atom(3))
+        g3 = b.lt(b.atom(3), b.atom(4))
+        f = conj(g1, conj(g2, g3))
+        assert isinstance(f, And) and len(f.conjuncts) == 3
+
+
+class TestQuantifiers:
+    def test_forall_binds(self):
+        e = b.ftup_var("e", 5)
+        f = Forall(e, b.member(e, RelConst("EMP", 5)))
+        assert f.free_vars() == frozenset()
+
+    def test_forall_list_closure(self):
+        s = b.state_var("s")
+        e = b.ftup_var("e", 5)
+        f = forall([s, e], b.holds(s, b.member(e, RelConst("EMP", 5))))
+        assert isinstance(f, Forall) and f.var == s
+        assert isinstance(f.body, Forall) and f.body.var == e
+
+    def test_exists_closure(self):
+        e = b.ftup_var("e", 5)
+        f = exists(e, b.member(e, RelConst("EMP", 5)))
+        assert isinstance(f, Exists)
+        assert f.free_vars() == frozenset()
+
+    def test_quantifier_layer_follows_body(self):
+        e = b.ftup_var("e", 5)
+        fluent_body = b.member(e, RelConst("EMP", 5))
+        assert Forall(e, fluent_body).layer is Layer.FLUENT
+        s = b.state_var("s")
+        assert Forall(s, b.holds(s, fluent_body)).layer is Layer.SITUATIONAL
+
+    def test_bound_vars_reported(self):
+        e = b.ftup_var("e", 5)
+        f = Forall(e, b.member(e, RelConst("EMP", 5)))
+        assert f.bound_vars() == (e,)
+
+    def test_free_vars_of_open_formula(self):
+        e = b.ftup_var("e", 5)
+        a = b.ftup_var("a", 3)
+        f = Forall(e, b.land(b.member(e, RelConst("EMP", 5)), b.member(a, RelConst("ALLOC", 3))))
+        assert f.free_vars() == frozenset({a})

@@ -1,0 +1,154 @@
+"""Property-based tests on the logic machinery itself.
+
+Random term/formula generators drive invariants of substitution,
+unification, matching, alpha-equivalence, and ground simplification —
+the foundations everything else trusts.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic import builder as b
+from repro.logic.formulas import Eq, Formula, Not
+from repro.logic.substitution import Substitution, fresh_var
+from repro.logic.terms import AtomConst, Expr, Var
+from repro.logic.unify import alpha_equal, match, unify
+from repro.theory.ground import simplify, simplify_expr
+
+
+VAR_NAMES = ["x", "y", "z"]
+
+
+@st.composite
+def atom_exprs(draw, depth=2):
+    """Random atom-sorted expressions over variables x, y, z."""
+    if depth == 0 or draw(st.booleans()):
+        if draw(st.booleans()):
+            return b.atom(draw(st.integers(0, 9)))
+        return b.atom_var(draw(st.sampled_from(VAR_NAMES)))
+    op = draw(st.sampled_from([b.plus, b.minus, b.times]))
+    return op(draw(atom_exprs(depth - 1)), draw(atom_exprs(depth - 1)))
+
+
+@st.composite
+def comparisons(draw):
+    op = draw(st.sampled_from([b.lt, b.le, b.gt, b.ge, Eq]))
+    return op(draw(atom_exprs()), draw(atom_exprs()))
+
+
+@st.composite
+def ground_substitutions(draw):
+    chosen = draw(st.lists(st.sampled_from(VAR_NAMES), unique=True))
+    return Substitution(
+        {b.atom_var(name): b.atom(draw(st.integers(0, 9))) for name in chosen}
+    )
+
+
+class TestSubstitutionProperties:
+    @given(atom_exprs(), ground_substitutions())
+    @settings(max_examples=100, deadline=None)
+    def test_ground_substitution_removes_domain_vars(self, expr, subst):
+        result = subst.apply(expr)
+        assert not (result.free_vars() & subst.domain())
+
+    @given(atom_exprs(), ground_substitutions())
+    @settings(max_examples=100, deadline=None)
+    def test_idempotent_for_ground_ranges(self, expr, subst):
+        once = subst.apply(expr)
+        twice = subst.apply(once)
+        assert once == twice
+
+    @given(atom_exprs())
+    @settings(max_examples=50, deadline=None)
+    def test_empty_substitution_identity(self, expr):
+        assert Substitution({}).apply(expr) is expr
+
+    @given(atom_exprs())
+    @settings(max_examples=50, deadline=None)
+    def test_renaming_preserves_structure(self, expr):
+        renaming = Substitution(
+            {v: fresh_var(v) for v in expr.free_vars()}
+        )
+        renamed = renaming.apply(expr)
+        assert renamed.size() == expr.size()
+
+
+class TestUnificationProperties:
+    @given(atom_exprs(), atom_exprs())
+    @settings(max_examples=150, deadline=None)
+    def test_unifier_actually_unifies(self, left, right):
+        mgu = unify(left, right)
+        if mgu is not None:
+            assert mgu.apply(left) == mgu.apply(right)
+
+    @given(atom_exprs())
+    @settings(max_examples=50, deadline=None)
+    def test_self_unification(self, expr):
+        mgu = unify(expr, expr)
+        assert mgu is not None
+        assert mgu.apply(expr) == expr
+
+    @given(atom_exprs(), ground_substitutions())
+    @settings(max_examples=100, deadline=None)
+    def test_match_recovers_instance(self, pattern, subst):
+        instance = subst.apply(pattern)
+        found = match(pattern, instance)
+        assert found is not None
+        assert found.apply(pattern) == instance
+
+    @given(comparisons())
+    @settings(max_examples=50, deadline=None)
+    def test_alpha_equal_reflexive(self, formula):
+        assert alpha_equal(formula, formula)
+
+    @given(atom_exprs(), atom_exprs())
+    @settings(max_examples=100, deadline=None)
+    def test_unify_symmetric(self, left, right):
+        forward = unify(left, right)
+        backward = unify(right, left)
+        assert (forward is None) == (backward is None)
+
+
+class TestGroundSimplificationProperties:
+    @given(atom_exprs(), ground_substitutions())
+    @settings(max_examples=150, deadline=None)
+    def test_simplification_sound_on_ground_terms(self, expr, subst):
+        """Folding a fully ground term agrees with the interpreter."""
+        full = Substitution(
+            {v: b.atom(0) for v in expr.free_vars() - subst.domain()}
+        )
+        ground = full.apply(subst.apply(expr))
+        folded = simplify_expr(ground)
+        assert isinstance(folded, AtomConst)
+        from repro.db import Schema, initial_state
+        from repro.transactions import evaluate
+
+        schema = Schema()
+        schema.add_relation("DUMMY", ("a",))
+        state = initial_state(schema)
+        assert evaluate(state, ground) == folded.value
+
+    @given(comparisons(), ground_substitutions())
+    @settings(max_examples=150, deadline=None)
+    def test_formula_simplification_sound(self, formula, subst):
+        from repro.logic.formulas import FalseF, TrueF
+
+        full = Substitution(
+            {v: b.atom(1) for v in formula.free_vars() - subst.domain()}
+        )
+        ground = full.apply(subst.apply(formula))
+        verdict = simplify(ground)
+        assert isinstance(verdict, (TrueF, FalseF))
+        from repro.db import Schema, initial_state
+        from repro.transactions import satisfies
+
+        schema = Schema()
+        schema.add_relation("DUMMY", ("a",))
+        state = initial_state(schema)
+        assert satisfies(state, ground) == isinstance(verdict, TrueF)
+
+    @given(comparisons())
+    @settings(max_examples=50, deadline=None)
+    def test_double_negation_eliminated(self, formula):
+        result = simplify(Not(Not(formula)))
+        assert result == simplify(formula)

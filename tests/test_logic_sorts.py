@@ -1,0 +1,90 @@
+"""Sorts: the five families of Section 2 and their invariants."""
+
+import pytest
+
+from repro.errors import SortError
+from repro.logic.sorts import (
+    ATOM,
+    BOOL,
+    STATE,
+    Sort,
+    SortKind,
+    require_object,
+    require_sort,
+    require_state,
+    set_id_sort,
+    set_sort,
+    tuple_id_sort,
+    tuple_sort,
+)
+
+
+class TestSortFamilies:
+    def test_state_atom_bool_are_distinct(self):
+        assert len({STATE, ATOM, BOOL}) == 3
+
+    def test_tuple_sorts_indexed_by_arity(self):
+        assert tuple_sort(2) == tuple_sort(2)
+        assert tuple_sort(2) != tuple_sort(3)
+
+    def test_set_sort_element(self):
+        assert set_sort(3).element_sort() == tuple_sort(3)
+
+    def test_element_sort_of_non_set_fails(self):
+        with pytest.raises(SortError):
+            tuple_sort(2).element_sort()
+
+    def test_identifier_sorts(self):
+        assert tuple_id_sort(2).is_identifier
+        assert set_id_sort(2).is_identifier
+        assert tuple_id_sort(2) != set_id_sort(2)
+
+    def test_zero_arity_tuple_allowed(self):
+        assert tuple_sort(0).arity == 0
+
+    def test_negative_arity_rejected(self):
+        with pytest.raises(SortError):
+            Sort(SortKind.TUPLE, -1)
+
+    def test_scalar_sorts_reject_arity(self):
+        with pytest.raises(SortError):
+            Sort(SortKind.STATE, 2)
+
+
+class TestObjectSorts:
+    """Definition 3: object-sorted programs are queries, state-sorted ones
+    transactions."""
+
+    def test_state_is_not_object(self):
+        assert not STATE.is_object
+
+    def test_bool_is_not_object(self):
+        assert not BOOL.is_object
+
+    def test_atoms_tuples_sets_ids_are_object(self):
+        for sort in (ATOM, tuple_sort(1), set_sort(2), tuple_id_sort(1), set_id_sort(3)):
+            assert sort.is_object
+
+
+class TestRequireHelpers:
+    def test_require_sort_passes(self):
+        require_sort(ATOM, ATOM, "ctx")
+
+    def test_require_sort_fails(self):
+        with pytest.raises(SortError, match="ctx"):
+            require_sort(ATOM, STATE, "ctx")
+
+    def test_require_state(self):
+        require_state(STATE, "ctx")
+        with pytest.raises(SortError):
+            require_state(ATOM, "ctx")
+
+    def test_require_object(self):
+        require_object(ATOM, "ctx")
+        with pytest.raises(SortError):
+            require_object(STATE, "ctx")
+
+    def test_str_rendering(self):
+        assert str(STATE) == "state"
+        assert str(tuple_sort(5)) == "tup(5)"
+        assert str(set_sort(2)) == "set(2)"

@@ -1,0 +1,144 @@
+"""Capture-avoiding substitution — the s[e/x] of the iteration fluent."""
+
+import pytest
+
+from repro.errors import SortError
+from repro.logic import builder as b
+from repro.logic.formulas import Exists, Forall
+from repro.logic.fluents import Foreach, SetFormer
+from repro.logic.substitution import (
+    Substitution,
+    fresh_var,
+    rename_apart,
+    substitute,
+)
+from repro.logic.terms import RelConst
+
+
+EMP = RelConst("EMP", 5)
+
+
+class TestBasicSubstitution:
+    def test_replaces_free_var(self):
+        x = b.atom_var("x")
+        assert substitute(b.plus(x, b.atom(1)), x, b.atom(5)) == b.plus(
+            b.atom(5), b.atom(1)
+        )
+
+    def test_sort_mismatch_rejected(self):
+        x = b.atom_var("x")
+        with pytest.raises(SortError):
+            Substitution({x: b.ftup_var("e", 2)})
+
+    def test_identity_on_unrelated(self):
+        x, y = b.atom_var("x"), b.atom_var("y")
+        expr = b.plus(y, b.atom(1))
+        assert substitute(expr, x, b.atom(5)) == expr
+
+    def test_empty_substitution_is_noop(self):
+        expr = b.plus(b.atom_var("x"), b.atom(1))
+        assert Substitution({}).apply(expr) is expr
+
+    def test_simultaneous(self):
+        x, y = b.atom_var("x"), b.atom_var("y")
+        s = Substitution({x: y, y: b.atom(1)})
+        # simultaneous: x -> y (not further rewritten), y -> 1
+        assert s.apply(b.plus(x, y)) == b.plus(y, b.atom(1))
+
+
+class TestCaptureAvoidance:
+    def test_bound_variable_untouched(self):
+        e = b.ftup_var("e", 5)
+        f = Forall(e, b.member(e, EMP))
+        assert substitute(f, e, b.ftup_var("q", 5)) == f
+
+    def test_binder_renamed_to_avoid_capture(self):
+        e = b.ftup_var("e", 5)
+        q = b.ftup_var("q", 5)
+        # forall e. (e in EMP and q in EMP); substitute q := e
+        f = Forall(e, b.land(b.member(e, EMP), b.member(q, EMP)))
+        result = substitute(f, q, e)
+        assert isinstance(result, Forall)
+        assert result.var != e  # renamed
+        # the substituted occurrence must be the *free* e
+        inner = result.body
+        assert e in inner.free_vars() | {v for sub in inner.iter_subnodes() for v in [sub] if False} or e in inner.free_vars()
+
+    def test_foreach_binder_protected(self):
+        a = b.ftup_var("a", 3)
+        v = b.atom_var("v")
+        body = Foreach(a, b.member(a, RelConst("ALLOC", 3)), b.delete(a, "ALLOC"))
+        assert substitute(body, a, b.ftup_var("c", 3)) == body
+        replaced = substitute(
+            Foreach(
+                a,
+                b.land(b.member(a, RelConst("ALLOC", 3)), b.eq(b.attr("perc", 3, 3, a), v)),
+                b.delete(a, "ALLOC"),
+            ),
+            v,
+            b.atom(7),
+        )
+        assert v not in replaced.free_vars()
+
+    def test_setformer_binder_protected(self):
+        a = b.ftup_var("a", 3)
+        former = SetFormer(a, (a,), b.member(a, RelConst("ALLOC", 3)))
+        assert substitute(former, a, b.ftup_var("c", 3)) == former
+
+    def test_exists_capture_avoided(self):
+        x, y = b.atom_var("x"), b.atom_var("y")
+        f = Exists(x, b.lt(x, y))
+        result = substitute(f, y, x)
+        assert isinstance(result, Exists)
+        assert result.var.name != "x" or result.var != x
+        # new bound var must not capture the substituted x
+        assert x in result.body.free_vars()
+
+
+class TestSubstitutionAlgebra:
+    def test_compose_order(self):
+        x, y = b.atom_var("x"), b.atom_var("y")
+        first = Substitution({x: y})
+        second = Substitution({y: b.atom(3)})
+        composed = first.compose(second)
+        assert composed.apply(x) == b.atom(3)
+
+    def test_restrict_and_without(self):
+        x, y = b.atom_var("x"), b.atom_var("y")
+        s = Substitution({x: b.atom(1), y: b.atom(2)})
+        assert s.restrict([x]).domain() == frozenset({x})
+        assert s.without([x]).domain() == frozenset({y})
+
+    def test_extend(self):
+        x, y = b.atom_var("x"), b.atom_var("y")
+        s = Substitution({x: b.atom(1)}).extend(y, b.atom(2))
+        assert len(s) == 2
+
+    def test_range_free_vars(self):
+        x, y = b.atom_var("x"), b.atom_var("y")
+        s = Substitution({x: b.plus(y, b.atom(1))})
+        assert s.range_free_vars() == frozenset({y})
+
+
+class TestFreshAndRename:
+    def test_fresh_var_preserves_sort_and_layer(self):
+        e = b.ftup_var("e", 5)
+        f = fresh_var(e)
+        assert f.sort == e.sort and f.var_layer == e.var_layer and f != e
+
+    def test_fresh_vars_distinct(self):
+        e = b.ftup_var("e", 5)
+        assert fresh_var(e) != fresh_var(e)
+
+    def test_rename_apart(self):
+        x = b.atom_var("x")
+        expr = b.plus(x, b.atom(1))
+        renamed, renaming = rename_apart(expr, frozenset({x}))
+        assert x not in renamed.free_vars()
+        assert renaming.get(x) is not None
+
+    def test_rename_apart_no_clash_is_identity(self):
+        x = b.atom_var("x")
+        expr = b.plus(x, b.atom(1))
+        renamed, renaming = rename_apart(expr, frozenset())
+        assert renamed is expr and not renaming

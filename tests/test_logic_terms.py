@@ -1,0 +1,165 @@
+"""The two-layer expression AST: layers, sort checking, traversal."""
+
+import pytest
+
+from repro.errors import SortError
+from repro.logic import builder as b
+from repro.logic import symbols as sym
+from repro.logic.sorts import ATOM, STATE, tuple_sort
+from repro.logic.terms import (
+    App,
+    AtomConst,
+    ConstExpr,
+    EvalObj,
+    EvalState,
+    Layer,
+    RelConst,
+    RelIdConst,
+    Var,
+    is_pure_fluent,
+    join_layers,
+)
+
+
+class TestLayers:
+    def test_fluent_var_layer(self):
+        assert b.ftup_var("e", 5).layer is Layer.FLUENT
+
+    def test_situational_var_layer(self):
+        assert b.stup_var("e", 5).layer is Layer.SITUATIONAL
+
+    def test_atom_const_is_either(self):
+        assert b.atom(3).layer is Layer.EITHER
+
+    def test_state_constant_is_situational(self):
+        assert b.state_const("s0").layer is Layer.SITUATIONAL
+
+    def test_rel_const_is_fluent(self):
+        assert RelConst("EMP", 5).layer is Layer.FLUENT
+
+    def test_rel_id_is_either(self):
+        assert RelIdConst("EMP", 5).layer is Layer.EITHER
+
+    def test_join_rejects_mixing(self):
+        with pytest.raises(SortError):
+            join_layers([Layer.FLUENT, Layer.SITUATIONAL], "ctx")
+
+    def test_rigid_app_over_situational_args_is_situational(self):
+        s = b.state_var("s")
+        e = b.ftup_var("e", 5)
+        age_at_s = b.at(s, b.attr("age", 5, 4, e))
+        expr = b.plus(age_at_s, b.atom(1))
+        assert expr.layer is Layer.SITUATIONAL
+
+    def test_state_changing_over_situational_args_rejected(self):
+        s = b.state_var("s")
+        e = b.ftup_var("e", 5)
+        with pytest.raises(SortError):
+            b.insert(b.at(s, e), "EMP")
+
+    def test_transition_var_flags(self):
+        t = b.trans_var("t")
+        assert t.is_transition_var and not t.is_state_var
+        s = b.state_var("s")
+        assert s.is_state_var and not s.is_transition_var
+
+
+class TestSortChecking:
+    def test_app_checks_arity(self):
+        with pytest.raises(SortError):
+            App(sym.PLUS, (b.atom(1),))
+
+    def test_app_checks_sorts(self):
+        with pytest.raises(SortError):
+            App(sym.PLUS, (b.atom(1), b.ftup_var("e", 2)))
+
+    def test_atom_const_rejects_negative(self):
+        with pytest.raises(SortError):
+            AtomConst(-1)
+
+    def test_atom_const_rejects_bool(self):
+        with pytest.raises(SortError):
+            AtomConst(True)
+
+    def test_eval_obj_requires_state(self):
+        with pytest.raises(SortError):
+            EvalObj(b.atom(1), b.ftup_var("e", 2))
+
+    def test_eval_obj_requires_fluent_expr(self):
+        s = b.state_var("s")
+        with pytest.raises(SortError):
+            EvalObj(s, b.stup_var("e", 2))
+
+    def test_eval_obj_rejects_state_sorted_fluent(self):
+        s = b.state_var("s")
+        with pytest.raises(SortError):
+            EvalObj(s, b.identity())
+
+    def test_eval_state_requires_state_sorted_fluent(self):
+        s = b.state_var("s")
+        with pytest.raises(SortError):
+            EvalState(s, b.ftup_var("e", 2))
+
+    def test_eval_state_sort(self):
+        s = b.state_var("s")
+        assert EvalState(s, b.identity()).sort == STATE
+
+    def test_atom_vars_may_be_rigid(self):
+        """Atoms are rigid designators: EITHER layer is allowed for them."""
+        assert Var("x", ATOM, Layer.EITHER).layer is Layer.EITHER
+
+    def test_tuple_vars_cannot_be_either(self):
+        with pytest.raises(SortError):
+            Var("e", tuple_sort(2), Layer.EITHER)
+
+    def test_state_vars_cannot_be_either(self):
+        with pytest.raises(SortError):
+            Var("s", STATE, Layer.EITHER)
+
+
+class TestTraversal:
+    def test_free_vars(self):
+        e = b.ftup_var("e", 5)
+        expr = b.plus(b.attr("salary", 5, 3, e), b.atom(1))
+        assert expr.free_vars() == frozenset({e})
+
+    def test_size_counts_nodes(self):
+        expr = b.plus(b.atom(1), b.atom(2))
+        assert expr.size() == 3
+
+    def test_iter_subnodes_preorder(self):
+        expr = b.plus(b.atom(1), b.atom(2))
+        kinds = [type(n).__name__ for n in expr.iter_subnodes()]
+        assert kinds == ["App", "AtomConst", "AtomConst"]
+
+    def test_is_pure_fluent(self):
+        e = b.ftup_var("e", 5)
+        assert is_pure_fluent(b.attr("age", 5, 4, e))
+        s = b.state_var("s")
+        assert not is_pure_fluent(b.at(s, e))
+
+    def test_with_children_rebuilds(self):
+        expr = b.plus(b.atom(1), b.atom(2))
+        rebuilt = expr.with_children((b.atom(3), b.atom(4)))
+        assert rebuilt == b.plus(b.atom(3), b.atom(4))
+
+    def test_const_expr_roundtrip(self):
+        c = ConstExpr("s0", STATE)
+        assert c.with_children(()) is c
+        assert c.sort == STATE
+
+
+class TestEquality:
+    def test_structural_equality(self):
+        assert b.plus(b.atom(1), b.atom(2)) == b.plus(b.atom(1), b.atom(2))
+
+    def test_vars_differ_by_sort(self):
+        assert Var("x", ATOM, Layer.FLUENT) != Var("x", tuple_sort(1), Layer.FLUENT)
+
+    def test_vars_differ_by_layer(self):
+        assert Var("x", tuple_sort(1), Layer.FLUENT) != Var(
+            "x", tuple_sort(1), Layer.SITUATIONAL
+        )
+
+    def test_hashable(self):
+        assert len({b.atom(1), b.atom(1), b.atom(2)}) == 2

@@ -1,0 +1,128 @@
+"""Sorted unification and matching."""
+
+import pytest
+
+from repro.logic import builder as b
+from repro.logic.formulas import Forall
+from repro.logic.terms import RelConst
+from repro.logic.unify import alpha_equal, match, unify
+
+
+EMP = RelConst("EMP", 5)
+
+
+class TestUnify:
+    def test_var_binds_constant(self):
+        x = b.atom_var("x")
+        s = unify(x, b.atom(3))
+        assert s is not None and s.apply(x) == b.atom(3)
+
+    def test_symmetric(self):
+        x = b.atom_var("x")
+        s = unify(b.atom(3), x)
+        assert s is not None and s.apply(x) == b.atom(3)
+
+    def test_structural(self):
+        x, y = b.atom_var("x"), b.atom_var("y")
+        s = unify(b.plus(x, b.atom(2)), b.plus(b.atom(1), y))
+        assert s is not None
+        assert s.apply(b.plus(x, b.atom(2))) == b.plus(b.atom(1), b.atom(2))
+
+    def test_clash_fails(self):
+        assert unify(b.atom(1), b.atom(2)) is None
+
+    def test_different_heads_fail(self):
+        x, y = b.atom_var("x"), b.atom_var("y")
+        assert unify(b.plus(x, y), b.times(x, y)) is None
+
+    def test_occurs_check(self):
+        x = b.atom_var("x")
+        assert unify(x, b.plus(x, b.atom(1))) is None
+
+    def test_var_var_chain(self):
+        x, y = b.atom_var("x"), b.atom_var("y")
+        s = unify(b.plus(x, y), b.plus(y, b.atom(3)))
+        assert s is not None
+        assert s.apply(x) == b.atom(3) and s.apply(y) == b.atom(3)
+
+    def test_sort_mismatch_fails(self):
+        x = b.atom_var("x")
+        e = b.ftup_var("e", 2)
+        assert unify(b.eq(x, x), b.eq(e, e)) is None
+
+    def test_layer_mismatch_fails(self):
+        e_fluent = b.ftup_var("e", 5)
+        e_sit = b.stup_var("q", 5)
+        assert unify(e_fluent, e_sit) is None
+
+    def test_fluent_var_binds_either(self):
+        e = b.ftup_var("e", 5)
+        s = unify(b.member(e, EMP), b.member(b.mktuple(b.atom(1), b.atom(2), b.atom(3), b.atom(4), b.atom(5)), EMP))
+        assert s is not None
+
+    def test_binders_unify_only_alpha_equal(self):
+        e = b.ftup_var("e", 5)
+        q = b.ftup_var("q", 5)
+        f1 = Forall(e, b.member(e, EMP))
+        f2 = Forall(q, b.member(q, EMP))
+        assert unify(f1, f2) is not None  # alpha-equal
+
+    def test_unify_applies_existing_subst(self):
+        x, y = b.atom_var("x"), b.atom_var("y")
+        s1 = unify(x, b.atom(1))
+        s2 = unify(y, x, s1)
+        assert s2 is not None and s2.apply(y) == b.atom(1)
+
+
+class TestMatch:
+    def test_pattern_vars_bind(self):
+        x = b.atom_var("x")
+        s = match(b.plus(x, b.atom(1)), b.plus(b.atom(5), b.atom(1)))
+        assert s is not None and s.apply(x) == b.atom(5)
+
+    def test_target_vars_are_constants(self):
+        x, y = b.atom_var("x"), b.atom_var("y")
+        # pattern x cannot force target var y to bind anything
+        s = match(b.plus(b.atom(1), x), b.plus(y, b.atom(2)))
+        assert s is None
+
+    def test_consistent_repeated_var(self):
+        x = b.atom_var("x")
+        assert match(b.plus(x, x), b.plus(b.atom(1), b.atom(1))) is not None
+        assert match(b.plus(x, x), b.plus(b.atom(1), b.atom(2))) is None
+
+    def test_match_target_var_to_pattern_var(self):
+        x = b.atom_var("x")
+        y = b.atom_var("y")
+        s = match(b.plus(x, b.atom(1)), b.plus(y, b.atom(1)))
+        assert s is not None and s.apply(x) == y
+
+
+class TestAlphaEqual:
+    def test_renamed_binder(self):
+        e, q = b.ftup_var("e", 5), b.ftup_var("q", 5)
+        assert alpha_equal(Forall(e, b.member(e, EMP)), Forall(q, b.member(q, EMP)))
+
+    def test_different_bodies_not_equal(self):
+        e, q = b.ftup_var("e", 5), b.ftup_var("q", 5)
+        other = RelConst("DEPT", 5)
+        assert not alpha_equal(Forall(e, b.member(e, EMP)), Forall(q, b.member(q, other)))
+
+    def test_free_vars_must_match_exactly(self):
+        e, q = b.ftup_var("e", 5), b.ftup_var("q", 5)
+        assert not alpha_equal(b.member(e, EMP), b.member(q, EMP))
+
+    def test_nested_binders(self):
+        e, q = b.ftup_var("e", 5), b.ftup_var("q", 5)
+        a, c = b.ftup_var("a", 3), b.ftup_var("c", 3)
+        ALLOC = RelConst("ALLOC", 3)
+        f1 = Forall(e, b.exists(a, b.land(b.member(e, EMP), b.member(a, ALLOC))))
+        f2 = Forall(q, b.exists(c, b.land(b.member(q, EMP), b.member(c, ALLOC))))
+        assert alpha_equal(f1, f2)
+
+    def test_binder_sort_must_match(self):
+        e = b.ftup_var("e", 5)
+        a = b.ftup_var("a", 3)
+        f1 = Forall(e, b.true())
+        f2 = Forall(a, b.true())
+        assert not alpha_equal(f1, f2)

@@ -1,0 +1,213 @@
+"""The six examples of Section 4, walked end to end.
+
+One test class per paper example; each assertion quotes or paraphrases the
+sentence of the paper it reproduces.  This module is the reproduction's
+table of contents.
+"""
+
+import pytest
+
+from repro.constraints import (
+    ConstraintKind,
+    Evaluator,
+    PartialModel,
+    Window,
+    analyze,
+    check_state,
+    check_transition,
+)
+from repro.db import History, chain_graph
+from repro.logic import builder as b
+
+
+class TestExample1:
+    """Static constraints of the employee database."""
+
+    def test_all_three_hold_on_the_valid_state(self, domain, sample_state):
+        for c in domain.static_constraints:
+            assert check_state(c, sample_state).ok, c.name
+
+    def test_each_employee_works_for_a_project(self, domain, sample_state):
+        bad = domain.hire.run(sample_state, "idle", "cs", 10, 20, "S")
+        assert not check_state(domain.every_employee_allocated(), bad).ok
+
+    def test_alloc_tuples_reference_valid_projects(self, domain, sample_state):
+        bad = domain.allocate.run(sample_state, "alice", "no-such", 5)
+        assert not check_state(domain.alloc_references_project(), bad).ok
+
+    def test_no_employee_over_100_percent(self, domain, sample_state):
+        bad = domain.allocate.run(sample_state, "bob", "ai", 1)
+        assert not check_state(domain.allocation_within_limit(), bad).ok
+
+
+class TestExample2:
+    """An employee cannot be single if he was married before."""
+
+    def test_naive_version_constrains_unreachable_pairs(self, domain, sample_state):
+        """'Two states may very well be in contradiction as long as they are
+        not reachable from each other' — on a model with two *unconnected*
+        states the naive version wrongly fires, the transaction version
+        cannot (no transition exists)."""
+        from repro.db import EvolutionGraph
+
+        s_a = sample_state  # alice married, age 35
+        s_b = domain.marry.run(domain.birthday.run(sample_state, "alice"), "alice", "S")
+        graph = EvolutionGraph()
+        graph.add_state(s_a)
+        graph.add_state(s_b)  # NOT reachable from s_a
+        model = PartialModel(graph)
+        assert not Evaluator(model).holds(domain.once_married_wrong().formula)
+        assert Evaluator(model).holds(domain.once_married().formula)
+
+    def test_transaction_version_fires_on_reachable_pairs(self, domain, sample_state):
+        s_b = domain.marry.run(domain.birthday.run(sample_state, "alice"), "alice", "S")
+        assert not check_transition(domain.once_married(), sample_state, s_b).ok
+
+    def test_checkable_with_two_states(self, domain):
+        report = analyze(domain.once_married())
+        assert report.window == 2
+
+
+class TestExample3:
+    """Transaction constraints: skills, salaries, structural connections."""
+
+    def test_skill_retained_as_soon_as_obtained(self, domain, sample_state):
+        s1 = domain.add_skill.run(sample_state, "bob", 7)
+        s2 = domain.birthday.run(s1, "bob")
+        assert check_transition(domain.skill_retention(), s1, s2).ok
+
+    def test_not_expressed_as_deletion_prohibition(self, domain, sample_state):
+        """'we do want to delete the skill tuples associated with an
+        employee when we delete the employee himself'."""
+        fired = domain.fire.run(sample_state, "dan")
+        assert check_transition(domain.skill_retention(), sample_state, fired).ok
+        assert len(fired.relation("SKILL")) < len(sample_state.relation("SKILL"))
+
+    def test_salary_decrease_goes_through_dept_switch(self, domain, sample_state):
+        direct_cut = domain.set_salary.run(sample_state, "alice", 10)
+        c = domain.salary_decrease_needs_dept_change()
+        assert not check_transition(c, sample_state, direct_cut).ok
+        via_transfer = domain.transfer.run(sample_state, "alice", "ee", 10)
+        assert check_transition(c, sample_state, via_transfer).ok
+
+    def test_neq_variant_needs_complete_history(self, domain):
+        assert analyze(domain.salary_never_same()).window is Window.FULL_HISTORY
+
+    def test_reference_vs_association_connection(self, domain, sample_state):
+        """Departments with employees are not deleted; allocations die with
+        their project."""
+        from repro.transactions import execute
+
+        d = domain.dept.var("d")
+        drop_empty_dept = b.foreach(
+            d,
+            b.land(
+                b.member(d, domain.dept.rel()),
+                b.eq(domain.dept.attr("d-name", d), b.atom("ops")),  # no employees
+            ),
+            b.delete(d, domain.dept.rid()),
+        )
+        after = execute(sample_state, drop_empty_dept)
+        assert check_transition(
+            domain.dept_deletion_precondition(), sample_state, after
+        ).ok
+        cancelled = domain.cancel_project.run(sample_state, "net", 0)
+        assert check_transition(
+            domain.project_deletion_cascades(), sample_state, cancelled
+        ).ok
+
+
+class TestExample4:
+    """Constraints beyond the transaction subclass."""
+
+    def test_never_rehire_needs_complete_history(self, domain):
+        assert analyze(domain.never_rehire()).window is Window.FULL_HISTORY
+
+    def test_fire_encoding_makes_it_static(self, domain, sample_state):
+        enc = domain.fire_encoding()
+        c = enc.static_constraint()
+        assert c.kind is ConstraintKind.STATIC
+        s = enc.prepare_state(sample_state)
+        s1 = enc.record(s, domain.fire.run(s, "dan"))
+        rehired = domain.hire.run(s1, "dan", "cs", 1, 31, "S")
+        assert not check_state(c, rehired).ok
+
+    def test_invertibility_uncheckable(self, domain):
+        """'whenever a transaction is executed, the existence of an inverse
+        transaction needs to be proved' — no finite window suffices."""
+        assert analyze(domain.invertibility()).window is Window.UNCHECKABLE
+
+    def test_no_eternal_project_uncheckable(self, domain):
+        assert analyze(domain.no_eternal_project()).window is Window.UNCHECKABLE
+
+
+class TestExample5:
+    """The cancel-project transaction."""
+
+    def test_procedural_behaviour(self, domain, sample_state):
+        after = domain.cancel_project.run(sample_state, "net", 10)
+        names = {t.values[0] for t in after.relation("EMP")}
+        assert "dan" not in names        # worked only on net: fired
+        carol = next(t for t in after.relation("EMP") if t.values[0] == "carol")
+        assert carol.values[2] == 100    # 110 - 10: still on ai
+        assert not any(t.values[0] == "net" for t in after.relation("PROJ"))
+        assert not any(t.values[1] == "net" for t in after.relation("ALLOC"))
+
+    def test_verification_verdicts(self, domain, sample_state):
+        """See tests/test_verification.py for the full battery; the headline
+        sentence is pinned here."""
+        from repro.verification import Scenario, Verdict, Verifier
+
+        verifier = Verifier()
+        scenario = Scenario(sample_state, ("net", 10))
+        preserved = [
+            domain.once_married(),
+            domain.skill_retention(),
+            domain.never_rehire(),
+        ]
+        for c in preserved:
+            assert verifier.verify(c, domain.cancel_project, [scenario]).preserved
+        salary = verifier.verify(
+            domain.salary_decrease_needs_dept_change(),
+            domain.cancel_project,
+            [scenario],
+        )
+        assert salary.verdict is Verdict.VIOLATED
+
+
+class TestExample6:
+    """Declarative specification and synthesis."""
+
+    def test_spec_satisfied_by_the_procedural_transaction(self, domain, sample_state):
+        after = domain.cancel_project.run(sample_state, "net", 10)
+        spec = domain.cancel_project_spec("net", 10)
+        model = PartialModel(chain_graph([sample_state, after], ["cancel"]))
+        assert Evaluator(model).holds(spec)
+
+    def test_repairs_created_by_example1_constraints(self, domain, sample_state):
+        from repro.synthesis import ModifyGoal, RemoveGoal, Synthesizer
+
+        pname, v = b.atom_var("pname"), b.atom_var("v")
+        p = domain.proj.var("p")
+        e = domain.emp.var("e")
+        a = domain.alloc.var("a")
+        allocated = b.exists(
+            a,
+            b.land(
+                b.member(a, domain.alloc.rel()),
+                b.eq(domain.alloc.attr("a-proj", a), pname),
+                b.eq(domain.alloc.attr("a-emp", a), domain.emp.attr("e-name", e)),
+            ),
+        )
+        goals = [
+            RemoveGoal(domain.proj, p, b.eq(domain.proj.attr("p-name", p), pname)),
+            ModifyGoal(domain.emp, e, allocated, "salary",
+                       b.minus(domain.emp.attr("salary", e), v)),
+        ]
+        result = Synthesizer(domain.static_constraints).synthesize(
+            "cancel", (pname, v), goals, [(sample_state, ("net", 10))]
+        )
+        assert {r.constraint.name for r in result.repairs} == {
+            "alloc-references-project",
+            "every-employee-allocated",
+        }

@@ -1,0 +1,99 @@
+"""Pretty-printing: paper-notation rendering of every node kind."""
+
+from repro.logic import builder as b
+from repro.logic.fluents import Seq
+from repro.logic.pretty import pretty
+from repro.logic.terms import RelConst
+
+
+class TestSituationalNotation:
+    def test_eval_obj(self):
+        s = b.state_var("s")
+        e = b.ftup_var("e", 5)
+        assert pretty(b.at(s, b.attr("salary", 5, 3, e))) == "s:salary(e)"
+
+    def test_eval_bool(self):
+        s = b.state_var("s")
+        e = b.ftup_var("e", 5)
+        text = pretty(b.holds(s, b.member(e, RelConst("EMP", 5))))
+        assert text == "s::e in EMP"
+
+    def test_eval_state(self):
+        s = b.state_var("s")
+        t = b.trans_var("t")
+        assert pretty(b.after(s, t)) == "s;t"
+
+    def test_nested_transitions(self):
+        s = b.state_var("s")
+        t1, t2 = b.trans_var("t1"), b.trans_var("t2")
+        assert pretty(b.after(b.after(s, t1), t2)) == "s;t1;t2"
+
+    def test_primed_application(self):
+        s = b.state_var("s")
+        e = b.ftup_var("e", 5)
+        from repro.logic import symbols as sym
+
+        text = pretty(b.sapp(sym.select_sym(5), s, b.at(s, e), b.atom(3)))
+        assert text.startswith("select5'(s,")
+
+
+class TestFluentNotation:
+    def test_composition(self):
+        tx = Seq(b.insert(b.ftup_var("e", 2), "R"), b.delete(b.ftup_var("e", 2), "R"))
+        assert ";;" in pretty(tx)
+
+    def test_identity(self):
+        assert pretty(b.identity()) == "Λ"
+
+    def test_foreach(self):
+        a = b.ftup_var("a", 3)
+        text = pretty(b.foreach(a, b.member(a, RelConst("ALLOC", 3)), b.delete(a, "ALLOC")))
+        assert text.startswith("foreach a|") and " do " in text
+
+    def test_conditional(self):
+        tx = b.ifthen(b.lt(b.atom(1), b.atom(2)), b.insert(b.ftup_var("e", 2), "R"))
+        assert pretty(tx).startswith("if 1 < 2 then ")
+
+    def test_set_former(self):
+        a = b.ftup_var("a", 3)
+        text = pretty(b.setformer(b.select(a, 3), a, b.member(a, RelConst("ALLOC", 3))))
+        assert text.startswith("{") and "|" in text
+
+
+class TestOperators:
+    def test_infix_arithmetic(self):
+        assert pretty(b.plus(b.atom(1), b.atom(2))) == "1 + 2"
+        assert pretty(b.times(b.atom(3), b.atom(4))) == "3 * 4"
+
+    def test_comparisons(self):
+        assert pretty(b.le(b.atom(1), b.atom(2))) == "1 <= 2"
+
+    def test_membership_and_subset(self):
+        e = b.ftup_var("e", 5)
+        emp = RelConst("EMP", 5)
+        assert pretty(b.member(e, emp)) == "e in EMP"
+        s1 = b.fset_var("S1", 5)
+        assert pretty(b.subset(s1, emp)) == "S1 subset EMP"
+
+    def test_connectives(self):
+        p = b.lt(b.atom(1), b.atom(2))
+        q = b.lt(b.atom(2), b.atom(3))
+        assert pretty(b.land(p, q)) == "1 < 2 & 2 < 3"
+        assert pretty(b.implies(p, q)) == "1 < 2 -> 2 < 3"
+        assert pretty(b.lnot(p)) == "~1 < 2"
+
+    def test_quantifiers_show_sorts(self):
+        s = b.state_var("s")
+        text = pretty(b.forall(s, b.holds(s, b.true())))
+        assert text.startswith("forall[state] s.")
+
+    def test_string_atoms_quoted(self):
+        assert pretty(b.atom("alice")) == "'alice'"
+
+    def test_str_dunder_delegates(self):
+        assert str(b.atom(5)) == "5"
+
+    def test_every_domain_constraint_renders(self, domain):
+        for c in domain.all_constraints:
+            text = pretty(c.formula)
+            assert text and "Traceback" not in text

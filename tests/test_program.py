@@ -1,0 +1,129 @@
+"""Database programs: declaration, instantiation, execution."""
+
+import pytest
+
+from repro.errors import ExecutabilityError, SortError
+from repro.db import Schema, state_from_rows
+from repro.logic import builder as b
+from repro.transactions import query, transaction
+from repro.transactions.program import DatabaseProgram, literal_args
+
+
+@pytest.fixture()
+def schema():
+    s = Schema()
+    s.add_relation("R", ("k", "v"))
+    return s
+
+
+@pytest.fixture()
+def state(schema):
+    return state_from_rows(schema, {"R": [("a", 1), ("b", 2)]})
+
+
+def _set_v(schema):
+    k, v = b.atom_var("k"), b.atom_var("v")
+    t = b.ftup_var("t", 2)
+    rs = schema.relation("R")
+    cond = b.land(b.member(t, rs.rel()), b.eq(b.select(t, 1), k))
+    return transaction("set-v", (k, v), b.foreach(t, cond, b.modify(t, 2, v)))
+
+
+class TestDeclaration:
+    def test_transaction_is_state_sorted(self, schema):
+        tx = _set_v(schema)
+        assert tx.is_transaction and not tx.is_query
+
+    def test_query_is_object_sorted(self, schema):
+        t = b.ftup_var("t", 2)
+        q = query("vals", (), b.setformer(b.select(t, 2), t, b.member(t, b.rel("R", 2))))
+        assert q.is_query
+
+    def test_transaction_builder_rejects_queries(self, schema):
+        t = b.ftup_var("t", 2)
+        body = b.setformer(b.select(t, 2), t, b.member(t, b.rel("R", 2)))
+        with pytest.raises(ExecutabilityError):
+            transaction("bad", (), body)
+
+    def test_query_builder_rejects_transactions(self):
+        with pytest.raises(ExecutabilityError):
+            query("bad", (), b.identity())
+
+    def test_free_variables_must_be_parameters(self):
+        k = b.atom_var("k")
+        with pytest.raises(ExecutabilityError):
+            transaction("bad", (), b.insert(b.mktuple(k, b.atom(1)), "R"))
+
+    def test_situational_body_rejected(self):
+        s = b.state_var("s")
+        with pytest.raises(ExecutabilityError):
+            DatabaseProgram("bad", (), b.after(s, b.identity()))
+
+
+class TestExecution:
+    def test_run_with_values(self, schema, state):
+        tx = _set_v(schema)
+        s2 = tx.run(state, "a", 42)
+        values = {t.values for t in s2.relation("R")}
+        assert ("a", 42) in values and ("b", 2) in values
+
+    def test_query_with_values(self, schema, state):
+        t = b.ftup_var("t", 2)
+        k = b.atom_var("k")
+        rs = schema.relation("R")
+        q = query(
+            "lookup",
+            (k,),
+            b.setformer(
+                b.select(t, 2), t, b.land(b.member(t, rs.rel()), b.eq(b.select(t, 1), k))
+            ),
+        )
+        result = q.query(state, "b")
+        assert result.first_column() == [2]
+
+    def test_wrong_arity_rejected(self, schema, state):
+        tx = _set_v(schema)
+        with pytest.raises(SortError):
+            tx.run(state, "a")
+
+    def test_run_on_query_rejected(self, schema, state):
+        t = b.ftup_var("t", 2)
+        q = query("vals", (), b.setformer(b.select(t, 2), t, b.member(t, b.rel("R", 2))))
+        with pytest.raises(ExecutabilityError):
+            q.run(state)
+
+    def test_call_dispatches(self, schema, state):
+        tx = _set_v(schema)
+        s2 = tx(state, "a", 9)
+        assert ("a", 9) in {t.values for t in s2.relation("R")}
+
+    def test_precondition_blocks(self, schema, state):
+        k, v = b.atom_var("k"), b.atom_var("v")
+        t = b.ftup_var("t", 2)
+        rs = schema.relation("R")
+        exists_k = b.exists(t, b.land(b.member(t, rs.rel()), b.eq(b.select(t, 1), k)))
+        cond = b.land(b.member(t, rs.rel()), b.eq(b.select(t, 1), k))
+        tx = transaction(
+            "set-v-guarded", (k, v), b.foreach(t, cond, b.modify(t, 2, v)),
+            precondition=exists_k,
+        )
+        tx.run(state, "a", 1)
+        with pytest.raises(ExecutabilityError):
+            tx.run(state, "zz", 1)
+
+
+class TestInstantiation:
+    def test_instantiate_substitutes(self, schema):
+        tx = _set_v(schema)
+        body = tx.instantiate(*literal_args("a", 42))
+        assert not body.free_vars()
+
+    def test_instantiate_sort_checked(self, schema):
+        tx = _set_v(schema)
+        with pytest.raises(SortError):
+            tx.instantiate(b.ftup_var("e", 2), b.atom(1))
+
+    def test_instantiate_arity_checked(self, schema):
+        tx = _set_v(schema)
+        with pytest.raises(SortError):
+            tx.instantiate(b.atom(1))

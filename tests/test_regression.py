@@ -1,0 +1,199 @@
+"""Regression: w::regress(p, T) must agree with (w;T)::p.
+
+The key soundness property is tested both on hand-picked formulas and
+property-style over random states — regression is the verifier's engine, so
+its agreement with the operational semantics is load-bearing.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import Schema, state_from_rows
+from repro.logic import builder as b
+from repro.theory.regression import NotRegressable, regress_expr, regress_formula
+from repro.transactions import Env, evaluate, execute, satisfies
+
+
+@pytest.fixture()
+def schema():
+    s = Schema()
+    s.add_relation("R", ("n", "tag"))
+    s.add_relation("Q", ("x",))
+    return s
+
+
+@pytest.fixture()
+def state(schema):
+    return state_from_rows(
+        schema, {"R": [(1, "a"), (2, "b"), (3, "c")], "Q": [("k",)]}
+    )
+
+
+R = b.rel("R", 2)
+RID = b.rel_id("R", 2)
+
+
+def assert_regression_agrees(state, formula, step, env=None):
+    env = env or Env.empty()
+    regressed = regress_formula(formula, step)
+    after = execute(state, step, env)
+    assert satisfies(state, regressed, env) == satisfies(after, formula, env)
+
+
+class TestInsertRegression:
+    def test_membership_of_inserted(self, state):
+        t = b.mktuple(b.atom(9), b.atom("z"))
+        assert_regression_agrees(state, b.member(t, R), b.insert(t, RID))
+
+    def test_membership_of_other(self, state):
+        t = b.mktuple(b.atom(9), b.atom("z"))
+        other = b.mktuple(b.atom(1), b.atom("a"))
+        assert_regression_agrees(state, b.member(other, R), b.insert(t, RID))
+
+    def test_negative_membership(self, state):
+        t = b.mktuple(b.atom(9), b.atom("z"))
+        assert_regression_agrees(state, b.lnot(b.member(t, R)), b.insert(t, RID))
+
+    def test_other_relation_untouched(self, state):
+        t = b.mktuple(b.atom(9), b.atom("z"))
+        q = b.mktuple(b.atom("k"))
+        assert_regression_agrees(state, b.member(q, b.rel("Q", 1)), b.insert(t, RID))
+
+    def test_aggregate_over_inserted_relation(self, state):
+        """sum over R after insert — exercises the with() wrapper."""
+        t = b.ftup_var("t", 2)
+        former = b.setformer(b.select(t, 1), t, b.member(t, R))
+        formula = b.eq(b.sum_of(former), b.atom(15))
+        step = b.insert(b.mktuple(b.atom(9), b.atom("z")), RID)
+        assert_regression_agrees(state, formula, step)
+
+
+class TestDeleteRegression:
+    def test_membership_of_deleted(self, state):
+        t = b.mktuple(b.atom(1), b.atom("a"))
+        assert_regression_agrees(state, b.member(t, R), b.delete(t, RID))
+
+    def test_membership_of_survivor(self, state):
+        victim = b.mktuple(b.atom(1), b.atom("a"))
+        survivor = b.mktuple(b.atom(2), b.atom("b"))
+        assert_regression_agrees(state, b.member(survivor, R), b.delete(victim, RID))
+
+    def test_quantified_formula(self, state):
+        victim = b.mktuple(b.atom(1), b.atom("a"))
+        t = b.ftup_var("t", 2)
+        formula = b.forall(
+            t, b.implies(b.member(t, R), b.gt(b.select(t, 1), b.atom(1)))
+        )
+        assert_regression_agrees(state, formula, b.delete(victim, RID))
+
+
+class TestModifyRegression:
+    def test_modified_attribute(self, state):
+        t_var = b.ftup_var("t", 2)
+        target = next(iter(state.relation("R")))
+        env = Env({t_var: target})
+        step = b.modify(t_var, 1, b.atom(42))
+        formula = b.eq(b.select(t_var, 1), b.atom(42))
+        assert_regression_agrees(state, formula, step, env)
+
+    def test_other_attribute_frame(self, state):
+        t_var = b.ftup_var("t", 2)
+        target = next(iter(state.relation("R")))
+        env = Env({t_var: target})
+        step = b.modify(t_var, 1, b.atom(42))
+        formula = b.eq(b.select(t_var, 2), b.atom(target.values[1]))
+        assert_regression_agrees(state, formula, step, env)
+
+    def test_other_tuple_frame(self, state):
+        tuples = list(state.relation("R"))
+        t1, t2 = b.ftup_var("t1", 2), b.ftup_var("t2", 2)
+        env = Env({t1: tuples[0], t2: tuples[1]})
+        step = b.modify(t2, 1, b.atom(42))
+        formula = b.eq(b.select(t1, 1), b.atom(tuples[0].values[0]))
+        assert_regression_agrees(state, formula, step, env)
+
+    def test_quantified_bound_over_modified_relation(self, state):
+        """forall t in R: n <= 50 — after modifying one tuple's n."""
+        t_var = b.ftup_var("t", 2)
+        target = next(iter(state.relation("R")))
+        env = Env({t_var: target})
+        step = b.modify(t_var, 1, b.atom(99))
+        q = b.ftup_var("q", 2)
+        formula = b.forall(
+            q, b.implies(b.member(q, R), b.le(b.select(q, 1), b.atom(50)))
+        )
+        assert_regression_agrees(state, formula, step, env)
+
+    @given(st.integers(0, 99), st.integers(1, 2))
+    @settings(max_examples=40, deadline=None)
+    def test_modify_agreement_random(self, value, pos, ):
+        schema = Schema()
+        schema.add_relation("R", ("n", "tag"))
+        state = state_from_rows(schema, {"R": [(1, "a"), (2, "b")]})
+        t_var = b.ftup_var("t", 2)
+        target = next(iter(state.relation("R")))
+        env = Env({t_var: target})
+        v = value if pos == 1 else "zz"
+        step = b.modify(t_var, pos, b.atom(v))
+        for i in (1, 2):
+            formula = b.eq(
+                b.select(t_var, i),
+                b.atom(v if i == pos else target.values[i - 1]),
+            )
+            assert_regression_agrees(state, formula, step, env)
+
+
+class TestCompositeRegression:
+    def test_seq(self, state):
+        t1 = b.mktuple(b.atom(9), b.atom("z"))
+        t2 = b.mktuple(b.atom(1), b.atom("a"))
+        step = b.seq(b.insert(t1, RID), b.delete(t2, RID))
+        formula = b.member(t1, R)
+        assert_regression_agrees(state, formula, step)
+        assert_regression_agrees(state, b.member(t2, R), step)
+
+    def test_insert_then_delete_same_tuple(self, state):
+        t = b.mktuple(b.atom(9), b.atom("z"))
+        step = b.seq(b.insert(t, RID), b.delete(t, RID))
+        assert_regression_agrees(state, b.member(t, R), step)
+
+    def test_cond_fluent(self, state):
+        t = b.mktuple(b.atom(9), b.atom("z"))
+        q = b.ftup_var("q", 2)
+        guard = b.exists(q, b.land(b.member(q, R), b.eq(b.select(q, 1), b.atom(1))))
+        step = b.ifthen(guard, b.insert(t, RID), b.delete(t, RID))
+        assert_regression_agrees(state, b.member(t, R), step)
+
+    def test_identity(self, state):
+        formula = b.member(b.mktuple(b.atom(1), b.atom("a")), R)
+        assert regress_formula(formula, b.identity()) == formula
+
+    def test_assign(self, state):
+        former = b.setformer(
+            b.ftup_var("t", 2), b.ftup_var("t", 2), b.member(b.ftup_var("t", 2), R)
+        )
+        step = b.assign(b.rel_id("R2", 2), former)
+        target = b.mktuple(b.atom(1), b.atom("a"))
+        formula = b.member(target, b.rel("R2", 2))
+        regressed = regress_formula(formula, step)
+        after = execute(state, step)
+        assert satisfies(state, regressed) == satisfies(after, formula)
+
+
+class TestNotRegressable:
+    def test_foreach_raises(self):
+        t = b.ftup_var("t", 2)
+        step = b.foreach(t, b.member(t, R), b.delete(t, RID))
+        with pytest.raises(NotRegressable):
+            regress_formula(b.member(b.mktuple(b.atom(1), b.atom("a")), R), step)
+
+    def test_transition_variable_raises(self):
+        with pytest.raises(NotRegressable):
+            regress_formula(b.true(), b.trans_var("t"))
+
+    def test_regress_expr_foreach_raises(self):
+        t = b.ftup_var("t", 2)
+        step = b.foreach(t, b.member(t, R), b.delete(t, RID))
+        with pytest.raises(NotRegressable):
+            regress_expr(R, step)

@@ -1,0 +1,167 @@
+"""Linkage-axiom rewriting: distribution, transition reduction, priming."""
+
+import pytest
+
+from repro.db import Schema, state_from_rows, chain_graph
+from repro.constraints.semantics import Evaluator, PartialModel
+from repro.logic import builder as b
+from repro.logic.formulas import And, EvalBool, Forall, Not, SPred
+from repro.logic.terms import EvalState, SApp
+from repro.theory.rewriting import (
+    distribute_eval_bool,
+    normalize,
+    reduce_transitions,
+    to_primed,
+)
+from repro.transactions import execute
+
+
+@pytest.fixture()
+def schema():
+    s = Schema()
+    s.add_relation("R", ("n", "tag"))
+    return s
+
+
+@pytest.fixture()
+def state(schema):
+    return state_from_rows(schema, {"R": [(1, "a"), (2, "b")]})
+
+
+R = b.rel("R", 2)
+RID = b.rel_id("R", 2)
+S = b.state_var("s")
+
+
+class TestDistribution:
+    def test_conjunction_distributes(self):
+        t = b.ftup_var("t", 2)
+        inner = b.land(b.member(t, R), b.lt(b.select(t, 1), b.atom(5)))
+        result = distribute_eval_bool(b.holds(S, inner))
+        assert isinstance(result, And)
+        assert all(isinstance(c, EvalBool) for c in result.conjuncts)
+
+    def test_negation_distributes(self):
+        t = b.ftup_var("t", 2)
+        result = distribute_eval_bool(b.holds(S, b.lnot(b.member(t, R))))
+        assert isinstance(result, Not)
+
+    def test_quantifier_distributes(self):
+        t = b.ftup_var("t", 2)
+        result = distribute_eval_bool(b.holds(S, b.forall(t, b.member(t, R))))
+        assert isinstance(result, Forall)
+        assert isinstance(result.body, EvalBool)
+
+    def test_atoms_left_alone(self):
+        t = b.ftup_var("t", 2)
+        f = b.holds(S, b.member(t, R))
+        assert distribute_eval_bool(f) == f
+
+    def test_semantics_preserved(self, state):
+        """Distribution must not change truth over a model."""
+        t = b.ftup_var("t", 2)
+        inner = b.forall(
+            t, b.implies(b.member(t, R), b.le(b.select(t, 1), b.atom(3)))
+        )
+        f = b.forall(S, b.holds(S, inner))
+        g = distribute_eval_bool(f)
+        model = PartialModel(chain_graph([state]))
+        assert Evaluator(model).holds(f) == Evaluator(model).holds(g) is True
+
+
+class TestTransitionReduction:
+    def test_insert_reduced(self, state):
+        t = b.mktuple(b.atom(9), b.atom("z"))
+        f = b.holds(b.after(S, b.insert(t, RID)), b.member(t, R))
+        g = reduce_transitions(f)
+        assert not any(isinstance(n, EvalState) for n in g.iter_subnodes())
+
+    def test_reduction_preserves_semantics(self, state):
+        t = b.mktuple(b.atom(9), b.atom("z"))
+        tx = b.seq(b.insert(t, RID), b.delete(b.mktuple(b.atom(1), b.atom("a")), RID))
+        f = b.forall(
+            S,
+            b.holds(b.after(S, tx), b.member(t, R)),
+        )
+        g = reduce_transitions(distribute_eval_bool(f))
+        model = PartialModel(chain_graph([state]))
+        assert Evaluator(model).holds(f) == Evaluator(model).holds(g) is True
+
+    def test_foreach_left_residual(self, state):
+        t = b.ftup_var("t", 2)
+        loop = b.foreach(t, b.member(t, R), b.delete(t, RID))
+        f = b.holds(b.after(S, loop), b.true())
+        g = normalize(f)
+        # w::true distributes to true; the foreach disappears with it
+        # but a residual foreach under a member must remain unreduced:
+        f2 = b.holds(b.after(S, loop), b.member(b.mktuple(b.atom(1), b.atom("a")), R))
+        g2 = normalize(f2)
+        assert not g2.fully_reduced
+
+    def test_identity_collapsed(self):
+        f = b.holds(b.after(S, b.identity()), b.true())
+        g = normalize(f).formula
+        assert not any(isinstance(n, EvalState) for n in g.iter_subnodes())
+
+
+class TestPriming:
+    def test_pred_primed(self):
+        t = b.ftup_var("t", 2)
+        f = b.holds(S, b.member(t, R))
+        g = to_primed(f)
+        assert isinstance(g, SPred)
+        assert g.symbol.name == "member2"
+
+    def test_app_primed(self):
+        t = b.ftup_var("t", 2)
+        f = b.eq(b.at(S, b.select(t, 1)), b.atom(1))
+        g = to_primed(f)
+        assert isinstance(g.lhs, SApp)
+
+    def test_primed_semantics_preserved(self, state):
+        t = b.ftup_var("t", 2)
+        f = b.forall(
+            [S, t],
+            b.implies(
+                b.holds(S, b.member(t, R)),
+                b.le(b.at(S, b.select(t, 1)), b.atom(3)),
+            ),
+        )
+        g = normalize(f, prime=True).formula
+        model = PartialModel(chain_graph([state]))
+        assert Evaluator(model).holds(f) == Evaluator(model).holds(g) is True
+
+
+class TestNormalization:
+    def test_stats_recorded(self):
+        t = b.mktuple(b.atom(9), b.atom("z"))
+        f = b.forall(
+            S,
+            b.holds(
+                b.after(S, b.insert(t, RID)),
+                b.land(b.member(t, R), b.true()),
+            ),
+        )
+        result = normalize(f)
+        assert result.stats.transitions_reduced >= 1
+        assert result.stats.eval_bool_distributed >= 1
+        assert result.stats.passes >= 1
+        assert result.fully_reduced
+
+    def test_full_verification_shaped_reduction(self, state):
+        """The vcgen shape: (w;T)::static-constraint reduces to w::Q and the
+        reduction agrees with executing T."""
+        t = b.ftup_var("t", 2)
+        constraint = b.forall(
+            t, b.implies(b.member(t, R), b.le(b.select(t, 1), b.atom(9)))
+        )
+        tx = b.insert(b.mktuple(b.atom(4), b.atom("d")), RID)
+        f = b.holds(b.after(S, tx), constraint)
+        reduced = normalize(f).formula
+        model = PartialModel(chain_graph([state]))
+        from repro.transactions import satisfies
+
+        after = execute(state, tx)
+        direct = satisfies(after, constraint)
+        via_regression = Evaluator(model).holds(b.forall(S, reduced))
+        assert direct == via_regression

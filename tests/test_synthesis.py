@@ -1,0 +1,168 @@
+"""E6: transaction synthesis from declarative goals with repairs."""
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.logic import builder as b
+from repro.synthesis import (
+    InsertGoal,
+    ModifyGoal,
+    RemoveGoal,
+    Synthesizer,
+    derive_repair,
+    goal_order,
+)
+
+
+@pytest.fixture()
+def cancel_goals(domain):
+    pname, v = b.atom_var("pname"), b.atom_var("v")
+    p = domain.proj.var("p")
+    e = domain.emp.var("e")
+    a = domain.alloc.var("a")
+    allocated_to_p = b.exists(
+        a,
+        b.land(
+            b.member(a, domain.alloc.rel()),
+            b.eq(domain.alloc.attr("a-proj", a), pname),
+            b.eq(domain.alloc.attr("a-emp", a), domain.emp.attr("e-name", e)),
+        ),
+    )
+    return (
+        (pname, v),
+        [
+            RemoveGoal(domain.proj, p, b.eq(domain.proj.attr("p-name", p), pname)),
+            ModifyGoal(
+                domain.emp,
+                e,
+                allocated_to_p,
+                "salary",
+                b.minus(domain.emp.attr("salary", e), v),
+            ),
+        ],
+    )
+
+
+class TestRepairDerivation:
+    def test_referential_constraint_repair(self, domain):
+        repair = derive_repair(domain.alloc_references_project())
+        assert repair is not None
+        assert "ALLOC" in repair.description
+
+    def test_allocation_constraint_repair(self, domain):
+        repair = derive_repair(domain.every_employee_allocated())
+        assert repair is not None
+        assert "EMP" in repair.description
+
+    def test_transaction_constraint_has_no_repair(self, domain):
+        assert derive_repair(domain.once_married()) is None
+
+    def test_repair_fluent_is_executable(self, domain, sample_state):
+        from repro.transactions import execute, is_executable
+
+        repair = derive_repair(domain.every_employee_allocated())
+        assert is_executable(repair.fluent)
+        # dropping all allocations leaves everyone stranded; the repair then
+        # deletes every employee
+        s = sample_state
+        for t in list(s.relation("ALLOC")):
+            s = s.delete_tuple("ALLOC", t)
+        fixed = execute(s, repair.fluent)
+        assert len(fixed.relation("EMP")) == 0
+
+
+class TestGoalPlanning:
+    def test_goal_order_reads_before_writes(self, domain, cancel_goals):
+        _, goals = cancel_goals
+        ordered = goal_order(goals)
+        assert isinstance(ordered[0], ModifyGoal)
+        assert isinstance(ordered[-1], RemoveGoal)
+
+    def test_goal_fluents_executable(self, domain, cancel_goals):
+        from repro.transactions import is_executable
+
+        (pname, v), goals = cancel_goals
+        for g in goals:
+            assert is_executable(g.achieving_fluent(), [pname, v])
+
+    def test_insert_goal(self, domain, sample_state):
+        from repro.transactions import execute
+
+        g = InsertGoal(domain.skill, (b.atom("alice"), b.atom(9)))
+        after = execute(sample_state, g.achieving_fluent())
+        assert ("alice", 9) in {t.values for t in after.relation("SKILL")}
+
+
+class TestExample6:
+    def test_synthesis_reproduces_cancel_project(self, domain, sample_state, cancel_goals):
+        params, goals = cancel_goals
+        synth = Synthesizer(domain.static_constraints)
+        spec = domain.cancel_project_spec("net", 10)
+        result = synth.synthesize(
+            "cancel-synth", params, goals, [(sample_state, ("net", 10))], spec
+        )
+        assert result.certified
+        # the two repairs the paper says the proof introduces:
+        names = [r.constraint.name for r in result.repairs]
+        assert names == ["alloc-references-project", "every-employee-allocated"]
+        # behavior matches the hand-written Example 5 transaction
+        synthesized = result.program.run(sample_state, "net", 10)
+        manual = domain.cancel_project.run(sample_state, "net", 10)
+        for rel in ("EMP", "PROJ", "ALLOC", "SKILL"):
+            assert {t.values for t in synthesized.relation(rel)} == {
+                t.values for t in manual.relation(rel)
+            }, rel
+
+    def test_cascading_repairs_recorded_in_trace(self, domain, sample_state, cancel_goals):
+        params, goals = cancel_goals
+        synth = Synthesizer(domain.static_constraints)
+        result = synth.synthesize(
+            "cancel-synth", params, goals, [(sample_state, ("net", 10))]
+        )
+        assert result.rounds == 3
+        assert any("round 1" in line for line in result.trace)
+        assert any("round 2" in line for line in result.trace)
+
+    def test_no_repairs_needed_for_clean_goal(self, domain, sample_state):
+        """Raising a salary violates nothing: round 1 converges."""
+        e = domain.emp.var("e")
+        goal = ModifyGoal(
+            domain.emp,
+            e,
+            b.eq(domain.emp.attr("e-name", e), b.atom("alice")),
+            "salary",
+            b.plus(domain.emp.attr("salary", e), b.atom(10)),
+        )
+        synth = Synthesizer(domain.static_constraints)
+        result = synth.synthesize("raise", (), [goal], [(sample_state, ())])
+        assert result.rounds == 1 and not result.repairs
+
+    def test_unrepairable_violation_raises(self, domain, sample_state):
+        """A goal violating a transaction constraint cannot be repaired by
+        deletion of static offenders alone."""
+        e = domain.emp.var("e")
+        # insert an allocation for a non-existent project: repairable;
+        # but restrict the synthesizer to a constraint set with no guard
+        # shape by passing a transaction constraint as 'static'... instead:
+        # make the synthesizer see a violated constraint with no repair by
+        # removing the repairable ones and using a non-guarded constraint.
+        from repro.constraints import constraint as mk
+
+        s = b.state_var("s")
+        impossible = mk(
+            "emp-always-empty",
+            b.forall(s, b.holds(s, b.lnot(b.exists(e, b.member(e, domain.emp.rel()))))),
+        )
+        goal = InsertGoal(domain.skill, (b.atom("alice"), b.atom(3)))
+        synth = Synthesizer([impossible])
+        with pytest.raises(SynthesisError):
+            synth.synthesize("bad", (), [goal], [(sample_state, ())])
+
+    def test_certification_fails_for_wrong_spec(self, domain, sample_state, cancel_goals):
+        params, goals = cancel_goals
+        synth = Synthesizer(domain.static_constraints)
+        wrong_spec = domain.cancel_project_spec("net", 999)  # wrong cut
+        result = synth.synthesize(
+            "cancel-synth", params, goals, [(sample_state, ("net", 10))], wrong_spec
+        )
+        assert not result.certified

@@ -1,0 +1,218 @@
+"""E7: temporal logic — direct semantics, δ translation, and their agreement.
+
+The paper's claim: α is valid at s in temporal logic iff δ(s, α) is valid in
+situational logic.  We test the two *independent* implementations against
+each other over concrete evolution chains, including a hypothesis sweep over
+random formulas.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints import Evaluator, PartialModel
+from repro.constraints.semantics import NO_TRANSITION
+from repro.db import chain_graph
+from repro.logic import builder as b
+from repro.temporal import (
+    TAnd,
+    TImplies,
+    TNot,
+    TOr,
+    always,
+    atom,
+    check,
+    delta,
+    eventually,
+    nxt,
+    precedes,
+    until,
+)
+from repro.transactions import Env
+
+
+@pytest.fixture()
+def chain(domain):
+    """s0 --fire dan--> s1 --hire erin+alloc--> s2."""
+    s0 = domain.sample_state()
+    s1 = domain.fire.run(s0, "dan")
+    s2 = domain.hire.run(s1, "erin", "cs", 80, 22, "S")
+    return [s0, s1, s2]
+
+
+@pytest.fixture()
+def model(chain):
+    return PartialModel(chain_graph(chain))
+
+
+def employed(domain, name):
+    return atom(domain.employed(b.atom(name)))
+
+
+class TestDirectSemantics:
+    def test_atom_at_state(self, domain, model, chain):
+        assert check(model, chain[0], employed(domain, "dan"))
+        assert not check(model, chain[1], employed(domain, "dan"))
+
+    def test_always(self, domain, model, chain):
+        assert check(model, chain[0], always(employed(domain, "alice")))
+        assert not check(model, chain[0], always(employed(domain, "dan")))
+
+    def test_eventually(self, domain, model, chain):
+        assert check(model, chain[0], eventually(employed(domain, "erin")))
+        assert not check(model, chain[0], eventually(employed(domain, "zoe")))
+
+    def test_next_collapses_to_eventually(self, domain, model, chain):
+        f1 = nxt(employed(domain, "erin"))
+        f2 = eventually(employed(domain, "erin"))
+        assert check(model, chain[0], f1) == check(model, chain[0], f2)
+
+    def test_until(self, domain, model, chain):
+        # dan is employed until erin is employed... dan leaves at s1, erin
+        # arrives at s2: at s1 neither holds -> Until fails
+        f = until(employed(domain, "dan"), employed(domain, "erin"))
+        assert not check(model, chain[0], f)
+        # alice employed until erin employed: lhs holds everywhere
+        g = until(employed(domain, "alice"), employed(domain, "erin"))
+        assert check(model, chain[0], g)
+
+    def test_until_discharged_by_rhs(self, domain, model, chain):
+        # dan employed until "not dan employed" - rhs true at s1 discharges s2
+        f = until(employed(domain, "dan"), TNot(employed(domain, "dan")))
+        assert check(model, chain[0], f)
+
+    def test_precedes(self, domain, model, chain):
+        # "dan is gone" (first true at s1) precedes "erin employed" (s2)
+        f = precedes(TNot(employed(domain, "dan")), employed(domain, "erin"))
+        assert check(model, chain[0], f)
+        # erin-employed does not precede itself being true... pick:
+        # "erin employed" precedes "dan gone": dan gone already at s1 <= s2
+        g = precedes(employed(domain, "erin"), TNot(employed(domain, "dan")))
+        assert not check(model, chain[0], g)
+
+    def test_reflexivity_of_always(self, domain, model, chain):
+        """□a at the last state degenerates to a at that state."""
+        assert check(model, chain[2], always(employed(domain, "erin")))
+
+    def test_boolean_connectives(self, domain, model, chain):
+        a = employed(domain, "alice")
+        d = employed(domain, "dan")
+        assert check(model, chain[0], TAnd(a, d))
+        assert check(model, chain[1], TOr(a, d))
+        assert check(model, chain[1], TImplies(d, TNot(a)))
+
+
+class TestDeltaTranslation:
+    def _agrees(self, model, state, formula):
+        direct = check(model, state, formula)
+        s = b.state_var("s")
+        translated = delta(s, formula)
+        via_delta = Evaluator(model)._formula(translated, Env({s: state}))
+        assert direct == via_delta, f"δ disagreement on {formula}"
+        return direct
+
+    def test_atom_agreement(self, domain, model, chain):
+        for state in chain:
+            self._agrees(model, state, employed(domain, "dan"))
+
+    def test_always_agreement(self, domain, model, chain):
+        for state in chain:
+            self._agrees(model, state, always(employed(domain, "alice")))
+            self._agrees(model, state, always(employed(domain, "dan")))
+
+    def test_eventually_agreement(self, domain, model, chain):
+        for state in chain:
+            self._agrees(model, state, eventually(employed(domain, "erin")))
+
+    def test_until_agreement(self, domain, model, chain):
+        cases = [
+            until(employed(domain, "dan"), employed(domain, "erin")),
+            until(employed(domain, "alice"), employed(domain, "erin")),
+            until(employed(domain, "dan"), TNot(employed(domain, "dan"))),
+        ]
+        for state in chain:
+            for f in cases:
+                self._agrees(model, state, f)
+
+    def test_precedes_agreement(self, domain, model, chain):
+        cases = [
+            precedes(TNot(employed(domain, "dan")), employed(domain, "erin")),
+            precedes(employed(domain, "erin"), TNot(employed(domain, "dan"))),
+        ]
+        for state in chain:
+            for f in cases:
+                self._agrees(model, state, f)
+
+    def test_nested_agreement(self, domain, model, chain):
+        f = always(TImplies(employed(domain, "erin"), eventually(employed(domain, "erin"))))
+        for state in chain:
+            assert self._agrees(model, state, f) is True
+
+    @given(st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_random_formula_agreement(self, data):
+        """Random temporal formulas over a 3-chain: δ must always agree."""
+        from repro.domains import make_domain
+
+        domain = make_domain()
+        s0 = domain.sample_state()
+        s1 = domain.fire.run(s0, "dan")
+        s2 = domain.hire.run(s1, "erin", "cs", 80, 22, "S")
+        model = PartialModel(chain_graph([s0, s1, s2]))
+        names = st.sampled_from(["alice", "dan", "erin", "zoe"])
+
+        def formulas(depth):
+            base = st.builds(lambda n: employed(domain, n), names)
+            if depth == 0:
+                return base
+            sub = formulas(depth - 1)
+            return st.one_of(
+                base,
+                st.builds(TNot, sub),
+                st.builds(TAnd, sub, sub),
+                st.builds(always, sub),
+                st.builds(eventually, sub),
+                st.builds(until, sub, sub),
+                st.builds(precedes, sub, sub),
+            )
+
+        formula = data.draw(formulas(2))
+        state = data.draw(st.sampled_from([s0, s1, s2]))
+        direct = check(model, state, formula)
+        s = b.state_var("s")
+        via_delta = Evaluator(model)._formula(delta(s, formula), Env({s: state}))
+        assert direct == via_delta
+
+
+class TestTranslateValidity:
+    def test_valid_everywhere_sentence(self, domain, model, chain):
+        from repro.temporal import translate_validity
+
+        sentence = translate_validity(always(employed(domain, "alice")))
+        assert not sentence.free_vars()
+        assert Evaluator(model).holds(sentence)
+
+    def test_invalid_somewhere(self, domain, model, chain):
+        from repro.temporal import translate_validity
+
+        sentence = translate_validity(employed(domain, "dan"))
+        # dan is fired at s1: the atom is not valid at every state
+        assert not Evaluator(model).holds(sentence)
+
+
+class TestExpressiveness:
+    def test_transaction_specific_constraint_has_no_atom(self, domain):
+        """Example 3's dept-deletion precondition mentions the concrete
+        transaction delete_3(d, DEPT) — a temporal atom cannot: atoms are
+        fluent formulas, and EvalState/transactions are not fluent formulas.
+        This pins the strict-expressiveness direction structurally."""
+        from repro.errors import SortError
+        from repro.temporal.syntax import TAtom
+
+        c = domain.dept_deletion_precondition()
+        with pytest.raises(SortError):
+            TAtom(c.formula)  # situational: rejected as a temporal atom
+
+    def test_no_transition_sentinel_never_equal(self):
+        assert NO_TRANSITION != NO_TRANSITION
+        assert not (NO_TRANSITION == 42)

@@ -1,0 +1,115 @@
+"""E7 on branching evolution graphs.
+
+The paper's evolution graphs are general multigraphs, not chains; the δ
+agreement must survive branching futures (where ◇/□ genuinely differ per
+branch) and diamonds (two transaction orders reaching the same state).
+"""
+
+import pytest
+
+from repro.constraints import Evaluator, PartialModel
+from repro.db import EvolutionGraph
+from repro.logic import builder as b
+from repro.temporal import TNot, always, atom, check, delta, eventually, until
+from repro.transactions import Env
+
+
+@pytest.fixture()
+def branching(domain):
+    """s0 branches: fire dan (s1a) XOR promote alice (s1b); s1a continues."""
+    s0 = domain.sample_state()
+    s1a = domain.fire.run(s0, "dan")
+    s1b = domain.set_salary.run(s0, "alice", 500)
+    s2a = domain.hire.run(s1a, "erin", "cs", 80, 22, "S")
+    graph = EvolutionGraph()
+    graph.add_transition(s0, s1a, "fire-dan")
+    graph.add_transition(s0, s1b, "promote-alice")
+    graph.add_transition(s1a, s2a, "hire-erin")
+    return s0, s1a, s1b, s2a, PartialModel(graph)
+
+
+@pytest.fixture()
+def diamond(domain):
+    """Two orders of independent transactions meet in the same state."""
+    s0 = domain.sample_state()
+    s_skill = domain.add_skill.run(s0, "bob", 9)
+    s_age = domain.birthday.run(s0, "carol")
+    s_both_a = domain.birthday.run(s_skill, "carol")
+    s_both_b = domain.add_skill.run(s_age, "bob", 9)
+    graph = EvolutionGraph()
+    graph.add_transition(s0, s_skill, "skill")
+    graph.add_transition(s0, s_age, "age")
+    graph.add_transition(s_skill, s_both_a, "age")
+    graph.add_transition(s_age, s_both_b, "skill")
+    return s0, s_both_a, s_both_b, PartialModel(graph)
+
+
+def employed(domain, name):
+    return atom(domain.employed(b.atom(name)))
+
+
+class TestBranchingSemantics:
+    def test_eventually_differs_per_branch(self, domain, branching):
+        s0, s1a, s1b, s2a, model = branching
+        f = eventually(employed(domain, "erin"))
+        assert check(model, s0, f)        # via the fire branch
+        assert check(model, s1a, f)
+        assert not check(model, s1b, f)   # the promote branch never hires erin
+
+    def test_always_quantifies_over_all_branches(self, domain, branching):
+        s0, *_rest, model = branching
+        assert not check(model, s0, always(employed(domain, "dan")))
+        assert check(model, s0, always(employed(domain, "alice")))
+
+    def test_until_on_branches(self, domain, branching):
+        s0, s1a, s1b, s2a, model = branching
+        # dan employed until erin employed: fails on the fire branch at s1a
+        f = until(employed(domain, "dan"), employed(domain, "erin"))
+        assert not check(model, s0, f)
+        # alice employed until dan gone: the promote branch never drops dan,
+        # but alice holds everywhere there, so the (weak) until still holds
+        g = until(employed(domain, "alice"), TNot(employed(domain, "dan")))
+        assert check(model, s0, g)
+
+
+class TestDeltaOnGraphs:
+    def _agree(self, domain, model, state, formula):
+        s = b.state_var("s")
+        direct = check(model, state, formula)
+        via = Evaluator(model)._formula(delta(s, formula), Env({s: state}))
+        assert direct == via
+        return direct
+
+    def test_branching_agreement(self, domain, branching):
+        s0, s1a, s1b, s2a, model = branching
+        formulas = [
+            eventually(employed(domain, "erin")),
+            always(employed(domain, "alice")),
+            always(eventually(employed(domain, "alice"))),
+            until(employed(domain, "dan"), employed(domain, "erin")),
+        ]
+        for state in (s0, s1a, s1b):
+            for f in formulas:
+                self._agree(domain, model, state, f)
+
+    def test_diamond_agreement(self, domain, diamond):
+        s0, s_both_a, s_both_b, model = diamond
+        # the diamond's two meet states are content-equal -> one graph node
+        assert s_both_a == s_both_b
+        formulas = [
+            eventually(employed(domain, "erin")),
+            always(employed(domain, "bob")),
+            until(employed(domain, "alice"), TNot(employed(domain, "alice"))),
+        ]
+        for f in formulas:
+            self._agree(domain, model, s0, f)
+
+    def test_diamond_confluence(self, domain, diamond):
+        """Independent transactions commute: both orders reach one state —
+        the multigraph has two 2-step paths into the same node."""
+        s0, s_both_a, _s_both_b, model = diamond
+        two_step = [
+            t for t in model.transitions_from(s0)
+            if len(t) == 2 and t.target() == s_both_a
+        ]
+        assert len(two_step) == 2

@@ -1,0 +1,211 @@
+"""E10: the operational interpreter is a model of the T_L axioms.
+
+Each property test instantiates an axiom schema of Section 2 over randomly
+generated states and arguments and checks the two sides agree — the
+"relational database is a model of the situational transaction theory" of
+Definition 2, verified mechanically.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import Schema, state_from_rows
+from repro.logic import builder as b
+from repro.theory.axioms import arity_axioms, core_axioms, transaction_theory
+from repro.transactions import Env, execute, evaluate, satisfies
+
+from tests.conftest import employee_states
+
+
+rows2 = st.lists(
+    st.tuples(st.integers(0, 20), st.sampled_from("abcd")), min_size=0, max_size=6,
+    unique_by=lambda r: r,
+)
+
+
+def make_state(rows):
+    schema = Schema()
+    schema.add_relation("R", ("n", "tag"))
+    return state_from_rows(schema, {"R": [tuple(r) for r in rows]})
+
+
+atomic_updates = st.sampled_from(["insert", "delete", "noop"])
+
+
+def random_step(draw_value, draw_tag):
+    return b.insert(b.mktuple(b.atom(draw_value), b.atom(draw_tag)), "R")
+
+
+class TestFluentAlgebra:
+    @given(rows2, st.integers(0, 20), st.integers(0, 20))
+    @settings(max_examples=50, deadline=None)
+    def test_composition_associativity(self, rows, v1, v2):
+        """w;((s;;t);;u) == w;(s;;(t;;u))"""
+        state = make_state(rows)
+        s = b.insert(b.mktuple(b.atom(v1), b.atom("x")), "R")
+        t = b.delete(b.mktuple(b.atom(v2), b.atom("a")), "R")
+        u = b.insert(b.mktuple(b.atom(v1 + v2), b.atom("y")), "R")
+        from repro.logic.fluents import Seq
+
+        left = execute(state, Seq(Seq(s, t), u))
+        right = execute(state, Seq(s, Seq(t, u)))
+        assert left == right
+
+    @given(rows2, st.integers(0, 20))
+    @settings(max_examples=50, deadline=None)
+    def test_identity_fluent(self, rows, v):
+        """Λ;;s == s;;Λ == s (evaluated at any state)."""
+        state = make_state(rows)
+        s = b.insert(b.mktuple(b.atom(v), b.atom("x")), "R")
+        from repro.logic.fluents import Seq
+
+        direct = execute(state, s)
+        assert execute(state, Seq(b.identity(), s)) == direct
+        assert execute(state, Seq(s, b.identity())) == direct
+
+    @given(rows2)
+    @settings(max_examples=30, deadline=None)
+    def test_identity_null(self, rows):
+        state = make_state(rows)
+        assert execute(state, b.identity()) == state
+
+    @given(rows2, st.integers(0, 20), st.integers(0, 20))
+    @settings(max_examples=50, deadline=None)
+    def test_composition_linkage(self, rows, v1, v2):
+        """w;(s;;t) == (w;s);t"""
+        state = make_state(rows)
+        s = b.insert(b.mktuple(b.atom(v1), b.atom("p")), "R")
+        t = b.delete(b.mktuple(b.atom(v2), b.atom("p")), "R")
+        from repro.logic.fluents import Seq
+
+        assert execute(state, Seq(s, t)) == execute(execute(state, s), t)
+
+
+class TestModifyAxioms:
+    @given(rows2.filter(lambda r: len(r) >= 1), st.integers(1, 2), st.integers(0, 99))
+    @settings(max_examples=60, deadline=None)
+    def test_modify_action(self, rows, i, v):
+        """select_n(t, i) after modify_n(t, i, v) == v."""
+        state = make_state(rows)
+        t_var = b.ftup_var("t", 2)
+        target = next(iter(state.relation("R")))
+        value = v if i == 1 else "z"
+        env = Env({t_var: target})
+        after = execute(state, b.modify(t_var, i, b.atom(value)), env)
+        assert evaluate(after, b.select(t_var, i), env) == value
+
+    @given(rows2.filter(lambda r: len(r) >= 2), st.integers(1, 2))
+    @settings(max_examples=60, deadline=None)
+    def test_modify_frame_other_tuple(self, rows, i):
+        """Modifying t2 leaves every attribute of t1 != t2 unchanged."""
+        state = make_state(rows)
+        tuples = list(state.relation("R"))
+        t1, t2 = tuples[0], tuples[1]
+        v1, v2 = b.ftup_var("t1", 2), b.ftup_var("t2", 2)
+        env = Env({v1: t1, v2: t2})
+        value = 77 if i == 1 else "q"
+        after = execute(state, b.modify(v2, i, b.atom(value)), env)
+        for j in (1, 2):
+            assert evaluate(after, b.select(v1, j), env) == t1.values[j - 1]
+
+    @given(rows2.filter(lambda r: len(r) >= 1))
+    @settings(max_examples=60, deadline=None)
+    def test_modify_frame_other_position(self, rows):
+        """Modifying position 1 leaves position 2 of the same tuple."""
+        state = make_state(rows)
+        target = next(iter(state.relation("R")))
+        t_var = b.ftup_var("t", 2)
+        env = Env({t_var: target})
+        after = execute(state, b.modify(t_var, 1, b.atom(99)), env)
+        assert evaluate(after, b.select(t_var, 2), env) == target.values[1]
+
+    @given(rows2.filter(lambda r: len(r) >= 1), st.integers(0, 99))
+    @settings(max_examples=60, deadline=None)
+    def test_modify_preserves_identifier(self, rows, v):
+        state = make_state(rows)
+        target = next(iter(state.relation("R")))
+        t_var = b.ftup_var("t", 2)
+        env = Env({t_var: target})
+        after = execute(state, b.modify(t_var, 1, b.atom(v)), env)
+        assert evaluate(after, b.tuple_id(t_var), env) == target.tid
+
+
+class TestInsertDeleteAxioms:
+    @given(rows2, st.integers(0, 20), st.sampled_from("abcd"))
+    @settings(max_examples=60, deadline=None)
+    def test_insert_action(self, rows, n, tag):
+        state = make_state(rows)
+        t = b.mktuple(b.atom(n), b.atom(tag))
+        after = execute(state, b.insert(t, "R"))
+        assert satisfies(after, b.member(t, b.rel("R", 2)))
+
+    @given(rows2, st.integers(0, 20), st.sampled_from("abcd"))
+    @settings(max_examples=60, deadline=None)
+    def test_delete_action(self, rows, n, tag):
+        state = make_state(rows)
+        t = b.mktuple(b.atom(n), b.atom(tag))
+        after = execute(state, b.delete(t, "R"))
+        assert not satisfies(after, b.member(t, b.rel("R", 2)))
+
+    @given(rows2.filter(lambda r: len(r) >= 2), st.integers(0, 20))
+    @settings(max_examples=60, deadline=None)
+    def test_delete_frame(self, rows, n):
+        """Deleting one tuple keeps every other tuple."""
+        state = make_state(rows)
+        tuples = list(state.relation("R"))
+        victim, survivor = tuples[0], tuples[1]
+        v_var = b.ftup_var("v", 2)
+        after = execute(state, b.delete(v_var, "R"), Env({v_var: victim}))
+        s_var = b.ftup_var("s", 2)
+        assert satisfies(after, b.member(s_var, b.rel("R", 2)), Env({s_var: survivor}))
+
+    @given(rows2, st.integers(0, 20), st.sampled_from("abcd"))
+    @settings(max_examples=40, deadline=None)
+    def test_insert_frame_other_relation(self, rows, n, tag):
+        schema = Schema()
+        schema.add_relation("R", ("n", "tag"))
+        schema.add_relation("S", ("x",))
+        state = state_from_rows(schema, {"R": [tuple(r) for r in rows], "S": [("k",)]})
+        after = execute(state, b.insert(b.mktuple(b.atom(n), b.atom(tag)), "R"))
+        assert after.relation("S") == state.relation("S")
+        assert after.relations["S"] is state.relations["S"]  # shared, not copied
+
+    @given(rows2)
+    @settings(max_examples=40, deadline=None)
+    def test_assign_action(self, rows):
+        """w;assign(R2, R) : R2 == w:R."""
+        state = make_state(rows)
+        after = execute(state, b.assign(b.rel_id("R2", 2), b.rel("R", 2)))
+        left = evaluate(after, b.rel("R2", 2))
+        right = evaluate(state, b.rel("R", 2))
+        assert left.elements == right.elements
+
+
+class TestAxiomInventory:
+    def test_core_axioms_enumerate(self):
+        names = {a.name for a in core_axioms()}
+        assert {"composition-associativity", "identity-fluent", "composition-linkage"} <= names
+
+    def test_arity_axioms_include_modify(self):
+        names = {a.name for a in arity_axioms(5)}
+        assert "modify-action[5]" in names and "modify-frame[5]" in names
+
+    def test_transaction_theory_for_schema(self):
+        from repro.domains import make_domain
+
+        theory = transaction_theory(make_domain().schema)
+        groups = {a.group for a in theory}
+        assert groups == {"fluent-algebra", "linkage", "action", "frame"}
+        # per-relation action/frame instances present
+        names = {a.name for a in theory}
+        assert "insert-action[EMP]" in names
+        assert "delete-frame[ALLOC]" in names
+        assert "insert-frame[EMP/ALLOC]" in names
+
+    def test_axioms_are_closed_situational_formulas(self):
+        from repro.domains import make_domain
+        from repro.logic.terms import Layer
+
+        for axiom in transaction_theory(make_domain().schema):
+            assert not axiom.formula.free_vars(), axiom.name
+            assert axiom.formula.layer is Layer.SITUATIONAL, axiom.name
