@@ -30,7 +30,22 @@ Subsystem map (see DESIGN.md):
 * :mod:`repro.synthesis` — transaction synthesis with repairs (S9)
 * :mod:`repro.domains` — the paper's employee database (S10)
 * :mod:`repro.lang` — the surface syntax (S11)
+* :mod:`repro.concurrent` — optimistic parallel scheduling + commit log (S12)
 """
+
+from repro.concurrent import (
+    CommitLog,
+    CommitRecord,
+    ConcurrencyStats,
+    Deadline,
+    ReadWriteSet,
+    RetryPolicy,
+    TrackingInterpreter,
+    TransactionManager,
+    TransactionOutcome,
+    TransactionStatus,
+    states_equivalent,
+)
 
 from repro.constraints import (
     Constraint,
@@ -69,9 +84,11 @@ from repro.errors import (
     ParseError,
     ProofError,
     ReproError,
+    RetryExhausted,
     SchemaError,
     SortError,
     SynthesisError,
+    TransactionConflict,
 )
 from repro.lang import parse, parse_formula, parse_transaction
 from repro.transactions import (
@@ -94,6 +111,7 @@ __all__ = [
     "ReproError", "SortError", "EvaluationError", "ExecutabilityError",
     "ConstraintViolation", "CheckabilityError", "ProofError",
     "SynthesisError", "ParseError", "SchemaError",
+    "TransactionConflict", "RetryExhausted",
     # db
     "Schema", "RelationSchema", "State", "Relation", "DBTuple", "TupleSet",
     "make_tuple", "initial_state", "state_from_rows",
@@ -108,4 +126,9 @@ __all__ = [
     # engine, domain, lang
     "Database", "EmployeeDomain", "make_domain",
     "parse", "parse_formula", "parse_transaction",
+    # concurrent
+    "TransactionManager", "TransactionOutcome", "TransactionStatus",
+    "RetryPolicy", "Deadline", "CommitLog", "CommitRecord",
+    "TrackingInterpreter", "ReadWriteSet", "ConcurrencyStats",
+    "states_equivalent",
 ]

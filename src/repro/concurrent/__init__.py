@@ -1,0 +1,41 @@
+"""Optimistic concurrency over first-class immutable states (S12).
+
+The paper's evolution-graph view makes states values; this subsystem makes
+*schedules* values.  Workers evaluate transactions against snapshots with no
+locking (:mod:`tracking`), a validate-at-commit scheduler serializes them
+(:mod:`scheduler`) with retry/backoff on conflict (:mod:`retry`), every
+commit lands in a replayable serial log (:mod:`log`), and a metrics surface
+watches it all (:mod:`stats`).  Entry point:
+:meth:`repro.engine.Database.concurrent`.
+"""
+
+from repro.concurrent.log import CommitLog, CommitRecord, states_equivalent
+from repro.concurrent.retry import Deadline, RetryPolicy
+from repro.concurrent.scheduler import (
+    TransactionManager,
+    TransactionOutcome,
+    TransactionStatus,
+)
+from repro.concurrent.stats import ConcurrencyStats, StatsSnapshot, quantile
+from repro.concurrent.tracking import (
+    ReadWriteSet,
+    TrackingInterpreter,
+    written_relations,
+)
+
+__all__ = [
+    "CommitLog",
+    "CommitRecord",
+    "ConcurrencyStats",
+    "Deadline",
+    "ReadWriteSet",
+    "RetryPolicy",
+    "StatsSnapshot",
+    "TrackingInterpreter",
+    "TransactionManager",
+    "TransactionOutcome",
+    "TransactionStatus",
+    "quantile",
+    "states_equivalent",
+    "written_relations",
+]

@@ -1,0 +1,147 @@
+"""The serializable commit log: the winning schedule as a first-class object.
+
+The evolution graph of the paper records *which* transitions a database took;
+under concurrent execution the interesting artifact is the **serial order
+the scheduler committed** — the one path through the evolution graph that
+the winning schedule traced.  :class:`CommitLog` records one
+:class:`CommitRecord` per commit (program, arguments, snapshot version,
+read/write sets, conflicts survived, constraint results, latency) in commit
+order, and is **replayable**: running the logged programs serially from the
+initial state reconstructs the exact same final state (up to the naming of
+freshly allocated tuple identifiers), which is the operational statement of
+serializability.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
+
+from repro.db.evolution import EvolutionGraph, chain_graph
+from repro.db.state import State
+from repro.transactions.interpreter import Interpreter, _order_equivalent
+from repro.transactions.program import DatabaseProgram
+
+
+def states_equivalent(initial: State, a: State, b: State) -> bool:
+    """State equality modulo renaming of tuple identifiers allocated after
+    ``initial``.
+
+    Fresh-identifier naming depends on commit interleaving exactly the way
+    it depends on ``foreach`` enumeration order — it is an implementation
+    detail, not a semantic difference.  Identifiers that already existed in
+    ``initial`` must match exactly.
+    """
+    return _order_equivalent(initial, a, b)
+
+
+@dataclass(frozen=True)
+class CommitRecord:
+    """One committed transaction, in serial order.
+
+    ``seq`` is the position in the serial order (1-based);
+    ``snapshot_version`` is the commit count the transaction evaluated
+    against; ``conflicts`` lists, per aborted attempt, the relations that
+    collided; ``latency`` is submit-to-commit wall time in seconds.
+    """
+
+    seq: int
+    label: str
+    program: DatabaseProgram
+    args: tuple[object, ...]
+    snapshot_version: int
+    read_set: frozenset[str]
+    write_set: frozenset[str]
+    attempts: int
+    conflicts: tuple[frozenset[str], ...]
+    constraint_results: tuple[tuple[str, bool], ...]
+    latency: float
+
+    @property
+    def retried(self) -> bool:
+        return self.attempts > 1
+
+
+class CommitLog:
+    """An append-only, thread-safe log of commits in serial order."""
+
+    def __init__(self) -> None:
+        self._records: list[CommitRecord] = []
+        self._lock = threading.Lock()
+
+    def append(self, record: CommitRecord) -> None:
+        with self._lock:
+            self._records.append(record)
+
+    def records(self) -> tuple[CommitRecord, ...]:
+        with self._lock:
+            return tuple(self._records)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def __iter__(self) -> Iterator[CommitRecord]:
+        return iter(self.records())
+
+    def __getitem__(self, index: int) -> CommitRecord:
+        with self._lock:
+            return self._records[index]
+
+    def serial_order(self) -> tuple[str, ...]:
+        """The committed labels, in serial order."""
+        return tuple(r.label for r in self.records())
+
+    # -- replay ------------------------------------------------------------
+
+    def replay_states(
+        self,
+        initial: State,
+        *,
+        interpreter: Optional[Interpreter] = None,
+        encodings: Iterable = (),
+    ) -> list[State]:
+        """The serial execution of the log from ``initial``: every
+        intermediate state, starting with ``initial`` itself.
+
+        ``encodings`` should be the database's registered history encodings
+        so the replay applies the same post-transaction transforms the
+        engine did.
+        """
+        interp = interpreter or Interpreter()
+        encodings = tuple(encodings)
+        states = [initial]
+        for record in self.records():
+            before = states[-1]
+            after = record.program.run(before, *record.args, interpreter=interp)
+            for encoding in encodings:
+                after = encoding.record(before, after)
+            states.append(after)
+        return states
+
+    def replay(
+        self,
+        initial: State,
+        *,
+        interpreter: Optional[Interpreter] = None,
+        encodings: Iterable = (),
+    ) -> State:
+        """The final state of the serial execution of the log."""
+        return self.replay_states(
+            initial, interpreter=interpreter, encodings=encodings
+        )[-1]
+
+    def to_graph(
+        self,
+        initial: State,
+        *,
+        interpreter: Optional[Interpreter] = None,
+        encodings: Iterable = (),
+    ) -> EvolutionGraph:
+        """The evolution-graph path the winning schedule took: the chain of
+        replayed states with the committed labels on the arcs."""
+        states = self.replay_states(
+            initial, interpreter=interpreter, encodings=encodings
+        )
+        return chain_graph(states, list(self.serial_order()))

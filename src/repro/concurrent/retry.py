@@ -1,0 +1,78 @@
+"""Retry policies for conflicted optimistic transactions.
+
+A conflicted transaction is re-evaluated against a fresh snapshot after a
+backoff pause.  :class:`RetryPolicy` bounds the attempts and shapes the
+pause (exponential growth, a cap, and decorrelating jitter so that two
+transactions aborted by the same commit do not collide again in lockstep);
+:class:`Deadline` bounds the total wall-clock budget.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Deadline:
+    """A wall-clock budget measured from construction."""
+
+    seconds: float
+    started: float = field(default_factory=time.monotonic)
+
+    def remaining(self) -> float:
+        return self.seconds - (time.monotonic() - self.started)
+
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+    @staticmethod
+    def after(seconds: float) -> "Deadline":
+        return Deadline(seconds)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with jitter.
+
+    * ``max_attempts`` — total attempts (first run included); the
+      ``max_attempts``-th conflicted attempt aborts the transaction.
+    * ``base_delay`` — pause after the first conflict, in seconds.
+    * ``multiplier`` — growth factor per further conflict.
+    * ``max_delay`` — cap on any single pause.
+    * ``jitter`` — fraction of the pause randomized away (0 = deterministic,
+      0.5 = pause drawn uniformly from [0.5·d, d]).
+    """
+
+    max_attempts: int = 8
+    base_delay: float = 0.0005
+    multiplier: float = 2.0
+    max_delay: float = 0.05
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.base_delay < 0.0:
+            raise ValueError("base_delay must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be at least 1")
+        if self.max_delay < 0.0:
+            raise ValueError("max_delay must be non-negative")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def delay(self, attempt: int, rng: random.Random | None = None) -> float:
+        """The pause after the ``attempt``-th (1-based) conflicted attempt."""
+        raw = min(
+            self.max_delay,
+            self.base_delay * self.multiplier ** max(0, attempt - 1),
+        )
+        if self.jitter:
+            draw = (rng or random).random()
+            raw *= 1.0 - self.jitter * draw
+        return raw
+
+    def exhausted(self, attempt: int) -> bool:
+        return attempt >= self.max_attempts

@@ -1,0 +1,363 @@
+"""The optimistic parallel transaction scheduler.
+
+Many workers, one database.  Each submitted :class:`DatabaseProgram` is
+evaluated **optimistically**: the worker snapshots the current state (an
+immutable value — no lock is held during evaluation), runs the program
+through a :class:`~repro.concurrent.tracking.TrackingInterpreter`, and only
+then enters the short critical section to **validate and commit**:
+
+* *validate* — the transaction's relation footprint (reads ∪ writes) must be
+  disjoint from every write set committed since its snapshot.  Overlap means
+  the evaluation may have seen a state no serial order can explain; the
+  attempt is aborted and retried under the :class:`RetryPolicy` (exponential
+  backoff + jitter, optional :class:`Deadline`).
+* *commit* — a transaction that evaluated against an older snapshot has its
+  written relations replayed onto the current state (safe precisely because
+  validation proved nobody else touched them), then goes through
+  :meth:`Database.apply`, so history encodings, constraint enforcement,
+  history windows, and the evolution graph all see commits exactly as serial
+  execution would.
+
+Every commit is appended to the :class:`CommitLog`; replaying the log
+serially from the initial state reproduces the final state, which is the
+subsystem's serializability witness (`TransactionManager.verify_serializable`).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from enum import Enum
+from typing import TYPE_CHECKING, Callable, Iterable, Optional, Sequence
+
+from repro.errors import (
+    ConstraintViolation,
+    ReproError,
+    RetryExhausted,
+)
+from repro.db.state import State
+from repro.transactions.program import DatabaseProgram
+from repro.concurrent.log import CommitLog, CommitRecord, states_equivalent
+from repro.concurrent.retry import Deadline, RetryPolicy
+from repro.concurrent.stats import ConcurrencyStats
+from repro.concurrent.tracking import TrackingInterpreter, written_relations
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine import Database
+
+
+class TransactionStatus(Enum):
+    COMMITTED = "committed"
+    ABORTED = "aborted"  # conflicted until the retry budget ran out
+    FAILED = "failed"  # precondition/evaluation/constraint failure
+
+
+@dataclass(frozen=True)
+class TransactionOutcome:
+    """What became of one submitted transaction."""
+
+    label: str
+    status: TransactionStatus
+    state: Optional[State]
+    attempts: int
+    conflicts: tuple[frozenset[str], ...]
+    record: Optional[CommitRecord]
+    error: Optional[BaseException]
+
+    @property
+    def ok(self) -> bool:
+        return self.status is TransactionStatus.COMMITTED
+
+
+class TransactionManager:
+    """Accepts transactions from many threads; commits a serializable order.
+
+    >>> with db.concurrent(workers=8) as mgr:
+    ...     futures = [mgr.submit(deposit, "acc1", 10) for _ in range(100)]
+    ...     outcomes = [f.result() for f in futures]
+    ...     assert mgr.verify_serializable()
+
+    The manager owns a worker pool, a :class:`CommitLog`, and a
+    :class:`ConcurrencyStats` surface.  All commits go through the
+    database's :meth:`~repro.engine.Database.apply` under the manager's
+    lock; do not interleave direct ``db.execute`` calls while a manager is
+    live.
+    """
+
+    def __init__(
+        self,
+        database: "Database",
+        *,
+        workers: int = 4,
+        retry: Optional[RetryPolicy] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.database = database
+        self.workers = workers
+        self.retry = retry or RetryPolicy()
+        self.log = CommitLog()
+        self.stats = ConcurrencyStats()
+        self._lock = threading.RLock()
+        self._version = 0
+        self._committed_writes: list[tuple[int, frozenset[str]]] = []
+        self._rng = random.Random(seed)
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-txn"
+        )
+        self._initial = database.current
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self, wait: bool = True) -> None:
+        self._closed = True
+        self._executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "TransactionManager":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """The number of commits so far (the snapshot counter)."""
+        with self._lock:
+            return self._version
+
+    @property
+    def initial(self) -> State:
+        """The database state when this manager was constructed — the base
+        of the commit log's serial replay."""
+        return self._initial
+
+    def snapshot(self) -> tuple[int, State]:
+        """A consistent (version, state) pair to evaluate against."""
+        with self._lock:
+            return self._version, self.database.current
+
+    def verify_serializable(self) -> bool:
+        """Replay the commit log serially from the manager's initial state
+        and compare with the live database (up to fresh-identifier naming).
+        Sound when every commit since construction went through this
+        manager."""
+        replayed = self.log.replay(
+            self._initial,
+            interpreter=self.database.interpreter,
+            encodings=self.database.encodings,
+        )
+        return states_equivalent(self._initial, self.database.current, replayed)
+
+    # -- submission --------------------------------------------------------
+
+    def submit(
+        self,
+        program: DatabaseProgram,
+        *args: object,
+        label: Optional[str] = None,
+        think_time: float = 0.0,
+        retry: Optional[RetryPolicy] = None,
+        deadline: Optional[Deadline | float] = None,
+        on_evaluated: Optional[Callable[[int], None]] = None,
+    ) -> "Future[TransactionOutcome]":
+        """Schedule a transaction; returns a future for its outcome.
+
+        ``think_time`` models per-transaction client/IO latency (TPC-style
+        think time) inside the worker, before evaluation.  ``deadline``
+        bounds total retry wall time (a float means seconds from now).
+        ``on_evaluated(attempt)`` is an instrumentation seam invoked after
+        optimistic evaluation, before validation — tests use it to force
+        deterministic interleavings.
+        """
+        if self._closed:
+            raise ReproError("transaction manager is closed")
+        if isinstance(deadline, (int, float)):
+            deadline = Deadline.after(float(deadline))
+        return self._executor.submit(
+            self._run_task,
+            program,
+            args,
+            label or program.name,
+            think_time,
+            retry or self.retry,
+            deadline,
+            on_evaluated,
+        )
+
+    def execute(
+        self, program: DatabaseProgram, *args: object, **kwargs
+    ) -> TransactionOutcome:
+        """Submit and wait — the synchronous convenience form."""
+        return self.submit(program, *args, **kwargs).result()
+
+    def run_all(
+        self, calls: Iterable[Sequence[object]], **kwargs
+    ) -> list[TransactionOutcome]:
+        """Submit ``(program, arg, ...)`` tuples and wait for all outcomes
+        (in submission order)."""
+        futures = [self.submit(call[0], *call[1:], **kwargs) for call in calls]
+        return [f.result() for f in futures]
+
+    # -- the optimistic loop -----------------------------------------------
+
+    def _run_task(
+        self,
+        program: DatabaseProgram,
+        args: tuple[object, ...],
+        label: str,
+        think_time: float,
+        policy: RetryPolicy,
+        deadline: Optional[Deadline],
+        on_evaluated: Optional[Callable[[int], None]],
+    ) -> TransactionOutcome:
+        started = time.perf_counter()
+        conflicts: list[frozenset[str]] = []
+        attempt = 0
+        while True:
+            attempt += 1
+            snapshot_version, base = self.snapshot()
+            if think_time:
+                time.sleep(think_time)
+            tracker = TrackingInterpreter.wrapping(self.database.interpreter)
+            try:
+                after = program.run(base, *args, interpreter=tracker)
+            except ReproError as err:
+                self.stats.record_failure()
+                return TransactionOutcome(
+                    label, TransactionStatus.FAILED, None, attempt,
+                    tuple(conflicts), None, err,
+                )
+            rw = tracker.read_write_set()
+            if on_evaluated is not None:
+                on_evaluated(attempt)
+
+            with self._lock:
+                clash = self._conflicts_since(snapshot_version, rw.footprint)
+                if not clash:
+                    return self._commit_locked(
+                        program, args, label, snapshot_version, base, after,
+                        rw, attempt, conflicts, started,
+                    )
+
+            # Conflict: abort this attempt, maybe retry after backoff.
+            conflicts.append(clash)
+            self.stats.record_conflict(clash)
+            if policy.exhausted(attempt) or (deadline and deadline.expired()):
+                self.stats.record_abort()
+                return TransactionOutcome(
+                    label, TransactionStatus.ABORTED, None, attempt,
+                    tuple(conflicts), None,
+                    RetryExhausted(label, clash, attempt),
+                )
+            self.stats.record_retry()
+            pause = policy.delay(attempt, self._rng)
+            if deadline is not None:
+                pause = min(pause, max(0.0, deadline.remaining()))
+            if pause:
+                time.sleep(pause)
+
+    def _commit_locked(
+        self,
+        program: DatabaseProgram,
+        args: tuple[object, ...],
+        label: str,
+        snapshot_version: int,
+        base: State,
+        after: State,
+        rw,
+        attempt: int,
+        conflicts: list[frozenset[str]],
+        started: float,
+    ) -> TransactionOutcome:
+        """Merge, enforce, and append — caller holds the lock and has
+        already validated the footprint."""
+        current = self.database.current
+        if snapshot_version == self._version:
+            merged = after
+        else:
+            merged = self._replay_writes(base, after, rw.writes, current)
+        try:
+            final = self.database.apply(
+                merged, label=label, program_name=program.name
+            )
+        except ConstraintViolation as err:
+            self.stats.record_failure()
+            return TransactionOutcome(
+                label, TransactionStatus.FAILED, None, attempt,
+                tuple(conflicts), None, err,
+            )
+        self._version += 1
+        # The effective write set includes whatever history encodings
+        # appended at commit time, so later validations see those too.
+        effective = written_relations(current, final)
+        self._committed_writes.append((self._version, effective))
+        latency = time.perf_counter() - started
+        engine_record = self.database.records[-1]
+        record = CommitRecord(
+            seq=self._version,
+            label=label,
+            program=program,
+            args=args,
+            snapshot_version=snapshot_version,
+            read_set=rw.reads,
+            write_set=effective,
+            attempts=attempt,
+            conflicts=tuple(conflicts),
+            constraint_results=tuple(
+                (r.constraint.name, r.ok) for r in engine_record.results
+            ),
+            latency=latency,
+        )
+        self.log.append(record)
+        self.stats.record_commit(latency)
+        return TransactionOutcome(
+            label, TransactionStatus.COMMITTED, final, attempt,
+            tuple(conflicts), record, None,
+        )
+
+    def _conflicts_since(
+        self, version: int, footprint: frozenset[str]
+    ) -> frozenset[str]:
+        """Footprint ∩ (writes committed after ``version``)."""
+        clash: set[str] = set()
+        for committed_version, writes in reversed(self._committed_writes):
+            if committed_version <= version:
+                break
+            clash |= footprint & writes
+        return frozenset(clash)
+
+    def _replay_writes(
+        self,
+        snapshot: State,
+        after: State,
+        writes: frozenset[str],
+        current: State,
+    ) -> State:
+        """Graft the transaction's written relations onto ``current``.
+
+        Validation guarantees no commit since ``snapshot`` touched these
+        relations, so in ``current`` they are exactly as the transaction saw
+        them — taking the transaction's versions yields the state a serial
+        re-execution would.  ``assign_relation`` reallocates any fresh tuple
+        identifier that another commit claimed meanwhile (identifier naming
+        is an implementation detail, cf. the foreach order-equivalence
+        rule); bumping ``next_tid`` keeps future allocations fresh.
+        """
+        result = current
+        for name in sorted(writes):
+            if not after.has_relation(name):
+                continue
+            rel = after.relation(name)
+            if not result.has_relation(name):
+                result = result.create_relation(name, rel.arity)
+            result = result.assign_relation(name, rel.arity, rel.to_tuple_set())
+        if result.next_tid < after.next_tid:
+            result = State(result.relations, result.owner, after.next_tid)
+        return result

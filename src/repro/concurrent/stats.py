@@ -1,0 +1,142 @@
+"""A lightweight metrics surface for the optimistic scheduler.
+
+Counters and commit-latency quantiles, safely updatable from many worker
+threads and snapshottable without stopping the world.  The numbers mirror
+the knobs an operator tunes: a high conflict rate means the workload's
+footprints overlap (shrink transactions or partition relations), rising
+retries mean backoff is too aggressive or too timid, and the latency tail
+shows what validation plus constraint checking cost under contention.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+def quantile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank quantile of an (unsorted) non-empty sequence."""
+    if not values:
+        raise ValueError("quantile of an empty sequence")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be in [0, 1]")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+@dataclass(frozen=True)
+class StatsSnapshot:
+    """An immutable point-in-time view of the scheduler's counters."""
+
+    commits: int
+    conflicts: int
+    retries: int
+    aborts: int
+    failures: int
+    conflict_rate: float
+    mean_latency: float
+    p50_latency: float
+    p95_latency: float
+
+    def summary(self) -> str:
+        return (
+            f"commits={self.commits} conflicts={self.conflicts} "
+            f"retries={self.retries} aborts={self.aborts} "
+            f"failures={self.failures} "
+            f"conflict_rate={self.conflict_rate:.1%} "
+            f"latency(mean/p50/p95)="
+            f"{self.mean_latency * 1e3:.2f}/"
+            f"{self.p50_latency * 1e3:.2f}/"
+            f"{self.p95_latency * 1e3:.2f} ms"
+        )
+
+
+class ConcurrencyStats:
+    """Thread-safe counters for commits, conflicts, retries, and latency.
+
+    * **commit** — a transaction validated cleanly and advanced the database.
+    * **conflict** — one attempt failed validation (footprint overlapped a
+      committed write set).
+    * **retry** — a conflicted attempt that was rescheduled.
+    * **abort** — a transaction that gave up (retry budget or deadline).
+    * **failure** — a non-conflict failure (precondition, evaluation, or
+      constraint violation); never retried.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._commits = 0
+        self._conflicts = 0
+        self._retries = 0
+        self._aborts = 0
+        self._failures = 0
+        self._latencies: list[float] = []
+
+    # -- recording ---------------------------------------------------------
+
+    def record_commit(self, latency: float) -> None:
+        with self._lock:
+            self._commits += 1
+            self._latencies.append(latency)
+
+    def record_conflict(self, relations: Iterable[str] = ()) -> None:
+        with self._lock:
+            self._conflicts += 1
+
+    def record_retry(self) -> None:
+        with self._lock:
+            self._retries += 1
+
+    def record_abort(self) -> None:
+        with self._lock:
+            self._aborts += 1
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+
+    # -- reading -----------------------------------------------------------
+
+    @property
+    def commits(self) -> int:
+        with self._lock:
+            return self._commits
+
+    @property
+    def conflicts(self) -> int:
+        with self._lock:
+            return self._conflicts
+
+    def snapshot(self) -> StatsSnapshot:
+        with self._lock:
+            commits = self._commits
+            conflicts = self._conflicts
+            retries = self._retries
+            aborts = self._aborts
+            failures = self._failures
+            latencies = list(self._latencies)
+        validations = commits + conflicts
+        rate = conflicts / validations if validations else 0.0
+        if latencies:
+            mean = sum(latencies) / len(latencies)
+            p50 = quantile(latencies, 0.50)
+            p95 = quantile(latencies, 0.95)
+        else:
+            mean = p50 = p95 = 0.0
+        return StatsSnapshot(
+            commits=commits,
+            conflicts=conflicts,
+            retries=retries,
+            aborts=aborts,
+            failures=failures,
+            conflict_rate=rate,
+            mean_latency=mean,
+            p50_latency=p50,
+            p95_latency=p95,
+        )
+
+    def summary(self) -> str:
+        return self.snapshot().summary()

@@ -1,0 +1,111 @@
+"""Read/write-set tracking for optimistic transaction evaluation.
+
+The paper's states are first-class immutable snapshots, so any number of
+transactions can *evaluate* (``w:e``, ``w::p``, ``w;e``) against the same
+base state with no coordination at all.  What optimistic concurrency needs
+on top is the *footprint* of each evaluation:
+
+* the **read set** — every relation whose content the evaluation depended
+  on.  The base :class:`~repro.transactions.interpreter.Interpreter` reports
+  these through its ``_touch`` seam (relation lookups, tuple dereferences,
+  and active-domain enumerations all report); :class:`TrackingInterpreter`
+  records them.
+* the **write set** — every relation the transaction changed.  States are
+  persistent structures sharing unchanged relations, so the write set is an
+  exact identity diff of the pre- and post-state relation maps
+  (:func:`written_relations`) taken when :meth:`TrackingInterpreter.run`
+  returns.
+
+A transaction whose footprint is disjoint from every write set committed
+since its snapshot behaves identically when re-run at the new current state
+— which is exactly the validation rule the scheduler applies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.db.state import State
+from repro.logic.terms import Expr
+from repro.transactions.interpreter import Env, Interpreter
+
+
+def written_relations(before: State, after: State) -> frozenset[str]:
+    """Relations that differ between two states, by object identity.
+
+    Persistent updates replace exactly the relation objects they touch, so
+    identity comparison is both exact and O(#relations).  A relation written
+    back to an equal value still counts as written — conservative, and the
+    right call for validation.
+    """
+    if after is before:
+        return frozenset()
+    names = {
+        name
+        for name, rel in after.relations.items()
+        if before.relations.get(name) is not rel
+    }
+    names.update(name for name in before.relations if name not in after.relations)
+    return frozenset(names)
+
+
+@dataclass(frozen=True)
+class ReadWriteSet:
+    """The footprint of one optimistic evaluation."""
+
+    reads: frozenset[str]
+    writes: frozenset[str]
+
+    @property
+    def footprint(self) -> frozenset[str]:
+        return self.reads | self.writes
+
+    def conflicts_with(self, committed_writes: Iterable[str]) -> frozenset[str]:
+        """The relations on which this footprint collides with a committed
+        write set (empty = serializable to run after those commits)."""
+        return self.footprint & frozenset(committed_writes)
+
+
+@dataclass
+class TrackingInterpreter(Interpreter):
+    """An :class:`Interpreter` that records the relation footprint.
+
+    ``eval_object``/``eval_formula`` contribute reads via the base
+    interpreter's ``_touch`` seam; ``run`` additionally diffs the pre- and
+    post-states to capture writes.  One tracker instance tracks one
+    transaction attempt; use :meth:`reset` (or a fresh instance) per attempt.
+    """
+
+    reads: set[str] = field(default_factory=set)
+    writes: set[str] = field(default_factory=set)
+
+    @classmethod
+    def wrapping(cls, base: Optional[Interpreter] = None) -> "TrackingInterpreter":
+        """A tracker with the same configuration as ``base``."""
+        if base is None:
+            return cls()
+        return cls(
+            definitions=base.definitions,
+            order_check=base.order_check,
+            max_enumeration=base.max_enumeration,
+        )
+
+    # -- the hooks ---------------------------------------------------------
+
+    def _touch(self, state: State, *names: str) -> None:
+        self.reads.update(names)
+
+    def run(self, state: State, fluent: Expr, env: Env | None = None) -> State:
+        result = super().run(state, fluent, env)
+        self.writes.update(written_relations(state, result))
+        return result
+
+    # -- results -----------------------------------------------------------
+
+    def read_write_set(self) -> ReadWriteSet:
+        return ReadWriteSet(frozenset(self.reads), frozenset(self.writes))
+
+    def reset(self) -> None:
+        self.reads.clear()
+        self.writes.clear()

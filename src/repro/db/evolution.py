@@ -204,6 +204,18 @@ class History:
             raise CheckabilityError("history already started")
         self.states.append(state)
 
+    def fork(self) -> "History":
+        """An independent copy sharing the (immutable) states.
+
+        The engine forks the live history into a *candidate*, advances the
+        candidate, checks constraints against it, and adopts its lists on
+        commit — the live history is never observed mid-transaction.
+        """
+        clone = History(window=self.window)
+        clone.states = list(self.states)
+        clone.labels = list(self.labels)
+        return clone
+
     def pairs(self) -> Iterable[tuple[State, State]]:
         """Reachable ordered pairs within the window ((s_i, s_j), i <= j)."""
         for i, j in itertools.combinations_with_replacement(range(len(self.states)), 2):

@@ -121,11 +121,23 @@ class Database:
 
     def register_encoding(self, encoding: HistoryEncoding) -> None:
         """Register a history encoding; its log relation is added to the
-        schema and to the current state."""
+        schema and to the current state.
+
+        Preparing the current state replaces ``history.states[-1]``; the
+        replacement is recorded in the evolution graph as well (as a
+        ``register-encoding`` arc), so graph and history never diverge when
+        an encoding is registered mid-run.
+        """
         encoding.extend_schema(self.schema)
         self.encodings.append(encoding)
         current = self.history.states[-1]
-        self.history.states[-1] = encoding.prepare_state(current)
+        prepared = encoding.prepare_state(current)
+        if prepared is not current:
+            self.history.states[-1] = prepared
+            if self.graph is not None:
+                self.graph.add_transition(
+                    current, prepared, f"register-encoding:{encoding.log_name}"
+                )
 
     def required_window(self, constraint: Constraint) -> int | Window:
         cached = self._windows.get(constraint.name)
@@ -154,21 +166,41 @@ class Database:
         :class:`ConstraintViolation` is raised.
         """
         label = label or program.name
+        after = program.run(self.current, *args, interpreter=self.interpreter)
+        return self._commit(after, label, program.name)
+
+    def apply(
+        self,
+        after: State,
+        *,
+        label: str = "tx",
+        program_name: Optional[str] = None,
+    ) -> State:
+        """Commit a *precomputed* post-state: run encodings, enforce
+        constraints, advance history and graph.
+
+        This is the commit half of :meth:`execute`, exposed for callers that
+        evaluate transactions elsewhere — the optimistic scheduler of
+        :mod:`repro.concurrent` evaluates against snapshots off-thread and
+        commits merged states through here.  ``program_name`` enables
+        trust-pair skipping when the post-state came from a known program.
+        """
+        return self._commit(after, label, program_name)
+
+    def _commit(self, after: State, label: str, program_name: Optional[str]) -> State:
         before = self.current
-        after = program.run(before, *args, interpreter=self.interpreter)
         for encoding in self.encodings:
             after = encoding.record(before, after)
 
         record = ExecutionRecord(label)
-        candidate = History(window=self.history.window)
-        candidate.states = list(self.history.states)
-        candidate.labels = list(self.history.labels)
-        candidate.advance(after, label)
+        # The candidate history is built lazily: a transaction checked only
+        # by trusted/skipped constraints never pays for copying the window.
+        candidate: Optional[History] = None
 
         for c in self.schema.constraints:
-            if (c.name, program.name) in self._trusted:
+            if program_name is not None and (c.name, program_name) in self._trusted:
                 record.skipped.append(
-                    SkippedCheck(c, f"verified preserved by {program.name}")
+                    SkippedCheck(c, f"verified preserved by {program_name}")
                 )
                 continue
             needed = self.required_window(c)
@@ -197,6 +229,9 @@ class Database:
                     raise CheckabilityError(f"{c.name}: {reason}")
                 record.skipped.append(SkippedCheck(c, reason))
                 continue
+            if candidate is None:
+                candidate = self.history.fork()
+                candidate.advance(after, label)
             record.results.append(check_history(c, candidate, self.interpreter))
 
         self.records.append(record)
@@ -206,10 +241,36 @@ class Database:
                 failed.constraint.name, f"transaction {label} rolled back"
             )
 
-        self.history.advance(after, label)
+        if candidate is not None:
+            # The candidate already holds the advanced, window-trimmed lists;
+            # adopt them instead of re-advancing a second copy.
+            self.history.states = candidate.states
+            self.history.labels = candidate.labels
+        else:
+            self.history.advance(after, label)
         if self.graph is not None:
             self.graph.add_transition(before, after, label)
         return after
+
+    def concurrent(
+        self,
+        *,
+        workers: int = 4,
+        retry=None,
+        seed: Optional[int] = None,
+    ):
+        """An optimistic parallel scheduler over this database.
+
+        Returns a :class:`repro.concurrent.TransactionManager` whose workers
+        evaluate transactions against immutable snapshots and commit through
+        :meth:`apply` under validation — see ``repro/concurrent``.
+
+        >>> with db.concurrent(workers=8) as mgr:
+        ...     outcome = mgr.submit(domain.set_salary, "alice", 150).result()
+        """
+        from repro.concurrent.scheduler import TransactionManager
+
+        return TransactionManager(self, workers=workers, retry=retry, seed=seed)
 
     def try_execute(
         self, program: DatabaseProgram, *args: object, label: Optional[str] = None

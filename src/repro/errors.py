@@ -54,6 +54,31 @@ class CheckabilityError(ReproError):
     """A constraint cannot be checked with the maintained history."""
 
 
+class TransactionConflict(ReproError):
+    """An optimistically executed transaction could not commit: its read or
+    write footprint overlaps a write set committed since its snapshot."""
+
+    def __init__(self, label: str, relations=(), message: str = "") -> None:
+        self.label = label
+        self.relations = frozenset(relations)
+        rels = ", ".join(sorted(self.relations)) or "?"
+        detail = f": {message}" if message else ""
+        super().__init__(
+            f"transaction {label!r} conflicts on {{{rels}}}{detail}"
+        )
+
+
+class RetryExhausted(TransactionConflict):
+    """A conflicted transaction ran out of retry budget (attempts or
+    deadline) and was permanently aborted."""
+
+    def __init__(self, label: str, relations=(), attempts: int = 0) -> None:
+        self.attempts = attempts
+        super().__init__(
+            label, relations, f"gave up after {attempts} attempt(s)"
+        )
+
+
 class ProofError(ReproError):
     """The prover failed (resource limits, malformed input, ...)."""
 

@@ -167,17 +167,31 @@ class Interpreter:
             )
         raise EvaluationError(f"cannot evaluate {type(expr).__name__} as an object")
 
+    def _touch(self, state: State, *names: str) -> None:
+        """Read-set seam: called with every relation name an evaluation step
+        depends on (including relations found missing — their appearance
+        would change the result).  The base interpreter ignores the report;
+        :class:`repro.concurrent.tracking.TrackingInterpreter` records it."""
+
     def _deref(self, state: State, value: object) -> Value:
         """Fluent tuple variables denote *the tuple with that identifier* at
         the evaluation state; fall back to the bound snapshot when the tuple
         no longer exists there."""
         if isinstance(value, DBTuple) and value.tid is not None:
+            owner = state.owner_of(value.tid)
+            if owner is not None:
+                self._touch(state, owner)
+            else:
+                # The identifier is dead here; any relation gaining it back
+                # would change the dereference.
+                self._touch(state, *state.relation_names())
             current = state.lookup_tuple(value.tid)
             if current is not None:
                 return current
         return value  # type: ignore[return-value]
 
     def _relation(self, state: State, name: str, arity: int) -> Relation:
+        self._touch(state, name)
         if not state.has_relation(name):
             raise EvaluationError(f"state has no relation {name!r}")
         rel = state.relation(name)
@@ -565,16 +579,26 @@ class Interpreter:
             narrowed = self._membership_domain(state, var, cond, env)
             if narrowed is not None:
                 return narrowed
+            self._touch(
+                state,
+                *(
+                    n
+                    for n in state.relation_names()
+                    if state.relation(n).arity == var.sort.arity
+                ),
+            )
             domain = list(state.tuples_of_arity(var.sort.arity))
             domain.extend(self._constructed_candidates(state, var, cond, env))
             return _dedupe_tuples(domain)
         if var.sort.is_atom:
+            self._touch(state, *state.relation_names())
             atoms: set[Atom] = set(state.atoms())
             for node in cond.iter_subnodes():
                 if isinstance(node, AtomConst):
                     atoms.add(node.value)
             return sorted(atoms, key=lambda a: (isinstance(a, str), a))
         if var.sort.is_set:
+            self._touch(state, *state.relation_names())
             return [
                 rel.to_tuple_set()
                 for rel in (state.relation(n) for n in state.relation_names())

@@ -52,6 +52,25 @@ class DatabaseProgram:
     def is_query(self) -> bool:
         return not self.is_transaction
 
+    def mentioned_relations(self) -> frozenset[str]:
+        """Relation names syntactically mentioned by the body and the
+        precondition — a static over-approximation of the program's runtime
+        relation footprint.  The optimistic scheduler
+        (:mod:`repro.concurrent`) uses it to predict conflicts before any
+        evaluation has happened; the exact read/write sets are still taken
+        from the tracking interpreter at run time.
+        """
+        from repro.logic.terms import RelConst, RelIdConst
+
+        names: set[str] = set()
+        nodes = list(self.body.iter_subnodes())
+        if self.precondition is not None:
+            nodes.extend(self.precondition.iter_subnodes())
+        for node in nodes:
+            if isinstance(node, (RelConst, RelIdConst)):
+                names.add(node.name)
+        return frozenset(names)
+
     def instantiate(self, *args: Expr) -> Expr:
         """The body with parameters replaced by argument *expressions*."""
         if len(args) != len(self.params):

@@ -159,3 +159,83 @@ class TestQueries:
         )
         result = db.query(q, "alice")
         assert sorted(result.first_column()) == [40, 60]
+
+
+class TestEncodingGraphConsistency:
+    def test_register_encoding_records_replacement_in_graph(self, domain):
+        """Registering an encoding mid-run replaces history.states[-1]; the
+        evolution graph must record that replacement instead of silently
+        diverging from the history."""
+        db = Database(domain.schema, window=2, initial=domain.sample_state())
+        start = db.current
+        db.execute(domain.set_salary, "alice", 150)
+        pre_registration = db.current
+        db.register_encoding(domain.fire_encoding())
+        prepared = db.current
+
+        assert prepared != pre_registration  # the FIRE relation was added
+        assert prepared in db.graph.states()
+        labels = [
+            t.label for t in db.graph.direct_transitions_from(pre_registration)
+        ]
+        assert "register-encoding:FIRE" in labels
+        assert db.graph.reachable(start, prepared)
+
+        # Subsequent executions chain off the prepared node.
+        db.execute(domain.fire, "dan")
+        assert db.graph.reachable(prepared, db.current)
+
+    def test_register_encoding_on_fresh_db_stays_consistent(self, domain):
+        db = Database(domain.schema, window=2, initial=domain.sample_state())
+        db.register_encoding(domain.fire_encoding())
+        assert db.current in db.graph.states()
+        assert db.history.current == db.current
+
+
+class TestLazyCandidate:
+    def test_no_candidate_copy_without_checkable_constraints(self, domain, monkeypatch):
+        """A constraint-free execution must not fork the history window."""
+        from repro.db.evolution import History
+
+        db = Database(domain.schema, window=2, initial=domain.sample_state())
+
+        def explode(self):
+            raise AssertionError("history forked on a check-free execution")
+
+        monkeypatch.setattr(History, "fork", explode)
+        db.execute(domain.set_salary, "alice", 150)
+        assert len(db.history) == 2
+
+    def test_trusted_constraints_skip_candidate_copy(self, domain, monkeypatch):
+        from repro.db.evolution import History
+
+        domain.schema.add_constraint(domain.once_married())
+        db = Database(domain.schema, window=2, initial=domain.sample_state())
+        db.trust("once-married", "set-salary")
+
+        def explode(self):
+            raise AssertionError("history forked despite full trust")
+
+        monkeypatch.setattr(History, "fork", explode)
+        db.execute(domain.set_salary, "alice", 150)
+        (skip,) = db.records[0].skipped
+        assert "verified preserved" in skip.reason
+
+    def test_candidate_forked_once_when_checking(self, domain, monkeypatch):
+        from repro.db.evolution import History
+
+        domain.install_constraints(
+            "every-employee-allocated", "alloc-references-project"
+        )
+        db = Database(domain.schema, window=2, initial=domain.sample_state())
+        forks = []
+        original = History.fork
+
+        def counting(self):
+            forks.append(1)
+            return original(self)
+
+        monkeypatch.setattr(History, "fork", counting)
+        db.execute(domain.set_salary, "alice", 150)
+        assert len(forks) == 1  # one fork serves every checked constraint
+        assert db.records[0].ok and len(db.records[0].results) == 2
