@@ -31,6 +31,7 @@ Subsystem map (see DESIGN.md):
 * :mod:`repro.domains` — the paper's employee database (S10)
 * :mod:`repro.lang` — the surface syntax (S11)
 * :mod:`repro.concurrent` — optimistic parallel scheduling + commit log (S12)
+* :mod:`repro.storage` — write-ahead journal, checkpoints, crash recovery (S13)
 """
 
 from repro.concurrent import (
@@ -91,6 +92,13 @@ from repro.errors import (
     TransactionConflict,
 )
 from repro.lang import parse, parse_formula, parse_transaction
+from repro.storage import (
+    Journal,
+    JournalRecord,
+    Recovery,
+    Store,
+    state_digest,
+)
 from repro.transactions import (
     DatabaseProgram,
     Env,
@@ -131,4 +139,6 @@ __all__ = [
     "RetryPolicy", "Deadline", "CommitLog", "CommitRecord",
     "TrackingInterpreter", "ReadWriteSet", "ConcurrencyStats",
     "states_equivalent",
+    # storage
+    "Store", "Recovery", "Journal", "JournalRecord", "state_digest",
 ]

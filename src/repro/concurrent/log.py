@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Optional
+from typing import Iterable, Iterator, Optional, Union, overload
 
 from repro.db.evolution import EvolutionGraph, chain_graph
 from repro.db.state import State
@@ -85,9 +85,30 @@ class CommitLog:
     def __iter__(self) -> Iterator[CommitRecord]:
         return iter(self.records())
 
-    def __getitem__(self, index: int) -> CommitRecord:
+    @overload
+    def __getitem__(self, index: int) -> CommitRecord: ...
+
+    @overload
+    def __getitem__(self, index: slice) -> tuple[CommitRecord, ...]: ...
+
+    def __getitem__(
+        self, index: Union[int, slice]
+    ) -> Union[CommitRecord, tuple[CommitRecord, ...]]:
+        """Indexing in serial order; negative indices count back from the
+        newest commit and slices return an immutable snapshot tuple."""
         with self._lock:
+            if isinstance(index, slice):
+                return tuple(self._records[index])
             return self._records[index]
+
+    def tail(self, n: int) -> tuple[CommitRecord, ...]:
+        """The last ``n`` commits, oldest first — what recovery diagnostics
+        print next to a journal tail (``n`` larger than the log is the whole
+        log; ``n <= 0`` is empty)."""
+        if n <= 0:
+            return ()
+        with self._lock:
+            return tuple(self._records[-n:])
 
     def serial_order(self) -> tuple[str, ...]:
         """The committed labels, in serial order."""

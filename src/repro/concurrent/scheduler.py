@@ -285,7 +285,11 @@ class TransactionManager:
             merged = self._replay_writes(base, after, rw.writes, current)
         try:
             final = self.database.apply(
-                merged, label=label, program_name=program.name
+                merged,
+                label=label,
+                program_name=program.name,
+                args=args,
+                snapshot_version=snapshot_version,
             )
         except ConstraintViolation as err:
             self.stats.record_failure()

@@ -12,7 +12,8 @@ from __future__ import annotations
 
 import math
 import threading
-from dataclasses import dataclass
+from collections import Counter
+from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 
@@ -40,9 +41,12 @@ class StatsSnapshot:
     mean_latency: float
     p50_latency: float
     p95_latency: float
+    top_conflicts: tuple[tuple[str, int], ...] = field(default=())
+    """The most conflicted-on relations as ``(name, count)``, hottest first
+    — the operator's partitioning hint (count ties break alphabetically)."""
 
     def summary(self) -> str:
-        return (
+        text = (
             f"commits={self.commits} conflicts={self.conflicts} "
             f"retries={self.retries} aborts={self.aborts} "
             f"failures={self.failures} "
@@ -52,6 +56,10 @@ class StatsSnapshot:
             f"{self.p50_latency * 1e3:.2f}/"
             f"{self.p95_latency * 1e3:.2f} ms"
         )
+        if self.top_conflicts:
+            hot = ", ".join(f"{name}:{n}" for name, n in self.top_conflicts)
+            text += f" hot_relations=[{hot}]"
+        return text
 
 
 class ConcurrencyStats:
@@ -66,7 +74,7 @@ class ConcurrencyStats:
       constraint violation); never retried.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, top_k: int = 5) -> None:
         self._lock = threading.Lock()
         self._commits = 0
         self._conflicts = 0
@@ -74,6 +82,8 @@ class ConcurrencyStats:
         self._aborts = 0
         self._failures = 0
         self._latencies: list[float] = []
+        self._conflict_relations: Counter[str] = Counter()
+        self._top_k = top_k
 
     # -- recording ---------------------------------------------------------
 
@@ -83,8 +93,11 @@ class ConcurrencyStats:
             self._latencies.append(latency)
 
     def record_conflict(self, relations: Iterable[str] = ()) -> None:
+        """Count one failed validation; ``relations`` are the footprint
+        members that collided with a committed write set."""
         with self._lock:
             self._conflicts += 1
+            self._conflict_relations.update(relations)
 
     def record_retry(self) -> None:
         with self._lock:
@@ -110,6 +123,11 @@ class ConcurrencyStats:
         with self._lock:
             return self._conflicts
 
+    def conflicts_by_relation(self) -> dict[str, int]:
+        """Per-relation conflict counts (every relation, not just the top)."""
+        with self._lock:
+            return dict(self._conflict_relations)
+
     def snapshot(self) -> StatsSnapshot:
         with self._lock:
             commits = self._commits
@@ -118,6 +136,7 @@ class ConcurrencyStats:
             aborts = self._aborts
             failures = self._failures
             latencies = list(self._latencies)
+            by_relation = dict(self._conflict_relations)
         validations = commits + conflicts
         rate = conflicts / validations if validations else 0.0
         if latencies:
@@ -136,6 +155,11 @@ class ConcurrencyStats:
             mean_latency=mean,
             p50_latency=p50,
             p95_latency=p95,
+            top_conflicts=tuple(
+                sorted(by_relation.items(), key=lambda kv: (-kv[1], kv[0]))[
+                    : self._top_k
+                ]
+            ),
         )
 
     def summary(self) -> str:

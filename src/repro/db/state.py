@@ -205,9 +205,20 @@ class State:
 
     # -- identity ------------------------------------------------------------------
 
-    def digest(self) -> int:
-        """A content hash identifying this state in the evolution graph."""
-        return hash(self)
+    def digest(self) -> str:
+        """A stable content digest identifying this state across processes.
+
+        SHA-256 over the canonical serialization (sorted relations, sorted
+        tuple identifiers, the allocator) — unlike ``hash()``, which Python
+        salts per process, the digest of the same state content is the same
+        in every process, which is what snapshot/journal integrity checks
+        and cross-process comparison need.  Note it is finer than ``==``:
+        states differing only in ``next_tid`` compare equal but digest
+        differently, because recovery must reproduce the allocator too.
+        """
+        from repro.storage.serialize import state_digest
+
+        return state_digest(self)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, State):

@@ -23,9 +23,9 @@ Section 1.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
-from repro.errors import CheckabilityError, ConstraintViolation
+from repro.errors import CheckabilityError, ConstraintViolation, ReproError
 from repro.constraints.checkability import analyze
 from repro.constraints.checker import CheckResult, check_history
 from repro.constraints.history import HistoryEncoding
@@ -36,6 +36,9 @@ from repro.db.schema import Schema
 from repro.db.values import Value
 from repro.transactions.interpreter import Interpreter
 from repro.transactions.program import DatabaseProgram
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.storage.store import Recovery, Store
 
 
 @dataclass
@@ -88,6 +91,8 @@ class Database:
         self.records: list[ExecutionRecord] = []
         self._windows: dict[str, int | Window] = {}
         self._trusted: set[tuple[str, str]] = set()
+        self.store: Optional["Store"] = None
+        self._durable_seq = 0
 
     # -- configuration -------------------------------------------------------
 
@@ -146,6 +151,86 @@ class Database:
             self._windows[constraint.name] = cached
         return cached
 
+    # -- durability ------------------------------------------------------------
+
+    def durable(
+        self,
+        path,
+        *,
+        checkpoint_every: int = 64,
+        sync: str = "commit",
+        keep_snapshots: int = 2,
+    ) -> "Store":
+        """Persist every commit from now on to a store directory at ``path``.
+
+        A fresh directory gets the current state as checkpoint 0; attaching
+        to an existing store requires its recovered tail to equal the live
+        state (use :meth:`from_store` to *resume* a persisted run).  Each
+        subsequent commit appends a journal record inside the commit
+        critical section — under the optimistic scheduler that is the same
+        lock that serializes validation, so the journal order **is** the
+        serial order.
+        """
+        from repro.storage.store import Store
+
+        store = Store(
+            path,
+            checkpoint_every=checkpoint_every,
+            sync=sync,
+            keep_snapshots=keep_snapshots,
+        )
+        if store.is_fresh():
+            store.initialize(self.current)
+            self._durable_seq = 0
+        else:
+            recovery = store.recover()
+            if recovery.state != self.current:
+                store.close()
+                raise ReproError(
+                    f"store {store.path} holds a different run "
+                    f"({recovery.summary()}); recover with Database.from_store"
+                )
+            self._durable_seq = recovery.seq
+        self.store = store
+        return store
+
+    @classmethod
+    def from_store(
+        cls,
+        schema: Schema,
+        path,
+        *,
+        checkpoint_every: int = 64,
+        sync: str = "commit",
+        keep_snapshots: int = 2,
+        **db_kwargs,
+    ) -> tuple["Database", "Recovery"]:
+        """Recover a persisted run and resume it durably.
+
+        Returns the database positioned at the recovered state plus the
+        :class:`~repro.storage.store.Recovery` evidence (how many commits
+        came from the snapshot vs. the journal tail, and whether the journal
+        ended cleanly).
+        """
+        from repro.storage.store import Store
+
+        store = Store(
+            path,
+            checkpoint_every=checkpoint_every,
+            sync=sync,
+            keep_snapshots=keep_snapshots,
+        )
+        recovery = store.recover()
+        db = cls(schema, initial=recovery.state, **db_kwargs)
+        db.store = store
+        db._durable_seq = recovery.seq
+        return db, recovery
+
+    def close(self) -> None:
+        """Flush and release the durable store, if any."""
+        if self.store is not None:
+            self.store.close()
+
     # -- access ----------------------------------------------------------------
 
     @property
@@ -167,7 +252,7 @@ class Database:
         """
         label = label or program.name
         after = program.run(self.current, *args, interpreter=self.interpreter)
-        return self._commit(after, label, program.name)
+        return self._commit(after, label, program.name, args=args)
 
     def apply(
         self,
@@ -175,6 +260,8 @@ class Database:
         *,
         label: str = "tx",
         program_name: Optional[str] = None,
+        args: tuple[object, ...] = (),
+        snapshot_version: Optional[int] = None,
     ) -> State:
         """Commit a *precomputed* post-state: run encodings, enforce
         constraints, advance history and graph.
@@ -183,11 +270,23 @@ class Database:
         evaluate transactions elsewhere — the optimistic scheduler of
         :mod:`repro.concurrent` evaluates against snapshots off-thread and
         commits merged states through here.  ``program_name`` enables
-        trust-pair skipping when the post-state came from a known program.
+        trust-pair skipping when the post-state came from a known program;
+        ``args`` and ``snapshot_version`` flow into the journal's logical
+        metadata when the database is durable.
         """
-        return self._commit(after, label, program_name)
+        return self._commit(
+            after, label, program_name, args=args, snapshot_version=snapshot_version
+        )
 
-    def _commit(self, after: State, label: str, program_name: Optional[str]) -> State:
+    def _commit(
+        self,
+        after: State,
+        label: str,
+        program_name: Optional[str],
+        *,
+        args: tuple[object, ...] = (),
+        snapshot_version: Optional[int] = None,
+    ) -> State:
         before = self.current
         for encoding in self.encodings:
             after = encoding.record(before, after)
@@ -250,6 +349,21 @@ class Database:
             self.history.advance(after, label)
         if self.graph is not None:
             self.graph.add_transition(before, after, label)
+        if self.store is not None:
+            # Journal *after* the in-memory commit succeeded: a violated
+            # constraint never reaches disk, and a crash between the
+            # in-memory advance and the append merely shortens the
+            # recoverable prefix by this one commit.
+            self._durable_seq += 1
+            self.store.log_commit(
+                before,
+                after,
+                seq=self._durable_seq,
+                label=label,
+                program=program_name,
+                args=args,
+                snapshot_version=snapshot_version,
+            )
         return after
 
     def concurrent(

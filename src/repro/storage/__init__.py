@@ -1,0 +1,64 @@
+"""Durability for the transaction engine (S13).
+
+The paper treats a database as an explicit run of states; this subsystem
+persists that run.  A **write-ahead journal** (:mod:`journal`) appends one
+CRC-framed record per commit — the physical relation delta plus the logical
+metadata (label, args, snapshot version) of the winning schedule;
+**checkpointed snapshots** (:mod:`snapshot`) atomically pin a state every N
+commits and truncate the journal; **crash recovery**
+(:meth:`~repro.storage.store.Store.recover`) re-derives the longest provable
+prefix of the run; and a **fault-injection harness** (:mod:`faults`) proves
+the prefix property under simulated kills, torn writes, and bit flips.
+Entry point: :meth:`repro.engine.Database.durable`.
+"""
+
+from repro.storage.journal import (
+    Journal,
+    JournalRecord,
+    JournalScan,
+    read_journal,
+    scan_journal,
+)
+from repro.storage.serialize import (
+    SerializationError,
+    apply_delta,
+    canonical_bytes,
+    decode_args,
+    doc_to_state,
+    encode_args,
+    state_bytes,
+    state_delta,
+    state_digest,
+    state_to_doc,
+)
+from repro.storage.snapshot import (
+    load_snapshot,
+    snapshot_filename,
+    snapshot_seq,
+    write_snapshot,
+)
+from repro.storage.store import Recovery, Store
+
+__all__ = [
+    "Journal",
+    "JournalRecord",
+    "JournalScan",
+    "Recovery",
+    "SerializationError",
+    "Store",
+    "apply_delta",
+    "canonical_bytes",
+    "decode_args",
+    "doc_to_state",
+    "encode_args",
+    "load_snapshot",
+    "read_journal",
+    "scan_journal",
+    "snapshot_filename",
+    "snapshot_seq",
+    "state_bytes",
+    "state_delta",
+    "state_digest",
+    "state_to_doc",
+    "write_snapshot",
+]

@@ -1,0 +1,243 @@
+"""The write-ahead journal: one CRC-framed record per commit.
+
+File layout::
+
+    REPROWAL1\\n                          10-byte file header
+    frame*                               zero or more frames
+
+    frame := b"RJ"                       2-byte frame marker
+           | length  (uint32, big-endian)
+           | crc32   (uint32, big-endian, over payload)
+           | payload (canonical JSON, `length` bytes)
+
+Append is the only write operation; a record is durable once its frame is on
+disk (``sync="commit"`` fsyncs every append, ``sync="os"`` leaves flushing
+to the OS — that still survives a process kill, just not a power cut).
+
+Reading is **prefix-safe by construction**: :func:`scan_journal` walks frames
+from the start and stops at the first incomplete header, short payload, bad
+marker, CRC mismatch, or undecodable payload.  Everything before the stop
+point is exactly the sequence of commits that reached disk — a torn tail or
+a flipped bit can only shorten the recovered prefix, never corrupt it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ReproError
+from repro.storage.serialize import canonical_bytes
+
+FILE_MAGIC = b"REPROWAL1\n"
+FRAME_MAGIC = b"RJ"
+_HEADER_SIZE = 2 + 4 + 4  # marker + length + crc32
+_MAX_PAYLOAD = 1 << 28  # 256 MiB: anything larger is corruption, not data
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One committed transaction as it lands on disk.
+
+    ``delta`` is the physical layer recovery replays; ``label`` /
+    ``program`` / ``args`` / ``snapshot_version`` are the logical layer —
+    enough to correlate a journal tail with a
+    :class:`~repro.concurrent.log.CommitLog` and to re-run registered
+    programs (:mod:`repro.transactions.library`) for diagnostics.
+    ``post_digest`` is the SHA-256 of the post-commit content of the
+    relations this commit touched (plus the allocator) — an O(|delta|)
+    check chaining each record to the exact state it produced.
+    """
+
+    seq: int
+    label: str
+    program: Optional[str]
+    args: tuple
+    snapshot_version: Optional[int]
+    delta: dict
+    post_digest: str
+
+    def to_doc(self) -> dict:
+        return {
+            "seq": self.seq,
+            "label": self.label,
+            "program": self.program,
+            "args": list(self.args),
+            "snapshot_version": self.snapshot_version,
+            "delta": self.delta,
+            "post_digest": self.post_digest,
+        }
+
+    @staticmethod
+    def from_doc(doc: dict) -> "JournalRecord":
+        return JournalRecord(
+            seq=int(doc["seq"]),
+            label=doc["label"],
+            program=doc.get("program"),
+            args=tuple(doc.get("args", ())),
+            snapshot_version=doc.get("snapshot_version"),
+            delta=doc["delta"],
+            post_digest=doc["post_digest"],
+        )
+
+
+def encode_frame(record: JournalRecord) -> bytes:
+    payload = canonical_bytes(record.to_doc())
+    return (
+        FRAME_MAGIC
+        + struct.pack(">I", len(payload))
+        + struct.pack(">I", zlib.crc32(payload) & 0xFFFFFFFF)
+        + payload
+    )
+
+
+@dataclass(frozen=True)
+class JournalScan:
+    """The result of reading a journal file defensively.
+
+    ``clean`` is True when the file ended exactly at a frame boundary;
+    ``valid_bytes`` is the offset of the last good frame's end (the point a
+    repair tool would truncate to); ``reason`` says why the scan stopped.
+    ``boundaries`` holds the byte offset after the header and after each
+    good frame — the crash points :mod:`repro.storage.faults` enumerates.
+    """
+
+    records: tuple[JournalRecord, ...]
+    clean: bool
+    valid_bytes: int
+    reason: str
+    boundaries: tuple[int, ...]
+
+
+def scan_journal(data: bytes) -> JournalScan:
+    """Parse journal bytes, stopping cleanly at the first bad frame."""
+    if len(data) < len(FILE_MAGIC):
+        return JournalScan((), False, 0, "torn or missing file header", ())
+    if data[: len(FILE_MAGIC)] != FILE_MAGIC:
+        return JournalScan((), False, 0, "bad file magic", ())
+    records: list[JournalRecord] = []
+    offset = len(FILE_MAGIC)
+    boundaries = [offset]
+
+    def stop(clean: bool, reason: str) -> JournalScan:
+        return JournalScan(
+            tuple(records), clean, boundaries[-1], reason, tuple(boundaries)
+        )
+
+    while True:
+        remaining = len(data) - offset
+        if remaining == 0:
+            return stop(True, "end of journal")
+        if remaining < _HEADER_SIZE:
+            return stop(False, f"torn frame header at offset {offset}")
+        if data[offset : offset + 2] != FRAME_MAGIC:
+            return stop(False, f"bad frame marker at offset {offset}")
+        (length,) = struct.unpack_from(">I", data, offset + 2)
+        (crc,) = struct.unpack_from(">I", data, offset + 6)
+        if length > _MAX_PAYLOAD:
+            return stop(False, f"implausible frame length at offset {offset}")
+        start = offset + _HEADER_SIZE
+        if len(data) - start < length:
+            return stop(False, f"torn payload at offset {offset}")
+        payload = data[start : start + length]
+        if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+            return stop(False, f"CRC mismatch at offset {offset}")
+        try:
+            record = JournalRecord.from_doc(json.loads(payload))
+        except (ValueError, KeyError, TypeError):
+            return stop(False, f"undecodable payload at offset {offset}")
+        records.append(record)
+        offset = start + length
+        boundaries.append(offset)
+
+
+def read_journal(path: str | os.PathLike) -> JournalScan:
+    """Scan the journal at ``path`` (a missing file is an empty, clean
+    journal — checkpoint truncation replaces the file atomically, so absence
+    means nothing was ever journaled)."""
+    try:
+        with open(path, "rb") as fh:
+            data = fh.read()
+    except FileNotFoundError:
+        return JournalScan((), True, 0, "no journal file", ())
+    return scan_journal(data)
+
+
+class Journal:
+    """Append-only writer over the frame format.
+
+    Not thread-safe by itself: the engine appends inside the commit critical
+    section, which already serializes writers.
+    """
+
+    def __init__(self, path: str | os.PathLike, *, sync: str = "commit") -> None:
+        if sync not in ("commit", "os"):
+            raise ReproError(f"unknown journal sync policy {sync!r}")
+        self.path = os.fspath(path)
+        self.sync = sync
+        self._fh = None
+
+    def _ensure_open(self):
+        if self._fh is None:
+            fresh = (
+                not os.path.exists(self.path)
+                or os.path.getsize(self.path) == 0
+            )
+            self._fh = open(self.path, "ab")
+            if fresh:
+                self._fh.write(FILE_MAGIC)
+                self._fh.flush()
+                if self.sync == "commit":
+                    os.fsync(self._fh.fileno())
+        return self._fh
+
+    def append(self, record: JournalRecord) -> None:
+        fh = self._ensure_open()
+        fh.write(encode_frame(record))
+        fh.flush()
+        if self.sync == "commit":
+            os.fsync(fh.fileno())
+
+    def flush(self) -> None:
+        if self._fh is not None:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self.flush()
+            self._fh.close()
+            self._fh = None
+
+    def replace_with(self, records: tuple[JournalRecord, ...]) -> None:
+        """Atomically rewrite the journal to contain only ``records`` —
+        checkpoint truncation.  Either the old journal or the new one exists
+        at every instant (temp file + fsync + rename)."""
+        self.close()
+        directory = os.path.dirname(self.path) or "."
+        tmp = self.path + ".tmp"
+        with open(tmp, "wb") as fh:
+            fh.write(FILE_MAGIC)
+            for record in records:
+                fh.write(encode_frame(record))
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+        _fsync_dir(directory)
+
+
+def _fsync_dir(directory: str) -> None:
+    """Persist a rename by fsyncing the containing directory (best-effort
+    on platforms whose directories cannot be opened)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)

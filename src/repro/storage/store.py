@@ -1,0 +1,266 @@
+"""The durable store: a directory holding one journal plus checkpoints.
+
+Layout of a store directory::
+
+    wal.log                     the write-ahead journal (repro.storage.journal)
+    snap-<seq>.ckpt             checkpointed snapshots (repro.storage.snapshot)
+
+The store's contract is the paper's evolution-graph view made persistent: a
+database run is a sequence of states ``s0, s1, ..., sn``; the newest valid
+snapshot pins some ``sk`` and the journal tail carries the physical deltas
+``k+1 .. n``.  :meth:`Store.recover` therefore always re-derives a **prefix
+of the run** — committed transactions reappear in commit order, a torn or
+corrupt journal tail only shortens the prefix, and nothing outside the
+committed chain can ever be produced (each record's ``post_digest`` is
+checked as the delta is replayed).
+
+Checkpointing every ``checkpoint_every`` commits bounds recovery time: a
+snapshot is written atomically and the journal is truncated to the records
+it does not cover (normally none).  Crashing between those two steps is
+safe — recovery skips journal records at or below the snapshot's sequence.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.db.state import State
+from repro.errors import ReproError
+from repro.storage.journal import (
+    Journal,
+    JournalRecord,
+    JournalScan,
+    read_journal,
+)
+from repro.storage.serialize import (
+    SerializationError,
+    apply_delta,
+    delta_touched,
+    encode_args,
+    state_delta,
+    touched_digest,
+)
+from repro.storage.snapshot import (
+    load_snapshot,
+    snapshot_filename,
+    snapshot_seq,
+    write_snapshot,
+)
+
+JOURNAL_NAME = "wal.log"
+
+
+@dataclass(frozen=True)
+class Recovery:
+    """What :meth:`Store.recover` re-derived from disk.
+
+    ``state`` equals the run's state after commit ``seq`` —
+    ``snapshot_seq`` commits came from the snapshot and
+    ``len(replayed)`` more from the journal tail.  ``clean`` is True when
+    the journal ended at a frame boundary with no sequence gap or digest
+    mismatch; otherwise ``reason`` says where and why replay stopped.
+    """
+
+    state: State
+    seq: int
+    snapshot_seq: int
+    replayed: tuple[JournalRecord, ...]
+    clean: bool
+    reason: str
+
+    def summary(self) -> str:
+        status = "clean" if self.clean else f"stopped: {self.reason}"
+        return (
+            f"recovered to seq={self.seq} "
+            f"(snapshot {self.snapshot_seq} + {len(self.replayed)} journal "
+            f"records, {status})"
+        )
+
+
+class Store:
+    """A durable home for one database's run.
+
+    >>> store = Store("/var/lib/repro/bank")
+    >>> store.initialize(db.current)        # fresh store: checkpoint 0
+    >>> ...                                 # engine calls log_commit per commit
+    >>> recovery = Store("/var/lib/repro/bank").recover()
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        *,
+        checkpoint_every: int = 64,
+        sync: str = "commit",
+        keep_snapshots: int = 2,
+    ) -> None:
+        if checkpoint_every < 1:
+            raise ReproError("checkpoint_every must be at least 1")
+        if keep_snapshots < 1:
+            raise ReproError("keep_snapshots must be at least 1")
+        self.path = os.fspath(path)
+        self.checkpoint_every = checkpoint_every
+        self.keep_snapshots = keep_snapshots
+        os.makedirs(self.path, exist_ok=True)
+        self.journal = Journal(self.journal_path, sync=sync)
+
+    # -- paths -------------------------------------------------------------
+
+    @property
+    def journal_path(self) -> str:
+        return os.path.join(self.path, JOURNAL_NAME)
+
+    def snapshot_files(self) -> list[tuple[int, str]]:
+        """(seq, path) of every snapshot on disk, newest first."""
+        found: list[tuple[int, str]] = []
+        for name in os.listdir(self.path):
+            seq = snapshot_seq(name)
+            if seq is not None:
+                found.append((seq, os.path.join(self.path, name)))
+        return sorted(found, reverse=True)
+
+    def is_fresh(self) -> bool:
+        """True when nothing has ever been persisted here."""
+        return not self.snapshot_files() and not read_journal(
+            self.journal_path
+        ).records
+
+    # -- writing -----------------------------------------------------------
+
+    def initialize(self, state: State) -> None:
+        """Record the run's base state as checkpoint 0 (fresh stores only)."""
+        if not self.is_fresh():
+            raise ReproError(f"store {self.path} already holds a run")
+        write_snapshot(os.path.join(self.path, snapshot_filename(0)), 0, state)
+
+    def log_commit(
+        self,
+        before: State,
+        after: State,
+        *,
+        seq: int,
+        label: str,
+        program: Optional[str] = None,
+        args: tuple[object, ...] = (),
+        snapshot_version: Optional[int] = None,
+    ) -> JournalRecord:
+        """Journal one commit (and checkpoint when the interval is due).
+
+        Called by the engine inside the commit critical section, so appends
+        are naturally serialized in commit order.
+        """
+        delta = state_delta(before, after)
+        record = JournalRecord(
+            seq=seq,
+            label=label,
+            program=program,
+            args=tuple(encode_args(tuple(args))),
+            snapshot_version=snapshot_version,
+            delta=delta,
+            post_digest=touched_digest(after, delta_touched(delta)),
+        )
+        self.journal.append(record)
+        if seq % self.checkpoint_every == 0:
+            self.checkpoint(after, seq)
+        return record
+
+    def checkpoint(self, state: State, seq: int) -> None:
+        """Write a snapshot for ``seq`` and truncate the journal to the
+        records it does not cover."""
+        write_snapshot(
+            os.path.join(self.path, snapshot_filename(seq)), seq, state
+        )
+        scan = read_journal(self.journal_path)
+        keep = tuple(r for r in scan.records if r.seq > seq)
+        self.journal.replace_with(keep)
+        self._prune_snapshots()
+
+    def _prune_snapshots(self) -> None:
+        for _, stale in self.snapshot_files()[self.keep_snapshots :]:
+            try:
+                os.remove(stale)
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+
+    def sync(self) -> None:
+        self.journal.flush()
+
+    def close(self) -> None:
+        self.journal.close()
+
+    def __enter__(self) -> "Store":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- recovery ----------------------------------------------------------
+
+    def recover(self) -> Recovery:
+        """Re-derive the longest provable prefix of the persisted run.
+
+        Loads the newest *valid* snapshot (corrupt ones fall back to older
+        ones), then replays journal records in sequence order, stopping
+        cleanly at the first torn/corrupt frame, sequence gap, or post-state
+        digest mismatch.
+        """
+        base: Optional[tuple[int, State]] = None
+        skipped_snapshots = 0
+        for seq, path in self.snapshot_files():
+            loaded = load_snapshot(path)
+            if loaded is not None:
+                base = loaded
+                break
+            skipped_snapshots += 1
+        if base is None:
+            raise ReproError(
+                f"store {self.path} has no valid snapshot — not initialized, "
+                f"or every checkpoint is corrupt"
+            )
+        snapshot_at, state = base
+        scan: JournalScan = read_journal(self.journal_path)
+        clean = scan.clean
+        reason = scan.reason
+        if skipped_snapshots:
+            clean = False
+            reason = (
+                f"{skipped_snapshots} corrupt snapshot(s) skipped; {reason}"
+            )
+        seq = snapshot_at
+        replayed: list[JournalRecord] = []
+        for record in scan.records:
+            if record.seq <= seq:
+                continue  # already inside the snapshot (checkpoint crash)
+            if record.seq != seq + 1:
+                clean = False
+                reason = (
+                    f"sequence gap: journal resumes at {record.seq} "
+                    f"but recovery reached {seq}"
+                )
+                break
+            try:
+                candidate = apply_delta(state, record.delta)
+            except SerializationError as err:
+                clean = False
+                reason = f"record {record.seq} delta unreplayable: {err}"
+                break
+            if (
+                touched_digest(candidate, delta_touched(record.delta))
+                != record.post_digest
+            ):
+                clean = False
+                reason = f"record {record.seq} post-state digest mismatch"
+                break
+            state = candidate
+            seq = record.seq
+            replayed.append(record)
+        return Recovery(
+            state=state,
+            seq=seq,
+            snapshot_seq=snapshot_at,
+            replayed=tuple(replayed),
+            clean=clean,
+            reason=reason,
+        )

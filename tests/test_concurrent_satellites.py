@@ -1,0 +1,228 @@
+"""Satellite coverage: quantile edges, states_equivalent bookkeeping,
+per-relation conflict stats, and commit-log indexing."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import Database, Schema, transaction
+from repro.concurrent import ConcurrencyStats, quantile, states_equivalent
+from repro.concurrent.log import CommitLog
+from repro.db.state import State, state_from_rows
+from repro.logic import builder as b
+
+
+@pytest.fixture()
+def schema():
+    s = Schema()
+    s.add_relation("A", ("k", "v"))
+    s.add_relation("B", ("k", "v"))
+    return s
+
+
+# ---------------------------------------------------------------------------
+# quantile edge cases
+# ---------------------------------------------------------------------------
+
+
+class TestQuantileEdges:
+    def test_single_element_every_q(self):
+        for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+            assert quantile([7.0], q) == 7.0
+
+    def test_q_zero_is_minimum(self):
+        assert quantile([5.0, 1.0, 3.0], 0.0) == 1.0
+
+    def test_q_one_is_maximum(self):
+        assert quantile([5.0, 1.0, 3.0], 1.0) == 5.0
+
+    def test_ties_collapse_to_the_tied_value(self):
+        values = [2.0, 2.0, 2.0, 9.0]
+        assert quantile(values, 0.5) == 2.0
+        assert quantile(values, 0.75) == 2.0
+        assert quantile(values, 1.0) == 9.0
+
+    def test_unsorted_input_and_two_elements(self):
+        assert quantile([9.0, 1.0], 0.5) == 1.0
+        assert quantile([9.0, 1.0], 0.51) == 9.0
+
+    def test_out_of_range_q_rejected(self):
+        with pytest.raises(ValueError):
+            quantile([1.0], -0.01)
+        with pytest.raises(ValueError):
+            quantile([1.0], 1.01)
+
+
+# ---------------------------------------------------------------------------
+# states_equivalent bookkeeping-only differences
+# ---------------------------------------------------------------------------
+
+
+class TestStatesEquivalentBookkeeping:
+    def test_next_tid_only_difference_is_equivalent(self, schema):
+        initial = state_from_rows(schema, {"A": [(1, 2)]})
+        bumped = State(initial.relations, initial.owner, initial.next_tid + 7)
+        assert states_equivalent(initial, initial, bumped)
+
+    def test_owner_only_difference_is_equivalent(self, schema):
+        initial = state_from_rows(schema, {"A": [(1, 2)]})
+        # Stale owner entry for a tuple no relation holds: pure bookkeeping.
+        dirty_owner = dict(initial.owner)
+        dirty_owner[999] = "B"
+        dirty = State(initial.relations, dirty_owner, initial.next_tid)
+        assert states_equivalent(initial, initial, dirty)
+
+    def test_fresh_identifier_renaming_is_equivalent(self, schema):
+        initial = state_from_rows(schema, {"A": [(1, 2)]})
+        from repro.db.values import DBTuple
+
+        a, _ = initial.insert_tuple("A", DBTuple(None, (8, 8)))
+        a, _ = a.insert_tuple("A", DBTuple(None, (9, 9)))
+        b2, _ = initial.insert_tuple("A", DBTuple(None, (9, 9)))
+        b2, _ = b2.insert_tuple("A", DBTuple(None, (8, 8)))
+        assert states_equivalent(initial, a, b2)
+
+    def test_pre_existing_identifier_must_match(self, schema):
+        initial = state_from_rows(schema, {"A": [(1, 2), (3, 4)]})
+        first, second = sorted(
+            initial.relation("A"), key=lambda t: t.tid
+        )
+        # Swap the two pre-existing identifiers: same values, different ids.
+        swapped = initial.delete_tuple("A", first).delete_tuple("A", second)
+        from repro.db.values import DBTuple
+
+        swapped, _ = swapped.insert_tuple(
+            "A", DBTuple(first.tid, second.values)
+        )
+        swapped, _ = swapped.insert_tuple(
+            "A", DBTuple(second.tid, first.values)
+        )
+        assert not states_equivalent(initial, initial, swapped)
+
+    def test_value_difference_is_not_equivalent(self, schema):
+        initial = state_from_rows(schema, {"A": [(1, 2)]})
+        other = state_from_rows(schema, {"A": [(1, 3)]})
+        assert not states_equivalent(initial, initial, other)
+
+
+# ---------------------------------------------------------------------------
+# per-relation conflict stats
+# ---------------------------------------------------------------------------
+
+
+class TestConflictRelationStats:
+    def test_counts_accumulate_per_relation(self):
+        stats = ConcurrencyStats()
+        stats.record_conflict({"A", "B"})
+        stats.record_conflict({"A"})
+        stats.record_conflict()
+        assert stats.conflicts == 3
+        assert stats.conflicts_by_relation() == {"A": 2, "B": 1}
+
+    def test_snapshot_orders_hottest_first_with_name_tiebreak(self):
+        stats = ConcurrencyStats()
+        for _ in range(3):
+            stats.record_conflict({"Z"})
+        for _ in range(3):
+            stats.record_conflict({"A"})
+        stats.record_conflict({"M"})
+        snap = stats.snapshot()
+        assert snap.top_conflicts == (("A", 3), ("Z", 3), ("M", 1))
+        assert "hot_relations=[A:3, Z:3, M:1]" in snap.summary()
+
+    def test_top_k_truncates(self):
+        stats = ConcurrencyStats(top_k=2)
+        for name in ("R1", "R2", "R3"):
+            stats.record_conflict({name})
+        assert len(stats.snapshot().top_conflicts) == 2
+
+    def test_no_conflicts_means_no_hot_section(self):
+        snap = ConcurrencyStats().snapshot()
+        assert snap.top_conflicts == ()
+        assert "hot_relations" not in snap.summary()
+
+    def test_thread_safety_under_concurrent_recording(self):
+        stats = ConcurrencyStats()
+
+        def hammer():
+            for _ in range(200):
+                stats.record_conflict({"HOT"})
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert stats.conflicts_by_relation() == {"HOT": 800}
+
+    def test_scheduler_populates_relation_counts(self, schema):
+        """A forced conflict on relation A shows up by name."""
+        x, y = b.atom_var("x"), b.atom_var("y")
+        put_a = transaction("put-a", (x, y), b.insert(b.mktuple(x, y), "A"))
+        db = Database(schema, window=2)
+        with db.concurrent(workers=2, seed=3) as mgr:
+            first_evaluated = threading.Event()
+            release_second = threading.Event()
+
+            def gate_first(attempt):
+                first_evaluated.set()
+                release_second.wait(timeout=5)
+
+            def gate_second(attempt):
+                if attempt == 1:
+                    first_evaluated.wait(timeout=5)
+
+            f1 = mgr.submit(put_a, 1, 1, on_evaluated=gate_second)
+            f2 = mgr.submit(put_a, 2, 2, on_evaluated=gate_first)
+            release_second.set()
+            assert f1.result().ok and f2.result().ok
+        by_relation = mgr.stats.conflicts_by_relation()
+        if mgr.stats.conflicts:  # the interleaving fired: A is the culprit
+            assert set(by_relation) == {"A"}
+            assert mgr.stats.snapshot().top_conflicts[0][0] == "A"
+
+
+# ---------------------------------------------------------------------------
+# commit-log indexing
+# ---------------------------------------------------------------------------
+
+
+def _filled_log(schema, n=5):
+    x, y = b.atom_var("x"), b.atom_var("y")
+    put = transaction("put-a", (x, y), b.insert(b.mktuple(x, y), "A"))
+    db = Database(schema, window=2)
+    with db.concurrent(workers=1, seed=5) as mgr:
+        for i in range(n):
+            assert mgr.execute(put, i, i).ok
+    return mgr.log
+
+
+class TestCommitLogIndexing:
+    def test_negative_indices(self, schema):
+        log = _filled_log(schema)
+        assert log[-1].seq == 5 and log[-5].seq == 1
+        assert log[-1] == log[4]
+
+    def test_slices_return_tuples(self, schema):
+        log = _filled_log(schema)
+        assert [r.seq for r in log[1:3]] == [2, 3]
+        assert [r.seq for r in log[::2]] == [1, 3, 5]
+        assert [r.seq for r in log[::-1]] == [5, 4, 3, 2, 1]
+        assert isinstance(log[1:3], tuple)
+        assert log[3:2] == ()
+
+    def test_out_of_range_raises(self, schema):
+        log = _filled_log(schema)
+        with pytest.raises(IndexError):
+            log[5]
+        with pytest.raises(IndexError):
+            log[-6]
+
+    def test_tail(self, schema):
+        log = _filled_log(schema)
+        assert [r.seq for r in log.tail(2)] == [4, 5]
+        assert [r.seq for r in log.tail(99)] == [1, 2, 3, 4, 5]
+        assert log.tail(0) == () and log.tail(-3) == ()
+        assert CommitLog().tail(4) == ()

@@ -1,0 +1,156 @@
+"""Journal framing, defensive scanning, and atomic snapshots."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import ReproError
+from repro.storage.journal import (
+    FILE_MAGIC,
+    Journal,
+    JournalRecord,
+    encode_frame,
+    read_journal,
+    scan_journal,
+)
+from repro.storage.snapshot import (
+    load_snapshot,
+    snapshot_filename,
+    snapshot_seq,
+    write_snapshot,
+)
+
+
+def record(seq: int, label: str = "t") -> JournalRecord:
+    return JournalRecord(
+        seq=seq,
+        label=label,
+        program=label,
+        args=(seq,),
+        snapshot_version=seq - 1,
+        delta={"next_tid": seq + 1, "created": [], "dropped": [], "changes": {}},
+        post_digest="0" * 64,
+    )
+
+
+@pytest.fixture()
+def journal_path(tmp_path):
+    return tmp_path / "wal.log"
+
+
+class TestJournalAppendScan:
+    def test_roundtrip(self, journal_path):
+        j = Journal(journal_path)
+        for i in range(1, 4):
+            j.append(record(i))
+        j.close()
+        scan = read_journal(journal_path)
+        assert scan.clean and [r.seq for r in scan.records] == [1, 2, 3]
+        assert scan.records[0].args == (1,)
+        assert len(scan.boundaries) == 4  # header + three frames
+
+    def test_missing_file_is_empty_clean(self, tmp_path):
+        scan = read_journal(tmp_path / "absent.log")
+        assert scan.clean and scan.records == ()
+
+    def test_sync_policy_validated(self, journal_path):
+        with pytest.raises(ReproError):
+            Journal(journal_path, sync="fsync-sometimes")
+
+    def test_torn_header_stops_cleanly(self, journal_path):
+        j = Journal(journal_path)
+        j.append(record(1))
+        j.close()
+        data = journal_path.read_bytes() + b"RJ\x00"
+        scan = scan_journal(data)
+        assert not scan.clean and len(scan.records) == 1
+        assert "torn" in scan.reason
+
+    def test_torn_payload_stops_cleanly(self, journal_path):
+        j = Journal(journal_path)
+        j.append(record(1))
+        j.append(record(2))
+        j.close()
+        data = journal_path.read_bytes()
+        scan = scan_journal(data[:-5])
+        assert not scan.clean and [r.seq for r in scan.records] == [1]
+        assert scan.valid_bytes == scan.boundaries[-1]
+
+    def test_crc_mismatch_stops(self, journal_path):
+        j = Journal(journal_path)
+        j.append(record(1))
+        j.close()
+        data = bytearray(journal_path.read_bytes())
+        data[-1] ^= 0xFF  # damage the last payload byte
+        scan = scan_journal(bytes(data))
+        assert not scan.clean and scan.records == ()
+        assert "CRC" in scan.reason
+
+    def test_bad_file_magic(self):
+        scan = scan_journal(b"NOTAWAL123" + encode_frame(record(1)))
+        assert not scan.clean and scan.records == ()
+
+    def test_garbage_after_good_frames(self, journal_path):
+        j = Journal(journal_path)
+        j.append(record(1))
+        j.close()
+        blob = journal_path.read_bytes() + b"\x00" * 64
+        scan = scan_journal(blob)
+        assert [r.seq for r in scan.records] == [1] and not scan.clean
+
+    def test_replace_with_truncates(self, journal_path):
+        j = Journal(journal_path)
+        for i in range(1, 6):
+            j.append(record(i))
+        j.replace_with(tuple(r for r in read_journal(journal_path).records if r.seq > 3))
+        scan = read_journal(journal_path)
+        assert scan.clean and [r.seq for r in scan.records] == [4, 5]
+        # The writer still appends correctly after a rewrite.
+        j.append(record(6))
+        j.close()
+        assert [r.seq for r in read_journal(journal_path).records] == [4, 5, 6]
+
+    def test_reopen_appends_without_duplicate_header(self, journal_path):
+        j = Journal(journal_path)
+        j.append(record(1))
+        j.close()
+        j2 = Journal(journal_path)
+        j2.append(record(2))
+        j2.close()
+        data = journal_path.read_bytes()
+        assert data.count(FILE_MAGIC) == 1
+        assert [r.seq for r in read_journal(journal_path).records] == [1, 2]
+
+
+class TestSnapshots:
+    def test_roundtrip(self, tmp_path, tiny_state):
+        path = tmp_path / snapshot_filename(7)
+        write_snapshot(path, 7, tiny_state)
+        seq, state = load_snapshot(path)
+        assert seq == 7 and state == tiny_state
+        assert state.next_tid == tiny_state.next_tid
+
+    def test_filename_seq_roundtrip(self):
+        assert snapshot_seq(snapshot_filename(123)) == 123
+        assert snapshot_seq("wal.log") is None
+        assert snapshot_seq("snap-xyz.ckpt") is None
+
+    def test_corrupt_snapshot_loads_as_none(self, tmp_path, tiny_state):
+        path = tmp_path / snapshot_filename(1)
+        write_snapshot(path, 1, tiny_state)
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0x40
+        path.write_bytes(bytes(data))
+        assert load_snapshot(path) is None
+
+    def test_truncated_snapshot_loads_as_none(self, tmp_path, tiny_state):
+        path = tmp_path / snapshot_filename(1)
+        write_snapshot(path, 1, tiny_state)
+        path.write_bytes(path.read_bytes()[:-3])
+        assert load_snapshot(path) is None
+
+    def test_write_is_atomic_no_stray_tmp(self, tmp_path, tiny_state):
+        write_snapshot(tmp_path / snapshot_filename(2), 2, tiny_state)
+        assert [f for f in os.listdir(tmp_path) if f.endswith(".tmp")] == []

@@ -1,0 +1,115 @@
+"""Canonical serialization, digests, and physical deltas."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.state import State, state_from_rows
+from repro.db.values import DBTuple
+from repro.storage.serialize import (
+    SerializationError,
+    apply_delta,
+    decode_args,
+    doc_to_state,
+    encode_args,
+    state_bytes,
+    state_delta,
+    state_digest,
+    state_to_doc,
+)
+
+
+def same_content(a: State, b: State) -> bool:
+    """Exact content equality: relations, identifiers, and allocator."""
+    return a == b and a.next_tid == b.next_tid and dict(a.owner) == dict(b.owner)
+
+
+class TestCanonicalSerialization:
+    def test_roundtrip_preserves_content(self, tiny_state):
+        rebuilt = doc_to_state(state_to_doc(tiny_state))
+        assert same_content(rebuilt, tiny_state)
+
+    def test_bytes_deterministic_across_construction_orders(self, tiny_schema):
+        a = state_from_rows(tiny_schema, {"R": [(1, 2), (3, 4)], "S": []})
+        # Same tuples inserted in a different relation order.
+        b = State()
+        b = b.create_relation("S", 3)
+        b = b.create_relation("R", 2)
+        b, _ = b.insert_tuple("R", DBTuple(1, (1, 2)))
+        b, _ = b.insert_tuple("R", DBTuple(2, (3, 4)))
+        b = State(b.relations, b.owner, a.next_tid)
+        assert state_bytes(a) == state_bytes(b)
+        assert state_digest(a) == state_digest(b)
+
+    def test_digest_is_stable_hex_and_content_sensitive(self, tiny_state):
+        d = state_digest(tiny_state)
+        assert len(d) == 64 and int(d, 16) >= 0
+        changed = tiny_state.delete_tuple(
+            "R", next(iter(tiny_state.relation("R")))
+        )
+        assert state_digest(changed) != d
+
+    def test_digest_distinguishes_next_tid(self, tiny_state):
+        bumped = State(
+            tiny_state.relations, tiny_state.owner, tiny_state.next_tid + 1
+        )
+        assert bumped == tiny_state  # == ignores the allocator
+        assert state_digest(bumped) != state_digest(tiny_state)
+
+    def test_state_digest_method_agrees(self, tiny_state):
+        assert tiny_state.digest() == state_digest(tiny_state)
+
+    def test_malformed_document_raises(self):
+        with pytest.raises(SerializationError):
+            doc_to_state({"relations": {"R": {"arity": 2, "rows": [[1, [1]]]}}})
+        with pytest.raises(SerializationError):
+            doc_to_state({"next_tid": 1})
+
+
+class TestDelta:
+    def test_insert_delete_modify_roundtrip(self, tiny_state):
+        after = tiny_state
+        after, _ = after.insert_tuple("R", DBTuple(None, (9, 9)))
+        victim = next(iter(after.relation("S")))
+        after = after.delete_tuple("S", victim)
+        target = next(iter(after.relation("R")))
+        after = after.modify_tuple(target, 2, 77)
+        delta = state_delta(tiny_state, after)
+        assert same_content(apply_delta(tiny_state, delta), after)
+
+    def test_relation_creation_and_drop(self, tiny_state):
+        created = tiny_state.create_relation("NEW", 1)
+        created, _ = created.insert_tuple("NEW", DBTuple(None, (5,)))
+        delta = state_delta(tiny_state, created)
+        assert same_content(apply_delta(tiny_state, delta), created)
+        # And the reverse direction drops the relation again.
+        back = state_delta(created, tiny_state)
+        assert same_content(apply_delta(created, back), tiny_state)
+
+    def test_empty_delta_is_identity(self, tiny_state):
+        delta = state_delta(tiny_state, tiny_state)
+        assert delta["changes"] == {} and not delta["created"]
+        assert same_content(apply_delta(tiny_state, delta), tiny_state)
+
+    def test_assign_style_rewrite(self, tiny_state):
+        from repro.db.values import TupleSet
+
+        replacement = TupleSet.of(
+            2, [DBTuple(None, (8, 8)), next(iter(tiny_state.relation("R")))]
+        )
+        rewritten = tiny_state.assign_relation("R", 2, replacement)
+        delta = state_delta(tiny_state, rewritten)
+        assert same_content(apply_delta(tiny_state, delta), rewritten)
+
+
+class TestArgsEncoding:
+    def test_atoms_pass_through(self):
+        assert decode_args(encode_args(("alice", 7))) == ("alice", 7)
+
+    def test_tuples_roundtrip_values(self):
+        (decoded,) = decode_args(encode_args((DBTuple(3, (1, "x")),)))
+        assert isinstance(decoded, DBTuple) and decoded.values == (1, "x")
+
+    def test_unknown_values_degrade_to_repr(self):
+        (decoded,) = decode_args(encode_args(([1, 2],)))
+        assert decoded == repr([1, 2])
