@@ -1,0 +1,88 @@
+"""Observability: profile a workload, read the flame, scrape the metrics.
+
+``Database.profile()`` attaches a tracer for the duration of the block and
+yields a profile: one span per interpreter step (composition segment,
+condition branch, foreach iteration, atomic action), a self-time breakdown
+across all traced transactions, and the database's metrics registry — which
+the optimistic scheduler and the durable store report into whether or not a
+profile is active.
+
+Run:  PYTHONPATH=src python examples/observability.py [out-dir]
+
+When an output directory is given, the profile document (JSON) and the
+Prometheus-style exposition are written there — this is what the CI
+artifact step collects.
+"""
+
+import os
+import sys
+
+from repro import Database, Schema, transaction
+from repro.logic import builder as b
+
+
+def main() -> None:
+    schema = Schema()
+    schema.add_relation("ORDERS", ("id", "amount"))
+    schema.add_relation("SHIPPED", ("id", "amount"))
+    schema.add_relation("LOG", ("id", "note"))
+
+    x, y = b.atom_var("x"), b.atom_var("y")
+    t = b.ftup_var("t", 2)
+    place = transaction("place", (x, y), b.insert(b.mktuple(x, y), "ORDERS"))
+    ship_all = transaction(
+        "ship-all",
+        (),
+        b.foreach(
+            t,
+            b.member(t, b.rel("ORDERS", 2)),
+            b.seq(b.insert(t, "SHIPPED"), b.delete(t, "ORDERS")),
+        ),
+    )
+    audit = transaction(
+        "audit",
+        (x, y),
+        b.ifthen(
+            b.exists(t, b.member(t, b.rel("SHIPPED", 2))),
+            b.insert(b.mktuple(x, y), "LOG"),
+        ),
+    )
+
+    db = Database(schema, window=2)
+
+    with db.profile() as prof:
+        # A concurrent burst of order placements (the scheduler reports
+        # commit/latency metrics into db.metrics as it goes) ...
+        with db.concurrent(workers=4, seed=13) as mgr:
+            outcomes = mgr.run_all(
+                [(place, i, 10 * i) for i in range(12)], think_time=0.001
+            )
+            assert all(o.ok for o in outcomes)
+        # ... then a serial batch transaction and a conditional audit.
+        db.execute(ship_all)
+        db.execute(audit, 1, "shipped-batch")
+
+    print("=== per-transaction flame (ship-all) ===")
+    ship = next(p for p in prof.transactions() if p.label == "ship-all")
+    print(ship.flame(min_fraction=0.02))
+
+    print("\n=== hot steps across the whole block ===")
+    print(prof.render(top=8))
+
+    print("\n=== metrics exposition (excerpt) ===")
+    for line in prof.exposition().splitlines():
+        if "repro_commits" in line or "repro_txn_latency" in line:
+            print(line)
+
+    if len(sys.argv) > 1:
+        out = sys.argv[1]
+        os.makedirs(out, exist_ok=True)
+        with open(os.path.join(out, "profile.json"), "w") as fh:
+            fh.write(prof.to_json(indent=2))
+        with open(os.path.join(out, "metrics.prom"), "w") as fh:
+            fh.write(prof.exposition())
+        print(f"\nwrote profile.json and metrics.prom to {out}/")
+
+
+if __name__ == "__main__":
+    main()

@@ -32,6 +32,7 @@ Subsystem map (see DESIGN.md):
 * :mod:`repro.lang` — the surface syntax (S11)
 * :mod:`repro.concurrent` — optimistic parallel scheduling + commit log (S12)
 * :mod:`repro.storage` — write-ahead journal, checkpoints, crash recovery (S13)
+* :mod:`repro.obs` — tracing, metrics, profiling hooks (S14)
 """
 
 from repro.concurrent import (
@@ -92,6 +93,13 @@ from repro.errors import (
     TransactionConflict,
 )
 from repro.lang import parse, parse_formula, parse_transaction
+from repro.obs import (
+    MetricsRegistry,
+    Profile,
+    Span,
+    Tracer,
+    profile_from_json,
+)
 from repro.storage import (
     Journal,
     JournalRecord,
@@ -141,4 +149,6 @@ __all__ = [
     "states_equivalent",
     # storage
     "Store", "Recovery", "Journal", "JournalRecord", "state_digest",
+    # observability
+    "MetricsRegistry", "Tracer", "Span", "Profile", "profile_from_json",
 ]

@@ -101,7 +101,9 @@ class TransactionManager:
         self.workers = workers
         self.retry = retry or RetryPolicy()
         self.log = CommitLog()
-        self.stats = ConcurrencyStats()
+        self.stats = ConcurrencyStats(
+            metrics=getattr(database, "metrics", None)
+        )
         self._lock = threading.RLock()
         self._version = 0
         self._committed_writes: list[tuple[int, frozenset[str]]] = []
@@ -261,6 +263,7 @@ class TransactionManager:
             if deadline is not None:
                 pause = min(pause, max(0.0, deadline.remaining()))
             if pause:
+                self.stats.record_backoff(pause)
                 time.sleep(pause)
 
     def _commit_locked(

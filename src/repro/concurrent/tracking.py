@@ -82,19 +82,24 @@ class TrackingInterpreter(Interpreter):
 
     @classmethod
     def wrapping(cls, base: Optional[Interpreter] = None) -> "TrackingInterpreter":
-        """A tracker with the same configuration as ``base``."""
+        """A tracker with the same configuration as ``base`` (including any
+        attached tracer, so profiled runs trace scheduler workers too)."""
         if base is None:
             return cls()
         return cls(
             definitions=base.definitions,
             order_check=base.order_check,
             max_enumeration=base.max_enumeration,
+            tracer=base.tracer,
         )
 
     # -- the hooks ---------------------------------------------------------
 
     def _touch(self, state: State, *names: str) -> None:
         self.reads.update(names)
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.touch(names)
 
     def run(self, state: State, fluent: Expr, env: Env | None = None) -> State:
         result = super().run(state, fluent, env)

@@ -22,8 +22,9 @@ Section 1.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Iterator, Optional
 
 from repro.errors import CheckabilityError, ConstraintViolation, ReproError
 from repro.constraints.checkability import analyze
@@ -34,6 +35,9 @@ from repro.db.evolution import EvolutionGraph, History
 from repro.db.state import State, initial_state
 from repro.db.schema import Schema
 from repro.db.values import Value
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import Profile
+from repro.obs.trace import Tracer
 from repro.transactions.interpreter import Interpreter
 from repro.transactions.program import DatabaseProgram
 
@@ -77,9 +81,11 @@ class Database:
         interpreter: Optional[Interpreter] = None,
         strict: bool = False,
         record_graph: bool = True,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.schema = schema
         self.interpreter = interpreter or Interpreter()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.strict = strict
         self.encodings: list[HistoryEncoding] = []
         self.history = History(window=window)
@@ -178,6 +184,7 @@ class Database:
             checkpoint_every=checkpoint_every,
             sync=sync,
             keep_snapshots=keep_snapshots,
+            metrics=self.metrics,
         )
         if store.is_fresh():
             store.initialize(self.current)
@@ -223,6 +230,10 @@ class Database:
         recovery = store.recover()
         db = cls(schema, initial=recovery.state, **db_kwargs)
         db.store = store
+        # The store predates the database here; adopt its registry so
+        # journal/checkpoint latencies land beside the scheduler's metrics.
+        store.metrics = db.metrics
+        store.journal.metrics = db.metrics
         db._durable_seq = recovery.seq
         return db, recovery
 
@@ -385,6 +396,35 @@ class Database:
         from repro.concurrent.scheduler import TransactionManager
 
         return TransactionManager(self, workers=workers, retry=retry, seed=seed)
+
+    @contextmanager
+    def profile(self, *, max_spans: int = 100_000) -> Iterator[Profile]:
+        """Trace every transaction executed inside the block.
+
+        Attaches a :class:`~repro.obs.trace.Tracer` to this database's
+        interpreter for the duration and yields a
+        :class:`~repro.obs.profile.Profile`: per-transaction flame-style
+        breakdowns (one span per composition segment, condition branch, and
+        ``foreach`` iteration, carrying the touched relations), plus the
+        database's metrics registry, exportable as JSON
+        (:meth:`~repro.obs.profile.Profile.to_json`) or Prometheus text
+        (:meth:`~repro.obs.profile.Profile.exposition`).
+
+        Works under the optimistic scheduler too — tracking interpreters
+        wrap the database interpreter and inherit its tracer, so concurrent
+        workers trace into the same profile.
+
+        >>> with db.profile() as prof:
+        ...     db.execute(domain.hire, "erin", "cs", 90, 25, "S")
+        >>> print(prof.render())
+        """
+        tracer = Tracer(max_spans=max_spans)
+        previous = self.interpreter.tracer
+        self.interpreter.tracer = tracer
+        try:
+            yield Profile(tracer, self.metrics)
+        finally:
+            self.interpreter.tracer = previous
 
     def try_execute(
         self, program: DatabaseProgram, *args: object, label: Optional[str] = None

@@ -1,0 +1,40 @@
+"""Observability over the transaction engine (S14).
+
+The paper's semantics make every state transition an explicit object; this
+subsystem makes every *execution step* one as well:
+
+* :mod:`repro.obs.trace` — span trees for interpreter steps (composition
+  segments, condition branches, ``foreach`` iterations, atomic actions),
+  each carrying the touched relations reported through the
+  ``Interpreter._touch`` seam;
+* :mod:`repro.obs.metrics` — counters/gauges/histograms (p50/p95/p99) fed
+  by the scheduler, journal, and store, with JSON and Prometheus-style
+  text exports;
+* :mod:`repro.obs.profile` — :meth:`repro.engine.Database.profile`'s
+  flame-style per-transaction breakdown.
+
+Entry points: ``Database(metrics=...)``, ``Database.profile()``, and
+``Interpreter(tracer=...)``.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.profile import Profile, TransactionProfile, profile_from_json
+from repro.obs.trace import NULL_TRACER, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "Profile",
+    "Span",
+    "Tracer",
+    "TransactionProfile",
+    "profile_from_json",
+]

@@ -1,0 +1,293 @@
+"""The metrics surface: counters, gauges, and latency histograms.
+
+One :class:`MetricsRegistry` serves a whole :class:`~repro.engine.Database`:
+the optimistic scheduler reports commit/conflict/retry/backoff events, the
+journal reports append and fsync latencies, the store reports checkpoint
+latencies, and :meth:`~repro.engine.Database.profile` folds the registry
+into its report.  Everything is thread-safe (workers record concurrently)
+and snapshottable without stopping the world.
+
+Two export formats:
+
+* :meth:`MetricsRegistry.to_doc` — a JSON-compatible document (machines);
+* :meth:`MetricsRegistry.exposition` — Prometheus-style text (scrapers),
+  rendering histograms as summaries with ``quantile`` labels.
+
+Instruments are identified by ``(name, labels)`` — the Prometheus data
+model — so per-relation conflict counters are one metric family::
+
+    registry.counter("repro_conflicts_total", relation="EMP").inc()
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Iterable, Mapping, Optional
+
+from repro.concurrent.stats import quantile
+
+LabelSet = tuple[tuple[str, str], ...]
+
+QUANTILES = (0.5, 0.95, 0.99)
+
+
+def _labelset(labels: Mapping[str, object]) -> LabelSet:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _label_suffix(labels: LabelSet, extra: LabelSet = ()) -> str:
+    merged = labels + extra
+    if not merged:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in merged)
+    return "{" + inner + "}"
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def to_doc(self) -> dict:
+        return {"value": self.value}
+
+
+class Gauge:
+    """A value that goes up and down (pool depth, live snapshot count)."""
+
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def to_doc(self) -> dict:
+        return {"value": self.value}
+
+
+class Histogram:
+    """A sample distribution with nearest-rank p50/p95/p99.
+
+    Keeps a bounded window of the most recent ``window`` observations for
+    quantiles (count and sum stay exact over the full stream).  Quantiles of
+    an empty window are 0.0 and of a single sample are that sample — the
+    0-/1-/2-sample edges are well-defined, never an exception (see
+    :func:`repro.concurrent.stats.quantile`).
+    """
+
+    kind = "histogram"
+
+    def __init__(self, window: int = 8192) -> None:
+        if window < 1:
+            raise ValueError("histogram window must be at least 1")
+        self._lock = threading.Lock()
+        self._window = window
+        self._samples: list[float] = []
+        self._next = 0  # ring-buffer write position once the window is full
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            self._min = min(self._min, value)
+            self._max = max(self._max, value)
+            if len(self._samples) < self._window:
+                self._samples.append(value)
+            else:
+                self._samples[self._next] = value
+                self._next = (self._next + 1) % self._window
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def percentile(self, q: float) -> float:
+        with self._lock:
+            samples = list(self._samples)
+        return quantile(samples, q, default=0.0)
+
+    def to_doc(self) -> dict:
+        with self._lock:
+            samples = list(self._samples)
+            count, total = self._count, self._sum
+            lo = self._min if count else 0.0
+            hi = self._max if count else 0.0
+        return {
+            "count": count,
+            "sum": total,
+            "min": lo,
+            "max": hi,
+            "quantiles": {
+                f"p{int(q * 100)}": quantile(samples, q, default=0.0)
+                for q in QUANTILES
+            },
+        }
+
+
+Instrument = "Counter | Gauge | Histogram"
+
+
+class MetricsRegistry:
+    """A named collection of instruments, keyed by ``(name, labels)``.
+
+    ``counter``/``gauge``/``histogram`` get-or-create, so call sites never
+    coordinate registration; asking for an existing name with a different
+    instrument kind is an error (one family, one kind).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict[tuple[str, LabelSet], object] = {}
+        self._help: dict[str, str] = {}
+
+    # -- get-or-create -----------------------------------------------------
+
+    def _get(self, factory, name: str, help: str, labels: Mapping[str, object]):
+        key = (name, _labelset(labels))
+        with self._lock:
+            found = self._instruments.get(key)
+            if found is None:
+                found = factory()
+                self._instruments[key] = found
+                if help:
+                    self._help.setdefault(name, help)
+            elif not isinstance(found, factory):
+                raise ValueError(
+                    f"metric {name} is a {type(found).__name__.lower()}, "
+                    f"not a {factory.__name__.lower()}"
+                )
+            return found
+
+    def counter(self, name: str, help: str = "", **labels: object) -> Counter:
+        return self._get(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", **labels: object) -> Gauge:
+        return self._get(Gauge, name, help, labels)
+
+    def histogram(self, name: str, help: str = "", **labels: object) -> Histogram:
+        return self._get(Histogram, name, help, labels)
+
+    # -- reading -----------------------------------------------------------
+
+    def families(self) -> dict[str, list[tuple[LabelSet, object]]]:
+        """Instruments grouped by family name, label-sorted (deterministic
+        regardless of registration order or hash seed)."""
+        with self._lock:
+            items = list(self._instruments.items())
+        grouped: dict[str, list[tuple[LabelSet, object]]] = {}
+        for (name, labels), instrument in sorted(
+            items, key=lambda kv: (kv[0][0], kv[0][1])
+        ):
+            grouped.setdefault(name, []).append((labels, instrument))
+        return grouped
+
+    def get(
+        self, name: str, **labels: object
+    ) -> Optional[object]:
+        """The instrument at ``(name, labels)``, or None."""
+        with self._lock:
+            return self._instruments.get((name, _labelset(labels)))
+
+    def to_doc(self) -> dict:
+        """A JSON-compatible document: one entry per family, one row per
+        label set."""
+        doc: dict = {}
+        for name, rows in self.families().items():
+            doc[name] = {
+                "kind": rows[0][1].kind,
+                "help": self._help.get(name, ""),
+                "series": [
+                    {"labels": dict(labels), **instrument.to_doc()}
+                    for labels, instrument in rows
+                ],
+            }
+        return doc
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_doc(), indent=indent, sort_keys=True)
+
+    def exposition(self) -> str:
+        """Prometheus-style text exposition (histograms as summaries)."""
+        lines: list[str] = []
+        for name, rows in self.families().items():
+            kind = rows[0][1].kind
+            help_text = self._help.get(name, "")
+            if help_text:
+                lines.append(f"# HELP {name} {help_text}")
+            lines.append(
+                f"# TYPE {name} {'summary' if kind == 'histogram' else kind}"
+            )
+            for labels, instrument in rows:
+                if isinstance(instrument, Histogram):
+                    doc = instrument.to_doc()
+                    for q in QUANTILES:
+                        value = doc["quantiles"][f"p{int(q * 100)}"]
+                        suffix = _label_suffix(labels, (("quantile", str(q)),))
+                        lines.append(f"{name}{suffix} {value:.9g}")
+                    base = _label_suffix(labels)
+                    lines.append(f"{name}_sum{base} {doc['sum']:.9g}")
+                    lines.append(f"{name}_count{base} {doc['count']}")
+                else:
+                    suffix = _label_suffix(labels)
+                    lines.append(f"{name}{suffix} {instrument.value:.9g}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def summary(self, names: Iterable[str] = ()) -> str:
+        """A one-line digest of the named families (all when empty)."""
+        wanted = set(names)
+        parts = []
+        for name, rows in self.families().items():
+            if wanted and name not in wanted:
+                continue
+            if isinstance(rows[0][1], Histogram):
+                total = sum(r.count for _, r in rows)
+                parts.append(f"{name}:n={total}")
+            else:
+                total = sum(r.value for _, r in rows)
+                text = f"{total:g}"
+                parts.append(f"{name}={text}")
+        return " ".join(parts)

@@ -26,12 +26,16 @@ from __future__ import annotations
 import json
 import os
 import struct
+import time
 import zlib
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.errors import ReproError
 from repro.storage.serialize import canonical_bytes
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.metrics import MetricsRegistry
 
 FILE_MAGIC = b"REPROWAL1\n"
 FRAME_MAGIC = b"RJ"
@@ -115,6 +119,12 @@ class JournalScan:
 
 def scan_journal(data: bytes) -> JournalScan:
     """Parse journal bytes, stopping cleanly at the first bad frame."""
+    if len(data) == 0:
+        # A zero-length file is an *empty* journal, not a torn one: the
+        # writer creates the file before the header reaches disk (and
+        # ``Journal`` itself treats a 0-byte file as fresh), so recovery
+        # must treat it as "nothing was ever journaled".
+        return JournalScan((), True, 0, "empty journal file", ())
     if len(data) < len(FILE_MAGIC):
         return JournalScan((), False, 0, "torn or missing file header", ())
     if data[: len(FILE_MAGIC)] != FILE_MAGIC:
@@ -174,11 +184,18 @@ class Journal:
     section, which already serializes writers.
     """
 
-    def __init__(self, path: str | os.PathLike, *, sync: str = "commit") -> None:
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        *,
+        sync: str = "commit",
+        metrics: "Optional[MetricsRegistry]" = None,
+    ) -> None:
         if sync not in ("commit", "os"):
             raise ReproError(f"unknown journal sync policy {sync!r}")
         self.path = os.fspath(path)
         self.sync = sync
+        self.metrics = metrics
         self._fh = None
 
     def _ensure_open(self):
@@ -197,10 +214,28 @@ class Journal:
 
     def append(self, record: JournalRecord) -> None:
         fh = self._ensure_open()
+        metrics = self.metrics
+        if metrics is None:
+            fh.write(encode_frame(record))
+            fh.flush()
+            if self.sync == "commit":
+                os.fsync(fh.fileno())
+            return
+        started = time.perf_counter()
         fh.write(encode_frame(record))
         fh.flush()
         if self.sync == "commit":
+            sync_started = time.perf_counter()
             os.fsync(fh.fileno())
+            metrics.histogram(
+                "repro_journal_fsync_seconds", "per-commit fsync latency"
+            ).observe(time.perf_counter() - sync_started)
+        metrics.histogram(
+            "repro_journal_append_seconds", "frame encode+write+sync latency"
+        ).observe(time.perf_counter() - started)
+        metrics.counter(
+            "repro_journal_appends_total", "journal records written"
+        ).inc()
 
     def flush(self) -> None:
         if self._fh is not None:

@@ -23,8 +23,12 @@ safe — recovery skips journal records at or below the snapshot's sequence.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.metrics import MetricsRegistry
 
 from repro.db.state import State
 from repro.errors import ReproError
@@ -95,6 +99,7 @@ class Store:
         checkpoint_every: int = 64,
         sync: str = "commit",
         keep_snapshots: int = 2,
+        metrics: "Optional[MetricsRegistry]" = None,
     ) -> None:
         if checkpoint_every < 1:
             raise ReproError("checkpoint_every must be at least 1")
@@ -103,8 +108,9 @@ class Store:
         self.path = os.fspath(path)
         self.checkpoint_every = checkpoint_every
         self.keep_snapshots = keep_snapshots
+        self.metrics = metrics
         os.makedirs(self.path, exist_ok=True)
-        self.journal = Journal(self.journal_path, sync=sync)
+        self.journal = Journal(self.journal_path, sync=sync, metrics=metrics)
 
     # -- paths -------------------------------------------------------------
 
@@ -169,6 +175,7 @@ class Store:
     def checkpoint(self, state: State, seq: int) -> None:
         """Write a snapshot for ``seq`` and truncate the journal to the
         records it does not cover."""
+        started = time.perf_counter() if self.metrics is not None else 0.0
         write_snapshot(
             os.path.join(self.path, snapshot_filename(seq)), seq, state
         )
@@ -176,6 +183,14 @@ class Store:
         keep = tuple(r for r in scan.records if r.seq > seq)
         self.journal.replace_with(keep)
         self._prune_snapshots()
+        if self.metrics is not None:
+            self.metrics.histogram(
+                "repro_checkpoint_seconds",
+                "snapshot write + journal truncation latency",
+            ).observe(time.perf_counter() - started)
+            self.metrics.counter(
+                "repro_checkpoints_total", "checkpoints taken"
+            ).inc()
 
     def _prune_snapshots(self) -> None:
         for _, stale in self.snapshot_files()[self.keep_snapshots :]:

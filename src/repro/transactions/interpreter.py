@@ -23,7 +23,10 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Mapping, Optional
+from typing import TYPE_CHECKING, Mapping, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.trace import Tracer
 
 from repro.errors import (
     EvaluationError,
@@ -131,6 +134,11 @@ class Interpreter:
     definitions: Optional[SymbolTable] = None
     order_check: str = "reversed"
     max_enumeration: int = 1_000_000
+    tracer: "Optional[Tracer]" = None
+    """Attach a :class:`repro.obs.trace.Tracer` to emit one span per
+    execution step (composition segment, condition branch, ``foreach``
+    iteration, atomic action).  ``None`` (the default) is the no-op fast
+    path: the only cost is an attribute check per step."""
 
     # ======================================================================
     # w:e — object evaluation
@@ -154,9 +162,30 @@ class Interpreter:
         if isinstance(expr, RelIdConst):
             return RelationId(expr.name, expr.arity)
         if isinstance(expr, SetFormer):
+            tracer = self.tracer
+            if tracer is not None and tracer.enabled:
+                span = tracer.start(
+                    "setformer",
+                    ",".join(v.name for v in expr.bound),
+                    state.next_tid,
+                )
+                try:
+                    return self._set_former(state, expr, env)
+                finally:
+                    tracer.finish(span)
             return self._set_former(state, expr, env)
         if isinstance(expr, CondExpr):
-            branch = expr.then_branch if self._bool(state, expr.cond, env) else expr.else_branch
+            taken = self._bool(state, expr.cond, env)
+            branch = expr.then_branch if taken else expr.else_branch
+            tracer = self.tracer
+            if tracer is not None and tracer.enabled:
+                span = tracer.start(
+                    "cond-expr", "then" if taken else "else", state.next_tid
+                )
+                try:
+                    return self._obj(state, branch, env)
+                finally:
+                    tracer.finish(span)
             return self._obj(state, branch, env)
         if isinstance(expr, App):
             return self._app(state, expr, env)
@@ -170,8 +199,12 @@ class Interpreter:
     def _touch(self, state: State, *names: str) -> None:
         """Read-set seam: called with every relation name an evaluation step
         depends on (including relations found missing — their appearance
-        would change the result).  The base interpreter ignores the report;
-        :class:`repro.concurrent.tracking.TrackingInterpreter` records it."""
+        would change the result).  :class:`repro.concurrent.tracking.
+        TrackingInterpreter` accumulates the reports into a read set; an
+        attached tracer attributes them to the innermost open span."""
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.touch(names)
 
     def _deref(self, state: State, value: object) -> Value:
         """Fluent tuple variables denote *the tuple with that identifier* at
@@ -424,17 +457,36 @@ class Interpreter:
         return self._run(state, fluent, env)
 
     def _run(self, state: State, fluent: Expr, env: Env) -> State:
+        """Execute one fluent node, tracing it when a tracer is attached.
+
+        Each recursive call is one span: a ``Seq``'s children are its
+        composition segments, a ``CondFluent``'s child is the branch taken,
+        a ``Foreach``'s children are its iterations (emitted in
+        :meth:`_fold_foreach`)."""
+        tracer = self.tracer
+        if tracer is None or not tracer.enabled:
+            return self._run_node(state, fluent, env)
+        span = tracer.start(
+            _span_kind(fluent), _span_label(fluent), state.next_tid
+        )
+        try:
+            return self._run_node(state, fluent, env)
+        finally:
+            tracer.finish(span)
+
+    def _run_node(self, state: State, fluent: Expr, env: Env) -> State:
         if isinstance(fluent, Identity):
             return state
         if isinstance(fluent, Seq):
             mid = self._run(state, fluent.first, env)
             return self._run(mid, fluent.second, env)
         if isinstance(fluent, CondFluent):
-            branch = (
-                fluent.then_branch
-                if self._bool(state, fluent.cond, env)
-                else fluent.else_branch
-            )
+            taken = self._bool(state, fluent.cond, env)
+            tracer = self.tracer
+            if tracer is not None and tracer.enabled:
+                # The open span is this CondFluent's: record the decision.
+                tracer.relabel(f"cond[{'then' if taken else 'else'}]")
+            branch = fluent.then_branch if taken else fluent.else_branch
             return self._run(state, branch, env)
         if isinstance(fluent, Foreach):
             return self._run_foreach(state, fluent, env)
@@ -469,25 +521,44 @@ class Interpreter:
                 inner = env.bind_all(dict(zip(definition.params, values)))
                 return self._run(state, definition.body, inner)  # type: ignore[arg-type]
         base = _base_name(sym.name)
+        # Contract: every mutating action reports the relations whose
+        # *current content* its result depends on through the _touch seam
+        # (the target relation is also in the write set, but a value-level
+        # no-op — inserting a present tuple, deleting an absent one — leaves
+        # the write set empty while the outcome still read the relation).
         if base == "insert":
             t = self._tuple_arg(state, fluent.args[0], env)
             rid = self._rel_id(state, fluent.args[1], env)
+            # Set semantics dedupe by value: the result reads the target.
+            self._touch(state, rid.name)
             new_state, _ = state.insert_tuple(rid.name, t)
             return new_state
         if base == "delete":
             t = self._tuple_arg(state, fluent.args[0], env)
             rid = self._rel_id(state, fluent.args[1], env)
+            # Deletion locates the victim by identifier or value: a read.
+            self._touch(state, rid.name)
             return state.delete_tuple(rid.name, t)
         if base == "modify":
             t = self._tuple_arg(state, fluent.args[0], env)
             index = self._atom_int(state, fluent.args[1], env)
             value = self._atom_value(state, fluent.args[2], env)
+            owner = state.owner_of(t.tid) if t.tid is not None else None
+            if owner is not None:
+                self._touch(state, owner)
+            else:
+                # The identifier is dead (or fresh) here; the action's
+                # failure depends on every relation's content.
+                self._touch(state, *state.relation_names())
             return state.modify_tuple(t, index, value)
         if base == "assign":
             rid = self._rel_id(state, fluent.args[0], env)
             value = self._obj(state, fluent.args[1], env)
             if not isinstance(value, TupleSet):
                 raise EvaluationError("assign: value is not a set")
+            # Assign overwrites, but arity validation against an existing
+            # relation still reads its shape.
+            self._touch(state, rid.name)
             target = state
             if not target.has_relation(rid.name):
                 target = target.create_relation(rid.name, rid.arity)
@@ -519,21 +590,45 @@ class Interpreter:
                 orders = [list(p) for p in itertools.permutations(satisfiers)][1:]
             else:
                 orders = [list(reversed(satisfiers))]
-            for order in orders:
-                alternative = self._fold_foreach(state, fluent, env, order)
-                if not _order_equivalent(state, result, alternative):
-                    raise OrderDependenceError(
-                        f"foreach {fluent.var.name}: result depends on the "
-                        f"enumeration order; the iteration fluent is undefined"
-                    )
+            # The re-folds below are a semantic check, not real work: they
+            # must not emit duplicate spans or inflate step durations.
+            tracer, self.tracer = self.tracer, None
+            try:
+                for order in orders:
+                    alternative = self._fold_foreach(state, fluent, env, order)
+                    if not _order_equivalent(state, result, alternative):
+                        raise OrderDependenceError(
+                            f"foreach {fluent.var.name}: result depends on "
+                            f"the enumeration order; the iteration fluent is "
+                            f"undefined"
+                        )
+            finally:
+                self.tracer = tracer
         return result
 
     def _fold_foreach(
         self, state: State, fluent: Foreach, env: Env, satisfiers: list[object]
     ) -> State:
         current = state
-        for value in satisfiers:
-            current = self._run(current, fluent.body, env.bind(fluent.var, value))
+        tracer = self.tracer
+        if tracer is None or not tracer.enabled:
+            for value in satisfiers:
+                current = self._run(
+                    current, fluent.body, env.bind(fluent.var, value)
+                )
+            return current
+        for index, value in enumerate(satisfiers):
+            span = tracer.start(
+                "foreach-iter",
+                f"{fluent.var.name}[{index}]={_value_label(value)}",
+                current.next_tid,
+            )
+            try:
+                current = self._run(
+                    current, fluent.body, env.bind(fluent.var, value)
+                )
+            finally:
+                tracer.finish(span)
         return current
 
     # ======================================================================
@@ -589,7 +684,11 @@ class Interpreter:
             )
             domain = list(state.tuples_of_arity(var.sort.arity))
             domain.extend(self._constructed_candidates(state, var, cond, env))
-            return _dedupe_tuples(domain)
+            # Canonical order: enumeration (and therefore foreach folding,
+            # trace output, and commit-log replay of order-sensitive
+            # programs) must not depend on relation-map insertion history
+            # or the process hash seed.
+            return sorted(_dedupe_tuples(domain), key=_tuple_order_key)
         if var.sort.is_atom:
             self._touch(state, *state.relation_names())
             atoms: set[Atom] = set(state.atoms())
@@ -625,7 +724,10 @@ class Interpreter:
                 except EvaluationError:
                     continue
                 if isinstance(value, TupleSet):
-                    return list(value)
+                    # Same canonical order as the full-domain path: the set's
+                    # representative order reflects construction history,
+                    # not a semantic order.
+                    return sorted(value, key=_tuple_order_key)
         return None
 
     def _constructed_candidates(
@@ -663,6 +765,57 @@ class Interpreter:
             if candidate is not None:
                 found.append(candidate)
         return found
+
+
+def _atom_order_key(value: Atom) -> tuple:
+    """Total order over the mixed atom sort: numbers before strings."""
+    return (isinstance(value, str), value)
+
+
+def _tuple_order_key(t: DBTuple) -> tuple:
+    """Canonical enumeration order for tuples: identified before fresh,
+    then by identifier, then by attribute values."""
+    return (
+        t.tid is None,
+        t.tid or 0,
+        tuple(_atom_order_key(v) for v in t.values),
+    )
+
+
+def _span_kind(fluent: Expr) -> str:
+    if isinstance(fluent, Identity):
+        return "identity"
+    if isinstance(fluent, Seq):
+        return "seq"
+    if isinstance(fluent, CondFluent):
+        return "cond"
+    if isinstance(fluent, Foreach):
+        return "foreach"
+    if isinstance(fluent, Var):
+        return "transition-var"
+    if isinstance(fluent, App):
+        return "action"
+    return type(fluent).__name__.lower()
+
+
+def _span_label(fluent: Expr) -> str:
+    if isinstance(fluent, App):
+        return fluent.symbol.name
+    if isinstance(fluent, Foreach):
+        return fluent.var.name
+    if isinstance(fluent, Var):
+        return fluent.name
+    if isinstance(fluent, Seq):
+        return ";;"
+    if isinstance(fluent, CondFluent):
+        return "cond"
+    return type(fluent).__name__
+
+
+def _value_label(value: object) -> str:
+    """A short, stable rendering of a bound foreach value for span labels."""
+    text = str(value)
+    return text if len(text) <= 40 else text[:37] + "..."
 
 
 def _dedupe_tuples(tuples: list[DBTuple]) -> list[DBTuple]:

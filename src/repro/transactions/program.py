@@ -106,6 +106,20 @@ class DatabaseProgram:
             raise ExecutabilityError(f"{self.name} is a query, not a transaction")
         interp = interpreter or DEFAULT_INTERPRETER
         env = self.bind(*args)
+        tracer = interp.tracer
+        if tracer is not None and tracer.enabled:
+            # The transaction is the root span; the precondition check and
+            # every execution step nest under it.
+            span = tracer.start("transaction", self.name, state.next_tid)
+            try:
+                return self._checked_run(state, env, interp)
+            finally:
+                tracer.finish(span)
+        return self._checked_run(state, env, interp)
+
+    def _checked_run(
+        self, state: State, env: Env, interp: Interpreter
+    ) -> State:
         if self.precondition is not None and not interp.eval_formula(
             state, self.precondition, env
         ):

@@ -54,6 +54,89 @@ class TestQuantileEdges:
         with pytest.raises(ValueError):
             quantile([1.0], 1.01)
 
+    def test_empty_without_default_raises(self):
+        with pytest.raises(ValueError):
+            quantile([], 0.5)
+
+    def test_empty_with_default_returns_default(self):
+        assert quantile([], 0.5, default=0.0) == 0.0
+        assert quantile([], 0.99, default=-1.0) == -1.0
+
+    def test_q_validated_before_emptiness(self):
+        # A bad q is a caller bug even on an empty window: it must raise,
+        # never be masked by the default.
+        with pytest.raises(ValueError, match="q must be"):
+            quantile([], -0.5, default=0.0)
+
+    def test_zero_one_two_samples_at_every_quantile(self):
+        for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+            assert quantile([], q, default=0.0) == 0.0
+            assert quantile([4.0], q) == 4.0
+        assert quantile([4.0, 8.0], 0.5) == 4.0
+        assert quantile([4.0, 8.0], 0.95) == 8.0
+        assert quantile([4.0, 8.0], 0.99) == 8.0
+
+
+# ---------------------------------------------------------------------------
+# stats: p99, backoff, and the metrics mirror
+# ---------------------------------------------------------------------------
+
+
+class TestStatsObservability:
+    def test_snapshot_reports_p99(self):
+        stats = ConcurrencyStats()
+        for i in range(1, 101):
+            stats.record_commit(i / 1000.0)
+        snap = stats.snapshot()
+        assert snap.p50_latency == 0.050
+        assert snap.p99_latency == 0.099
+        assert "p99" in snap.summary() or "/" in snap.summary()
+
+    def test_empty_snapshot_quantiles_are_zero(self):
+        snap = ConcurrencyStats().snapshot()
+        assert snap.p50_latency == snap.p95_latency == snap.p99_latency == 0.0
+
+    def test_backoff_accumulates(self):
+        stats = ConcurrencyStats()
+        assert stats.backoffs == (0, 0.0)
+        stats.record_backoff(0.01)
+        stats.record_backoff(0.02)
+        count, total = stats.backoffs
+        assert count == 2 and total == pytest.approx(0.03)
+
+    def test_events_mirror_into_registry(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        stats = ConcurrencyStats(metrics=registry)
+        stats.record_commit(0.004)
+        stats.record_conflict(["A", "B"])
+        stats.record_retry()
+        stats.record_backoff(0.001)
+        stats.record_abort()
+        stats.record_failure()
+        assert registry.counter("repro_commits_total").value == 1
+        assert registry.counter("repro_conflicts_total").value == 1
+        assert (
+            registry.counter("repro_relation_conflicts_total", relation="A").value
+            == 1
+        )
+        assert registry.counter("repro_retries_total").value == 1
+        assert registry.counter("repro_aborts_total").value == 1
+        assert registry.counter("repro_failures_total").value == 1
+        assert registry.histogram("repro_txn_latency_seconds").count == 1
+        assert registry.histogram("repro_backoff_seconds").count == 1
+
+    def test_scheduler_reports_into_database_registry(self, schema):
+        x, y = b.atom_var("x"), b.atom_var("y")
+        put = transaction("put-a", (x, y), b.insert(b.mktuple(x, y), "A"))
+        db = Database(schema, window=2)
+        with db.concurrent(workers=2, seed=3) as mgr:
+            outcomes = mgr.run_all([(put, i, i) for i in range(5)])
+        assert all(o.ok for o in outcomes)
+        assert db.metrics.counter("repro_commits_total").value == 5
+        assert db.metrics.histogram("repro_txn_latency_seconds").count == 5
+
 
 # ---------------------------------------------------------------------------
 # states_equivalent bookkeeping-only differences
@@ -226,3 +309,22 @@ class TestCommitLogIndexing:
         assert [r.seq for r in log.tail(99)] == [1, 2, 3, 4, 5]
         assert log.tail(0) == () and log.tail(-3) == ()
         assert CommitLog().tail(4) == ()
+
+    def test_negative_slices_match_list_semantics(self, schema):
+        log = _filled_log(schema)
+        records = list(log)
+        for sl in (
+            slice(-2, None),
+            slice(None, -2),
+            slice(-4, -1),
+            slice(-1, -4),
+            slice(-99, 99),
+            slice(None, None, -2),
+        ):
+            assert log[sl] == tuple(records[sl]), sl
+
+    def test_tail_matches_negative_slice(self, schema):
+        log = _filled_log(schema)
+        for n in range(-2, 8):
+            expected = log[-n:] if n > 0 else ()
+            assert log.tail(n) == expected

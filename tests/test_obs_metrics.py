@@ -1,0 +1,182 @@
+"""The metrics surface: instruments, the registry, and both exports."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter()
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        c = Counter()
+        with pytest.raises(ValueError):
+            c.inc(-1)
+        assert c.value == 0.0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge()
+        g.set(10)
+        g.inc(5)
+        g.dec(2)
+        assert g.value == 13.0
+
+    def test_goes_negative(self):
+        g = Gauge()
+        g.dec(3)
+        assert g.value == -3.0
+
+
+class TestHistogram:
+    def test_empty_window_quantiles_are_zero(self):
+        h = Histogram()
+        assert h.count == 0 and h.sum == 0.0
+        for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+            assert h.percentile(q) == 0.0
+        doc = h.to_doc()
+        assert doc["min"] == 0.0 and doc["max"] == 0.0
+
+    def test_single_sample_is_every_quantile(self):
+        h = Histogram()
+        h.observe(0.25)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert h.percentile(q) == 0.25
+
+    def test_two_samples_split_nearest_rank(self):
+        h = Histogram()
+        h.observe(10.0)
+        h.observe(2.0)
+        # Nearest-rank rounds up: rank(0.5, 2) = 1 → the smaller sample.
+        assert h.percentile(0.5) == 2.0
+        assert h.percentile(0.51) == 10.0
+        assert h.count == 2 and h.sum == 12.0
+
+    def test_window_bounds_quantiles_but_not_count(self):
+        h = Histogram(window=4)
+        for v in range(1, 11):  # 1..10; window keeps 7, 8, 9, 10
+            h.observe(float(v))
+        assert h.count == 10
+        assert h.sum == 55.0
+        assert h.percentile(0.0) == 7.0
+        assert h.percentile(1.0) == 10.0
+        # min/max stay exact over the full stream.
+        doc = h.to_doc()
+        assert doc["min"] == 1.0 and doc["max"] == 10.0
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Histogram(window=0)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("hits") is reg.counter("hits")
+        reg.counter("hits").inc()
+        assert reg.counter("hits").value == 1.0
+
+    def test_labels_distinguish_series(self):
+        reg = MetricsRegistry()
+        reg.counter("conflicts", relation="A").inc(3)
+        reg.counter("conflicts", relation="B").inc(1)
+        assert reg.counter("conflicts", relation="A").value == 3.0
+        assert reg.counter("conflicts", relation="B").value == 1.0
+        # Label order is irrelevant: keyed by the sorted label set.
+        reg.counter("multi", a=1, b=2).inc()
+        assert reg.counter("multi", b=2, a=1).value == 1.0
+
+    def test_kind_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("latency")
+        with pytest.raises(ValueError):
+            reg.histogram("latency")
+
+    def test_get_returns_none_for_absent(self):
+        reg = MetricsRegistry()
+        assert reg.get("nope") is None
+        reg.gauge("depth").set(4)
+        assert reg.get("depth").value == 4.0
+        assert reg.get("depth", shard="x") is None
+
+    def test_families_sorted_by_name_then_labels(self):
+        reg = MetricsRegistry()
+        reg.counter("z_total")
+        reg.counter("a_total", relation="B")
+        reg.counter("a_total", relation="A")
+        fams = reg.families()
+        assert list(fams) == ["a_total", "z_total"]
+        assert [dict(labels) for labels, _ in fams["a_total"]] == [
+            {"relation": "A"},
+            {"relation": "B"},
+        ]
+
+    def test_to_json_round_trips(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", "help text").inc(7)
+        reg.histogram("lat").observe(0.5)
+        doc = json.loads(reg.to_json())
+        assert doc["hits"]["kind"] == "counter"
+        assert doc["hits"]["help"] == "help text"
+        assert doc["hits"]["series"][0]["value"] == 7.0
+        assert doc["lat"]["series"][0]["quantiles"]["p50"] == 0.5
+
+    def test_exposition_format(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_commits_total", "transactions committed").inc(3)
+        reg.counter("repro_conf_total", relation="EMP").inc()
+        h = reg.histogram("repro_lat_seconds", "latency")
+        h.observe(1.0)
+        h.observe(3.0)
+        text = reg.exposition()
+        assert "# HELP repro_commits_total transactions committed" in text
+        assert "# TYPE repro_commits_total counter" in text
+        assert "repro_commits_total 3" in text
+        assert 'repro_conf_total{relation="EMP"} 1' in text
+        # Histograms render as summaries with quantile labels.
+        assert "# TYPE repro_lat_seconds summary" in text
+        assert 'repro_lat_seconds{quantile="0.5"} 1' in text
+        assert 'repro_lat_seconds{quantile="0.99"} 3' in text
+        assert "repro_lat_seconds_sum 4" in text
+        assert "repro_lat_seconds_count 2" in text
+        assert text.endswith("\n")
+
+    def test_empty_registry_exports_cleanly(self):
+        reg = MetricsRegistry()
+        assert reg.exposition() == ""
+        assert reg.to_doc() == {}
+        assert reg.summary() == ""
+
+    def test_summary_filters_by_name(self):
+        reg = MetricsRegistry()
+        reg.counter("hits").inc(2)
+        reg.histogram("lat").observe(0.1)
+        assert reg.summary(["hits"]) == "hits=2"
+        assert "lat:n=1" in reg.summary()
+
+    def test_concurrent_updates_do_not_lose_counts(self):
+        reg = MetricsRegistry()
+
+        def work():
+            for _ in range(500):
+                reg.counter("spins").inc()
+                reg.histogram("h").observe(1.0)
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.counter("spins").value == 4000.0
+        assert reg.histogram("h").count == 4000

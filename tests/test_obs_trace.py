@@ -1,0 +1,216 @@
+"""Tracing: one span per interpreter step, attributed and bounded."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.db import Schema, state_from_rows
+from repro.logic import builder as b
+from repro.obs import Span, Tracer
+from repro.obs.trace import NULL_TRACER
+from repro.transactions import Interpreter
+
+
+@pytest.fixture()
+def schema():
+    s = Schema()
+    s.add_relation("NUM", ("n", "tag"))
+    s.add_relation("OUT", ("n",))
+    return s
+
+
+@pytest.fixture()
+def state(schema):
+    return state_from_rows(
+        schema, {"NUM": [(1, "a"), (2, "b"), (3, "c")], "OUT": []}
+    )
+
+
+NUM = b.rel("NUM", 2)
+
+
+def kinds(tracer):
+    return [span.kind for span in tracer.spans()]
+
+
+class TestSpanEmission:
+    def test_sequence_emits_one_span_per_segment(self, state):
+        tracer = Tracer()
+        interp = Interpreter(tracer=tracer)
+        put = b.seq(
+            b.insert(b.mktuple(b.atom(7), b.atom("x")), "NUM"),
+            b.insert(b.mktuple(b.atom(8), b.atom("y")), "NUM"),
+        )
+        interp.run(state, put)
+        roots = tracer.roots()
+        assert len(roots) == 1 and roots[0].kind == "seq"
+        assert [c.kind for c in roots[0].children] == ["action", "action"]
+        assert [c.label for c in roots[0].children] == ["insert2", "insert2"]
+
+    def test_condition_span_labels_the_taken_branch(self, state):
+        tracer = Tracer()
+        interp = Interpreter(tracer=tracer)
+        t = b.ftup_var("t", 2)
+        guard = b.exists(t, b.member(t, NUM))
+        interp.run(
+            state,
+            b.ifthen(guard, b.insert(b.mktuple(b.atom(9), b.atom("z")), "NUM")),
+        )
+        (root,) = tracer.roots()
+        assert root.kind == "cond" and root.label == "cond[then]"
+        interp.run(
+            state,
+            b.ifthen(
+                b.lnot(guard),
+                b.insert(b.mktuple(b.atom(9), b.atom("z")), "NUM"),
+            ),
+        )
+        assert tracer.roots()[1].label == "cond[else]"
+
+    def test_foreach_emits_one_span_per_iteration(self, state):
+        tracer = Tracer()
+        interp = Interpreter(tracer=tracer)
+        t = b.ftup_var("t", 2)
+        interp.run(state, b.foreach(t, b.member(t, NUM), b.delete(t, "NUM")))
+        (root,) = tracer.roots()
+        assert root.kind == "foreach" and root.label == "t"
+        iters = [c for c in root.children if c.kind == "foreach-iter"]
+        assert len(iters) == 3
+        assert [c.label.split("=")[0] for c in iters] == [
+            "t[0]", "t[1]", "t[2]",
+        ]
+
+    def test_action_spans_carry_touched_relations(self, state):
+        tracer = Tracer()
+        interp = Interpreter(tracer=tracer)
+        interp.run(state, b.insert(b.mktuple(b.atom(7), b.atom("x")), "NUM"))
+        (root,) = tracer.roots()
+        assert root.kind == "action"
+        assert "NUM" in root.touched
+        # touched is sorted, so traces are hash-seed independent.
+        assert list(root.touched) == sorted(root.touched)
+
+    def test_versions_are_entry_state_allocators(self, state):
+        tracer = Tracer()
+        interp = Interpreter(tracer=tracer)
+        interp.run(state, b.insert(b.mktuple(b.atom(7), b.atom("x")), "NUM"))
+        (root,) = tracer.roots()
+        assert root.version == state.next_tid
+
+
+class TestDisabledPath:
+    def test_none_tracer_emits_nothing(self, state):
+        interp = Interpreter()
+        assert interp.tracer is None
+        interp.run(state, b.insert(b.mktuple(b.atom(7), b.atom("x")), "NUM"))
+
+    def test_disabled_tracer_emits_nothing(self, state):
+        tracer = Tracer(enabled=False)
+        interp = Interpreter(tracer=tracer)
+        interp.run(state, b.insert(b.mktuple(b.atom(7), b.atom("x")), "NUM"))
+        assert tracer.roots() == () and tracer.span_count == 0
+
+    def test_null_tracer_is_disabled(self):
+        assert not NULL_TRACER.enabled
+
+
+class TestSpanBudget:
+    def test_max_spans_drops_and_counts(self, state):
+        tracer = Tracer(max_spans=2)
+        interp = Interpreter(tracer=tracer)
+        t = b.ftup_var("t", 2)
+        interp.run(state, b.foreach(t, b.member(t, NUM), b.delete(t, "NUM")))
+        assert tracer.span_count == 2
+        assert tracer.dropped > 0
+
+    def test_start_returns_none_when_exhausted(self):
+        tracer = Tracer(max_spans=1)
+        first = tracer.start("seq", ";;", 0)
+        second = tracer.start("seq", ";;", 0)
+        assert first is not None and second is None
+        tracer.finish(second)  # finishing a dropped span is a no-op
+        tracer.finish(first)
+        assert len(tracer.roots()) == 1 and tracer.dropped == 1
+
+    def test_clear_resets_budget(self):
+        tracer = Tracer(max_spans=1)
+        tracer.finish(tracer.start("seq", ";;", 0))
+        assert tracer.start("seq", ";;", 0) is None
+        tracer.clear()
+        assert tracer.roots() == () and tracer.dropped == 0
+        assert tracer.start("seq", ";;", 0) is not None
+
+
+class TestTracerMechanics:
+    def test_nesting_and_self_duration(self):
+        tracer = Tracer()
+        outer = tracer.start("seq", ";;", 0)
+        inner = tracer.start("action", "insert2", 0)
+        tracer.finish(inner)
+        tracer.finish(outer)
+        (root,) = tracer.roots()
+        assert root.children == [inner]
+        assert root.duration >= inner.duration
+        assert root.self_duration >= 0.0
+
+    def test_touch_attributes_to_innermost_open_span(self):
+        tracer = Tracer()
+        outer = tracer.start("seq", ";;", 0)
+        inner = tracer.start("action", "insert2", 0)
+        tracer.touch(("B", "A"))
+        tracer.finish(inner)
+        tracer.finish(outer)
+        assert inner.touched == ("A", "B")
+        assert outer.touched == ()
+
+    def test_touch_outside_any_span_is_ignored(self):
+        Tracer().touch(("A",))  # must not raise
+
+    def test_relabel_renames_innermost(self):
+        tracer = Tracer()
+        span = tracer.start("cond", "cond", 0)
+        tracer.relabel("cond[then]")
+        tracer.finish(span)
+        assert tracer.roots()[0].label == "cond[then]"
+
+    def test_threads_keep_separate_stacks(self):
+        tracer = Tracer()
+        ready = threading.Barrier(2)
+
+        def trace(name):
+            span = tracer.start("transaction", name, 0)
+            ready.wait()  # both spans open simultaneously
+            tracer.finish(span)
+
+        threads = [
+            threading.Thread(target=trace, args=(n,)) for n in ("t1", "t2")
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(r.label for r in tracer.roots()) == ["t1", "t2"]
+        assert all(r.children == [] for r in tracer.roots())
+
+
+class TestSerialization:
+    def test_doc_round_trip(self, state):
+        tracer = Tracer()
+        interp = Interpreter(tracer=tracer)
+        t = b.ftup_var("t", 2)
+        interp.run(state, b.foreach(t, b.member(t, NUM), b.delete(t, "NUM")))
+        (root,) = tracer.roots()
+        rebuilt = Span.from_doc(root.to_doc())
+        # ``start`` is transient (not serialized); compare the documents.
+        assert rebuilt.to_doc() == root.to_doc()
+        assert [s.label for s in rebuilt.walk()] == [
+            s.label for s in root.walk()
+        ]
+
+    def test_walk_is_preorder(self):
+        leaf = Span("action", "a", 0)
+        mid = Span("seq", ";;", 0, children=[leaf])
+        root = Span("transaction", "t", 0, children=[mid])
+        assert [s.label for s in root.walk()] == ["t", ";;", "a"]

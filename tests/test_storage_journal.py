@@ -55,6 +55,46 @@ class TestJournalAppendScan:
         scan = read_journal(tmp_path / "absent.log")
         assert scan.clean and scan.records == ()
 
+    def test_zero_length_file_is_empty_clean(self, journal_path):
+        # The writer creates the file before the header reaches disk; a
+        # crash in that window leaves 0 bytes — an empty journal, not a
+        # torn one.
+        journal_path.write_bytes(b"")
+        scan = read_journal(journal_path)
+        assert scan.clean and scan.records == ()
+        assert scan.valid_bytes == 0
+        assert scan_journal(b"").clean
+
+    def test_partial_header_is_torn(self, journal_path):
+        # One byte up to magic-minus-one is a torn header, never clean.
+        for n in range(1, len(FILE_MAGIC)):
+            assert not scan_journal(FILE_MAGIC[:n]).clean
+
+    def test_header_only_is_clean(self, journal_path):
+        scan = scan_journal(FILE_MAGIC)
+        assert scan.clean and scan.records == ()
+        assert scan.boundaries == (len(FILE_MAGIC),)
+
+    def test_append_records_metrics(self, journal_path):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        j = Journal(journal_path, metrics=registry)
+        for i in range(1, 4):
+            j.append(record(i))
+        j.close()
+        assert registry.counter("repro_journal_appends_total").value == 3
+        assert registry.histogram("repro_journal_append_seconds").count == 3
+        assert registry.histogram("repro_journal_fsync_seconds").count == 3
+        # sync="os" skips the fsync timer but still times the append.
+        registry2 = MetricsRegistry()
+        path2 = journal_path.parent / "os.log"
+        j2 = Journal(path2, sync="os", metrics=registry2)
+        j2.append(record(1))
+        j2.close()
+        assert registry2.histogram("repro_journal_append_seconds").count == 1
+        assert registry2.get("repro_journal_fsync_seconds") is None
+
     def test_sync_policy_validated(self, journal_path):
         with pytest.raises(ReproError):
             Journal(journal_path, sync="fsync-sometimes")

@@ -79,8 +79,12 @@ class TestCrashInjection:
             assert exact(recovery.state, states[recovery.seq]), fault.offset
             assert state_digest(recovery.state) == digests[recovery.seq]
             # A kill exactly on a record boundary is a clean journal; a torn
-            # offset is detected and reported.
-            assert recovery.clean == (fault.offset in boundaries)
+            # offset is detected and reported.  Offset 0 is the zero-length
+            # file the writer leaves before the header reaches disk — an
+            # *empty* journal, not a torn one.
+            assert recovery.clean == (
+                fault.offset in boundaries or fault.offset == 0
+            )
             seen_seqs.add(recovery.seq)
         # Every prefix length was actually exercised.
         assert seen_seqs == set(range(len(states)))
@@ -116,6 +120,54 @@ class TestCrashInjection:
         assert recovery.clean
         assert recovery.seq == len(states) - 1
         assert exact(recovery.state, states[-1])
+
+
+class TestDegenerateStores:
+    """The two edge shapes a crash can leave behind: a zero-length journal
+    (the writer created the file but the header never hit disk) and a
+    snapshot-only store (checkpoint truncation finished but the fresh
+    journal never appeared)."""
+
+    def test_zero_length_journal_recovers_clean(self, tmp_path, tiny_state):
+        store = Store(tmp_path / "store")
+        store.initialize(tiny_state)
+        store.close()
+        open(os.path.join(tmp_path / "store", JOURNAL_NAME), "wb").close()
+        recovery = Store(tmp_path / "store").recover()
+        assert recovery.clean
+        assert recovery.seq == 0 and recovery.replayed == ()
+        assert exact(recovery.state, tiny_state)
+
+    def test_zero_length_journal_after_commits(self, serial_run, tmp_path):
+        # A crash-truncated-to-zero journal after a checkpoint: recovery is
+        # the checkpoint itself, reported clean (the journal is empty, not
+        # torn).
+        store_path, states = serial_run
+        fault = faults.crashed_copy(store_path, 0, tmp_path / "zeroed")
+        assert os.path.getsize(
+            os.path.join(fault.path, JOURNAL_NAME)
+        ) == 0
+        recovery = fault.store().recover()
+        assert recovery.clean and recovery.reason == "empty journal file"
+        assert exact(recovery.state, states[recovery.seq])
+
+    def test_snapshot_only_store_recovers_clean(self, serial_run):
+        # Delete the journal entirely: exactly what checkpoint truncation's
+        # rename window can leave. The newest snapshot is the whole truth.
+        store_path, states = serial_run
+        newest_seq, _ = Store(store_path).snapshot_files()[0]
+        os.remove(os.path.join(store_path, JOURNAL_NAME))
+        recovery = Store(store_path).recover()
+        assert recovery.clean
+        assert recovery.seq == newest_seq and recovery.replayed == ()
+        assert exact(recovery.state, states[newest_seq])
+
+    def test_fresh_initialized_store_recovers_clean(self, tmp_path, tiny_state):
+        store = Store(tmp_path / "store")
+        store.initialize(tiny_state)
+        recovery = Store(tmp_path / "store").recover()
+        assert recovery.clean and recovery.seq == 0
+        assert exact(recovery.state, tiny_state)
 
 
 class TestCheckpointRecovery:
