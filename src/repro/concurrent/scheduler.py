@@ -44,6 +44,7 @@ from repro.concurrent.log import CommitLog, CommitRecord, states_equivalent
 from repro.concurrent.retry import Deadline, RetryPolicy
 from repro.concurrent.stats import ConcurrencyStats
 from repro.concurrent.tracking import TrackingInterpreter, written_relations
+from repro.eval.versions import RelationVersions
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.engine import Database
@@ -75,10 +76,18 @@ class TransactionOutcome:
 class TransactionManager:
     """Accepts transactions from many threads; commits a serializable order.
 
-    >>> with db.concurrent(workers=8) as mgr:
-    ...     futures = [mgr.submit(deposit, "acc1", 10) for _ in range(100)]
+    >>> from repro.domains import make_domain
+    >>> from repro.engine import Database
+    >>> domain = make_domain()
+    >>> db = Database(domain.schema, initial=domain.sample_state())
+    >>> with db.concurrent(workers=4) as mgr:
+    ...     futures = [mgr.submit(domain.create_project, f"p{i}", 10)
+    ...                for i in range(8)]
     ...     outcomes = [f.result() for f in futures]
-    ...     assert mgr.verify_serializable()
+    >>> all(o.ok for o in outcomes)
+    True
+    >>> mgr.verify_serializable()
+    True
 
     The manager owns a worker pool, a :class:`CommitLog`, and a
     :class:`ConcurrencyStats` surface.  All commits go through the
@@ -106,7 +115,7 @@ class TransactionManager:
         )
         self._lock = threading.RLock()
         self._version = 0
-        self._committed_writes: list[tuple[int, frozenset[str]]] = []
+        self._writes = RelationVersions()
         self._rng = random.Random(seed)
         self._executor = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-txn"
@@ -304,7 +313,7 @@ class TransactionManager:
         # The effective write set includes whatever history encodings
         # appended at commit time, so later validations see those too.
         effective = written_relations(current, final)
-        self._committed_writes.append((self._version, effective))
+        self._writes.bump(effective, self._version)
         latency = time.perf_counter() - started
         engine_record = self.database.records[-1]
         record = CommitRecord(
@@ -332,13 +341,13 @@ class TransactionManager:
     def _conflicts_since(
         self, version: int, footprint: frozenset[str]
     ) -> frozenset[str]:
-        """Footprint ∩ (writes committed after ``version``)."""
-        clash: set[str] = set()
-        for committed_version, writes in reversed(self._committed_writes):
-            if committed_version <= version:
-                break
-            clash |= footprint & writes
-        return frozenset(clash)
+        """Footprint ∩ (writes committed after ``version``).
+
+        Answered from the :class:`~repro.eval.versions.RelationVersions`
+        last-writer index in O(|footprint|) — validation cost no longer
+        grows with how many commits landed since the snapshot.
+        """
+        return self._writes.conflicts(footprint, version)
 
     def _replay_writes(
         self,

@@ -67,6 +67,13 @@ def check_state(
     """Check against the current state only (window of one).
 
     Static constraints are exactly the constraints checkable this way.
+
+    >>> from repro.domains import make_domain
+    >>> domain = make_domain()
+    >>> result = check_state(domain.every_employee_allocated(),
+    ...                      domain.sample_state())
+    >>> print(result)
+    every-employee-allocated: satisfied over 1 state(s)
     """
     model = PartialModel.of_states([state], interpreter)
     ok = Evaluator(model).holds(constraint.formula)
@@ -84,6 +91,17 @@ def check_history(
     With ``enforce_window=True``, refuse (raise :class:`CheckabilityError`)
     when the constraint's declared checkability needs more states than the
     history holds — the trade-off of Section 3 made operational.
+
+    >>> from repro.db.evolution import History
+    >>> from repro.domains import make_domain
+    >>> domain = make_domain()
+    >>> history = History(window=2)
+    >>> history.start(domain.sample_state())
+    >>> history.advance(domain.add_skill.run(history.current, "alice", 4),
+    ...                 "learn")
+    >>> result = check_history(domain.skill_retention(), history)
+    >>> (result.ok, result.states_checked)
+    (True, 2)
     """
     if enforce_window:
         required = constraint.declared_window

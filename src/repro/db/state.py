@@ -246,7 +246,14 @@ def state_from_rows(
 ) -> State:
     """Build a state from plain Python rows, allocating identifiers.
 
-    >>> state_from_rows(schema, {"EMP": [("alice", "cs", 100, 30, "M")]})
+    >>> from repro.db.schema import Schema
+    >>> schema = Schema()
+    >>> _ = schema.add_relation("EMP",
+    ...     ("e-name", "e-dept", "salary", "age", "marital"))
+    >>> state = state_from_rows(schema,
+    ...     {"EMP": [("alice", "cs", 100, 30, "M")]})
+    >>> sorted(t.values for t in state.relation("EMP").tuples.values())
+    [('alice', 'cs', 100, 30, 'M')]
     """
     state = initial_state(schema)
     for name, tuples in rows.items():

@@ -42,6 +42,8 @@ from repro.transactions.interpreter import Interpreter
 from repro.transactions.program import DatabaseProgram
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.eval.cache import QueryCache
+    from repro.eval.incremental import IncrementalChecker
     from repro.storage.store import Recovery, Store
 
 
@@ -69,8 +71,15 @@ class ExecutionRecord:
 class Database:
     """A running database over a schema, with constraint enforcement.
 
-    >>> db = Database(schema, window=2)
-    >>> db.execute(hire, "alice", "cs", 100, 30, "S")
+    >>> from repro.domains import make_domain
+    >>> domain = make_domain()
+    >>> domain.install_constraints("alloc-references-project")
+    >>> db = Database(domain.schema, window=2, initial=domain.sample_state())
+    >>> _ = db.execute(domain.hire, "erin", "cs", 90, 25, "S")
+    >>> len(db.current.relation("EMP").tuples)
+    5
+    >>> db.records[-1].ok
+    True
     """
 
     def __init__(
@@ -99,6 +108,8 @@ class Database:
         self._trusted: set[tuple[str, str]] = set()
         self.store: Optional["Store"] = None
         self._durable_seq = 0
+        self._incremental: Optional["IncrementalChecker"] = None
+        self._query_cache: Optional["QueryCache"] = None
 
     # -- configuration -------------------------------------------------------
 
@@ -149,6 +160,12 @@ class Database:
                 self.graph.add_transition(
                     current, prepared, f"register-encoding:{encoding.log_name}"
                 )
+        # The head state changed outside the commit path: cached queries and
+        # constraint validity no longer describe it.
+        if self._incremental is not None:
+            self._incremental.reset()
+        if self._query_cache is not None:
+            self._query_cache.clear()
 
     def required_window(self, constraint: Constraint) -> int | Window:
         cached = self._windows.get(constraint.name)
@@ -156,6 +173,78 @@ class Database:
             cached = analyze(constraint).window
             self._windows[constraint.name] = cached
         return cached
+
+    def enable_incremental(self, *, verify: bool = False) -> "IncrementalChecker":
+        """Skip constraint re-checks a commit provably cannot affect.
+
+        Each commit's physical delta (:func:`~repro.storage.serialize.
+        state_delta`) is intersected with every constraint's statically
+        analyzed relation footprint; a constraint that held at the previous
+        commit and whose footprint the delta misses is not re-evaluated.
+        DESIGN.md §7.3 has the soundness argument.  With ``verify=True``
+        every skip additionally runs the full check and raises
+        :class:`~repro.eval.incremental.IncrementalMismatch` on
+        disagreement — the cross-checking correctness mode.
+
+        Returns the checker (its ``stats`` expose skip/check counts).
+
+        >>> from repro.domains import make_domain
+        >>> domain = make_domain()
+        >>> domain.install_constraints("every-employee-allocated")
+        >>> db = Database(domain.schema, initial=domain.sample_state())
+        >>> checker = db.enable_incremental()
+        >>> _ = db.execute(domain.create_project, "web", 50)  # PROJ only
+        >>> (checker.stats.skipped, checker.stats.checked)
+        (0, 1)
+        >>> _ = db.execute(domain.create_project, "app", 60)
+        >>> (checker.stats.skipped, checker.stats.checked)
+        (1, 1)
+        """
+        from repro.eval.incremental import IncrementalChecker
+
+        self._incremental = IncrementalChecker(
+            self.schema, verify=verify, metrics=self.metrics
+        )
+        return self._incremental
+
+    def enable_query_cache(
+        self, *, max_entries: int = 1024, verify: bool = False
+    ) -> "QueryCache":
+        """Memoize :meth:`query` results until a commit touches their reads.
+
+        Entries are keyed on the program, its arguments, and a content
+        digest of the relations the evaluation actually read (never on the
+        tracer, so profiling cannot change hit behavior); commits
+        invalidate by relation.  ``verify=True`` re-evaluates on every hit
+        and raises :class:`~repro.eval.cache.CacheMismatch` on any
+        difference.
+
+        Returns the cache (its ``stats`` expose hit/miss/invalidation
+        counts).
+
+        >>> from repro.domains import make_domain
+        >>> from repro.logic import builder as b
+        >>> from repro.transactions.program import query
+        >>> domain = make_domain()
+        >>> db = Database(domain.schema, initial=domain.sample_state())
+        >>> cache = db.enable_query_cache()
+        >>> headcount = query("headcount", (), b.size_of(b.rel("EMP", 5)))
+        >>> db.query(headcount), db.query(headcount)
+        (4, 4)
+        >>> (cache.stats.hits, cache.stats.misses)
+        (1, 1)
+        >>> _ = db.execute(domain.hire, "erin", "cs", 90, 25, "S")
+        >>> db.query(headcount)
+        5
+        >>> (cache.stats.hits, cache.stats.misses)
+        (1, 2)
+        """
+        from repro.eval.cache import QueryCache
+
+        self._query_cache = QueryCache(
+            max_entries, verify=verify, metrics=self.metrics
+        )
+        return self._query_cache
 
     # -- durability ------------------------------------------------------------
 
@@ -249,6 +338,23 @@ class Database:
         return self.history.current
 
     def query(self, program: DatabaseProgram, *args: object) -> Value:
+        """Evaluate a query program at the current state.
+
+        When :meth:`enable_query_cache` is active the evaluation is
+        memoized; results are always identical to an uncached run.
+
+        >>> from repro.domains import make_domain
+        >>> from repro.logic import builder as b
+        >>> from repro.transactions.program import query
+        >>> domain = make_domain()
+        >>> db = Database(domain.schema, initial=domain.sample_state())
+        >>> db.query(query("headcount", (), b.size_of(b.rel("EMP", 5))))
+        4
+        """
+        if self._query_cache is not None:
+            return self._query_cache.evaluate(
+                program, tuple(args), self.current, self.interpreter
+            )
         return program.query(self.current, *args, interpreter=self.interpreter)
 
     # -- execution ----------------------------------------------------------------
@@ -302,6 +408,25 @@ class Database:
         for encoding in self.encodings:
             after = encoding.record(before, after)
 
+        inc = self._incremental
+        touched: frozenset[str] = frozenset()
+        structural = False
+        if inc is not None or self._query_cache is not None:
+            from repro.storage.serialize import delta_touched, state_delta
+
+            delta = state_delta(before, after)
+            touched = frozenset(delta_touched(delta))
+            structural = bool(delta.get("created") or delta.get("dropped"))
+        if inc is not None:
+
+            def arity_of(name: str) -> Optional[int]:
+                rel = after.relations.get(name)
+                if rel is None:
+                    rel = before.relations.get(name)
+                return None if rel is None else rel.arity
+
+            inc.begin(touched, arity_of, structural=structural)
+
         record = ExecutionRecord(label)
         # The candidate history is built lazily: a transaction checked only
         # by trusted/skipped constraints never pays for copying the window.
@@ -339,13 +464,27 @@ class Database:
                     raise CheckabilityError(f"{c.name}: {reason}")
                 record.skipped.append(SkippedCheck(c, reason))
                 continue
+            licensed = inc.licensed(c) if inc is not None else None
+            if licensed is not None and not inc.verify:
+                record.results.append(licensed)
+                inc.record_skip(c)
+                continue
             if candidate is None:
                 candidate = self.history.fork()
                 candidate.advance(after, label)
-            record.results.append(check_history(c, candidate, self.interpreter))
+            result = check_history(c, candidate, self.interpreter)
+            record.results.append(result)
+            if inc is not None:
+                if licensed is not None:
+                    # Verify mode: the analysis licensed a skip — the full
+                    # check must agree or the analysis is broken.
+                    inc.cross_check(c, result.ok)
+                inc.record_full(c, result.ok)
 
         self.records.append(record)
         if not record.ok:
+            if inc is not None:
+                inc.finalize(success=False)
             failed = next(r for r in record.results if not r.ok)
             raise ConstraintViolation(
                 failed.constraint.name, f"transaction {label} rolled back"
@@ -358,6 +497,10 @@ class Database:
             self.history.labels = candidate.labels
         else:
             self.history.advance(after, label)
+        if inc is not None:
+            inc.finalize(success=True)
+        if self._query_cache is not None:
+            self._query_cache.invalidate(touched, structural=structural)
         if self.graph is not None:
             self.graph.add_transition(before, after, label)
         if self.store is not None:
@@ -390,8 +533,13 @@ class Database:
         evaluate transactions against immutable snapshots and commit through
         :meth:`apply` under validation — see ``repro/concurrent``.
 
-        >>> with db.concurrent(workers=8) as mgr:
+        >>> from repro.domains import make_domain
+        >>> domain = make_domain()
+        >>> db = Database(domain.schema, initial=domain.sample_state())
+        >>> with db.concurrent(workers=2) as mgr:
         ...     outcome = mgr.submit(domain.set_salary, "alice", 150).result()
+        >>> outcome.ok
+        True
         """
         from repro.concurrent.scheduler import TransactionManager
 
@@ -414,9 +562,17 @@ class Database:
         wrap the database interpreter and inherit its tracer, so concurrent
         workers trace into the same profile.
 
+        >>> from repro.domains import make_domain
+        >>> domain = make_domain()
+        >>> db = Database(domain.schema, initial=domain.sample_state())
         >>> with db.profile() as prof:
-        ...     db.execute(domain.hire, "erin", "cs", 90, 25, "S")
-        >>> print(prof.render())
+        ...     _ = db.execute(domain.hire, "erin", "cs", 90, 25, "S")
+        >>> [t.label for t in prof.transactions()]
+        ['hire']
+        >>> print(prof.render())  # doctest: +ELLIPSIS
+        profile breakdown (self time):
+        ...
+          hire: ... ms, 2 steps, touched ['EMP']
         """
         tracer = Tracer(max_spans=max_spans)
         previous = self.interpreter.tracer

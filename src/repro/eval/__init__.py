@@ -1,0 +1,45 @@
+"""Incremental evaluation: tabled query caching + delta-driven checking.
+
+The commit path's dominant cost is re-evaluating every integrity constraint
+over the full window after every transaction, and the query path's is
+re-running pure-fluent evaluations whose inputs have not changed.  This
+package removes both redundancies without changing any verdict:
+
+* :mod:`repro.eval.footprint` — static analysis mapping each constraint to
+  the over-approximated set of relations its evaluation can read;
+* :mod:`repro.eval.incremental` — the commit-time checker that skips
+  constraints whose footprint is disjoint from the commit's physical delta
+  (with a verify mode cross-checking every skip against the full check);
+* :mod:`repro.eval.cache` — a tabled cache of query results keyed on
+  program, arguments, and a content digest of the relations the evaluation
+  actually read (tracked through the interpreter's ``_touch`` seam);
+* :mod:`repro.eval.versions` — the per-relation last-writer index the
+  optimistic scheduler validates footprints against in O(|footprint|).
+
+Enable on a database with :meth:`~repro.engine.Database.enable_incremental`
+and :meth:`~repro.engine.Database.enable_query_cache`; both default to off
+so the fully re-checked semantics stay the baseline.  DESIGN.md §7.3 gives
+the soundness argument; ``docs/ARCHITECTURE.md`` places the layer in the
+system.
+"""
+
+from repro.eval.cache import CacheMismatch, CacheStats, QueryCache
+from repro.eval.footprint import Footprint, constraint_footprint
+from repro.eval.incremental import (
+    IncrementalChecker,
+    IncrementalMismatch,
+    IncrementalStats,
+)
+from repro.eval.versions import RelationVersions
+
+__all__ = [
+    "CacheMismatch",
+    "CacheStats",
+    "QueryCache",
+    "Footprint",
+    "constraint_footprint",
+    "IncrementalChecker",
+    "IncrementalMismatch",
+    "IncrementalStats",
+    "RelationVersions",
+]

@@ -1,0 +1,260 @@
+"""Incremental constraint checking: re-check only what a commit can affect.
+
+Full enforcement re-evaluates every constraint over the whole window after
+every transaction.  The paper's constraint taxonomy (Section 2) already
+tells us most of these re-checks are redundant: a static constraint over
+relations a commit never touched cannot change verdict, and the same
+window-shift argument extends to bounded-window dynamic constraints.  This
+module implements that skip rule, with the static analysis living in
+:mod:`repro.eval.footprint`.
+
+**The soundness argument** (DESIGN.md §7.3 gives the full version).  Let
+``W = [w0..wk]`` be the window before a commit and ``W' = [w1..wk, w']``
+after, where ``w'`` is the new head.  A constraint ``c`` may be skipped at
+this commit iff all of:
+
+1. *It held over W* — established by an actual full check (or a previous
+   sound skip) at the previous commit; tracked by the valid set.  Any
+   engine-level skip (trust pairs, window shortfall) evicts ``c`` from the
+   valid set, so the next eligible commit re-checks it fully.
+2. *Its verdict is a function of the footprint relations of the window's
+   states* — ``c``'s footprint is *eligible* (no existential state or
+   transition quantification, no transition variables at all, no state
+   constants, no embedded state-changing / defined / Skolem applications)
+   and evaluation reads only the footprint (the analysis widens to
+   ``universe`` whenever it cannot prove this, e.g. situational tuple
+   variables, state equality).
+3. *The commit's physical delta is disjoint from the footprint* —
+   ``delta_touched(state_delta(wk, w')) ∩ footprint = ∅``, tested against
+   relation *arities* too so relations created after the analysis still
+   block (``Footprint.blockers``).
+
+Under 1–3, any violating assignment over ``W'`` maps to one over ``W`` by
+substituting ``wk`` for ``w'`` — they agree on every relation the verdict
+depends on — contradicting 1.  Note the tid-level delta makes this robust
+to identifier reuse: ``delta_touched`` reports a relation whenever any
+tuple id in it was inserted, deleted, or modified, even if the *value* set
+is unchanged.
+
+The **verify mode** (``verify=True``) is the correctness harness: every
+licensed skip still runs the full check and raises
+:class:`IncrementalMismatch` if the full check disagrees — i.e. if the
+skip would have masked a violation.  The randomized cross-check test in
+``tests/test_eval_incremental.py`` drives whole workloads through this
+mode.
+
+>>> from repro.domains import make_domain
+>>> d = make_domain()
+>>> chk = IncrementalChecker(d.schema)
+>>> fp = chk.footprint(d.every_employee_allocated())
+>>> sorted(fp.relations)
+['ALLOC', 'DEPT', 'EMP']
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import ReproError
+from repro.constraints.checker import CheckResult
+from repro.constraints.model import Constraint
+from repro.db.schema import Schema
+from repro.eval.footprint import Footprint, constraint_footprint
+from repro.obs.metrics import MetricsRegistry
+
+
+class IncrementalMismatch(ReproError):
+    """Verify mode caught a skip the full check contradicts.
+
+    Raised only when ``verify=True``; it means the footprint analysis (or
+    the valid-set protocol) is unsound for this constraint — a bug worth a
+    report, never a condition to swallow.
+    """
+
+
+@dataclass
+class IncrementalStats:
+    """What the checker did across all commits (mirrored to metrics)."""
+
+    skipped: int = 0
+    checked: int = 0
+    verified: int = 0
+    commits: int = 0
+
+    @property
+    def skip_rate(self) -> float:
+        total = self.skipped + self.checked
+        return self.skipped / total if total else 0.0
+
+
+class IncrementalChecker:
+    """Decides, per commit, which constraints need re-checking.
+
+    The engine drives it with a transactional protocol per commit:
+
+    1. :meth:`begin` with the commit's touched-relation set (from the
+       physical delta) opens a session and clears the *next* valid set;
+    2. :meth:`licensed` asks whether a constraint's re-check may be
+       skipped (the engine still applies its own trust/window skips
+       first — those evict from the valid set via step 3's absence);
+    3. :meth:`observe` records each constraint that is known to hold over
+       the candidate window — checked fully and passed, or soundly
+       skipped;
+    4. :meth:`finalize` with the commit's fate: success installs the next
+       valid set (the window advanced), failure discards it (the window
+       did not move, so the *old* valid set is still the truth).
+
+    Constraints are tracked by identity, not just name: replacing a
+    constraint object in the schema invalidates its skip state.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        *,
+        verify: bool = False,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.schema = schema
+        self.verify = verify
+        self.metrics = metrics
+        self.stats = IncrementalStats()
+        self._footprints: dict[int, Footprint] = {}
+        self._valid: dict[str, Constraint] = {}
+        self._next_valid: dict[str, Constraint] = {}
+        self._session_open = False
+        self._session_skips = 0
+        self._touched: frozenset[str] = frozenset()
+        self._arity_of: Callable[[str], Optional[int]] = lambda name: None
+
+    # -- analysis ----------------------------------------------------------
+
+    def footprint(self, constraint: Constraint) -> Footprint:
+        """The (memoized) footprint analysis of one constraint."""
+        fp = self._footprints.get(id(constraint))
+        if fp is None:
+            fp = constraint_footprint(constraint, self.schema)
+            self._footprints[id(constraint)] = fp
+        return fp
+
+    def report(self) -> str:
+        """Human-readable footprints of every schema constraint."""
+        return "\n".join(str(self.footprint(c)) for c in self.schema.constraints)
+
+    # -- the per-commit protocol -------------------------------------------
+
+    def begin(
+        self,
+        touched: frozenset[str] | set[str],
+        arity_of: Callable[[str], Optional[int]],
+        *,
+        structural: bool = False,
+    ) -> None:
+        """Open a commit session.
+
+        ``touched`` comes from :func:`~repro.storage.serialize.
+        delta_touched` on the commit's physical delta; ``arity_of``
+        resolves a touched relation's arity (post-state first, pre-state
+        for drops); ``structural`` marks relation creation/drops —
+        currently subsumed by ``touched`` (created and dropped names are
+        in the delta) but kept explicit for clarity at the call site.
+        """
+        self._touched = frozenset(touched)
+        self._arity_of = arity_of
+        self._next_valid = {}
+        self._session_open = True
+        self._session_skips = 0
+        self.stats.commits += 1
+
+    def licensed(self, constraint: Constraint) -> Optional[CheckResult]:
+        """A passing :class:`CheckResult` if skipping is sound, else None.
+
+        Sound means: this exact constraint object held over the previous
+        window, its footprint is eligible and bounded away from the
+        commit's touched set.  The result's ``states_checked`` is 0 and
+        its detail names the evidence, so execution records stay
+        self-explanatory.
+        """
+        assert self._session_open, "licensed() outside begin()/finalize()"
+        if self._valid.get(constraint.name) is not constraint:
+            return None
+        fp = self.footprint(constraint)
+        if not fp.eligible:
+            return None
+        blocked = fp.blockers(self._touched, self._arity_of)
+        if blocked:
+            return None
+        return CheckResult(
+            constraint,
+            True,
+            0,
+            detail=(
+                "incremental: footprint disjoint from commit delta "
+                f"(touched {sorted(self._touched) or '[]'})"
+            ),
+        )
+
+    def observe(self, constraint: Constraint, ok: bool) -> None:
+        """Record a constraint's verdict over the candidate window."""
+        assert self._session_open, "observe() outside begin()/finalize()"
+        if ok:
+            self._next_valid[constraint.name] = constraint
+
+    def record_skip(self, constraint: Constraint) -> None:
+        """Account a licensed skip (metrics + carry validity forward)."""
+        self.observe(constraint, True)
+        self.stats.skipped += 1
+        self._session_skips += 1
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_eval_constraints_skipped_total",
+                "Constraint re-checks skipped by incremental analysis",
+            ).inc()
+
+    def record_full(self, constraint: Constraint, ok: bool) -> None:
+        """Account a full re-check and its verdict."""
+        self.observe(constraint, ok)
+        self.stats.checked += 1
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_eval_constraints_checked_total",
+                "Constraint re-checks executed in full",
+            ).inc()
+
+    def cross_check(self, constraint: Constraint, full_ok: bool) -> None:
+        """Verify-mode referee: a licensed skip must match the full check."""
+        self.stats.verified += 1
+        if not full_ok:
+            raise IncrementalMismatch(
+                f"{constraint.name}: incremental analysis licensed a skip "
+                f"but the full check fails — footprint "
+                f"[{self.footprint(constraint)}], touched "
+                f"{sorted(self._touched)}"
+            )
+
+    def finalize(self, success: bool) -> None:
+        """Close the session; install the next valid set iff the window
+        actually advanced."""
+        if not self._session_open:
+            return
+        self._session_open = False
+        if success:
+            self._valid = self._next_valid
+            if self.metrics is not None:
+                self.metrics.gauge(
+                    "repro_eval_constraints_skipped",
+                    "Constraint re-checks skipped at the latest commit",
+                ).set(self._session_skips)
+                self.metrics.gauge(
+                    "repro_eval_constraints_valid",
+                    "Constraints currently known to hold over the window",
+                ).set(len(self._valid))
+        self._next_valid = {}
+
+    def reset(self) -> None:
+        """Forget all validity (history rewritten outside the commit path,
+        e.g. encoding registration replacing the head state)."""
+        self._valid = {}
+        self._next_valid = {}
+        self._session_open = False

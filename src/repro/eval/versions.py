@@ -1,0 +1,57 @@
+"""Per-relation write-version index for O(|footprint|) validation.
+
+The optimistic scheduler's validation question is: *did any commit after my
+snapshot write a relation in my footprint?*  The original implementation
+answered it by scanning the suffix of a growing ``(version, write-set)``
+list — O(commits since snapshot).  This index keeps, for each relation
+name, only the version of the **last** commit that wrote it, which is all
+validation ever needs: a footprint relation conflicts iff its last-writer
+version is newer than the snapshot.
+
+>>> rv = RelationVersions()
+>>> rv.bump({"EMP", "ALLOC"}, version=1)
+>>> rv.bump({"EMP"}, version=2)
+>>> sorted(rv.conflicts({"EMP", "ALLOC", "DEPT"}, since=1))
+['EMP']
+>>> rv.conflicts({"DEPT"}, since=0)
+frozenset()
+>>> rv.last_writer("ALLOC")
+1
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+class RelationVersions:
+    """Maps each relation name to the version of its last committed write.
+
+    Not synchronized: the scheduler mutates and queries it under its own
+    commit lock, which is also what makes "last writer" well-defined.
+    """
+
+    def __init__(self) -> None:
+        self._last: dict[str, int] = {}
+
+    def bump(self, names: Iterable[str], version: int) -> None:
+        """Record that commit ``version`` wrote ``names``."""
+        for name in names:
+            self._last[name] = version
+
+    def conflicts(self, footprint: Iterable[str], since: int) -> frozenset[str]:
+        """Footprint relations written by any commit newer than ``since``."""
+        last = self._last
+        return frozenset(
+            name for name in footprint if last.get(name, 0) > since
+        )
+
+    def last_writer(self, name: str) -> int:
+        """The version of the last commit that wrote ``name`` (0 = never)."""
+        return self._last.get(name, 0)
+
+    def __len__(self) -> int:
+        return len(self._last)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RelationVersions({self._last!r})"

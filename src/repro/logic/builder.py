@@ -7,7 +7,9 @@ tests, and examples:
 >>> from repro.logic import builder as b
 >>> s = b.state_var("s")
 >>> e = b.ftup_var("e", 5)
->>> b.holds(s, b.member(e, b.rel("EMP", 5)))    # s::(e in EMP)
+>>> membership = b.holds(s, b.member(e, b.rel("EMP", 5)))   # s::(e in EMP)
+>>> print(membership)
+s::e in EMP
 """
 
 from __future__ import annotations

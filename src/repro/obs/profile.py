@@ -71,7 +71,23 @@ class TransactionProfile:
 
 
 class Profile:
-    """What one ``Database.profile()`` block observed."""
+    """What one ``Database.profile()`` block observed.
+
+    >>> from repro.domains import make_domain
+    >>> from repro.engine import Database
+    >>> domain = make_domain()
+    >>> db = Database(domain.schema, initial=domain.sample_state())
+    >>> with db.profile() as prof:
+    ...     _ = db.execute(domain.create_project, "web", 50)
+    ...     _ = db.execute(domain.hire, "erin", "cs", 90, 25, "S")
+    >>> [t.label for t in prof.transactions()]
+    ['create-project', 'hire']
+    >>> sorted(prof.transactions()[1].touched())
+    ['EMP']
+    >>> doc = prof.to_doc()
+    >>> sorted(doc)
+    ['breakdown', 'metrics', 'trace']
+    """
 
     def __init__(
         self, tracer: Tracer, metrics: Optional[MetricsRegistry] = None

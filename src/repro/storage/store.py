@@ -86,10 +86,20 @@ class Recovery:
 class Store:
     """A durable home for one database's run.
 
-    >>> store = Store("/var/lib/repro/bank")
-    >>> store.initialize(db.current)        # fresh store: checkpoint 0
-    >>> ...                                 # engine calls log_commit per commit
-    >>> recovery = Store("/var/lib/repro/bank").recover()
+    >>> import tempfile
+    >>> from repro.domains import make_domain
+    >>> from repro.engine import Database
+    >>> domain = make_domain()
+    >>> db = Database(domain.schema, initial=domain.sample_state())
+    >>> path = tempfile.mkdtemp()
+    >>> _ = db.durable(path)                # checkpoint 0 + journal from here
+    >>> _ = db.execute(domain.create_project, "web", 50)
+    >>> db.close()
+    >>> recovery = Store(path).recover()    # e.g. after a crash
+    >>> recovery.state == db.current
+    True
+    >>> recovery.seq
+    1
     """
 
     def __init__(

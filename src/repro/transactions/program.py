@@ -24,8 +24,20 @@ from repro.transactions.interpreter import DEFAULT_INTERPRETER, Env, Interpreter
 class DatabaseProgram:
     """A named, parameterized f-term.
 
-    >>> cancel = DatabaseProgram("cancel-project", (p, v), body)
-    >>> new_state = cancel(state, project_tuple, 10)
+    A state-sorted body makes a *transaction* (run with :meth:`run`), an
+    object-sorted body a *query* (run with :meth:`query`) — Definition 3's
+    split.  Calling the program dispatches on that:
+
+    >>> from repro.domains import make_domain
+    >>> domain = make_domain()
+    >>> state = domain.sample_state()
+    >>> domain.hire.is_transaction
+    True
+    >>> after = domain.hire(state, "erin", "cs", 90, 25, "S")
+    >>> len(after.relation("EMP").tuples) - len(state.relation("EMP").tuples)
+    1
+    >>> sorted(domain.hire.mentioned_relations())
+    ['EMP']
     """
 
     name: str

@@ -1,0 +1,209 @@
+"""Incremental constraint checking: skips, soundness, and the randomized
+incremental-vs-full agreement harness."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.engine import Database
+from repro.errors import ConstraintViolation
+from repro.domains import make_domain
+
+
+STATIC = (
+    "every-employee-allocated",
+    "alloc-references-project",
+    "allocation-within-limit",
+)
+
+
+def fresh_db(*constraint_names, **kwargs):
+    domain = make_domain()
+    domain.install_constraints(*constraint_names)
+    db = Database(domain.schema, initial=domain.sample_state(), **kwargs)
+    return domain, db
+
+
+class TestSkipping:
+    def test_unaffected_constraint_is_skipped_after_first_check(self):
+        domain, db = fresh_db("every-employee-allocated")
+        chk = db.enable_incremental()
+        db.execute(domain.create_project, "web", 50)  # PROJ: first full check
+        assert (chk.stats.skipped, chk.stats.checked) == (0, 1)
+        db.execute(domain.create_project, "app", 60)  # now skippable
+        assert (chk.stats.skipped, chk.stats.checked) == (1, 1)
+        # The skip shows up in the execution record as a passing result.
+        result = db.records[-1].results[0]
+        assert result.ok and result.states_checked == 0
+        assert "incremental" in result.detail
+
+    def test_affected_constraint_is_rechecked(self):
+        domain, db = fresh_db("every-employee-allocated")
+        chk = db.enable_incremental()
+        db.execute(domain.create_project, "web", 50)
+        # hire touches EMP — inside the footprint — so no skip; and the new
+        # unallocated employee genuinely violates the constraint.
+        with pytest.raises(ConstraintViolation):
+            db.execute(domain.hire, "erin", "cs", 90, 25, "S")
+        assert chk.stats.skipped == 0
+        assert chk.stats.checked == 2
+
+    def test_failed_commit_keeps_validity_of_old_window(self):
+        domain, db = fresh_db("every-employee-allocated")
+        chk = db.enable_incremental()
+        db.execute(domain.create_project, "web", 50)
+        with pytest.raises(ConstraintViolation):
+            db.execute(domain.hire, "erin", "cs", 90, 25, "S")
+        # The window did not move; the constraint still holds over it, so
+        # the next disjoint commit may skip.
+        db.execute(domain.create_project, "app", 60)
+        assert chk.stats.skipped == 1
+
+    def test_arity_widened_footprint_blocks_same_arity_writes(self):
+        # every-employee-allocated quantifies a fluent arity-3 tuple, so a
+        # DEPT (arity 3) write blocks the skip even though the formula never
+        # names DEPT.
+        domain, db = fresh_db("every-employee-allocated")
+        chk = db.enable_incremental()
+        db.execute(domain.create_dept, "legal", "ada", "b9")
+        db.execute(domain.create_dept, "hr", "grace", "b7")
+        assert chk.stats.skipped == 0
+        assert chk.stats.checked == 2
+
+    def test_ineligible_constraints_are_always_rechecked(self):
+        domain, db = fresh_db("skill-retention")  # transition-quantified
+        chk = db.enable_incremental()
+        db.execute(domain.create_project, "web", 50)
+        db.execute(domain.create_project, "app", 60)
+        assert chk.stats.skipped == 0
+        assert chk.stats.checked == 2
+
+    def test_trusted_skip_evicts_validity(self):
+        domain, db = fresh_db("every-employee-allocated")
+        chk = db.enable_incremental()
+        db.execute(domain.create_project, "web", 50)
+        # A trusted pair bypasses checking entirely — and must also evict
+        # the constraint from the valid set (the engine did not verify the
+        # new window).
+        db.trust("every-employee-allocated", "create-project")
+        db.execute(domain.create_project, "app", 60)
+        assert chk.stats.skipped == 0
+        db._trusted.clear()
+        db.execute(domain.create_project, "crm", 70)
+        # Not trusted any more, and not in the valid set: full check again.
+        assert (chk.stats.skipped, chk.stats.checked) == (0, 2)
+
+    def test_register_encoding_resets_validity(self):
+        from repro.constraints.history import HistoryEncoding
+
+        domain, db = fresh_db("every-employee-allocated")
+        chk = db.enable_incremental()
+        db.execute(domain.create_project, "web", 50)
+        db.register_encoding(
+            HistoryEncoding(domain.schema.relation("EMP"), "FIRE", "e-name")
+        )
+        db.execute(domain.create_project, "app", 60)
+        assert chk.stats.skipped == 0
+
+    def test_metrics_mirrored(self):
+        domain, db = fresh_db("every-employee-allocated")
+        db.enable_incremental()
+        db.execute(domain.create_project, "web", 50)
+        db.execute(domain.create_project, "app", 60)
+        m = db.metrics
+        assert m.counter("repro_eval_constraints_skipped_total").value == 1
+        assert m.counter("repro_eval_constraints_checked_total").value == 1
+        assert m.gauge("repro_eval_constraints_skipped").value == 1
+        assert m.gauge("repro_eval_constraints_valid").value == 1
+
+
+class TestVerifyMode:
+    def test_verify_mode_runs_full_checks_and_agrees(self):
+        domain, db = fresh_db(*STATIC)
+        chk = db.enable_incremental(verify=True)
+        db.execute(domain.create_project, "web", 50)
+        db.execute(domain.create_project, "app", 60)
+        # In verify mode nothing is actually skipped...
+        assert chk.stats.skipped == 0
+        # ...but licensed skips were cross-checked against the full check.
+        assert chk.stats.verified >= 1
+
+
+class TestConcurrentPath:
+    def test_scheduler_commits_use_incremental_checking(self):
+        domain, db = fresh_db("every-employee-allocated")
+        chk = db.enable_incremental()
+        with db.concurrent(workers=2) as mgr:
+            outcomes = mgr.run_all(
+                [(domain.create_project, f"p{i}", 10) for i in range(6)]
+            )
+        assert all(o.ok for o in outcomes)
+        assert mgr.verify_serializable()
+        # First commit checks fully; the other five skip.
+        assert (chk.stats.skipped, chk.stats.checked) == (5, 1)
+
+
+class TestRandomizedAgreement:
+    """The acceptance-criteria harness: on a random workload, incremental
+    and full checking must agree on every single commit."""
+
+    def ops(self, domain, rng):
+        """A random transaction (program, args) — some violate constraints."""
+        choices = [
+            (domain.create_project, lambda: (f"p{rng.randrange(100)}", 10)),
+            (domain.create_dept,
+             lambda: (f"d{rng.randrange(100)}", "chair", "b1")),
+            (domain.add_skill,
+             lambda: (rng.choice(["alice", "bob", "carol"]),
+                      rng.randrange(10))),
+            # hire violates every-employee-allocated (new emp, no alloc)
+            (domain.hire,
+             lambda: (f"e{rng.randrange(100)}", "cs", 90, 25, "S")),
+            # set_salary touches EMP but preserves all installed constraints
+            (domain.set_salary,
+             lambda: (rng.choice(["alice", "bob", "carol", "dan"]),
+                      rng.randrange(50, 200))),
+        ]
+        program, mk = rng.choice(choices)
+        return program, mk()
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_incremental_and_full_agree_on_every_commit(self, seed):
+        rng = random.Random(seed)
+        script = []
+        d_probe = make_domain()
+        for _ in range(60):
+            program, args = self.ops(d_probe, rng)
+            script.append((program.name, args))
+
+        # Run the same script on three databases: full checking, incremental
+        # (verify mode — raises IncrementalMismatch on any disagreement),
+        # and incremental for real (skips actually taken).
+        def run(enable, verify):
+            domain = make_domain()
+            domain.install_constraints(*STATIC)
+            db = Database(domain.schema, initial=domain.sample_state())
+            if enable:
+                db.enable_incremental(verify=verify)
+            programs = {
+                p.name: p
+                for p in (domain.create_project, domain.create_dept,
+                          domain.add_skill, domain.hire, domain.set_salary)
+            }
+            verdicts = []
+            for name, args in script:
+                ok, _ = db.try_execute(programs[name], *args)
+                verdicts.append(ok)
+            return verdicts, db
+
+        full_verdicts, full_db = run(enable=False, verify=False)
+        verified_verdicts, _ = run(enable=True, verify=True)
+        inc_verdicts, inc_db = run(enable=True, verify=False)
+
+        assert verified_verdicts == full_verdicts
+        assert inc_verdicts == full_verdicts
+        assert inc_db.current.digest() == full_db.current.digest()
+        inc = inc_db._incremental
+        assert inc.stats.skipped > 0, "workload exercised no skips"

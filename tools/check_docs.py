@@ -1,0 +1,119 @@
+"""Documentation gate: run every doctest and check every markdown link.
+
+Two checks, both import-based (``python -m doctest path/to/module.py``
+executes the module *outside* its package and trips circular imports;
+importing through the package and handing the module object to
+``doctest.testmod`` is the supported way):
+
+1. **Doctests** — every module under ``src/repro`` is imported and its
+   doctests executed.  Public entry points (``Database``, ``check_state`` /
+   ``check_history``, ``TransactionManager``, ``Store``, ``Profile``, the
+   builder DSL, the ``repro.eval`` package, …) all carry runnable examples,
+   so this is the executable half of the documentation.
+2. **Markdown links** — relative links and anchors in the top-level
+   documents (README, DESIGN, EXPERIMENTS, docs/ARCHITECTURE, …) must
+   resolve to files that exist.  External (http/https) links are checked
+   for shape only; CI must not depend on third-party uptime.
+
+Run:  PYTHONPATH=src python tools/check_docs.py
+Exit status is non-zero on any doctest failure or broken link.
+"""
+
+from __future__ import annotations
+
+import doctest
+import importlib
+import pkgutil
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+DOCUMENTS = (
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "ROADMAP.md",
+    "docs/ARCHITECTURE.md",
+)
+
+LINK = re.compile(r"\[[^\]^\[]*\]\(([^)\s]+)\)")
+
+
+def run_doctests() -> tuple[int, int, list[str]]:
+    """Import every repro module and run its doctests."""
+    import repro
+
+    failures: list[str] = []
+    attempted = 0
+    modules = 0
+    names = [repro.__name__] + [
+        name
+        for _, name, _ in pkgutil.walk_packages(
+            repro.__path__, prefix="repro."
+        )
+    ]
+    for name in sorted(names):
+        module = importlib.import_module(name)
+        result = doctest.testmod(
+            module,
+            optionflags=doctest.ELLIPSIS | doctest.NORMALIZE_WHITESPACE,
+        )
+        attempted += result.attempted
+        modules += 1
+        if result.failed:
+            failures.append(f"{name}: {result.failed} doctest failure(s)")
+    print(f"doctests: {attempted} examples across {modules} modules")
+    return attempted, modules, failures
+
+
+def check_links() -> list[str]:
+    """Resolve every relative markdown link in DOCUMENTS."""
+    problems: list[str] = []
+    checked = 0
+    for doc in DOCUMENTS:
+        path = REPO / doc
+        if not path.exists():
+            problems.append(f"{doc}: document missing")
+            continue
+        text = path.read_text(encoding="utf-8")
+        for match in LINK.finditer(text):
+            target = match.group(1)
+            checked += 1
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            if target.startswith("#"):
+                # In-page anchor: check a heading plausibly matches.
+                anchor = target[1:].lower()
+                slugs = {
+                    re.sub(r"[^a-z0-9 -]", "", line.lstrip("#").strip().lower())
+                    .replace(" ", "-")
+                    for line in text.splitlines()
+                    if line.startswith("#")
+                }
+                if anchor not in slugs:
+                    problems.append(f"{doc}: dangling anchor {target}")
+                continue
+            resolved = (path.parent / target.split("#")[0]).resolve()
+            if not resolved.exists():
+                problems.append(f"{doc}: broken link {target}")
+    print(f"links: {checked} checked across {len(DOCUMENTS)} documents")
+    return problems
+
+
+def main() -> int:
+    attempted, _, failures = run_doctests()
+    problems = check_links()
+    if attempted == 0:
+        failures.append("no doctests found — the documented examples vanished")
+    for line in failures + problems:
+        print(f"FAIL: {line}", file=sys.stderr)
+    if failures or problems:
+        return 1
+    print("docs check: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
