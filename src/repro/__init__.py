@@ -36,6 +36,8 @@ Subsystem map (see DESIGN.md):
 """
 
 from repro.concurrent import (
+    AdmissionController,
+    CircuitBreaker,
     CommitLog,
     CommitRecord,
     ConcurrencyStats,
@@ -79,14 +81,20 @@ from repro.db import (
 from repro.domains import EmployeeDomain, make_domain
 from repro.engine import Database
 from repro.errors import (
+    BudgetExceeded,
+    Cancelled,
     CheckabilityError,
+    CircuitOpen,
     ConstraintViolation,
     EvaluationError,
     ExecutabilityError,
+    Overloaded,
     ParseError,
     ProofError,
     ReproError,
+    ResourceError,
     RetryExhausted,
+    SchedulerClosed,
     SchemaError,
     SortError,
     SynthesisError,
@@ -108,6 +116,8 @@ from repro.storage import (
     state_digest,
 )
 from repro.transactions import (
+    Budget,
+    CancelToken,
     DatabaseProgram,
     Env,
     Interpreter,
@@ -128,6 +138,8 @@ __all__ = [
     "ConstraintViolation", "CheckabilityError", "ProofError",
     "SynthesisError", "ParseError", "SchemaError",
     "TransactionConflict", "RetryExhausted",
+    "ResourceError", "BudgetExceeded", "Cancelled",
+    "Overloaded", "CircuitOpen", "SchedulerClosed",
     # db
     "Schema", "RelationSchema", "State", "Relation", "DBTuple", "TupleSet",
     "make_tuple", "initial_state", "state_from_rows",
@@ -147,6 +159,9 @@ __all__ = [
     "RetryPolicy", "Deadline", "CommitLog", "CommitRecord",
     "TrackingInterpreter", "ReadWriteSet", "ConcurrencyStats",
     "states_equivalent",
+    "AdmissionController", "CircuitBreaker",
+    # governance
+    "Budget", "CancelToken",
     # storage
     "Store", "Recovery", "Journal", "JournalRecord", "state_digest",
     # observability

@@ -4,11 +4,17 @@ The paper's evolution-graph view makes states values; this subsystem makes
 *schedules* values.  Workers evaluate transactions against snapshots with no
 locking (:mod:`tracking`), a validate-at-commit scheduler serializes them
 (:mod:`scheduler`) with retry/backoff on conflict (:mod:`retry`), every
-commit lands in a replayable serial log (:mod:`log`), and a metrics surface
-watches it all (:mod:`stats`).  Entry point:
-:meth:`repro.engine.Database.concurrent`.
+commit lands in a replayable serial log (:mod:`log`), a metrics surface
+watches it all (:mod:`stats`), and admission control plus a conflict-storm
+circuit breaker keep it standing under overload (:mod:`admission`).  Entry
+point: :meth:`repro.engine.Database.concurrent`.
 """
 
+from repro.concurrent.admission import (
+    AdmissionController,
+    AdmissionTicket,
+    CircuitBreaker,
+)
 from repro.concurrent.log import CommitLog, CommitRecord, states_equivalent
 from repro.concurrent.retry import Deadline, RetryPolicy
 from repro.concurrent.scheduler import (
@@ -24,6 +30,9 @@ from repro.concurrent.tracking import (
 )
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionTicket",
+    "CircuitBreaker",
     "CommitLog",
     "CommitRecord",
     "ConcurrencyStats",

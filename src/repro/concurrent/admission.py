@@ -1,0 +1,385 @@
+"""Admission control and the conflict-storm circuit breaker.
+
+The optimistic scheduler accepts every submission and retries every
+conflict; under overload ("heavy traffic from millions of users") that is
+exactly wrong — queues grow without bound and a conflict storm burns all
+workers on retries that mostly abort each other.  This module adds the two
+standard governors in front of :class:`~repro.concurrent.scheduler.
+TransactionManager.submit`:
+
+* **Bounded admission** (:class:`AdmissionController`): at most
+  ``max_pending`` submissions may be waiting for a worker.  Overflow is
+  shed by policy — ``"reject-new"`` refuses the new submission with a typed
+  :class:`~repro.errors.Overloaded` (carrying queue depth and a
+  retry-after hint), ``"drop-oldest"`` admits it and sheds the oldest
+  still-queued submission instead (its future resolves to an ``ABORTED``
+  outcome carrying ``Overloaded`` — never an untyped hang).
+* **Circuit breaker** (:class:`CircuitBreaker`): a windowed conflict-rate
+  monitor over validation outcomes.  ``closed`` admits everything; when
+  the recent conflict rate crosses the threshold it trips ``open`` and
+  submissions fail fast with :class:`~repro.errors.CircuitOpen` until the
+  cooldown elapses; then ``half_open`` admits a few probes — one clean
+  commit closes the breaker, a conflicted probe re-opens it.
+
+Both mirror into the database's :class:`~repro.obs.metrics.MetricsRegistry`
+(``repro_admission_*``, ``repro_breaker_*``) so overload behavior is
+observable on the same surface as commit latency.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.errors import CircuitOpen, Overloaded
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.metrics import MetricsRegistry
+
+BREAKER_STATES = ("closed", "half_open", "open")
+
+
+class AdmissionTicket:
+    """One admitted submission's slot in the pending queue.
+
+    The scheduler holds the ticket from :meth:`AdmissionController.request`
+    until the worker picks the task up (:meth:`AdmissionController.begin`);
+    ``shed`` means load-shedding revoked the slot while the task was still
+    queued — the worker must return an ``Overloaded`` outcome instead of
+    evaluating.
+    """
+
+    __slots__ = ("label", "shed", "probe", "resolved", "shed_error")
+
+    def __init__(self, label: str, probe: bool = False) -> None:
+        self.label = label
+        self.probe = probe
+        self.shed = False
+        self.resolved = False
+        self.shed_error: Optional[Overloaded] = None
+
+
+class CircuitBreaker:
+    """closed → open on windowed conflict rate → half-open probes → closed.
+
+    * ``window`` — how many recent validation outcomes the rate is computed
+      over; ``min_events`` of them must exist before the breaker can trip
+      (a single early conflict is not a storm).
+    * ``threshold`` — conflict fraction at or above which the breaker
+      trips.
+    * ``cooldown`` — seconds the breaker stays open before admitting
+      probes.
+    * ``probes`` — how many submissions the half-open state admits at
+      once.
+
+    Thread-safe; ``clock`` is injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        *,
+        window: int = 64,
+        threshold: float = 0.5,
+        min_events: int = 16,
+        cooldown: float = 0.05,
+        probes: int = 2,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError("threshold must be in (0, 1]")
+        if min_events < 1 or min_events > window:
+            raise ValueError("min_events must be in [1, window]")
+        if cooldown < 0.0:
+            raise ValueError("cooldown must be non-negative")
+        if probes < 1:
+            raise ValueError("probes must be at least 1")
+        self.window = window
+        self.threshold = threshold
+        self.min_events = min_events
+        self.cooldown = cooldown
+        self.probes = probes
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._outcomes: deque[bool] = deque(maxlen=window)
+        self._opened_at = 0.0
+        self._probes_out = 0
+        self.metrics: "Optional[MetricsRegistry]" = None
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._probe_state()
+
+    def conflict_rate(self) -> float:
+        with self._lock:
+            if not self._outcomes:
+                return 0.0
+            return sum(1 for ok in self._outcomes if not ok) / len(
+                self._outcomes
+            )
+
+    # -- the state machine -------------------------------------------------
+
+    def _probe_state(self) -> str:
+        """The current state, advancing open → half_open when the cooldown
+        has elapsed.  Caller holds the lock."""
+        if self._state == "open":
+            if self._clock() - self._opened_at >= self.cooldown:
+                self._transition("half_open")
+                self._probes_out = 0
+        return self._state
+
+    def _transition(self, to: str) -> None:
+        if self._state == to:
+            return
+        self._state = to
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_breaker_transitions_total",
+                "circuit breaker state transitions",
+                to=to,
+            ).inc()
+            self.metrics.enum_state(
+                "repro_breaker_state",
+                to,
+                BREAKER_STATES,
+                "circuit breaker state (1 = active)",
+            )
+
+    def admit(self) -> bool:
+        """Whether a submission may enter; returns True when it is a
+        half-open *probe*.  Raises :class:`CircuitOpen` when refused."""
+        with self._lock:
+            state = self._probe_state()
+            if state == "closed":
+                return False
+            if state == "half_open":
+                if self._probes_out < self.probes:
+                    self._probes_out += 1
+                    return True
+                raise CircuitOpen(
+                    retry_after=self.cooldown,
+                    detail=f"{self.probes} probe(s) already in flight",
+                )
+            remaining = max(
+                0.0, self.cooldown - (self._clock() - self._opened_at)
+            )
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "repro_breaker_rejected_total",
+                    "submissions refused by the open breaker",
+                ).inc()
+            raise CircuitOpen(
+                retry_after=remaining,
+                detail=f"conflict rate {self.conflict_rate_locked():.0%}",
+            )
+
+    def conflict_rate_locked(self) -> float:
+        # Caller holds the lock (admit's error path).
+        if not self._outcomes:
+            return 0.0
+        return sum(1 for ok in self._outcomes if not ok) / len(self._outcomes)
+
+    def record(self, ok: bool, *, probe: bool = False) -> None:
+        """Feed one validation outcome (True = validated cleanly)."""
+        with self._lock:
+            state = self._probe_state()
+            if state == "half_open" and probe:
+                self._probes_out = max(0, self._probes_out - 1)
+                if ok:
+                    # One clean commit proves the storm has passed.
+                    self._outcomes.clear()
+                    self._transition("closed")
+                else:
+                    self._trip()
+                return
+            if state != "closed":
+                # Late outcomes from pre-trip submissions: not evidence.
+                return
+            self._outcomes.append(ok)
+            if (
+                len(self._outcomes) >= self.min_events
+                and self.conflict_rate_locked() >= self.threshold
+            ):
+                self._trip()
+
+    def release_probe(self) -> None:
+        """A probe ended without producing a validation outcome (its
+        evaluation failed) — free the slot so half-open cannot wedge."""
+        with self._lock:
+            if self._state == "half_open":
+                self._probes_out = max(0, self._probes_out - 1)
+
+    def _trip(self) -> None:
+        self._opened_at = self._clock()
+        self._outcomes.clear()
+        self._transition("open")
+
+
+class AdmissionController:
+    """A bounded submission queue with a load-shedding policy.
+
+    ``max_pending`` bounds how many admitted submissions may be waiting for
+    a worker (``None`` = unbounded — breaker-only governance); ``policy``
+    is ``"reject-new"`` or ``"drop-oldest"``.  ``retry_hint_per_item``
+    scales the :class:`Overloaded` retry-after hint with the queue depth —
+    a crude but monotone estimate of drain time.
+
+    One controller serves one :class:`~repro.concurrent.scheduler.
+    TransactionManager`; the manager calls :meth:`request` in ``submit``,
+    :meth:`begin` when a worker picks the task up, :meth:`record_validation`
+    with each validation verdict, and :meth:`finish` when the task ends.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_pending: Optional[int] = 64,
+        policy: str = "reject-new",
+        breaker: Optional[CircuitBreaker] = None,
+        retry_hint_per_item: float = 0.001,
+        metrics: "Optional[MetricsRegistry]" = None,
+    ) -> None:
+        if max_pending is not None and max_pending < 1:
+            raise ValueError("max_pending must be at least 1 (or None)")
+        if policy not in ("reject-new", "drop-oldest"):
+            raise ValueError("policy must be 'reject-new' or 'drop-oldest'")
+        self.max_pending = max_pending
+        self.policy = policy
+        self.breaker = breaker
+        self.retry_hint_per_item = retry_hint_per_item
+        self._lock = threading.Lock()
+        self._queue: deque[AdmissionTicket] = deque()
+        self._pending = 0
+        self.rejected = 0
+        self.shed = 0
+        self.metrics = metrics
+        if breaker is not None and metrics is not None:
+            breaker.metrics = metrics
+
+    def attach_metrics(self, metrics: "Optional[MetricsRegistry]") -> None:
+        """Adopt the manager's registry unless one was given explicitly."""
+        if self.metrics is None and metrics is not None:
+            self.metrics = metrics
+            if self.breaker is not None and self.breaker.metrics is None:
+                self.breaker.metrics = metrics
+
+    @property
+    def depth(self) -> int:
+        """Admitted submissions still waiting for a worker."""
+        with self._lock:
+            return self._pending
+
+    # -- the scheduler-facing protocol -------------------------------------
+
+    def request(self, label: str) -> AdmissionTicket:
+        """Admit one submission or raise :class:`Overloaded` /
+        :class:`CircuitOpen`."""
+        probe = self.breaker.admit() if self.breaker is not None else False
+        ticket = AdmissionTicket(label, probe=probe)
+        try:
+            with self._lock:
+                if (
+                    self.max_pending is not None
+                    and self._pending >= self.max_pending
+                ):
+                    self._shed_locked(ticket)
+                self._pending += 1
+                self._queue.append(ticket)
+                self._gauge_locked()
+            return ticket
+        except Overloaded:
+            if probe and self.breaker is not None:
+                self.breaker.release_probe()
+            raise
+
+    def _shed_locked(self, incoming: AdmissionTicket) -> None:
+        """Queue full: reject ``incoming`` or shed the oldest still-queued
+        ticket, per policy.  Caller holds the lock."""
+        error = Overloaded(
+            depth=self._pending,
+            limit=self.max_pending or 0,
+            retry_after=self._pending * self.retry_hint_per_item,
+        )
+        if self.policy == "reject-new":
+            self.rejected += 1
+            self._count_locked(
+                "repro_admission_rejected_total",
+                "submissions rejected by admission control",
+            )
+            raise error
+        # drop-oldest: revoke the oldest ticket a worker has not started.
+        while self._queue:
+            oldest = self._queue.popleft()
+            if not oldest.shed:
+                oldest.shed = True
+                oldest.shed_error = error
+                self._pending -= 1
+                self.shed += 1
+                self._count_locked(
+                    "repro_admission_shed_total",
+                    "queued submissions shed by drop-oldest",
+                )
+                return
+        # Nothing to shed (pending tasks all started): fall back to reject.
+        self.rejected += 1
+        self._count_locked(
+            "repro_admission_rejected_total",
+            "submissions rejected by admission control",
+        )
+        raise error
+
+    def begin(self, ticket: AdmissionTicket) -> bool:
+        """A worker picked the ticket's task up; returns whether it was
+        shed while queued (the worker must not evaluate it)."""
+        with self._lock:
+            if not ticket.shed:
+                self._pending -= 1
+                try:
+                    self._queue.remove(ticket)
+                except ValueError:
+                    pass
+                self._gauge_locked()
+        return ticket.shed
+
+    def record_validation(self, ticket: AdmissionTicket, ok: bool) -> None:
+        """Feed one validation verdict to the breaker (no-op without one).
+
+        A half-open probe resolves on its *first* verdict — retries of the
+        same probe count as ordinary traffic.
+        """
+        if self.breaker is None:
+            return
+        probe = ticket.probe and not ticket.resolved
+        ticket.resolved = True
+        self.breaker.record(ok, probe=probe)
+
+    def finish(self, ticket: AdmissionTicket) -> None:
+        """The task ended; release an unresolved probe slot."""
+        if (
+            self.breaker is not None
+            and ticket.probe
+            and not ticket.resolved
+        ):
+            ticket.resolved = True
+            self.breaker.release_probe()
+
+    # -- metrics -----------------------------------------------------------
+
+    def _count_locked(self, name: str, help: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name, help).inc()
+
+    def _gauge_locked(self) -> None:
+        if self.metrics is not None:
+            self.metrics.gauge(
+                "repro_admission_depth",
+                "admitted submissions waiting for a worker",
+            ).set(self._pending)

@@ -42,7 +42,14 @@ class RetryPolicy:
     * ``multiplier`` — growth factor per further conflict.
     * ``max_delay`` — cap on any single pause.
     * ``jitter`` — fraction of the pause randomized away (0 = deterministic,
-      0.5 = pause drawn uniformly from [0.5·d, d]).
+      0.5 = pause drawn uniformly from [0.5·d, d]).  Ignored under
+      ``jitter_mode="full"``.
+    * ``jitter_mode`` — ``"partial"`` (default) keeps at least
+      ``(1 - jitter)·d`` of the pause; ``"full"`` draws uniformly from
+      ``[0, d)`` (AWS-style full jitter).  Partial jitter preserves the
+      backoff floor but lets transactions aborted by the same commit stay
+      loosely synchronized; full jitter spreads them across the whole
+      interval, which is what de-correlates a conflict storm.
     """
 
     max_attempts: int = 8
@@ -50,6 +57,7 @@ class RetryPolicy:
     multiplier: float = 2.0
     max_delay: float = 0.05
     jitter: float = 0.5
+    jitter_mode: str = "partial"
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -62,6 +70,8 @@ class RetryPolicy:
             raise ValueError("max_delay must be non-negative")
         if not 0.0 <= self.jitter <= 1.0:
             raise ValueError("jitter must be in [0, 1]")
+        if self.jitter_mode not in ("partial", "full"):
+            raise ValueError("jitter_mode must be 'partial' or 'full'")
 
     def delay(self, attempt: int, rng: random.Random | None = None) -> float:
         """The pause after the ``attempt``-th (1-based) conflicted attempt."""
@@ -69,6 +79,8 @@ class RetryPolicy:
             self.max_delay,
             self.base_delay * self.multiplier ** max(0, attempt - 1),
         )
+        if self.jitter_mode == "full":
+            return raw * (rng or random).random()
         if self.jitter:
             draw = (rng or random).random()
             raw *= 1.0 - self.jitter * draw

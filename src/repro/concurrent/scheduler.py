@@ -35,11 +35,16 @@ from typing import TYPE_CHECKING, Callable, Iterable, Optional, Sequence
 
 from repro.errors import (
     ConstraintViolation,
+    Overloaded,
     ReproError,
+    ResourceError,
     RetryExhausted,
+    SchedulerClosed,
 )
 from repro.db.state import State
+from repro.transactions.budget import Budget
 from repro.transactions.program import DatabaseProgram
+from repro.concurrent.admission import AdmissionController, AdmissionTicket
 from repro.concurrent.log import CommitLog, CommitRecord, states_equivalent
 from repro.concurrent.retry import Deadline, RetryPolicy
 from repro.concurrent.stats import ConcurrencyStats
@@ -103,12 +108,20 @@ class TransactionManager:
         workers: int = 4,
         retry: Optional[RetryPolicy] = None,
         seed: Optional[int] = None,
+        admission: Optional[AdmissionController] = None,
+        budget: Optional[Budget] = None,
+        chaos: Optional[object] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
         self.database = database
         self.workers = workers
         self.retry = retry or RetryPolicy()
+        self.admission = admission
+        self.budget = budget  # per-submission template; never mutated
+        self._chaos = chaos  # testing seam: may inject validation conflicts
+        if admission is not None:
+            admission.attach_metrics(getattr(database, "metrics", None))
         self.log = CommitLog()
         self.stats = ConcurrencyStats(
             metrics=getattr(database, "metrics", None)
@@ -176,31 +189,55 @@ class TransactionManager:
         think_time: float = 0.0,
         retry: Optional[RetryPolicy] = None,
         deadline: Optional[Deadline | float] = None,
+        budget: Optional[Budget] = None,
         on_evaluated: Optional[Callable[[int], None]] = None,
     ) -> "Future[TransactionOutcome]":
         """Schedule a transaction; returns a future for its outcome.
 
         ``think_time`` models per-transaction client/IO latency (TPC-style
         think time) inside the worker, before evaluation.  ``deadline``
-        bounds total retry wall time (a float means seconds from now).
+        bounds total retry wall time (a float means seconds from now) *and*
+        is threaded into each attempt's evaluation budget, so a diverging
+        program is interrupted mid-evaluation rather than only between
+        retries.  ``budget`` overrides the manager's default evaluation
+        budget for this submission (each attempt runs under a fresh copy).
         ``on_evaluated(attempt)`` is an instrumentation seam invoked after
         optimistic evaluation, before validation — tests use it to force
         deterministic interleavings.
+
+        Raises :class:`~repro.errors.SchedulerClosed` after :meth:`close`,
+        and — when the manager has an :class:`AdmissionController` —
+        :class:`~repro.errors.Overloaded` / :class:`~repro.errors.CircuitOpen`
+        when admission refuses the submission.
         """
         if self._closed:
-            raise ReproError("transaction manager is closed")
+            raise SchedulerClosed()
         if isinstance(deadline, (int, float)):
             deadline = Deadline.after(float(deadline))
-        return self._executor.submit(
-            self._run_task,
-            program,
-            args,
-            label or program.name,
-            think_time,
-            retry or self.retry,
-            deadline,
-            on_evaluated,
-        )
+        name = label or program.name
+        ticket: Optional[AdmissionTicket] = None
+        if self.admission is not None:
+            ticket = self.admission.request(name)
+        try:
+            return self._executor.submit(
+                self._run_task,
+                program,
+                args,
+                name,
+                think_time,
+                retry or self.retry,
+                deadline,
+                budget if budget is not None else self.budget,
+                on_evaluated,
+                ticket,
+            )
+        except RuntimeError as err:
+            # close() raced the _closed check above; release the admission
+            # slot and surface the same typed error as the fast path.
+            if ticket is not None and self.admission is not None:
+                self.admission.begin(ticket)
+                self.admission.finish(ticket)
+            raise SchedulerClosed() from err
 
     def execute(
         self, program: DatabaseProgram, *args: object, **kwargs
@@ -226,8 +263,39 @@ class TransactionManager:
         think_time: float,
         policy: RetryPolicy,
         deadline: Optional[Deadline],
+        budget: Optional[Budget],
         on_evaluated: Optional[Callable[[int], None]],
+        ticket: Optional[AdmissionTicket] = None,
     ) -> TransactionOutcome:
+        try:
+            return self._attempt_loop(
+                program, args, label, think_time, policy, deadline, budget,
+                on_evaluated, ticket,
+            )
+        finally:
+            if ticket is not None and self.admission is not None:
+                self.admission.finish(ticket)
+
+    def _attempt_loop(
+        self,
+        program: DatabaseProgram,
+        args: tuple[object, ...],
+        label: str,
+        think_time: float,
+        policy: RetryPolicy,
+        deadline: Optional[Deadline],
+        budget: Optional[Budget],
+        on_evaluated: Optional[Callable[[int], None]],
+        ticket: Optional[AdmissionTicket],
+    ) -> TransactionOutcome:
+        if ticket is not None and self.admission is not None:
+            if self.admission.begin(ticket):
+                # Shed by drop-oldest while queued: typed outcome, no work.
+                self.stats.record_abort()
+                error = ticket.shed_error or Overloaded(0, 0)
+                return TransactionOutcome(
+                    label, TransactionStatus.ABORTED, None, 0, (), None, error,
+                )
         started = time.perf_counter()
         conflicts: list[frozenset[str]] = []
         attempt = 0
@@ -237,8 +305,17 @@ class TransactionManager:
             if think_time:
                 time.sleep(think_time)
             tracker = TrackingInterpreter.wrapping(self.database.interpreter)
+            tracker.budget = self._attempt_budget(budget, deadline)
             try:
                 after = program.run(base, *args, interpreter=tracker)
+            except ResourceError as err:
+                # Fuel/deadline/cancellation: a governance abort, not a
+                # program failure — the program itself may be fine.
+                self.stats.record_abort()
+                return TransactionOutcome(
+                    label, TransactionStatus.ABORTED, None, attempt,
+                    tuple(conflicts), None, err,
+                )
             except ReproError as err:
                 self.stats.record_failure()
                 return TransactionOutcome(
@@ -251,13 +328,21 @@ class TransactionManager:
 
             with self._lock:
                 clash = self._conflicts_since(snapshot_version, rw.footprint)
+                if not clash and self._chaos is not None:
+                    injected = self._chaos.validation_conflict(label, attempt)
+                    if injected:
+                        clash = frozenset(injected)
                 if not clash:
+                    if ticket is not None and self.admission is not None:
+                        self.admission.record_validation(ticket, True)
                     return self._commit_locked(
                         program, args, label, snapshot_version, base, after,
                         rw, attempt, conflicts, started,
                     )
 
             # Conflict: abort this attempt, maybe retry after backoff.
+            if ticket is not None and self.admission is not None:
+                self.admission.record_validation(ticket, False)
             conflicts.append(clash)
             self.stats.record_conflict(clash)
             if policy.exhausted(attempt) or (deadline and deadline.expired()):
@@ -274,6 +359,24 @@ class TransactionManager:
             if pause:
                 self.stats.record_backoff(pause)
                 time.sleep(pause)
+
+    def _attempt_budget(
+        self, budget: Optional[Budget], deadline: Optional[Deadline]
+    ) -> Optional[Budget]:
+        """The per-attempt evaluation budget: a fresh copy of the template
+        (counters zeroed, limits kept) with the submission deadline merged
+        in as an absolute wall-clock bound.  The deadline is shared across
+        all retry attempts of one transaction, so a retry inherits only the
+        time that is actually left."""
+        if budget is None and deadline is None:
+            return None
+        meter = budget.fresh() if budget is not None else Budget()
+        if deadline is not None:
+            at = deadline.started + deadline.seconds
+            meter.deadline_at = (
+                at if meter.deadline_at is None else min(meter.deadline_at, at)
+            )
+        return meter
 
     def _commit_locked(
         self,

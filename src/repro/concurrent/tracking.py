@@ -91,11 +91,15 @@ class TrackingInterpreter(Interpreter):
             order_check=base.order_check,
             max_enumeration=base.max_enumeration,
             tracer=base.tracer,
+            budget=base.budget,
         )
 
     # -- the hooks ---------------------------------------------------------
 
     def _touch(self, state: State, *names: str) -> None:
+        budget = self.budget
+        if budget is not None:
+            budget.tick()
         self.reads.update(names)
         tracer = self.tracer
         if tracer is not None and tracer.enabled:

@@ -22,6 +22,7 @@ Section 1.
 
 from __future__ import annotations
 
+import dataclasses
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterator, Optional
@@ -174,7 +175,9 @@ class Database:
             self._windows[constraint.name] = cached
         return cached
 
-    def enable_incremental(self, *, verify: bool = False) -> "IncrementalChecker":
+    def enable_incremental(
+        self, *, verify: bool = False, quarantine: bool = False
+    ) -> "IncrementalChecker":
         """Skip constraint re-checks a commit provably cannot affect.
 
         Each commit's physical delta (:func:`~repro.storage.serialize.
@@ -185,6 +188,11 @@ class Database:
         every skip additionally runs the full check and raises
         :class:`~repro.eval.incremental.IncrementalMismatch` on
         disagreement — the cross-checking correctness mode.
+        ``quarantine=True`` (implies verify) degrades gracefully instead:
+        the first mismatch disables the incremental analysis for the rest
+        of the run with a :class:`~repro.eval.quarantine.QuarantineWarning`
+        and a ``repro_quarantined_total`` increment, and the commit
+        proceeds on the full check's verdict.
 
         Returns the checker (its ``stats`` expose skip/check counts).
 
@@ -203,12 +211,19 @@ class Database:
         from repro.eval.incremental import IncrementalChecker
 
         self._incremental = IncrementalChecker(
-            self.schema, verify=verify, metrics=self.metrics
+            self.schema,
+            verify=verify,
+            quarantine=quarantine,
+            metrics=self.metrics,
         )
         return self._incremental
 
     def enable_query_cache(
-        self, *, max_entries: int = 1024, verify: bool = False
+        self,
+        *,
+        max_entries: int = 1024,
+        verify: bool = False,
+        quarantine: bool = False,
     ) -> "QueryCache":
         """Memoize :meth:`query` results until a commit touches their reads.
 
@@ -217,7 +232,10 @@ class Database:
         tracer, so profiling cannot change hit behavior); commits
         invalidate by relation.  ``verify=True`` re-evaluates on every hit
         and raises :class:`~repro.eval.cache.CacheMismatch` on any
-        difference.
+        difference.  ``quarantine=True`` (implies verify) degrades
+        gracefully instead: the first mismatch disables the cache for the
+        rest of the run (warning + ``repro_quarantined_total``) and the
+        query returns the fresh value.
 
         Returns the cache (its ``stats`` expose hit/miss/invalidation
         counts).
@@ -242,7 +260,10 @@ class Database:
         from repro.eval.cache import QueryCache
 
         self._query_cache = QueryCache(
-            max_entries, verify=verify, metrics=self.metrics
+            max_entries,
+            verify=verify,
+            quarantine=quarantine,
+            metrics=self.metrics,
         )
         return self._query_cache
 
@@ -360,15 +381,28 @@ class Database:
     # -- execution ----------------------------------------------------------------
 
     def execute(
-        self, program: DatabaseProgram, *args: object, label: Optional[str] = None
+        self,
+        program: DatabaseProgram,
+        *args: object,
+        label: Optional[str] = None,
+        budget=None,
     ) -> State:
         """Run a transaction; enforce constraints; advance the history.
 
         On violation the state does not advance and
-        :class:`ConstraintViolation` is raised.
+        :class:`ConstraintViolation` is raised.  ``budget`` (a
+        :class:`~repro.transactions.budget.Budget`) bounds the evaluation —
+        a runaway program raises :class:`~repro.errors.BudgetExceeded` or
+        :class:`~repro.errors.Cancelled` instead of running forever; the
+        state does not advance.
         """
         label = label or program.name
-        after = program.run(self.current, *args, interpreter=self.interpreter)
+        interpreter = self.interpreter
+        if budget is not None:
+            interpreter = dataclasses.replace(
+                interpreter, budget=budget.fresh()
+            )
+        after = program.run(self.current, *args, interpreter=interpreter)
         return self._commit(after, label, program.name, args=args)
 
     def apply(
@@ -526,12 +560,20 @@ class Database:
         workers: int = 4,
         retry=None,
         seed: Optional[int] = None,
+        admission=None,
+        budget=None,
     ):
         """An optimistic parallel scheduler over this database.
 
         Returns a :class:`repro.concurrent.TransactionManager` whose workers
         evaluate transactions against immutable snapshots and commit through
         :meth:`apply` under validation — see ``repro/concurrent``.
+
+        ``admission`` installs an :class:`~repro.concurrent.admission.
+        AdmissionController` (bounded queue + optional circuit breaker) in
+        front of ``submit``; ``budget`` is a default
+        :class:`~repro.transactions.budget.Budget` template applied to
+        every submission's evaluation attempts.
 
         >>> from repro.domains import make_domain
         >>> domain = make_domain()
@@ -543,7 +585,14 @@ class Database:
         """
         from repro.concurrent.scheduler import TransactionManager
 
-        return TransactionManager(self, workers=workers, retry=retry, seed=seed)
+        return TransactionManager(
+            self,
+            workers=workers,
+            retry=retry,
+            seed=seed,
+            admission=admission,
+            budget=budget,
+        )
 
     @contextmanager
     def profile(self, *, max_spans: int = 100_000) -> Iterator[Profile]:

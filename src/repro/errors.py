@@ -79,6 +79,91 @@ class RetryExhausted(TransactionConflict):
         )
 
 
+class ResourceError(ReproError):
+    """Resource governance rejected or interrupted work.
+
+    The branch of the taxonomy for *graceful degradation*: nothing is wrong
+    with the program's logic — the engine refused to spend (more) resources
+    on it.  Subclasses say which governor fired: an evaluation budget
+    (:class:`BudgetExceeded`), a cooperative cancellation
+    (:class:`Cancelled`), admission control (:class:`Overloaded`), the
+    conflict-storm circuit breaker (:class:`CircuitOpen`), or a scheduler
+    that is no longer accepting work (:class:`SchedulerClosed`).
+    """
+
+
+class BudgetExceeded(ResourceError, EvaluationError):
+    """An evaluation ran past its :class:`~repro.transactions.budget.Budget`.
+
+    Also an :class:`EvaluationError`: the interpreter raises it *mid-
+    evaluation* (at the ``_touch``/span seams), so a runaway ``foreach`` or
+    a combinatorial set former aborts instead of pinning a worker.
+    ``resource`` names the exhausted dimension (``steps``, ``foreach``,
+    ``derived-set``, or ``deadline``).
+    """
+
+    def __init__(self, resource: str, limit: float, used: float) -> None:
+        self.resource = resource
+        self.limit = limit
+        self.used = used
+        super().__init__(
+            f"evaluation budget exceeded: {resource} used {used:g} "
+            f"of {limit:g}"
+        )
+
+
+class Cancelled(ResourceError, EvaluationError):
+    """A cooperative :class:`~repro.transactions.budget.CancelToken` fired.
+
+    Raised at the next budget checkpoint after the token was cancelled —
+    evaluation stops cleanly between steps, never mid-action.
+    """
+
+    def __init__(self, reason: str = "cancelled") -> None:
+        self.reason = reason
+        super().__init__(f"evaluation cancelled: {reason}")
+
+
+class Overloaded(ResourceError):
+    """Admission control shed this submission: the pending queue is full.
+
+    Carries the observed queue ``depth``, the configured ``limit``, and a
+    ``retry_after`` hint (seconds) for the client's backoff.
+    """
+
+    def __init__(self, depth: int, limit: int, retry_after: float = 0.0) -> None:
+        self.depth = depth
+        self.limit = limit
+        self.retry_after = retry_after
+        super().__init__(
+            f"scheduler overloaded: {depth} pending (limit {limit}); "
+            f"retry after {retry_after:.3f}s"
+        )
+
+
+class CircuitOpen(ResourceError):
+    """The conflict-storm circuit breaker is open: submissions are refused
+    until the cooldown elapses and half-open probes succeed.
+
+    ``retry_after`` hints when the breaker will admit probes again.
+    """
+
+    def __init__(self, retry_after: float = 0.0, detail: str = "") -> None:
+        self.retry_after = retry_after
+        extra = f" ({detail})" if detail else ""
+        super().__init__(
+            f"circuit breaker open{extra}; retry after {retry_after:.3f}s"
+        )
+
+
+class SchedulerClosed(ResourceError):
+    """A transaction was submitted to a closed :class:`~repro.concurrent.
+    scheduler.TransactionManager` — closing is final; make a new manager."""
+
+    def __init__(self, message: str = "transaction manager is closed") -> None:
+        super().__init__(message)
+
+
 class ProofError(ReproError):
     """The prover failed (resource limits, malformed input, ...)."""
 

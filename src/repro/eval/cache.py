@@ -50,6 +50,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.errors import ReproError
+from repro.eval.quarantine import quarantine_event
 from repro.concurrent.tracking import TrackingInterpreter
 from repro.db.state import State
 from repro.db.values import Value
@@ -111,12 +112,17 @@ class QueryCache:
         max_entries: int = 1024,
         *,
         verify: bool = False,
+        quarantine: bool = False,
         metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if max_entries < 1:
             raise ValueError("max_entries must be at least 1")
         self.max_entries = max_entries
-        self.verify = verify
+        # Quarantine needs the referee: every hit must be cross-checked so
+        # the first wrong answer disables the cache instead of escaping.
+        self.verify = verify or quarantine
+        self.quarantine = quarantine
+        self.enabled = True
         self.stats = CacheStats()
         self.metrics = metrics
         self._entries: dict[tuple[str, bytes], _Entry] = {}
@@ -136,7 +142,12 @@ class QueryCache:
         The key is ``(program.name, canonical-args)`` — never the
         interpreter or its tracer — so profiled and unprofiled runs see
         identical hits and identical values.
+
+        A quarantined cache (``quarantine=True`` after a verify mismatch)
+        bypasses the table entirely and evaluates fresh.
         """
+        if not self.enabled:
+            return program.query(state, *args, interpreter=interpreter)
         key = (program.name, canonical_bytes(encode_args(tuple(args))))
         entry = self._entries.get(key)
         if (
@@ -154,10 +165,18 @@ class QueryCache:
             if self.verify:
                 fresh = program.query(state, *args, interpreter=interpreter)
                 if fresh != entry.value:
-                    raise CacheMismatch(
+                    detail = (
                         f"{program.name}{args!r}: cached {entry.value!r} "
                         f"!= fresh {fresh!r}"
                     )
+                    if self.quarantine:
+                        # Disable the cache, keep the commit/query alive:
+                        # the fresh value is correct by construction.
+                        self.enabled = False
+                        self.clear()
+                        quarantine_event(self.metrics, "query-cache", detail)
+                        return fresh
+                    raise CacheMismatch(detail)
             return entry.value
 
         self.stats.misses += 1

@@ -57,6 +57,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.errors import ReproError
+from repro.eval.quarantine import quarantine_event
 from repro.constraints.checker import CheckResult
 from repro.constraints.model import Constraint
 from repro.db.schema import Schema
@@ -114,10 +115,15 @@ class IncrementalChecker:
         schema: Schema,
         *,
         verify: bool = False,
+        quarantine: bool = False,
         metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.schema = schema
-        self.verify = verify
+        # Quarantine needs the referee: every licensed skip must be
+        # cross-checked so the first unsound one disables the analysis.
+        self.verify = verify or quarantine
+        self.quarantine = quarantine
+        self.enabled = True
         self.metrics = metrics
         self.stats = IncrementalStats()
         self._footprints: dict[int, Footprint] = {}
@@ -177,6 +183,8 @@ class IncrementalChecker:
         self-explanatory.
         """
         assert self._session_open, "licensed() outside begin()/finalize()"
+        if not self.enabled:
+            return None
         if self._valid.get(constraint.name) is not constraint:
             return None
         fp = self.footprint(constraint)
@@ -223,15 +231,29 @@ class IncrementalChecker:
             ).inc()
 
     def cross_check(self, constraint: Constraint, full_ok: bool) -> None:
-        """Verify-mode referee: a licensed skip must match the full check."""
+        """Verify-mode referee: a licensed skip must match the full check.
+
+        Under ``quarantine=True`` a mismatch disables the analysis instead
+        of raising — the full check's verdict is already in the record, so
+        the commit proceeds (or rolls back) exactly as an engine without
+        incremental checking would.
+        """
         self.stats.verified += 1
         if not full_ok:
-            raise IncrementalMismatch(
+            detail = (
                 f"{constraint.name}: incremental analysis licensed a skip "
                 f"but the full check fails — footprint "
                 f"[{self.footprint(constraint)}], touched "
                 f"{sorted(self._touched)}"
             )
+            if self.quarantine:
+                self.enabled = False
+                self._valid = {}
+                quarantine_event(
+                    self.metrics, "incremental-checker", detail
+                )
+                return
+            raise IncrementalMismatch(detail)
 
     def finalize(self, success: bool) -> None:
         """Close the session; install the next valid set iff the window

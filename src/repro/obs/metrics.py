@@ -211,6 +211,26 @@ class MetricsRegistry:
     def histogram(self, name: str, help: str = "", **labels: object) -> Histogram:
         return self._get(Histogram, name, help, labels)
 
+    def enum_state(
+        self,
+        name: str,
+        value: str,
+        states: Iterable[str],
+        help: str = "",
+        **labels: object,
+    ) -> None:
+        """Mirror an enum-valued state (the Prometheus enum pattern): one
+        gauge per possible ``state`` label, exactly the active one set to 1.
+
+        Scrapers can then alert on e.g.
+        ``repro_breaker_state{state="open"} == 1`` without decoding a
+        numeric encoding of the state machine.
+        """
+        for s in states:
+            self.gauge(name, help, state=s, **labels).set(
+                1.0 if s == value else 0.0
+            )
+
     # -- reading -----------------------------------------------------------
 
     def families(self) -> dict[str, list[tuple[LabelSet, object]]]:

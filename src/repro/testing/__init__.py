@@ -1,0 +1,10 @@
+"""Test harnesses shipped with the library (chaos/fault injection)."""
+
+from repro.testing.chaos import (
+    ChaosConfig,
+    ChaosInjector,
+    ChaosReport,
+    run_soak,
+)
+
+__all__ = ["ChaosConfig", "ChaosInjector", "ChaosReport", "run_soak"]

@@ -1,5 +1,6 @@
 """The transaction language: programs, interpreter, executability."""
 
+from repro.transactions.budget import Budget, CancelToken
 from repro.transactions.executability import (
     check_program,
     explain_unexecutable,
@@ -23,6 +24,7 @@ from repro.transactions.program import (
 )
 
 __all__ = [
+    "Budget", "CancelToken",
     "Env", "Interpreter", "DEFAULT_INTERPRETER",
     "evaluate", "satisfies", "execute", "value_eq",
     "DatabaseProgram", "transaction", "query", "literal_args",

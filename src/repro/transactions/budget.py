@@ -1,0 +1,204 @@
+"""Interpreter fuel and cooperative cancellation.
+
+The paper's transactions are arbitrary f-terms: a ``foreach`` over a set
+former can be combinatorially large, and compositions nest without bound.
+A :class:`Budget` bounds what one evaluation may spend — evaluation steps,
+``foreach`` iterations, derived-set tuples, and wall-clock time — and a
+:class:`CancelToken` lets another thread ask a running evaluation to stop.
+
+Both are enforced *cooperatively* at the interpreter's existing seams: the
+``_touch`` read-reporting seam and the per-step span seam of
+:meth:`~repro.transactions.interpreter.Interpreter._run` call
+:meth:`Budget.tick`, so a runaway program raises a typed
+:class:`~repro.errors.BudgetExceeded` / :class:`~repro.errors.Cancelled`
+*between* operational steps — never mid-action, which is what keeps the
+abort clean: states are immutable values, so an interrupted evaluation
+simply never produces a post-state and nothing needs rolling back
+(DESIGN.md §7.4 has the determinism/serializability argument).
+
+The disabled path costs one attribute check per seam — the same contract
+as the tracer (``Interpreter.budget`` is ``None`` by default).
+
+>>> from repro.transactions.budget import Budget
+>>> meter = Budget(max_steps=2)
+>>> meter.tick(); meter.tick()
+>>> meter.tick()
+Traceback (most recent call last):
+    ...
+repro.errors.BudgetExceeded: evaluation budget exceeded: steps used 3 of 2
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import BudgetExceeded, Cancelled
+
+# How many steps pass between wall-clock reads: a deadline is detected at
+# most DEADLINE_STRIDE steps late, and the common tick stays a couple of
+# integer operations.
+DEADLINE_STRIDE = 8
+
+
+class CancelToken:
+    """A thread-safe cooperative cancellation flag.
+
+    Share one token between the submitting thread and the evaluation (via
+    :class:`Budget`); :meth:`cancel` makes the evaluation raise
+    :class:`~repro.errors.Cancelled` at its next budget checkpoint.
+    Cancellation is sticky — a token never un-cancels.
+    """
+
+    __slots__ = ("_event", "_reason")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._reason = "cancelled"
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        self._reason = reason
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+    @property
+    def reason(self) -> str:
+        return self._reason
+
+    def raise_if_cancelled(self) -> None:
+        if self._event.is_set():
+            raise Cancelled(self._reason)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"cancelled: {self._reason}" if self.cancelled else "live"
+        return f"CancelToken({state})"
+
+
+@dataclass
+class Budget:
+    """A fuel meter for one evaluation.
+
+    Limits (``None`` = unlimited):
+
+    * ``max_steps`` — operational steps (one per execution-step span plus
+      one per relation touch);
+    * ``max_foreach_iterations`` — total ``foreach`` iterations, summed
+      across nested and sequential loops;
+    * ``max_derived_set`` — total tuples collected by set formers;
+    * ``deadline_at`` — an *absolute* :func:`time.monotonic` timestamp
+      (use :meth:`within` for "seconds from now");
+    * ``cancel`` — a shared :class:`CancelToken`.
+
+    A ``Budget`` is a mutable, single-evaluation meter: counters advance as
+    the interpreter charges it.  To reuse the limits (the scheduler gives
+    every retry attempt a fresh meter against the same transaction
+    deadline), call :meth:`fresh`.
+    """
+
+    max_steps: Optional[int] = None
+    max_foreach_iterations: Optional[int] = None
+    max_derived_set: Optional[int] = None
+    deadline_at: Optional[float] = None
+    cancel: Optional[CancelToken] = None
+    steps: int = field(default=0, compare=False)
+    foreach_iterations: int = field(default=0, compare=False)
+    derived_tuples: int = field(default=0, compare=False)
+
+    @classmethod
+    def within(
+        cls,
+        seconds: float,
+        *,
+        max_steps: Optional[int] = None,
+        max_foreach_iterations: Optional[int] = None,
+        max_derived_set: Optional[int] = None,
+        cancel: Optional[CancelToken] = None,
+    ) -> "Budget":
+        """A budget whose deadline is ``seconds`` from now."""
+        return cls(
+            max_steps=max_steps,
+            max_foreach_iterations=max_foreach_iterations,
+            max_derived_set=max_derived_set,
+            deadline_at=time.monotonic() + seconds,
+            cancel=cancel,
+        )
+
+    def fresh(self) -> "Budget":
+        """A zeroed meter with the same limits, deadline, and token.
+
+        The deadline stays *absolute*: retry attempts of one transaction
+        share its overall wall-clock budget, they do not each get a new
+        one.
+        """
+        return Budget(
+            max_steps=self.max_steps,
+            max_foreach_iterations=self.max_foreach_iterations,
+            max_derived_set=self.max_derived_set,
+            deadline_at=self.deadline_at,
+            cancel=self.cancel,
+        )
+
+    # -- charging (called from the interpreter seams) ----------------------
+
+    def tick(self) -> None:
+        """Charge one evaluation step; raise if any governor fired.
+
+        The wall clock is read every :data:`DEADLINE_STRIDE` steps (and on
+        the first), so the hot path is an increment and two comparisons.
+        """
+        cancel = self.cancel
+        if cancel is not None and cancel.cancelled:
+            raise Cancelled(cancel.reason)
+        self.steps += 1
+        if self.max_steps is not None and self.steps > self.max_steps:
+            raise BudgetExceeded("steps", self.max_steps, self.steps)
+        if self.deadline_at is not None and self.steps % DEADLINE_STRIDE == 1:
+            self.check_deadline()
+
+    def count_foreach(self, iterations: int) -> None:
+        """Charge a ``foreach`` fold of ``iterations`` satisfiers."""
+        self.foreach_iterations += iterations
+        if (
+            self.max_foreach_iterations is not None
+            and self.foreach_iterations > self.max_foreach_iterations
+        ):
+            raise BudgetExceeded(
+                "foreach",
+                self.max_foreach_iterations,
+                self.foreach_iterations,
+            )
+
+    def count_derived(self, tuples: int = 1) -> None:
+        """Charge ``tuples`` elements collected into a derived set."""
+        self.derived_tuples += tuples
+        if (
+            self.max_derived_set is not None
+            and self.derived_tuples > self.max_derived_set
+        ):
+            raise BudgetExceeded(
+                "derived-set", self.max_derived_set, self.derived_tuples
+            )
+
+    def check_deadline(self) -> None:
+        if self.deadline_at is not None:
+            now = time.monotonic()
+            if now >= self.deadline_at:
+                overrun = now - self.deadline_at
+                raise BudgetExceeded("deadline", 0.0, overrun)
+
+    # -- reading -----------------------------------------------------------
+
+    def remaining_seconds(self) -> Optional[float]:
+        """Seconds until the deadline (``None`` when no deadline is set)."""
+        if self.deadline_at is None:
+            return None
+        return self.deadline_at - time.monotonic()
+
+    def expired(self) -> bool:
+        remaining = self.remaining_seconds()
+        return remaining is not None and remaining <= 0.0

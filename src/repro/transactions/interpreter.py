@@ -33,6 +33,7 @@ from repro.errors import (
     OrderDependenceError,
     UnboundVariableError,
 )
+from repro.transactions.budget import Budget
 from repro.db.relation import Relation
 from repro.db.state import State
 from repro.db.values import Atom, DBTuple, RelationId, TupleSet, Value
@@ -139,6 +140,14 @@ class Interpreter:
     execution step (composition segment, condition branch, ``foreach``
     iteration, atomic action).  ``None`` (the default) is the no-op fast
     path: the only cost is an attribute check per step."""
+    budget: Optional[Budget] = None
+    """Attach a :class:`repro.transactions.budget.Budget` to meter this
+    evaluation: each execution step, relation touch, enumeration candidate,
+    ``foreach`` fold, and derived-set element charges it, so a runaway
+    program raises :class:`~repro.errors.BudgetExceeded` (or
+    :class:`~repro.errors.Cancelled` if its token fired) between steps.
+    ``None`` (the default) costs one attribute check per seam — the same
+    contract as :attr:`tracer`."""
 
     # ======================================================================
     # w:e — object evaluation
@@ -201,7 +210,13 @@ class Interpreter:
         depends on (including relations found missing — their appearance
         would change the result).  :class:`repro.concurrent.tracking.
         TrackingInterpreter` accumulates the reports into a read set; an
-        attached tracer attributes them to the innermost open span."""
+        attached tracer attributes them to the innermost open span.  The
+        same seam meters fuel: an attached budget is charged one step per
+        touch, so read-heavy evaluations (queries, constraint checks) hit
+        their limits even when no execution step runs."""
+        budget = self.budget
+        if budget is not None:
+            budget.tick()
         tracer = self.tracer
         if tracer is not None and tracer.enabled:
             tracer.touch(names)
@@ -364,6 +379,7 @@ class Interpreter:
 
     def _set_former(self, state: State, former: SetFormer, env: Env) -> TupleSet:
         collected: list[DBTuple] = []
+        budget = self.budget
         for inner in self._enumerate(state, former.bound, former.cond, env):
             value = self._obj(state, former.result, inner)
             if isinstance(value, DBTuple):
@@ -374,6 +390,10 @@ class Interpreter:
                 raise EvaluationError(
                     f"set former result must be a tuple or atom, got {value!r}"
                 )
+            if budget is not None:
+                # Charged per element so a combinatorial set former aborts
+                # while collecting, not after materializing the blow-up.
+                budget.count_derived(1)
         return TupleSet.of(former.element_arity, collected)
 
     # ======================================================================
@@ -462,7 +482,11 @@ class Interpreter:
         Each recursive call is one span: a ``Seq``'s children are its
         composition segments, a ``CondFluent``'s child is the branch taken,
         a ``Foreach``'s children are its iterations (emitted in
-        :meth:`_fold_foreach`)."""
+        :meth:`_fold_foreach`).  An attached budget is charged one step
+        here — the span seam is the fuel seam."""
+        budget = self.budget
+        if budget is not None:
+            budget.tick()
         tracer = self.tracer
         if tracer is None or not tracer.enabled:
             return self._run_node(state, fluent, env)
@@ -578,6 +602,12 @@ class Interpreter:
             inner.lookup(fluent.var)
             for inner in self._enumerate(state, (fluent.var,), fluent.cond, env)
         ]
+        budget = self.budget
+        if budget is not None:
+            # Charged before folding: the iteration count is known here, so
+            # an over-budget loop aborts before its first side-effect-free
+            # step rather than part-way through the order check.
+            budget.count_foreach(len(satisfiers))
         result = self._fold_foreach(state, fluent, env, satisfiers)
         if self.order_check != "none" and len(satisfiers) > 1:
             orders: list[list[object]]
@@ -661,7 +691,10 @@ class Interpreter:
                 raise EvaluationError(
                     f"enumeration of {var.name} exceeds max_enumeration"
                 )
+            budget = self.budget
             for value in domain:
+                if budget is not None:
+                    budget.tick()
                 yield from recurse(index + 1, current.bind(var, value))
 
         yield from recurse(0, env)

@@ -358,10 +358,13 @@ class TestStats:
 
 class TestEngineIntegration:
     def test_closed_manager_rejects_submissions(self, db, programs):
+        from repro import ReproError, SchedulerClosed
+
         mgr = db.concurrent(workers=1)
         mgr.close()
-        from repro import ReproError
-
+        with pytest.raises(SchedulerClosed):
+            mgr.submit(programs["put_a"], 1, 1)
+        # The typed error is still catchable under the old contract.
         with pytest.raises(ReproError):
             mgr.submit(programs["put_a"], 1, 1)
 
@@ -392,3 +395,114 @@ class TestEngineIntegration:
         assert out.ok
         assert "GONE" in out.record.write_set
         assert len(db.current.relation("GONE")) == 1
+
+
+# ---------------------------------------------------------------------------
+# Resource governance (budget threading, jitter, lifecycle)
+# ---------------------------------------------------------------------------
+
+
+class TestGovernance:
+    def test_deadline_interrupts_evaluation_not_just_retries(self, schema):
+        """Regression for the deadline-only-between-retries gap: a single
+        long evaluation (a foreach over thousands of tuples) must be
+        aborted *mid-attempt* by the submission deadline, with a typed
+        error, well before the evaluation would finish on its own."""
+        import time
+
+        from repro import BudgetExceeded, ResourceError
+
+        state = state_from_rows(
+            schema, {"A": [(i, i) for i in range(30_000)]}
+        )
+        db = Database(schema, window=2, initial=state)
+        t = b.ftup_var("t", 2)
+        long_sweep = transaction(
+            "long-sweep",
+            (),
+            b.foreach(t, b.member(t, b.rel("A", 2)), b.insert(t, "B")),
+        )
+        with db.concurrent(workers=1) as mgr:
+            started = time.perf_counter()
+            outcome = mgr.submit(long_sweep, deadline=0.2).result()
+            elapsed = time.perf_counter() - started
+        assert outcome.status is TransactionStatus.ABORTED
+        assert isinstance(outcome.error, BudgetExceeded)
+        assert isinstance(outcome.error, ResourceError)
+        assert outcome.error.resource == "deadline"
+        assert elapsed < 1.0, f"deadline abort took {elapsed:.2f}s"
+        assert len(db.current.relation("B")) == 0  # nothing leaked
+
+    def test_budget_template_governs_every_submission(self, db, programs):
+        from repro import Budget, BudgetExceeded
+
+        with db.concurrent(workers=1, budget=Budget(max_steps=1)) as mgr:
+            outcome = mgr.submit(programs["put_a"], 1, 1).result()
+        assert outcome.status is TransactionStatus.ABORTED
+        assert isinstance(outcome.error, BudgetExceeded)
+
+    def test_per_submission_budget_overrides_template(self, db, programs):
+        from repro import Budget
+
+        with db.concurrent(workers=1, budget=Budget(max_steps=1)) as mgr:
+            outcome = mgr.submit(
+                programs["put_a"], 1, 1, budget=Budget(max_steps=10_000)
+            ).result()
+        assert outcome.ok
+
+    def test_full_jitter_spreads_delays(self):
+        """Full jitter draws from [0, d); partial jitter keeps a floor.
+        With a fixed-seed RNG the spread is deterministic and must cover
+        most of the interval."""
+        import random
+
+        full = RetryPolicy(
+            base_delay=0.01, multiplier=1.0, max_delay=0.01,
+            jitter_mode="full",
+        )
+        rng = random.Random(42)
+        draws = [full.delay(1, rng) for _ in range(200)]
+        assert all(0.0 <= d < 0.01 for d in draws)
+        assert min(draws) < 0.002, "full jitter must reach near zero"
+        assert max(draws) > 0.008, "full jitter must reach near the cap"
+        # Partial jitter with the same policy shape never goes below the
+        # (1 - jitter) floor.
+        partial = RetryPolicy(
+            base_delay=0.01, multiplier=1.0, max_delay=0.01,
+            jitter=0.5, jitter_mode="partial",
+        )
+        rng = random.Random(42)
+        assert all(
+            partial.delay(1, rng) >= 0.005 - 1e-12 for _ in range(200)
+        )
+
+    def test_jitter_mode_validated(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter_mode="gaussian")
+
+    def test_close_without_wait_with_in_flight_task(self, db, programs):
+        """close(wait=False) returns immediately; the in-flight task still
+        completes and commits (the pool drains, it is not killed)."""
+        release = threading.Event()
+        parked = threading.Event()
+
+        def gate(attempt: int) -> None:
+            parked.set()
+            assert release.wait(10)
+
+        mgr = db.concurrent(workers=1)
+        fut = mgr.submit(programs["put_a"], 1, 1, on_evaluated=gate)
+        assert parked.wait(10)
+        mgr.close(wait=False)  # must not block on the parked worker
+        release.set()
+        outcome = fut.result(timeout=10)
+        assert outcome.ok
+        assert mgr.verify_serializable()
+
+    def test_submit_after_close_without_wait_is_typed(self, db, programs):
+        from repro import SchedulerClosed
+
+        mgr = db.concurrent(workers=1)
+        mgr.close(wait=False)
+        with pytest.raises(SchedulerClosed):
+            mgr.submit(programs["put_a"], 1, 1)

@@ -1,0 +1,113 @@
+"""The error taxonomy: every public error is typed, documented, and
+catchable as :class:`ReproError`.
+
+Downstream code relies on two properties: ``except ReproError`` catches
+everything the library raises, and the :class:`ResourceError` branch is
+distinguishable from program failures (so schedulers and clients can map
+governance aborts to retry-later instead of bug-report).
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import pytest
+
+import repro
+from repro import errors as errors_module
+from repro.errors import (
+    BudgetExceeded,
+    Cancelled,
+    CircuitOpen,
+    EvaluationError,
+    Overloaded,
+    ReproError,
+    ResourceError,
+    RetryExhausted,
+    SchedulerClosed,
+    TransactionConflict,
+)
+
+
+def all_error_classes():
+    return [
+        cls
+        for _, cls in inspect.getmembers(errors_module, inspect.isclass)
+        if issubclass(cls, Exception) and cls.__module__ == "repro.errors"
+    ]
+
+
+class TestHierarchy:
+    def test_every_error_derives_from_repro_error(self):
+        for cls in all_error_classes():
+            assert issubclass(cls, ReproError), cls.__name__
+
+    def test_every_error_has_a_docstring(self):
+        for cls in all_error_classes():
+            assert cls.__doc__ and cls.__doc__.strip(), cls.__name__
+
+    def test_resource_branch_membership(self):
+        for cls in (BudgetExceeded, Cancelled, Overloaded, CircuitOpen,
+                    SchedulerClosed):
+            assert issubclass(cls, ResourceError), cls.__name__
+
+    def test_budget_errors_are_also_evaluation_errors(self):
+        """The interpreter raises them mid-evaluation, so code catching
+        EvaluationError (the pre-governance contract) still catches them."""
+        assert issubclass(BudgetExceeded, EvaluationError)
+        assert issubclass(Cancelled, EvaluationError)
+        assert not issubclass(Overloaded, EvaluationError)
+        assert not issubclass(CircuitOpen, EvaluationError)
+
+    def test_retry_exhausted_is_a_conflict_not_a_resource_error(self):
+        """Exhausted retries mean real data contention — client-visible as
+        a conflict, not as load shedding."""
+        assert issubclass(RetryExhausted, TransactionConflict)
+        assert not issubclass(RetryExhausted, ResourceError)
+
+
+class TestConstructors:
+    def test_budget_exceeded_carries_the_meter_reading(self):
+        err = BudgetExceeded("foreach", 100, 101)
+        assert (err.resource, err.limit, err.used) == ("foreach", 100, 101)
+        assert "foreach" in str(err)
+
+    def test_overloaded_carries_depth_and_retry_hint(self):
+        err = Overloaded(depth=65, limit=64, retry_after=0.125)
+        assert err.depth == 65 and err.limit == 64
+        assert err.retry_after == pytest.approx(0.125)
+        assert "retry after" in str(err)
+
+    def test_circuit_open_carries_retry_hint(self):
+        err = CircuitOpen(retry_after=0.05, detail="conflict rate 80%")
+        assert err.retry_after == pytest.approx(0.05)
+        assert "conflict rate 80%" in str(err)
+
+    def test_cancelled_carries_reason(self):
+        assert Cancelled("shutdown").reason == "shutdown"
+
+    def test_scheduler_closed_message(self):
+        assert "closed" in str(SchedulerClosed())
+
+
+class TestExports:
+    def test_public_errors_exported_from_package_root(self):
+        for name in (
+            "ReproError", "ResourceError", "BudgetExceeded", "Cancelled",
+            "Overloaded", "CircuitOpen", "SchedulerClosed",
+        ):
+            assert hasattr(repro, name), name
+            assert name in repro.__all__, name
+
+    def test_every_public_error_catchable_as_repro_error(self):
+        samples = [
+            BudgetExceeded("steps", 1, 2),
+            Cancelled(),
+            Overloaded(1, 1),
+            CircuitOpen(),
+            SchedulerClosed(),
+            RetryExhausted("t", {"R"}, 3),
+        ]
+        for sample in samples:
+            with pytest.raises(ReproError):
+                raise sample
