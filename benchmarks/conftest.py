@@ -9,14 +9,29 @@ to the pytest-benchmark timings.
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.domains import make_domain
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 @pytest.fixture()
 def domain():
     return make_domain()
+
+
+def write_bench_json(name: str, doc: dict) -> Path:
+    """Persist one benchmark's headline numbers as ``BENCH_<name>.json`` at
+    the repo root.  CI uploads these as artifacts, so a run's acceptance
+    numbers (throughput, speedups, gate verdicts) survive the log scroll
+    and can be diffed across commits."""
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def print_series(title: str, rows: list[tuple], header: tuple) -> None:

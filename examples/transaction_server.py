@@ -1,0 +1,279 @@
+"""Serve the employee domain over the wire: a walkthrough and a soak.
+
+Two modes, both non-interactive so CI can drive them:
+
+* ``walkthrough`` — boots a :class:`TransactionServer` on a loopback port,
+  connects the sync :class:`Client`, and feeds a scripted session through
+  the same :class:`~repro.server.repl.Repl` loop a human would type into:
+  catalog inspection, a multi-line ``hire``, a committed transaction, and a
+  constraint violation that the server *refuses* (the paper's contract: a
+  violating program is rejected, never partially applied).  The transcript
+  is written to the output directory and sanity-checked.
+
+* ``soak`` — chaos-lite at the wire layer: clients that vanish mid-batch
+  without a goodbye, a slow reader that accepts replies one byte at a
+  time, and a connection that sends garbage instead of a frame.  A healthy
+  client works through all of it; the invariants demanded at the end are
+  the server-side contract: only typed errors on the healthy connection,
+  the poisoned connection alone is hung up on, every committed transaction
+  is visible both over the wire and in process, and the connection gauge
+  drains back to zero.
+
+Run:  PYTHONPATH=src python examples/transaction_server.py [outdir] [mode]
+      (mode: walkthrough | soak | all; default all)
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import pathlib
+import socket
+import sys
+import time
+
+from repro import Client, Database, TransactionServer, query
+from repro.domains import make_domain
+from repro.errors import ReproError
+from repro.logic import builder as b
+from repro.server.protocol import (
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    encode_message,
+)
+from repro.server.repl import run_repl
+
+
+def build_server() -> TransactionServer:
+    """The employee domain behind a socket, salary constraint enforced."""
+    domain = make_domain()
+    domain.install_constraints("salary-decrease-needs-dept-change")
+    # The salary constraint compares three states, so the history window
+    # must keep that many — at the default window=2 the check would be
+    # skipped as uncheckable, not enforced.
+    db = Database(domain.schema, window=3, initial=domain.sample_state())
+    programs = [
+        domain.hire,
+        domain.fire,
+        domain.set_salary,
+        domain.transfer,
+        query("headcount", (), b.size_of(b.rel("EMP", 5))),
+        query("emps", (), b.rel("EMP", 5)),
+    ]
+    return TransactionServer(db, programs, workers=4)
+
+
+# ---------------------------------------------------------------------------
+# walkthrough
+# ---------------------------------------------------------------------------
+
+WALKTHROUGH = [
+    "\\programs",
+    "headcount()",
+    # Multi-line continuation: the argument list spans lines until the
+    # parentheses balance.
+    'hire("erin",',
+    '     "cs", 90,',
+    "     25, \"S\")",
+    "headcount()",
+    # Refused: salary decrease without a department change violates the
+    # installed constraint, so the state does not advance.
+    'set-salary("erin", 80)',
+    # Accepted: the raise is fine.
+    'set-salary("erin", 95)',
+    "emps()",
+    "\\quit",
+]
+
+
+def walkthrough(outdir: pathlib.Path) -> int:
+    out = io.StringIO()
+    with build_server() as server:
+        host, port = server.address
+        print(f"serving employee domain on {host}:{port}")
+        with Client(host, port) as client:
+            run_repl(client, WALKTHROUGH, out=out)
+        transcript = out.getvalue()
+    (outdir / "repl-walkthrough.txt").write_text(transcript)
+    sys.stdout.write(transcript)
+
+    failures = []
+    for needle in (
+        "hire",                      # catalog listing
+        "committed hire",            # the multi-line statement landed
+        "error [ConstraintViolation]",  # the refused salary cut
+        "committed set-salary",      # the accepted raise
+        "erin",                      # visible in the final table
+    ):
+        if needle not in transcript:
+            failures.append(needle)
+    if failures:
+        print(f"walkthrough FAILED — missing {failures}")
+        return 1
+    print("walkthrough ok")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# chaos-lite soak
+# ---------------------------------------------------------------------------
+
+
+def _handshake(address: tuple[str, int]) -> tuple[socket.socket, FrameDecoder]:
+    sock = socket.create_connection(address, timeout=10.0)
+    sock.sendall(
+        encode_message({"type": "HELLO", "id": 0, "version": PROTOCOL_VERSION})
+    )
+    decoder = FrameDecoder()
+    while True:
+        frames = decoder.feed(sock.recv(65536))
+        if frames:
+            assert frames[0]["type"] == "WELCOME"
+            return sock, decoder
+
+
+def _vanish_mid_batch(address, round_no: int) -> None:
+    """Send a BATCH frame and hang up before any reply arrives."""
+    sock, _ = _handshake(address)
+    items = [
+        {
+            "program": "hire",
+            "args": [f"ghost-{round_no}-{i}", "cs", 70 + i, 30, "S"],
+        }
+        for i in range(16)
+    ]
+    sock.sendall(encode_message({"type": "BATCH", "id": 1, "items": items}))
+    sock.close()  # no CLOSE, no goodbye, replies undeliverable
+
+
+def _slow_reader(address, round_no: int) -> int:
+    """Pipeline EXECUTEs, then drain the replies a few bytes at a time.
+
+    The server must keep serving other connections while this one's write
+    buffer drains at a crawl; all replies must still arrive, in full.
+    """
+    sock, decoder = _handshake(address)
+    n = 8
+    for i in range(n):
+        sock.sendall(
+            encode_message(
+                {
+                    "type": "EXECUTE",
+                    "id": i + 1,
+                    "program": "hire",
+                    "args": [f"slow-{round_no}-{i}", "ee", 60 + i, 40, "M"],
+                }
+            )
+        )
+    replies = []
+    deadline = time.monotonic() + 30.0
+    while len(replies) < n and time.monotonic() < deadline:
+        data = sock.recv(64)  # tiny reads: a deliberately slow consumer
+        if not data:
+            break
+        replies.extend(decoder.feed(data))
+        time.sleep(0.005)
+    sock.close()
+    committed = sum(1 for r in replies if r.get("type") == "RESULT")
+    assert len(replies) == n, f"slow reader got {len(replies)}/{n} replies"
+    return committed
+
+
+def _poison(address) -> None:
+    """A connection that talks garbage gets an ERROR frame and a hangup."""
+    sock = socket.create_connection(address, timeout=10.0)
+    try:
+        sock.sendall(b"\x00this is not a frame")
+        decoder = FrameDecoder()
+        replies = []
+        while True:
+            data = sock.recv(65536)
+            if not data:
+                break
+            replies.extend(decoder.feed(data))
+        assert replies and replies[0]["error"]["kind"] == "protocol-error"
+    finally:
+        sock.close()
+
+
+def soak(outdir: pathlib.Path, rounds: int = 3) -> int:
+    report: dict = {"rounds": rounds, "faults": [], "ok": True}
+    with build_server() as server:
+        address = server.address
+        gauge = server.database.metrics.gauge("repro_server_connections")
+        with Client(*address) as healthy:
+            baseline = healthy.query("headcount")
+            slow_commits = 0
+            for round_no in range(rounds):
+                for fault, run in (
+                    ("vanish-mid-batch", lambda: _vanish_mid_batch(
+                        address, round_no)),
+                    ("slow-reader", lambda: _slow_reader(address, round_no)),
+                    ("poison", lambda: _poison(address)),
+                ):
+                    outcome = run()
+                    if fault == "slow-reader":
+                        slow_commits += outcome
+                    report["faults"].append({"round": round_no, "kind": fault})
+                    # The healthy connection never notices: a typed answer,
+                    # every time — anything untyped is a soak violation.
+                    try:
+                        count = healthy.query("headcount")
+                        assert isinstance(count, int) and count >= baseline
+                        assert healthy.execute(
+                            "set-salary", "alice", 120 + len(report["faults"])
+                        ).ok
+                    except ReproError as err:
+                        report["ok"] = False
+                        report.setdefault("errors", []).append(
+                            f"{fault}: {type(err).__name__}: {err}"
+                        )
+
+            # Every hire the slow readers saw committed must be visible,
+            # over the wire and in the in-process state — no torn commits.
+            final = healthy.query("headcount")
+            in_process = len(server.database.current.relation("EMP"))
+            report["headcount"] = {
+                "baseline": baseline,
+                "final": final,
+                "slow_reader_commits": slow_commits,
+                "in_process": in_process,
+            }
+            if final != in_process or final < baseline + slow_commits:
+                report["ok"] = False
+
+        # With every client gone, the connection gauge drains to zero.
+        deadline = time.monotonic() + 10.0
+        while gauge.value > 0 and time.monotonic() < deadline:
+            time.sleep(0.02)
+        report["connections_after"] = gauge.value
+        if gauge.value != 0:
+            report["ok"] = False
+
+    path = outdir / "server-soak.json"
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    verdict = "ok" if report["ok"] else "VIOLATION"
+    print(
+        f"soak: {verdict} — {len(report['faults'])} faults over "
+        f"{rounds} round(s), headcount {report['headcount']['baseline']} -> "
+        f"{report['headcount']['final']} -> {path}"
+    )
+    return 0 if report["ok"] else 1
+
+
+def main(argv: list[str]) -> int:
+    outdir = pathlib.Path(argv[1]) if len(argv) > 1 else pathlib.Path(
+        "server-artifacts"
+    )
+    mode = argv[2] if len(argv) > 2 else "all"
+    outdir.mkdir(parents=True, exist_ok=True)
+    status = 0
+    if mode in ("walkthrough", "all"):
+        status |= walkthrough(outdir)
+    if mode in ("soak", "all"):
+        status |= soak(outdir)
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

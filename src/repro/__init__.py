@@ -33,6 +33,7 @@ Subsystem map (see DESIGN.md):
 * :mod:`repro.concurrent` — optimistic parallel scheduling + commit log (S12)
 * :mod:`repro.storage` — write-ahead journal, checkpoints, crash recovery (S13)
 * :mod:`repro.obs` — tracing, metrics, profiling hooks (S14)
+* :mod:`repro.server` — the multi-tenant wire server, client, and REPL (S17)
 """
 
 from repro.concurrent import (
@@ -88,17 +89,22 @@ from repro.errors import (
     ConstraintViolation,
     EvaluationError,
     ExecutabilityError,
+    OrderDependenceError,
     Overloaded,
     ParseError,
     ProofError,
+    ProtocolError,
     ReproError,
     ResourceError,
     RetryExhausted,
     SchedulerClosed,
     SchemaError,
+    SessionClosed,
     SortError,
     SynthesisError,
     TransactionConflict,
+    UnboundVariableError,
+    UndefinedFluentError,
 )
 from repro.lang import parse, parse_formula, parse_transaction
 from repro.obs import (
@@ -108,6 +114,7 @@ from repro.obs import (
     Tracer,
     profile_from_json,
 )
+from repro.server import Client, ClientRetry, TenantConfig, TransactionServer
 from repro.storage import (
     Journal,
     JournalRecord,
@@ -135,11 +142,13 @@ __all__ = [
     "__version__",
     # errors
     "ReproError", "SortError", "EvaluationError", "ExecutabilityError",
+    "UndefinedFluentError", "UnboundVariableError", "OrderDependenceError",
     "ConstraintViolation", "CheckabilityError", "ProofError",
     "SynthesisError", "ParseError", "SchemaError",
     "TransactionConflict", "RetryExhausted",
     "ResourceError", "BudgetExceeded", "Cancelled",
     "Overloaded", "CircuitOpen", "SchedulerClosed",
+    "ProtocolError", "SessionClosed",
     # db
     "Schema", "RelationSchema", "State", "Relation", "DBTuple", "TupleSet",
     "make_tuple", "initial_state", "state_from_rows",
@@ -166,4 +175,6 @@ __all__ = [
     "Store", "Recovery", "Journal", "JournalRecord", "state_digest",
     # observability
     "MetricsRegistry", "Tracer", "Span", "Profile", "profile_from_json",
+    # server
+    "TransactionServer", "TenantConfig", "Client", "ClientRetry",
 ]

@@ -1,0 +1,153 @@
+"""A persistent tuple-ownership index.
+
+``State.owner`` maps every live tuple identifier to the name of the
+relation holding it.  Identifiers are allocated sequentially by the state
+allocator, so the mapping is dense over ``[0, next_tid)`` and can be
+represented as a **persistent chunked vector** indexed by identifier:
+an update copies one 64-slot chunk (plus the chunk spine) instead of the
+whole mapping, and lookups are two tuple indexings.
+
+This matters because states are persistent values: the previous ``dict``
+representation copied every entry on every single-tuple insert, making a
+workload of N inserts O(N²) in the size of the database.  Empty slots
+(never-allocated or deleted identifiers) hold ``None``; ``None`` is never
+a legal relation name.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from typing import Iterator, Optional
+
+#: Slots per chunk.  Updates copy one chunk, so this bounds the per-update
+#: copy; lookups are O(1) regardless.
+CHUNK = 64
+
+
+class OwnerMap(Mapping):
+    """An immutable ``tid -> relation name`` mapping with cheap updates.
+
+    Behaves as a standard :class:`~collections.abc.Mapping` (so
+    ``dict(owner)``, ``tid in owner``, ``owner.get(tid)`` all work), plus
+    the persistent update operations :meth:`set` and :meth:`discard`, which
+    return a new map sharing all untouched chunks with the old one.
+    """
+
+    __slots__ = ("_chunks", "_tail", "_count")
+
+    def __init__(
+        self,
+        chunks: tuple[tuple, ...] = (),
+        tail: tuple = (),
+        count: int = 0,
+    ) -> None:
+        self._chunks = chunks  # full CHUNK-sized tuples
+        self._tail = tail  # the growing last chunk, len < CHUNK
+        self._count = count  # live (non-None) entries
+
+    @classmethod
+    def wrap(cls, mapping: Mapping) -> "OwnerMap":
+        """``mapping`` as an :class:`OwnerMap`; the identity when it already
+        is one (states built from plain dicts convert on first update)."""
+        if isinstance(mapping, cls):
+            return mapping
+        result = cls()
+        for tid in sorted(mapping):
+            result = result.set(tid, mapping[tid])
+        return result
+
+    # -- reads ---------------------------------------------------------------
+
+    def _capacity(self) -> int:
+        return len(self._chunks) * CHUNK + len(self._tail)
+
+    def _slot(self, tid: object) -> Optional[str]:
+        if not isinstance(tid, int) or isinstance(tid, bool):
+            return None
+        if tid < 0 or tid >= self._capacity():
+            return None
+        i, j = divmod(tid, CHUNK)
+        if i < len(self._chunks):
+            return self._chunks[i][j]
+        return self._tail[j]
+
+    def __getitem__(self, tid: int) -> str:
+        value = self._slot(tid)
+        if value is None:
+            raise KeyError(tid)
+        return value
+
+    def get(self, tid: object, default: object = None) -> object:
+        value = self._slot(tid)
+        return default if value is None else value
+
+    def __contains__(self, tid: object) -> bool:
+        return self._slot(tid) is not None
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __iter__(self) -> Iterator[int]:
+        base = 0
+        for chunk in self._chunks:
+            for j, value in enumerate(chunk):
+                if value is not None:
+                    yield base + j
+            base += CHUNK
+        for j, value in enumerate(self._tail):
+            if value is not None:
+                yield base + j
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"OwnerMap({dict(self)!r})"
+
+    # -- persistent updates --------------------------------------------------
+
+    def set(self, tid: int, name: str) -> "OwnerMap":
+        """A new map with ``tid`` owned by ``name``."""
+        if not isinstance(tid, int) or isinstance(tid, bool) or tid < 0:
+            raise ValueError(f"owner map: bad tuple identifier {tid!r}")
+        if name is None:
+            raise ValueError("owner map: relation name may not be None")
+        capacity = self._capacity()
+        if tid >= capacity:
+            # Append (padding any never-allocated identifiers in between).
+            chunks = list(self._chunks)
+            tail = list(self._tail)
+            for _ in range(capacity, tid):
+                tail.append(None)
+                if len(tail) == CHUNK:
+                    chunks.append(tuple(tail))
+                    tail = []
+            tail.append(name)
+            if len(tail) == CHUNK:
+                chunks.append(tuple(tail))
+                tail = []
+            return OwnerMap(tuple(chunks), tuple(tail), self._count + 1)
+        i, j = divmod(tid, CHUNK)
+        if i < len(self._chunks):
+            chunk = self._chunks[i]
+            if chunk[j] == name:
+                return self
+            grown = 1 if chunk[j] is None else 0
+            replaced = chunk[:j] + (name,) + chunk[j + 1 :]
+            chunks = self._chunks[:i] + (replaced,) + self._chunks[i + 1 :]
+            return OwnerMap(chunks, self._tail, self._count + grown)
+        if self._tail[j] == name:
+            return self
+        grown = 1 if self._tail[j] is None else 0
+        tail = self._tail[:j] + (name,) + self._tail[j + 1 :]
+        return OwnerMap(self._chunks, tail, self._count + grown)
+
+    def discard(self, tid: object) -> "OwnerMap":
+        """A new map without ``tid``; the identity when it is absent."""
+        if self._slot(tid) is None:
+            return self
+        i, j = divmod(tid, CHUNK)
+        if i < len(self._chunks):
+            chunk = self._chunks[i]
+            replaced = chunk[:j] + (None,) + chunk[j + 1 :]
+            chunks = self._chunks[:i] + (replaced,) + self._chunks[i + 1 :]
+            return OwnerMap(chunks, self._tail, self._count - 1)
+        tail = self._tail[:j] + (None,) + self._tail[j + 1 :]
+        return OwnerMap(self._chunks, tail, self._count - 1)

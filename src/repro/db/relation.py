@@ -96,7 +96,16 @@ class Relation:
         )
 
     def __hash__(self) -> int:
-        return hash((self.name, self.arity, frozenset(self.tuples.items())))
+        # Relations are immutable and shared structurally between states, so
+        # the hash is computed once and cached (graph/dict-heavy paths hash
+        # the same relation thousands of times).
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash(
+                (self.name, self.arity, frozenset(self.tuples.items()))
+            )
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
     def __str__(self) -> str:
         rows = ", ".join(str(t) for t in sorted(self, key=lambda t: t.tid or 0))

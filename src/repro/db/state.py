@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
 from repro.errors import EvaluationError, SchemaError
+from repro.db.ownermap import OwnerMap
 from repro.db.relation import Relation, empty_relation
 from repro.db.schema import Schema
 from repro.db.values import Atom, DBTuple, TupleId, TupleSet
@@ -130,8 +131,7 @@ class State:
         allocated = identified.tid == self.next_tid
         new_rels = dict(self.relations)
         new_rels[name] = rel.with_tuple(identified)
-        new_owner = dict(self.owner)
-        new_owner[identified.tid] = name  # type: ignore[index]
+        new_owner = OwnerMap.wrap(self.owner).set(identified.tid, name)
         return (
             State(
                 new_rels,
@@ -151,8 +151,7 @@ class State:
                 return self
         new_rels = dict(self.relations)
         new_rels[name] = rel.without_tuple(tid)
-        new_owner = dict(self.owner)
-        new_owner.pop(tid, None)
+        new_owner = OwnerMap.wrap(self.owner).discard(tid)
         return State(new_rels, new_owner, self.next_tid)
 
     def modify_tuple(self, t: DBTuple, index: int, value: Atom) -> "State":
@@ -185,10 +184,10 @@ class State:
                 f"assign to {name}: set arity {value.arity} != {arity}"
             )
         old = self.relations.get(name)
-        new_owner = dict(self.owner)
+        new_owner = OwnerMap.wrap(self.owner)
         if old is not None:
             for t in old:
-                new_owner.pop(t.tid, None)
+                new_owner = new_owner.discard(t.tid)
         next_tid = self.next_tid
         tuples: dict[TupleId, DBTuple] = {}
         for t in sorted(value, key=lambda x: (x.tid is None, x.tid or 0, x.values)):
@@ -198,7 +197,7 @@ class State:
                 identified = t.with_tid(next_tid)
                 next_tid += 1
             tuples[identified.tid] = identified  # type: ignore[index]
-            new_owner[identified.tid] = name  # type: ignore[index]
+            new_owner = new_owner.set(identified.tid, name)  # type: ignore[arg-type]
         new_rels = dict(self.relations)
         new_rels[name] = Relation(name, arity, tuples)
         return State(new_rels, new_owner, next_tid)
@@ -226,7 +225,19 @@ class State:
         return dict(self.relations) == dict(other.relations)
 
     def __hash__(self) -> int:
-        return hash(frozenset((name, rel) for name, rel in self.relations.items()))
+        # States are immutable; the evolution graph keys its nodes by state,
+        # so every commit hashes states repeatedly.  Cache the hash — the
+        # per-relation hashes underneath are themselves cached, so even the
+        # first computation is a cheap fold over shared relations.
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash(
+                frozenset(
+                    (name, rel) for name, rel in self.relations.items()
+                )
+            )
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
     def __str__(self) -> str:
         parts = ", ".join(str(self.relations[n]) for n in sorted(self.relations))

@@ -358,11 +358,16 @@ class Database:
     def current(self) -> State:
         return self.history.current
 
-    def query(self, program: DatabaseProgram, *args: object) -> Value:
+    def query(
+        self, program: DatabaseProgram, *args: object, budget=None
+    ) -> Value:
         """Evaluate a query program at the current state.
 
         When :meth:`enable_query_cache` is active the evaluation is
         memoized; results are always identical to an uncached run.
+        ``budget`` (a :class:`~repro.transactions.budget.Budget`) bounds the
+        evaluation exactly as in :meth:`execute` — the transaction server
+        uses it to meter per-tenant query work.
 
         >>> from repro.domains import make_domain
         >>> from repro.logic import builder as b
@@ -372,11 +377,16 @@ class Database:
         >>> db.query(query("headcount", (), b.size_of(b.rel("EMP", 5))))
         4
         """
+        interpreter = self.interpreter
+        if budget is not None:
+            interpreter = dataclasses.replace(
+                interpreter, budget=budget.fresh()
+            )
         if self._query_cache is not None:
             return self._query_cache.evaluate(
-                program, tuple(args), self.current, self.interpreter
+                program, tuple(args), self.current, interpreter
             )
-        return program.query(self.current, *args, interpreter=self.interpreter)
+        return program.query(self.current, *args, interpreter=interpreter)
 
     # -- execution ----------------------------------------------------------------
 

@@ -164,6 +164,31 @@ class SchedulerClosed(ResourceError):
         super().__init__(message)
 
 
+class ProtocolError(ReproError):
+    """A wire frame or message violated the transaction-server protocol.
+
+    Raised for a bad frame marker, a CRC mismatch, an implausible length,
+    an undecodable payload, a message of unknown type, or a handshake with
+    an incompatible protocol version.  The server answers with a structured
+    error frame and closes *that* connection only — a garbage frame never
+    poisons other sessions.
+    """
+
+
+class SessionClosed(ResourceError):
+    """The server session ended while a request was in flight.
+
+    Raised client-side when the server shut down (it resolves every
+    in-flight request with this error before closing the socket) or when
+    the connection was lost mid-request — never surfaced as a bare
+    ``ConnectionResetError``.  A :class:`ResourceError` because nothing is
+    wrong with the request itself: reconnect and resubmit.
+    """
+
+    def __init__(self, message: str = "server session closed") -> None:
+        super().__init__(message)
+
+
 class ProofError(ReproError):
     """The prover failed (resource limits, malformed input, ...)."""
 

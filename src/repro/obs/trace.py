@@ -136,6 +136,37 @@ class Tracer:
             with self._lock:
                 self._roots.append(span)
 
+    def record(
+        self,
+        kind: str,
+        label: str,
+        version: int,
+        *,
+        start: float,
+        duration: float,
+        touched: tuple[str, ...] = (),
+    ) -> Optional[Span]:
+        """Record an already-timed root span.
+
+        The :meth:`start`/:meth:`finish` pair assumes strictly nested spans
+        per thread; callers that interleave many timed operations on one
+        thread — an event loop serving overlapping requests — report
+        completed spans here instead.  Subject to the same ``max_spans``
+        budget (drops are counted, never silent).
+        """
+        with self._lock:
+            if self._span_count >= self.max_spans:
+                self._dropped += 1
+                return None
+            self._span_count += 1
+        span = Span(kind=kind, label=label, version=version, start=start)
+        span.duration = duration
+        if touched:
+            span.touched = tuple(sorted(touched))
+        with self._lock:
+            self._roots.append(span)
+        return span
+
     def relabel(self, label: str) -> None:
         """Replace the innermost open span's label — used once the step
         knows its outcome (e.g. which condition branch was taken)."""

@@ -1,0 +1,56 @@
+"""The network front-end: a multi-tenant asyncio transaction server (S17).
+
+The paper specifies transactions as the *interface* to a database — programs
+users submit and the system accepts or rejects.  This package turns the
+in-process :class:`~repro.engine.Database` into a served system:
+
+* :mod:`repro.server.protocol` — a length-prefixed, CRC-framed wire protocol
+  (the :mod:`repro.storage.journal` framing idiom applied to a socket) with
+  typed request/response messages and a versioned handshake;
+* :mod:`repro.server.server` — :class:`TransactionServer`, an asyncio
+  front-end with per-connection sessions and per-tenant governance built
+  from the PR 5 primitives (:class:`~repro.transactions.budget.Budget`
+  templates, :class:`~repro.concurrent.admission.AdmissionController`
+  ticket pools, circuit breakers), batching N transactions from one frame
+  into the optimistic scheduler;
+* :mod:`repro.server.client` — a synchronous :class:`Client` with
+  reconnection and ``retry_after``-honoring backoff, surfacing server-side
+  errors through the existing typed taxonomy;
+* :mod:`repro.server.repl` — an interactive REPL with multi-line
+  continuation handling and tabular result formatting.
+
+A violating program is refused, never partially applied — exactly the
+rejected-transaction semantics of the paper, now observable over a socket.
+"""
+
+from repro.server.client import Client, ClientRetry, ExecuteResult, Pending
+from repro.server.protocol import (
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    encode_message,
+    error_from_doc,
+    error_to_doc,
+    value_from_doc,
+    value_to_doc,
+)
+from repro.server.repl import Repl, format_value, run_repl
+from repro.server.server import TenantConfig, TransactionServer
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "FrameDecoder",
+    "encode_message",
+    "error_to_doc",
+    "error_from_doc",
+    "value_to_doc",
+    "value_from_doc",
+    "TransactionServer",
+    "TenantConfig",
+    "Client",
+    "ClientRetry",
+    "ExecuteResult",
+    "Pending",
+    "Repl",
+    "run_repl",
+    "format_value",
+]

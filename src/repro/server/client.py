@@ -1,0 +1,385 @@
+"""The synchronous wire client.
+
+:class:`Client` speaks :mod:`repro.server.protocol` over a blocking socket
+and surfaces server-side failures through the **same typed taxonomy** as
+in-process use: ``except Overloaded`` / ``except ConstraintViolation`` work
+identically whether the database is a local object or a server across the
+network.
+
+Retry semantics are deliberately asymmetric:
+
+* :class:`~repro.errors.Overloaded` and :class:`~repro.errors.CircuitOpen`
+  are **pre-execution** rejections — the server refused the request before
+  evaluating anything — so resubmitting is always safe.  The client backs
+  off honoring the server's ``retry_after`` hint (never less than it, with
+  exponential growth across attempts) up to ``ClientRetry.max_attempts``.
+* A connection lost **mid-request** is *not* retried: the transaction may
+  or may not have committed, and transactions are not idempotent.  The
+  caller gets a typed :class:`~repro.errors.SessionClosed` (never a bare
+  ``ConnectionResetError``) and decides; the next request transparently
+  reconnects and re-handshakes.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import (
+    CircuitOpen,
+    Overloaded,
+    ProtocolError,
+    ReproError,
+    SessionClosed,
+)
+from repro.server.protocol import (
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    encode_message,
+    error_from_doc,
+    value_from_doc,
+)
+
+
+@dataclass(frozen=True)
+class ClientRetry:
+    """Backoff policy for pre-execution rejections and reconnects."""
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+
+    def delay(self, attempt: int, retry_after: float = 0.0) -> float:
+        """Never less than the server's hint, growing with attempts."""
+        backoff = min(self.max_delay, self.base_delay * (2 ** (attempt - 1)))
+        return min(self.max_delay, max(retry_after, backoff))
+
+
+@dataclass(frozen=True)
+class ExecuteResult:
+    """A committed transaction as the client sees it."""
+
+    label: str
+    attempts: int
+    seq: int
+
+    @property
+    def ok(self) -> bool:
+        return True
+
+
+class Pending:
+    """A pipelined request: resolve with :meth:`result`, abort with
+    :meth:`cancel` (which fires the server-side
+    :class:`~repro.transactions.budget.CancelToken`)."""
+
+    def __init__(self, client: "Client", request_id: int, kind: str, label: str):
+        self._client = client
+        self.request_id = request_id
+        self.kind = kind
+        self.label = label
+
+    def result(self, timeout: Optional[float] = None):
+        """Block until the server replies; raises the typed error on
+        failure."""
+        reply = self._client._wait_for(self.request_id, timeout=timeout)
+        return self._client._interpret(self.kind, self.label, reply)
+
+    def cancel(self) -> bool:
+        """Ask the server to cancel this request's evaluation.  Returns
+        whether the request was still in flight server-side."""
+        return self._client._cancel(self.request_id)
+
+
+class Client:
+    """A synchronous client for :class:`~repro.server.server.
+    TransactionServer`.  Single-threaded use; requests may be pipelined
+    through :meth:`submit` and resolved out of order.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        tenant: str = "default",
+        retry: Optional[ClientRetry] = None,
+        timeout: float = 30.0,
+        reconnect: bool = True,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self.retry = retry or ClientRetry()
+        self.timeout = timeout
+        self.reconnect = reconnect
+        self.welcome: Optional[dict] = None
+        self._sock: Optional[socket.socket] = None
+        self._decoder = FrameDecoder()
+        self._replies: dict[int, dict] = {}
+        self._next_id = 0
+
+    # -- connection management ---------------------------------------------
+
+    def connect(self) -> dict:
+        """Open the socket and perform the versioned handshake; returns the
+        server's WELCOME document (programs, relations, session id)."""
+        if self._sock is not None:
+            return self.welcome
+        for attempt in range(1, self.retry.max_attempts + 1):
+            try:
+                self._sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout
+                )
+                break
+            except OSError as err:
+                self._sock = None
+                if attempt == self.retry.max_attempts:
+                    raise SessionClosed(
+                        f"cannot reach server at {self.host}:{self.port}: {err}"
+                    ) from err
+                time.sleep(self.retry.delay(attempt))
+        self._decoder = FrameDecoder()
+        self._replies = {}
+        rid = self._allocate_id()
+        self._send(
+            {
+                "type": "HELLO",
+                "id": rid,
+                "version": PROTOCOL_VERSION,
+                "tenant": self.tenant,
+            }
+        )
+        reply = self._wait_for(rid)
+        if reply.get("type") == "ERROR":
+            err = error_from_doc(reply["error"])
+            self._drop_connection()
+            raise err
+        self.welcome = reply
+        return reply
+
+    def close(self) -> None:
+        """Polite goodbye (CLOSE/BYE) and socket shutdown."""
+        if self._sock is None:
+            return
+        try:
+            rid = self._allocate_id()
+            self._send({"type": "CLOSE", "id": rid})
+            self._wait_for(rid, timeout=min(self.timeout, 2.0))
+        except (ReproError, TimeoutError, OSError):
+            pass
+        finally:
+            self._drop_connection()
+
+    def __enter__(self) -> "Client":
+        self.connect()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def programs(self) -> dict:
+        """Name → {params, kind} of every server-registered program."""
+        self.connect()
+        return self.welcome.get("programs", {})
+
+    @property
+    def relations(self) -> dict:
+        """Name → attribute names of the server schema's relations."""
+        self.connect()
+        return self.welcome.get("relations", {})
+
+    def _drop_connection(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover
+                pass
+        self._sock = None
+        self.welcome = None
+
+    def _allocate_id(self) -> int:
+        self._next_id += 1
+        return self._next_id
+
+    # -- the wire ----------------------------------------------------------
+
+    def _send(self, doc: dict) -> None:
+        assert self._sock is not None
+        try:
+            self._sock.sendall(encode_message(doc))
+        except OSError as err:
+            self._drop_connection()
+            raise SessionClosed(f"connection lost while sending: {err}") from err
+
+    def _wait_for(self, rid: int, timeout: Optional[float] = None) -> dict:
+        """Read frames until the reply for ``rid`` arrives; stash replies
+        for other (pipelined) requests along the way."""
+        if rid in self._replies:
+            return self._replies.pop(rid)
+        if self._sock is None:
+            raise SessionClosed("not connected")
+        deadline = time.monotonic() + (
+            timeout if timeout is not None else self.timeout
+        )
+        while True:
+            if rid in self._replies:
+                return self._replies.pop(rid)
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"no reply for request {rid} within the timeout"
+                )
+            self._sock.settimeout(remaining)
+            try:
+                data = self._sock.recv(65536)
+            except socket.timeout:
+                raise TimeoutError(
+                    f"no reply for request {rid} within the timeout"
+                ) from None
+            except OSError as err:
+                self._drop_connection()
+                raise SessionClosed(
+                    f"connection lost mid-request: {err}"
+                ) from err
+            if not data:
+                self._drop_connection()
+                raise SessionClosed("server closed the connection mid-request")
+            try:
+                messages = self._decoder.feed(data)
+            except ProtocolError:
+                self._drop_connection()
+                raise
+            for message in messages:
+                mid = message.get("id")
+                if mid is None:
+                    # A connection-level error frame (e.g. the server saw a
+                    # garbage frame from us): the session is done.
+                    self._drop_connection()
+                    raise error_from_doc(
+                        message.get("error", {"kind": "protocol-error"})
+                    )
+                self._replies[mid] = message
+
+    def _interpret(self, kind: str, label: str, reply: dict):
+        rtype = reply.get("type")
+        if rtype == "ERROR":
+            raise error_from_doc(reply["error"])
+        if kind == "EXECUTE":
+            return ExecuteResult(
+                label=label,
+                attempts=int(reply.get("attempts", 1)),
+                seq=int(reply.get("seq", 0)),
+            )
+        if kind == "QUERY":
+            return value_from_doc(reply["result"])
+        if kind == "BATCH":
+            out = []
+            for item in reply.get("results", []):
+                if "error" in item:
+                    out.append(error_from_doc(item["error"]))
+                else:
+                    out.append(
+                        ExecuteResult(
+                            label=label,
+                            attempts=int(item.get("attempts", 1)),
+                            seq=int(item.get("seq", 0)),
+                        )
+                    )
+            return out
+        if kind == "CANCEL":
+            return bool(reply.get("cancelled", False))
+        return reply  # pragma: no cover - future response kinds
+
+    # -- requests ----------------------------------------------------------
+
+    def _request_with_backoff(self, doc_builder, kind: str, label: str):
+        """Send a request; on a pre-execution governance rejection
+        (Overloaded / CircuitOpen), back off honoring ``retry_after`` and
+        resubmit — safe because the server refused before evaluating."""
+        attempt = 0
+        while True:
+            attempt += 1
+            self.connect()
+            rid = self._allocate_id()
+            self._send(doc_builder(rid))
+            reply = self._wait_for(rid)
+            try:
+                return self._interpret(kind, label, reply)
+            except (Overloaded, CircuitOpen) as err:
+                if attempt >= self.retry.max_attempts:
+                    raise
+                time.sleep(self.retry.delay(attempt, err.retry_after))
+
+    def execute(self, program: str, *args, label: Optional[str] = None):
+        """Run one transaction; returns :class:`ExecuteResult` or raises the
+        typed server error (the state never partially advances)."""
+        name = label or program
+        return self._request_with_backoff(
+            lambda rid: {
+                "type": "EXECUTE",
+                "id": rid,
+                "program": program,
+                "args": list(args),
+                "label": label,
+            },
+            "EXECUTE",
+            name,
+        )
+
+    def query(self, program: str, *args):
+        """Evaluate a registered query; returns the decoded value."""
+        return self._request_with_backoff(
+            lambda rid: {
+                "type": "QUERY",
+                "id": rid,
+                "program": program,
+                "args": list(args),
+            },
+            "QUERY",
+            program,
+        )
+
+    def batch(self, items, label: str = "batch"):
+        """Submit many transactions in **one frame**; returns a list of
+        per-item :class:`ExecuteResult` / typed-error values (a failed item
+        never aborts its siblings).  ``items`` are ``(program, *args)``
+        tuples."""
+        docs = [
+            {"program": item[0], "args": list(item[1:])} for item in items
+        ]
+        return self._request_with_backoff(
+            lambda rid: {
+                "type": "BATCH",
+                "id": rid,
+                "items": docs,
+                "label": label,
+            },
+            "BATCH",
+            label,
+        )
+
+    def submit(self, program: str, *args, label: Optional[str] = None) -> Pending:
+        """Pipeline one transaction without waiting; resolve via
+        :meth:`Pending.result`, abort via :meth:`Pending.cancel`."""
+        self.connect()
+        rid = self._allocate_id()
+        self._send(
+            {
+                "type": "EXECUTE",
+                "id": rid,
+                "program": program,
+                "args": list(args),
+                "label": label,
+            }
+        )
+        return Pending(self, rid, "EXECUTE", label or program)
+
+    def _cancel(self, target: int) -> bool:
+        self.connect()
+        rid = self._allocate_id()
+        self._send({"type": "CANCEL", "id": rid, "target": target})
+        return self._interpret("CANCEL", "cancel", self._wait_for(rid))

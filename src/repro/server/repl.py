@@ -1,0 +1,281 @@
+"""The interactive client REPL.
+
+A thin read-eval-print loop over :class:`~repro.server.client.Client`:
+statements are ``program(arg, ...)`` calls dispatched as EXECUTE or QUERY
+according to the server's WELCOME catalog, plus ``\\``-prefixed meta
+commands.  Two affordances matter for interactive use:
+
+* **Multi-line continuation** — a statement is *complete* when its
+  parentheses balance and the line does not end with a backslash; until
+  then the REPL keeps reading under a continuation prompt, so long argument
+  lists can span lines.
+* **Tabular result formatting** — tuple-set results render as aligned
+  tables (one row per tuple, the tuple identifier first), single tuples as
+  one-row tables, atoms as themselves.
+
+The loop is IO-agnostic (any iterable of lines in, any writer out), so the
+same code path serves interactive terminals, tests, and the CI walkthrough
+in ``examples/transaction_server.py``.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Iterable, Optional, TextIO
+
+from repro.db.values import DBTuple, TupleSet
+from repro.errors import ParseError, ReproError
+from repro.server.client import Client, ExecuteResult
+
+PROMPT = "txn> "
+CONTINUATION = "...> "
+
+
+# ---------------------------------------------------------------------------
+# result formatting
+# ---------------------------------------------------------------------------
+
+
+def format_table(headers: list[str], rows: list[list]) -> str:
+    """Align ``rows`` under ``headers`` — the REPL's tabular renderer."""
+    table = [[str(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in table)) if table else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(str(h).ljust(w) for h, w in zip(headers, widths)).rstrip(),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in table:
+        lines.append(
+            "  ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def format_value(value: object, headers: Optional[list[str]] = None) -> str:
+    """Render a query result for a human: tables for sets and tuples,
+    plain text for atoms."""
+    if isinstance(value, TupleSet):
+        cols = headers or [f"c{i + 1}" for i in range(value.arity)]
+        rows = [
+            [t.tid, *t.values] for t in sorted(value, key=lambda t: t.tid)
+        ]
+        table = format_table(["tid", *cols], rows)
+        return f"{table}\n({len(rows)} tuple{'s' if len(rows) != 1 else ''})"
+    if isinstance(value, DBTuple):
+        cols = headers or [f"c{i + 1}" for i in range(value.arity)]
+        return format_table(["tid", *cols], [[value.tid, *value.values]])
+    return str(value)
+
+
+# ---------------------------------------------------------------------------
+# statement parsing
+# ---------------------------------------------------------------------------
+
+
+def statement_complete(text: str) -> bool:
+    """Whether the buffered input forms a complete statement: balanced
+    parentheses outside string literals, no trailing backslash."""
+    stripped = text.rstrip()
+    if stripped.endswith("\\"):
+        return False
+    depth = 0
+    quote: Optional[str] = None
+    for ch in text:
+        if quote is not None:
+            if ch == quote:
+                quote = None
+        elif ch in "'\"":
+            quote = ch
+        elif ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth = max(0, depth - 1)
+    return depth == 0 and quote is None
+
+
+def _join_continuations(text: str) -> str:
+    """Collapse backslash-continued line endings into spaces."""
+    return " ".join(
+        line.rstrip()[:-1] if line.rstrip().endswith("\\") else line
+        for line in text.splitlines()
+    )
+
+
+def parse_statement(text: str) -> tuple[str, list]:
+    """``name(arg, ...)`` → (name, [args]).  Arguments are atom literals:
+    integers, quoted strings, or bare words (taken as strings)."""
+    text = _join_continuations(text).strip()
+    if "(" not in text:
+        if not text.replace("-", "").replace("_", "").isalnum():
+            raise ParseError(f"cannot parse statement {text!r}")
+        return text, []
+    head, _, rest = text.partition("(")
+    name = head.strip()
+    if not name:
+        raise ParseError("missing program name")
+    body = rest.strip()
+    if not body.endswith(")"):
+        raise ParseError("unterminated argument list")
+    return name, _parse_args(body[:-1])
+
+
+def _parse_args(body: str) -> list:
+    args: list = []
+    current: list[str] = []
+    quote: Optional[str] = None
+    for ch in body:
+        if quote is not None:
+            if ch == quote:
+                quote = None
+            else:
+                current.append(ch)
+        elif ch in "'\"":
+            quote = ch
+            current.append("\0")  # marker: this argument was quoted
+        elif ch == ",":
+            args.append(_finish_arg(current))
+            current = []
+        else:
+            current.append(ch)
+    if quote is not None:
+        raise ParseError("unterminated string literal")
+    if current or args:
+        args.append(_finish_arg(current))
+    return [a for a in args if a is not None]
+
+
+def _finish_arg(chars: list[str]):
+    text = "".join(chars).strip()
+    if not text:
+        return None
+    if "\0" in text:
+        return text.replace("\0", "")
+    if text.lstrip("-").isdigit():
+        return int(text)
+    return text
+
+
+# ---------------------------------------------------------------------------
+# the loop
+# ---------------------------------------------------------------------------
+
+
+class Repl:
+    """Drive a :class:`Client` from lines of text.
+
+    >>> # doctest-free: exercised end-to-end in tests/test_server_repl.py
+    """
+
+    def __init__(self, client: Client, out: Optional[TextIO] = None) -> None:
+        self.client = client
+        self.out = out if out is not None else sys.stdout
+        self.done = False
+
+    def _write(self, text: str) -> None:
+        self.out.write(text + "\n")
+
+    # -- meta commands -----------------------------------------------------
+
+    def _meta(self, command: str) -> None:
+        name, _, _ = command.partition(" ")
+        if name in ("\\q", "\\quit", "\\exit"):
+            self._write("bye")
+            self.done = True
+        elif name == "\\help":
+            self._write(
+                "statements:  program(arg, ...)   -- EXECUTE or QUERY by catalog\n"
+                "meta:        \\programs \\relations \\help \\quit\n"
+                "continuation: unbalanced parens or a trailing \\ keep reading"
+            )
+        elif name == "\\programs":
+            rows = [
+                [pname, info["kind"], ", ".join(info["params"])]
+                for pname, info in sorted(self.client.programs.items())
+            ]
+            self._write(format_table(["program", "kind", "params"], rows))
+        elif name == "\\relations":
+            rows = [
+                [rname, ", ".join(attrs)]
+                for rname, attrs in sorted(self.client.relations.items())
+            ]
+            self._write(format_table(["relation", "attributes"], rows))
+        else:
+            self._write(f"unknown meta command {name!r} (try \\help)")
+
+    # -- statements --------------------------------------------------------
+
+    def dispatch(self, statement: str) -> None:
+        statement = statement.strip()
+        if not statement:
+            return
+        if statement.startswith("\\"):
+            self._meta(statement)
+            return
+        try:
+            name, args = parse_statement(statement)
+            catalog = self.client.programs
+            info = catalog.get(name)
+            if info is None:
+                self._write(
+                    f"error: unknown program {name!r} (try \\programs)"
+                )
+                return
+            if info["kind"] == "transaction":
+                result = self.client.execute(name, *args)
+                assert isinstance(result, ExecuteResult)
+                self._write(
+                    f"committed {name} "
+                    f"(attempts={result.attempts}, seq={result.seq})"
+                )
+            else:
+                value = self.client.query(name, *args)
+                self._write(format_value(value))
+        except ReproError as err:
+            self._write(f"error [{type(err).__name__}]: {err}")
+
+    def run(self, lines: Optional[Iterable[str]] = None) -> None:
+        """Consume ``lines`` (or prompt interactively when None) until
+        exhausted or ``\\quit``."""
+        if lines is None:
+            self._run_interactive()
+            return
+        buffer: list[str] = []
+        for line in lines:
+            buffer.append(line)
+            text = "\n".join(buffer)
+            if not statement_complete(text):
+                continue
+            buffer = []
+            self.dispatch(text)
+            if self.done:
+                return
+        if buffer:
+            self.dispatch("\n".join(buffer))
+
+    def _run_interactive(self) -> None:  # pragma: no cover - terminal loop
+        buffer: list[str] = []
+        while not self.done:
+            try:
+                line = input(CONTINUATION if buffer else PROMPT)
+            except EOFError:
+                return
+            buffer.append(line)
+            text = "\n".join(buffer)
+            if not statement_complete(text):
+                continue
+            buffer = []
+            self.dispatch(text)
+
+
+def run_repl(
+    client: Client,
+    lines: Optional[Iterable[str]] = None,
+    out: Optional[TextIO] = None,
+) -> Repl:
+    """Convenience entry point: build, run, and return the REPL."""
+    repl = Repl(client, out=out)
+    repl.run(lines)
+    return repl

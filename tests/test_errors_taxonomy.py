@@ -21,10 +21,12 @@ from repro.errors import (
     CircuitOpen,
     EvaluationError,
     Overloaded,
+    ProtocolError,
     ReproError,
     ResourceError,
     RetryExhausted,
     SchedulerClosed,
+    SessionClosed,
     TransactionConflict,
 )
 
@@ -59,6 +61,18 @@ class TestHierarchy:
         assert not issubclass(Overloaded, EvaluationError)
         assert not issubclass(CircuitOpen, EvaluationError)
 
+    def test_session_closed_is_a_resource_error(self):
+        """A dying session is load/lifecycle, not a program bug: clients
+        map it to retry-or-reconnect, like other governance aborts."""
+        assert issubclass(SessionClosed, ResourceError)
+
+    def test_protocol_error_is_not_a_resource_error(self):
+        """A malformed frame is a bug (or an attacker), never something to
+        retry: it must not land in the retry-later branch."""
+        assert issubclass(ProtocolError, ReproError)
+        assert not issubclass(ProtocolError, ResourceError)
+        assert not issubclass(ProtocolError, EvaluationError)
+
     def test_retry_exhausted_is_a_conflict_not_a_resource_error(self):
         """Exhausted retries mean real data contention — client-visible as
         a conflict, not as load shedding."""
@@ -89,15 +103,28 @@ class TestConstructors:
     def test_scheduler_closed_message(self):
         assert "closed" in str(SchedulerClosed())
 
+    def test_session_closed_default_message(self):
+        assert "session closed" in str(SessionClosed())
+        assert "mid-request" in str(SessionClosed("lost mid-request"))
+
 
 class TestExports:
     def test_public_errors_exported_from_package_root(self):
         for name in (
             "ReproError", "ResourceError", "BudgetExceeded", "Cancelled",
             "Overloaded", "CircuitOpen", "SchedulerClosed",
+            "ProtocolError", "SessionClosed",
         ):
             assert hasattr(repro, name), name
             assert name in repro.__all__, name
+
+    def test_taxonomy_additions_must_be_exported(self):
+        """Fails when a new error class lands in repro.errors without a
+        package-root export — the wire protocol encodes errors by class, so
+        an unexported addition would be uncatchable client-side."""
+        for cls in all_error_classes():
+            assert hasattr(repro, cls.__name__), cls.__name__
+            assert cls.__name__ in repro.__all__, cls.__name__
 
     def test_every_public_error_catchable_as_repro_error(self):
         samples = [
@@ -107,6 +134,8 @@ class TestExports:
             CircuitOpen(),
             SchedulerClosed(),
             RetryExhausted("t", {"R"}, 3),
+            SessionClosed(),
+            ProtocolError("bad frame"),
         ]
         for sample in samples:
             with pytest.raises(ReproError):

@@ -1,0 +1,222 @@
+"""Session lifecycle edges: shutdown mid-flight, client-driven CANCEL,
+poisoned connections, and abrupt disconnects.
+
+The contract under test: an in-flight request **always** resolves with a
+typed error — never a hang, never a bare ``ConnectionResetError`` — and a
+sick connection takes down only itself.
+
+Determinism comes from a gated program wrapper (the ``on_evaluated`` idiom
+of the scheduler tests, applied at the program boundary): ``run`` parks on
+an event *inside* the worker, so a request is verifiably in flight while
+the test closes the server, cancels the request, or cuts the socket.  The
+inner evaluation then runs under the request's budget, so a token cancelled
+while parked surfaces as a typed :class:`Cancelled` outcome.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro import Client, Database, TransactionServer
+from repro.errors import Cancelled, ReproError, SessionClosed
+from repro.logic import builder as b
+from repro.server.protocol import FrameDecoder, encode_message
+from repro.transactions.program import query
+
+
+class Gated:
+    """A program whose evaluation parks until released.
+
+    Duck-types :class:`DatabaseProgram` by delegation; only ``run`` is
+    intercepted.  ``entered`` is set once a worker reaches the evaluation,
+    ``release`` lets it proceed into the real (budget-metered) body.
+    """
+
+    def __init__(self, inner, name: str = "gated"):
+        self.inner = inner
+        self._name = name
+        self.entered = threading.Event()
+        self.release = threading.Event()
+
+    def __getattr__(self, attr):
+        return getattr(self.inner, attr)
+
+    @property
+    def name(self):
+        return self._name
+
+    def run(self, state, *args, interpreter=None):
+        self.entered.set()
+        assert self.release.wait(timeout=10.0), "gated program never released"
+        return self.inner.run(state, *args, interpreter=interpreter)
+
+
+def make_server(domain, gated, **kwargs):
+    db = Database(domain.schema, initial=domain.sample_state())
+    programs = [
+        domain.hire,
+        gated,
+        query("headcount", (), b.size_of(b.rel("EMP", 5))),
+    ]
+    return TransactionServer(db, programs, workers=4, **kwargs)
+
+
+@pytest.fixture()
+def gated(domain):
+    return Gated(domain.hire)
+
+
+class TestShutdownMidFlight:
+    def test_inflight_requests_resolve_with_typed_session_closed(
+        self, domain, gated
+    ):
+        server = make_server(domain, gated)
+        server.start()
+        client = Client(*server.address)
+        pending = client.submit("gated", "erin", "cs", 90, 25, "S")
+        assert gated.entered.wait(5.0)
+
+        closer = threading.Thread(target=server.close)
+        closer.start()
+        try:
+            # The client is told *before* the evaluation winds down.
+            with pytest.raises(SessionClosed, match="shutting down"):
+                pending.result(timeout=5.0)
+        finally:
+            gated.release.set()
+            closer.join(timeout=15.0)
+        assert not closer.is_alive()
+
+    def test_new_connections_after_close_are_typed_errors(self, domain, gated):
+        server = make_server(domain, gated)
+        server.start()
+        gated.release.set()
+        server.close()
+        client = Client(*server.address, reconnect=False)
+        with pytest.raises(SessionClosed, match="cannot reach"):
+            client.connect()
+
+    def test_close_is_idempotent_and_reentrant(self, domain, gated):
+        server = make_server(domain, gated)
+        server.start()
+        server.close()
+        server.close()  # no error, no hang
+
+
+class TestCancel:
+    def test_cancel_propagates_to_the_cancel_token(self, domain, gated):
+        with make_server(domain, gated) as server:
+            with Client(*server.address) as client:
+                pending = client.submit("gated", "erin", "cs", 90, 25, "S")
+                assert gated.entered.wait(5.0)
+                # Still in flight server-side: cancel acknowledges True.
+                assert pending.cancel() is True
+                gated.release.set()
+                # The inner evaluation observes the token at its first
+                # budget checkpoint: a typed Cancelled, state unchanged.
+                with pytest.raises(Cancelled, match="cancelled by client"):
+                    pending.result(timeout=5.0)
+                assert client.query("headcount") == 4
+
+    def test_cancel_of_a_finished_request_reports_false(self, domain, gated):
+        gated.release.set()
+        with make_server(domain, gated) as server:
+            with Client(*server.address) as client:
+                result = client.execute("hire", "erin", "cs", 90, 25, "S")
+                assert result.ok
+                # That id is no longer in flight.
+                assert client._cancel(2) is False
+
+
+class TestPoisonedConnections:
+    def test_garbage_frames_poison_only_their_connection(self, domain, gated):
+        gated.release.set()
+        with make_server(domain, gated) as server:
+            with Client(*server.address) as client:
+                assert client.query("headcount") == 4
+
+                bad = socket.create_connection(server.address, timeout=5.0)
+                try:
+                    bad.sendall(b"\x00garbage that is definitely not a frame")
+                    decoder = FrameDecoder()
+                    replies = []
+                    while True:
+                        data = bad.recv(65536)
+                        if not data:
+                            break  # server hung up on the poisoned stream
+                        replies.extend(decoder.feed(data))
+                finally:
+                    bad.close()
+                [reply] = replies
+                assert reply["type"] == "ERROR"
+                assert reply["error"]["kind"] == "protocol-error"
+
+                # The healthy connection never noticed.
+                assert client.query("headcount") == 4
+                assert (
+                    server.database.metrics.counter(
+                        "repro_server_protocol_errors_total"
+                    ).value == 1
+                )
+
+    def test_client_raises_typed_error_on_server_poison_notice(
+        self, domain, gated
+    ):
+        gated.release.set()
+        with make_server(domain, gated) as server:
+            client = Client(*server.address)
+            client.connect()
+            # Corrupt the stream from a live, handshaken client.
+            client._sock.sendall(b"XX this is not a frame")
+            with pytest.raises(ReproError):
+                client.query("headcount")
+            # The next request transparently reconnects.
+            assert client.query("headcount") == 4
+            client.close()
+
+    def test_oversized_frame_is_refused(self, domain, gated):
+        gated.release.set()
+        with make_server(domain, gated, max_frame=1024) as server:
+            sock = socket.create_connection(server.address, timeout=5.0)
+            try:
+                sock.sendall(
+                    encode_message(
+                        {"type": "HELLO", "id": 1, "version": 1,
+                         "pad": "x" * 4096}
+                    )
+                )
+                decoder = FrameDecoder()
+                data = sock.recv(65536)
+                [reply] = decoder.feed(data)
+                assert reply["error"]["kind"] == "protocol-error"
+            finally:
+                sock.close()
+
+
+class TestAbruptDisconnect:
+    def test_client_vanishing_mid_flight_cancels_its_work(self, domain, gated):
+        with make_server(domain, gated) as server:
+            client = Client(*server.address)
+            pending = client.submit("gated", "erin", "cs", 90, 25, "S")
+            assert gated.entered.wait(5.0)
+            token_holder = pending  # the request is parked in a worker
+            client._sock.close()  # no CLOSE, no goodbye
+
+            # Wait for the server to notice the dead socket and tear the
+            # session down — teardown cancels the request's token — before
+            # releasing the parked evaluation.
+            deadline = time.monotonic() + 5.0
+            gauge = server.database.metrics.gauge("repro_server_connections")
+            while gauge.value > 0 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert gauge.value == 0
+            gated.release.set()
+
+            # The cancelled hire never commits; everyone else is served.
+            with Client(*server.address) as other:
+                assert other.query("headcount") == 4
+            assert token_holder.request_id >= 1

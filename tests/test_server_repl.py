@@ -1,0 +1,220 @@
+"""The interactive REPL: statement parsing, continuation, tabular
+rendering, meta commands, and error display.
+
+Parsing and formatting are pure functions tested directly; the loop is
+driven through a stub client (no sockets) plus one end-to-end walkthrough
+against a real server — the same script shape ``examples/
+transaction_server.py`` runs in CI.
+"""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro import Client, Database, TransactionServer
+from repro.db.values import DBTuple, TupleSet
+from repro.errors import ConstraintViolation, ParseError
+from repro.logic import builder as b
+from repro.server.client import ExecuteResult
+from repro.server.repl import (
+    Repl,
+    format_table,
+    format_value,
+    parse_statement,
+    run_repl,
+    statement_complete,
+)
+from repro.transactions.program import query
+
+
+class TestStatementCompletion:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "headcount()",
+            "hire(erin, cs, 90, 25, S)",
+            "\\programs",
+            "hire(erin,\n     cs, 90,\n     25, S)",
+            "hire('a (tricky) name', cs, 1, 2, S)",
+        ],
+    )
+    def test_complete(self, text):
+        assert statement_complete(text)
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "hire(erin,",
+            "hire(erin, cs,\n     90,",
+            "headcount() \\",
+            "hire('unterminated",
+            "hire(nested(deeply",
+        ],
+    )
+    def test_incomplete(self, text):
+        assert not statement_complete(text)
+
+
+class TestParsing:
+    def test_words_numbers_and_strings(self):
+        name, args = parse_statement("hire(erin, cs, 90, -3, 'S M')")
+        assert name == "hire"
+        assert args == ["erin", "cs", 90, -3, "S M"]
+
+    def test_quoted_digits_stay_strings(self):
+        _, args = parse_statement("lookup('42')")
+        assert args == ["42"]
+
+    def test_no_arguments(self):
+        assert parse_statement("headcount()") == ("headcount", [])
+        assert parse_statement("headcount") == ("headcount", [])
+
+    def test_multi_line_continuations_collapse(self):
+        name, args = parse_statement("hire(erin,\n     cs, 90,\n     25, S)")
+        assert (name, args) == ("hire", ["erin", "cs", 90, 25, "S"])
+
+    def test_backslash_continuation(self):
+        name, args = parse_statement("hire(erin, \\\ncs, 1, 2, S)")
+        assert (name, args) == ("hire", ["erin", "cs", 1, 2, "S"])
+
+    def test_unterminated_string_is_a_parse_error(self):
+        with pytest.raises(ParseError, match="unterminated string"):
+            parse_statement("hire('oops)")
+
+    def test_unterminated_arguments_are_a_parse_error(self):
+        with pytest.raises(ParseError, match="unterminated argument"):
+            parse_statement("hire(erin")
+
+    def test_garbage_is_a_parse_error(self):
+        with pytest.raises(ParseError):
+            parse_statement("!!!")
+
+
+class TestFormatting:
+    def test_table_aligns_columns(self):
+        text = format_table(
+            ["name", "salary"], [["alice", 120], ["bo", 7]]
+        )
+        lines = text.splitlines()
+        assert lines[0] == "name   salary"
+        assert lines[1] == "-----  ------"
+        assert lines[2] == "alice  120"
+        assert lines[3] == "bo     7"
+
+    def test_tuple_set_renders_with_tids_and_count(self):
+        ts = TupleSet.of(2, [DBTuple(2, ("b", 2)), DBTuple(1, ("a", 1))])
+        text = format_value(ts)
+        assert "tid" in text.splitlines()[0]
+        # Sorted by tuple identifier.
+        assert text.splitlines()[2].startswith("1")
+        assert text.endswith("(2 tuples)")
+
+    def test_single_tuple_renders_as_one_row(self):
+        text = format_value(DBTuple(9, ("alice", "cs")))
+        assert len(text.splitlines()) == 3
+        assert "alice" in text
+
+    def test_atoms_render_plainly(self):
+        assert format_value(7) == "7"
+        assert format_value("cs") == "cs"
+
+
+class StubClient:
+    """A catalog and canned responses — no sockets."""
+
+    def __init__(self):
+        self.programs = {
+            "hire": {"kind": "transaction", "params": ["name", "dept"]},
+            "headcount": {"kind": "query", "params": []},
+        }
+        self.relations = {"EMP": ["e-name", "e-dept"]}
+        self.calls: list = []
+
+    def execute(self, name, *args):
+        self.calls.append(("execute", name, args))
+        if args and args[0] == "badname":
+            raise ConstraintViolation("salary-cap", "refused")
+        return ExecuteResult(label=name, attempts=1, seq=len(self.calls))
+
+    def query(self, name, *args):
+        self.calls.append(("query", name, args))
+        return 42
+
+
+class TestLoop:
+    def run(self, lines):
+        stub = StubClient()
+        out = io.StringIO()
+        run_repl(stub, lines, out=out)
+        return stub, out.getvalue()
+
+    def test_dispatches_by_catalog_kind(self):
+        stub, output = self.run(["hire(erin, cs)", "headcount()"])
+        assert stub.calls == [
+            ("execute", "hire", ("erin", "cs")),
+            ("query", "headcount", ()),
+        ]
+        assert "committed hire" in output
+        assert "42" in output
+
+    def test_multi_line_statements_buffer_until_complete(self):
+        stub, output = self.run(["hire(erin,", "     cs)"])
+        assert stub.calls == [("execute", "hire", ("erin", "cs"))]
+
+    def test_unknown_program_is_reported_not_raised(self):
+        stub, output = self.run(["promote(alice)"])
+        assert stub.calls == []
+        assert "unknown program 'promote'" in output
+
+    def test_typed_errors_render_with_their_class(self):
+        _, output = self.run(["hire(badname, cs)"])
+        assert "error [ConstraintViolation]" in output
+
+    def test_meta_commands(self):
+        _, output = self.run(["\\programs", "\\relations", "\\help", "\\nope"])
+        assert "hire" in output and "transaction" in output
+        assert "EMP" in output and "e-name" in output
+        assert "continuation" in output
+        assert "unknown meta command" in output
+
+    def test_quit_stops_the_loop(self):
+        stub, output = self.run(["\\quit", "headcount()"])
+        assert stub.calls == []
+        assert output.strip().endswith("bye")
+
+    def test_blank_lines_are_ignored(self):
+        stub, _ = self.run(["", "   ", "headcount()"])
+        assert stub.calls == [("query", "headcount", ())]
+
+
+class TestEndToEnd:
+    def test_walkthrough_against_a_live_server(self, domain):
+        db = Database(domain.schema, initial=domain.sample_state())
+        programs = [
+            domain.hire,
+            query("headcount", (), b.size_of(b.rel("EMP", 5))),
+            query("employees", (), b.rel("EMP", 5)),
+        ]
+        with TransactionServer(db, programs) as server:
+            with Client(*server.address) as client:
+                out = io.StringIO()
+                repl = run_repl(
+                    client,
+                    [
+                        "hire(erin,",
+                        "     cs, 90,",
+                        "     25, S)",
+                        "headcount()",
+                        "employees()",
+                        "\\quit",
+                    ],
+                    out=out,
+                )
+                assert repl.done
+        text = out.getvalue()
+        assert "committed hire" in text
+        assert "\n5\n" in text  # four employees plus erin
+        assert "erin" in text and "(5 tuples)" in text
+        assert text.rstrip().endswith("bye")

@@ -1,0 +1,243 @@
+"""Per-tenant governance at the wire: admission quotas, breaker views,
+budget templates, and latency isolation.
+
+The acceptance contract from the issue: a tenant exceeding its admission
+quota gets a wire-level :class:`Overloaded` carrying ``retry_after``, while
+other tenants keep their tickets — their p95 latency stays within 2× of
+baseline (with a small absolute floor so scheduler noise cannot flake the
+build).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro import Budget, Client, Database, TenantConfig, TransactionServer
+from repro.errors import BudgetExceeded, CircuitOpen, Overloaded
+from repro.logic import builder as b
+from repro.server.client import ClientRetry
+from repro.transactions.program import query
+
+
+class Gated:
+    """See tests/test_server_lifecycle.py — parks evaluation in the worker."""
+
+    def __init__(self, inner, name: str = "gated"):
+        self.inner = inner
+        self._name = name
+        self.entered = threading.Event()
+        self.release = threading.Event()
+
+    def __getattr__(self, attr):
+        return getattr(self.inner, attr)
+
+    @property
+    def name(self):
+        return self._name
+
+    def run(self, state, *args, interpreter=None):
+        self.entered.set()
+        assert self.release.wait(timeout=10.0), "gated program never released"
+        return self.inner.run(state, *args, interpreter=interpreter)
+
+
+def percentile(samples, q):
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+
+@pytest.fixture()
+def gated(domain):
+    return Gated(domain.hire)
+
+
+@pytest.fixture()
+def served(domain, gated):
+    db = Database(domain.schema, initial=domain.sample_state())
+    programs = [
+        domain.hire,
+        domain.create_project,
+        gated,
+        query("headcount", (), b.size_of(b.rel("EMP", 5))),
+    ]
+    server = TransactionServer(
+        db,
+        programs,
+        workers=4,
+        tenants={
+            "small": TenantConfig(max_inflight=1, retry_hint_per_item=0.02),
+            "metered": TenantConfig(budget=Budget(max_steps=1)),
+            "flaky": TenantConfig(
+                breaker={"min_events": 2, "threshold": 0.5, "cooldown": 30.0}
+            ),
+        },
+    )
+    server.start()
+    yield server
+    gated.release.set()
+    server.close()
+
+
+class TestAdmissionQuota:
+    def test_over_quota_is_wire_level_overloaded_with_retry_after(
+        self, served, gated
+    ):
+        small = Client(*served.address, tenant="small")
+        p1 = small.submit("gated", "erin", "cs", 90, 25, "S")
+        assert gated.entered.wait(5.0)
+        # The quota slot is held: the next request is refused pre-execution.
+        p2 = small.submit("hire", "finn", "cs", 90, 25, "S")
+        with pytest.raises(Overloaded) as info:
+            p2.result(timeout=5.0)
+        assert info.value.limit == 1
+        assert info.value.retry_after > 0
+        gated.release.set()
+        assert p1.result(timeout=5.0).ok
+        small.close()
+
+    def test_other_tenants_keep_their_tickets(self, served, gated):
+        small = Client(*served.address, tenant="small")
+        p1 = small.submit("gated", "erin", "cs", 90, 25, "S")
+        assert gated.entered.wait(5.0)
+        # "small" is saturated; "default" commits unimpeded.
+        with Client(*served.address) as other:
+            assert other.execute("hire", "gina", "ee", 85, 29, "S").ok
+        gated.release.set()
+        assert p1.result(timeout=5.0).ok
+        small.close()
+
+    def test_rejections_count_in_the_tenant_admission_metrics(
+        self, served, gated
+    ):
+        small = Client(*served.address, tenant="small")
+        p1 = small.submit("gated", "erin", "cs", 90, 25, "S")
+        assert gated.entered.wait(5.0)
+        before = served.database.metrics.counter(
+            "repro_admission_rejected_total"
+        ).value
+        with pytest.raises(Overloaded):
+            small.submit("hire", "finn", "cs", 90, 25, "S").result(timeout=5.0)
+        after = served.database.metrics.counter(
+            "repro_admission_rejected_total"
+        ).value
+        assert after == before + 1
+        gated.release.set()
+        p1.result(timeout=5.0)
+        small.close()
+
+
+class TestClientBackoff:
+    def test_client_honors_retry_after_then_succeeds(self, served, gated):
+        """execute() (unlike submit()) transparently backs off on the typed
+        pre-execution rejection and wins once the slot frees."""
+        small = Client(
+            *served.address,
+            tenant="small",
+            retry=ClientRetry(max_attempts=6, base_delay=0.05),
+        )
+        p1 = small.submit("gated", "erin", "cs", 90, 25, "S")
+        assert gated.entered.wait(5.0)
+        freer = threading.Timer(0.1, gated.release.set)
+        freer.start()
+        try:
+            result = small.execute("hire", "finn", "cs", 90, 25, "S")
+            assert result.ok
+        finally:
+            freer.cancel()
+            gated.release.set()
+        assert p1.result(timeout=5.0).ok
+        small.close()
+
+    def test_backoff_exhaustion_reraises_the_typed_error(self, served, gated):
+        small = Client(
+            *served.address,
+            tenant="small",
+            retry=ClientRetry(max_attempts=2, base_delay=0.01, max_delay=0.02),
+        )
+        p1 = small.submit("gated", "erin", "cs", 90, 25, "S")
+        assert gated.entered.wait(5.0)
+        with pytest.raises(Overloaded):
+            small.execute("hire", "finn", "cs", 90, 25, "S")
+        gated.release.set()
+        p1.result(timeout=5.0)
+        small.close()
+
+
+class TestBudgetsAndBreakers:
+    def test_tenant_budget_template_meters_every_request(self, served):
+        with Client(*served.address, tenant="metered") as metered:
+            with pytest.raises(BudgetExceeded) as info:
+                metered.execute("hire", "erin", "cs", 90, 25, "S")
+            assert info.value.resource == "steps"
+            assert info.value.limit == 1
+        # The same program under an unmetered tenant commits.
+        with Client(*served.address) as free:
+            assert free.execute("hire", "erin", "cs", 90, 25, "S").ok
+
+    def test_breaker_views_are_per_tenant(self, served):
+        """Trip the 'flaky' tenant's breaker directly: its requests fail
+        fast with CircuitOpen while 'default' commits normally."""
+        flaky_tenant = served._tenant("flaky")
+        breaker = flaky_tenant.admission.breaker
+        assert breaker is not None
+        breaker.record(False)
+        breaker.record(False)  # min_events=2, all conflicts: trips open
+        assert breaker.state == "open"
+
+        flaky = Client(
+            *served.address, tenant="flaky",
+            retry=ClientRetry(max_attempts=1),
+        )
+        with pytest.raises(CircuitOpen) as info:
+            flaky.execute("create-project", "atlas", 100)
+        assert info.value.retry_after > 0
+        flaky.close()
+
+        with Client(*served.address) as other:
+            assert other.execute("create-project", "atlas", 100).ok
+
+
+class TestLatencyIsolation:
+    def test_noisy_neighbor_does_not_move_the_default_tenants_p95(
+        self, served, gated
+    ):
+        rounds = 40
+
+        def measure(client):
+            samples = []
+            for _ in range(rounds):
+                t0 = time.perf_counter()
+                client.query("headcount")
+                samples.append(time.perf_counter() - t0)
+            return percentile(samples, 0.95)
+
+        with Client(*served.address) as victim:
+            baseline = measure(victim)
+
+            # Saturate "small": one parked request holds its only ticket,
+            # and a burst of further submissions bounces off admission.
+            noisy = Client(*served.address, tenant="small")
+            parked = noisy.submit("gated", "erin", "cs", 90, 25, "S")
+            assert gated.entered.wait(5.0)
+            bounced = [
+                noisy.submit("hire", f"n{i}", "cs", 50, 30, "S")
+                for i in range(25)
+            ]
+
+            loaded = measure(victim)
+
+            for pending in bounced:
+                with pytest.raises(Overloaded):
+                    pending.result(timeout=5.0)
+            gated.release.set()
+            assert parked.result(timeout=5.0).ok
+            noisy.close()
+
+        # 2× the unloaded p95, with an absolute floor against timer noise.
+        assert loaded <= max(2 * baseline, 0.05), (
+            f"default tenant p95 moved from {baseline:.4f}s to {loaded:.4f}s "
+            f"under a noisy neighbor"
+        )
