@@ -92,6 +92,8 @@ from repro.errors import (
     OrderDependenceError,
     Overloaded,
     ParseError,
+    PlanError,
+    PlannerMismatch,
     ProofError,
     ProtocolError,
     ReproError,
@@ -106,6 +108,7 @@ from repro.errors import (
     UnboundVariableError,
     UndefinedFluentError,
 )
+from repro.algebra import Plan, QueryPlanner
 from repro.lang import parse, parse_formula, parse_transaction
 from repro.obs import (
     MetricsRegistry,
@@ -149,6 +152,7 @@ __all__ = [
     "ResourceError", "BudgetExceeded", "Cancelled",
     "Overloaded", "CircuitOpen", "SchedulerClosed",
     "ProtocolError", "SessionClosed",
+    "PlanError", "PlannerMismatch",
     # db
     "Schema", "RelationSchema", "State", "Relation", "DBTuple", "TupleSet",
     "make_tuple", "initial_state", "state_from_rows",
@@ -173,6 +177,8 @@ __all__ = [
     "Budget", "CancelToken",
     # storage
     "Store", "Recovery", "Journal", "JournalRecord", "state_digest",
+    # algebra / planning
+    "QueryPlanner", "Plan",
     # observability
     "MetricsRegistry", "Tracer", "Span", "Profile", "profile_from_json",
     # server

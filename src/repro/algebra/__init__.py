@@ -1,0 +1,73 @@
+"""Relational-algebra compiler, cost-based planner, and executor.
+
+The tree-walk interpreter of :mod:`repro.transactions.interpreter` is the
+semantics; this package is an *accelerator* for its read-only fragment:
+set formers, ``exists`` chains, guarded ``forall`` constraints, and
+aggregates compile to hash-join plans that answer in O(n + m) where the
+tree walk nests enumerations.  Everything observable — values, canonical
+enumeration order, ``_touch`` read sets, ``Budget`` enforcement, error
+messages — replicates the tree walk (DESIGN.md §7.6); anything the
+compiler cannot express falls back to it silently.
+
+Enable via :meth:`repro.engine.Database.enable_planner`; inspect plans via
+:meth:`QueryPlanner.plan` / :meth:`Plan.explain`.
+"""
+
+from repro.algebra.compiler import (
+    AggQuery,
+    ChainQuery,
+    ForallQuery,
+    Incompilable,
+    RelQuery,
+    SetOpQuery,
+    compile_exists,
+    compile_forall,
+    compile_set_expr,
+    compile_set_former,
+)
+from repro.algebra.ir import (
+    Aggregate,
+    AntiJoin,
+    Cmp,
+    Col,
+    HashJoin,
+    Lit,
+    ParamRef,
+    Project,
+    Scan,
+    Select,
+    SemiJoin,
+    Union,
+    render,
+)
+from repro.algebra.planner import Plan, QueryPlanner
+from repro.algebra.stats import StatsCatalog
+
+__all__ = [
+    "AggQuery",
+    "Aggregate",
+    "AntiJoin",
+    "ChainQuery",
+    "Cmp",
+    "Col",
+    "compile_exists",
+    "compile_forall",
+    "compile_set_expr",
+    "compile_set_former",
+    "ForallQuery",
+    "HashJoin",
+    "Incompilable",
+    "Lit",
+    "ParamRef",
+    "Plan",
+    "Project",
+    "QueryPlanner",
+    "RelQuery",
+    "render",
+    "Scan",
+    "Select",
+    "SemiJoin",
+    "SetOpQuery",
+    "StatsCatalog",
+    "Union",
+]

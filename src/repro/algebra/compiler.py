@@ -1,0 +1,472 @@
+"""Compiler from the fluent fragment to relational-algebra form.
+
+The compilable fragment is deliberately narrow — it is the shape the tree
+walk's read-set (``_touch``) protocol can be replicated for *exactly*
+(DESIGN.md §7.6):
+
+* every bound variable is tuple-sorted and has exactly one membership
+  conjunct ``member(v, R)`` over a bare :class:`RelConst` (its domain);
+* all other conjuncts are pure value predicates — ``=``/``!=`` and integer
+  comparisons over attributes/selections of bound variables, atom
+  constants, and environment parameters — which never touch a relation;
+* one trailing ``exists`` per conjunction may nest (positive nestings
+  flatten into further join levels; a trailing ``not exists`` becomes an
+  anti join);
+* a ``forall`` must be guarded, ``forall v. member(v, R) ∧ guards → body``,
+  with a body of pure predicates plus at most one (possibly negated)
+  single-level ``exists``.
+
+Anything else — defined/skolem/state-changing symbols, situational layers,
+disjunction, arithmetic inside conditions, set-valued or atom-sorted bound
+variables, double memberships — raises :class:`Incompilable`, and the
+planner falls back to the tree walk.  Fallback is always sound: the tree
+walk is the semantics.
+
+This mirrors the eligibility analysis of :mod:`repro.eval.footprint`: walk
+the tree, accumulate structure, record the first blocking reason.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.logic.fluents import SetFormer
+from repro.logic.formulas import And, Eq, Exists, Forall, Formula, Implies, Not, Pred
+from repro.logic.symbols import SymbolKind
+from repro.logic.terms import App, AtomConst, Expr, Layer, RelConst, Var
+from repro.transactions.interpreter import _base_name, _conjuncts
+
+from repro.algebra.ir import Cmp, Col, Lit, ParamRef, ValueExpr
+
+
+class Incompilable(Exception):
+    """Internal signal: the node is outside the compilable fragment.
+
+    Never escapes the planner — it is converted to a tree-walk fallback (or
+    to :class:`repro.errors.PlanError` when compilation was explicitly
+    requested)."""
+
+    def __init__(self, reason: str) -> None:
+        self.reason = reason
+        super().__init__(reason)
+
+
+# ---------------------------------------------------------------------------
+# compiled shapes
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Level:
+    """One membership-narrowed enumeration level: ``var`` ranges over the
+    value-distinct representatives of relation ``rel``.  ``group_end`` is
+    the slot of the last level in the same quantifier scope group — levels
+    of one set former share a group (their domains narrow unconditionally,
+    predicates are only checked at the leaf), while each flattened nested
+    ``exists`` opens its own group (its domain narrows only for candidates
+    surviving the enclosing conjunction)."""
+
+    var: Var
+    slot: int
+    rel: str
+    arity: int
+    group_end: int
+
+
+@dataclass(frozen=True)
+class PredSpec:
+    """A predicate with its gating position: ``eff_level`` is the slot at
+    whose conjunction leaf the tree walk evaluates it (the last slot of its
+    syntactic scope group) — deeper domains narrow only when rows survive
+    it.  The executor may *apply* it earlier (pushdown is touch-neutral);
+    only gate computation uses ``eff_level``."""
+
+    pred: Cmp
+    eff_level: int
+
+
+@dataclass(frozen=True)
+class SubQuery:
+    """A trailing ``not exists`` (anti join) over one inner level."""
+
+    level: Level
+    preds: tuple[Cmp, ...]
+
+
+@dataclass(frozen=True)
+class ResultSpec:
+    exprs: tuple[ValueExpr, ...]
+    whole: bool
+    element_arity: int
+
+
+@dataclass(frozen=True)
+class ChainQuery:
+    """A set former or an ``exists`` chain: joined levels, predicates, an
+    optional trailing anti join, and (for set formers) the projection."""
+
+    levels: tuple[Level, ...]
+    preds: tuple[PredSpec, ...]
+    sub: Optional[SubQuery]
+    kind: str  # "setformer" | "exists"
+    result: Optional[ResultSpec]
+
+
+@dataclass(frozen=True)
+class ForallQuery:
+    """``forall v. (member(v, R) ∧ guards) → (pres ∧ [not] exists u...)``.
+
+    Slot 0 is the guard variable, slot 1 the body variable.  ``negated``
+    marks a ``not exists`` body (violations are semi-join matches instead
+    of anti-join misses)."""
+
+    var: Var
+    arity: int
+    rel: str
+    guard_preds: tuple[Cmp, ...]
+    pre_preds: tuple[Cmp, ...]
+    body_level: Optional[Level]
+    body_preds: tuple[Cmp, ...]
+    negated: bool
+
+
+@dataclass(frozen=True)
+class RelQuery:
+    """A bare relation constant used as a set (aggregate/set-op child)."""
+
+    rel: str
+    arity: int
+
+
+@dataclass(frozen=True)
+class SetOpQuery:
+    mode: str  # "union" | "intersect" | "diff"
+    left: object
+    right: object
+
+
+@dataclass(frozen=True)
+class AggQuery:
+    op: str  # "sum" | "max" | "min" | "size"
+    child: object
+
+
+# ---------------------------------------------------------------------------
+# eligibility helpers
+# ---------------------------------------------------------------------------
+
+_PRED_OPS = {"<": "lt", "<=": "le", ">": "gt", ">=": "ge"}
+
+
+def _check_symbols(node, interp) -> None:
+    """Refuse nodes the executor has no exact replication for: situational
+    layers, state-changing/defined/skolem/identifier symbols, and symbols
+    shadowed by interpreter definitions."""
+    for sub in node.iter_subnodes():
+        layer = getattr(sub, "layer", None)
+        if layer is Layer.SITUATIONAL:
+            raise Incompilable("situational subterm")
+        if isinstance(sub, App):
+            kind = sub.symbol.kind
+            if kind in (
+                SymbolKind.STATE_CHANGING,
+                SymbolKind.DEFINED,
+                SymbolKind.SKOLEM,
+                SymbolKind.IDENTIFIER,
+            ):
+                raise Incompilable(f"symbol kind {kind.name.lower()}")
+            if interp is not None and interp.definitions is not None:
+                if interp.definitions.lookup_definition(sub.symbol.name) is not None:
+                    raise Incompilable(f"defined symbol {sub.symbol.name}")
+
+
+def _compile_value(expr: Expr, slots: dict[Var, int]) -> ValueExpr:
+    """An attribute/selection/constant/parameter as a row expression."""
+    if isinstance(expr, AtomConst):
+        return Lit(expr.value)
+    if isinstance(expr, Var):
+        if expr in slots:
+            return Col(slots[expr], 0)
+        if expr.sort.is_tuple or expr.sort.is_atom:
+            return ParamRef(expr)
+        raise Incompilable(f"parameter {expr.name} of sort {expr.sort}")
+    if isinstance(expr, App):
+        sym = expr.symbol
+        base = _base_name(sym.name)
+        if sym.kind is SymbolKind.ATTRIBUTE:
+            inner = _compile_value(expr.args[0], slots)
+            return _index_of(inner, sym.index, expr)
+        if sym.kind is SymbolKind.TUPLE and base == "select":
+            if not isinstance(expr.args[1], AtomConst) or not isinstance(
+                expr.args[1].value, int
+            ):
+                raise Incompilable("select with non-constant index")
+            inner = _compile_value(expr.args[0], slots)
+            return _index_of(inner, expr.args[1].value, expr)
+        raise Incompilable(f"function {sym.name} in condition")
+    raise Incompilable(f"{type(expr).__name__} in condition")
+
+
+def _index_of(inner: ValueExpr, index: int, expr: Expr) -> ValueExpr:
+    if isinstance(inner, Col) and inner.index == 0:
+        return Col(inner.slot, index)
+    if isinstance(inner, ParamRef):
+        # Attribute of a parameter tuple: modeled as a parameter selection.
+        return ParamSel(inner.var, index)
+    raise Incompilable(f"nested selection in {expr}")
+
+
+@dataclass(frozen=True)
+class ParamSel:
+    """``index``-th attribute (1-based) of a parameter tuple."""
+
+    var: Var
+    index: int
+
+
+def _compile_pred(f: Formula, slots: dict[Var, int]) -> Cmp:
+    """A pure value predicate, or raise."""
+    if isinstance(f, Eq):
+        return Cmp("eq", _compile_value(f.lhs, slots), _compile_value(f.rhs, slots))
+    if isinstance(f, Not) and isinstance(f.body, Eq):
+        inner = f.body
+        return Cmp(
+            "ne", _compile_value(inner.lhs, slots), _compile_value(inner.rhs, slots)
+        )
+    if isinstance(f, Pred):
+        base = _base_name(f.symbol.name)
+        if base in _PRED_OPS:
+            return Cmp(
+                _PRED_OPS[base],
+                _compile_value(f.args[0], slots),
+                _compile_value(f.args[1], slots),
+            )
+        raise Incompilable(f"predicate {f.symbol.name}")
+    raise Incompilable(f"{type(f).__name__} conjunct")
+
+
+def _is_member(f: Formula) -> bool:
+    return isinstance(f, Pred) and _base_name(f.symbol.name) == "member"
+
+
+def _domain_of(var: Var, conjuncts: list[Formula]) -> RelConst:
+    """The variable's single RelConst membership conjunct."""
+    if not (var.sort.is_tuple):
+        raise Incompilable(f"bound variable {var.name} is not tuple-sorted")
+    memberships = [
+        c for c in conjuncts if _is_member(c) and c.args[0] == var
+    ]
+    if len(memberships) != 1:
+        raise Incompilable(
+            f"{var.name}: expected exactly one membership, got {len(memberships)}"
+        )
+    collection = memberships[0].args[1]
+    if not isinstance(collection, RelConst):
+        raise Incompilable(f"{var.name}: domain is not a relation constant")
+    if collection.arity != var.sort.arity:
+        raise Incompilable(f"{var.name}: domain arity mismatch")
+    # The tree walk narrows from the *first* membership conjunct; with
+    # exactly one over a RelConst, narrowing and this compilation agree.
+    first_member = next(c for c in conjuncts if _is_member(c) and c.args[0] == var)
+    if first_member is not memberships[0]:  # pragma: no cover - defensive
+        raise Incompilable(f"{var.name}: ambiguous membership order")
+    return collection
+
+
+# ---------------------------------------------------------------------------
+# chain compilation (set formers and exists chains)
+# ---------------------------------------------------------------------------
+
+
+def _compile_chain(
+    group_vars: tuple[Var, ...],
+    cond: Formula,
+    slots: dict[Var, int],
+    levels: list[Level],
+    preds: list[PredSpec],
+):
+    """Compile one quantifier scope: bind ``group_vars`` as one group from
+    ``cond``'s membership conjuncts, collect its value predicates, then
+    flatten a trailing positive ``exists`` (a new group) or capture a
+    trailing ``not exists`` (anti join).  Returns the anti-join SubQuery or
+    ``None``."""
+    conjuncts = _conjuncts(cond)
+    for var in group_vars:
+        if var in slots:
+            raise Incompilable(f"rebinding of {var.name}")
+    group_start = len(levels)
+    for var in group_vars:
+        domain = _domain_of(var, conjuncts)
+        slot = len(levels)
+        slots[var] = slot
+        levels.append(Level(var, slot, domain.name, domain.arity, group_end=0))
+    group_end = len(levels) - 1
+    for i in range(group_start, len(levels)):
+        levels[i] = Level(
+            levels[i].var, levels[i].slot, levels[i].rel, levels[i].arity, group_end
+        )
+
+    trailing: Optional[Formula] = None
+    plain: list[Formula] = []
+    for pos, c in enumerate(conjuncts):
+        if _is_member(c) and isinstance(c.args[0], Var) and c.args[0] in slots:
+            owner_slot = slots[c.args[0]]
+            if group_start <= owner_slot <= group_end:
+                continue  # this group's domain conjunct
+            raise Incompilable("membership over an outer variable")
+        if isinstance(c, Exists) or (isinstance(c, Not) and isinstance(c.body, Exists)):
+            if pos != len(conjuncts) - 1:
+                raise Incompilable("quantified conjunct is not last")
+            trailing = c
+            continue
+        plain.append(c)
+    for c in plain:
+        preds.append(PredSpec(_compile_pred(c, slots), eff_level=group_end))
+
+    if trailing is None:
+        return None
+    if isinstance(trailing, Exists):
+        # Positive nesting flattens: ∃x(φ ∧ ∃y ψ) ≡ ∃x∃y(φ ∧ ψ).
+        return _compile_chain(
+            (trailing.var,), trailing.body, slots, levels, preds
+        )
+    # Trailing not-exists: one inner level, pure predicates only.
+    inner = trailing.body
+    inner_conjuncts = _conjuncts(inner.body)
+    inner_var = inner.var
+    if inner_var in slots:
+        raise Incompilable(f"rebinding of {inner_var.name}")
+    domain = _domain_of(inner_var, inner_conjuncts)
+    slot = len(levels)
+    sub_slots = dict(slots)
+    sub_slots[inner_var] = slot
+    sub_preds: list[Cmp] = []
+    for c in inner_conjuncts:
+        if _is_member(c) and c.args[0] == inner_var:
+            continue
+        if isinstance(c, (Exists, Forall)) or isinstance(c, Not) and not isinstance(
+            c.body, Eq
+        ):
+            raise Incompilable("nested quantifier inside not-exists")
+        sub_preds.append(_compile_pred(c, sub_slots))
+    level = Level(inner_var, slot, domain.name, domain.arity, group_end=slot)
+    return SubQuery(level, tuple(sub_preds))
+
+
+def compile_set_former(former: SetFormer, interp=None) -> ChainQuery:
+    _check_symbols(former, interp)
+    slots: dict[Var, int] = {}
+    levels: list[Level] = []
+    preds: list[PredSpec] = []
+    sub = _compile_chain(tuple(former.bound), former.cond, slots, levels, preds)
+    result = _compile_result(former, slots)
+    return ChainQuery(tuple(levels), tuple(preds), sub, "setformer", result)
+
+
+def compile_exists(formula: Exists, interp=None) -> ChainQuery:
+    _check_symbols(formula, interp)
+    slots: dict[Var, int] = {}
+    levels: list[Level] = []
+    preds: list[PredSpec] = []
+    sub = _compile_chain((formula.var,), formula.body, slots, levels, preds)
+    return ChainQuery(tuple(levels), tuple(preds), sub, "exists", None)
+
+
+def _compile_result(former: SetFormer, slots: dict[Var, int]) -> ResultSpec:
+    expr = former.result
+    arity = former.element_arity
+    if isinstance(expr, Var) and expr in slots:
+        return ResultSpec((Col(slots[expr], 0),), whole=True, element_arity=arity)
+    if isinstance(expr, App) and _base_name(expr.symbol.name) == "tuple":
+        parts = tuple(_compile_value(a, slots) for a in expr.args)
+        return ResultSpec(parts, whole=False, element_arity=arity)
+    value = _compile_value(expr, slots)
+    return ResultSpec((value,), whole=False, element_arity=arity)
+
+
+# ---------------------------------------------------------------------------
+# forall compilation
+# ---------------------------------------------------------------------------
+
+
+def compile_forall(formula: Forall, interp=None) -> ForallQuery:
+    _check_symbols(formula, interp)
+    var = formula.var
+    if not var.sort.is_tuple:
+        raise Incompilable("forall over a non-tuple sort")
+    body = formula.body
+    if not isinstance(body, Implies):
+        raise Incompilable("forall body is not guarded (no implication)")
+    ante = _conjuncts(body.antecedent)
+    domain = _domain_of(var, ante)
+    # The membership must lead the antecedent: the tree walk short-circuits
+    # the guard conjunction per candidate, so a leading value predicate
+    # could make it skip the ``member`` evaluation (and its relation touch)
+    # entirely — a shape we cannot gate exactly.
+    if not (_is_member(ante[0]) and ante[0].args[0] == var):
+        raise Incompilable("forall guard membership is not the first conjunct")
+    slots = {var: 0}
+    guard_preds: list[Cmp] = []
+    for c in ante:
+        if _is_member(c) and c.args[0] == var:
+            continue
+        guard_preds.append(_compile_pred(c, slots))
+
+    pre_preds: list[Cmp] = []
+    body_level: Optional[Level] = None
+    body_preds: list[Cmp] = []
+    negated = False
+    consequent = _conjuncts(body.consequent)
+    for pos, c in enumerate(consequent):
+        if isinstance(c, Exists) or (isinstance(c, Not) and isinstance(c.body, Exists)):
+            if pos != len(consequent) - 1:
+                raise Incompilable("quantified consequent conjunct is not last")
+            negated = isinstance(c, Not)
+            inner = c.body if negated else c
+            inner_conjuncts = _conjuncts(inner.body)
+            inner_var = inner.var
+            if inner_var == var:
+                raise Incompilable(f"rebinding of {inner_var.name}")
+            inner_domain = _domain_of(inner_var, inner_conjuncts)
+            inner_slots = {var: 0, inner_var: 1}
+            for ic in inner_conjuncts:
+                if _is_member(ic) and ic.args[0] == inner_var:
+                    continue
+                if isinstance(ic, (Exists, Forall)):
+                    raise Incompilable("forall body exists nests deeper")
+                body_preds.append(_compile_pred(ic, inner_slots))
+            body_level = Level(
+                inner_var, 1, inner_domain.name, inner_domain.arity, group_end=1
+            )
+        else:
+            pre_preds.append(_compile_pred(c, slots))
+    return ForallQuery(
+        var,
+        var.sort.arity,
+        domain.name,
+        tuple(guard_preds),
+        tuple(pre_preds),
+        body_level,
+        tuple(body_preds),
+        negated,
+    )
+
+
+# ---------------------------------------------------------------------------
+# set expressions (aggregate / set-op children)
+# ---------------------------------------------------------------------------
+
+
+def compile_set_expr(expr: Expr, interp=None):
+    if isinstance(expr, RelConst):
+        return RelQuery(expr.name, expr.arity)
+    if isinstance(expr, SetFormer):
+        return compile_set_former(expr, interp)
+    if isinstance(expr, App) and expr.symbol.kind is SymbolKind.SET:
+        base = _base_name(expr.symbol.name)
+        if base in ("union", "intersect", "diff"):
+            left = compile_set_expr(expr.args[0], interp)
+            right = compile_set_expr(expr.args[1], interp)
+            return SetOpQuery(base, left, right)
+    raise Incompilable(f"{type(expr).__name__} is not a compilable set expression")

@@ -1,0 +1,728 @@
+"""Plan execution with the tree walk's exact observable seams.
+
+The executor computes *what* the tree walk computes (same value, same
+canonical enumeration order, same representative identity, same error
+contract) while reading relations *differently* (hash joins and cached
+indexes instead of nested enumeration).  Its obligations, in order of
+importance:
+
+1. **Result equality** — bit-for-bit, including :class:`TupleSet`
+   representative order, which downstream ``==`` (cache verification,
+   oracle cross-checks) observes.
+2. **Read-set replication** — every relation name the tree walk would
+   report through ``_touch`` is reported, under the same gating: a level's
+   domain is touched only when the tree walk would have reached its
+   narrowing (DESIGN.md §7.6 states the invariant and its one sound
+   superset corner, parameter dereferences under reordered joins).
+3. **Budget metering** — evaluation charges the attached
+   :class:`~repro.transactions.budget.Budget` through the same ``_touch``
+   seam plus per-candidate ticks, so runaway queries still abort; tick
+   *counts* are comparable, not identical (that difference is the speedup).
+
+Touches are emitted *after* the physical join (they are set-valued and
+order-free): a nonempty result proves every source-order prefix nonempty,
+so all gates are open; an empty result triggers a source-order gate pass
+that stops at the first empty prefix, exactly where the tree walk stops.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.db.values import DBTuple, TupleSet
+from repro.errors import EvaluationError
+from repro.transactions.interpreter import (
+    _dedupe_tuples,
+    _tuple_order_key,
+    value_eq,
+)
+
+from repro.algebra.compiler import (
+    AggQuery,
+    ChainQuery,
+    Cmp,
+    ForallQuery,
+    ParamSel,
+    RelQuery,
+    SetOpQuery,
+)
+from repro.algebra.ir import Col, Lit, ParamRef
+
+
+class Unplannable(Exception):
+    """Run-time fallback signal: the current state does not match the plan
+    (relation missing or arity drifted).  The planner catches it and hands
+    the evaluation back to the tree walk, whose own error/touch behavior is
+    the contract for these states."""
+
+
+class Ctx:
+    """Per-evaluation context: interpreter seams plus the lazy parameter
+    cache (dereferencing a tuple parameter touches its owning relation, so
+    resolution waits until a row actually needs the value)."""
+
+    __slots__ = ("interp", "state", "env", "_params")
+
+    def __init__(self, interp, state, env) -> None:
+        self.interp = interp
+        self.state = state
+        self.env = env
+        self._params: dict = {}
+
+    def param(self, var):
+        try:
+            return self._params[var]
+        except KeyError:
+            raw = self.env.lookup(var)
+            value = self.interp._deref(self.state, raw)
+            self._params[var] = value
+            return value
+
+
+# ---------------------------------------------------------------------------
+# value / predicate evaluation (replicating _obj on the compiled fragment)
+# ---------------------------------------------------------------------------
+
+
+def _value(ctx: Ctx, row, expr):
+    if isinstance(expr, Col):
+        t = row[expr.slot]
+        return t if expr.index == 0 else t.select(expr.index)
+    if isinstance(expr, Lit):
+        return expr.value
+    if isinstance(expr, ParamRef):
+        return ctx.param(expr.var)
+    if isinstance(expr, ParamSel):
+        value = ctx.param(expr.var)
+        if isinstance(value, DBTuple):
+            return value.select(expr.index)
+        if isinstance(value, (int, str)) and not isinstance(value, bool):
+            return DBTuple(None, (value,)).select(expr.index)
+        raise EvaluationError(f"expected a tuple, got {value!r}")
+    raise EvaluationError(f"unknown plan expression {expr!r}")
+
+
+def _as_int(value) -> int:
+    if isinstance(value, DBTuple):
+        if value.arity == 1:
+            value = value.values[0]
+        else:
+            raise EvaluationError(f"expected an atom, got {value!r}")
+    if isinstance(value, bool) or not isinstance(value, (int, str)):
+        raise EvaluationError(f"expected an atom, got {value!r}")
+    if not isinstance(value, int):
+        raise EvaluationError(f"expected a number, got {value!r}")
+    return value
+
+
+def _holds(ctx: Ctx, row, p: Cmp) -> bool:
+    a = _value(ctx, row, p.lhs)
+    b = _value(ctx, row, p.rhs)
+    if p.op == "eq":
+        return value_eq(a, b)
+    if p.op == "ne":
+        return not value_eq(a, b)
+    x = _as_int(a)
+    y = _as_int(b)
+    if p.op == "lt":
+        return x < y
+    if p.op == "le":
+        return x <= y
+    if p.op == "gt":
+        return x > y
+    return x >= y
+
+
+def _key_of(value):
+    """A hashable join key consistent with ``value_eq``."""
+    if isinstance(value, DBTuple):
+        return ("t", value.values)
+    return value
+
+
+def _pred_slots(p: Cmp) -> set[int]:
+    slots = set()
+    for side in (p.lhs, p.rhs):
+        if isinstance(side, Col):
+            slots.add(side.slot)
+    return slots
+
+
+def _pred_params(p: Cmp):
+    for side in (p.lhs, p.rhs):
+        if isinstance(side, (ParamRef, ParamSel)):
+            yield side.var
+
+
+# ---------------------------------------------------------------------------
+# scans
+# ---------------------------------------------------------------------------
+
+
+def _check_binding(state, rel: str, arity: int):
+    relation = state.relations.get(rel)
+    if relation is None or relation.arity != arity:
+        raise Unplannable(rel)
+    return relation
+
+
+def _scan_rows(planner, ctx: Ctx, relation, local_preds, slot: int, nslots: int):
+    """Filtered representatives of one level, each as a row (a list with
+    only ``slot`` filled).  Uses a cached hash index for single-column
+    equality against a constant or parameter."""
+    reps = planner.reps_of(relation)
+    if not reps:
+        return []
+    preds = list(local_preds)
+    candidates = None
+    for p in preds:
+        if p.op != "eq":
+            continue
+        col, other = None, None
+        if isinstance(p.lhs, Col) and p.lhs.slot == slot and p.lhs.index > 0:
+            col, other = p.lhs, p.rhs
+        elif isinstance(p.rhs, Col) and p.rhs.slot == slot and p.rhs.index > 0:
+            col, other = p.rhs, p.lhs
+        if col is None or isinstance(other, Col):
+            continue
+        key = _key_of(_value(ctx, (), other))
+        candidates = planner.index_of(relation, col.index).get(key, ())
+        preds.remove(p)
+        break
+    pool = candidates if candidates is not None else reps
+    rows = []
+    for t in pool:
+        row = [None] * nslots
+        row[slot] = t
+        if all(_holds(ctx, row, p) for p in preds):
+            rows.append(row)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# chain execution (set formers / exists chains)
+# ---------------------------------------------------------------------------
+
+
+def _classify_preds(levels, preds):
+    """Split predicates by the set of slots they mention: local to one
+    level, or joining several."""
+    local: dict[int, list[Cmp]] = {lv.slot: [] for lv in levels}
+    multi: list[Cmp] = []
+    for spec in preds:
+        p = spec.pred
+        slots = _pred_slots(p)
+        if len(slots) == 1:
+            local[next(iter(slots))].append(p)
+        elif not slots:
+            # Slot-free predicate: filters everything or nothing; applied
+            # with the first placed level.
+            local[levels[0].slot].append(p)
+        else:
+            multi.append(p)
+    return local, multi
+
+
+def _join_levels(planner, ctx, levels, local, multi, order, dedupe_for_exists):
+    """Left-deep hash-join pipeline over ``levels`` in ``order``.  Returns
+    the surviving rows (each a list indexed by slot)."""
+    nslots = max(lv.slot for lv in levels) + 1
+    by_slot = {lv.slot: lv for lv in levels}
+    remaining = list(multi)
+    budget = ctx.interp.budget
+    rows = None
+    placed: set[int] = set()
+    for slot in order:
+        lv = by_slot[slot]
+        relation = ctx.state.relations[lv.rel]
+        if rows is None:
+            rows = _scan_rows(planner, ctx, relation, local[slot], slot, nslots)
+            placed.add(slot)
+        else:
+            if not rows:
+                placed.add(slot)
+                continue
+            # Join predicates usable as equi keys: eq between a placed-side
+            # expression and a column of the incoming level.
+            keys = []
+            keyed_ids = set()
+            usable = []
+            for p in remaining:
+                slots = _pred_slots(p)
+                if not slots <= placed | {slot}:
+                    continue
+                usable.append(p)
+                if p.op != "eq" or slot not in slots:
+                    continue
+                if isinstance(p.lhs, Col) and p.lhs.slot == slot:
+                    mine, other = p.lhs, p.rhs
+                elif isinstance(p.rhs, Col) and p.rhs.slot == slot:
+                    mine, other = p.rhs, p.lhs
+                else:
+                    continue
+                if isinstance(other, Col) and other.slot == slot:
+                    continue
+                keys.append((other, mine))
+                keyed_ids.add(id(p))
+            residual = [p for p in usable if id(p) not in keyed_ids]
+            new_rows = _scan_rows(
+                planner, ctx, relation, local[slot], slot, nslots
+            )
+            if keys:
+                table: dict = {}
+                for nrow in new_rows:
+                    k = tuple(_key_of(_value(ctx, nrow, mine)) for _, mine in keys)
+                    table.setdefault(k, []).append(nrow[slot])
+                joined = []
+                for row in rows:
+                    k = tuple(
+                        _key_of(_value(ctx, row, other)) for other, _ in keys
+                    )
+                    for t in table.get(k, ()):
+                        if budget is not None:
+                            budget.tick()
+                        merged = list(row)
+                        merged[slot] = t
+                        if all(_holds(ctx, merged, p) for p in residual):
+                            joined.append(merged)
+                rows = joined
+            else:
+                joined = []
+                for row in rows:
+                    for nrow in new_rows:
+                        if budget is not None:
+                            budget.tick()
+                        merged = list(row)
+                        merged[slot] = nrow[slot]
+                        if all(_holds(ctx, merged, p) for p in residual):
+                            joined.append(merged)
+                rows = joined
+            placed.add(slot)
+            for p in usable:
+                remaining.remove(p)
+        if dedupe_for_exists and rows:
+            needed = set()
+            for p in remaining:
+                needed |= _pred_slots(p)
+            needed &= placed
+            if len(needed) < len(placed):
+                seen_keys = set()
+                kept = []
+                for row in rows:
+                    k = tuple(
+                        row[s].values if row[s] is not None else None
+                        for s in sorted(needed)
+                    )
+                    if k not in seen_keys:
+                        seen_keys.add(k)
+                        kept.append(row)
+                rows = kept
+    # Any predicates left mention no joinable combination (defensive).
+    if rows and remaining:
+        rows = [r for r in rows if all(_holds(ctx, r, p) for p in remaining)]
+    return rows if rows is not None else []
+
+
+def _anti_filter(planner, ctx, rows, sub, nslots):
+    """Drop rows with a match in the trailing not-exists level."""
+    if not rows:
+        return rows
+    relation = ctx.state.relations[sub.level.rel]
+    slot = sub.level.slot
+    local = []
+    linking = []
+    for p in sub.preds:
+        slots = _pred_slots(p)
+        if slots <= {slot}:
+            local.append(p)
+        else:
+            linking.append(p)
+    sub_rows = _scan_rows(
+        planner, ctx, relation, local, slot, nslots + 1
+    )
+    keys = []
+    for p in linking:
+        if p.op != "eq":
+            continue
+        if isinstance(p.lhs, Col) and p.lhs.slot == slot and not (
+            isinstance(p.rhs, Col) and p.rhs.slot == slot
+        ):
+            keys.append((p.rhs, p.lhs, p))
+        elif isinstance(p.rhs, Col) and p.rhs.slot == slot and not (
+            isinstance(p.lhs, Col) and p.lhs.slot == slot
+        ):
+            keys.append((p.lhs, p.rhs, p))
+    keyed = {id(p) for _, _, p in keys}
+    residual = [p for p in linking if id(p) not in keyed]
+    table: dict = {}
+    for srow in sub_rows:
+        k = tuple(_key_of(_value(ctx, srow, mine)) for _, mine, _ in keys)
+        table.setdefault(k, []).append(srow[slot])
+    kept = []
+    budget = ctx.interp.budget
+    for row in rows:
+        k = tuple(_key_of(_value(ctx, row, other)) for other, _, _ in keys)
+        matched = False
+        for t in table.get(k, ()):
+            if budget is not None:
+                budget.tick()
+            merged = list(row)
+            if len(merged) <= slot:
+                merged.extend([None] * (slot + 1 - len(merged)))
+            merged[slot] = t
+            if all(_holds(ctx, merged, p) for p in residual):
+                matched = True
+                break
+        if not matched:
+            kept.append(row)
+    return kept
+
+
+def _emit_chain_touches(planner, ctx, q: ChainQuery, nonempty_positive: bool):
+    """Source-order touch/gate pass.  Returns True when the trailing
+    not-exists level is reached (its domain narrows).
+
+    Two gate regimes, matching the tree walk (DESIGN.md §7.6): within a
+    group, level ``ℓ`` narrows iff every earlier domain in the group is
+    nonempty (predicates are only checked at the leaf); a later group
+    narrows iff the filtered join of all earlier groups is nonempty.  A
+    nonempty final join proves every gate open; otherwise the source-order
+    prefix join is recomputed with early exit.  When a group's leaf is
+    reached, its predicates ran there — so their parameters are resolved
+    (dereferencing touches the owning relation) exactly then.
+    """
+    interp, state = ctx.interp, ctx.state
+    budget = interp.budget
+    levels = q.levels
+    n = len(levels)
+    i = 0
+    while i < n:
+        group_end = levels[i].group_end
+        if i > 0 and not nonempty_positive:
+            if not _prefix_alive(planner, ctx, q, levels[i].slot):
+                return False
+        group_nonempty = True
+        j = i
+        while j < n and levels[j].slot <= group_end:
+            lv = levels[j]
+            relation = interp._relation(state, lv.rel, lv.arity)
+            reps = planner.reps_of(relation)
+            if len(reps) > interp.max_enumeration:
+                raise EvaluationError(
+                    f"enumeration of {lv.var.name} exceeds max_enumeration"
+                )
+            if budget is not None:
+                for _ in reps:
+                    budget.tick()
+            j += 1
+            if not reps:
+                # Deeper levels of this group never narrow; the group's
+                # leaf has no candidates, so its predicates never ran.
+                group_nonempty = False
+                break
+        if not group_nonempty:
+            return False
+        _force_params(
+            ctx, [s.pred for s in q.preds if s.eff_level == group_end]
+        )
+        i = j
+    if nonempty_positive:
+        reached_sub = True
+    else:
+        reached_sub = _prefix_alive(planner, ctx, q, None)
+    if reached_sub and q.sub is not None:
+        sub = q.sub
+        relation = interp._relation(state, sub.level.rel, sub.level.arity)
+        reps = planner.reps_of(relation)
+        if len(reps) > interp.max_enumeration:
+            raise EvaluationError(
+                f"enumeration of {sub.level.var.name} exceeds max_enumeration"
+            )
+        if reps:
+            _force_params(ctx, sub.preds)
+    return reached_sub
+
+
+def _force_params(ctx: Ctx, preds) -> None:
+    """Resolve the parameters of gated-open predicates: the tree walk
+    dereferences them at the leaf its candidates reach, so an open gate
+    means the dereference (and its owner touch) happened."""
+    for p in preds:
+        for var in _pred_params(p):
+            ctx.param(var)
+
+
+def _prefix_alive(planner, ctx, q: ChainQuery, upto_slot: Optional[int]) -> bool:
+    """Is the source-order filtered join of all levels before ``upto_slot``
+    (all levels when ``None``) nonempty?  Only consulted when the full
+    positive join came out empty, so this re-join stops early."""
+    levels = [
+        lv for lv in q.levels if upto_slot is None or lv.slot < upto_slot
+    ]
+    if not levels:
+        return True
+    boundary = levels[-1].group_end
+    preds = [s for s in q.preds if s.eff_level <= boundary]
+    local, multi = _classify_preds(levels, preds)
+    rows = _join_levels(
+        planner,
+        ctx,
+        levels,
+        local,
+        multi,
+        [lv.slot for lv in levels],
+        dedupe_for_exists=True,
+    )
+    return bool(rows)
+
+
+def run_chain(planner, interp, state, env, q: ChainQuery):
+    for lv in q.levels:
+        _check_binding(state, lv.rel, lv.arity)
+    if q.sub is not None:
+        _check_binding(state, q.sub.level.rel, q.sub.level.arity)
+    ctx = Ctx(interp, state, env)
+    nslots = len(q.levels)
+    order = planner.order_levels(state, q)
+    local, multi = _classify_preds(q.levels, q.preds)
+    rows = _join_levels(
+        planner,
+        ctx,
+        q.levels,
+        local,
+        multi,
+        order,
+        dedupe_for_exists=(q.kind == "exists" and q.sub is None),
+    )
+    nonempty_positive = bool(rows)
+    reached_sub = _emit_chain_touches(planner, ctx, q, nonempty_positive)
+    if q.sub is not None and rows:
+        rows = _anti_filter(planner, ctx, rows, q.sub, nslots)
+    if q.kind == "exists":
+        return bool(rows)
+    # Set former: canonical enumeration order, then project.
+    slots = [lv.slot for lv in q.levels]
+    rows.sort(key=lambda r: tuple(_tuple_order_key(r[s]) for s in slots))
+    budget = interp.budget
+    collected: list[DBTuple] = []
+    result = q.result
+    for row in rows:
+        if result.whole:
+            element = row[result.exprs[0].slot]
+        elif len(result.exprs) == 1 and not _is_mktuple(result):
+            value = _value(ctx, row, result.exprs[0])
+            if isinstance(value, DBTuple):
+                element = value
+            elif isinstance(value, (int, str)) and not isinstance(value, bool):
+                element = DBTuple(None, (value,))
+            else:
+                raise EvaluationError(
+                    f"set former result must be a tuple or atom, got {value!r}"
+                )
+        else:
+            values = tuple(_atom_of(_value(ctx, row, e)) for e in result.exprs)
+            element = DBTuple(None, values)
+        collected.append(element)
+        if budget is not None:
+            budget.count_derived(1)
+    return TupleSet.of(result.element_arity, collected)
+
+
+def _is_mktuple(result) -> bool:
+    # A multi-part projection is always a tuple constructor; a single Col
+    # part is only a constructor when the compiler said so via whole=False
+    # with element arity drawn from the constructor — we encode
+    # constructors simply as len(exprs) != 1.
+    return len(result.exprs) != 1
+
+
+def _atom_of(value):
+    """Replicates ``_atom_value``: atoms pass, 1-tuples coerce."""
+    if isinstance(value, bool) or not isinstance(value, (int, str)):
+        if isinstance(value, DBTuple) and value.arity == 1:
+            return value.values[0]
+        raise EvaluationError(f"expected an atom, got {value!r}")
+    return value
+
+
+# ---------------------------------------------------------------------------
+# forall execution
+# ---------------------------------------------------------------------------
+
+
+def run_forall(planner, interp, state, env, q: ForallQuery) -> bool:
+    _check_binding(state, q.rel, q.arity)
+    if q.body_level is not None:
+        _check_binding(state, q.body_level.rel, q.body_level.arity)
+    ctx = Ctx(interp, state, env)
+    budget = interp.budget
+
+    # The unguarded forall domain: every tuple of the variable's arity.
+    arity_names = [
+        n
+        for n in state.relation_names()
+        if state.relations[n].arity == q.arity
+    ]
+    interp._touch(state, *arity_names)
+    domain_count = sum(len(state.relations[n]) for n in arity_names)
+    if domain_count > interp.max_enumeration:
+        raise EvaluationError(
+            f"enumeration of {q.var.name} exceeds max_enumeration"
+        )
+    if domain_count == 0:
+        return True
+    if budget is not None:
+        for _ in range(domain_count):
+            budget.tick()
+
+    # Every processed candidate evaluates member(v, R): R is touched as
+    # soon as the domain is nonempty.
+    guard_rel = interp._relation(state, q.rel, q.arity)
+    reps = planner.reps_of(guard_rel)
+    # Guard-predicate parameters: the tree walk evaluates the guards at
+    # every candidate passing the leading membership, so their gate is
+    # R-nonempty — resolved (touching the owner) even when every guard
+    # fails.  Pre-predicate parameters gate on guard survivors instead.
+    if reps:
+        _force_params(ctx, q.guard_preds)
+    guard_rows = [
+        t
+        for t in reps
+        if all(_holds(ctx, (t,), p) for p in q.guard_preds)
+    ]
+    if not guard_rows:
+        return True
+
+    pre_ok = []
+    viol_values: set = set()
+    for t in guard_rows:
+        if all(_holds(ctx, (t,), p) for p in q.pre_preds):
+            pre_ok.append(t)
+        else:
+            viol_values.add(t.values)
+    _force_params(ctx, q.pre_preds)
+
+    body_negated = q.negated
+    matched_values: set = set()
+    if q.body_level is not None and pre_ok:
+        srel = state.relations[q.body_level.rel]
+        slot = q.body_level.slot
+        local = []
+        linking = []
+        for p in q.body_preds:
+            slots = _pred_slots(p)
+            if slots <= {slot}:
+                local.append(p)
+            else:
+                linking.append(p)
+        sub_rows = _scan_rows(planner, ctx, srel, local, slot, 2)
+        keys = []
+        for p in linking:
+            if p.op != "eq":
+                continue
+            if isinstance(p.lhs, Col) and p.lhs.slot == slot and not (
+                isinstance(p.rhs, Col) and p.rhs.slot == slot
+            ):
+                keys.append((p.rhs, p.lhs, p))
+            elif isinstance(p.rhs, Col) and p.rhs.slot == slot and not (
+                isinstance(p.lhs, Col) and p.lhs.slot == slot
+            ):
+                keys.append((p.lhs, p.rhs, p))
+        keyed = {id(p) for _, _, p in keys}
+        residual = [p for p in linking if id(p) not in keyed]
+        table: dict = {}
+        for srow in sub_rows:
+            k = tuple(_key_of(_value(ctx, srow, mine)) for _, mine, _ in keys)
+            table.setdefault(k, []).append(srow[slot])
+        for t in pre_ok:
+            row = [t, None]
+            k = tuple(_key_of(_value(ctx, row, other)) for other, _, _ in keys)
+            matched = False
+            for s in table.get(k, ()):
+                if budget is not None:
+                    budget.tick()
+                row[1] = s
+                if all(_holds(ctx, row, p) for p in residual):
+                    matched = True
+                    break
+            if matched:
+                matched_values.add(t.values)
+    if q.body_level is not None:
+        for t in pre_ok:
+            if body_negated:
+                if t.values in matched_values:
+                    viol_values.add(t.values)
+            else:
+                if t.values not in matched_values:
+                    viol_values.add(t.values)
+
+    # Touch gating for the body relation: the tree walk narrows it at the
+    # first processed candidate passing guard ∧ pre-predicates; processing
+    # stops at the first violation (in canonical candidate order).
+    if q.body_level is not None:
+        pre_values = {t.values for t in pre_ok}
+        touch_body = False
+        if pre_values:
+            if not viol_values:
+                touch_body = True
+            else:
+                candidates = sorted(
+                    _dedupe_tuples(state.tuples_of_arity(q.arity)),
+                    key=_tuple_order_key,
+                )
+                for cand in candidates:
+                    if cand.values in pre_values:
+                        touch_body = True
+                        break
+                    if cand.values in viol_values:
+                        break
+        if touch_body:
+            srel = interp._relation(
+                state, q.body_level.rel, q.body_level.arity
+            )
+            sreps = planner.reps_of(srel)
+            if len(sreps) > interp.max_enumeration:
+                raise EvaluationError(
+                    f"enumeration of {q.body_level.var.name} exceeds "
+                    f"max_enumeration"
+                )
+            if sreps:
+                _force_params(ctx, q.body_preds)
+    return not viol_values
+
+
+# ---------------------------------------------------------------------------
+# set expressions / aggregates
+# ---------------------------------------------------------------------------
+
+
+def run_set_query(planner, interp, state, env, q):
+    if isinstance(q, RelQuery):
+        relation = interp._relation(state, q.rel, q.arity)
+        return relation.to_tuple_set()
+    if isinstance(q, ChainQuery):
+        return run_chain(planner, interp, state, env, q)
+    if isinstance(q, SetOpQuery):
+        left = run_set_query(planner, interp, state, env, q.left)
+        right = run_set_query(planner, interp, state, env, q.right)
+        if q.mode == "union":
+            return left.union(right)
+        if q.mode == "intersect":
+            return left.intersect(right)
+        return left.difference(right)
+    raise Unplannable(repr(q))
+
+
+def run_aggregate(planner, interp, state, env, q: AggQuery):
+    value = run_set_query(planner, interp, state, env, q.child)
+    if q.op == "size":
+        return len(value)
+    column = value.first_column()
+    numbers = [v for v in column if isinstance(v, int)]
+    if len(numbers) != len(column):
+        raise EvaluationError(f"{q.op}: non-numeric attribute values")
+    if q.op == "sum":
+        return sum(numbers)
+    if not numbers:
+        raise EvaluationError(f"{q.op} of an empty set is undefined")
+    return max(numbers) if q.op == "max" else min(numbers)

@@ -1,0 +1,250 @@
+"""Relational-algebra IR: operators, value expressions, and predicates.
+
+The compiler (:mod:`repro.algebra.compiler`) lowers a set former, an
+``exists`` chain, or a guarded ``forall`` into a small tree of these
+operators; the planner (:mod:`repro.algebra.planner`) annotates the tree
+with cardinality estimates and a physical join order; the executor
+(:mod:`repro.algebra.executor`) runs it against a :class:`~repro.db.state.
+State` through the interpreter's ``_touch``/``Budget`` seams.
+
+Everything here is frozen data: a compiled plan is immutable and shared
+across evaluations (and across the tracking interpreters of concurrent
+workers), so nodes carry no per-run state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.logic.terms import Var
+
+# ---------------------------------------------------------------------------
+# value expressions — evaluated against a row (a tuple of DBTuples by slot)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Col:
+    """Slot ``slot``'s tuple (``index`` 0) or its ``index``-th attribute
+    (1-based, matching :meth:`DBTuple.select`)."""
+
+    slot: int
+    index: int
+
+
+@dataclass(frozen=True)
+class Lit:
+    """An atom constant."""
+
+    value: object
+
+
+@dataclass(frozen=True)
+class ParamRef:
+    """A free variable of the query, bound in the environment at run time.
+
+    Resolution is *lazy* — the executor dereferences it the first time a
+    row actually reaches an expression mentioning it, replicating where the
+    tree walk touches the parameter tuple's owning relation.
+    """
+
+    var: Var
+
+
+ValueExpr = object  # Col | Lit | ParamRef
+
+
+@dataclass(frozen=True)
+class Cmp:
+    """A pure value predicate: ``lhs op rhs`` with ``op`` one of
+    ``eq ne lt le gt ge``.  Never touches a relation (operands are columns,
+    constants, or parameters), which is what makes predicate pushdown
+    touch-neutral."""
+
+    op: str
+    lhs: ValueExpr
+    rhs: ValueExpr
+
+
+# ---------------------------------------------------------------------------
+# operators
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Scan:
+    """Enumerate one relation's value-distinct representatives in canonical
+    order (the tree walk's membership-narrowed domain), applying pushed-down
+    local predicates."""
+
+    rel: str
+    arity: int
+    slot: int
+    var_name: str
+    preds: tuple[Cmp, ...] = ()
+
+
+@dataclass(frozen=True)
+class HashJoin:
+    """Left-deep equi join: build a hash table over ``right`` keyed on
+    ``right_keys``, probe with the accumulated left rows on ``left_keys``;
+    ``residual`` predicates (non-equi, or param-dependent) filter matches."""
+
+    left: "Op"
+    right: Scan
+    left_keys: tuple[ValueExpr, ...]
+    right_keys: tuple[ValueExpr, ...]
+    residual: tuple[Cmp, ...] = ()
+
+
+@dataclass(frozen=True)
+class Select:
+    """Filter rows by predicates that could not be pushed into a scan or
+    join (e.g. predicates over parameters only)."""
+
+    child: "Op"
+    preds: tuple[Cmp, ...]
+
+
+@dataclass(frozen=True)
+class SemiJoin:
+    """Keep left rows with at least one match in ``right`` (a trailing
+    positive ``exists`` that could not be flattened, or a ``forall``
+    consequent)."""
+
+    left: "Op"
+    right: Scan
+    left_keys: tuple[ValueExpr, ...]
+    right_keys: tuple[ValueExpr, ...]
+    residual: tuple[Cmp, ...] = ()
+
+
+@dataclass(frozen=True)
+class AntiJoin:
+    """Keep left rows with *no* match in ``right`` (a trailing
+    ``not exists``, or the violation set of a guarded ``forall``)."""
+
+    left: "Op"
+    right: Scan
+    left_keys: tuple[ValueExpr, ...]
+    right_keys: tuple[ValueExpr, ...]
+    residual: tuple[Cmp, ...] = ()
+
+
+@dataclass(frozen=True)
+class Project:
+    """Produce the set former's elements from the surviving rows, in the
+    tree walk's canonical enumeration order."""
+
+    child: "Op"
+    exprs: tuple[ValueExpr, ...]
+    element_arity: int
+    whole: bool = False
+    """When the result is a bound variable itself, the projected element is
+    the domain tuple *with its identifier* — representative identity must
+    match the tree walk exactly."""
+
+
+@dataclass(frozen=True)
+class Union:
+    """Set union / intersection / difference of two sub-plans (``mode`` is
+    ``union``, ``intersect``, or ``diff``), delegated to
+    :class:`~repro.db.values.TupleSet` so semantics match ``_set_op``."""
+
+    mode: str
+    left: "Op"
+    right: "Op"
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """``sum``/``max``/``min``/``size`` over the first column of the child
+    plan's result set, with the interpreter's exact error contract."""
+
+    op: str
+    child: "Op"
+
+
+Op = object  # Scan | HashJoin | Select | SemiJoin | AntiJoin | Project | Union | Aggregate
+
+
+# ---------------------------------------------------------------------------
+# explain rendering
+# ---------------------------------------------------------------------------
+
+
+def _expr_str(e: ValueExpr) -> str:
+    if isinstance(e, Col):
+        return f"#{e.slot}" if e.index == 0 else f"#{e.slot}.{e.index}"
+    if isinstance(e, Lit):
+        return repr(e.value)
+    if isinstance(e, ParamRef):
+        return f"${e.var.name}"
+    return repr(e)
+
+
+_OPS = {"eq": "=", "ne": "!=", "lt": "<", "le": "<=", "gt": ">", "ge": ">="}
+
+
+def _pred_str(p: Cmp) -> str:
+    return f"{_expr_str(p.lhs)} {_OPS[p.op]} {_expr_str(p.rhs)}"
+
+
+def render(op: Op, annotate=None, indent: int = 0) -> list[str]:
+    """Render an operator tree as indented lines.  ``annotate(op) -> str``
+    may append per-node notes (the planner adds cardinality estimates)."""
+    pad = "  " * indent
+    note = ""
+    if annotate is not None:
+        got = annotate(op)
+        if got:
+            note = f"  ({got})"
+
+    def line(text: str) -> str:
+        return f"{pad}{text}{note}"
+
+    if isinstance(op, Scan):
+        preds = (
+            " where " + " and ".join(_pred_str(p) for p in op.preds)
+            if op.preds
+            else ""
+        )
+        return [line(f"Scan {op.rel} as {op.var_name}(#{op.slot}){preds}")]
+    if isinstance(op, (HashJoin, SemiJoin, AntiJoin)):
+        name = type(op).__name__
+        keys = " and ".join(
+            f"{_expr_str(l)} = {_expr_str(r)}"
+            for l, r in zip(op.left_keys, op.right_keys)
+        ) or "true"
+        residual = (
+            " residual " + " and ".join(_pred_str(p) for p in op.residual)
+            if op.residual
+            else ""
+        )
+        return [
+            line(f"{name} on {keys}{residual}"),
+            *render(op.left, annotate, indent + 1),
+            *render(op.right, annotate, indent + 1),
+        ]
+    if isinstance(op, Select):
+        preds = " and ".join(_pred_str(p) for p in op.preds)
+        return [line(f"Select {preds}"), *render(op.child, annotate, indent + 1)]
+    if isinstance(op, Project):
+        exprs = ", ".join(_expr_str(e) for e in op.exprs)
+        return [
+            line(f"Project [{exprs}] arity={op.element_arity}"),
+            *render(op.child, annotate, indent + 1),
+        ]
+    if isinstance(op, Union):
+        return [
+            line(f"Union mode={op.mode}"),
+            *render(op.left, annotate, indent + 1),
+            *render(op.right, annotate, indent + 1),
+        ]
+    if isinstance(op, Aggregate):
+        return [
+            line(f"Aggregate {op.op}"),
+            *render(op.child, annotate, indent + 1),
+        ]
+    return [line(type(op).__name__)]

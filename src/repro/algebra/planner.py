@@ -1,0 +1,495 @@
+"""Cost-based query planner: the interpreter-facing facade of the algebra
+subsystem.
+
+The planner sits behind four interpreter hooks (set formers, quantifiers,
+aggregates — installed by :meth:`repro.engine.Database.enable_planner`).
+Each hook returns ``(handled, value)``: ``(False, None)`` hands the node
+back to the tree walk (outside the compilable fragment, planner disabled
+or quarantined, relation drifted from the plan, or re-entry from the
+verification oracle), ``(True, value)`` answers it from a relational-
+algebra plan.
+
+Planning decisions — greedy join order, selection pushdown, hash-index
+use — come from :class:`~repro.algebra.stats.StatsCatalog`, whose row
+counts the engine maintains incrementally from commit deltas.  Decisions
+affect time only, never results or read sets: the executor replicates the
+tree walk's ``_touch`` gating in *source* order regardless of the physical
+join order (DESIGN.md §7.6).
+
+``verify=True`` cross-checks every planned answer against the tree-walk
+oracle; ``quarantine=True`` additionally disables the planner on the first
+mismatch and answers from the oracle — the same last-line-of-defense
+contract as the query cache and the incremental checker.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Optional
+
+from repro.errors import PlanError, PlannerMismatch
+from repro.eval.quarantine import quarantine_event
+from repro.logic.fluents import SetFormer
+from repro.logic.formulas import Exists, Forall
+from repro.transactions.interpreter import _tuple_order_key
+
+from repro.algebra import executor as _exec
+from repro.algebra import ir
+from repro.algebra.compiler import (
+    AggQuery,
+    ChainQuery,
+    Cmp,
+    ForallQuery,
+    Incompilable,
+    RelQuery,
+    SetOpQuery,
+    compile_exists,
+    compile_forall,
+    compile_set_expr,
+    compile_set_former,
+)
+from repro.algebra.executor import Unplannable
+from repro.algebra.stats import StatsCatalog
+
+
+class Plan:
+    """A compiled, ordered operator tree with ``explain()`` rendering."""
+
+    def __init__(self, query, root, annotate=None) -> None:
+        self.query = query
+        self.root = root
+        self._annotate = annotate
+
+    def explain(self) -> str:
+        return "\n".join(ir.render(self.root, self._annotate))
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.explain()
+
+
+class QueryPlanner:
+    """Plan cache + statistics + execution entry points for one database."""
+
+    def __init__(
+        self,
+        *,
+        verify: bool = False,
+        quarantine: bool = False,
+        metrics=None,
+        max_plans: int = 512,
+        max_rep_cache: int = 256,
+    ) -> None:
+        self.quarantine = quarantine
+        self.verify = verify or quarantine
+        self.enabled = True
+        self.metrics = metrics
+        self.stats = StatsCatalog()
+        self.max_plans = max_plans
+        self.max_rep_cache = max_rep_cache
+        self._plans: OrderedDict = OrderedDict()
+        self._reps: OrderedDict = OrderedDict()
+        self._indexes: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        # White-box seam for the chaos harness: when set, every planned
+        # result is corrupted before the verify cross-check, proving the
+        # quarantine path fires and no wrong answer escapes.
+        self._chaos_corrupt = False
+        # Plain counters (mirrored to the metrics registry when present).
+        self.compiled_count = 0
+        self.fallback_count = 0
+        self.exec_count = 0
+        self.mismatch_count = 0
+
+    # -- caches -------------------------------------------------------------
+
+    def reps_of(self, relation):
+        """The relation's value-distinct representatives in the tree walk's
+        canonical enumeration order, cached against the immutable relation
+        object (states share unchanged relations structurally, so one entry
+        serves every snapshot that didn't touch the relation)."""
+        with self._lock:
+            got = self._reps.get(relation)
+            if got is not None:
+                self._reps.move_to_end(relation)
+                return got
+        reps = sorted(
+            relation.to_tuple_set().representatives, key=_tuple_order_key
+        )
+        with self._lock:
+            self._reps[relation] = reps
+            while len(self._reps) > self.max_rep_cache:
+                self._reps.popitem(last=False)
+        return reps
+
+    def index_of(self, relation, index: int) -> dict:
+        """Hash index over column ``index`` (1-based) of the relation's
+        representatives; cached like :meth:`reps_of`."""
+        key = (relation, index)
+        with self._lock:
+            got = self._indexes.get(key)
+            if got is not None:
+                self._indexes.move_to_end(key)
+                return got
+        table: dict = {}
+        for t in self.reps_of(relation):
+            table.setdefault(t.values[index - 1], []).append(t)
+        with self._lock:
+            self._indexes[key] = table
+            while len(self._indexes) > self.max_rep_cache:
+                self._indexes.popitem(last=False)
+        return table
+
+    def _compiled(self, node, interp, compile_fn):
+        """Compile-or-fallback with a bounded plan cache; ``None`` means the
+        node is outside the fragment (negatively cached)."""
+        with self._lock:
+            if node in self._plans:
+                self._plans.move_to_end(node)
+                cached = self._plans[node]
+                return cached if not isinstance(cached, str) else None
+        try:
+            compiled = compile_fn()
+        except Incompilable as exc:
+            compiled = exc.reason  # negative-cache the reason string
+        with self._lock:
+            self._plans[node] = compiled
+            while len(self._plans) > self.max_plans:
+                self._plans.popitem(last=False)
+        if isinstance(compiled, str):
+            self._count("repro_planner_fallback_total", "fallback")
+            return None
+        self._count("repro_planner_compiled_total", "compiled")
+        return compiled
+
+    def _count(self, metric: str, attr: str) -> None:
+        setattr(self, attr + "_count", getattr(self, attr + "_count") + 1)
+        if self.metrics is not None:
+            self.metrics.counter(
+                metric, f"planner {attr} events"
+            ).inc()
+
+    # -- cost model ---------------------------------------------------------
+
+    def _level_estimate(self, state, lv, local_eq_cols) -> float:
+        rel = state.relations.get(lv.rel)
+        base = self.stats.row_estimate(lv.rel)
+        if base <= 0 and rel is not None:
+            base = len(rel)
+        est = float(max(base, 0))
+        for col in local_eq_cols:
+            est *= self.stats.selectivity(state, lv.rel, col)
+        return max(est, 0.001)
+
+    def order_levels(self, state, q: ChainQuery) -> list[int]:
+        """Greedy cost-based join order (smallest estimated intermediate
+        first, cross products last); deterministic for a given state."""
+        levels = q.levels
+        if len(levels) <= 1:
+            return [lv.slot for lv in levels]
+        by_slot = {lv.slot: lv for lv in levels}
+        local_eq: dict[int, list[int]] = {lv.slot: [] for lv in levels}
+        joins: list[tuple[int, int, int, int]] = []  # slotA, colA, slotB, colB
+        for spec in q.preds:
+            p = spec.pred
+            if p.op != "eq":
+                continue
+            lhs, rhs = p.lhs, p.rhs
+            l_col = isinstance(lhs, ir.Col)
+            r_col = isinstance(rhs, ir.Col)
+            if l_col and r_col and lhs.slot != rhs.slot:
+                joins.append((lhs.slot, lhs.index, rhs.slot, rhs.index))
+            elif l_col and not r_col:
+                local_eq[lhs.slot].append(lhs.index or None)
+            elif r_col and not l_col:
+                local_eq[rhs.slot].append(rhs.index or None)
+        est = {
+            lv.slot: self._level_estimate(state, lv, [c for c in local_eq[lv.slot] if c])
+            for lv in levels
+        }
+        order = [min(est, key=lambda s: (est[s], s))]
+        placed = set(order)
+        while len(order) < len(levels):
+            best = None
+            for slot in sorted(est):
+                if slot in placed:
+                    continue
+                factor = None
+                for a, ca, b, cb in joins:
+                    if a in placed and b == slot:
+                        col = cb
+                    elif b in placed and a == slot:
+                        col = ca
+                    else:
+                        continue
+                    d = self.stats.distinct(state, by_slot[slot].rel, col) if col else 1
+                    f = 1.0 / max(d, 1)
+                    factor = f if factor is None else min(factor, f)
+                connected = factor is not None
+                cost = est[slot] * (factor if connected else 1.0)
+                rank = (not connected, cost, slot)
+                if best is None or rank < best[0]:
+                    best = (rank, slot)
+            order.append(best[1])
+            placed.add(best[1])
+        return order
+
+    # -- explain ------------------------------------------------------------
+
+    def plan(self, node, state, interp=None) -> Plan:
+        """Compile ``node`` (raising :class:`~repro.errors.PlanError` when it
+        is outside the fragment) and build the physical operator tree the
+        executor would run at ``state``, annotated with row estimates."""
+        try:
+            if isinstance(node, SetFormer):
+                q = compile_set_former(node, interp)
+            elif isinstance(node, Forall):
+                q = compile_forall(node, interp)
+            elif isinstance(node, Exists):
+                q = compile_exists(node, interp)
+            else:
+                q = compile_set_expr(node, interp)
+        except Incompilable as exc:
+            raise PlanError(exc.reason) from None
+        root = self._build_op(q, state)
+        notes: dict[int, str] = {}
+
+        def walk(op):
+            if isinstance(op, ir.Scan):
+                rel = state.relations.get(op.rel)
+                rows = self.stats.row_estimate(op.rel)
+                if rows <= 0 and rel is not None:
+                    rows = len(rel)
+                notes[id(op)] = f"~{rows} rows"
+            for attr in ("left", "right", "child"):
+                sub = getattr(op, attr, None)
+                if sub is not None:
+                    walk(sub)
+
+        walk(root)
+        return Plan(q, root, annotate=lambda op: notes.get(id(op)))
+
+    def _build_op(self, q, state):
+        if isinstance(q, RelQuery):
+            return ir.Scan(q.rel, q.arity, 0, "*")
+        if isinstance(q, SetOpQuery):
+            return ir.Union(
+                q.mode, self._build_op(q.left, state), self._build_op(q.right, state)
+            )
+        if isinstance(q, AggQuery):
+            return ir.Aggregate(q.op, self._build_op(q.child, state))
+        if isinstance(q, ForallQuery):
+            left = ir.Scan(
+                q.rel, q.arity, 0, q.var.name, q.guard_preds + q.pre_preds
+            )
+            if q.body_level is None:
+                return left
+            right = ir.Scan(
+                q.body_level.rel,
+                q.body_level.arity,
+                1,
+                q.body_level.var.name,
+            )
+            lk, rk, residual = _split_keys(q.body_preds, {0}, 1)
+            cls = ir.SemiJoin if q.negated else ir.AntiJoin
+            return cls(left, right, tuple(lk), tuple(rk), tuple(residual))
+        assert isinstance(q, ChainQuery)
+        order = self.order_levels(state, q)
+        by_slot = {lv.slot: lv for lv in q.levels}
+        preds = [s.pred for s in q.preds]
+        local: dict[int, list[Cmp]] = {lv.slot: [] for lv in q.levels}
+        multi: list[Cmp] = []
+        for p in preds:
+            slots = _exec._pred_slots(p)
+            if len(slots) <= 1:
+                local[next(iter(slots)) if slots else order[0]].append(p)
+            else:
+                multi.append(p)
+        placed = {order[0]}
+        lv0 = by_slot[order[0]]
+        root = ir.Scan(
+            lv0.rel, lv0.arity, lv0.slot, lv0.var.name, tuple(local[lv0.slot])
+        )
+        for slot in order[1:]:
+            lv = by_slot[slot]
+            usable = [p for p in multi if _exec._pred_slots(p) <= placed | {slot}]
+            used = {id(p) for p in usable}
+            multi = [p for p in multi if id(p) not in used]
+            lk, rk, residual = _split_keys(usable, placed, slot)
+            scan = ir.Scan(
+                lv.rel, lv.arity, lv.slot, lv.var.name, tuple(local[slot])
+            )
+            root = ir.HashJoin(root, scan, tuple(lk), tuple(rk), tuple(residual))
+            placed.add(slot)
+        if q.sub is not None:
+            sub = q.sub
+            s_local = [
+                p for p in sub.preds if _exec._pred_slots(p) <= {sub.level.slot}
+            ]
+            s_used = {id(p) for p in s_local}
+            linking = [p for p in sub.preds if id(p) not in s_used]
+            lk, rk, residual = _split_keys(linking, placed, sub.level.slot)
+            scan = ir.Scan(
+                sub.level.rel,
+                sub.level.arity,
+                sub.level.slot,
+                sub.level.var.name,
+                tuple(s_local),
+            )
+            root = ir.AntiJoin(root, scan, tuple(lk), tuple(rk), tuple(residual))
+        if q.kind == "setformer" and q.result is not None:
+            root = ir.Project(
+                root,
+                q.result.exprs,
+                q.result.element_arity,
+                whole=q.result.whole,
+            )
+        return root
+
+    # -- interpreter hooks ---------------------------------------------------
+
+    def _active(self) -> bool:
+        return self.enabled and not getattr(self._local, "in_oracle", False)
+
+    def eval_set_former(self, interp, state, former, env):
+        if not self._active():
+            return False, None
+        q = self._compiled(former, interp, lambda: compile_set_former(former, interp))
+        if q is None:
+            return False, None
+        return self._execute(
+            interp,
+            state,
+            env,
+            label="set-former",
+            runner=lambda: _exec.run_chain(self, interp, state, env, q),
+            oracle=lambda: interp._set_former(state, former, env),
+        )
+
+    def eval_quantifier(self, interp, state, formula, env):
+        if not self._active():
+            return False, None
+        if isinstance(formula, Forall):
+            q = self._compiled(
+                formula, interp, lambda: compile_forall(formula, interp)
+            )
+            if q is None:
+                return False, None
+            runner = lambda: _exec.run_forall(self, interp, state, env, q)
+            label = "forall"
+        else:
+            q = self._compiled(
+                formula, interp, lambda: compile_exists(formula, interp)
+            )
+            if q is None:
+                return False, None
+            runner = lambda: _exec.run_chain(self, interp, state, env, q)
+            label = "exists"
+        return self._execute(
+            interp,
+            state,
+            env,
+            label=label,
+            runner=runner,
+            oracle=lambda: interp._bool(state, formula, env),
+        )
+
+    def eval_aggregate(self, interp, state, base, expr, env):
+        if not self._active():
+            return False, None
+        q = self._compiled(
+            expr,
+            interp,
+            lambda: AggQuery(base, compile_set_expr(expr.args[0], interp)),
+        )
+        if q is None:
+            return False, None
+        return self._execute(
+            interp,
+            state,
+            env,
+            label=f"agg-{base}",
+            runner=lambda: _exec.run_aggregate(self, interp, state, env, q),
+            oracle=lambda: interp._arithmetic(state, base, expr, env),
+        )
+
+    # -- execution / verification -------------------------------------------
+
+    def _execute(self, interp, state, env, *, label, runner, oracle):
+        tracer = interp.tracer
+        span = None
+        if tracer is not None and tracer.enabled:
+            span = tracer.start("plan", label, 0)
+        try:
+            try:
+                value = runner()
+            except Unplannable:
+                self._count("repro_planner_fallback_total", "fallback")
+                return False, None
+            self._count("repro_planner_exec_total", "exec")
+            if self._chaos_corrupt:
+                value = _corrupt(value)
+            if self.verify:
+                self._local.in_oracle = True
+                try:
+                    expected = oracle()
+                finally:
+                    self._local.in_oracle = False
+                if not _agree(value, expected):
+                    detail = (
+                        f"{label}: planner={value!r} oracle={expected!r}"
+                    )[:400]
+                    self._count("repro_planner_mismatch_total", "mismatch")
+                    if self.quarantine:
+                        self.enabled = False
+                        quarantine_event(self.metrics, "planner", detail)
+                        return True, expected
+                    raise PlannerMismatch(detail)
+            return True, value
+        finally:
+            if tracer is not None:
+                tracer.finish(span)
+
+
+def _split_keys(preds, placed, slot):
+    """Partition join predicates into equi keys (placed-side expr, new-side
+    column) and residual filters — the static mirror of the executor's
+    per-step key extraction."""
+    lk, rk, residual = [], [], []
+    for p in preds:
+        mine = other = None
+        if p.op == "eq":
+            if isinstance(p.lhs, ir.Col) and p.lhs.slot == slot and not (
+                isinstance(p.rhs, ir.Col) and p.rhs.slot == slot
+            ):
+                mine, other = p.lhs, p.rhs
+            elif isinstance(p.rhs, ir.Col) and p.rhs.slot == slot and not (
+                isinstance(p.lhs, ir.Col) and p.lhs.slot == slot
+            ):
+                mine, other = p.rhs, p.lhs
+        if mine is not None:
+            lk.append(other)
+            rk.append(mine)
+        else:
+            residual.append(p)
+    return lk, rk, residual
+
+
+def _agree(value, expected) -> bool:
+    if type(value) is not type(expected):
+        return False
+    return value == expected
+
+
+def _corrupt(value):
+    """Chaos-harness corruption: wrong in an obvious, typed way."""
+    from repro.db.values import TupleSet
+
+    if isinstance(value, bool):
+        return not value
+    if isinstance(value, int):
+        return value + 1
+    if isinstance(value, TupleSet) and value.representatives:
+        return TupleSet.of(value.arity, value.representatives[:-1])
+    return value

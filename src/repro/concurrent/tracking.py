@@ -92,6 +92,7 @@ class TrackingInterpreter(Interpreter):
             max_enumeration=base.max_enumeration,
             tracer=base.tracer,
             budget=base.budget,
+            planner=base.planner,
         )
 
     # -- the hooks ---------------------------------------------------------

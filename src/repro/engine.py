@@ -111,6 +111,7 @@ class Database:
         self._durable_seq = 0
         self._incremental: Optional["IncrementalChecker"] = None
         self._query_cache: Optional["QueryCache"] = None
+        self._planner: Optional["QueryPlanner"] = None
 
     # -- configuration -------------------------------------------------------
 
@@ -167,6 +168,8 @@ class Database:
             self._incremental.reset()
         if self._query_cache is not None:
             self._query_cache.clear()
+        if self._planner is not None:
+            self._planner.stats.prime(self.history.states[-1])
 
     def required_window(self, constraint: Constraint) -> int | Window:
         cached = self._windows.get(constraint.name)
@@ -217,6 +220,57 @@ class Database:
             metrics=self.metrics,
         )
         return self._incremental
+
+    def enable_planner(
+        self, *, verify: bool = False, quarantine: bool = False
+    ) -> "QueryPlanner":
+        """Answer eligible set formers, quantifiers, and aggregates from
+        cost-based relational-algebra plans instead of nested enumeration.
+
+        The planner (:mod:`repro.algebra`) compiles the read-only fragment
+        — membership-narrowed set formers, ``exists`` chains, guarded
+        ``forall`` constraints, aggregates — to hash-join plans ordered by
+        per-relation cardinality statistics, which this engine maintains
+        incrementally from each commit's physical delta.  Everything
+        observable is replicated: values (including canonical enumeration
+        order), the ``_touch`` read sets that drive query-cache digests and
+        optimistic-conflict validation, budget enforcement, and error
+        contracts; inexpressible nodes silently fall back to the tree walk
+        (DESIGN.md §7.6).  Constraint checking, :meth:`query`, and server
+        ``QUERY`` evaluation all go through the same interpreter, so all
+        three accelerate.
+
+        ``verify=True`` cross-checks every planned answer against the tree
+        walk and raises :class:`~repro.errors.PlannerMismatch` on any
+        difference.  ``quarantine=True`` (implies verify) degrades
+        gracefully instead: the first mismatch disables the planner for
+        the rest of the run (warning + ``repro_quarantined_total``) and
+        the evaluation returns the tree walk's answer.
+
+        Returns the planner (``stats`` exposes cardinalities; ``plan()``/
+        ``explain()`` render physical plans).
+
+        >>> from repro.domains import make_domain
+        >>> from repro.logic import builder as b
+        >>> from repro.transactions.program import query
+        >>> domain = make_domain()
+        >>> db = Database(domain.schema, initial=domain.sample_state())
+        >>> planner = db.enable_planner()
+        >>> db.query(query("headcount", (), b.size_of(b.rel("EMP", 5))))
+        4
+        >>> planner.exec_count
+        1
+        """
+        from repro.algebra.planner import QueryPlanner
+
+        self._planner = QueryPlanner(
+            verify=verify, quarantine=quarantine, metrics=self.metrics
+        )
+        self._planner.stats.prime(self.current)
+        self.interpreter = dataclasses.replace(
+            self.interpreter, planner=self._planner
+        )
+        return self._planner
 
     def enable_query_cache(
         self,
@@ -455,7 +509,11 @@ class Database:
         inc = self._incremental
         touched: frozenset[str] = frozenset()
         structural = False
-        if inc is not None or self._query_cache is not None:
+        if (
+            inc is not None
+            or self._query_cache is not None
+            or self._planner is not None
+        ):
             from repro.storage.serialize import delta_touched, state_delta
 
             delta = state_delta(before, after)
@@ -545,6 +603,8 @@ class Database:
             inc.finalize(success=True)
         if self._query_cache is not None:
             self._query_cache.invalidate(touched, structural=structural)
+        if self._planner is not None:
+            self._planner.stats.observe_commit(delta)
         if self.graph is not None:
             self.graph.add_transition(before, after, label)
         if self.store is not None:

@@ -209,3 +209,33 @@ class ParseError(ReproError):
 
 class SchemaError(ReproError):
     """A relation schema is malformed or inconsistent with its use."""
+
+
+class PlanError(ReproError):
+    """A query could not be compiled to a relational-algebra plan.
+
+    Raised by :mod:`repro.algebra` when compilation is *requested* (e.g.
+    ``compile_query(..., require=True)`` or ``plan.explain()`` on an
+    inexpressible formula) rather than attempted opportunistically — the
+    interpreter's planner hook never raises it, it silently falls back to
+    tree-walk evaluation.  Carries the first blocking ``reason``.
+    """
+
+    def __init__(self, reason: str) -> None:
+        self.reason = reason
+        super().__init__(f"not compilable to algebra: {reason}")
+
+
+class PlannerMismatch(PlanError):
+    """Verify mode caught the planner disagreeing with the tree-walk oracle.
+
+    Raised only when :meth:`Database.enable_planner` was called with
+    ``verify=True`` and ``quarantine=False``; with quarantine on, the
+    planner disables itself and answers from the oracle instead of raising
+    (same contract as the query cache and the incremental checker).
+    """
+
+    def __init__(self, detail: str) -> None:
+        self.detail = detail
+        self.reason = detail
+        ReproError.__init__(self, f"planner/tree-walk mismatch: {detail}")

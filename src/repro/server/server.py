@@ -218,8 +218,14 @@ class TransactionServer:
         workers: int = 8,
         retry: Optional[RetryPolicy] = None,
         max_frame: int = MAX_FRAME_PAYLOAD,
+        planner: bool = False,
     ) -> None:
         self.database = database
+        if planner and database._planner is None:
+            # Server deployments get the safe configuration: every planned
+            # answer is cross-checked and the first mismatch quarantines
+            # the planner rather than surfacing a wrong answer to clients.
+            database.enable_planner(quarantine=True)
         self.programs: dict[str, DatabaseProgram] = {
             p.name: p for p in programs
         }

@@ -322,6 +322,7 @@ def run_soak(
     report = ChaosReport(seed=seed)
     db = Database(_soak_schema(stripes), window=2)
     db.enable_query_cache(quarantine=True)
+    planner = db.enable_planner(quarantine=True)
     puts, bump, sweep = _soak_programs(stripes)
     chaos = ChaosInjector(db, seed=seed, config=config)
     policy = RetryPolicy(
@@ -397,4 +398,39 @@ def run_soak(
         report.untyped_errors.append(
             "cache poisoning went undetected (no quarantine)"
         )
+
+    # Phase 3: corrupt the planner's answers white-box; the verify
+    # cross-check must quarantine it on the first lie and every answer
+    # must still be correct (served from the tree-walk oracle).
+    if planner.mismatch_count:
+        # A mismatch before deliberate corruption is a real planner bug,
+        # not chaos — surface it as a contract violation.
+        report.untyped_errors.append(
+            f"planner mismatched {planner.mismatch_count}x during soak"
+        )
+    if planner.enabled:
+        planner._chaos_corrupt = True
+        report.injected["planner_corruptions"] = 1
+        fresh = [
+            query(f"recount-{name}", (), b.size_of(b.rel(name, 2)))
+            for name in ["HOT", "SWEEP"] + [f"R{i}" for i in range(stripes)]
+        ]
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            for q, orig in zip(fresh, sizes):
+                answer = db.query(q)
+                if answer != expected[orig.name]:
+                    report.wrong_answers += 1
+        planner._chaos_corrupt = False
+        detected = sum(
+            1
+            for w in caught
+            if issubclass(w.category, QuarantineWarning)
+            and getattr(w.message, "component", "") == "planner"
+        )
+        report.quarantined += detected
+        if not detected:
+            report.untyped_errors.append(
+                "planner corruption went undetected (no quarantine)"
+            )
     return report

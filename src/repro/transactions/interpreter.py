@@ -148,6 +148,15 @@ class Interpreter:
     :class:`~repro.errors.Cancelled` if its token fired) between steps.
     ``None`` (the default) costs one attribute check per seam — the same
     contract as :attr:`tracer`."""
+    planner: Optional[object] = None
+    """Attach a :class:`repro.algebra.planner.QueryPlanner` (via
+    :meth:`repro.engine.Database.enable_planner`) to answer set formers,
+    quantifiers, and aggregates from relational-algebra plans.  Each hook
+    returns ``(handled, value)``; ``(False, None)`` falls back to the tree
+    walk here, so the planner is a pure accelerator — values, read sets
+    (``_touch``), budget enforcement, and error contracts are replicated
+    (DESIGN.md §7.6).  ``None`` (the default) costs one attribute check
+    per hook site."""
 
     # ======================================================================
     # w:e — object evaluation
@@ -292,6 +301,11 @@ class Interpreter:
 
     def _arithmetic(self, state: State, base: str, expr: App, env: Env) -> Value:
         if base in ("sum", "max", "min", "size"):
+            planner = self.planner
+            if planner is not None:
+                handled, value = planner.eval_aggregate(self, state, base, expr, env)
+                if handled:
+                    return value
             value = self._obj(state, expr.args[0], env)
             if not isinstance(value, TupleSet):
                 raise EvaluationError(f"{base}: expected a set, got {value!r}")
@@ -378,6 +392,11 @@ class Interpreter:
         return value
 
     def _set_former(self, state: State, former: SetFormer, env: Env) -> TupleSet:
+        planner = self.planner
+        if planner is not None:
+            handled, value = planner.eval_set_former(self, state, former, env)
+            if handled:
+                return value
         collected: list[DBTuple] = []
         budget = self.budget
         for inner in self._enumerate(state, former.bound, former.cond, env):
@@ -430,11 +449,21 @@ class Interpreter:
         if isinstance(formula, Pred):
             return self._pred(state, formula, env)
         if isinstance(formula, Forall):
+            planner = self.planner
+            if planner is not None:
+                handled, value = planner.eval_quantifier(self, state, formula, env)
+                if handled:
+                    return value
             return all(
                 self._bool(state, formula.body, inner)
                 for inner in self._enumerate(state, (formula.var,), TrueF(), env)
             )
         if isinstance(formula, Exists):
+            planner = self.planner
+            if planner is not None:
+                handled, value = planner.eval_quantifier(self, state, formula, env)
+                if handled:
+                    return value
             return any(
                 self._bool(state, formula.body, inner)
                 for inner in self._enumerate(state, (formula.var,), formula.body, env, filtered=False)

@@ -1,0 +1,273 @@
+"""The algebra compiler: which formulas compile, into what shapes, and
+exactly why the rest are refused.
+
+The compilable fragment is deliberately narrow (membership-narrowed
+conjunctive chains with one trailing quantifier), because everything the
+compiler accepts must be *touch-exact* against the tree walk — every
+``Incompilable`` reason below marks a shape where exactness would be
+expensive or impossible to guarantee, so the planner silently falls back
+instead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra import (
+    ChainQuery,
+    ForallQuery,
+    Incompilable,
+    RelQuery,
+    SetOpQuery,
+    compile_exists,
+    compile_forall,
+    compile_set_expr,
+    compile_set_former,
+)
+from repro.domains import make_domain
+from repro.logic import builder as b
+
+
+@pytest.fixture()
+def d():
+    return make_domain()
+
+
+def alloc_of(d, a, name_expr):
+    return b.land(
+        b.member(a, d.alloc.rel()),
+        b.eq(d.alloc.attr("a-emp", a), name_expr),
+    )
+
+
+class TestCompilableShapes:
+    def test_single_level_set_former(self, d):
+        e = d.emp.var("e")
+        former = b.setformer(
+            d.emp.attr("e-name", e),
+            e,
+            b.land(
+                b.member(e, d.emp.rel()),
+                b.eq(d.emp.attr("e-dept", e), b.atom("cs")),
+            ),
+        )
+        q = compile_set_former(former)
+        assert isinstance(q, ChainQuery) and q.kind == "setformer"
+        assert [(lv.rel, lv.slot) for lv in q.levels] == [("EMP", 0)]
+        assert q.levels[0].group_end == 0
+        assert len(q.preds) == 1 and q.preds[0].eff_level == 0
+        assert q.sub is None
+        assert q.result is not None and not q.result.whole
+        assert q.result.element_arity == 1
+
+    def test_two_level_join_shares_one_group(self, d):
+        e, a = d.emp.var("e"), d.alloc.var("a")
+        former = b.setformer(
+            d.emp.attr("e-name", e),
+            [e, a],
+            b.land(
+                b.member(e, d.emp.rel()),
+                b.member(a, d.alloc.rel()),
+                b.eq(d.alloc.attr("a-emp", a), d.emp.attr("e-name", e)),
+            ),
+        )
+        q = compile_set_former(former)
+        assert [lv.rel for lv in q.levels] == ["EMP", "ALLOC"]
+        # Set-former levels share one scope group: the join predicate is
+        # only checked at the leaf, but the domains narrow unconditionally.
+        assert [lv.group_end for lv in q.levels] == [1, 1]
+        assert q.preds[0].eff_level == 1
+
+    def test_trailing_exists_flattens_into_its_own_group(self, d):
+        e, a = d.emp.var("e"), d.alloc.var("a")
+        former = b.setformer(
+            d.emp.attr("e-name", e),
+            e,
+            b.land(
+                b.member(e, d.emp.rel()),
+                b.exists(a, alloc_of(d, a, d.emp.attr("e-name", e))),
+            ),
+        )
+        q = compile_set_former(former)
+        assert [lv.rel for lv in q.levels] == ["EMP", "ALLOC"]
+        # The inner exists opens a new group: its domain only narrows for
+        # candidates that survive the outer conjunction.
+        assert [lv.group_end for lv in q.levels] == [0, 1]
+
+    def test_trailing_not_exists_becomes_anti_join(self, d):
+        e, a = d.emp.var("e"), d.alloc.var("a")
+        former = b.setformer(
+            d.emp.attr("e-name", e),
+            e,
+            b.land(
+                b.member(e, d.emp.rel()),
+                b.lnot(b.exists(a, alloc_of(d, a, d.emp.attr("e-name", e)))),
+            ),
+        )
+        q = compile_set_former(former)
+        assert [lv.rel for lv in q.levels] == ["EMP"]
+        assert q.sub is not None and q.sub.level.rel == "ALLOC"
+
+    def test_exists_compiles_to_boolean_chain(self, d):
+        a = d.alloc.var("a")
+        q = compile_exists(b.exists(a, alloc_of(d, a, b.atom("alice"))))
+        assert isinstance(q, ChainQuery) and q.kind == "exists"
+        assert q.result is None
+
+    def test_guarded_forall_with_exists_body(self, d):
+        e, a = d.emp.var("e"), d.alloc.var("a")
+        f = b.forall(
+            e,
+            b.implies(
+                b.member(e, d.emp.rel()),
+                b.exists(a, alloc_of(d, a, d.emp.attr("e-name", e))),
+            ),
+        )
+        q = compile_forall(f)
+        assert isinstance(q, ForallQuery)
+        assert (q.rel, q.arity, q.negated) == ("EMP", 5, False)
+        assert q.body_level is not None and q.body_level.rel == "ALLOC"
+
+    def test_relation_and_set_op_children(self, d):
+        q = compile_set_expr(b.rel("EMP", 5))
+        assert isinstance(q, RelQuery) and (q.rel, q.arity) == ("EMP", 5)
+        u = compile_set_expr(b.union(b.rel("SKILL", 2), b.rel("PROJ", 2)))
+        assert isinstance(u, SetOpQuery) and u.mode == "union"
+        assert isinstance(u.left, RelQuery) and isinstance(u.right, RelQuery)
+
+
+class TestIncompilableReasons:
+    """Each refusal reason, pinned — these are the fragment's edges."""
+
+    def refuses(self, fn, node, fragment):
+        with pytest.raises(Incompilable) as exc:
+            fn(node)
+        assert fragment in exc.value.reason, exc.value.reason
+
+    def test_bound_variable_not_tuple_sorted(self, d):
+        x = b.atom_var("x")
+        self.refuses(
+            compile_exists,
+            b.exists(x, b.eq(x, b.atom(1))),
+            "not tuple-sorted",
+        )
+
+    def test_missing_membership(self, d):
+        e = d.emp.var("e")
+        self.refuses(
+            compile_exists,
+            b.exists(e, b.eq(d.emp.attr("e-dept", e), b.atom("cs"))),
+            "exactly one membership",
+        )
+
+    def test_ambiguous_double_membership(self, d):
+        e = d.emp.var("e")
+        self.refuses(
+            compile_exists,
+            b.exists(
+                e, b.land(b.member(e, d.emp.rel()), b.member(e, d.emp.rel()))
+            ),
+            "exactly one membership",
+        )
+
+    def test_membership_over_outer_variable(self, d):
+        e, e2 = d.emp.var("e"), d.emp.var("e2")
+        former = b.setformer(
+            d.emp.attr("e-name", e),
+            e,
+            b.land(
+                b.member(e, d.emp.rel()),
+                b.exists(e2, b.member(e, d.emp.rel())),
+            ),
+        )
+        self.refuses(compile_set_former, former, "membership")
+
+    def test_quantified_conjunct_must_be_last(self, d):
+        e, a = d.emp.var("e"), d.alloc.var("a")
+        former = b.setformer(
+            d.emp.attr("e-name", e),
+            e,
+            b.land(
+                b.member(e, d.emp.rel()),
+                b.exists(a, alloc_of(d, a, d.emp.attr("e-name", e))),
+                b.eq(d.emp.attr("e-dept", e), b.atom("cs")),
+            ),
+        )
+        self.refuses(compile_set_former, former, "not last")
+
+    def test_nested_quantifier_inside_not_exists(self, d):
+        e, a, a2 = d.emp.var("e"), d.alloc.var("a"), d.alloc.var("a2")
+        former = b.setformer(
+            d.emp.attr("e-name", e),
+            e,
+            b.land(
+                b.member(e, d.emp.rel()),
+                b.lnot(
+                    b.exists(
+                        a,
+                        b.land(
+                            b.member(a, d.alloc.rel()),
+                            b.exists(a2, b.member(a2, d.alloc.rel())),
+                        ),
+                    )
+                ),
+            ),
+        )
+        self.refuses(compile_set_former, former, "not-exists")
+
+    def test_forall_without_guard_implication(self, d):
+        e = d.emp.var("e")
+        self.refuses(
+            compile_forall,
+            b.forall(e, b.member(e, d.emp.rel())),
+            "not guarded",
+        )
+
+    def test_forall_guard_membership_must_come_first(self, d):
+        """The tree walk short-circuits the guard conjunction per
+        candidate, so a leading value predicate can hide the membership
+        read entirely — touch-exactness demands membership first."""
+        e, a = d.emp.var("e"), d.alloc.var("a")
+        f = b.forall(
+            e,
+            b.implies(
+                b.land(
+                    b.eq(d.emp.attr("e-dept", e), b.atom("cs")),
+                    b.member(e, d.emp.rel()),
+                ),
+                b.exists(a, alloc_of(d, a, d.emp.attr("e-name", e))),
+            ),
+        )
+        self.refuses(compile_forall, f, "first conjunct")
+
+    def test_rebinding_of_a_bound_variable(self, d):
+        """A nested exists that re-binds an outer variable shadows it in
+        the tree walk; the flat slot model cannot express that."""
+        e, a = d.emp.var("e"), d.alloc.var("a")
+        former = b.setformer(
+            d.emp.attr("e-name", e),
+            [e, a],
+            b.land(
+                b.member(e, d.emp.rel()),
+                b.member(a, d.alloc.rel()),
+                b.exists(a, b.member(a, d.alloc.rel())),
+            ),
+        )
+        self.refuses(compile_set_former, former, "rebinding")
+
+    def test_arithmetic_in_condition_falls_back(self, d):
+        e = d.emp.var("e")
+        former = b.setformer(
+            d.emp.attr("e-name", e),
+            e,
+            b.land(
+                b.member(e, d.emp.rel()),
+                b.le(
+                    b.plus(d.emp.attr("salary", e), b.atom(1)), b.atom(100)
+                ),
+            ),
+        )
+        self.refuses(compile_set_former, former, "function")
+
+    def test_non_set_expression(self, d):
+        self.refuses(compile_set_expr, b.atom(3), "not a compilable")

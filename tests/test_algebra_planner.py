@@ -1,0 +1,261 @@
+"""The query planner end to end: answers, plan caching, fallbacks,
+statistics maintenance, explain rendering, verify/quarantine, and the
+engine/server wiring.
+
+The planner's contract is the accelerator contract from DESIGN.md §7:
+identical observable behavior to the tree walk — same values, same
+canonical ordering, same error classes — with ``verify=True`` turning
+any lapse into :class:`PlannerMismatch` and ``quarantine=True`` into a
+one-way degradation back to the tree walk.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+import repro
+from repro import Database, PlannerMismatch, query
+from repro.domains import make_domain
+from repro.eval.quarantine import QuarantineWarning
+from repro.logic import builder as b
+
+
+@pytest.fixture()
+def domain():
+    return make_domain()
+
+
+def fresh_db(domain, **kwargs):
+    return Database(domain.schema, initial=domain.sample_state())
+
+
+def names_in_dept(d, dept):
+    e = d.emp.var("e")
+    return query(
+        f"names-in-{dept}",
+        (),
+        b.setformer(
+            d.emp.attr("e-name", e),
+            e,
+            b.land(
+                b.member(e, d.emp.rel()),
+                b.eq(d.emp.attr("e-dept", e), b.atom(dept)),
+            ),
+        ),
+    )
+
+
+def allocated_names(d):
+    e, a = d.emp.var("e"), d.alloc.var("a")
+    return query(
+        "allocated-names",
+        (),
+        b.setformer(
+            d.emp.attr("e-name", e),
+            e,
+            b.land(
+                b.member(e, d.emp.rel()),
+                b.exists(
+                    a,
+                    b.land(
+                        b.member(a, d.alloc.rel()),
+                        b.eq(
+                            d.alloc.attr("a-emp", a), d.emp.attr("e-name", e)
+                        ),
+                    ),
+                ),
+            ),
+        ),
+    )
+
+
+class TestAnswers:
+    def test_planned_answers_equal_tree_walk(self, domain):
+        queries = [
+            names_in_dept(domain, "cs"),
+            allocated_names(domain),
+            query("headcount", (), b.size_of(b.rel("EMP", 5))),
+            query(
+                "total-perc",
+                (),
+                b.sum_of(
+                    b.setformer(
+                        domain.alloc.attr("perc", domain.alloc.var("a")),
+                        domain.alloc.var("a"),
+                        b.member(domain.alloc.var("a"), domain.alloc.rel()),
+                    )
+                ),
+            ),
+        ]
+        plain = fresh_db(domain)
+        planned = fresh_db(domain)
+        planner = planned.enable_planner()
+        for q in queries:
+            expected = plain.query(q)
+            got = planned.query(q)
+            assert type(got) is type(expected)
+            # TupleSet equality includes representative order: the
+            # executor must reproduce the tree walk's canonical sort.
+            assert got == expected, q.name
+        assert planner.exec_count >= len(queries)
+        assert planner.mismatch_count == 0
+
+    def test_constraint_checking_verdicts_survive_planning(self, domain):
+        domain.install_constraints()
+        planned = Database(domain.schema, initial=domain.sample_state())
+        planned.enable_planner(verify=True)
+        # hire violates every-employee-allocated; transfer preserves it.
+        with pytest.raises(repro.ConstraintViolation):
+            planned.execute(domain.hire, "erin", "cs", 90, 25, "S")
+        planned.execute(domain.create_project, "apollo", 10)
+
+    def test_plan_cache_compiles_once(self, domain):
+        db = fresh_db(domain)
+        planner = db.enable_planner()
+        q = names_in_dept(domain, "cs")
+        db.query(q)
+        db.query(q)
+        db.query(q)
+        assert planner.compiled_count == 1
+        assert planner.exec_count == 3
+
+    def test_inexpressible_query_falls_back_silently(self, domain):
+        db = fresh_db(domain)
+        planner = db.enable_planner(verify=True)
+        e = domain.emp.var("e")
+        arithmetic = query(
+            "arith",
+            (),
+            b.setformer(
+                domain.emp.attr("e-name", e),
+                e,
+                b.land(
+                    b.member(e, domain.emp.rel()),
+                    b.le(
+                        b.plus(domain.emp.attr("salary", e), b.atom(0)),
+                        b.atom(1000),
+                    ),
+                ),
+            ),
+        )
+        plain = fresh_db(domain)
+        assert db.query(arithmetic) == plain.query(arithmetic)
+        assert planner.exec_count == 0
+
+    def test_budget_metering_still_bites_under_planning(self, domain):
+        """The executor ticks the same budget seam, so a fuel limit that
+        stops the tree walk stops the planned run too."""
+        from repro.transactions.budget import Budget
+
+        q = allocated_names(domain)
+        db = fresh_db(domain)
+        planner = db.enable_planner()
+        with pytest.raises(repro.BudgetExceeded):
+            db.query(q, budget=Budget(max_steps=2))
+        assert db.query(q, budget=Budget(max_steps=10_000)) is not None
+        assert planner.exec_count >= 1
+
+
+class TestExplain:
+    def test_explain_renders_the_physical_plan(self, domain):
+        db = fresh_db(domain)
+        planner = db.enable_planner()
+        plan = planner.plan(allocated_names(domain).body, db.current)
+        text = plan.explain()
+        assert "Scan" in text
+        assert "EMP" in text and "ALLOC" in text
+        assert "rows" in text  # cardinality annotations
+
+    def test_plan_error_on_inexpressible_node(self, domain):
+        db = fresh_db(domain)
+        planner = db.enable_planner()
+        with pytest.raises(repro.PlanError) as exc:
+            planner.plan(b.atom(3), db.current)
+        assert exc.value.reason
+
+
+class TestStats:
+    def test_stats_maintained_incrementally_through_commits(self, domain):
+        db = fresh_db(domain)
+        planner = db.enable_planner()
+        before = planner.stats.row_estimate("PROJ")
+        commits_before = planner.stats.commits_observed
+        db.execute(domain.create_project, "apollo", 25)
+        assert planner.stats.row_estimate("PROJ") == before + 1
+        assert planner.stats.commits_observed == commits_before + 1
+
+    def test_failed_commit_does_not_move_stats(self, domain):
+        domain.install_constraints()
+        db = Database(domain.schema, initial=domain.sample_state())
+        planner = db.enable_planner()
+        before = planner.stats.row_estimate("EMP")
+        ok, _ = db.try_execute(domain.hire, "erin", "cs", 90, 25, "S")
+        assert not ok
+        assert planner.stats.row_estimate("EMP") == before
+
+
+class TestVerifyAndQuarantine:
+    def test_verify_raises_planner_mismatch_on_corruption(self, domain):
+        db = fresh_db(domain)
+        planner = db.enable_planner(verify=True)
+        planner._chaos_corrupt = True
+        with pytest.raises(PlannerMismatch):
+            db.query(query("headcount", (), b.size_of(b.rel("EMP", 5))))
+
+    def test_quarantine_returns_truth_and_disables_planner(self, domain):
+        db = fresh_db(domain)
+        planner = db.enable_planner(quarantine=True)
+        planner._chaos_corrupt = True
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            answer = db.query(
+                query("headcount", (), b.size_of(b.rel("EMP", 5)))
+            )
+        assert answer == 4  # the oracle's answer, not the corrupted one
+        assert not planner.enabled
+        quarantines = [
+            w for w in caught if issubclass(w.category, QuarantineWarning)
+        ]
+        assert len(quarantines) == 1
+        assert quarantines[0].message.component == "planner"
+        # Subsequent queries take the tree walk; no further planner execs.
+        execs = planner.exec_count
+        db.query(query("headcount2", (), b.size_of(b.rel("EMP", 5))))
+        assert planner.exec_count == execs
+
+    def test_quarantine_increments_metric(self, domain):
+        db = fresh_db(domain)
+        planner = db.enable_planner(quarantine=True)
+        planner._chaos_corrupt = True
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            db.query(query("headcount", (), b.size_of(b.rel("EMP", 5))))
+        counter = db.metrics.get(
+            "repro_quarantined_total", component="planner"
+        )
+        assert counter is not None and counter.value == 1
+
+
+class TestWiring:
+    def test_package_root_exports(self):
+        for name in ("QueryPlanner", "Plan", "PlanError", "PlannerMismatch"):
+            assert hasattr(repro, name)
+            assert name in repro.__all__
+
+    def test_enable_planner_survives_tracking_wrap(self, domain):
+        from repro.concurrent.tracking import TrackingInterpreter
+
+        db = fresh_db(domain)
+        db.enable_planner()
+        tracking = TrackingInterpreter.wrapping(db.interpreter)
+        assert tracking.planner is db._planner
+
+    def test_server_planner_flag(self, domain):
+        from repro.server import TransactionServer
+
+        db = fresh_db(domain)
+        TransactionServer(db, planner=True)
+        assert db._planner is not None
+        assert db._planner.verify  # quarantine implies verify: safe config

@@ -1,0 +1,249 @@
+"""Touch-equivalence: the planner must report *exactly* the relation
+read set the tree walk would, on every shape — including the empty-domain
+and all-rows-filtered corners where a naive executor over- or
+under-touches.
+
+Why this is load-bearing (DESIGN.md §7.6): the read set feeds the
+:class:`QueryCache` invalidation digest and the optimistic scheduler's
+conflict validation.  An under-touch means a cached answer survives a
+commit that should have killed it (a wrong answer later); an over-touch
+means spurious invalidations and conflicts (correct but slow, and a
+different digest — so cache keys stop matching across planner on/off).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database, query
+from repro.concurrent.tracking import TrackingInterpreter
+from repro.db.state import state_from_rows
+from repro.domains import make_domain
+from repro.logic import builder as b
+
+
+@pytest.fixture()
+def d():
+    return make_domain()
+
+
+def state_with(d, **rows):
+    """Sample-state shape with selected relations overridden (e.g. empty)."""
+    base = {
+        "EMP": [
+            ("alice", "cs", 100, 30, "S"),
+            ("bob", "math", 90, 40, "M"),
+        ],
+        "DEPT": [("cs", "alice", "b1")],
+        "PROJ": [("apollo", 100)],
+        "ALLOC": [("alice", "apollo", 60)],
+        "SKILL": [("alice", 1)],
+    }
+    base.update(rows)
+    return state_from_rows(d.schema, base)
+
+
+def reads_of(d, state, node, *, planner, is_formula=False):
+    db = Database(d.schema, initial=state)
+    if planner:
+        db.enable_planner()
+    tracking = TrackingInterpreter.wrapping(db.interpreter)
+    if is_formula:
+        tracking.eval_formula(db.current, node)
+    else:
+        tracking.eval_object(db.current, node)
+    return frozenset(tracking.reads)
+
+
+def assert_same_reads(d, state, node, *, is_formula=False):
+    slow = reads_of(d, state, node, planner=False, is_formula=is_formula)
+    fast = reads_of(d, state, node, planner=True, is_formula=is_formula)
+    assert fast == slow, f"planner reads {fast}, tree walk reads {slow}"
+    return slow
+
+
+def join_former(d):
+    e, a = d.emp.var("e"), d.alloc.var("a")
+    return b.setformer(
+        d.emp.attr("e-name", e),
+        [e, a],
+        b.land(
+            b.member(e, d.emp.rel()),
+            b.member(a, d.alloc.rel()),
+            b.eq(d.alloc.attr("a-emp", a), d.emp.attr("e-name", e)),
+        ),
+    )
+
+
+def exists_former(d, negate=False):
+    e, a = d.emp.var("e"), d.alloc.var("a")
+    inner = b.exists(
+        a,
+        b.land(
+            b.member(a, d.alloc.rel()),
+            b.eq(d.alloc.attr("a-emp", a), d.emp.attr("e-name", e)),
+        ),
+    )
+    return b.setformer(
+        d.emp.attr("e-name", e),
+        e,
+        b.land(b.member(e, d.emp.rel()), b.lnot(inner) if negate else inner),
+    )
+
+
+def allocated_forall(d):
+    e, a = d.emp.var("e"), d.alloc.var("a")
+    return b.forall(
+        e,
+        b.implies(
+            b.member(e, d.emp.rel()),
+            b.exists(
+                a,
+                b.land(
+                    b.member(a, d.alloc.rel()),
+                    b.eq(d.alloc.attr("a-emp", a), d.emp.attr("e-name", e)),
+                ),
+            ),
+        ),
+    )
+
+
+class TestSetFormers:
+    def test_join_touches_both_relations(self, d):
+        reads = assert_same_reads(d, state_with(d), join_former(d))
+        assert {"EMP", "ALLOC"} <= reads
+
+    def test_empty_first_level_skips_second(self, d):
+        """Tree-walk enumeration never reaches ALLOC when EMP is empty;
+        the planner must not touch it either."""
+        reads = assert_same_reads(d, state_with(d, EMP=[]), join_former(d))
+        assert "ALLOC" not in reads
+
+    def test_set_former_group_touches_even_when_preds_fail(self, d):
+        """Within one set-former group, domains narrow unconditionally:
+        ALLOC is read even when no EMP row can ever join."""
+        state = state_with(d, ALLOC=[("nobody", "apollo", 60)])
+        reads = assert_same_reads(d, state, join_former(d))
+        assert {"EMP", "ALLOC"} <= reads
+
+    def test_nested_exists_gates_on_surviving_prefix(self, d):
+        """The inner exists domain narrows per *surviving* outer row: when
+        a predicate kills every outer candidate, ALLOC stays untouched."""
+        e, a = d.emp.var("e"), d.alloc.var("a")
+        former = b.setformer(
+            d.emp.attr("e-name", e),
+            e,
+            b.land(
+                b.member(e, d.emp.rel()),
+                b.eq(d.emp.attr("e-dept", e), b.atom("no-such-dept")),
+                b.exists(
+                    a,
+                    b.land(
+                        b.member(a, d.alloc.rel()),
+                        b.eq(
+                            d.alloc.attr("a-emp", a), d.emp.attr("e-name", e)
+                        ),
+                    ),
+                ),
+            ),
+        )
+        reads = assert_same_reads(d, state_with(d), former)
+        assert "ALLOC" not in reads
+
+    def test_nested_exists_touches_when_prefix_survives(self, d):
+        reads = assert_same_reads(d, state_with(d), exists_former(d))
+        assert {"EMP", "ALLOC"} <= reads
+
+    def test_not_exists_anti_join(self, d):
+        assert_same_reads(d, state_with(d), exists_former(d, negate=True))
+        assert_same_reads(
+            d, state_with(d, ALLOC=[]), exists_former(d, negate=True)
+        )
+
+
+class TestForall:
+    def test_satisfied_and_violated(self, d):
+        satisfied = state_with(
+            d,
+            EMP=[("alice", "cs", 100, 30, "S")],
+            ALLOC=[("alice", "apollo", 60)],
+        )
+        violated = state_with(d)  # bob has no allocation
+        for state in (satisfied, violated):
+            reads = assert_same_reads(
+                d, state, allocated_forall(d), is_formula=True
+            )
+            assert {"EMP", "ALLOC"} <= reads
+
+    def test_forall_touch_is_arity_wide(self, d):
+        """The tree walk enumerates a tuple-sorted forall over *every*
+        relation of matching arity, so EMP's arity-5 peers land in the
+        read set even though only EMP rows pass the guard."""
+        reads = assert_same_reads(
+            d, state_with(d), allocated_forall(d), is_formula=True
+        )
+        assert "EMP" in reads
+
+    def test_empty_guard_relation_skips_body(self, d):
+        reads = assert_same_reads(
+            d, state_with(d, EMP=[]), allocated_forall(d), is_formula=True
+        )
+        assert "ALLOC" not in reads
+
+
+class TestQueryCacheDigests:
+    def q(self, d):
+        e = d.emp.var("e")
+        return query(
+            "cs-names",
+            (),
+            b.setformer(
+                d.emp.attr("e-name", e),
+                e,
+                b.land(
+                    b.member(e, d.emp.rel()),
+                    b.eq(d.emp.attr("e-dept", e), b.atom("cs")),
+                ),
+            ),
+        )
+
+    def cache_entry(self, d, *, planner):
+        db = Database(d.schema, initial=state_with(d))
+        cache = db.enable_query_cache()
+        if planner:
+            db.enable_planner()
+        db.query(self.q(d))
+        (entry,) = cache._entries.values()
+        return db, cache, entry
+
+    def test_cache_entries_identical_with_planner_on_and_off(self, d):
+        _, _, slow = self.cache_entry(d, planner=False)
+        _, _, fast = self.cache_entry(d, planner=True)
+        assert fast.reads == slow.reads
+        assert fast.digest == slow.digest
+        assert fast.value == slow.value
+
+    def test_planned_entry_invalidated_by_write_to_read_set(self, d):
+        db, cache, _ = self.cache_entry(d, planner=True)
+        assert db.query(self.q(d)) is not None  # hit
+        assert cache.stats.hits == 1
+        db.execute(d.hire, "carol", "cs", 80, 28, "S")
+        result = db.query(self.q(d))  # must re-evaluate, see carol
+        assert cache.stats.hits == 1
+        assert any(t.values == ("carol",) for t in result.representatives)
+
+
+class TestSchedulerValidation:
+    def test_read_write_sets_identical_under_scheduler(self, d):
+        """The optimistic scheduler validates commits against tracked
+        read sets; planner on/off must produce the same footprints."""
+
+        def footprint(planner):
+            db = Database(d.schema, initial=state_with(d))
+            if planner:
+                db.enable_planner()
+            tracking = TrackingInterpreter.wrapping(db.interpreter)
+            tracking.eval_object(db.current, join_former(d))
+            return tracking.read_write_set()
+
+        assert footprint(True) == footprint(False)

@@ -80,6 +80,38 @@ class TestHierarchy:
         assert not issubclass(RetryExhausted, ResourceError)
 
 
+class TestPlannerBranch:
+    """PlanError / PlannerMismatch — the algebra planner's error branch."""
+
+    def test_plan_error_carries_reason(self):
+        from repro.errors import PlanError
+
+        err = PlanError("forall body is not guarded (no implication)")
+        assert err.reason == "forall body is not guarded (no implication)"
+        assert "not compilable" in str(err)
+        assert issubclass(PlanError, ReproError)
+        assert not issubclass(PlanError, ResourceError)
+
+    def test_planner_mismatch_is_a_plan_error(self):
+        """A mismatch is a planner bug, not a load condition: it must land
+        in the bug-report branch, never in retry-later."""
+        from repro.errors import PlanError, PlannerMismatch
+
+        err = PlannerMismatch("headcount: planned 5, tree walk says 4")
+        assert err.detail == "headcount: planned 5, tree walk says 4"
+        assert "mismatch" in str(err)
+        assert issubclass(PlannerMismatch, PlanError)
+        assert not issubclass(PlannerMismatch, ResourceError)
+        assert not issubclass(PlannerMismatch, EvaluationError)
+
+    def test_catchable_as_repro_error(self):
+        from repro.errors import PlanError, PlannerMismatch
+
+        for sample in (PlanError("r"), PlannerMismatch("d")):
+            with pytest.raises(ReproError):
+                raise sample
+
+
 class TestConstructors:
     def test_budget_exceeded_carries_the_meter_reading(self):
         err = BudgetExceeded("foreach", 100, 101)
