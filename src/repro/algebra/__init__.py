@@ -15,6 +15,7 @@ Enable via :meth:`repro.engine.Database.enable_planner`; inspect plans via
 
 from repro.algebra.compiler import (
     AggQuery,
+    AltBranch,
     ChainQuery,
     ForallQuery,
     Incompilable,
@@ -22,14 +23,17 @@ from repro.algebra.compiler import (
     SetOpQuery,
     compile_exists,
     compile_forall,
+    compile_foreach_domain,
     compile_set_expr,
     compile_set_former,
 )
 from repro.algebra.ir import (
     Aggregate,
     AntiJoin,
+    Arith,
     Cmp,
     Col,
+    Disj,
     HashJoin,
     Lit,
     ParamRef,
@@ -46,14 +50,18 @@ from repro.algebra.stats import StatsCatalog
 __all__ = [
     "AggQuery",
     "Aggregate",
+    "AltBranch",
     "AntiJoin",
+    "Arith",
     "ChainQuery",
     "Cmp",
     "Col",
     "compile_exists",
     "compile_forall",
+    "compile_foreach_domain",
     "compile_set_expr",
     "compile_set_former",
+    "Disj",
     "ForallQuery",
     "HashJoin",
     "Incompilable",

@@ -6,21 +6,28 @@ walk's read-set (``_touch``) protocol can be replicated for *exactly*
 
 * every bound variable is tuple-sorted and has exactly one membership
   conjunct ``member(v, R)`` over a bare :class:`RelConst` (its domain);
-* all other conjuncts are pure value predicates — ``=``/``!=`` and integer
-  comparisons over attributes/selections of bound variables, atom
-  constants, and environment parameters — which never touch a relation;
-* one trailing ``exists`` per conjunction may nest (positive nestings
-  flatten into further join levels; a trailing ``not exists`` becomes an
-  anti join);
+* all other conjuncts are pure value predicates — ``=``/``!=``, integer
+  comparisons, and binary arithmetic (``+ - * div mod``) over attributes/
+  selections of bound variables, atom constants, and environment
+  parameters — which never touch a relation; an ``or`` of such predicates
+  compiles to a :class:`~repro.algebra.ir.Disj`;
+* a conjunction may end in a *sequence* of quantified conjuncts: each
+  positive ``exists`` flattens into further join levels (its own scope
+  group), and the final one may be a ``not exists`` (anti join);
+* alternatively the final conjunct may be an ``or`` whose disjuncts each
+  hold pure predicates plus at most one single-level ``[not] exists`` —
+  compiled to union branches (:class:`AltBranch`);
 * a ``forall`` must be guarded, ``forall v. member(v, R) ∧ guards → body``,
   with a body of pure predicates plus at most one (possibly negated)
-  single-level ``exists``.
+  single-level ``exists``;
+* a ``foreach`` iteration domain compiles like a set former over its bound
+  variable, yielding the satisfier list in canonical order.
 
 Anything else — defined/skolem/state-changing symbols, situational layers,
-disjunction, arithmetic inside conditions, set-valued or atom-sorted bound
-variables, double memberships — raises :class:`Incompilable`, and the
-planner falls back to the tree walk.  Fallback is always sound: the tree
-walk is the semantics.
+memberships swallowed inside a disjunction, set-valued or atom-sorted
+bound variables, double memberships — raises :class:`Incompilable`, and
+the planner falls back to the tree walk.  Fallback is always sound: the
+tree walk is the semantics.
 
 This mirrors the eligibility analysis of :mod:`repro.eval.footprint`: walk
 the tree, accumulate structure, record the first blocking reason.
@@ -31,13 +38,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.logic.fluents import SetFormer
-from repro.logic.formulas import And, Eq, Exists, Forall, Formula, Implies, Not, Pred
+from repro.logic.fluents import Foreach, SetFormer
+from repro.logic.formulas import And, Eq, Exists, Forall, Formula, Implies, Not, Or, Pred
 from repro.logic.symbols import SymbolKind
 from repro.logic.terms import App, AtomConst, Expr, Layer, RelConst, Var
 from repro.transactions.interpreter import _base_name, _conjuncts
 
-from repro.algebra.ir import Cmp, Col, Lit, ParamRef, ValueExpr
+from repro.algebra.ir import Arith, Cmp, Col, Disj, Lit, ParamRef, ValueExpr
 
 
 class Incompilable(Exception):
@@ -102,15 +109,31 @@ class ResultSpec:
 
 
 @dataclass(frozen=True)
+class AltBranch:
+    """One disjunct of a trailing ``or``, evaluated per surviving row of
+    the positive join: pure predicates plus at most one single-level
+    ``[not] exists``.  Branches are ordered — the tree walk's ``any``
+    short-circuits, so a later branch's inner relation narrows only for
+    rows every earlier branch rejected."""
+
+    preds: tuple  # Cmp | Disj, over the enclosing chain's slots
+    level: Optional[Level]
+    inner_preds: tuple  # Cmp | Disj, may also mention ``level``'s slot
+    negated: bool
+
+
+@dataclass(frozen=True)
 class ChainQuery:
-    """A set former or an ``exists`` chain: joined levels, predicates, an
-    optional trailing anti join, and (for set formers) the projection."""
+    """A set former, ``exists`` chain, or ``foreach`` domain: joined
+    levels, predicates, an optional trailing anti join *or* union branches
+    (never both), and (for set formers / foreach) the projection."""
 
     levels: tuple[Level, ...]
     preds: tuple[PredSpec, ...]
     sub: Optional[SubQuery]
-    kind: str  # "setformer" | "exists"
+    kind: str  # "setformer" | "exists" | "foreach"
     result: Optional[ResultSpec]
+    alts: tuple[AltBranch, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -204,6 +227,20 @@ def _compile_value(expr: Expr, slots: dict[Var, int]) -> ValueExpr:
                 raise Incompilable("select with non-constant index")
             inner = _compile_value(expr.args[0], slots)
             return _index_of(inner, expr.args[1].value, expr)
+        if (
+            sym.kind is SymbolKind.ARITHMETIC
+            and base in ("+", "-", "*", "div", "mod")
+            and len(expr.args) == 2
+        ):
+            # Binary natural arithmetic is pure (operands are values, the
+            # executor replicates _arithmetic exactly, including truncated
+            # subtraction and the div/mod-by-zero error contract).
+            # Aggregates (sum/max/min/size over sets) stay out: they touch.
+            return Arith(
+                base,
+                _compile_value(expr.args[0], slots),
+                _compile_value(expr.args[1], slots),
+            )
         raise Incompilable(f"function {sym.name} in condition")
     raise Incompilable(f"{type(expr).__name__} in condition")
 
@@ -225,8 +262,8 @@ class ParamSel:
     index: int
 
 
-def _compile_pred(f: Formula, slots: dict[Var, int]) -> Cmp:
-    """A pure value predicate, or raise."""
+def _compile_pred(f: Formula, slots: dict[Var, int]):
+    """A pure value predicate (``Cmp`` or ``Disj``), or raise."""
     if isinstance(f, Eq):
         return Cmp("eq", _compile_value(f.lhs, slots), _compile_value(f.rhs, slots))
     if isinstance(f, Not) and isinstance(f.body, Eq):
@@ -234,6 +271,15 @@ def _compile_pred(f: Formula, slots: dict[Var, int]) -> Cmp:
         return Cmp(
             "ne", _compile_value(inner.lhs, slots), _compile_value(inner.rhs, slots)
         )
+    if isinstance(f, Or):
+        # Pure disjunction: each disjunct a conjunction of pure predicates.
+        # Branch and conjunct order are preserved — truth evaluation (and
+        # its error behavior) short-circuits like the tree walk's any/all.
+        branches = tuple(
+            tuple(_compile_pred(c, slots) for c in _conjuncts(d))
+            for d in f.disjuncts
+        )
+        return Disj(branches)
     if isinstance(f, Pred):
         base = _base_name(f.symbol.name)
         if base in _PRED_OPS:
@@ -279,6 +325,71 @@ def _domain_of(var: Var, conjuncts: list[Formula]) -> RelConst:
 # ---------------------------------------------------------------------------
 
 
+def _is_quantified(c: Formula) -> bool:
+    return isinstance(c, Exists) or (isinstance(c, Not) and isinstance(c.body, Exists))
+
+
+def _or_needs_union(f: Or) -> bool:
+    """Does any disjunct carry a quantified conjunct (so the ``or`` cannot
+    compile to a pure :class:`Disj` predicate)?"""
+    return any(
+        _is_quantified(c) for d in f.disjuncts for c in _conjuncts(d)
+    )
+
+
+def _compile_inner_level(ex: Exists, slots: dict[Var, int], slot: int, context: str):
+    """One single-level inner ``exists`` (anti-join sub or union branch):
+    its membership level plus pure predicates over the enclosing slots."""
+    inner_conjuncts = _conjuncts(ex.body)
+    inner_var = ex.var
+    if inner_var in slots:
+        raise Incompilable(f"rebinding of {inner_var.name}")
+    domain = _domain_of(inner_var, inner_conjuncts)
+    sub_slots = dict(slots)
+    sub_slots[inner_var] = slot
+    sub_preds: list = []
+    for c in inner_conjuncts:
+        if _is_member(c) and c.args[0] == inner_var:
+            continue
+        if isinstance(c, (Exists, Forall)) or isinstance(c, Not) and not isinstance(
+            c.body, Eq
+        ):
+            raise Incompilable(f"nested quantifier inside {context}")
+        sub_preds.append(_compile_pred(c, sub_slots))
+    level = Level(inner_var, slot, domain.name, domain.arity, group_end=slot)
+    return level, tuple(sub_preds)
+
+
+def _compile_alts(
+    f: Or, slots: dict[Var, int], slot: int
+) -> tuple[AltBranch, ...]:
+    """The trailing ``or``'s disjuncts as ordered union branches.  Each
+    branch: pure predicates plus at most one trailing single-level
+    ``[not] exists``.  A membership conjunct inside a disjunct is refused
+    (the tree walk would fall back to full arity-class enumeration when the
+    membership is swallowed by the ``or`` — a different touch regime)."""
+    branches: list[AltBranch] = []
+    for d in f.disjuncts:
+        dconj = _conjuncts(d)
+        pures: list = []
+        inner: Optional[Formula] = None
+        for pos, c in enumerate(dconj):
+            if _is_quantified(c):
+                if pos != len(dconj) - 1:
+                    raise Incompilable("quantified conjunct is not last")
+                inner = c
+                continue
+            pures.append(_compile_pred(c, slots))
+        if inner is None:
+            branches.append(AltBranch(tuple(pures), None, (), False))
+            continue
+        negated = isinstance(inner, Not)
+        ex = inner.body if negated else inner
+        level, inner_preds = _compile_inner_level(ex, slots, slot, "union branch")
+        branches.append(AltBranch(tuple(pures), level, inner_preds, negated))
+    return tuple(branches)
+
+
 def _compile_chain(
     group_vars: tuple[Var, ...],
     cond: Formula,
@@ -288,9 +399,10 @@ def _compile_chain(
 ):
     """Compile one quantifier scope: bind ``group_vars`` as one group from
     ``cond``'s membership conjuncts, collect its value predicates, then
-    flatten a trailing positive ``exists`` (a new group) or capture a
-    trailing ``not exists`` (anti join).  Returns the anti-join SubQuery or
-    ``None``."""
+    process the trailing quantified conjuncts — each positive ``exists``
+    flattens into its own group, the final one may be a ``not exists``
+    (anti join) — or a final ``or`` with quantified disjuncts (union
+    branches).  Returns ``(sub, alts)``; at most one is set."""
     conjuncts = _conjuncts(cond)
     for var in group_vars:
         if var in slots:
@@ -307,51 +419,58 @@ def _compile_chain(
             levels[i].var, levels[i].slot, levels[i].rel, levels[i].arity, group_end
         )
 
-    trailing: Optional[Formula] = None
+    trailing: list[Formula] = []
     plain: list[Formula] = []
+    alt_src: Optional[Or] = None
     for pos, c in enumerate(conjuncts):
         if _is_member(c) and isinstance(c.args[0], Var) and c.args[0] in slots:
             owner_slot = slots[c.args[0]]
             if group_start <= owner_slot <= group_end:
                 continue  # this group's domain conjunct
             raise Incompilable("membership over an outer variable")
-        if isinstance(c, Exists) or (isinstance(c, Not) and isinstance(c.body, Exists)):
-            if pos != len(conjuncts) - 1:
-                raise Incompilable("quantified conjunct is not last")
-            trailing = c
+        if _is_quantified(c):
+            trailing.append(c)
             continue
+        if isinstance(c, Or) and _or_needs_union(c):
+            # A quantified disjunction only compiles as the final conjunct
+            # of its scope: branch gating is computed from the rows of the
+            # whole positive join, i.e. candidates that reached the ``or``.
+            if trailing:
+                raise Incompilable("union disjunction after a quantified conjunct")
+            if pos != len(conjuncts) - 1:
+                raise Incompilable("union disjunction is not the last conjunct")
+            alt_src = c
+            continue
+        if trailing:
+            raise Incompilable("quantified conjunct is not last")
         plain.append(c)
     for c in plain:
         preds.append(PredSpec(_compile_pred(c, slots), eff_level=group_end))
 
-    if trailing is None:
-        return None
-    if isinstance(trailing, Exists):
-        # Positive nesting flattens: ∃x(φ ∧ ∃y ψ) ≡ ∃x∃y(φ ∧ ψ).
-        return _compile_chain(
-            (trailing.var,), trailing.body, slots, levels, preds
-        )
-    # Trailing not-exists: one inner level, pure predicates only.
-    inner = trailing.body
-    inner_conjuncts = _conjuncts(inner.body)
-    inner_var = inner.var
-    if inner_var in slots:
-        raise Incompilable(f"rebinding of {inner_var.name}")
-    domain = _domain_of(inner_var, inner_conjuncts)
-    slot = len(levels)
-    sub_slots = dict(slots)
-    sub_slots[inner_var] = slot
-    sub_preds: list[Cmp] = []
-    for c in inner_conjuncts:
-        if _is_member(c) and c.args[0] == inner_var:
+    if alt_src is not None:
+        return None, _compile_alts(alt_src, slots, len(levels))
+
+    sub: Optional[SubQuery] = None
+    alts: tuple[AltBranch, ...] = ()
+    for pos, t in enumerate(trailing):
+        last = pos == len(trailing) - 1
+        if isinstance(t, Exists):
+            # Positive nesting flattens: ∃x(φ ∧ ∃y ψ) ≡ ∃x∃y(φ ∧ ψ).
+            sub, alts = _compile_chain((t.var,), t.body, slots, levels, preds)
+            if (sub is not None or alts) and not last:
+                raise Incompilable("quantified conjunct is not last")
             continue
-        if isinstance(c, (Exists, Forall)) or isinstance(c, Not) and not isinstance(
-            c.body, Eq
-        ):
-            raise Incompilable("nested quantifier inside not-exists")
-        sub_preds.append(_compile_pred(c, sub_slots))
-    level = Level(inner_var, slot, domain.name, domain.arity, group_end=slot)
-    return SubQuery(level, tuple(sub_preds))
+        # Trailing not-exists: one inner level, pure predicates only.  Only
+        # the final quantified conjunct may be negated — a later sibling
+        # would be gated on the anti join's outcome, which the anti-filter
+        # machinery does not replicate.
+        if not last:
+            raise Incompilable("not-exists precedes another quantified conjunct")
+        level, sub_preds = _compile_inner_level(
+            t.body, slots, len(levels), "not-exists"
+        )
+        sub = SubQuery(level, sub_preds)
+    return sub, alts
 
 
 def compile_set_former(former: SetFormer, interp=None) -> ChainQuery:
@@ -359,9 +478,9 @@ def compile_set_former(former: SetFormer, interp=None) -> ChainQuery:
     slots: dict[Var, int] = {}
     levels: list[Level] = []
     preds: list[PredSpec] = []
-    sub = _compile_chain(tuple(former.bound), former.cond, slots, levels, preds)
+    sub, alts = _compile_chain(tuple(former.bound), former.cond, slots, levels, preds)
     result = _compile_result(former, slots)
-    return ChainQuery(tuple(levels), tuple(preds), sub, "setformer", result)
+    return ChainQuery(tuple(levels), tuple(preds), sub, "setformer", result, alts)
 
 
 def compile_exists(formula: Exists, interp=None) -> ChainQuery:
@@ -369,8 +488,22 @@ def compile_exists(formula: Exists, interp=None) -> ChainQuery:
     slots: dict[Var, int] = {}
     levels: list[Level] = []
     preds: list[PredSpec] = []
-    sub = _compile_chain((formula.var,), formula.body, slots, levels, preds)
-    return ChainQuery(tuple(levels), tuple(preds), sub, "exists", None)
+    sub, alts = _compile_chain((formula.var,), formula.body, slots, levels, preds)
+    return ChainQuery(tuple(levels), tuple(preds), sub, "exists", None, alts)
+
+
+def compile_foreach_domain(fluent: Foreach, interp=None) -> ChainQuery:
+    """The satisfier list of a ``foreach``: the bound variable's narrowed
+    domain filtered by the condition — a chain whose result is the whole
+    slot-0 representative, returned as a *list* in canonical enumeration
+    order (the order the tree walk folds the body in)."""
+    _check_symbols(fluent.cond, interp)
+    slots: dict[Var, int] = {}
+    levels: list[Level] = []
+    preds: list[PredSpec] = []
+    sub, alts = _compile_chain((fluent.var,), fluent.cond, slots, levels, preds)
+    result = ResultSpec((Col(0, 0),), whole=True, element_arity=fluent.var.sort.arity)
+    return ChainQuery(tuple(levels), tuple(preds), sub, "foreach", result, alts)
 
 
 def _compile_result(former: SetFormer, slots: dict[Var, int]) -> ResultSpec:

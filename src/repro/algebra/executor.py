@@ -46,7 +46,7 @@ from repro.algebra.compiler import (
     RelQuery,
     SetOpQuery,
 )
-from repro.algebra.ir import Col, Lit, ParamRef
+from repro.algebra.ir import Arith, Col, Disj, Lit, ParamRef
 
 
 class Unplannable(Exception):
@@ -99,6 +99,27 @@ def _value(ctx: Ctx, row, expr):
         if isinstance(value, (int, str)) and not isinstance(value, bool):
             return DBTuple(None, (value,)).select(expr.index)
         raise EvaluationError(f"expected a tuple, got {value!r}")
+    if isinstance(expr, Arith):
+        # Replicates Interpreter._arithmetic on the binary fragment,
+        # including truncated natural subtraction and the zero-divisor
+        # error contract.
+        a = _as_int(_value(ctx, row, expr.lhs))
+        c = _as_int(_value(ctx, row, expr.rhs))
+        if expr.op == "+":
+            return a + c
+        if expr.op == "-":
+            return max(0, a - c)
+        if expr.op == "*":
+            return a * c
+        if expr.op == "div":
+            if c == 0:
+                raise EvaluationError("division by zero")
+            return a // c
+        if expr.op == "mod":
+            if c == 0:
+                raise EvaluationError("modulo by zero")
+            return a % c
+        raise EvaluationError(f"unknown arithmetic function {expr.op}")
     raise EvaluationError(f"unknown plan expression {expr!r}")
 
 
@@ -115,7 +136,13 @@ def _as_int(value) -> int:
     return value
 
 
-def _holds(ctx: Ctx, row, p: Cmp) -> bool:
+def _holds(ctx: Ctx, row, p) -> bool:
+    if isinstance(p, Disj):
+        # Ordered short-circuit in both directions, like the tree walk's
+        # any-over-all on the original Or/And.
+        return any(
+            all(_holds(ctx, row, c) for c in branch) for branch in p.branches
+        )
     a = _value(ctx, row, p.lhs)
     b = _value(ctx, row, p.rhs)
     if p.op == "eq":
@@ -140,18 +167,40 @@ def _key_of(value):
     return value
 
 
-def _pred_slots(p: Cmp) -> set[int]:
-    slots = set()
-    for side in (p.lhs, p.rhs):
-        if isinstance(side, Col):
-            slots.add(side.slot)
-    return slots
+def _expr_slots(e) -> set[int]:
+    if isinstance(e, Col):
+        return {e.slot}
+    if isinstance(e, Arith):
+        return _expr_slots(e.lhs) | _expr_slots(e.rhs)
+    return set()
 
 
-def _pred_params(p: Cmp):
-    for side in (p.lhs, p.rhs):
-        if isinstance(side, (ParamRef, ParamSel)):
-            yield side.var
+def _pred_slots(p) -> set[int]:
+    if isinstance(p, Disj):
+        slots: set[int] = set()
+        for branch in p.branches:
+            for c in branch:
+                slots |= _pred_slots(c)
+        return slots
+    return _expr_slots(p.lhs) | _expr_slots(p.rhs)
+
+
+def _expr_params(e):
+    if isinstance(e, (ParamRef, ParamSel)):
+        yield e.var
+    elif isinstance(e, Arith):
+        yield from _expr_params(e.lhs)
+        yield from _expr_params(e.rhs)
+
+
+def _pred_params(p):
+    if isinstance(p, Disj):
+        for branch in p.branches:
+            for c in branch:
+                yield from _pred_params(c)
+        return
+    yield from _expr_params(p.lhs)
+    yield from _expr_params(p.rhs)
 
 
 # ---------------------------------------------------------------------------
@@ -176,7 +225,7 @@ def _scan_rows(planner, ctx: Ctx, relation, local_preds, slot: int, nslots: int)
     preds = list(local_preds)
     candidates = None
     for p in preds:
-        if p.op != "eq":
+        if not isinstance(p, Cmp) or p.op != "eq":
             continue
         col, other = None, None
         if isinstance(p.lhs, Col) and p.lhs.slot == slot and p.lhs.index > 0:
@@ -252,7 +301,7 @@ def _join_levels(planner, ctx, levels, local, multi, order, dedupe_for_exists):
                 if not slots <= placed | {slot}:
                     continue
                 usable.append(p)
-                if p.op != "eq" or slot not in slots:
+                if not isinstance(p, Cmp) or p.op != "eq" or slot not in slots:
                     continue
                 if isinstance(p.lhs, Col) and p.lhs.slot == slot:
                     mine, other = p.lhs, p.rhs
@@ -342,7 +391,7 @@ def _anti_filter(planner, ctx, rows, sub, nslots):
     )
     keys = []
     for p in linking:
-        if p.op != "eq":
+        if not isinstance(p, Cmp) or p.op != "eq":
             continue
         if isinstance(p.lhs, Col) and p.lhs.slot == slot and not (
             isinstance(p.rhs, Col) and p.rhs.slot == slot
@@ -376,6 +425,106 @@ def _anti_filter(planner, ctx, rows, sub, nslots):
         if not matched:
             kept.append(row)
     return kept
+
+
+def _match_fn(planner, ctx, relation, preds, slot: int):
+    """A per-row matcher over one inner level: does any representative of
+    ``relation`` satisfy ``preds`` together with the row?  The hash-table
+    shape mirrors :func:`_anti_filter`."""
+    local = []
+    linking = []
+    for p in preds:
+        if _pred_slots(p) <= {slot}:
+            local.append(p)
+        else:
+            linking.append(p)
+    sub_rows = _scan_rows(planner, ctx, relation, local, slot, slot + 1)
+    keys = []
+    for p in linking:
+        if not isinstance(p, Cmp) or p.op != "eq":
+            continue
+        if isinstance(p.lhs, Col) and p.lhs.slot == slot and not (
+            isinstance(p.rhs, Col) and p.rhs.slot == slot
+        ):
+            keys.append((p.rhs, p.lhs, p))
+        elif isinstance(p.rhs, Col) and p.rhs.slot == slot and not (
+            isinstance(p.lhs, Col) and p.lhs.slot == slot
+        ):
+            keys.append((p.lhs, p.rhs, p))
+    keyed = {id(p) for _, _, p in keys}
+    residual = [p for p in linking if id(p) not in keyed]
+    table: dict = {}
+    for srow in sub_rows:
+        k = tuple(_key_of(_value(ctx, srow, mine)) for _, mine, _ in keys)
+        table.setdefault(k, []).append(srow[slot])
+    budget = ctx.interp.budget
+
+    def match(row) -> bool:
+        k = tuple(_key_of(_value(ctx, row, other)) for other, _, _ in keys)
+        for t in table.get(k, ()):
+            if budget is not None:
+                budget.tick()
+            merged = list(row)
+            if len(merged) <= slot:
+                merged.extend([None] * (slot + 1 - len(merged)))
+            merged[slot] = t
+            if all(_holds(ctx, merged, p) for p in residual):
+                return True
+        return False
+
+    return match
+
+
+def _alt_filter(planner, ctx, rows, alts):
+    """Filter rows by the trailing ``or``: keep rows where some branch
+    holds.  Touch gating follows the tree walk's ``any`` short-circuit in
+    branch order: every row still unanswered evaluates the branch's pure
+    predicates (so their parameters resolve), and the branch's inner
+    relation narrows only when some such row passes them."""
+    interp, state = ctx.interp, ctx.state
+    budget = interp.budget
+    remaining = list(rows)
+    keep: set[int] = set()
+    for branch in alts:
+        if not remaining:
+            break
+        _force_params(ctx, branch.preds)
+        passing_ids = {
+            id(r)
+            for r in remaining
+            if all(_holds(ctx, r, p) for p in branch.preds)
+        }
+        match = None
+        if branch.level is not None and passing_ids:
+            relation = interp._relation(
+                state, branch.level.rel, branch.level.arity
+            )
+            reps = planner.reps_of(relation)
+            if len(reps) > interp.max_enumeration:
+                raise EvaluationError(
+                    f"enumeration of {branch.level.var.name} exceeds "
+                    f"max_enumeration"
+                )
+            if budget is not None:
+                for _ in reps:
+                    budget.tick()
+            if reps:
+                _force_params(ctx, branch.inner_preds)
+            match = _match_fn(
+                planner, ctx, relation, branch.inner_preds, branch.level.slot
+            )
+        next_remaining = []
+        for r in remaining:
+            ok = id(r) in passing_ids
+            if ok and branch.level is not None:
+                m = match(r) if match is not None else False
+                ok = (not m) if branch.negated else m
+            if ok:
+                keep.add(id(r))
+            else:
+                next_remaining.append(r)
+        remaining = next_remaining
+    return [r for r in rows if id(r) in keep]
 
 
 def _emit_chain_touches(planner, ctx, q: ChainQuery, nonempty_positive: bool):
@@ -476,11 +625,17 @@ def _prefix_alive(planner, ctx, q: ChainQuery, upto_slot: Optional[int]) -> bool
     return bool(rows)
 
 
-def run_chain(planner, interp, state, env, q: ChainQuery):
+def _chain_rows(planner, interp, state, env, q: ChainQuery):
+    """Shared front half of chain evaluation: binding checks, positive
+    join, touch emission, union-branch filter, anti filter.  Returns the
+    evaluation context and the surviving rows."""
     for lv in q.levels:
         _check_binding(state, lv.rel, lv.arity)
     if q.sub is not None:
         _check_binding(state, q.sub.level.rel, q.sub.level.arity)
+    for branch in q.alts:
+        if branch.level is not None:
+            _check_binding(state, branch.level.rel, branch.level.arity)
     ctx = Ctx(interp, state, env)
     nslots = len(q.levels)
     order = planner.order_levels(state, q)
@@ -492,12 +647,29 @@ def run_chain(planner, interp, state, env, q: ChainQuery):
         local,
         multi,
         order,
-        dedupe_for_exists=(q.kind == "exists" and q.sub is None),
+        dedupe_for_exists=(q.kind == "exists" and q.sub is None and not q.alts),
     )
     nonempty_positive = bool(rows)
-    reached_sub = _emit_chain_touches(planner, ctx, q, nonempty_positive)
+    _emit_chain_touches(planner, ctx, q, nonempty_positive)
+    if q.alts and rows:
+        rows = _alt_filter(planner, ctx, rows, q.alts)
     if q.sub is not None and rows:
         rows = _anti_filter(planner, ctx, rows, q.sub, nslots)
+    return ctx, rows
+
+
+def run_foreach_domain(planner, interp, state, env, q: ChainQuery) -> list:
+    """The ``foreach`` satisfier list: value-distinct slot-0
+    representatives with at least one surviving row, in the tree walk's
+    canonical enumeration order."""
+    ctx, rows = _chain_rows(planner, interp, state, env, q)
+    relation = state.relations[q.levels[0].rel]
+    survivors = {_key_of(row[0]) for row in rows}
+    return [t for t in planner.reps_of(relation) if _key_of(t) in survivors]
+
+
+def run_chain(planner, interp, state, env, q: ChainQuery):
+    ctx, rows = _chain_rows(planner, interp, state, env, q)
     if q.kind == "exists":
         return bool(rows)
     # Set former: canonical enumeration order, then project.
@@ -618,7 +790,7 @@ def run_forall(planner, interp, state, env, q: ForallQuery) -> bool:
         sub_rows = _scan_rows(planner, ctx, srel, local, slot, 2)
         keys = []
         for p in linking:
-            if p.op != "eq":
+            if not isinstance(p, Cmp) or p.op != "eq":
                 continue
             if isinstance(p.lhs, Col) and p.lhs.slot == slot and not (
                 isinstance(p.rhs, Col) and p.rhs.slot == slot

@@ -52,7 +52,20 @@ class ParamRef:
     var: Var
 
 
-ValueExpr = object  # Col | Lit | ParamRef
+@dataclass(frozen=True)
+class Arith:
+    """Binary natural arithmetic over value expressions: ``op`` is one of
+    ``+ - * div mod`` with the interpreter's exact semantics (truncated
+    subtraction, ``div``/``mod`` by zero raise).  Pure — operands never
+    touch a relation — so predicates over arithmetic push down like any
+    other value predicate."""
+
+    op: str
+    lhs: "ValueExpr"
+    rhs: "ValueExpr"
+
+
+ValueExpr = object  # Col | Lit | ParamRef | Arith
 
 
 @dataclass(frozen=True)
@@ -65,6 +78,20 @@ class Cmp:
     op: str
     lhs: ValueExpr
     rhs: ValueExpr
+
+
+@dataclass(frozen=True)
+class Disj:
+    """A disjunction of pure-predicate conjunctions: holds when any branch's
+    predicates all hold.  Evaluation is ordered and short-circuiting in both
+    directions, mirroring the tree walk's ``any``/``all`` over the original
+    ``Or``/``And`` — relation-touching disjuncts are compiled to union
+    branches instead (see ``AltBranch`` in the compiler)."""
+
+    branches: tuple[tuple["Pred", ...], ...]
+
+
+Pred = object  # Cmp | Disj
 
 
 # ---------------------------------------------------------------------------
@@ -181,13 +208,20 @@ def _expr_str(e: ValueExpr) -> str:
         return repr(e.value)
     if isinstance(e, ParamRef):
         return f"${e.var.name}"
+    if isinstance(e, Arith):
+        return f"({_expr_str(e.lhs)} {e.op} {_expr_str(e.rhs)})"
     return repr(e)
 
 
 _OPS = {"eq": "=", "ne": "!=", "lt": "<", "le": "<=", "gt": ">", "ge": ">="}
 
 
-def _pred_str(p: Cmp) -> str:
+def _pred_str(p) -> str:
+    if isinstance(p, Disj):
+        return " or ".join(
+            "(" + " and ".join(_pred_str(c) for c in branch) + ")"
+            for branch in p.branches
+        )
     return f"{_expr_str(p.lhs)} {_OPS[p.op]} {_expr_str(p.rhs)}"
 
 

@@ -30,7 +30,7 @@ from typing import Optional
 
 from repro.errors import PlanError, PlannerMismatch
 from repro.eval.quarantine import quarantine_event
-from repro.logic.fluents import SetFormer
+from repro.logic.fluents import Foreach, SetFormer
 from repro.logic.formulas import Exists, Forall
 from repro.transactions.interpreter import _tuple_order_key
 
@@ -46,6 +46,7 @@ from repro.algebra.compiler import (
     SetOpQuery,
     compile_exists,
     compile_forall,
+    compile_foreach_domain,
     compile_set_expr,
     compile_set_former,
 )
@@ -163,6 +164,20 @@ class QueryPlanner:
         self._count("repro_planner_compiled_total", "compiled")
         return compiled
 
+    def invalidate_negative(self) -> None:
+        """Drop negatively-cached ``Incompilable`` reasons.
+
+        A structural schema change (``register_*`` replacing the head
+        state, a commit creating or dropping relations) can move a node
+        into the compilable fragment — e.g. a membership over a relation
+        that did not exist at first evaluation.  Positive plans stay: they
+        are state-independent shapes whose run-time binding check already
+        falls back when a relation drifts."""
+        with self._lock:
+            stale = [k for k, v in self._plans.items() if isinstance(v, str)]
+            for k in stale:
+                del self._plans[k]
+
     def _count(self, metric: str, attr: str) -> None:
         setattr(self, attr + "_count", getattr(self, attr + "_count") + 1)
         if self.metrics is not None:
@@ -193,7 +208,7 @@ class QueryPlanner:
         joins: list[tuple[int, int, int, int]] = []  # slotA, colA, slotB, colB
         for spec in q.preds:
             p = spec.pred
-            if p.op != "eq":
+            if not isinstance(p, Cmp) or p.op != "eq":
                 continue
             lhs, rhs = p.lhs, p.rhs
             l_col = isinstance(lhs, ir.Col)
@@ -248,6 +263,8 @@ class QueryPlanner:
                 q = compile_forall(node, interp)
             elif isinstance(node, Exists):
                 q = compile_exists(node, interp)
+            elif isinstance(node, Foreach):
+                q = compile_foreach_domain(node, interp)
             else:
                 q = compile_set_expr(node, interp)
         except Incompilable as exc:
@@ -322,6 +339,42 @@ class QueryPlanner:
             )
             root = ir.HashJoin(root, scan, tuple(lk), tuple(rk), tuple(residual))
             placed.add(slot)
+        if q.alts:
+            # Union plan: one branch per disjunct over the shared positive
+            # join, combined left-to-right (branch order is semantic — the
+            # tree walk's ``any`` short-circuits in source order).
+            base = root
+            branch_ops = []
+            for branch in q.alts:
+                b = base
+                if branch.preds:
+                    b = ir.Select(b, tuple(branch.preds))
+                if branch.level is not None:
+                    s_local = [
+                        p
+                        for p in branch.inner_preds
+                        if _exec._pred_slots(p) <= {branch.level.slot}
+                    ]
+                    s_used = {id(p) for p in s_local}
+                    linking = [
+                        p for p in branch.inner_preds if id(p) not in s_used
+                    ]
+                    lk, rk, residual = _split_keys(
+                        linking, placed, branch.level.slot
+                    )
+                    scan = ir.Scan(
+                        branch.level.rel,
+                        branch.level.arity,
+                        branch.level.slot,
+                        branch.level.var.name,
+                        tuple(s_local),
+                    )
+                    cls = ir.AntiJoin if branch.negated else ir.SemiJoin
+                    b = cls(b, scan, tuple(lk), tuple(rk), tuple(residual))
+                branch_ops.append(b)
+            root = branch_ops[0]
+            for b in branch_ops[1:]:
+                root = ir.Union("union", root, b)
         if q.sub is not None:
             sub = q.sub
             s_local = [
@@ -338,7 +391,7 @@ class QueryPlanner:
                 tuple(s_local),
             )
             root = ir.AntiJoin(root, scan, tuple(lk), tuple(rk), tuple(residual))
-        if q.kind == "setformer" and q.result is not None:
+        if q.kind in ("setformer", "foreach") and q.result is not None:
             root = ir.Project(
                 root,
                 q.result.exprs,
@@ -393,6 +446,30 @@ class QueryPlanner:
             label=label,
             runner=runner,
             oracle=lambda: interp._bool(state, formula, env),
+        )
+
+    def eval_foreach_domain(self, interp, state, fluent, env):
+        """The satisfier list of a ``foreach`` — same contract as the other
+        hooks, but the value is a *list* (the fold order is semantic)."""
+        if not self._active():
+            return False, None
+        q = self._compiled(
+            fluent, interp, lambda: compile_foreach_domain(fluent, interp)
+        )
+        if q is None:
+            return False, None
+        return self._execute(
+            interp,
+            state,
+            env,
+            label="foreach",
+            runner=lambda: _exec.run_foreach_domain(self, interp, state, env, q),
+            oracle=lambda: [
+                inner.lookup(fluent.var)
+                for inner in interp._enumerate(
+                    state, (fluent.var,), fluent.cond, env
+                )
+            ],
         )
 
     def eval_aggregate(self, interp, state, base, expr, env):
@@ -459,7 +536,7 @@ def _split_keys(preds, placed, slot):
     lk, rk, residual = [], [], []
     for p in preds:
         mine = other = None
-        if p.op == "eq":
+        if isinstance(p, Cmp) and p.op == "eq":
             if isinstance(p.lhs, ir.Col) and p.lhs.slot == slot and not (
                 isinstance(p.rhs, ir.Col) and p.rhs.slot == slot
             ):

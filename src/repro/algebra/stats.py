@@ -41,10 +41,16 @@ class StatsCatalog:
         """Fold one commit delta into the row counters."""
         with self._lock:
             self.commits_observed += 1
-            for name, arity in delta.get("created", ()):
-                self.rows[name] = 0
+            # Dropped relations first: a relation replaced within one commit
+            # appears in both lists, and processing "created" last keeps its
+            # fresh zero instead of popping it.  Creation also clears any
+            # NDV entry left over from a same-named predecessor, so the
+            # greedy join order never ranks a dead relation's statistics.
             for name in delta.get("dropped", ()):
                 self.rows.pop(name, None)
+                self._ndv.pop(name, None)
+            for name, arity in delta.get("created", ()):
+                self.rows[name] = 0
                 self._ndv.pop(name, None)
             for name, ops in delta.get("changes", {}).items():
                 base = self.rows.get(name, 0)

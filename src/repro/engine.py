@@ -170,6 +170,8 @@ class Database:
             self._query_cache.clear()
         if self._planner is not None:
             self._planner.stats.prime(self.history.states[-1])
+            # A formula refused over the old schema may compile now.
+            self._planner.invalidate_negative()
 
     def required_window(self, constraint: Constraint) -> int | Window:
         cached = self._windows.get(constraint.name)
@@ -605,6 +607,10 @@ class Database:
             self._query_cache.invalidate(touched, structural=structural)
         if self._planner is not None:
             self._planner.stats.observe_commit(delta)
+            if structural:
+                # Created/dropped relations can move a formula that was
+                # negatively cached as Incompilable into the fragment.
+                self._planner.invalidate_negative()
         if self.graph is not None:
             self.graph.add_transition(before, after, label)
         if self.store is not None:

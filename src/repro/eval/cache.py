@@ -29,6 +29,15 @@ entry dies when a commit touches a relation it read.  The digest check
 makes correctness independent of invalidation — invalidation is hygiene
 (it keeps dead entries from occupying LRU slots), the digest is the proof.
 
+The cache is **planner-agnostic by construction**: nothing here knows
+whether an answer came from the tree walk or from a compiled
+relational-algebra plan.  That works because the planner's
+touch-equivalence invariant (DESIGN §7.6) guarantees bit-identical read
+sets — and therefore identical ``touched_digest`` values and identical
+cache entries — planner on or off, across the whole compilable fragment
+(union plans, multi-conjunct quantifier chains, foreach domains
+included; ``tests/test_algebra_touch.py`` pins the digest identity).
+
 >>> from repro.domains import make_domain
 >>> from repro.logic import builder as b
 >>> from repro.transactions.program import query

@@ -52,9 +52,13 @@ class ClientRetry:
     max_delay: float = 2.0
 
     def delay(self, attempt: int, retry_after: float = 0.0) -> float:
-        """Never less than the server's hint, growing with attempts."""
+        """Never less than the server's hint, growing with attempts.
+
+        Only the exponential component is clamped to ``max_delay``: the
+        server's hint is authoritative, and resubmitting *before* it says
+        the capacity returns is guaranteed to be rejected again."""
         backoff = min(self.max_delay, self.base_delay * (2 ** (attempt - 1)))
-        return min(self.max_delay, max(retry_after, backoff))
+        return max(retry_after, backoff)
 
 
 @dataclass(frozen=True)
@@ -120,6 +124,9 @@ class Client:
         self._decoder = FrameDecoder()
         self._replies: dict[int, dict] = {}
         self._next_id = 0
+        # The most recent retry_after hint from a governance rejection;
+        # reconnect backoff honors it the same way resubmission does.
+        self._last_retry_after = 0.0
 
     # -- connection management ---------------------------------------------
 
@@ -133,32 +140,47 @@ class Client:
                 self._sock = socket.create_connection(
                     (self.host, self.port), timeout=self.timeout
                 )
-                break
             except OSError as err:
                 self._sock = None
                 if attempt == self.retry.max_attempts:
                     raise SessionClosed(
                         f"cannot reach server at {self.host}:{self.port}: {err}"
                     ) from err
-                time.sleep(self.retry.delay(attempt))
-        self._decoder = FrameDecoder()
-        self._replies = {}
-        rid = self._allocate_id()
-        self._send(
-            {
-                "type": "HELLO",
-                "id": rid,
-                "version": PROTOCOL_VERSION,
-                "tenant": self.tenant,
-            }
+                # A reconnect after a governance rejection honors the
+                # server's last retry_after hint, just like resubmission.
+                time.sleep(self.retry.delay(attempt, self._last_retry_after))
+                continue
+            self._decoder = FrameDecoder()
+            self._replies = {}
+            rid = self._allocate_id()
+            self._send(
+                {
+                    "type": "HELLO",
+                    "id": rid,
+                    "version": PROTOCOL_VERSION,
+                    "tenant": self.tenant,
+                }
+            )
+            reply = self._wait_for(rid)
+            if reply.get("type") == "ERROR":
+                err = error_from_doc(reply["error"])
+                self._drop_connection()
+                if (
+                    isinstance(err, (Overloaded, CircuitOpen))
+                    and attempt < self.retry.max_attempts
+                ):
+                    # The handshake itself was admission-rejected: safe to
+                    # retry, honoring the hint carried by the rejection.
+                    self._last_retry_after = err.retry_after
+                    time.sleep(self.retry.delay(attempt, err.retry_after))
+                    continue
+                raise err
+            self.welcome = reply
+            self._last_retry_after = 0.0
+            return reply
+        raise SessionClosed(  # pragma: no cover - loop always returns/raises
+            f"cannot reach server at {self.host}:{self.port}"
         )
-        reply = self._wait_for(rid)
-        if reply.get("type") == "ERROR":
-            err = error_from_doc(reply["error"])
-            self._drop_connection()
-            raise err
-        self.welcome = reply
-        return reply
 
     def close(self) -> None:
         """Polite goodbye (CLOSE/BYE) and socket shutdown."""
@@ -310,6 +332,7 @@ class Client:
             try:
                 return self._interpret(kind, label, reply)
             except (Overloaded, CircuitOpen) as err:
+                self._last_retry_after = err.retry_after
                 if attempt >= self.retry.max_attempts:
                     raise
                 time.sleep(self.retry.delay(attempt, err.retry_after))

@@ -6,9 +6,10 @@ according to the server's WELCOME catalog, plus ``\\``-prefixed meta
 commands.  Two affordances matter for interactive use:
 
 * **Multi-line continuation** — a statement is *complete* when its
-  parentheses balance and the line does not end with a backslash; until
-  then the REPL keeps reading under a continuation prompt, so long argument
-  lists can span lines.
+  parentheses balance and its string literals close (``\\``-escapes
+  honored, ``#`` comments ignored) and the line does not end with a
+  continuation backslash; until then the REPL keeps reading under a
+  continuation prompt, so long argument lists can span lines.
 * **Tabular result formatting** — tuple-set results render as aligned
   tables (one row per tuple, the tuple identifier first), single tuples as
   one-row tables, atoms as themselves.
@@ -75,32 +76,67 @@ def format_value(value: object, headers: Optional[list[str]] = None) -> str:
 # ---------------------------------------------------------------------------
 
 
-def statement_complete(text: str) -> bool:
-    """Whether the buffered input forms a complete statement: balanced
-    parentheses outside string literals, no trailing backslash."""
-    stripped = text.rstrip()
-    if stripped.endswith("\\"):
-        return False
+def _scan(text: str):
+    """One pass over the buffered input, tracking string literals (with
+    backslash escapes) and ``#`` comments: returns the final paren depth,
+    the open-quote character (``None`` when every literal is closed), and
+    per line its comment-stripped body plus whether it ends in a
+    *continuation* backslash — one outside any string or comment."""
     depth = 0
     quote: Optional[str] = None
-    for ch in text:
-        if quote is not None:
-            if ch == quote:
-                quote = None
-        elif ch in "'\"":
-            quote = ch
-        elif ch == "(":
-            depth += 1
-        elif ch == ")":
-            depth = max(0, depth - 1)
-    return depth == 0 and quote is None
+    lines: list[tuple[str, bool]] = []
+    for line in text.split("\n"):
+        escaped = False
+        out: list[str] = []
+        for ch in line:
+            if quote is not None:
+                out.append(ch)
+                if escaped:
+                    escaped = False
+                elif ch == "\\":
+                    escaped = True
+                elif ch == quote:
+                    quote = None
+                continue
+            if ch == "#":
+                break  # comment: parens/quotes to end of line are text
+            out.append(ch)
+            if ch in "'\"":
+                quote = ch
+            elif ch == "(":
+                depth += 1
+            elif ch == ")":
+                depth = max(0, depth - 1)
+        body = "".join(out)
+        continues = quote is None and body.rstrip().endswith("\\")
+        lines.append((body, continues))
+    return depth, quote, lines
+
+
+def statement_complete(text: str) -> bool:
+    """Whether the buffered input forms a complete statement: balanced
+    parentheses and closed string literals (honoring ``\\``-escapes),
+    ignoring ``#`` comments, with no trailing continuation backslash.
+
+    A backslash that ends the line *inside* a string is data, not a
+    continuation marker — the statement is incomplete there only because
+    its quote is still open."""
+    depth, quote, lines = _scan(text)
+    if quote is not None:
+        return False
+    if lines and lines[-1][1]:
+        return False
+    return depth == 0
 
 
 def _join_continuations(text: str) -> str:
-    """Collapse backslash-continued line endings into spaces."""
+    """Collapse backslash-continued line endings into spaces and drop
+    comments — quote-aware, so neither a ``#`` nor a trailing backslash
+    inside a string literal is touched."""
+    _, _, lines = _scan(text)
     return " ".join(
-        line.rstrip()[:-1] if line.rstrip().endswith("\\") else line
-        for line in text.splitlines()
+        body.rstrip()[:-1] if continues else body
+        for body, continues in lines
     )
 
 
@@ -126,9 +162,15 @@ def _parse_args(body: str) -> list:
     args: list = []
     current: list[str] = []
     quote: Optional[str] = None
+    escaped = False
     for ch in body:
         if quote is not None:
-            if ch == quote:
+            if escaped:
+                current.append(ch)
+                escaped = False
+            elif ch == "\\":
+                escaped = True
+            elif ch == quote:
                 quote = None
             else:
                 current.append(ch)

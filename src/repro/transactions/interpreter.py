@@ -627,10 +627,21 @@ class Interpreter:
         raise EvaluationError(f"expected a relation identifier, got {value!r}")
 
     def _run_foreach(self, state: State, fluent: Foreach, env: Env) -> State:
-        satisfiers = [
-            inner.lookup(fluent.var)
-            for inner in self._enumerate(state, (fluent.var,), fluent.cond, env)
-        ]
+        satisfiers = None
+        planner = self.planner
+        if planner is not None:
+            handled, value = planner.eval_foreach_domain(
+                self, state, fluent, env
+            )
+            if handled:
+                satisfiers = value
+        if satisfiers is None:
+            satisfiers = [
+                inner.lookup(fluent.var)
+                for inner in self._enumerate(
+                    state, (fluent.var,), fluent.cond, env
+                )
+            ]
         budget = self.budget
         if budget is not None:
             # Charged before folding: the iteration count is known here, so

@@ -2,10 +2,11 @@
 
 Mirrors the incremental checker's acceptance harness (PR 4): generate
 random schemas, random states, and random queries across the compilable
-fragment's whole surface — joins, local predicates, trailing (not-)exists,
-projections, aggregates, atom parameters — and demand that the planner
-and the tree walk agree on *value*, *canonical ordering*, *raised error*,
-and *relation read set* on every single query.
+fragment's whole surface — joins, local predicates, arithmetic,
+disjunctions (pure and union-compiled), trailing quantifier sequences,
+projections, aggregates, atom parameters, and foreach domains — and
+demand that the planner and the tree walk agree on *value*, *canonical
+ordering*, *raised error*, and *relation read set* on every single query.
 
 ``verify=True`` is enabled on the planned side as a second, independent
 referee: any divergence the outer assertions miss raises
@@ -57,9 +58,10 @@ def gen_literal(rng, typ):
     return b.atom(rng.choice(ATOMS[typ]))
 
 
-def gen_chain(rng, rels, param=None):
+def gen_chain(rng, rels, param=None, k=None):
     """Bound vars + condition conjuncts + (var, types) handles."""
-    k = rng.randint(1, min(3, len(rels)))
+    if k is None:
+        k = rng.randint(1, min(3, len(rels)))
     picks = [rels[rng.randrange(len(rels))] for _ in range(k)]
     handles = []
     conjuncts = []
@@ -90,50 +92,82 @@ def gen_chain(rng, rels, param=None):
     # Local predicates against literals (or the atom parameter).
     for rel, types, var in handles:
         if rng.random() < 0.6:
-            ci = rng.randrange(len(types))
-            col = rel.attr(rel.attributes[ci], var)
-            rhs = (
-                param
-                if param is not None and rng.random() < 0.4
-                else gen_literal(rng, types[ci])
+            conjuncts.append(gen_local(rng, rel, types, var, param))
+        if rng.random() < 0.25:
+            # A pure disjunction of two local predicates (compiles to Disj).
+            conjuncts.append(
+                b.lor(
+                    gen_local(rng, rel, types, var, None),
+                    gen_local(rng, rel, types, var, None),
+                )
             )
-            if types[ci] == "int" and rng.random() < 0.5 and rhs is not param:
-                conjuncts.append(
-                    rng.choice([b.lt, b.le, b.gt, b.ge])(col, rhs)
-                )
-            else:
-                conjuncts.append(
-                    rng.choice([b.eq, b.neq])(col, rhs)
-                )
     return handles, conjuncts
+
+
+def gen_local(rng, rel, types, var, param):
+    """One local predicate; int columns sometimes go through arithmetic."""
+    ci = rng.randrange(len(types))
+    col = rel.attr(rel.attributes[ci], var)
+    rhs = (
+        param
+        if param is not None and rng.random() < 0.4
+        else gen_literal(rng, types[ci])
+    )
+    if types[ci] == "int" and rng.random() < 0.5 and rhs is not param:
+        if rng.random() < 0.4:
+            col = rng.choice([b.plus, b.minus, b.times])(
+                col, b.atom(rng.choice([1, 2]))
+            )
+        return rng.choice([b.lt, b.le, b.gt, b.ge])(col, rhs)
+    return rng.choice([b.eq, b.neq])(col, rhs)
+
+
+def gen_sub(rng, rels, handles, name):
+    """A fresh-variable single-level exists linked to a random handle."""
+    rel, types, _ = handles[rng.randrange(len(handles))]
+    sub_rel, sub_types = rels[rng.randrange(len(rels))]
+    u = sub_rel.var(name)
+    inner = [b.member(u, sub_rel.rel())]
+    pairs = [
+        (ci, cj)
+        for ci, ti in enumerate(sub_types)
+        for cj, tj in enumerate(types)
+        if ti == tj
+    ]
+    if pairs:
+        _, _, var = next(h for h in handles if h[0] is rel)
+        ci, cj = rng.choice(pairs)
+        inner.append(
+            b.eq(
+                sub_rel.attr(sub_rel.attributes[ci], u),
+                rel.attr(rel.attributes[cj], var),
+            )
+        )
+    return b.exists(u, b.land(*inner))
 
 
 def gen_query(rng, rels, param=None):
     """A random set former / exists / aggregate over the fragment."""
     handles, conjuncts = gen_chain(rng, rels, param)
-    # Optional trailing quantifier over a fresh variable.
-    if rng.random() < 0.5:
-        rel, types, _ = handles[rng.randrange(len(handles))]
-        sub_rel, sub_types = rels[rng.randrange(len(rels))]
-        u = sub_rel.var("u")
-        inner = [b.member(u, sub_rel.rel())]
-        pairs = [
-            (ci, cj)
-            for ci, ti in enumerate(sub_types)
-            for cj, tj in enumerate(types)
-            if ti == tj
-        ]
-        if pairs:
-            _, _, var = next(h for h in handles if h[0] is rel)
-            ci, cj = rng.choice(pairs)
-            inner.append(
-                b.eq(
-                    sub_rel.attr(sub_rel.attributes[ci], u),
-                    rel.attr(rel.attributes[cj], var),
-                )
-            )
-        sub = b.exists(u, b.land(*inner))
-        conjuncts.append(sub if rng.random() < 0.5 else b.lnot(sub))
+    tail = rng.random()
+    if tail < 0.45:
+        # Trailing quantifier sequence: 0-2 positive exists, optionally
+        # ending in a not-exists (the multi-conjunct widening).
+        for i in range(rng.choice([1, 1, 2])):
+            conjuncts.append(gen_sub(rng, rels, handles, f"u{i}"))
+        if rng.random() < 0.4:
+            conjuncts.append(b.lnot(gen_sub(rng, rels, handles, "un")))
+    elif tail < 0.7:
+        # Trailing disjunction with quantified branches (union plans).
+        branches = []
+        for i in range(rng.randint(2, 3)):
+            if rng.random() < 0.45:
+                rel, types, var = handles[rng.randrange(len(handles))]
+                branches.append(gen_local(rng, rel, types, var, None))
+            else:
+                sub = gen_sub(rng, rels, handles, f"w{i}")
+                branches.append(sub if rng.random() < 0.7 else b.lnot(sub))
+        conjuncts.append(b.lor(*branches))
 
     shape = rng.random()
     if shape < 0.2:  # boolean exists over the whole chain
@@ -167,11 +201,32 @@ def evaluate(db, node, is_formula, env):
         return None, str(exc), frozenset(tracking.reads)
 
 
-@pytest.mark.parametrize("seed", [0, 1, 2])
+def gen_foreach(rng, rels):
+    """A foreach over a single-variable chain, with an observable body
+    (modify the first column to a literal)."""
+    handles, conjuncts = gen_chain(rng, rels, k=1)
+    if rng.random() < 0.5:
+        sub = gen_sub(rng, rels, handles, "u0")
+        conjuncts.append(sub if rng.random() < 0.7 else b.lnot(sub))
+    rel, types, var = handles[0]
+    body = b.modify(var, 1, gen_literal(rng, types[0]))
+    return b.foreach(var, b.land(*conjuncts), body)
+
+
+def run_foreach(db, fluent):
+    tracking = TrackingInterpreter.wrapping(db.interpreter)
+    try:
+        after = tracking.run(db.current, fluent)
+        return after.relations, None, frozenset(tracking.reads)
+    except EvaluationError as exc:
+        return None, str(exc), frozenset(tracking.reads)
+
+
+@pytest.mark.parametrize("seed", range(24))
 def test_planner_and_tree_walk_agree_on_random_queries(seed):
     rng = random.Random(seed)
     compiled_total = 0
-    for round_no in range(12):
+    for round_no in range(8):
         schema, rels = gen_schema(rng)
         state = gen_state(rng, schema, rels)
         plain = Database(schema, initial=state)
@@ -198,8 +253,16 @@ def test_planner_and_tree_walk_agree_on_random_queries(seed):
                 assert type(got) is type(expected)
                 assert got == expected, (seed, round_no, node)
             assert fast_reads == slow_reads, (seed, round_no, node)
+        for _ in range(2):
+            fluent = gen_foreach(rng, rels)
+            expected, expected_err, slow_reads = run_foreach(plain, fluent)
+            got, got_err, fast_reads = run_foreach(planned, fluent)
+            assert got_err == expected_err, (seed, round_no, fluent)
+            if expected_err is None:
+                assert got == expected, (seed, round_no, fluent)
+            assert fast_reads == slow_reads, (seed, round_no, fluent)
         compiled_total += planner.exec_count
         assert planner.mismatch_count == 0
     # The generator must actually exercise the planner, not fall back
     # everywhere.
-    assert compiled_total >= 24, compiled_total
+    assert compiled_total >= 16, compiled_total

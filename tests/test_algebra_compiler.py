@@ -2,8 +2,9 @@
 exactly why the rest are refused.
 
 The compilable fragment is deliberately narrow (membership-narrowed
-conjunctive chains with one trailing quantifier), because everything the
-compiler accepts must be *touch-exact* against the tree walk — every
+conjunctive chains with trailing quantifier sequences, union
+disjunctions, and foreach domains), because everything the compiler
+accepts must be *touch-exact* against the tree walk — every
 ``Incompilable`` reason below marks a shape where exactness would be
 expensive or impossible to guarantee, so the planner silently falls back
 instead.
@@ -14,13 +15,17 @@ from __future__ import annotations
 import pytest
 
 from repro.algebra import (
+    Arith,
     ChainQuery,
+    Cmp,
+    Disj,
     ForallQuery,
     Incompilable,
     RelQuery,
     SetOpQuery,
     compile_exists,
     compile_forall,
+    compile_foreach_domain,
     compile_set_expr,
     compile_set_former,
 )
@@ -127,6 +132,131 @@ class TestCompilableShapes:
         assert isinstance(q, ForallQuery)
         assert (q.rel, q.arity, q.negated) == ("EMP", 5, False)
         assert q.body_level is not None and q.body_level.rel == "ALLOC"
+
+    def test_arithmetic_predicate_compiles(self, d):
+        e = d.emp.var("e")
+        former = b.setformer(
+            d.emp.attr("e-name", e),
+            e,
+            b.land(
+                b.member(e, d.emp.rel()),
+                b.le(
+                    b.plus(d.emp.attr("salary", e), b.atom(1)), b.atom(100)
+                ),
+            ),
+        )
+        q = compile_set_former(former)
+        assert len(q.preds) == 1
+        p = q.preds[0].pred
+        assert isinstance(p, Cmp) and p.op == "le"
+        assert isinstance(p.lhs, Arith) and p.lhs.op == "+"
+
+    def test_pure_or_compiles_to_disjunction_predicate(self, d):
+        e = d.emp.var("e")
+        former = b.setformer(
+            d.emp.attr("e-name", e),
+            e,
+            b.land(
+                b.member(e, d.emp.rel()),
+                b.lor(
+                    b.eq(d.emp.attr("e-dept", e), b.atom("cs")),
+                    b.eq(d.emp.attr("e-dept", e), b.atom("math")),
+                ),
+            ),
+        )
+        q = compile_set_former(former)
+        assert len(q.preds) == 1
+        p = q.preds[0].pred
+        assert isinstance(p, Disj) and len(p.branches) == 2
+        assert all(isinstance(c, Cmp) for br in p.branches for c in br)
+
+    def test_trailing_or_with_exists_compiles_to_union_branches(self, d):
+        e, a = d.emp.var("e"), d.alloc.var("a")
+        former = b.setformer(
+            d.emp.attr("e-name", e),
+            e,
+            b.land(
+                b.member(e, d.emp.rel()),
+                b.lor(
+                    b.eq(d.emp.attr("e-dept", e), b.atom("cs")),
+                    b.exists(a, alloc_of(d, a, d.emp.attr("e-name", e))),
+                ),
+            ),
+        )
+        q = compile_set_former(former)
+        assert [lv.rel for lv in q.levels] == ["EMP"]
+        assert q.sub is None and len(q.alts) == 2
+        pure, quant = q.alts
+        assert pure.level is None and len(pure.preds) == 1
+        assert quant.level is not None and quant.level.rel == "ALLOC"
+        assert not quant.negated
+
+    def test_union_branch_with_not_exists(self, d):
+        e, a = d.emp.var("e"), d.alloc.var("a")
+        former = b.setformer(
+            d.emp.attr("e-name", e),
+            e,
+            b.land(
+                b.member(e, d.emp.rel()),
+                b.lor(
+                    b.eq(d.emp.attr("e-dept", e), b.atom("cs")),
+                    b.lnot(
+                        b.exists(a, alloc_of(d, a, d.emp.attr("e-name", e)))
+                    ),
+                ),
+            ),
+        )
+        q = compile_set_former(former)
+        assert len(q.alts) == 2 and q.alts[1].negated
+
+    def test_multiple_trailing_exists_each_open_a_group(self, d):
+        e = d.emp.var("e")
+        a, a2 = d.alloc.var("a"), d.alloc.var("a2")
+        former = b.setformer(
+            d.emp.attr("e-name", e),
+            e,
+            b.land(
+                b.member(e, d.emp.rel()),
+                b.exists(a, alloc_of(d, a, d.emp.attr("e-name", e))),
+                b.exists(a2, alloc_of(d, a2, d.emp.attr("e-name", e))),
+            ),
+        )
+        q = compile_set_former(former)
+        assert [lv.rel for lv in q.levels] == ["EMP", "ALLOC", "ALLOC"]
+        assert [lv.group_end for lv in q.levels] == [0, 1, 2]
+
+    def test_trailing_exists_then_not_exists(self, d):
+        e = d.emp.var("e")
+        a, a2 = d.alloc.var("a"), d.alloc.var("a2")
+        former = b.setformer(
+            d.emp.attr("e-name", e),
+            e,
+            b.land(
+                b.member(e, d.emp.rel()),
+                b.exists(a, alloc_of(d, a, d.emp.attr("e-name", e))),
+                b.lnot(b.exists(a2, alloc_of(d, a2, b.atom("nobody")))),
+            ),
+        )
+        q = compile_set_former(former)
+        assert [lv.rel for lv in q.levels] == ["EMP", "ALLOC"]
+        assert q.sub is not None and q.sub.level.rel == "ALLOC"
+        assert q.sub.level.slot == 2
+
+    def test_foreach_domain_compiles(self, d):
+        e = d.emp.var("e")
+        fe = b.foreach(
+            e,
+            b.land(
+                b.member(e, d.emp.rel()),
+                b.eq(d.emp.attr("e-dept", e), b.atom("cs")),
+            ),
+            b.identity(),
+        )
+        q = compile_foreach_domain(fe)
+        assert isinstance(q, ChainQuery) and q.kind == "foreach"
+        assert [lv.rel for lv in q.levels] == ["EMP"]
+        assert q.result is not None and q.result.whole
+        assert q.result.element_arity == e.sort.arity
 
     def test_relation_and_set_op_children(self, d):
         q = compile_set_expr(b.rel("EMP", 5))
@@ -255,19 +385,72 @@ class TestIncompilableReasons:
         )
         self.refuses(compile_set_former, former, "rebinding")
 
-    def test_arithmetic_in_condition_falls_back(self, d):
-        e = d.emp.var("e")
+    def test_union_disjunction_must_be_last(self, d):
+        e, a = d.emp.var("e"), d.alloc.var("a")
         former = b.setformer(
             d.emp.attr("e-name", e),
             e,
             b.land(
                 b.member(e, d.emp.rel()),
-                b.le(
-                    b.plus(d.emp.attr("salary", e), b.atom(1)), b.atom(100)
+                b.lor(
+                    b.exists(a, alloc_of(d, a, d.emp.attr("e-name", e))),
+                    b.eq(d.emp.attr("e-dept", e), b.atom("cs")),
+                ),
+                b.eq(d.emp.attr("e-dept", e), b.atom("cs")),
+            ),
+        )
+        self.refuses(compile_set_former, former, "not the last")
+
+    def test_union_disjunction_after_quantified_conjunct(self, d):
+        e, a, a2 = d.emp.var("e"), d.alloc.var("a"), d.alloc.var("a2")
+        former = b.setformer(
+            d.emp.attr("e-name", e),
+            e,
+            b.land(
+                b.member(e, d.emp.rel()),
+                b.exists(a, alloc_of(d, a, d.emp.attr("e-name", e))),
+                b.lor(
+                    b.exists(a2, alloc_of(d, a2, d.emp.attr("e-name", e))),
+                    b.eq(d.emp.attr("e-dept", e), b.atom("cs")),
                 ),
             ),
         )
-        self.refuses(compile_set_former, former, "function")
+        self.refuses(
+            compile_set_former, former, "after a quantified conjunct"
+        )
+
+    def test_union_branch_quantifier_must_end_its_disjunct(self, d):
+        e, a = d.emp.var("e"), d.alloc.var("a")
+        former = b.setformer(
+            d.emp.attr("e-name", e),
+            e,
+            b.land(
+                b.member(e, d.emp.rel()),
+                b.lor(
+                    b.land(
+                        b.exists(a, alloc_of(d, a, d.emp.attr("e-name", e))),
+                        b.eq(d.emp.attr("e-dept", e), b.atom("cs")),
+                    ),
+                    b.eq(d.emp.attr("e-dept", e), b.atom("math")),
+                ),
+            ),
+        )
+        self.refuses(compile_set_former, former, "not last")
+
+    def test_or_swallowed_membership_falls_back(self, d):
+        """``member(e, EMP) or P`` can no longer narrow the domain — the
+        tree walk would enumerate the whole arity class, a different
+        touch regime, so the compiler refuses."""
+        e = d.emp.var("e")
+        former = b.setformer(
+            d.emp.attr("e-name", e),
+            e,
+            b.lor(
+                b.member(e, d.emp.rel()),
+                b.eq(d.emp.attr("e-dept", e), b.atom("cs")),
+            ),
+        )
+        self.refuses(compile_set_former, former, "exactly one membership")
 
     def test_non_set_expression(self, d):
         self.refuses(compile_set_expr, b.atom(3), "not a compilable")

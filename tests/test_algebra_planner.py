@@ -125,6 +125,27 @@ class TestAnswers:
         db = fresh_db(domain)
         planner = db.enable_planner(verify=True)
         e = domain.emp.var("e")
+        # No membership conjunct: the tree walk enumerates the full arity
+        # class, a touch regime the compiler refuses to replicate.
+        unnarrowed = query(
+            "unnarrowed",
+            (),
+            b.setformer(
+                domain.emp.attr("e-name", e),
+                e,
+                b.eq(domain.emp.attr("e-dept", e), b.atom("cs")),
+            ),
+        )
+        plain = fresh_db(domain)
+        assert db.query(unnarrowed) == plain.query(unnarrowed)
+        assert planner.exec_count == 0
+
+    def test_arithmetic_condition_now_plans(self, domain):
+        """Arithmetic comparisons are inside the widened fragment: they
+        compile to post-join filters instead of forcing a fallback."""
+        db = fresh_db(domain)
+        planner = db.enable_planner(verify=True)
+        e = domain.emp.var("e")
         arithmetic = query(
             "arith",
             (),
@@ -142,7 +163,8 @@ class TestAnswers:
         )
         plain = fresh_db(domain)
         assert db.query(arithmetic) == plain.query(arithmetic)
-        assert planner.exec_count == 0
+        assert planner.exec_count == 1
+        assert planner.mismatch_count == 0
 
     def test_budget_metering_still_bites_under_planning(self, domain):
         """The executor ticks the same budget seam, so a fuel limit that
@@ -158,6 +180,147 @@ class TestAnswers:
         assert planner.exec_count >= 1
 
 
+def union_names(d):
+    """Employees in cs, or with an allocation — a union plan."""
+    e, a = d.emp.var("e"), d.alloc.var("a")
+    return query(
+        "cs-or-allocated",
+        (),
+        b.setformer(
+            d.emp.attr("e-name", e),
+            e,
+            b.land(
+                b.member(e, d.emp.rel()),
+                b.lor(
+                    b.eq(d.emp.attr("e-dept", e), b.atom("cs")),
+                    b.exists(
+                        a,
+                        b.land(
+                            b.member(a, d.alloc.rel()),
+                            b.eq(
+                                d.alloc.attr("a-emp", a),
+                                d.emp.attr("e-name", e),
+                            ),
+                        ),
+                    ),
+                ),
+            ),
+        ),
+    )
+
+
+class TestWidenedFragment:
+    def test_union_query_plans_and_verifies(self, domain):
+        db = fresh_db(domain)
+        planner = db.enable_planner(verify=True)
+        plain = fresh_db(domain)
+        q = union_names(domain)
+        assert db.query(q) == plain.query(q)
+        assert planner.exec_count == 1
+        assert planner.mismatch_count == 0
+
+    def test_multi_conjunct_exists_chain_plans(self, domain):
+        e = domain.emp.var("e")
+        a, s = domain.alloc.var("a"), domain.skill.var("s")
+        q = query(
+            "allocated-and-skilled",
+            (),
+            b.setformer(
+                domain.emp.attr("e-name", e),
+                e,
+                b.land(
+                    b.member(e, domain.emp.rel()),
+                    b.exists(
+                        a,
+                        b.land(
+                            b.member(a, domain.alloc.rel()),
+                            b.eq(
+                                domain.alloc.attr("a-emp", a),
+                                domain.emp.attr("e-name", e),
+                            ),
+                        ),
+                    ),
+                    b.exists(
+                        s,
+                        b.land(
+                            b.member(s, domain.skill.rel()),
+                            b.eq(
+                                domain.skill.attr("s-emp", s),
+                                domain.emp.attr("e-name", e),
+                            ),
+                        ),
+                    ),
+                ),
+            ),
+        )
+        db = fresh_db(domain)
+        planner = db.enable_planner(verify=True)
+        plain = fresh_db(domain)
+        assert db.query(q) == plain.query(q)
+        assert planner.exec_count == 1
+        assert planner.mismatch_count == 0
+
+    def test_foreach_transaction_runs_through_planner(self, domain):
+        """``set-status`` iterates a foreach whose domain now plans; the
+        committed state must match the tree walk's exactly."""
+        db = fresh_db(domain)
+        planner = db.enable_planner(verify=True)
+        plain = fresh_db(domain)
+        db.execute(domain.marry, "bob", "M")
+        plain.execute(domain.marry, "bob", "M")
+        assert db.current.relations["EMP"] == plain.current.relations["EMP"]
+        assert planner.exec_count >= 1
+        assert planner.mismatch_count == 0
+
+
+class TestNegativeCache:
+    def inexpressible(self, domain):
+        e = domain.emp.var("e")
+        return query(
+            "unnarrowed-neg",
+            (),
+            b.setformer(
+                domain.emp.attr("e-name", e),
+                e,
+                b.eq(domain.emp.attr("e-dept", e), b.atom("cs")),
+            ),
+        )
+
+    def negative_entries(self, planner):
+        return [v for v in planner._plans.values() if isinstance(v, str)]
+
+    def test_register_encoding_invalidates_negative_cache(self, domain):
+        db = fresh_db(domain)
+        planner = db.enable_planner()
+        db.query(self.inexpressible(domain))
+        assert len(self.negative_entries(planner)) == 1
+        db.register_encoding(domain.fire_encoding())
+        assert self.negative_entries(planner) == []
+
+    def test_structural_commit_invalidates_negative_cache(self, domain):
+        from repro import transaction
+
+        db = fresh_db(domain)
+        planner = db.enable_planner()
+        db.query(self.inexpressible(domain))
+        fallbacks = planner.fallback_count
+        assert len(self.negative_entries(planner)) == 1
+        # A commit that creates a relation is structural; the refusal may
+        # no longer hold, so the reason cache is dropped and the next
+        # evaluation re-attempts compilation.
+        db.execute(transaction("copy-emp", (), b.assign("EMP2", b.rel("EMP", 5))))
+        assert self.negative_entries(planner) == []
+        db.query(self.inexpressible(domain))
+        assert planner.fallback_count == fallbacks + 1
+
+    def test_non_structural_commit_keeps_negative_cache(self, domain):
+        db = fresh_db(domain)
+        planner = db.enable_planner()
+        db.query(self.inexpressible(domain))
+        db.execute(domain.create_project, "apollo", 25)
+        assert len(self.negative_entries(planner)) == 1
+
+
 class TestExplain:
     def test_explain_renders_the_physical_plan(self, domain):
         db = fresh_db(domain)
@@ -167,6 +330,15 @@ class TestExplain:
         assert "Scan" in text
         assert "EMP" in text and "ALLOC" in text
         assert "rows" in text  # cardinality annotations
+
+    def test_explain_renders_a_union_plan(self, domain):
+        db = fresh_db(domain)
+        planner = db.enable_planner()
+        plan = planner.plan(union_names(domain).body, db.current)
+        text = plan.explain()
+        assert "Union" in text
+        assert "SemiJoin" in text
+        assert "ALLOC" in text
 
     def test_plan_error_on_inexpressible_node(self, domain):
         db = fresh_db(domain)
@@ -185,6 +357,32 @@ class TestStats:
         db.execute(domain.create_project, "apollo", 25)
         assert planner.stats.row_estimate("PROJ") == before + 1
         assert planner.stats.commits_observed == commits_before + 1
+
+    def test_replaced_relation_gets_fresh_stats(self, domain):
+        """A commit that drops and re-creates a relation must not leave
+        the predecessor's row count or NDV cache behind: the greedy join
+        order would keep ranking a dead relation's statistics."""
+        from repro import transaction
+
+        db = fresh_db(domain)
+        planner = db.enable_planner()
+        # Populate the NDV cache for ALLOC, then replace it wholesale.
+        planner.stats.distinct(db.current, "ALLOC", 1)
+        assert "ALLOC" in planner.stats._ndv
+        db.execute(
+            transaction(
+                "reset-alloc",
+                (),
+                b.assign("ALLOC", b.diff(b.rel("ALLOC", 3), b.rel("ALLOC", 3))),
+            )
+        )
+        assert planner.stats.row_estimate("ALLOC") == 0
+        assert "ALLOC" not in planner.stats._ndv
+        # Re-register: stats start from the fresh (empty) relation, and a
+        # lazily recomputed NDV reflects the new contents only.
+        db.execute(domain.allocate, "alice", "db", 10)
+        assert planner.stats.row_estimate("ALLOC") == 1
+        assert planner.stats.distinct(db.current, "ALLOC", 1) == 1
 
     def test_failed_commit_does_not_move_stats(self, domain):
         domain.install_constraints()

@@ -161,6 +161,190 @@ class TestSetFormers:
         )
 
 
+def union_former(d, quantified_first=False):
+    """``member(e, EMP) ∧ (e-dept = cs ∨ ∃a alloc-of(e))`` — or flipped."""
+    e, a = d.emp.var("e"), d.alloc.var("a")
+    pure = b.eq(d.emp.attr("e-dept", e), b.atom("cs"))
+    quant = b.exists(
+        a,
+        b.land(
+            b.member(a, d.alloc.rel()),
+            b.eq(d.alloc.attr("a-emp", a), d.emp.attr("e-name", e)),
+        ),
+    )
+    disjunction = (
+        b.lor(quant, pure) if quantified_first else b.lor(pure, quant)
+    )
+    return b.setformer(
+        d.emp.attr("e-name", e),
+        e,
+        b.land(b.member(e, d.emp.rel()), disjunction),
+    )
+
+
+class TestUnionPlans:
+    """Branch gating mirrors the tree walk's ``any`` short-circuit: a
+    later branch's inner relation narrows only for rows every earlier
+    branch rejected."""
+
+    def test_union_touches_both_when_some_row_needs_second_branch(self, d):
+        # bob is in math, so the exists branch runs for him.
+        reads = assert_same_reads(d, state_with(d), union_former(d))
+        assert {"EMP", "ALLOC"} <= reads
+
+    def test_second_branch_skipped_when_first_accepts_every_row(self, d):
+        state = state_with(d, EMP=[("alice", "cs", 100, 30, "S")])
+        reads = assert_same_reads(d, state, union_former(d))
+        assert "ALLOC" not in reads
+
+    def test_quantified_first_branch_always_runs(self, d):
+        state = state_with(d, EMP=[("alice", "cs", 100, 30, "S")])
+        reads = assert_same_reads(
+            d, state, union_former(d, quantified_first=True)
+        )
+        assert "ALLOC" in reads
+
+    def test_empty_outer_skips_every_branch(self, d):
+        reads = assert_same_reads(d, state_with(d, EMP=[]), union_former(d))
+        assert "ALLOC" not in reads
+
+    def test_negated_union_branch(self, d):
+        e, a = d.emp.var("e"), d.alloc.var("a")
+        former = b.setformer(
+            d.emp.attr("e-name", e),
+            e,
+            b.land(
+                b.member(e, d.emp.rel()),
+                b.lor(
+                    b.eq(d.emp.attr("e-dept", e), b.atom("cs")),
+                    b.lnot(
+                        b.exists(
+                            a,
+                            b.land(
+                                b.member(a, d.alloc.rel()),
+                                b.eq(
+                                    d.alloc.attr("a-emp", a),
+                                    d.emp.attr("e-name", e),
+                                ),
+                            ),
+                        )
+                    ),
+                ),
+            ),
+        )
+        assert_same_reads(d, state_with(d), former)
+        assert_same_reads(d, state_with(d, ALLOC=[]), former)
+
+
+class TestMultiConjunctChains:
+    def chain(self, d):
+        e = d.emp.var("e")
+        a, s = d.alloc.var("a"), d.skill.var("s")
+        return b.setformer(
+            d.emp.attr("e-name", e),
+            e,
+            b.land(
+                b.member(e, d.emp.rel()),
+                b.exists(
+                    a,
+                    b.land(
+                        b.member(a, d.alloc.rel()),
+                        b.eq(
+                            d.alloc.attr("a-emp", a), d.emp.attr("e-name", e)
+                        ),
+                    ),
+                ),
+                b.exists(
+                    s,
+                    b.land(
+                        b.member(s, d.skill.rel()),
+                        b.eq(
+                            d.skill.attr("s-emp", s), d.emp.attr("e-name", e)
+                        ),
+                    ),
+                ),
+            ),
+        )
+
+    def test_both_exists_touch_when_rows_survive(self, d):
+        reads = assert_same_reads(d, state_with(d), self.chain(d))
+        assert {"EMP", "ALLOC", "SKILL"} <= reads
+
+    def test_second_exists_gated_on_first(self, d):
+        """No row survives the ALLOC exists, so the tree walk never
+        evaluates the SKILL one — the planner must not touch it."""
+        state = state_with(d, ALLOC=[("nobody", "apollo", 60)])
+        reads = assert_same_reads(d, state, self.chain(d))
+        assert "ALLOC" in reads and "SKILL" not in reads
+
+    def test_arithmetic_predicate_touch(self, d):
+        e = d.emp.var("e")
+        former = b.setformer(
+            d.emp.attr("e-name", e),
+            e,
+            b.land(
+                b.member(e, d.emp.rel()),
+                b.le(b.plus(d.emp.attr("salary", e), b.atom(5)), b.atom(100)),
+            ),
+        )
+        reads = assert_same_reads(d, state_with(d), former)
+        assert "EMP" in reads
+
+
+class TestForeachDomains:
+    def foreach_of(self, d, with_exists=False):
+        e, a = d.emp.var("e"), d.alloc.var("a")
+        cond = [b.member(e, d.emp.rel())]
+        if with_exists:
+            cond.append(
+                b.exists(
+                    a,
+                    b.land(
+                        b.member(a, d.alloc.rel()),
+                        b.eq(
+                            d.alloc.attr("a-emp", a), d.emp.attr("e-name", e)
+                        ),
+                    ),
+                )
+            )
+        return b.foreach(
+            e,
+            b.land(*cond),
+            b.modify(e, d.emp.attr_index("m-status"), b.atom("M")),
+        )
+
+    def run_reads(self, d, state, fluent, *, planner):
+        db = Database(d.schema, initial=state)
+        if planner:
+            db.enable_planner()
+        tracking = TrackingInterpreter.wrapping(db.interpreter)
+        after = tracking.run(db.current, fluent)
+        return frozenset(tracking.reads), after
+
+    def assert_same_run(self, d, state, fluent):
+        slow_reads, slow_after = self.run_reads(d, state, fluent, planner=False)
+        fast_reads, fast_after = self.run_reads(d, state, fluent, planner=True)
+        assert fast_reads == slow_reads
+        assert fast_after.relations["EMP"] == slow_after.relations["EMP"]
+        return slow_reads
+
+    def test_foreach_domain_touch_and_result(self, d):
+        reads = self.assert_same_run(d, state_with(d), self.foreach_of(d))
+        assert "EMP" in reads
+
+    def test_foreach_with_trailing_exists(self, d):
+        reads = self.assert_same_run(
+            d, state_with(d), self.foreach_of(d, with_exists=True)
+        )
+        assert {"EMP", "ALLOC"} <= reads
+
+    def test_foreach_empty_domain_skips_inner(self, d):
+        reads = self.assert_same_run(
+            d, state_with(d, EMP=[]), self.foreach_of(d, with_exists=True)
+        )
+        assert "ALLOC" not in reads
+
+
 class TestForall:
     def test_satisfied_and_violated(self, d):
         satisfied = state_with(
@@ -219,6 +403,25 @@ class TestQueryCacheDigests:
     def test_cache_entries_identical_with_planner_on_and_off(self, d):
         _, _, slow = self.cache_entry(d, planner=False)
         _, _, fast = self.cache_entry(d, planner=True)
+        assert fast.reads == slow.reads
+        assert fast.digest == slow.digest
+        assert fast.value == slow.value
+
+    def test_widened_fragment_cache_entry_identical(self, d):
+        """A union-plan query (newly compilable) must produce the *same*
+        cache entry — reads, digest, value — planner on and off: cache
+        keys never depend on whether the planner answered."""
+
+        def entry(planner):
+            db = Database(d.schema, initial=state_with(d))
+            cache = db.enable_query_cache()
+            if planner:
+                db.enable_planner()
+            db.query(query("union-q", (), union_former(d)))
+            (e,) = cache._entries.values()
+            return e
+
+        slow, fast = entry(False), entry(True)
         assert fast.reads == slow.reads
         assert fast.digest == slow.digest
         assert fast.value == slow.value

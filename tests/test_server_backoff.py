@@ -1,0 +1,165 @@
+"""Client backoff corners: the ``retry_after`` hint versus the local
+exponential clamp, and the reconnect path honoring the server's hint.
+
+The server's ``retry_after`` is authoritative: resubmitting before the
+capacity it promised returns is guaranteed to be rejected again, so the
+client may back off *longer* than the hint (exponential growth) but never
+shorter — even when the hint exceeds ``ClientRetry.max_delay``, which only
+clamps the locally-generated exponential component.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.errors import Overloaded, SessionClosed
+from repro.server.client import Client, ClientRetry
+from repro.server.protocol import FrameDecoder, encode_message, error_to_doc
+
+
+class TestClientRetryDelay:
+    def test_hint_above_max_delay_is_not_clamped(self):
+        """Regression: the hint used to be clamped to ``max_delay``, so a
+        server saying "come back in 5s" was retried after 2s — a
+        guaranteed re-rejection."""
+        retry = ClientRetry(max_attempts=4, base_delay=0.05, max_delay=2.0)
+        assert retry.delay(1, retry_after=5.0) == 5.0
+
+    def test_exponential_component_is_clamped(self):
+        retry = ClientRetry(max_attempts=12, base_delay=0.05, max_delay=2.0)
+        assert retry.delay(12) == 2.0
+
+    def test_delay_is_max_of_hint_and_backoff(self):
+        retry = ClientRetry(max_attempts=4, base_delay=0.05, max_delay=2.0)
+        # attempt 3 → backoff 0.2, above the 0.1 hint
+        assert retry.delay(3, retry_after=0.1) == pytest.approx(0.2)
+        # hint above the current backoff wins
+        assert retry.delay(1, retry_after=0.3) == pytest.approx(0.3)
+
+
+class ScriptedServer:
+    """A loopback listener answering each HELLO from a scripted reply list
+    (callables taking the request id)."""
+
+    def __init__(self, replies):
+        self.replies = list(replies)
+        self.sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self.sock.bind(("127.0.0.1", 0))
+        self.sock.listen(4)
+        self.address = self.sock.getsockname()
+        self.thread = threading.Thread(target=self._serve, daemon=True)
+        self.thread.start()
+
+    def _serve(self):
+        for reply_fn in self.replies:
+            try:
+                conn, _ = self.sock.accept()
+            except OSError:
+                return
+            with conn:
+                decoder = FrameDecoder()
+                hello = None
+                while hello is None:
+                    data = conn.recv(65536)
+                    if not data:
+                        break
+                    for message in decoder.feed(data):
+                        hello = message
+                        break
+                if hello is None:
+                    continue
+                conn.sendall(encode_message(reply_fn(hello["id"])))
+
+    def close(self):
+        self.sock.close()
+
+
+def overloaded_reply(rid):
+    return {
+        "type": "ERROR",
+        "id": rid,
+        "error": error_to_doc(Overloaded(depth=9, limit=4, retry_after=0.75)),
+    }
+
+
+def welcome_reply(rid):
+    return {"type": "WELCOME", "id": rid, "programs": {}, "relations": {}}
+
+
+@pytest.fixture()
+def recorded_sleeps(monkeypatch):
+    sleeps: list[float] = []
+    monkeypatch.setattr(
+        "repro.server.client.time",
+        type("T", (), {"sleep": staticmethod(sleeps.append),
+                       "monotonic": staticmethod(time.monotonic)})(),
+    )
+    return sleeps
+
+
+class TestReconnectBackoff:
+    def test_overloaded_handshake_is_retried_with_the_hint(
+        self, recorded_sleeps
+    ):
+        """A reconnect rejected by admission control backs off honoring
+        the rejection's ``retry_after`` — above ``max_delay`` — and the
+        next attempt completes the handshake."""
+        server = ScriptedServer([overloaded_reply, welcome_reply])
+        try:
+            client = Client(
+                *server.address,
+                retry=ClientRetry(
+                    max_attempts=3, base_delay=0.01, max_delay=0.05
+                ),
+                timeout=5.0,
+            )
+            welcome = client.connect()
+            assert welcome["type"] == "WELCOME"
+            assert 0.75 in recorded_sleeps
+            # A successful handshake clears the remembered hint.
+            assert client._last_retry_after == 0.0
+            client.close()
+        finally:
+            server.close()
+
+    def test_overloaded_handshake_exhaustion_raises_typed_error(
+        self, recorded_sleeps
+    ):
+        server = ScriptedServer([overloaded_reply, overloaded_reply])
+        try:
+            client = Client(
+                *server.address,
+                retry=ClientRetry(
+                    max_attempts=2, base_delay=0.01, max_delay=0.05
+                ),
+                timeout=5.0,
+            )
+            with pytest.raises(Overloaded):
+                client.connect()
+        finally:
+            server.close()
+
+    def test_unreachable_server_backoff_honors_last_hint(
+        self, recorded_sleeps
+    ):
+        """The OSError reconnect path sleeps at least the last observed
+        ``retry_after`` (regression: it used to ignore the hint
+        entirely)."""
+        placeholder = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        placeholder.bind(("127.0.0.1", 0))
+        address = placeholder.getsockname()
+        placeholder.close()  # nothing listens here any more
+        client = Client(
+            *address,
+            retry=ClientRetry(max_attempts=3, base_delay=0.01, max_delay=0.05),
+            timeout=0.2,
+        )
+        client._last_retry_after = 0.9
+        with pytest.raises(SessionClosed):
+            client.connect()
+        assert len(recorded_sleeps) == 2  # attempts 1 and 2 back off
+        assert all(s >= 0.9 for s in recorded_sleeps)

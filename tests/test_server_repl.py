@@ -56,6 +56,37 @@ class TestStatementCompletion:
     def test_incomplete(self, text):
         assert not statement_complete(text)
 
+    @pytest.mark.parametrize(
+        "text",
+        [
+            # Escaped quote does not close the string early.
+            "hire('it\\'s fine', cs, 1, 2, S)",
+            'hire("she said \\"hi\\"", cs, 1, 2, S)',
+            # Comments are text to end of line, unbalanced parens and all.
+            "headcount()  # todo: rename (someday",
+            "hire(erin, cs, 1, 2, S) # trailing ) paren",
+            # A backslash ending the line inside a string is data, and the
+            # statement is complete once the quote closes.
+            "hire('ends with \\\\', cs, 1, 2, S)",
+        ],
+    )
+    def test_complete_edge_cases(self, text):
+        assert statement_complete(text)
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            # The escaped quote leaves the literal open.
+            "hire('oops\\'",
+            # The open paren before the comment still needs closing.
+            "hire(erin  # comment",
+            # A '#' inside a string is not a comment: quote stays open.
+            "hire('anchor #",
+        ],
+    )
+    def test_incomplete_edge_cases(self, text):
+        assert not statement_complete(text)
+
 
 class TestParsing:
     def test_words_numbers_and_strings(self):
@@ -90,6 +121,22 @@ class TestParsing:
     def test_garbage_is_a_parse_error(self):
         with pytest.raises(ParseError):
             parse_statement("!!!")
+
+    def test_escaped_quotes_reach_the_argument(self):
+        _, args = parse_statement("hire('it\\'s fine', cs, 1, 2, S)")
+        assert args == ["it's fine", "cs", 1, 2, "S"]
+
+    def test_comment_after_statement_is_dropped(self):
+        name, args = parse_statement("hire(erin, cs, 1, 2, S)  # onboard")
+        assert (name, args) == ("hire", ["erin", "cs", 1, 2, "S"])
+
+    def test_hash_inside_string_is_kept(self):
+        _, args = parse_statement("lookup('item #7')")
+        assert args == ["item #7"]
+
+    def test_backslash_inside_string_is_not_a_continuation(self):
+        _, args = parse_statement("lookup('a\\\\')")
+        assert args == ["a\\"]
 
 
 class TestFormatting:
