@@ -28,9 +28,30 @@ def write_bench_json(name: str, doc: dict) -> Path:
     """Persist one benchmark's headline numbers as ``BENCH_<name>.json`` at
     the repo root.  CI uploads these as artifacts, so a run's acceptance
     numbers (throughput, speedups, gate verdicts) survive the log scroll
-    and can be diffed across commits."""
+    and can be diffed across commits.
+
+    Merges into any existing document rather than overwriting it, so
+    re-running a subset of a module's experiments (``pytest -k``) keeps the
+    other experiments' numbers.  Nested ``experiments`` maps merge one
+    level deep; everything else is replaced key-by-key.  An unparseable
+    existing file (a torn write, a stale format) is discarded."""
     path = REPO_ROOT / f"BENCH_{name}.json"
-    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    merged: dict = {}
+    try:
+        existing = json.loads(path.read_text())
+        if isinstance(existing, dict):
+            merged = existing
+    except (OSError, ValueError):
+        merged = {}
+    for key, value in doc.items():
+        if (
+            isinstance(value, dict)
+            and isinstance(merged.get(key), dict)
+        ):
+            merged[key] = {**merged[key], **value}
+        else:
+            merged[key] = value
+    path.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
     return path
 
 

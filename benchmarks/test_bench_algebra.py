@@ -42,8 +42,8 @@ _RESULTS: dict[str, dict] = {}
 def record_result(key: str, doc: dict) -> None:
     """Fold one experiment into the shared BENCH_algebra.json document.
 
-    ``write_bench_json`` overwrites the file, so each experiment re-writes
-    the accumulated map — the last test to run persists all of them."""
+    ``write_bench_json`` merges ``experiments`` maps, so each experiment's
+    write preserves the others' — including across ``pytest -k`` re-runs."""
     _RESULTS[key] = doc
     write_bench_json("algebra", {"experiments": dict(_RESULTS)})
 

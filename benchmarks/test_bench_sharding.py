@@ -1,0 +1,147 @@
+"""E18 — footprint-routed sharding on a disjoint workload.
+
+The sharded database's scaling claim is *structural*, not just parallel:
+each shard owns a subschema, so a commit re-checks only the constraints
+homed on its shard.  With K striped relations each carrying a per-row
+constraint, a 1-shard database pays all K checks on every commit; at 4
+shards each commit pays K/4.  A disjoint single-shard workload (every
+transaction touches exactly one stripe) therefore speeds up even before
+any thread-level parallelism — which the per-shard schedulers then add on
+top.
+
+Gate: >= 2x median wall-clock at 4 shards vs 1 on the disjoint batch.
+Headline numbers land in ``BENCH_sharding.json`` via the merging
+``write_bench_json``.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from repro.constraints.model import Constraint
+from repro.db.schema import Schema
+from repro.logic import builder as b
+from repro.sharding import ShardedDatabase
+from repro.transactions.program import transaction
+
+from conftest import print_series, write_bench_json
+
+STRIPES = 8
+PRELOAD = 40  # rows per stripe before timing: constraint checks are O(rows)
+PUTS_PER_STRIPE = 15
+REPEATS = 3
+GATE_SPEEDUP = 2.0
+
+x, y = b.atom_var("x"), b.atom_var("y")
+
+
+def _attrs(i: int) -> tuple[str, ...]:
+    # Stripe i has arity 2 + i: per-row constraints quantify over a typed
+    # tuple variable, and the footprint analysis widens such a variable to
+    # its whole arity — distinct arities keep each stripe's constraint
+    # footprint on its own stripe, so the stripes shard independently.
+    return ("k", "v") + tuple(f"p{j}" for j in range(i))
+
+
+def build_schema() -> Schema:
+    schema = Schema()
+    s = b.state_var("s")
+    for i in range(STRIPES):
+        rel = schema.add_relation(f"R{i}", _attrs(i))
+        t = rel.var("t")
+        # Per-row invariant: O(|Ri|) per check, so check count dominates.
+        schema.add_constraint(
+            Constraint(
+                f"R{i}-values-nonnegative",
+                b.forall(
+                    s,
+                    b.holds(
+                        s,
+                        b.forall(
+                            t,
+                            b.implies(
+                                b.member(t, rel.rel()),
+                                b.le(b.atom(0), rel.attr("v", t)),
+                            ),
+                        ),
+                    ),
+                ),
+                description=f"every R{i} value is >= 0",
+                declared_window=1,
+            )
+        )
+    return schema
+
+
+PUTS = [
+    transaction(
+        f"put-R{i}",
+        (x, y),
+        b.insert(
+            b.mktuple(x, y, *(b.atom(0) for _ in range(i))), f"R{i}"
+        ),
+    )
+    for i in range(STRIPES)
+]
+
+
+def run_workload(shards: int) -> float:
+    """Median wall-clock for the disjoint batch at ``shards`` shards."""
+    times = []
+    for _ in range(REPEATS):
+        sdb = ShardedDatabase(build_schema(), shards=shards)
+        for i in range(STRIPES):
+            for k in range(PRELOAD):
+                sdb.execute(PUTS[i], k, k)
+        requests = [
+            (PUTS[i], (PRELOAD + n, n), f"put-{i}-{n}", None)
+            for n in range(PUTS_PER_STRIPE)
+            for i in range(STRIPES)
+        ]
+        start = time.perf_counter()
+        outcomes = sdb.run_batch(requests)
+        times.append(time.perf_counter() - start)
+        assert all(o.ok for o in outcomes)
+        stats = sdb.stats()
+        assert stats["single_shard_commits"] >= len(requests)
+        assert stats["cross_shard_commits"] == 0
+        sdb.close()
+    return statistics.median(times)
+
+
+def test_e18_disjoint_workload_scales_with_shards():
+    t1 = run_workload(1)
+    t4 = run_workload(4)
+    speedup = t1 / t4
+    commits = STRIPES * PUTS_PER_STRIPE
+    print_series(
+        "E18: disjoint single-shard batch, 1 vs 4 shards",
+        [
+            (1, f"{t1*1e3:.1f}", f"{commits/t1:.0f}", "1.00x"),
+            (4, f"{t4*1e3:.1f}", f"{commits/t4:.0f}", f"{speedup:.2f}x"),
+        ],
+        ("shards", "ms", "tx/s", "speedup"),
+    )
+    write_bench_json(
+        "sharding",
+        {
+            "experiments": {
+                "E18-disjoint-batch": {
+                    "stripes": STRIPES,
+                    "commits": commits,
+                    "preload_rows_per_stripe": PRELOAD,
+                    "seconds_1_shard": round(t1, 4),
+                    "seconds_4_shards": round(t4, 4),
+                    "tx_per_s_1_shard": round(commits / t1, 1),
+                    "tx_per_s_4_shards": round(commits / t4, 1),
+                    "speedup": round(speedup, 2),
+                    "gate": f">= {GATE_SPEEDUP}x",
+                    "gate_passed": speedup >= GATE_SPEEDUP,
+                }
+            }
+        },
+    )
+    assert speedup >= GATE_SPEEDUP, (
+        f"4-shard speedup {speedup:.2f}x below the {GATE_SPEEDUP}x gate"
+    )

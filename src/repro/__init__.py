@@ -34,6 +34,7 @@ Subsystem map (see DESIGN.md):
 * :mod:`repro.storage` — write-ahead journal, checkpoints, crash recovery (S13)
 * :mod:`repro.obs` — tracing, metrics, profiling hooks (S14)
 * :mod:`repro.server` — the multi-tenant wire server, client, and REPL (S17)
+* :mod:`repro.sharding` — footprint-routed shards, 2PC, read replicas (S19)
 """
 
 from repro.concurrent import (
@@ -89,6 +90,7 @@ from repro.errors import (
     ConstraintViolation,
     EvaluationError,
     ExecutabilityError,
+    InDoubt,
     OrderDependenceError,
     Overloaded,
     ParseError,
@@ -96,12 +98,14 @@ from repro.errors import (
     PlannerMismatch,
     ProofError,
     ProtocolError,
+    ReplicaLagExceeded,
     ReproError,
     ResourceError,
     RetryExhausted,
     SchedulerClosed,
     SchemaError,
     SessionClosed,
+    ShardError,
     SortError,
     SynthesisError,
     TransactionConflict,
@@ -118,6 +122,15 @@ from repro.obs import (
     profile_from_json,
 )
 from repro.server import Client, ClientRetry, TenantConfig, TransactionServer
+from repro.sharding import (
+    Coordinator,
+    Replica,
+    ShardPlan,
+    ShardedDatabase,
+    TwoPhaseFaults,
+    plan_placement,
+    resolve_in_doubt,
+)
 from repro.storage import (
     Journal,
     JournalRecord,
@@ -153,6 +166,7 @@ __all__ = [
     "Overloaded", "CircuitOpen", "SchedulerClosed",
     "ProtocolError", "SessionClosed",
     "PlanError", "PlannerMismatch",
+    "ShardError", "InDoubt", "ReplicaLagExceeded",
     # db
     "Schema", "RelationSchema", "State", "Relation", "DBTuple", "TupleSet",
     "make_tuple", "initial_state", "state_from_rows",
@@ -183,4 +197,7 @@ __all__ = [
     "MetricsRegistry", "Tracer", "Span", "Profile", "profile_from_json",
     # server
     "TransactionServer", "TenantConfig", "Client", "ClientRetry",
+    # sharding
+    "ShardedDatabase", "Replica", "ShardPlan", "plan_placement",
+    "Coordinator", "TwoPhaseFaults", "resolve_in_doubt",
 ]

@@ -495,6 +495,73 @@ class Database:
             after, label, program_name, args=args, snapshot_version=snapshot_version
         )
 
+    def rehearse(
+        self,
+        after: State,
+        *,
+        label: str = "tx",
+        program_name: Optional[str] = None,
+    ) -> State:
+        """Run the commit-time validation of ``after`` without committing.
+
+        Executes the history encodings and the full constraint loop against
+        a forked candidate history and returns the final (encoded)
+        post-state, leaving the database untouched: history, evolution
+        graph, journal, and the eval accelerators' bookkeeping all stay as
+        they were.  Raises exactly what :meth:`apply` would raise —
+        :class:`~repro.errors.ConstraintViolation` on a violated
+        constraint, :class:`~repro.errors.CheckabilityError` under
+        ``strict`` for an uncheckable one.
+
+        This is the PREPARE half of two-phase commit
+        (:mod:`repro.sharding.twopc`): a participant rehearses before
+        promising, so a prepared transaction can never fail its later
+        :meth:`apply` — encodings are deterministic functions of
+        ``(before, after)``, making the rehearsed state equal the applied
+        one.  Rehearsal always runs full checks; the incremental checker's
+        skip licenses are deliberately not consulted (nothing is committed,
+        so there is no delta to maintain its validity sets against).
+        """
+        before = self.current
+        for encoding in self.encodings:
+            after = encoding.record(before, after)
+        candidate = self.history.fork()
+        candidate.advance(after, label)
+        for c in self.schema.constraints:
+            if program_name is not None and (c.name, program_name) in self._trusted:
+                continue
+            needed = self.required_window(c)
+            if needed is Window.UNCHECKABLE:
+                if self.strict:
+                    raise CheckabilityError(
+                        f"{c.name}: not checkable with any maintained history"
+                    )
+                continue
+            if needed is Window.FULL_HISTORY and self.history.window is not None:
+                if self.strict:
+                    raise CheckabilityError(
+                        f"{c.name}: needs the complete history; window "
+                        f"keeps {self.history.window}"
+                    )
+                continue
+            if (
+                isinstance(needed, int)
+                and self.history.window is not None
+                and needed > self.history.window
+            ):
+                if self.strict:
+                    raise CheckabilityError(
+                        f"{c.name}: needs {needed} states; window keeps "
+                        f"{self.history.window}"
+                    )
+                continue
+            result = check_history(c, candidate, self.interpreter)
+            if not result.ok:
+                raise ConstraintViolation(
+                    c.name, f"transaction {label} rolled back"
+                )
+        return after
+
     def _commit(
         self,
         after: State,

@@ -189,6 +189,65 @@ class SessionClosed(ResourceError):
         super().__init__(message)
 
 
+class ShardError(ReproError):
+    """A sharded-database operation failed at the sharding layer.
+
+    The base of the horizontal-scale branch: routing refusals, allocator
+    exhaustion, a coordinator that is no longer usable after a simulated
+    crash, or a cross-shard apply that diverged from its rehearsal.  The
+    two interesting subclasses are :class:`InDoubt` (a two-phase commit
+    interrupted between PREPARE and the applied decision) and
+    :class:`ReplicaLagExceeded` (a stale read outside its freshness bound).
+    """
+
+
+class InDoubt(ShardError):
+    """A cross-shard transaction crashed mid-2PC; its fate is on disk, not
+    in this process.
+
+    Raised when a (simulated or real) coordinator crash interrupts the
+    prepare→decide→apply window.  **Not** a :class:`ResourceError`: the
+    client must not blindly resubmit — the transaction may have committed.
+    ``recover()`` resolves it deterministically from the decision journal
+    (decision record ⇒ follow it; no decision ⇒ presumed abort), after
+    which ``resolved_decision`` of the recovery report says what happened.
+    """
+
+    def __init__(self, txid: str, point: str = "", decided: bool = False) -> None:
+        self.txid = txid
+        self.point = point
+        self.decided = decided
+        where = f" at {point}" if point else ""
+        fate = (
+            "decision durable; recovery will commit it"
+            if decided
+            else "no durable decision; recovery will presume abort"
+        )
+        super().__init__(
+            f"transaction {txid!r} in doubt{where} ({fate})"
+        )
+
+
+class ReplicaLagExceeded(ShardError, ResourceError):
+    """A replica's snapshot is staler than the query's freshness bound.
+
+    Also a :class:`ResourceError`: nothing is wrong with the query — the
+    replica has fallen behind its primary's journal.  Retry after the
+    replica catches up (``poll()``), or re-route to the primary.  Carries
+    the replica's applied sequence, the primary sequence it knows about,
+    and the bound that was violated.
+    """
+
+    def __init__(self, applied: int, primary: int, max_lag: int) -> None:
+        self.applied = applied
+        self.primary = primary
+        self.max_lag = max_lag
+        super().__init__(
+            f"replica lag {primary - applied} records (applied {applied}, "
+            f"primary {primary}) exceeds bound {max_lag}"
+        )
+
+
 class ProofError(ReproError):
     """The prover failed (resource limits, malformed input, ...)."""
 

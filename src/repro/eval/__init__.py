@@ -24,7 +24,11 @@ system.
 """
 
 from repro.eval.cache import CacheMismatch, CacheStats, QueryCache
-from repro.eval.footprint import Footprint, constraint_footprint
+from repro.eval.footprint import (
+    Footprint,
+    constraint_footprint,
+    program_footprint,
+)
 from repro.eval.incremental import (
     IncrementalChecker,
     IncrementalMismatch,
@@ -38,6 +42,7 @@ __all__ = [
     "QueryCache",
     "Footprint",
     "constraint_footprint",
+    "program_footprint",
     "IncrementalChecker",
     "IncrementalMismatch",
     "IncrementalStats",

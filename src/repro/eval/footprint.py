@@ -181,10 +181,69 @@ def constraint_footprint(constraint: Constraint, schema: Schema) -> Footprint:
     )
 
 
-class _Acc:
-    """Mutable analysis state for one formula walk."""
+def program_footprint(program, schema: Schema) -> Footprint:
+    """The relation footprint of a :class:`~repro.transactions.program.
+    DatabaseProgram` — the routing key of :mod:`repro.sharding`.
 
-    def __init__(self) -> None:
+    Same over-approximation discipline as :func:`constraint_footprint`,
+    applied to a program's body and precondition: directly mentioned
+    relations are read by name, quantified tuple/set variables widen to
+    their arity's active domain, atom variables widen to the universe.
+    Program bodies and preconditions are evaluated in a fluent context (the
+    interpreter runs them at concrete states), so there are no situational
+    dereferences to force universe footprints.
+
+    A sharded database routes a program to the single shard owning its
+    footprint when the footprint is :attr:`Footprint.bounded` and every
+    relation it names (plus every relation of every widened arity) lives on
+    one shard; anything wider becomes a cross-shard transaction over
+    exactly the owning shards — or all shards for universe/ineligible
+    footprints.  Over-approximation is always safe here: it can only widen
+    the participant set, never hide a relation the evaluation reads.
+
+    >>> from repro.domains import make_domain
+    >>> d = make_domain()
+    >>> fp = program_footprint(d.hire, d.schema)
+    >>> sorted(fp.relations)
+    ['EMP']
+    >>> fp.bounded
+    True
+    """
+    acc = _Acc(
+        ineligible_kinds=_INELIGIBLE_KINDS - {SymbolKind.STATE_CHANGING}
+    )
+    _walk(program.body, fluent=True, acc=acc)
+    if program.precondition is not None:
+        _walk(program.precondition, fluent=True, acc=acc)
+
+    relations = set(acc.relations)
+    for name, rs in schema.relations.items():
+        if rs.arity in acc.arities:
+            relations.add(name)
+    return Footprint(
+        constraint_name=program.name,
+        relations=frozenset(relations),
+        arities=frozenset(acc.arities),
+        universe=acc.universe,
+        eligible=not acc.reasons,
+        reason="; ".join(acc.reasons) if acc.reasons else acc.note,
+    )
+
+
+class _Acc:
+    """Mutable analysis state for one formula walk.
+
+    ``ineligible_kinds`` varies by client: constraint analysis rejects
+    state-changing applications (they consume the allocator inside a
+    formula whose verdict must be a pure function of the window), while
+    program analysis expects them — a transaction body *is* a
+    state-changing application.
+    """
+
+    def __init__(
+        self, ineligible_kinds: frozenset = _INELIGIBLE_KINDS
+    ) -> None:
+        self.ineligible_kinds = ineligible_kinds
         self.relations: set[str] = set()
         self.arities: set[int] = set()
         self.universe = False
@@ -233,7 +292,7 @@ def _walk(node: Node, fluent: bool, acc: _Acc) -> None:
     if isinstance(node, (RelConst, RelIdConst)):
         acc.relations.add(node.name)
     elif isinstance(node, (App, SApp, Pred, SPred)):
-        if node.symbol.kind in _INELIGIBLE_KINDS:
+        if node.symbol.kind in acc.ineligible_kinds:
             acc.ineligible(
                 f"application of {node.symbol.kind.value} symbol "
                 f"{node.symbol.name}"

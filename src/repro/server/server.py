@@ -242,6 +242,7 @@ class TransactionServer:
         self._conn_tasks: set[asyncio.Task] = set()
         self._session_seq = 0
         self._manager = None
+        self._txn_pool: Optional[ThreadPoolExecutor] = None
         self._query_pool: Optional[ThreadPoolExecutor] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None
@@ -284,9 +285,19 @@ class TransactionServer:
     async def _main(self) -> None:
         self._loop = asyncio.get_running_loop()
         self._stop = asyncio.Event()
-        self._manager = self.database.concurrent(
-            workers=self.workers, retry=self.retry
-        )
+        if getattr(self.database, "is_sharded", False):
+            # A ShardedDatabase is its own scheduler: transactions route by
+            # footprint to per-shard locks, so the optimistic manager (and
+            # its conflict/retry machinery) would only add overhead.
+            self._manager = None
+            self._txn_pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-shard-tx"
+            )
+        else:
+            self._manager = self.database.concurrent(
+                workers=self.workers, retry=self.retry
+            )
+            self._txn_pool = None
         self._query_pool = ThreadPoolExecutor(
             max_workers=self.workers, thread_name_prefix="repro-query"
         )
@@ -303,7 +314,10 @@ class TransactionServer:
         async with server:
             await self._stop.wait()
             await self._shutdown_sessions()
-        self._manager.close(wait=True)
+        if self._manager is not None:
+            self._manager.close(wait=True)
+        if self._txn_pool is not None:
+            self._txn_pool.shutdown(wait=True)
         self._query_pool.shutdown(wait=True)
 
     async def _shutdown_sessions(self) -> None:
@@ -562,7 +576,11 @@ class TransactionServer:
                 tracer.record(
                     "request",
                     f"{mtype.lower()}:{label}",
-                    self._manager.version,
+                    (
+                        self._manager.version
+                        if self._manager is not None
+                        else self.database.version
+                    ),
                     start=started,
                     duration=duration,
                 )
@@ -651,12 +669,15 @@ class TransactionServer:
             # chunked path: the event loop wakes once per BATCH frame, not
             # once per transaction.
             loop = asyncio.get_running_loop()
+            runner = (
+                self.database.run_batch
+                if self._manager is None
+                else self._manager.run_batch
+            )
             try:
                 outcomes = await loop.run_in_executor(
                     self._query_pool,
-                    lambda: self._manager.run_batch(
-                        requests, retry=self.retry
-                    ),
+                    lambda: runner(requests, retry=self.retry),
                 )
             except SchedulerClosed:
                 raise SessionClosed("server shutting down") from None
@@ -683,6 +704,17 @@ class TransactionServer:
     def _submit(self, tenant, program, args, label, entry):
         """Fan one transaction into the scheduler; returns an awaitable."""
         budget = tenant.budget_for(entry.token)
+        if self._manager is None:
+            if self._closing or self._txn_pool is None:
+                raise SessionClosed("server shutting down")
+            future = self._txn_pool.submit(
+                self.database.execute_outcome,
+                program,
+                *args,
+                label=label or None,
+                budget=budget,
+            )
+            return asyncio.wrap_future(future)
         try:
             future = self._manager.submit(
                 program,

@@ -1,0 +1,40 @@
+"""Horizontal scale: footprint-routed shards, 2PC, and WAL-shipped replicas.
+
+The layer partitions a schema's relations across N independent engines
+(:mod:`repro.sharding.routing`), routes each transaction by its static
+footprint — single-shard commits bypass all coordination — runs cross-shard
+commits through two-phase commit over the per-shard CRC journals
+(:mod:`repro.sharding.twopc`), and serves bounded-staleness reads from
+journal-tailing replicas (:mod:`repro.sharding.replica`).  See
+docs/ARCHITECTURE.md §15 and DESIGN.md §7.7.
+"""
+
+from repro.sharding.replica import DEFAULT_MAX_LAG, Replica
+from repro.sharding.routing import ShardPlan, plan_placement
+from repro.sharding.sharded import (
+    ALLOC_BLOCK,
+    Resolution,
+    ShardedDatabase,
+    ShardRecovery,
+)
+from repro.sharding.twopc import (
+    Coordinator,
+    SimulatedCrash,
+    TwoPhaseFaults,
+    resolve_in_doubt,
+)
+
+__all__ = [
+    "Coordinator",
+    "DEFAULT_MAX_LAG",
+    "Replica",
+    "Resolution",
+    "ShardPlan",
+    "ShardRecovery",
+    "ShardedDatabase",
+    "SimulatedCrash",
+    "ALLOC_BLOCK",
+    "TwoPhaseFaults",
+    "plan_placement",
+    "resolve_in_doubt",
+]

@@ -1,0 +1,263 @@
+"""WAL-shipped read replicas: serve stale snapshots from a shard's journal.
+
+A :class:`Replica` opens a shard's store directory **read-only** and tails
+its write-ahead journal — the same "WAL shipping" real systems do, except
+the filesystem is the ship.  Each :meth:`Replica.poll` re-scans the journal
+tail and applies new records to an in-memory state:
+
+* ``commit`` records apply their delta (digest-checked, like recovery);
+* ``prepare`` records stash their staged delta without applying it;
+* ``outcome`` records resolve a stashed prepare — apply on ``commit``,
+  discard on ``abort`` — so the replica never exposes an uncommitted
+  2PC write, even transiently;
+* a sequence gap (the primary checkpointed and truncated the journal under
+  us) falls back to reloading from the newest valid snapshot.
+
+The replica is therefore always a *prefix* of the primary's run — the
+freshness contract is bounded staleness, not recency.  :meth:`Replica.lag`
+measures the gap in journal records; :meth:`Replica.query` refuses with the
+typed :class:`~repro.errors.ReplicaLagExceeded` when the gap exceeds the
+caller's bound, instead of silently answering from the distant past.
+
+>>> import tempfile
+>>> from repro.domains import make_domain
+>>> from repro.engine import Database
+>>> from repro.logic import builder as b
+>>> from repro.transactions.program import query
+>>> domain = make_domain()
+>>> db = Database(domain.schema, initial=domain.sample_state())
+>>> path = tempfile.mkdtemp()
+>>> _ = db.durable(path)
+>>> replica = Replica(path)
+>>> _ = db.execute(domain.create_project, "web", 50)
+>>> replica.lag()
+1
+>>> _ = replica.poll()
+>>> replica.lag()
+0
+>>> n_projects = query("n_projects", (), b.size_of(b.rel("PROJ", 2)))
+>>> replica.query(n_projects)
+4
+>>> replica.query(n_projects, max_lag=0)
+4
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.db.state import State
+from repro.errors import ReplicaLagExceeded, ReproError, ShardError
+from repro.obs.metrics import MetricsRegistry
+from repro.storage.journal import JournalRecord, read_journal
+from repro.storage.serialize import (
+    apply_delta,
+    delta_touched,
+    touched_digest,
+)
+from repro.storage.snapshot import load_snapshot, snapshot_seq
+from repro.storage.store import JOURNAL_NAME, prepare_digest
+from repro.transactions.interpreter import Interpreter
+from repro.transactions.program import DatabaseProgram
+
+#: Default staleness bound: how many journal records a replica may trail
+#: the primary by before queries refuse (override per-query via
+#: ``max_lag``).
+DEFAULT_MAX_LAG = 1024
+
+
+class Replica:
+    """A read-only follower of one store directory.
+
+    The replica never writes to the store: it shares the directory with a
+    live primary (same filesystem) or a shipped copy of it, and relies on
+    the journal's prefix property for consistency — every state it serves
+    is a state the primary actually committed.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        max_lag: int = DEFAULT_MAX_LAG,
+        interpreter: Optional[Interpreter] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.path = os.fspath(path)
+        self.max_lag = max_lag
+        self.interpreter = interpreter or Interpreter()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.applied_seq = -1
+        self.state: Optional[State] = None
+        self._pending: dict[str, JournalRecord] = {}
+        self._load_snapshot()
+        self.poll()
+
+    # -- plumbing ----------------------------------------------------------
+
+    @property
+    def journal_path(self) -> str:
+        return os.path.join(self.path, JOURNAL_NAME)
+
+    def _snapshot_files(self) -> list[tuple[int, str]]:
+        try:
+            names = os.listdir(self.path)
+        except FileNotFoundError:
+            raise ShardError(f"no store directory at {self.path}") from None
+        found = []
+        for name in names:
+            seq = snapshot_seq(name)
+            if seq is not None:
+                found.append((seq, os.path.join(self.path, name)))
+        return sorted(found, reverse=True)
+
+    def _load_snapshot(self) -> None:
+        """(Re)base on the newest valid snapshot; corrupt ones fall back."""
+        for seq, snap_path in self._snapshot_files():
+            loaded = load_snapshot(snap_path)
+            if loaded is not None:
+                self.applied_seq = loaded[0]
+                self.state = loaded[1]
+                self._pending.clear()
+                return
+        if self.state is None:
+            raise ShardError(
+                f"replica found no valid snapshot under {self.path}"
+            )
+
+    # -- following ---------------------------------------------------------
+
+    def poll(self) -> int:
+        """Scan the journal and apply everything new; returns the number of
+        records applied.  Safe to call from a timer at any frequency."""
+        self.metrics.counter(
+            "repro_replica_polls_total", "replica journal scans"
+        ).inc()
+        scan = read_journal(self.journal_path)
+        first = scan.records[0].seq if scan.records else None
+        if first is None or first > self.applied_seq + 1:
+            # The journal does not cover our position (the primary
+            # checkpointed and truncated it): re-base on the newest
+            # snapshot, then re-apply whatever tail remains.
+            snaps = self._snapshot_files()
+            if snaps and snaps[0][0] > self.applied_seq:
+                self._load_snapshot()
+        applied = 0
+        for record in scan.records:
+            if record.seq <= self.applied_seq:
+                continue
+            if record.seq != self.applied_seq + 1:
+                break  # torn tail or gap: keep the prefix, try again later
+            if not self._apply(record):
+                break
+            self.applied_seq = record.seq
+            applied += 1
+        if applied:
+            self.metrics.counter(
+                "repro_replica_applied_total", "journal records applied"
+            ).inc(applied)
+        self.metrics.gauge(
+            "repro_replica_lag_records",
+            "journal records the replica trails the primary by",
+        ).set(float(self.lag(_scan=scan)))
+        return applied
+
+    def _apply(self, record: JournalRecord) -> bool:
+        """Apply one journal record; False stops replay at a safe prefix."""
+        if record.kind == "commit":
+            candidate = apply_delta(self.state, record.delta)
+            touched = delta_touched(record.delta)
+            if touched_digest(candidate, touched) != record.post_digest:
+                return False
+            self.state = candidate
+            return True
+        if record.kind == "prepare":
+            if record.txid is None or prepare_digest(record.delta) != (
+                record.post_digest
+            ):
+                return False
+            self._pending[record.txid] = record
+            return True
+        if record.kind == "outcome":
+            prep = self._pending.pop(record.txid or "", None)
+            if prep is None:
+                return False
+            decision = record.delta.get("decision")
+            if decision == "commit":
+                candidate = apply_delta(self.state, prep.delta)
+            elif decision == "abort":
+                candidate = self.state
+            else:
+                return False
+            touched = delta_touched(prep.delta)
+            if touched_digest(candidate, touched) != record.post_digest:
+                return False
+            self.state = candidate
+            return True
+        return False  # unknown record kind: stop at this safe prefix
+
+    def lag(self, *, _scan=None) -> int:
+        """How many durable journal records the replica has not applied."""
+        scan = _scan if _scan is not None else read_journal(self.journal_path)
+        behind = sum(1 for r in scan.records if r.seq > self.applied_seq)
+        if not scan.records:
+            # Journal truncated past us entirely: the newest snapshot's
+            # sequence bounds how far behind we are.
+            snaps = self._snapshot_files()
+            if snaps and snaps[0][0] > self.applied_seq:
+                behind = snaps[0][0] - self.applied_seq
+        return behind
+
+    # -- serving -----------------------------------------------------------
+
+    def query(
+        self,
+        program: DatabaseProgram,
+        *args: object,
+        max_lag: Optional[int] = None,
+        budget=None,
+    ) -> object:
+        """Answer ``program`` from the replica's snapshot.
+
+        ``max_lag`` bounds acceptable staleness in journal records
+        (defaulting to the replica's configured bound); exceeding it raises
+        :class:`~repro.errors.ReplicaLagExceeded` rather than answering.
+        The replica polls before checking, so a bound of 0 means "only if
+        fully caught up *now*"."""
+        self.poll()
+        bound = self.max_lag if max_lag is None else max_lag
+        behind = self.lag()
+        if behind > bound:
+            self.metrics.counter(
+                "repro_replica_queries_total",
+                "replica queries by outcome",
+                status="refused",
+            ).inc()
+            raise ReplicaLagExceeded(
+                applied=self.applied_seq,
+                primary=self.applied_seq + behind,
+                max_lag=bound,
+            )
+        interpreter = self.interpreter
+        if budget is not None:
+            import dataclasses
+
+            interpreter = dataclasses.replace(
+                interpreter, budget=budget.fresh()
+            )
+        try:
+            value = program.query(self.state, *args, interpreter=interpreter)
+        except ReproError:
+            self.metrics.counter(
+                "repro_replica_queries_total",
+                "replica queries by outcome",
+                status="error",
+            ).inc()
+            raise
+        self.metrics.counter(
+            "repro_replica_queries_total",
+            "replica queries by outcome",
+            status="ok",
+        ).inc()
+        return value

@@ -1,0 +1,938 @@
+"""``ShardedDatabase``: N independent engines behind one transaction API.
+
+Each shard is a full :class:`~repro.engine.Database` over the sub-schema
+its placement cluster induces (its relations *and* the constraints homed
+on them), with its own commit lock, its own durable
+:class:`~repro.storage.Store`, and its own journal sequence.  The
+journal-order-is-serial-order invariant therefore holds **per shard**; the
+global serial order is any interleaving consistent with the per-shard
+orders, which cross-shard transactions stitch together by holding every
+participant's lock for their whole prepare→decide→apply window.
+
+Routing is the static footprint analysis of :func:`repro.eval.footprint.
+program_footprint`: a program whose footprint lands on one shard commits
+there with **no coordination whatsoever** — no shared lock, no coordinator
+round-trip, nothing global but a monotone version counter.  Anything wider
+runs two-phase commit (:mod:`repro.sharding.twopc`) over the per-shard
+journals.
+
+Tuple identifiers stay globally unique by **block allocation**: a global
+counter (the only cross-shard synchronization single-shard commits ever
+touch, one lock-protected integer add per block, not per commit) hands out
+contiguous blocks of :data:`ALLOC_BLOCK` identifiers; each shard allocates
+within its current block and every cross-shard transaction evaluates in a
+fresh block, so ids minted concurrently can never collide.  Blocks are
+deliberately small — ``State.owner`` is a dense chunked vector, so id-space
+waste is padding — and a transaction that outgrows its block is simply
+re-evaluated (deterministically) against a fresh block sized to fit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.concurrent.log import CommitRecord
+from repro.concurrent.scheduler import TransactionOutcome, TransactionStatus
+from repro.db.schema import Schema
+from repro.db.state import State, initial_state
+from repro.engine import Database
+from repro.errors import InDoubt, ReproError, ShardError
+from repro.eval.footprint import Footprint, program_footprint
+from repro.obs.metrics import MetricsRegistry
+from repro.sharding.routing import ShardPlan, plan_placement
+from repro.sharding.twopc import (
+    Coordinator,
+    SimulatedCrash,
+    TwoPhaseFaults,
+    resolve_in_doubt,
+)
+from repro.storage.serialize import (
+    apply_delta,
+    delta_touched,
+    state_delta,
+    touched_digest,
+)
+from repro.storage.store import Recovery, Store
+from repro.transactions.interpreter import Interpreter
+from repro.transactions.program import DatabaseProgram
+
+#: Default tuple-identifier block span.  Small on purpose: the owner index
+#: is dense over ``[0, next_tid)``, so every unallocated id in a granted
+#: block costs one padding slot; transactions needing more ids than a block
+#: holds re-evaluate against a fresh, larger block.
+ALLOC_BLOCK = 1024
+
+
+@dataclass
+class _Shard:
+    """One shard's engine plus its commit lock and durable plumbing."""
+
+    index: int
+    db: Database
+    lock: threading.RLock
+    store: Optional[Store]
+    seq: int  # durable journal sequence (commit + prepare + outcome records)
+    block_hi: int  # exclusive upper bound of this shard's allocator block
+
+
+@dataclass(frozen=True)
+class Resolution:
+    """One in-doubt transaction resolved during :meth:`ShardedDatabase.
+    recover` — ``why`` names the evidence rule that decided it."""
+
+    txid: str
+    shard: int
+    decision: str
+    why: str
+
+
+@dataclass(frozen=True)
+class ShardRecovery:
+    """The full report of a sharded recovery."""
+
+    shards: tuple[Recovery, ...]
+    resolutions: tuple[Resolution, ...]
+
+    @property
+    def clean(self) -> bool:
+        return all(r.clean for r in self.shards)
+
+    def summary(self) -> str:
+        lines = [
+            f"shard {i}: {r.summary()}" for i, r in enumerate(self.shards)
+        ]
+        for res in self.resolutions:
+            lines.append(
+                f"in-doubt {res.txid} on shard {res.shard}: "
+                f"{res.decision} ({res.why})"
+            )
+        return "\n".join(lines)
+
+
+class ShardedDatabase:
+    """Partition one schema's relations across N independent shards.
+
+    >>> from repro.db.schema import Schema
+    >>> from repro.logic import builder as b
+    >>> from repro.transactions.program import query, transaction
+    >>> schema = Schema()
+    >>> _ = schema.add_relation("USERS", ("id", "name"))
+    >>> _ = schema.add_relation("EVENTS", ("id", "what"))
+    >>> sdb = ShardedDatabase(schema, shards=2)
+    >>> x, y = b.atom_var("x"), b.atom_var("y")
+    >>> signup = transaction("signup", (x, y),
+    ...     b.insert(b.mktuple(x, y), "USERS"))
+    >>> _ = sdb.execute(signup, 1, "ada")
+    >>> sdb.query(query("users", (), b.size_of(b.rel("USERS", 2))))
+    1
+    >>> sdb.stats()["single_shard_commits"]
+    1
+    >>> sdb.close()
+    """
+
+    #: Duck-typing marker the transaction server routes on.
+    is_sharded = True
+
+    def __init__(
+        self,
+        schema: Schema,
+        *,
+        shards: int = 4,
+        window: Optional[int] = 2,
+        initial: Optional[State] = None,
+        placement=None,
+        path: Optional[str] = None,
+        sync: str = "commit",
+        checkpoint_every: int = 64,
+        metrics: Optional[MetricsRegistry] = None,
+        strict: bool = False,
+        interpreter: Optional[Interpreter] = None,
+        faults: Optional[TwoPhaseFaults] = None,
+        _resume=None,
+    ) -> None:
+        self.schema = schema
+        self.plan: ShardPlan = plan_placement(
+            schema, shards, overrides=placement
+        )
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.interpreter = interpreter or Interpreter()
+        self.strict = strict
+        self.checkpoint_every = checkpoint_every
+        self.faults = faults
+        self.path = os.fspath(path) if path is not None else None
+        self._alloc_lock = threading.Lock()
+        self._version_lock = threading.Lock()
+        self._version = 0
+        self._crashed = False
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._live_placement: dict[str, int] = {}
+
+        if _resume is not None:
+            states, seqs, stores, coordinator = _resume
+            self.coordinator = coordinator
+            # Re-base the allocator past every identifier recovery saw:
+            # shard allocators move to fresh blocks above the global high
+            # water mark, so ids from interrupted transaction blocks can
+            # never be re-minted.
+            high = 1
+            for state in states:
+                high = max(high, state.next_tid)
+                for rel in state.relations.values():
+                    for tid in rel.tuples:
+                        high = max(high, tid + 1)
+            self._next_free = high
+            rebuilt = []
+            for i, state in enumerate(states):
+                lo, hi = self._grab_block()
+                rebuilt.append(
+                    _Shard(
+                        index=i,
+                        db=Database(
+                            self._subschema(i),
+                            window=window,
+                            initial=State(state.relations, state.owner, lo),
+                            interpreter=self.interpreter,
+                            strict=strict,
+                            record_graph=False,
+                            metrics=self.metrics,
+                        ),
+                        lock=threading.RLock(),
+                        store=stores[i],
+                        seq=seqs[i],
+                        block_hi=hi,
+                    )
+                )
+            self.shards = tuple(rebuilt)
+            self._version = sum(seqs)
+            return
+
+        full = initial if initial is not None else initial_state(schema)
+        self._next_free = full.next_tid
+        stores: list[Optional[Store]] = [None] * shards
+        if self.path is not None:
+            self.coordinator = Coordinator(
+                os.path.join(self.path, "coordinator"),
+                sync=sync,
+                metrics=self.metrics,
+            )
+            for i in range(shards):
+                store = Store(
+                    os.path.join(self.path, f"shard-{i}"),
+                    checkpoint_every=checkpoint_every,
+                    sync=sync,
+                    metrics=self.metrics,
+                )
+                if not store.is_fresh():
+                    raise ShardError(
+                        f"shard directory {store.path} already holds a run; "
+                        f"use ShardedDatabase.recover()"
+                    )
+                stores[i] = store
+        else:
+            self.coordinator = Coordinator(None, metrics=self.metrics)
+
+        built = []
+        for i in range(shards):
+            rels = {
+                name: rel
+                for name, rel in full.relations.items()
+                if self.plan.shard_of(name) == i
+            }
+            owner = {
+                tid: name for name, rel in rels.items() for tid in rel.tuples
+            }
+            lo, hi = self._grab_block()
+            state = State(rels, owner, lo)
+            if stores[i] is not None:
+                stores[i].initialize(state)
+            built.append(
+                _Shard(
+                    index=i,
+                    db=Database(
+                        self._subschema(i),
+                        window=window,
+                        initial=state,
+                        interpreter=self.interpreter,
+                        strict=strict,
+                        record_graph=False,
+                        metrics=self.metrics,
+                    ),
+                    lock=threading.RLock(),
+                    store=stores[i],
+                    seq=0,
+                    block_hi=hi,
+                )
+            )
+        self.shards = tuple(built)
+
+    # -- construction helpers ----------------------------------------------
+
+    def _subschema(self, index: int) -> Schema:
+        """The sub-schema shard ``index`` enforces: its relations plus
+        every constraint homed on it (whole footprint co-located there)."""
+        sub = Schema()
+        for name in sorted(self.schema.relations):
+            if self.plan.shard_of(name) == index:
+                sub.add_relation(name, self.schema.relations[name].attributes)
+        for constraint in self.schema.constraints:
+            if self.plan.constraint_home.get(constraint.name) == index:
+                sub.add_constraint(constraint)
+        return sub
+
+    @classmethod
+    def recover(
+        cls,
+        schema: Schema,
+        path: str,
+        *,
+        shards: Optional[int] = None,
+        window: Optional[int] = 2,
+        placement=None,
+        sync: str = "commit",
+        checkpoint_every: int = 64,
+        metrics: Optional[MetricsRegistry] = None,
+        strict: bool = False,
+        interpreter: Optional[Interpreter] = None,
+    ) -> tuple["ShardedDatabase", ShardRecovery]:
+        """Re-derive a sharded run from disk and resolve every in-doubt
+        transaction.
+
+        Each shard recovers its own longest provable prefix
+        (:meth:`repro.storage.Store.recover`); prepares without outcomes
+        are then resolved by :func:`repro.sharding.twopc.resolve_in_doubt`
+        — coordinator decision record first, sibling-shard outcome second,
+        presumed abort otherwise — and the resolution is made durable
+        (decision record, then per-shard OUTCOME records) **before** the
+        database accepts new work, so a crash during recovery re-resolves
+        identically.
+        """
+        path = os.fspath(path)
+        metrics = metrics if metrics is not None else MetricsRegistry()
+        if shards is None:
+            found = [
+                int(name.split("-", 1)[1])
+                for name in os.listdir(path)
+                if name.startswith("shard-")
+                and name.split("-", 1)[1].isdigit()
+            ]
+            if not found:
+                raise ShardError(f"no shard directories under {path}")
+            shards = max(found) + 1
+        coordinator = Coordinator(
+            os.path.join(path, "coordinator"), sync=sync, metrics=metrics
+        )
+        stores = [
+            Store(
+                os.path.join(path, f"shard-{i}"),
+                checkpoint_every=checkpoint_every,
+                sync=sync,
+                metrics=metrics,
+            )
+            for i in range(shards)
+        ]
+        recoveries = [store.recover() for store in stores]
+
+        # Evidence rule 2: an outcome some shard already applied proves the
+        # decision was durable even if the decision journal was lost.
+        applied: dict[str, str] = {}
+        for recovery in recoveries:
+            for record in recovery.replayed:
+                if record.kind == "outcome" and record.txid is not None:
+                    applied[record.txid] = record.delta.get("decision", "abort")
+
+        resolutions: list[Resolution] = []
+        states: list[State] = []
+        seqs: list[int] = []
+        for i, recovery in enumerate(recoveries):
+            state, seq = recovery.state, recovery.seq
+            for prep in recovery.pending:
+                decision, why = resolve_in_doubt(
+                    prep.txid, coordinator.decisions(), applied
+                )
+                # Durable order mirrors the live path: decision first, then
+                # the shard outcome — a crash in between re-resolves the
+                # same way from the decision record.
+                coordinator.decide(prep.txid, decision, shards=(i,))
+                if decision == "commit":
+                    state = apply_delta(state, prep.delta)
+                seq += 1
+                stores[i].log_outcome(state, prep, decision, seq=seq)
+                applied[prep.txid] = decision
+                resolutions.append(Resolution(prep.txid, i, decision, why))
+                metrics.counter(
+                    "repro_shard_in_doubt_resolved_total",
+                    "in-doubt 2PC transactions resolved during recovery",
+                    decision=decision,
+                ).inc()
+            states.append(state)
+            seqs.append(seq)
+
+        sdb = cls(
+            schema,
+            shards=shards,
+            window=window,
+            placement=placement,
+            sync=sync,
+            checkpoint_every=checkpoint_every,
+            metrics=metrics,
+            strict=strict,
+            interpreter=interpreter,
+            _resume=(states, seqs, stores, coordinator),
+        )
+        report = ShardRecovery(tuple(recoveries), tuple(resolutions))
+        return sdb, report
+
+    # -- routing -----------------------------------------------------------
+
+    def _shard_of(self, name: str) -> int:
+        live = self._live_placement.get(name)
+        if live is not None:
+            return live
+        return self.plan.shard_of(name)
+
+    def _participants(self, footprint: Footprint) -> list[int]:
+        """The shards a program may touch (sorted).  Arity widening with no
+        constraint home fans out to every shard: relations of that arity
+        may exist anywhere, now or by the time evaluation runs."""
+        if not footprint.eligible or footprint.universe:
+            return list(range(len(self.shards)))
+        found = {self._shard_of(name) for name in footprint.relations}
+        for arity in footprint.arities:
+            homed = self.plan.arity_home.get(arity)
+            if homed is None:
+                return list(range(len(self.shards)))
+            found.add(homed)
+        if not found:
+            found = {0}
+        return sorted(found)
+
+    def _check_alive(self) -> None:
+        if self._crashed:
+            raise ShardError(
+                "sharded database crashed mid-2PC (simulated); "
+                "recover() it from disk"
+            )
+
+    def _grab_block(self, span: int = ALLOC_BLOCK) -> tuple[int, int]:
+        """A fresh contiguous id block ``[lo, hi)`` from the global counter
+        — the only allocation-related synchronization between shards."""
+        with self._alloc_lock:
+            lo = self._next_free
+            self._next_free += span
+        return lo, lo + span
+
+    def _bump_version(self) -> tuple[int, int]:
+        with self._version_lock:
+            previous = self._version
+            self._version += 1
+            return previous, self._version
+
+    @property
+    def version(self) -> int:
+        """Total commits across every shard (the server's snapshot hint)."""
+        return self._version
+
+    def _record_created(self, before: State, after: State, shard: int) -> None:
+        for name in after.relations:
+            if name not in before.relations:
+                self._live_placement[name] = shard
+        for name in before.relations:
+            if name not in after.relations:
+                self._live_placement.pop(name, None)
+
+    def _guard_created(self, before: State, after: State) -> None:
+        """Refuse a runtime relation creation that would scatter a homed
+        arity — silently weakening an arity-quantified constraint is worse
+        than a typed refusal telling the user to declare the relation."""
+        for name, rel in after.relations.items():
+            if name in before.relations:
+                continue
+            home = self.plan.arity_home.get(rel.arity)
+            if home is not None and self._shard_of(name) != home:
+                raise ShardError(
+                    f"creating relation {name!r} (arity {rel.arity}) on "
+                    f"shard {self._shard_of(name)} would scatter arity "
+                    f"{rel.arity}, which constraint checking homes on "
+                    f"shard {home}; declare it in the schema instead"
+                )
+
+    # -- execution ---------------------------------------------------------
+
+    def execute(
+        self,
+        program: DatabaseProgram,
+        *args: object,
+        label: Optional[str] = None,
+        budget=None,
+    ) -> State:
+        """Run a transaction; raises like :meth:`repro.engine.Database.
+        execute` (plus :class:`~repro.errors.InDoubt` under injected 2PC
+        crashes).  Returns the post-state as the transaction saw it — the
+        single shard's state, or the merged view for cross-shard commits."""
+        state, _ = self._execute(program, args, label, budget)
+        return state
+
+    def execute_outcome(
+        self,
+        program: DatabaseProgram,
+        *args: object,
+        label: Optional[str] = None,
+        budget=None,
+    ) -> TransactionOutcome:
+        """Like :meth:`execute` but returns a :class:`~repro.concurrent.
+        scheduler.TransactionOutcome` instead of raising — the shape the
+        transaction server and ``run_batch`` consume."""
+        name = label or program.name
+        try:
+            state, record = self._execute(program, args, name, budget)
+        except ReproError as err:
+            return TransactionOutcome(
+                name, TransactionStatus.FAILED, None, 1, (), None, err
+            )
+        return TransactionOutcome(
+            name, TransactionStatus.COMMITTED, state, 1, (), record, None
+        )
+
+    def run_batch(
+        self,
+        requests: Sequence[tuple],
+        *,
+        retry=None,
+        deadline=None,
+    ) -> list[TransactionOutcome]:
+        """Run ``(program, args, label, budget)`` requests across shards in
+        parallel; outcomes return in request order.  ``retry``/``deadline``
+        are accepted for signature compatibility with the optimistic
+        manager's batch API — lock-based shard commits neither conflict nor
+        retry."""
+        del retry, deadline
+        if not requests:
+            return []
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=max(2, len(self.shards)),
+                thread_name_prefix="shard",
+            )
+        futures = [
+            self._pool.submit(
+                self.execute_outcome, program, *tuple(args),
+                label=label, budget=budget,
+            )
+            for program, args, label, budget in requests
+        ]
+        return [f.result() for f in futures]
+
+    def _interpreter_for(self, budget) -> Interpreter:
+        if budget is None:
+            return self.interpreter
+        return dataclasses.replace(self.interpreter, budget=budget.fresh())
+
+    def _execute(
+        self, program: DatabaseProgram, args, label, budget
+    ) -> tuple[State, CommitRecord]:
+        label = label or program.name
+        self._check_alive()
+        footprint = program_footprint(program, self.schema)
+        participants = self._participants(footprint)
+        if len(participants) == 1:
+            return self._execute_single(
+                self.shards[participants[0]], program, args, label, budget,
+                footprint,
+            )
+        return self._execute_cross(
+            [self.shards[i] for i in participants], program, args, label,
+            budget, footprint,
+        )
+
+    def _make_record(
+        self, footprint, program, args, label, delta, results, latency
+    ) -> CommitRecord:
+        previous, version = self._bump_version()
+        write_set = frozenset(delta_touched(delta))
+        return CommitRecord(
+            seq=version,
+            label=label,
+            program=program,
+            args=tuple(args),
+            snapshot_version=previous,
+            read_set=frozenset(footprint.relations) | write_set,
+            write_set=write_set,
+            attempts=1,
+            conflicts=(),
+            constraint_results=results,
+            latency=latency,
+        )
+
+    def _execute_single(
+        self, shard: _Shard, program, args, label, budget, footprint
+    ) -> tuple[State, CommitRecord]:
+        started = time.perf_counter()
+        with shard.lock:
+            self._check_alive()
+            before = shard.db.current
+            raw = program.run(
+                before, *args, interpreter=self._interpreter_for(budget)
+            )
+            if raw.next_tid > shard.block_hi:
+                # The transaction outgrew the shard's id block: re-evaluate
+                # (deterministically) against a fresh block sized to fit.
+                span = max(
+                    ALLOC_BLOCK, 2 * (raw.next_tid - before.next_tid)
+                )
+                lo, hi = self._grab_block(span)
+                view = State(before.relations, before.owner, lo)
+                raw = program.run(
+                    view, *args, interpreter=self._interpreter_for(budget)
+                )
+                if raw.next_tid > hi:  # pragma: no cover - defensive
+                    raise ShardError(
+                        f"shard {shard.index}: nondeterministic allocation "
+                        f"while re-running {label}"
+                    )
+                shard.block_hi = hi
+            self._guard_created(before, raw)
+            final = shard.db.apply(
+                raw, label=label, program_name=program.name, args=tuple(args)
+            )
+            shard.seq += 1
+            if shard.store is not None:
+                shard.store.log_commit(
+                    before,
+                    final,
+                    seq=shard.seq,
+                    label=label,
+                    program=program.name,
+                    args=tuple(args),
+                )
+            self._record_created(before, final, shard.index)
+            delta = state_delta(before, final)
+            exec_record = shard.db.records[-1]
+            results = tuple(
+                (r.constraint.name, r.ok) for r in exec_record.results
+            )
+            latency = time.perf_counter() - started
+            record = self._make_record(
+                footprint, program, args, label, delta, results, latency
+            )
+        self.metrics.counter(
+            "repro_shard_commits_total",
+            "transactions committed, by shard and routing mode",
+            shard=str(shard.index),
+            mode="single",
+        ).inc()
+        self.metrics.histogram(
+            "repro_shard_commit_seconds",
+            "commit latency by routing mode",
+            mode="single",
+        ).observe(latency)
+        return final, record
+
+    def _merge(self, states: Sequence[State], next_tid: int) -> State:
+        relations = {}
+        owner = {}
+        for state in states:
+            relations.update(state.relations)
+            owner.update(state.owner)
+        return State(relations, owner, next_tid)
+
+    def _split_views(
+        self, shards: Sequence[_Shard], after: State
+    ) -> dict[int, State]:
+        """Partition the merged post-state back into per-shard views.
+
+        Untouched relations keep their identity across merge/split, so the
+        per-shard deltas stay O(touched)."""
+        indices = {s.index for s in shards}
+        per_shard: dict[int, dict] = {s.index: {} for s in shards}
+        for name, rel in after.relations.items():
+            target = self._shard_of(name)
+            if target not in indices:
+                raise ShardError(
+                    f"evaluation wrote relation {name!r} owned by shard "
+                    f"{target}, which was not a routed participant"
+                )
+            per_shard[target][name] = rel
+        views = {}
+        for shard in shards:
+            rels = per_shard[shard.index]
+            owner = {
+                tid: name for name, rel in rels.items() for tid in rel.tuples
+            }
+            views[shard.index] = State(
+                rels, owner, shard.db.current.next_tid
+            )
+        return views
+
+    @staticmethod
+    def _delta_empty(delta: dict) -> bool:
+        return not (
+            delta.get("created")
+            or delta.get("dropped")
+            or delta.get("changes")
+        )
+
+    def _reach(self, point: str) -> None:
+        if self.faults is not None:
+            self.faults.reach(point)
+
+    def _execute_cross(
+        self, shards: list[_Shard], program, args, label, budget, footprint
+    ) -> tuple[State, CommitRecord]:
+        started = time.perf_counter()
+        acquired: list[_Shard] = []
+        txid: Optional[str] = None
+        try:
+            for shard in shards:  # index order: deadlock-free
+                shard.lock.acquire()
+                acquired.append(shard)
+            self._check_alive()
+            block_lo, block_hi = self._grab_block()
+            merged = self._merge(
+                [s.db.current for s in shards], next_tid=block_lo
+            )
+            after = program.run(
+                merged, *args, interpreter=self._interpreter_for(budget)
+            )
+            if after.next_tid > block_hi:
+                # Outgrew the block: deterministic re-run on a bigger one.
+                span = max(ALLOC_BLOCK, 2 * (after.next_tid - block_lo))
+                block_lo, block_hi = self._grab_block(span)
+                merged = self._merge(
+                    [s.db.current for s in shards], next_tid=block_lo
+                )
+                after = program.run(
+                    merged, *args, interpreter=self._interpreter_for(budget)
+                )
+                if after.next_tid > block_hi:  # pragma: no cover
+                    raise ShardError(
+                        f"nondeterministic allocation re-running {label}"
+                    )
+            self._guard_created(merged, after)
+            views = self._split_views(shards, after)
+
+            # Rehearse every participant before anything touches disk: a
+            # prepare is a promise, so validation must be complete first.
+            staged: dict[int, State] = {}
+            deltas: dict[int, dict] = {}
+            for shard in shards:
+                staged_state = shard.db.rehearse(
+                    views[shard.index], label=label, program_name=program.name
+                )
+                delta = state_delta(shard.db.current, staged_state)
+                staged[shard.index] = staged_state
+                deltas[shard.index] = delta
+            writers = [
+                s for s in shards if not self._delta_empty(deltas[s.index])
+            ]
+
+            results: tuple = ()
+            if writers:
+                txid = self.coordinator.next_txid(label)
+                prepared = {}
+                for k, shard in enumerate(writers):
+                    shard.seq += 1
+                    if shard.store is not None:
+                        prepared[shard.index] = shard.store.log_prepare(
+                            shard.db.current,
+                            staged[shard.index],
+                            seq=shard.seq,
+                            txid=txid,
+                            label=label,
+                            program=program.name,
+                            args=tuple(args),
+                        )
+                    self.metrics.counter(
+                        "repro_shard_prepares_total",
+                        "2PC PREPARE records journaled",
+                        shard=str(shard.index),
+                    ).inc()
+                    self._reach(f"prepare:{k}")
+                self._reach("before-decision")
+                decision = (
+                    "abort"
+                    if self.faults is not None and self.faults.abort_txn
+                    else "commit"
+                )
+                self.coordinator.decide(
+                    txid, decision,
+                    shards=tuple(s.index for s in writers),
+                )
+                self._reach("after-decision")
+                if decision == "abort":
+                    for k, shard in enumerate(writers):
+                        shard.seq += 1
+                        if shard.store is not None:
+                            shard.store.log_outcome(
+                                shard.db.current,
+                                prepared[shard.index],
+                                "abort",
+                                seq=shard.seq,
+                            )
+                        self._reach(f"outcome:{k}")
+                    raise ShardError(
+                        f"transaction {label} ({txid}) aborted by "
+                        f"coordinator fault plan"
+                    )
+                for k, shard in enumerate(writers):
+                    expected = touched_digest(
+                        staged[shard.index],
+                        delta_touched(deltas[shard.index]),
+                    )
+                    try:
+                        final = shard.db.apply(
+                            views[shard.index],
+                            label=label,
+                            program_name=program.name,
+                            args=tuple(args),
+                        )
+                    except ReproError as err:  # pragma: no cover - defensive
+                        self._crashed = True
+                        raise ShardError(
+                            f"shard {shard.index} apply diverged from its "
+                            f"rehearsal after a durable commit decision: "
+                            f"{err}"
+                        ) from err
+                    if (
+                        touched_digest(
+                            final, delta_touched(deltas[shard.index])
+                        )
+                        != expected
+                    ):  # pragma: no cover - defensive
+                        self._crashed = True
+                        raise ShardError(
+                            f"shard {shard.index} applied state differs "
+                            f"from the prepared one ({txid})"
+                        )
+                    shard.seq += 1
+                    if shard.store is not None:
+                        shard.store.log_outcome(
+                            final, prepared[shard.index], "commit",
+                            seq=shard.seq,
+                        )
+                        if shard.seq % self.checkpoint_every == 0:
+                            shard.store.checkpoint(final, shard.seq)
+                    self._record_created(merged, after, shard.index)
+                    exec_record = shard.db.records[-1]
+                    results = results + tuple(
+                        (r.constraint.name, r.ok)
+                        for r in exec_record.results
+                    )
+                    self.metrics.counter(
+                        "repro_shard_commits_total",
+                        "transactions committed, by shard and routing mode",
+                        shard=str(shard.index),
+                        mode="cross",
+                    ).inc()
+                    self._reach(f"outcome:{k}")
+            latency = time.perf_counter() - started
+            self.metrics.histogram(
+                "repro_shard_commit_seconds",
+                "commit latency by routing mode",
+                mode="cross",
+            ).observe(latency)
+            record = self._make_record(
+                footprint, program, args, label,
+                state_delta(merged, after), results, latency,
+            )
+            return after, record
+        except SimulatedCrash as crash:
+            self._crashed = True
+            decided = (
+                txid is not None
+                and self.coordinator.decision_for(txid) == "commit"
+            )
+            raise InDoubt(
+                txid or label, crash.point, decided=decided
+            ) from None
+        finally:
+            for shard in reversed(acquired):
+                shard.lock.release()
+
+    # -- queries -----------------------------------------------------------
+
+    def query(
+        self, program: DatabaseProgram, *args: object, budget=None
+    ) -> object:
+        """Evaluate a query: routed to one shard when its footprint is
+        single-shard, else over a consistent global cut (all shard locks
+        taken briefly to snapshot, evaluation outside the locks)."""
+        self._check_alive()
+        footprint = program_footprint(program, self.schema)
+        participants = self._participants(footprint)
+        if len(participants) == 1:
+            return self.shards[participants[0]].db.query(
+                program, *args, budget=budget
+            )
+        cut = self._global_cut()
+        block_lo, _ = self._grab_block()
+        merged = self._merge(
+            [cut[i] for i in participants], next_tid=block_lo
+        )
+        return program.query(
+            merged, *args, interpreter=self._interpreter_for(budget)
+        )
+
+    def _global_cut(self) -> list[State]:
+        """A consistent snapshot across every shard: all locks in index
+        order, read the heads, release.  States are immutable, so the cut
+        stays valid after release."""
+        for shard in self.shards:
+            shard.lock.acquire()
+        try:
+            return [shard.db.current for shard in self.shards]
+        finally:
+            for shard in reversed(self.shards):
+                shard.lock.release()
+
+    def combined_state(self) -> State:
+        """The merged global state over a consistent cut (allocator set to
+        the global high-water mark; for inspection, not for evaluation)."""
+        return self._merge(self._global_cut(), next_tid=self._next_free)
+
+    # -- introspection / lifecycle ------------------------------------------
+
+    def stats(self) -> dict:
+        """Routing and commit counters, resolved from the metrics registry."""
+        families = self.metrics.families()
+        single = sum(
+            int(instrument.value)
+            for labels, instrument in families.get(
+                "repro_shard_commits_total", ()
+            )
+            if dict(labels).get("mode") == "single"
+        )
+        cross = sum(
+            int(instrument.value)
+            for labels, instrument in families.get(
+                "repro_shard_decisions_total", ()
+            )
+            if dict(labels).get("decision") == "commit"
+        )
+        return {
+            "shards": len(self.shards),
+            "version": self._version,
+            "single_shard_commits": single,
+            "cross_shard_commits": cross,
+            "placement": dict(self.plan.placement),
+        }
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        for shard in self.shards:
+            if shard.store is not None:
+                shard.store.close()
+        self.coordinator.close()
+
+    def __enter__(self) -> "ShardedDatabase":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -55,6 +55,17 @@ class JournalRecord:
     ``post_digest`` is the SHA-256 of the post-commit content of the
     relations this commit touched (plus the allocator) — an O(|delta|)
     check chaining each record to the exact state it produced.
+
+    ``kind`` distinguishes record types since the sharding layer landed:
+    ``"commit"`` (the default — a fully applied transaction), ``"prepare"``
+    (a two-phase-commit participant's promise: the delta is staged but not
+    applied), and ``"outcome"`` (the participant learned the coordinator's
+    decision; ``delta`` holds ``{"decision": "commit"|"abort"}``).  The
+    coordinator's own journal additionally uses ``"decision"`` and
+    ``"epoch"`` records.  ``txid`` correlates prepare/outcome/decision
+    records of one distributed transaction across journals.  Both fields
+    are omitted from the wire encoding for plain commits, so journals
+    written before the sharding layer decode unchanged.
     """
 
     seq: int
@@ -64,9 +75,11 @@ class JournalRecord:
     snapshot_version: Optional[int]
     delta: dict
     post_digest: str
+    kind: str = "commit"
+    txid: Optional[str] = None
 
     def to_doc(self) -> dict:
-        return {
+        doc = {
             "seq": self.seq,
             "label": self.label,
             "program": self.program,
@@ -75,6 +88,11 @@ class JournalRecord:
             "delta": self.delta,
             "post_digest": self.post_digest,
         }
+        if self.kind != "commit":
+            doc["kind"] = self.kind
+        if self.txid is not None:
+            doc["txid"] = self.txid
+        return doc
 
     @staticmethod
     def from_doc(doc: dict) -> "JournalRecord":
@@ -86,6 +104,8 @@ class JournalRecord:
             snapshot_version=doc.get("snapshot_version"),
             delta=doc["delta"],
             post_digest=doc["post_digest"],
+            kind=doc.get("kind", "commit"),
+            txid=doc.get("txid"),
         )
 
 

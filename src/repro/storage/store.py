@@ -22,9 +22,10 @@ safe — recovery skips journal records at or below the snapshot's sequence.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -41,6 +42,7 @@ from repro.storage.journal import (
 from repro.storage.serialize import (
     SerializationError,
     apply_delta,
+    canonical_bytes,
     delta_touched,
     encode_args,
     state_delta,
@@ -56,6 +58,17 @@ from repro.storage.snapshot import (
 JOURNAL_NAME = "wal.log"
 
 
+def prepare_digest(delta: dict) -> str:
+    """The integrity digest of a PREPARE record.
+
+    A prepare stages a delta without applying it, so there is no post-state
+    to digest; instead the digest covers the staged delta itself, making a
+    corrupted prepare detectable before recovery ever considers resolving
+    it.
+    """
+    return hashlib.sha256(canonical_bytes({"prepare": delta})).hexdigest()
+
+
 @dataclass(frozen=True)
 class Recovery:
     """What :meth:`Store.recover` re-derived from disk.
@@ -65,6 +78,13 @@ class Recovery:
     ``len(replayed)`` more from the journal tail.  ``clean`` is True when
     the journal ended at a frame boundary with no sequence gap or digest
     mismatch; otherwise ``reason`` says where and why replay stopped.
+
+    ``pending`` holds PREPARE records whose OUTCOME never reached this
+    journal — in-doubt two-phase-commit participations.  Their deltas are
+    **not** applied to ``state``; the sharding layer's ``recover()``
+    resolves each against the coordinator's decision journal (see
+    :mod:`repro.sharding.twopc`).  For a non-sharded store it is always
+    empty.
     """
 
     state: State
@@ -73,13 +93,17 @@ class Recovery:
     replayed: tuple[JournalRecord, ...]
     clean: bool
     reason: str
+    pending: tuple[JournalRecord, ...] = field(default=())
 
     def summary(self) -> str:
         status = "clean" if self.clean else f"stopped: {self.reason}"
+        in_doubt = (
+            f", {len(self.pending)} in-doubt prepare(s)" if self.pending else ""
+        )
         return (
             f"recovered to seq={self.seq} "
             f"(snapshot {self.snapshot_seq} + {len(self.replayed)} journal "
-            f"records, {status})"
+            f"records, {status}{in_doubt})"
         )
 
 
@@ -182,6 +206,73 @@ class Store:
             self.checkpoint(after, seq)
         return record
 
+    def log_prepare(
+        self,
+        before: State,
+        staged: State,
+        *,
+        seq: int,
+        txid: str,
+        label: str,
+        program: Optional[str] = None,
+        args: tuple[object, ...] = (),
+        snapshot_version: Optional[int] = None,
+    ) -> JournalRecord:
+        """Journal a two-phase-commit PREPARE: the delta to ``staged`` is
+        durable but **not applied** until a matching OUTCOME record lands.
+
+        The caller (the sharding layer's coordinator) must hold this
+        shard's commit lock for the whole prepare→decide→apply window, so
+        no checkpoint can truncate a pending prepare out from under its
+        outcome.
+        """
+        delta = state_delta(before, staged)
+        record = JournalRecord(
+            seq=seq,
+            label=label,
+            program=program,
+            args=tuple(encode_args(tuple(args))),
+            snapshot_version=snapshot_version,
+            delta=delta,
+            post_digest=prepare_digest(delta),
+            kind="prepare",
+            txid=txid,
+        )
+        self.journal.append(record)
+        return record
+
+    def log_outcome(
+        self,
+        state: State,
+        prepare: JournalRecord,
+        decision: str,
+        *,
+        seq: int,
+    ) -> JournalRecord:
+        """Journal the decision for a pending ``prepare``.
+
+        ``state`` is the shard state *after* honoring the decision (the
+        prepared delta applied for ``"commit"``, unchanged for
+        ``"abort"``); the record's digest covers the prepare's touched
+        relations in that state, so recovery re-verifies that replaying its
+        own resolution reproduces exactly what the live process had.
+        """
+        if decision not in ("commit", "abort"):
+            raise ReproError(f"unknown 2PC decision {decision!r}")
+        record = JournalRecord(
+            seq=seq,
+            label=prepare.label,
+            program=prepare.program,
+            args=prepare.args,
+            snapshot_version=prepare.snapshot_version,
+            delta={"decision": decision},
+            post_digest=touched_digest(state, delta_touched(prepare.delta)),
+            kind="outcome",
+            txid=prepare.txid,
+        )
+        self.journal.append(record)
+        return record
+
     def checkpoint(self, state: State, seq: int) -> None:
         """Write a snapshot for ``seq`` and truncate the journal to the
         records it does not cover."""
@@ -255,6 +346,7 @@ class Store:
             )
         seq = snapshot_at
         replayed: list[JournalRecord] = []
+        pending: dict[str, JournalRecord] = {}
         for record in scan.records:
             if record.seq <= seq:
                 continue  # already inside the snapshot (checkpoint crash)
@@ -264,6 +356,68 @@ class Store:
                     f"sequence gap: journal resumes at {record.seq} "
                     f"but recovery reached {seq}"
                 )
+                break
+            if record.kind == "prepare":
+                # A staged 2PC delta: verify its integrity, remember it,
+                # but do not apply — its fate is the matching outcome's.
+                if record.txid is None or record.txid in pending:
+                    clean = False
+                    reason = (
+                        f"record {record.seq} prepare with "
+                        f"{'duplicate' if record.txid else 'missing'} txid"
+                    )
+                    break
+                if prepare_digest(record.delta) != record.post_digest:
+                    clean = False
+                    reason = f"record {record.seq} prepare digest mismatch"
+                    break
+                pending[record.txid] = record
+                seq = record.seq
+                replayed.append(record)
+                continue
+            if record.kind == "outcome":
+                prep = pending.pop(record.txid or "", None)
+                if prep is None:
+                    clean = False
+                    reason = (
+                        f"record {record.seq} outcome without a pending "
+                        f"prepare for txid {record.txid!r}"
+                    )
+                    break
+                decision = record.delta.get("decision")
+                if decision == "commit":
+                    try:
+                        candidate = apply_delta(state, prep.delta)
+                    except SerializationError as err:
+                        clean = False
+                        reason = (
+                            f"record {record.seq} prepared delta "
+                            f"unreplayable: {err}"
+                        )
+                        break
+                elif decision == "abort":
+                    candidate = state
+                else:
+                    clean = False
+                    reason = (
+                        f"record {record.seq} outcome with unknown "
+                        f"decision {decision!r}"
+                    )
+                    break
+                if (
+                    touched_digest(candidate, delta_touched(prep.delta))
+                    != record.post_digest
+                ):
+                    clean = False
+                    reason = f"record {record.seq} post-state digest mismatch"
+                    break
+                state = candidate
+                seq = record.seq
+                replayed.append(record)
+                continue
+            if record.kind != "commit":
+                clean = False
+                reason = f"record {record.seq} has unknown kind {record.kind!r}"
                 break
             try:
                 candidate = apply_delta(state, record.delta)
@@ -281,6 +435,7 @@ class Store:
             state = candidate
             seq = record.seq
             replayed.append(record)
+        in_doubt = tuple(sorted(pending.values(), key=lambda r: r.seq))
         return Recovery(
             state=state,
             seq=seq,
@@ -288,4 +443,5 @@ class Store:
             replayed=tuple(replayed),
             clean=clean,
             reason=reason,
+            pending=in_doubt,
         )

@@ -6,5 +6,18 @@ from repro.testing.chaos import (
     ChaosReport,
     run_soak,
 )
+from repro.testing.chaos_sharding import (
+    ShardChaosConfig,
+    ShardChaosReport,
+    run_shard_soak,
+)
 
-__all__ = ["ChaosConfig", "ChaosInjector", "ChaosReport", "run_soak"]
+__all__ = [
+    "ChaosConfig",
+    "ChaosInjector",
+    "ChaosReport",
+    "ShardChaosConfig",
+    "ShardChaosReport",
+    "run_soak",
+    "run_shard_soak",
+]

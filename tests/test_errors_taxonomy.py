@@ -140,6 +140,65 @@ class TestConstructors:
         assert "mid-request" in str(SessionClosed("lost mid-request"))
 
 
+class TestShardingBranch:
+    """ShardError / InDoubt / ReplicaLagExceeded — the horizontal-scale
+    branch."""
+
+    def test_shard_error_is_not_a_resource_error(self):
+        """A routing or placement violation is a bug (or a refused unsound
+        operation), never a retry-later condition."""
+        from repro.errors import ShardError
+
+        assert issubclass(ShardError, ReproError)
+        assert not issubclass(ShardError, ResourceError)
+
+    def test_in_doubt_must_not_be_retried_blindly(self):
+        """InDoubt means the transaction MAY have committed: a client that
+        resubmits on it can double-apply.  It must therefore never land in
+        the retry-later (ResourceError) branch."""
+        from repro.errors import InDoubt, ShardError
+
+        assert issubclass(InDoubt, ShardError)
+        assert not issubclass(InDoubt, ResourceError)
+        assert not issubclass(InDoubt, EvaluationError)
+
+    def test_in_doubt_carries_txid_point_and_fate(self):
+        from repro.errors import InDoubt
+
+        err = InDoubt("e1-4-transfer", point="after-decision", decided=True)
+        assert err.txid == "e1-4-transfer"
+        assert err.point == "after-decision"
+        assert err.decided is True
+        assert "e1-4-transfer" in str(err)
+        assert "after-decision" in str(err)
+
+    def test_replica_lag_is_a_resource_error(self):
+        """A lagging replica is a load/freshness condition: clients retry
+        against the primary or wait — exactly the retry-later branch."""
+        from repro.errors import ReplicaLagExceeded, ShardError
+
+        assert issubclass(ReplicaLagExceeded, ShardError)
+        assert issubclass(ReplicaLagExceeded, ResourceError)
+
+    def test_replica_lag_carries_watermarks(self):
+        from repro.errors import ReplicaLagExceeded
+
+        err = ReplicaLagExceeded(applied=10, primary=25, max_lag=8)
+        assert (err.applied, err.primary, err.max_lag) == (10, 25, 8)
+        assert "15" in str(err)  # the lag itself is in the message
+
+    def test_sharding_errors_catchable_as_repro_error(self):
+        from repro.errors import InDoubt, ReplicaLagExceeded, ShardError
+
+        for sample in (
+            ShardError("split brain"),
+            InDoubt("t1", point="prepare:0"),
+            ReplicaLagExceeded(applied=1, primary=9, max_lag=2),
+        ):
+            with pytest.raises(ReproError):
+                raise sample
+
+
 class TestExports:
     def test_public_errors_exported_from_package_root(self):
         for name in (

@@ -36,6 +36,7 @@ DOCUMENTS = (
     "EXPERIMENTS.md",
     "ROADMAP.md",
     "docs/ARCHITECTURE.md",
+    "docs/OPERATIONS.md",
 )
 
 LINK = re.compile(r"\[[^\]^\[]*\]\(([^)\s]+)\)")
