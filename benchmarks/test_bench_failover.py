@@ -1,0 +1,115 @@
+"""E19 — the unavailability window across a shard failover.
+
+A client hammering one stripe sees a shard primary die, a burst of typed
+:class:`~repro.errors.ShardUnavailable` refusals while the detector walks
+SUSPECT → DOWN, and then the first commit against the self-promoted new
+primary.  The headline number is the **unavailability window**: last
+successful commit before the kill → first successful commit after
+promotion, with no operator in the loop (the client only retries on the
+typed refusal; detection and promotion are the database's job).
+
+Gate: the median window over the trials stays under
+``GATE_WINDOW_SECONDS`` — generous, because the floor is dominated by the
+promotion's journal drain + checkpoint fsyncs, not by tuning.  Headline
+numbers land in ``BENCH_failover.json`` via the merging
+``write_bench_json``.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from repro.db.schema import Schema
+from repro.errors import ShardUnavailable
+from repro.logic import builder as b
+from repro.sharding import ShardedDatabase
+from repro.transactions.program import transaction
+
+from conftest import print_series, write_bench_json
+
+TRIALS = 3
+WARMUP_COMMITS = 20
+GATE_WINDOW_SECONDS = 2.0
+MAX_RETRIES = 50
+
+x, y = b.atom_var("x"), b.atom_var("y")
+PUT_A = transaction("put-a", (x, y), b.insert(b.mktuple(x, y), "A"))
+
+
+def build_schema() -> Schema:
+    schema = Schema()
+    schema.add_relation("A", ("k", "v"))
+    schema.add_relation("B", ("k", "v"))
+    return schema
+
+
+def run_trial(path: str) -> tuple[float, int]:
+    """One kill → self-heal cycle; returns (window seconds, refusals)."""
+    sdb = ShardedDatabase(
+        build_schema(), shards=2, path=path, placement={"A": 0, "B": 1}
+    )
+    sdb.enable_failover(
+        suspect_after=1, down_after=2, retry_after=0.0, auto_promote=True
+    )
+    shard = sdb.plan.shard_of("A")
+    for k in range(WARMUP_COMMITS):
+        sdb.execute(PUT_A, k, k)
+    last_success = time.perf_counter()
+
+    sdb.kill_shard(shard)
+    refusals = 0
+    first_success = None
+    for k in range(WARMUP_COMMITS, WARMUP_COMMITS + MAX_RETRIES):
+        try:
+            sdb.execute(PUT_A, k, k)
+            first_success = time.perf_counter()
+            break
+        except ShardUnavailable:
+            refusals += 1
+    assert first_success is not None, "failover never healed the shard"
+    # Self-healed, no manual intervention: the committed prefix survived
+    # the promotion and the new primary keeps serving.
+    n_a = len(sdb.combined_state().relations["A"].tuples)
+    assert n_a == WARMUP_COMMITS + 1
+    sdb.close()
+    return first_success - last_success, refusals
+
+
+def test_e19_failover_unavailability_window(tmp_path):
+    windows, refusals = [], []
+    for trial in range(TRIALS):
+        w, r = run_trial(str(tmp_path / f"trial-{trial}"))
+        windows.append(w)
+        refusals.append(r)
+    median = statistics.median(windows)
+    print_series(
+        "E19: shard failover unavailability window",
+        [
+            (t, f"{w*1e3:.1f}", refusals[t])
+            for t, w in enumerate(windows)
+        ],
+        ("trial", "window_ms", "refusals"),
+    )
+    write_bench_json(
+        "failover",
+        {
+            "experiments": {
+                "E19-unavailability-window": {
+                    "trials": TRIALS,
+                    "warmup_commits": WARMUP_COMMITS,
+                    "median_window_seconds": round(median, 4),
+                    "max_window_seconds": round(max(windows), 4),
+                    "median_window_ms": round(median * 1e3, 1),
+                    "typed_refusals_per_trial": refusals,
+                    "manual_intervention": False,
+                    "gate": f"median < {GATE_WINDOW_SECONDS}s",
+                    "gate_passed": median < GATE_WINDOW_SECONDS,
+                }
+            }
+        },
+    )
+    assert median < GATE_WINDOW_SECONDS, (
+        f"median failover window {median:.3f}s breaches the "
+        f"{GATE_WINDOW_SECONDS}s gate"
+    )

@@ -90,6 +90,7 @@ from repro.errors import (
     ConstraintViolation,
     EvaluationError,
     ExecutabilityError,
+    Fenced,
     InDoubt,
     OrderDependenceError,
     Overloaded,
@@ -106,6 +107,7 @@ from repro.errors import (
     SchemaError,
     SessionClosed,
     ShardError,
+    ShardUnavailable,
     SortError,
     SynthesisError,
     TransactionConflict,
@@ -167,6 +169,7 @@ __all__ = [
     "ProtocolError", "SessionClosed",
     "PlanError", "PlannerMismatch",
     "ShardError", "InDoubt", "ReplicaLagExceeded",
+    "Fenced", "ShardUnavailable",
     # db
     "Schema", "RelationSchema", "State", "Relation", "DBTuple", "TupleSet",
     "make_tuple", "initial_state", "state_from_rows",

@@ -228,6 +228,56 @@ class InDoubt(ShardError):
         )
 
 
+class Fenced(ShardError):
+    """A deposed shard primary's write was refused by the fencing token.
+
+    When a replica is promoted (:meth:`repro.sharding.replica.Replica.
+    promote`), it bumps the shard's durable *fence epoch*; every journal
+    append and 2PC PREPARE from then on must carry at least that epoch.
+    A zombie old primary — a process that lost the shard but does not yet
+    know it — fails the fence check and gets this error instead of
+    silently diverging the journal.
+
+    **Not** a :class:`ResourceError`: retrying cannot succeed.  The writer
+    has been deposed; the only correct reaction is to stop serving the
+    shard and re-route to the new primary.
+    """
+
+    def __init__(
+        self, path: str, writer_epoch: int, fence_epoch: int
+    ) -> None:
+        self.path = path
+        self.writer_epoch = writer_epoch
+        self.fence_epoch = fence_epoch
+        super().__init__(
+            f"store {path} is fenced at epoch {fence_epoch}; this writer "
+            f"holds deposed epoch {writer_epoch} — a replica was promoted"
+        )
+
+
+class ShardUnavailable(ShardError, ResourceError):
+    """A transaction touched a shard whose primary is unavailable.
+
+    Raised by routing while the failure detector holds the shard SUSPECT
+    or DOWN, and by a cross-shard 2PC that discovered a dead participant
+    *before* the decision point (the coordinator presumed abort durably
+    first, so resubmitting is safe).  Also a :class:`ResourceError`:
+    nothing is wrong with the transaction — retry after ``retry_after``
+    seconds, by which time failover has usually promoted a replica.
+    """
+
+    def __init__(
+        self, shard: int, retry_after: float = 0.0, state: str = "down"
+    ) -> None:
+        self.shard = shard
+        self.retry_after = retry_after
+        self.state = state
+        super().__init__(
+            f"shard {shard} unavailable ({state}); "
+            f"retry after {retry_after:.3f}s"
+        )
+
+
 class ReplicaLagExceeded(ShardError, ResourceError):
     """A replica's snapshot is staler than the query's freshness bound.
 

@@ -33,6 +33,7 @@ from repro.errors import (
     ProtocolError,
     ReproError,
     SessionClosed,
+    ShardUnavailable,
 )
 from repro.server.protocol import (
     PROTOCOL_VERSION,
@@ -166,7 +167,7 @@ class Client:
                 err = error_from_doc(reply["error"])
                 self._drop_connection()
                 if (
-                    isinstance(err, (Overloaded, CircuitOpen))
+                    isinstance(err, (Overloaded, CircuitOpen, ShardUnavailable))
                     and attempt < self.retry.max_attempts
                 ):
                     # The handshake itself was admission-rejected: safe to
@@ -320,8 +321,10 @@ class Client:
 
     def _request_with_backoff(self, doc_builder, kind: str, label: str):
         """Send a request; on a pre-execution governance rejection
-        (Overloaded / CircuitOpen), back off honoring ``retry_after`` and
-        resubmit — safe because the server refused before evaluating."""
+        (Overloaded / CircuitOpen / ShardUnavailable), back off honoring
+        ``retry_after`` and resubmit — safe because the server refused
+        before evaluating (a dead shard is refused at routing, or was
+        durably presumed-aborted before the 2PC decision point)."""
         attempt = 0
         while True:
             attempt += 1
@@ -331,7 +334,7 @@ class Client:
             reply = self._wait_for(rid)
             try:
                 return self._interpret(kind, label, reply)
-            except (Overloaded, CircuitOpen) as err:
+            except (Overloaded, CircuitOpen, ShardUnavailable) as err:
                 self._last_retry_after = err.retry_after
                 if attempt >= self.retry.max_attempts:
                     raise

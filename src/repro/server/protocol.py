@@ -47,15 +47,20 @@ from repro.errors import (
     ConstraintViolation,
     EvaluationError,
     ExecutabilityError,
+    Fenced,
+    InDoubt,
     Overloaded,
     ParseError,
     ProtocolError,
+    ReplicaLagExceeded,
     ReproError,
     ResourceError,
     RetryExhausted,
     SchedulerClosed,
     SchemaError,
     SessionClosed,
+    ShardError,
+    ShardUnavailable,
     SortError,
     TransactionConflict,
 )
@@ -221,6 +226,34 @@ def error_to_doc(err: BaseException) -> dict:
         )
     elif isinstance(err, CircuitOpen):
         doc.update(kind="circuit-open", retry_after=err.retry_after)
+    elif isinstance(err, ShardUnavailable):
+        doc.update(
+            kind="shard-unavailable",
+            shard=err.shard,
+            retry_after=err.retry_after,
+            state=err.state,
+        )
+    elif isinstance(err, Fenced):
+        doc.update(
+            kind="fenced",
+            path=err.path,
+            writer_epoch=err.writer_epoch,
+            fence_epoch=err.fence_epoch,
+        )
+    elif isinstance(err, InDoubt):
+        doc.update(
+            kind="in-doubt",
+            txid=err.txid,
+            point=err.point,
+            decided=err.decided,
+        )
+    elif isinstance(err, ReplicaLagExceeded):
+        doc.update(
+            kind="replica-lag",
+            applied=err.applied,
+            primary=err.primary,
+            max_lag=err.max_lag,
+        )
     elif isinstance(err, BudgetExceeded):
         doc.update(
             kind="budget-exceeded",
@@ -266,6 +299,7 @@ _SIMPLE_KINDS: dict[type, str] = {
     SchemaError: "schema-error",
     SortError: "sort-error",
     EvaluationError: "evaluation-error",
+    ShardError: "shard-error",
     ResourceError: "resource-error",
 }
 
@@ -287,6 +321,28 @@ def error_from_doc(doc: dict) -> ReproError:
             )
         if kind == "circuit-open":
             return CircuitOpen(retry_after=float(doc["retry_after"]))
+        if kind == "shard-unavailable":
+            return ShardUnavailable(
+                shard=int(doc["shard"]),
+                retry_after=float(doc["retry_after"]),
+                state=doc.get("state", "down"),
+            )
+        if kind == "fenced":
+            return Fenced(
+                doc.get("path", "?"),
+                int(doc["writer_epoch"]),
+                int(doc["fence_epoch"]),
+            )
+        if kind == "in-doubt":
+            return InDoubt(
+                doc["txid"],
+                doc.get("point", ""),
+                decided=bool(doc.get("decided", False)),
+            )
+        if kind == "replica-lag":
+            return ReplicaLagExceeded(
+                int(doc["applied"]), int(doc["primary"]), int(doc["max_lag"])
+            )
         if kind == "budget-exceeded":
             return BudgetExceeded(
                 doc["resource"], float(doc["limit"]), float(doc["used"])

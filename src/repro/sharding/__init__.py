@@ -4,12 +4,16 @@ The layer partitions a schema's relations across N independent engines
 (:mod:`repro.sharding.routing`), routes each transaction by its static
 footprint — single-shard commits bypass all coordination — runs cross-shard
 commits through two-phase commit over the per-shard CRC journals
-(:mod:`repro.sharding.twopc`), and serves bounded-staleness reads from
-journal-tailing replicas (:mod:`repro.sharding.replica`).  See
+(:mod:`repro.sharding.twopc`), serves bounded-staleness reads from
+journal-tailing replicas (:mod:`repro.sharding.replica`), and survives
+the loss of any single shard primary by detection
+(:mod:`repro.sharding.failover`), fenced replica promotion
+(:meth:`~repro.sharding.replica.Replica.promote`), and rerouting.  See
 docs/ARCHITECTURE.md §15 and DESIGN.md §7.7.
 """
 
-from repro.sharding.replica import DEFAULT_MAX_LAG, Replica
+from repro.sharding.failover import FailureDetector, ShardHealth
+from repro.sharding.replica import DEFAULT_MAX_LAG, Promotion, Replica
 from repro.sharding.routing import ShardPlan, plan_placement
 from repro.sharding.sharded import (
     ALLOC_BLOCK,
@@ -27,8 +31,11 @@ from repro.sharding.twopc import (
 __all__ = [
     "Coordinator",
     "DEFAULT_MAX_LAG",
+    "FailureDetector",
+    "Promotion",
     "Replica",
     "Resolution",
+    "ShardHealth",
     "ShardPlan",
     "ShardRecovery",
     "ShardedDatabase",

@@ -1,0 +1,178 @@
+"""Failure detection for shard primaries: UP → SUSPECT → DOWN.
+
+The detector is deliberately dumb and deterministic: it counts
+*consecutive* failed health observations per shard and walks the state
+machine ``UP → SUSPECT → DOWN`` at configurable thresholds; any successful
+observation snaps the shard back to UP.  Observations come from two
+sources — inline (the router touched a shard and found its primary gone)
+and probes (:meth:`repro.sharding.sharded.ShardedDatabase.failover_tick`)
+— so a shard serving no traffic is still detected.
+
+Everything is injectable for tests: the clock (used only to timestamp
+transitions and measure the unavailability window), the thresholds, and
+the ``retry_after`` hint stamped into every
+:class:`~repro.errors.ShardUnavailable` the router raises while a shard
+is not UP.
+
+State transitions are mirrored into metrics
+(``repro_failover_state{shard=...}``,
+``repro_failover_transitions_total{shard=...,to=...}``,
+``repro_failover_probe_failures_total``) and, when a tracer is attached,
+into zero-duration spans of kind ``"failover"`` so a profile shows
+exactly when each shard was declared dead.
+
+>>> clock = iter(range(100)).__next__
+>>> detector = FailureDetector(2, down_after=2, clock=lambda: float(clock()))
+>>> detector.observe(0, ok=False)
+<ShardHealth.SUSPECT: 'suspect'>
+>>> detector.observe(0, ok=False)
+<ShardHealth.DOWN: 'down'>
+>>> detector.observe(0, ok=True)
+<ShardHealth.UP: 'up'>
+>>> detector.state(1)
+<ShardHealth.UP: 'up'>
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+from typing import Callable, Optional
+
+from repro.errors import ShardError
+from repro.obs.metrics import MetricsRegistry
+
+#: Gauge encoding of the health states (what dashboards alert on).
+_STATE_VALUE = {"up": 0.0, "suspect": 1.0, "down": 2.0}
+
+
+class ShardHealth(enum.Enum):
+    """One shard primary's health as the detector sees it."""
+
+    UP = "up"
+    SUSPECT = "suspect"
+    DOWN = "down"
+
+
+class FailureDetector:
+    """K-consecutive-failure detection over per-shard health observations.
+
+    ``suspect_after`` / ``down_after`` are the consecutive-failure counts
+    that enter SUSPECT and DOWN (``1 <= suspect_after <= down_after``).
+    ``retry_after`` is the backoff hint handed to refused clients while a
+    shard is not UP.  ``clock`` must be monotonic; it is never used for
+    timeouts, only to measure how long a shard was down.
+    """
+
+    def __init__(
+        self,
+        shards: int,
+        *,
+        suspect_after: int = 1,
+        down_after: int = 3,
+        retry_after: float = 0.05,
+        clock: Callable[[], float] = time.monotonic,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer=None,
+    ) -> None:
+        if shards < 1:
+            raise ShardError("a failure detector needs at least one shard")
+        if not 1 <= suspect_after <= down_after:
+            raise ShardError(
+                "thresholds must satisfy 1 <= suspect_after <= down_after"
+            )
+        self.suspect_after = suspect_after
+        self.down_after = down_after
+        self.retry_after = retry_after
+        self.clock = clock
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer
+        self._lock = threading.Lock()
+        self._states = [ShardHealth.UP] * shards
+        self._failures = [0] * shards
+        self._down_since: list[Optional[float]] = [None] * shards
+
+    # -- observations ------------------------------------------------------
+
+    def observe(self, shard: int, ok: bool) -> ShardHealth:
+        """Feed one health observation; returns the (possibly new) state."""
+        with self._lock:
+            if ok:
+                if self._failures[shard] == 0:
+                    return self._states[shard]  # hot path: healthy, stays UP
+                self._failures[shard] = 0
+                return self._transition(shard, ShardHealth.UP)
+            self._failures[shard] += 1
+            self.metrics.counter(
+                "repro_failover_probe_failures_total",
+                "failed shard health observations",
+                shard=str(shard),
+            ).inc()
+            if self._failures[shard] >= self.down_after:
+                return self._transition(shard, ShardHealth.DOWN)
+            if self._failures[shard] >= self.suspect_after:
+                return self._transition(shard, ShardHealth.SUSPECT)
+            return self._states[shard]
+
+    def mark_recovered(self, shard: int) -> Optional[float]:
+        """Promotion finished: snap the shard to UP; returns how long it
+        was DOWN (None if it never reached DOWN)."""
+        with self._lock:
+            since = self._down_since[shard]
+            duration = (
+                self.clock() - since if since is not None else None
+            )
+            self._failures[shard] = 0
+            self._transition(shard, ShardHealth.UP)
+            return duration
+
+    # -- introspection -----------------------------------------------------
+
+    def state(self, shard: int) -> ShardHealth:
+        with self._lock:
+            return self._states[shard]
+
+    def states(self) -> dict[int, ShardHealth]:
+        with self._lock:
+            return dict(enumerate(self._states))
+
+    def down_since(self, shard: int) -> Optional[float]:
+        """Clock reading at the shard's DOWN transition, if it is down."""
+        with self._lock:
+            return self._down_since[shard]
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _transition(self, shard: int, to: ShardHealth) -> ShardHealth:
+        """Move ``shard`` to ``to`` (caller holds the lock); mirrors real
+        transitions into metrics and tracer spans."""
+        previous = self._states[shard]
+        if to is previous:
+            return to
+        self._states[shard] = to
+        now = self.clock()
+        if to is ShardHealth.DOWN:
+            self._down_since[shard] = now
+        elif to is ShardHealth.UP:
+            self._down_since[shard] = None
+        self.metrics.counter(
+            "repro_failover_transitions_total",
+            "shard health transitions",
+            shard=str(shard),
+            to=to.value,
+        ).inc()
+        self.metrics.gauge(
+            "repro_failover_state",
+            "shard health (0=up, 1=suspect, 2=down)",
+            shard=str(shard),
+        ).set(_STATE_VALUE[to.value])
+        if self.tracer is not None:
+            self.tracer.record(
+                "failover",
+                f"shard-{shard}:{previous.value}->{to.value}",
+                0,
+                start=now,
+                duration=0.0,
+            )
+        return to

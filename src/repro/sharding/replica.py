@@ -45,26 +45,63 @@ caller's bound, instead of silently answering from the distant past.
 from __future__ import annotations
 
 import os
-from typing import Optional
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
 
 from repro.db.state import State
 from repro.errors import ReplicaLagExceeded, ReproError, ShardError
 from repro.obs.metrics import MetricsRegistry
-from repro.storage.journal import JournalRecord, read_journal
+from repro.storage.journal import Journal, JournalRecord, read_journal
 from repro.storage.serialize import (
     apply_delta,
     delta_touched,
     touched_digest,
 )
 from repro.storage.snapshot import load_snapshot, snapshot_seq
-from repro.storage.store import JOURNAL_NAME, prepare_digest
+from repro.storage.store import (
+    JOURNAL_NAME,
+    Store,
+    prepare_digest,
+    read_fence,
+    write_fence,
+)
 from repro.transactions.interpreter import Interpreter
 from repro.transactions.program import DatabaseProgram
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sharding.twopc import Coordinator
 
 #: Default staleness bound: how many journal records a replica may trail
 #: the primary by before queries refuse (override per-query via
 #: ``max_lag``).
 DEFAULT_MAX_LAG = 1024
+
+
+@dataclass(frozen=True)
+class Promotion:
+    """What :meth:`Replica.promote` produced: the shard's new primary run.
+
+    ``store`` is an open :class:`~repro.storage.Store` holding the new
+    fence epoch — hand it to the router as the shard's journal.  ``state``
+    / ``seq`` are the post-resolution head; ``resolutions`` records each
+    stashed prepare's fate as ``(txid, decision, why)``, in stash order.
+    """
+
+    path: str
+    epoch: int
+    seq: int
+    state: State
+    resolutions: tuple[tuple[str, str, str], ...]
+    store: Store
+
+    def summary(self) -> str:
+        fates = ", ".join(
+            f"{txid}:{decision}" for txid, decision, _ in self.resolutions
+        ) or "none"
+        return (
+            f"promoted {self.path} to epoch {self.epoch} at seq={self.seq} "
+            f"(in-doubt: {fates})"
+        )
 
 
 class Replica:
@@ -91,6 +128,9 @@ class Replica:
         self.applied_seq = -1
         self.state: Optional[State] = None
         self._pending: dict[str, JournalRecord] = {}
+        #: Highest journal epoch replayed so far — epochs never regress, so
+        #: a deposed primary's zombie frame stops replay at a safe prefix.
+        self.journal_epoch = 1
         self._load_snapshot()
         self.poll()
 
@@ -165,6 +205,10 @@ class Replica:
 
     def _apply(self, record: JournalRecord) -> bool:
         """Apply one journal record; False stops replay at a safe prefix."""
+        record_epoch = record.epoch if record.epoch is not None else 1
+        if record_epoch < self.journal_epoch:
+            return False  # zombie append from a deposed epoch: never apply
+        self.journal_epoch = record_epoch
         if record.kind == "commit":
             candidate = apply_delta(self.state, record.delta)
             touched = delta_touched(record.delta)
@@ -208,6 +252,14 @@ class Replica:
             if snaps and snaps[0][0] > self.applied_seq:
                 behind = snaps[0][0] - self.applied_seq
         return behind
+
+    def pending(self) -> tuple[str, ...]:
+        """Txids of stashed PREPAREs still awaiting an outcome record, in
+        journal order.  Non-empty means the primary (or its promotion) has
+        an in-doubt window the replica is faithfully *not* serving."""
+        return tuple(
+            sorted(self._pending, key=lambda t: self._pending[t].seq)
+        )
 
     # -- serving -----------------------------------------------------------
 
@@ -261,3 +313,118 @@ class Replica:
             status="ok",
         ).inc()
         return value
+
+    # -- promotion ---------------------------------------------------------
+
+    def promote(
+        self,
+        *,
+        coordinator: "Optional[Coordinator]" = None,
+        decisions: Optional[dict] = None,
+        applied: Optional[dict] = None,
+        sync: str = "commit",
+        checkpoint_every: int = 64,
+        keep_snapshots: int = 2,
+    ) -> Promotion:
+        """Become the shard's new primary: fence, drain, resolve, re-seed.
+
+        The handoff is logical-time, not a data copy — a replica that has
+        replayed the journal prefix *is* the state machine.  Steps:
+
+        1. **Fence.**  Compute ``new_epoch`` = 1 + the highest epoch any
+           writer could hold (fence file or journal frame) and write it to
+           the fence file.  From this instant every append by the old
+           primary raises :class:`~repro.errors.Fenced`.
+        2. **Drain.**  Re-poll to the journal's durable end (anything the
+           old primary managed to append before the fence landed is part
+           of the run), then truncate the journal to exactly the applied
+           prefix — a torn tail or an unverifiable record is discarded,
+           the same contract as recovery.
+        3. **Resolve.**  Each stashed PREPARE is resolved by the in-doubt
+           rules (coordinator decision record → sibling applied outcome →
+           presumed abort); the decision is made durable *first* (when a
+           ``coordinator`` is given), then an OUTCOME record lands in the
+           new epoch, so a crash mid-promotion re-resolves identically.
+        4. **Re-seed.**  A checkpoint at the resolved head becomes the
+           snapshot fresh replicas re-base from.
+
+        Returns a :class:`Promotion` whose open ``store`` is the shard's
+        new journal writer at the new epoch.
+        """
+        from repro.sharding.twopc import resolve_in_doubt
+
+        # 1. Fence: depose every older writer before reading the final tail.
+        scan = read_journal(self.journal_path)
+        top = read_fence(self.path)
+        for record in scan.records:
+            top = max(top, record.epoch if record.epoch is not None else 1)
+        new_epoch = top + 1
+        write_fence(self.path, new_epoch)
+
+        # 2. Drain to the durable end, then truncate to the applied prefix.
+        self.poll()
+        scan = read_journal(self.journal_path)
+        keep = []
+        for record in scan.records:
+            if record.seq > self.applied_seq:
+                break
+            keep.append(record)
+        Journal(self.journal_path, sync=sync).replace_with(tuple(keep))
+
+        store = Store(
+            self.path,
+            checkpoint_every=checkpoint_every,
+            sync=sync,
+            keep_snapshots=keep_snapshots,
+            metrics=self.metrics,
+        )
+        assert store.epoch == new_epoch
+
+        # 3. Resolve every stashed prepare, durably, in stash (seq) order.
+        known = (
+            coordinator.decisions()
+            if coordinator is not None
+            else dict(decisions or {})
+        )
+        seen_applied = dict(applied or {})
+        resolutions: list[tuple[str, str, str]] = []
+        state = self.state
+        seq = self.applied_seq
+        for txid in sorted(
+            self._pending, key=lambda t: self._pending[t].seq
+        ):
+            prep = self._pending[txid]
+            decision, why = resolve_in_doubt(txid, known, seen_applied)
+            if coordinator is not None:
+                coordinator.decide(txid, decision)
+            if decision == "commit":
+                state = apply_delta(state, prep.delta)
+            seq += 1
+            store.log_outcome(state, prep, decision, seq=seq)
+            seen_applied[txid] = decision
+            resolutions.append((txid, decision, why))
+            self.metrics.counter(
+                "repro_shard_in_doubt_resolved_total",
+                "in-doubt 2PC transactions resolved during recovery",
+                decision=decision,
+            ).inc()
+        self._pending.clear()
+        self.state = state
+        self.applied_seq = seq
+        self.journal_epoch = new_epoch
+
+        # 4. First checkpoint of the new epoch: the snapshot fresh replicas
+        # re-seed from (and the truncation that retires the old journal).
+        store.checkpoint(state, seq)
+        self.metrics.counter(
+            "repro_failover_promotions_total",
+            "replicas promoted to shard primary",
+        ).inc()
+        return Promotion(
+            path=self.path,
+            epoch=new_epoch,
+            seq=seq,
+            state=state,
+            resolutions=tuple(resolutions),
+            store=store,
+        )

@@ -42,9 +42,17 @@ from repro.concurrent.scheduler import TransactionOutcome, TransactionStatus
 from repro.db.schema import Schema
 from repro.db.state import State, initial_state
 from repro.engine import Database
-from repro.errors import InDoubt, ReproError, ShardError
+from repro.errors import (
+    Fenced,
+    InDoubt,
+    ReproError,
+    ShardError,
+    ShardUnavailable,
+)
 from repro.eval.footprint import Footprint, program_footprint
 from repro.obs.metrics import MetricsRegistry
+from repro.sharding.failover import FailureDetector, ShardHealth
+from repro.sharding.replica import Promotion, Replica
 from repro.sharding.routing import ShardPlan, plan_placement
 from repro.sharding.twopc import (
     Coordinator,
@@ -52,6 +60,7 @@ from repro.sharding.twopc import (
     TwoPhaseFaults,
     resolve_in_doubt,
 )
+from repro.storage.journal import read_journal
 from repro.storage.serialize import (
     apply_delta,
     delta_touched,
@@ -71,10 +80,16 @@ ALLOC_BLOCK = 1024
 
 @dataclass
 class _Shard:
-    """One shard's engine plus its commit lock and durable plumbing."""
+    """One shard's engine plus its commit lock and durable plumbing.
+
+    ``db`` is ``None`` while the shard's primary is dead (killed by
+    :meth:`ShardedDatabase.kill_shard` and not yet healed by promotion);
+    routing refuses such shards with :class:`~repro.errors.
+    ShardUnavailable` instead of touching them.
+    """
 
     index: int
-    db: Database
+    db: Optional[Database]
     lock: threading.RLock
     store: Optional[Store]
     seq: int  # durable journal sequence (commit + prepare + outcome records)
@@ -172,6 +187,12 @@ class ShardedDatabase:
         self._crashed = False
         self._pool: Optional[ThreadPoolExecutor] = None
         self._live_placement: dict[str, int] = {}
+        self._window = window
+        self._sync = sync
+        self._detector: Optional[FailureDetector] = None
+        self._auto_promote = False
+        self._standbys: dict[int, Replica] = {}
+        self._default_retry_after = 0.05
 
         if _resume is not None:
             states, seqs, stores, coordinator = _resume
@@ -336,6 +357,11 @@ class ShardedDatabase:
             )
             for i in range(shards)
         ]
+        # Fence every shard before reading its tail: a zombie of the
+        # pre-crash process must not append while (or after) recovery
+        # resolves its in-doubt prepares.
+        for store in stores:
+            store.advance_fence()
         recoveries = [store.recover() for store in stores]
 
         # Evidence rule 2: an outcome some shard already applied proves the
@@ -387,6 +413,242 @@ class ShardedDatabase:
         )
         report = ShardRecovery(tuple(recoveries), tuple(resolutions))
         return sdb, report
+
+    # -- failover ----------------------------------------------------------
+
+    def enable_failover(
+        self,
+        *,
+        suspect_after: int = 1,
+        down_after: int = 3,
+        retry_after: float = 0.05,
+        clock=time.monotonic,
+        auto_promote: bool = True,
+        tracer=None,
+        standbys: bool = True,
+    ) -> FailureDetector:
+        """Arm failure detection (and, with ``auto_promote``, self-healing
+        promotion) for every shard.
+
+        Health observations are fed inline — every routed touch of a shard
+        is an observation — and by :meth:`failover_tick` probes, so idle
+        shards are detected too.  ``standbys`` keeps one tailing
+        :class:`~repro.sharding.replica.Replica` per shard ready to
+        promote.  Requires a durable database (``path=...``).
+        """
+        if self.path is None:
+            raise ShardError(
+                "failover requires a durable sharded database (path=...)"
+            )
+        self._detector = FailureDetector(
+            len(self.shards),
+            suspect_after=suspect_after,
+            down_after=down_after,
+            retry_after=retry_after,
+            clock=clock,
+            metrics=self.metrics,
+            tracer=tracer,
+        )
+        self._auto_promote = auto_promote
+        if standbys:
+            for shard in self.shards:
+                self._standbys.setdefault(
+                    shard.index,
+                    Replica(
+                        os.path.join(self.path, f"shard-{shard.index}"),
+                        metrics=self.metrics,
+                    ),
+                )
+        return self._detector
+
+    def failover_tick(self) -> dict[int, ShardHealth]:
+        """One round of health probes over every shard (call from a timer).
+
+        Feeds the detector, auto-promotes any shard that reaches DOWN
+        (when armed with ``auto_promote``), and returns the post-tick
+        health map.  Also polls the standby replicas so they stay close to
+        their primaries' journal heads.
+        """
+        if self._detector is None:
+            raise ShardError("enable_failover() before failover_tick()")
+        out: dict[int, ShardHealth] = {}
+        for shard in self.shards:
+            alive = shard.db is not None
+            health = self._detector.observe(shard.index, ok=alive)
+            if health is ShardHealth.DOWN and not alive and self._auto_promote:
+                if self.promote_shard(shard.index) is not None:
+                    health = self._detector.state(shard.index)
+            elif alive:
+                standby = self._standbys.get(shard.index)
+                if standby is not None:
+                    standby.poll()
+            out[shard.index] = health
+        return out
+
+    def kill_shard(self, index: int) -> _Shard:
+        """Simulate the death of one shard's primary, in place.
+
+        The live :class:`_Shard` slot is detached (``db``/``store`` set to
+        ``None``) so routing sees a dead shard; the returned **zombie**
+        handle keeps the old engine and the old (about-to-be-fenced) store
+        — exactly what a deposed process still holds.  The chaos harness
+        replays writes through the zombie to prove the fence refuses them.
+        """
+        shard = self.shards[index]
+        with shard.lock:
+            zombie = _Shard(
+                index=index,
+                db=shard.db,
+                lock=threading.RLock(),
+                store=shard.store,
+                seq=shard.seq,
+                block_hi=shard.block_hi,
+            )
+            shard.db = None
+            shard.store = None
+        self.metrics.counter(
+            "repro_failover_kills_total",
+            "shard primaries killed (simulated)",
+            shard=str(index),
+        ).inc()
+        return zombie
+
+    def promote_shard(
+        self, index: int, *, replica: Optional[Replica] = None
+    ) -> Optional[Promotion]:
+        """Promote a replica to be shard ``index``'s new primary.
+
+        Uses the standing standby replica (or ``replica``), which fences
+        the old primary, drains the journal, resolves stashed prepares
+        against the coordinator's decisions and the sibling shards'
+        applied outcomes, and re-opens the store at the new epoch
+        (:meth:`repro.sharding.replica.Replica.promote`).  Afterwards a
+        fresh standby re-seeds from the promotion's first checkpoint.
+        Returns ``None`` when the shard is already healthy (another thread
+        won the race).
+        """
+        if self.path is None:
+            raise ShardError(
+                "failover requires a durable sharded database (path=...)"
+            )
+        shard = self.shards[index]
+        with shard.lock:
+            if shard.db is not None:
+                return None
+            rep = replica or self._standbys.pop(index, None)
+            if rep is None:
+                rep = Replica(
+                    os.path.join(self.path, f"shard-{index}"),
+                    metrics=self.metrics,
+                )
+            promotion = rep.promote(
+                coordinator=self.coordinator,
+                applied=self._sibling_outcomes(exclude=index),
+                sync=self._sync,
+                checkpoint_every=self.checkpoint_every,
+            )
+            lo, hi = self._grab_block()
+            state = promotion.state
+            shard.db = Database(
+                self._subschema(index),
+                window=self._window,
+                initial=State(state.relations, state.owner, lo),
+                interpreter=self.interpreter,
+                strict=self.strict,
+                record_graph=False,
+                metrics=self.metrics,
+            )
+            shard.store = promotion.store
+            shard.seq = promotion.seq
+            shard.block_hi = hi
+        if self._detector is not None:
+            duration = self._detector.mark_recovered(index)
+            if duration is not None:
+                self.metrics.histogram(
+                    "repro_failover_unavailable_seconds",
+                    "shard unavailability window (DOWN until promoted)",
+                ).observe(duration)
+        # Re-seed: a fresh standby re-bases from the promotion's first
+        # checkpoint and tails the new epoch.
+        self._standbys[index] = Replica(
+            os.path.join(self.path, f"shard-{index}"), metrics=self.metrics
+        )
+        return promotion
+
+    def _sibling_outcomes(self, exclude: int) -> dict[str, str]:
+        """Evidence rule 2 for promotion: outcomes the *other* shards
+        already applied are durable witnesses of the decision."""
+        applied: dict[str, str] = {}
+        for shard in self.shards:
+            if shard.index == exclude or shard.store is None:
+                continue
+            for record in read_journal(shard.store.journal_path).records:
+                if record.kind == "outcome" and record.txid is not None:
+                    applied[record.txid] = record.delta.get(
+                        "decision", "abort"
+                    )
+        return applied
+
+    def _retry_hint(self) -> float:
+        if self._detector is not None:
+            return self._detector.retry_after
+        return self._default_retry_after
+
+    def _observe_failure(self, index: int) -> None:
+        if self._detector is not None:
+            self._detector.observe(index, ok=False)
+
+    def _ensure_up(self, index: int) -> None:
+        """Routing gate: refuse (typed, retry-later) or heal a dead shard.
+
+        Every routed touch is a health observation.  While the detector
+        holds the shard SUSPECT, callers get :class:`~repro.errors.
+        ShardUnavailable` with the configured ``retry_after``; the touch
+        that drives it to DOWN triggers promotion inline when
+        ``auto_promote`` is armed — self-healing without an operator.
+        """
+        shard = self.shards[index]
+        if shard.db is not None:
+            if self._detector is not None:
+                self._detector.observe(index, ok=True)
+            return
+        if self._detector is None:
+            raise ShardUnavailable(
+                index, retry_after=self._default_retry_after
+            )
+        health = self._detector.observe(index, ok=False)
+        if health is ShardHealth.DOWN and self._auto_promote:
+            if self.promote_shard(index) is not None or shard.db is not None:
+                return
+            health = self._detector.state(index)
+        raise ShardUnavailable(
+            index, retry_after=self._detector.retry_after, state=health.value
+        )
+
+    def _maybe_kill(self, point: str, writers: Sequence[_Shard]) -> None:
+        """Fault hook: kill one writer's primary at a named 2PC point."""
+        faults = self.faults
+        if faults is None or faults.kill_primary_at != point or not writers:
+            return
+        victim = writers[min(faults.kill_writer, len(writers) - 1)]
+        if victim.db is not None:
+            faults.killed.append(self.kill_shard(victim.index))
+
+    def _abort_outcomes(self, txid, writers, prepared) -> None:
+        """Durably presume abort for ``txid``, then resolve the landed
+        prepares on every still-live writer.  The decision record lands
+        first, so a crash in between re-resolves identically."""
+        self.coordinator.decide(
+            txid, "abort", shards=tuple(s.index for s in writers)
+        )
+        for shard in writers:
+            prep = prepared.get(shard.index)
+            if shard.db is None or shard.store is None or prep is None:
+                continue
+            shard.seq += 1
+            shard.store.log_outcome(
+                shard.db.current, prep, "abort", seq=shard.seq
+            )
 
     # -- routing -----------------------------------------------------------
 
@@ -540,6 +802,8 @@ class ShardedDatabase:
         self._check_alive()
         footprint = program_footprint(program, self.schema)
         participants = self._participants(footprint)
+        for index in participants:
+            self._ensure_up(index)
         if len(participants) == 1:
             return self._execute_single(
                 self.shards[participants[0]], program, args, label, budget,
@@ -575,6 +839,11 @@ class ShardedDatabase:
         started = time.perf_counter()
         with shard.lock:
             self._check_alive()
+            if shard.db is None:
+                self._ensure_up(shard.index)  # killed since routing: heal
+            if shard.store is not None:
+                # Fail before any in-memory change if we were deposed.
+                shard.store.check_fence()
             before = shard.db.current
             raw = program.run(
                 before, *args, interpreter=self._interpreter_for(budget)
@@ -602,14 +871,24 @@ class ShardedDatabase:
             )
             shard.seq += 1
             if shard.store is not None:
-                shard.store.log_commit(
-                    before,
-                    final,
-                    seq=shard.seq,
-                    label=label,
-                    program=program.name,
-                    args=tuple(args),
-                )
+                try:
+                    shard.store.log_commit(
+                        before,
+                        final,
+                        seq=shard.seq,
+                        label=label,
+                        program=program.name,
+                        args=tuple(args),
+                    )
+                except Fenced:
+                    # Deposed between the fence pre-check and the append:
+                    # we are the zombie.  Stop serving this shard — the
+                    # in-memory apply above never reached the journal, so
+                    # the promoted primary's run does not include it.
+                    store, shard.store = shard.store, None
+                    shard.db = None
+                    store.close()
+                    raise
             self._record_created(before, final, shard.index)
             delta = state_delta(before, final)
             exec_record = shard.db.records[-1]
@@ -692,6 +971,9 @@ class ShardedDatabase:
                 shard.lock.acquire()
                 acquired.append(shard)
             self._check_alive()
+            for shard in shards:
+                if shard.db is None:
+                    self._ensure_up(shard.index)  # killed since routing
             block_lo, block_hi = self._grab_block()
             merged = self._merge(
                 [s.db.current for s in shards], next_tid=block_lo
@@ -733,27 +1015,63 @@ class ShardedDatabase:
 
             results: tuple = ()
             if writers:
+                # A fenced writer means *we* are a deposed zombie: refuse
+                # before any prepare lands anywhere.
+                for shard in writers:
+                    if shard.store is not None:
+                        shard.store.check_fence()
                 txid = self.coordinator.next_txid(label)
                 prepared = {}
                 for k, shard in enumerate(writers):
+                    if shard.db is None:
+                        break  # died mid-window: presumed abort below
                     shard.seq += 1
                     if shard.store is not None:
-                        prepared[shard.index] = shard.store.log_prepare(
-                            shard.db.current,
-                            staged[shard.index],
-                            seq=shard.seq,
-                            txid=txid,
-                            label=label,
-                            program=program.name,
-                            args=tuple(args),
-                        )
+                        try:
+                            prepared[shard.index] = shard.store.log_prepare(
+                                shard.db.current,
+                                staged[shard.index],
+                                seq=shard.seq,
+                                txid=txid,
+                                label=label,
+                                program=program.name,
+                                args=tuple(args),
+                            )
+                        except Fenced:
+                            # Deposed mid-window: durably abort so the
+                            # landed sibling prepares resolve to abort,
+                            # then stop serving the shard.
+                            shard.db = None
+                            shard.store = None
+                            self._abort_outcomes(txid, writers, prepared)
+                            raise
                     self.metrics.counter(
                         "repro_shard_prepares_total",
                         "2PC PREPARE records journaled",
                         shard=str(shard.index),
                     ).inc()
                     self._reach(f"prepare:{k}")
+                    self._maybe_kill(f"prepare:{k}", writers)
                 self._reach("before-decision")
+                self._maybe_kill("before-decision", writers)
+                dead = [s for s in writers if s.db is None]
+                if dead:
+                    # A participant died before the decision point: the
+                    # coordinator presumes abort, durably, before anyone
+                    # could have applied — so resubmitting is safe, and
+                    # the dead shard's stashed prepare resolves to abort
+                    # at promotion.
+                    self._abort_outcomes(txid, writers, prepared)
+                    self._observe_failure(dead[0].index)
+                    self.metrics.counter(
+                        "repro_failover_presumed_aborts_total",
+                        "2PC windows aborted for a dead participant",
+                    ).inc()
+                    raise ShardUnavailable(
+                        dead[0].index,
+                        retry_after=self._retry_hint(),
+                        state="down",
+                    )
                 decision = (
                     "abort"
                     if self.faults is not None and self.faults.abort_txn
@@ -764,8 +1082,11 @@ class ShardedDatabase:
                     shards=tuple(s.index for s in writers),
                 )
                 self._reach("after-decision")
+                self._maybe_kill("after-decision", writers)
                 if decision == "abort":
                     for k, shard in enumerate(writers):
+                        if shard.db is None:
+                            continue  # resolves at promotion
                         shard.seq += 1
                         if shard.store is not None:
                             shard.store.log_outcome(
@@ -775,11 +1096,23 @@ class ShardedDatabase:
                                 seq=shard.seq,
                             )
                         self._reach(f"outcome:{k}")
+                        self._maybe_kill(f"outcome:{k}", writers)
                     raise ShardError(
                         f"transaction {label} ({txid}) aborted by "
                         f"coordinator fault plan"
                     )
                 for k, shard in enumerate(writers):
+                    if shard.db is None:
+                        # Died after the durable commit decision: its
+                        # prepare is on disk and promotion will apply it —
+                        # the transaction is committed, the apply is
+                        # merely deferred to the new primary.
+                        self.metrics.counter(
+                            "repro_failover_deferred_commits_total",
+                            "commit applies deferred to promotion",
+                            shard=str(shard.index),
+                        ).inc()
+                        continue
                     expected = touched_digest(
                         staged[shard.index],
                         delta_touched(deltas[shard.index]),
@@ -830,6 +1163,7 @@ class ShardedDatabase:
                         mode="cross",
                     ).inc()
                     self._reach(f"outcome:{k}")
+                    self._maybe_kill(f"outcome:{k}", writers)
             latency = time.perf_counter() - started
             self.metrics.histogram(
                 "repro_shard_commit_seconds",
@@ -865,11 +1199,16 @@ class ShardedDatabase:
         self._check_alive()
         footprint = program_footprint(program, self.schema)
         participants = self._participants(footprint)
+        for index in participants:
+            self._ensure_up(index)
         if len(participants) == 1:
             return self.shards[participants[0]].db.query(
                 program, *args, budget=budget
             )
         cut = self._global_cut()
+        for index in participants:
+            if cut[index] is None:  # killed between routing and the cut
+                raise ShardUnavailable(index, retry_after=self._retry_hint())
         block_lo, _ = self._grab_block()
         merged = self._merge(
             [cut[i] for i in participants], next_tid=block_lo
@@ -878,14 +1217,18 @@ class ShardedDatabase:
             merged, *args, interpreter=self._interpreter_for(budget)
         )
 
-    def _global_cut(self) -> list[State]:
+    def _global_cut(self) -> list[Optional[State]]:
         """A consistent snapshot across every shard: all locks in index
         order, read the heads, release.  States are immutable, so the cut
-        stays valid after release."""
+        stays valid after release.  A dead shard's slot is ``None`` —
+        callers must have routed around it (``_ensure_up``)."""
         for shard in self.shards:
             shard.lock.acquire()
         try:
-            return [shard.db.current for shard in self.shards]
+            return [
+                shard.db.current if shard.db is not None else None
+                for shard in self.shards
+            ]
         finally:
             for shard in reversed(self.shards):
                 shard.lock.release()
@@ -893,7 +1236,12 @@ class ShardedDatabase:
     def combined_state(self) -> State:
         """The merged global state over a consistent cut (allocator set to
         the global high-water mark; for inspection, not for evaluation)."""
-        return self._merge(self._global_cut(), next_tid=self._next_free)
+        for shard in self.shards:
+            self._ensure_up(shard.index)
+        return self._merge(
+            [s for s in self._global_cut() if s is not None],
+            next_tid=self._next_free,
+        )
 
     # -- introspection / lifecycle ------------------------------------------
 

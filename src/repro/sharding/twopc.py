@@ -69,11 +69,24 @@ class TwoPhaseFaults:
     outcome).  ``abort_txn`` forces the coordinator to decide ``abort``
     after all prepares — exercising the abort-outcome path without any
     constraint violation.
+
+    ``kill_primary_at`` is the failover layer's fault: instead of the
+    whole process dying, one shard *primary* dies at the named point —
+    the sharded database detaches that shard's engine and store in place
+    (:meth:`~repro.sharding.sharded.ShardedDatabase.kill_shard`) and
+    appends the zombie handle to ``killed``.  ``kill_writer`` picks which
+    writer's primary dies (clamped to the writer list).  Unlike
+    ``crash_at``, the surviving process keeps running: the 2PC window
+    finishes by presumed abort (before the decision) or commits on the
+    live writers (after it), and the dead shard heals by promotion.
     """
 
     crash_at: Optional[str] = None
     abort_txn: bool = False
     fired: list[str] = field(default_factory=list)
+    kill_primary_at: Optional[str] = None
+    kill_writer: int = 0
+    killed: list = field(default_factory=list)
 
     def reach(self, point: str) -> None:
         self.fired.append(point)

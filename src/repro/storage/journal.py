@@ -66,6 +66,14 @@ class JournalRecord:
     records of one distributed transaction across journals.  Both fields
     are omitted from the wire encoding for plain commits, so journals
     written before the sharding layer decode unchanged.
+
+    ``epoch`` is the journal epoch the record was written under — the
+    failover layer's fencing token.  A store whose fence file says epoch
+    ``e`` stamps ``e`` into every frame; a record carrying a *smaller*
+    epoch than one already replayed is a deposed primary's zombie append
+    and stops recovery/replication at the safe prefix before it.  ``None``
+    (omitted on the wire) means the pre-failover implicit epoch 1, so
+    journals written before this layer decode unchanged.
     """
 
     seq: int
@@ -77,6 +85,7 @@ class JournalRecord:
     post_digest: str
     kind: str = "commit"
     txid: Optional[str] = None
+    epoch: Optional[int] = None
 
     def to_doc(self) -> dict:
         doc = {
@@ -92,6 +101,8 @@ class JournalRecord:
             doc["kind"] = self.kind
         if self.txid is not None:
             doc["txid"] = self.txid
+        if self.epoch is not None and self.epoch != 1:
+            doc["epoch"] = self.epoch
         return doc
 
     @staticmethod
@@ -106,6 +117,7 @@ class JournalRecord:
             post_digest=doc["post_digest"],
             kind=doc.get("kind", "commit"),
             txid=doc.get("txid"),
+            epoch=doc.get("epoch"),
         )
 
 

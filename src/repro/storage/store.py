@@ -32,7 +32,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.obs.metrics import MetricsRegistry
 
 from repro.db.state import State
-from repro.errors import ReproError
+from repro.errors import Fenced, ReproError
 from repro.storage.journal import (
     Journal,
     JournalRecord,
@@ -56,6 +56,35 @@ from repro.storage.snapshot import (
 )
 
 JOURNAL_NAME = "wal.log"
+FENCE_NAME = "fence"
+
+
+def read_fence(path: str | os.PathLike) -> int:
+    """The store directory's durable fence epoch (1 when no fence file
+    exists — plain stores never create one, so the check is one failed
+    ``open`` for every database that has never seen a failover)."""
+    try:
+        with open(
+            os.path.join(os.fspath(path), FENCE_NAME), "r", encoding="ascii"
+        ) as fh:
+            return max(1, int(fh.read().strip() or 1))
+    except (OSError, ValueError):
+        return 1
+
+
+def write_fence(path: str | os.PathLike, epoch: int) -> None:
+    """Durably set the store's fence epoch (atomic tmp + fsync + replace —
+    the same pattern as the coordinator's epoch file).  This single write
+    is the fencing point: once it lands, every append from a writer
+    holding a smaller epoch is refused with :class:`~repro.errors.Fenced`.
+    """
+    fence_path = os.path.join(os.fspath(path), FENCE_NAME)
+    tmp = fence_path + ".tmp"
+    with open(tmp, "w", encoding="ascii") as fh:
+        fh.write(str(epoch))
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, fence_path)
 
 
 def prepare_digest(delta: dict) -> str:
@@ -85,6 +114,12 @@ class Recovery:
     resolves each against the coordinator's decision journal (see
     :mod:`repro.sharding.twopc`).  For a non-sharded store it is always
     empty.
+
+    ``epoch`` is the highest journal epoch replay saw (1 for journals
+    written before the failover layer).  Replay enforces that epochs never
+    regress: a frame carrying a smaller epoch than one already replayed is
+    a deposed primary's zombie append, and recovery stops at the safe
+    prefix before it.
     """
 
     state: State
@@ -94,6 +129,7 @@ class Recovery:
     clean: bool
     reason: str
     pending: tuple[JournalRecord, ...] = field(default=())
+    epoch: int = 1
 
     def summary(self) -> str:
         status = "clean" if self.clean else f"stopped: {self.reason}"
@@ -145,6 +181,10 @@ class Store:
         self.metrics = metrics
         os.makedirs(self.path, exist_ok=True)
         self.journal = Journal(self.journal_path, sync=sync, metrics=metrics)
+        #: The journal epoch this writer holds — the fence epoch read at
+        #: open.  Stamped into every frame; re-checked against disk before
+        #: every append so a promoted replica's fence bump deposes us.
+        self.epoch = read_fence(self.path)
 
     # -- paths -------------------------------------------------------------
 
@@ -166,6 +206,41 @@ class Store:
         return not self.snapshot_files() and not read_journal(
             self.journal_path
         ).records
+
+    # -- fencing -----------------------------------------------------------
+
+    def check_fence(self) -> None:
+        """Refuse to write if a newer epoch has fenced this store.
+
+        Called before every append and checkpoint.  The read is one tiny
+        file; stores that never saw a failover have no fence file and pay
+        a single failed ``open``.  (The check-then-append pair is not
+        atomic — a real deployment fences at the storage layer — but the
+        race window is one append, and recovery's epoch-monotonicity check
+        still refuses any zombie frame that slips through.)
+        """
+        fence = read_fence(self.path)
+        if fence > self.epoch:
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "repro_failover_fenced_total",
+                    "writes refused because the store was fenced",
+                ).inc()
+            raise Fenced(self.path, self.epoch, fence)
+
+    def advance_fence(self) -> int:
+        """Bump the fence past every epoch any earlier writer could hold
+        and adopt the new epoch ourselves.  Used by recovery and promotion
+        so a zombie of the pre-crash process cannot append."""
+        new_epoch = read_fence(self.path) + 1
+        write_fence(self.path, new_epoch)
+        self.epoch = new_epoch
+        return new_epoch
+
+    def _stamp(self) -> Optional[int]:
+        """The epoch to stamp into a frame (``None`` keeps pre-failover
+        journals byte-compatible while the store is on implicit epoch 1)."""
+        return self.epoch if self.epoch > 1 else None
 
     # -- writing -----------------------------------------------------------
 
@@ -191,6 +266,7 @@ class Store:
         Called by the engine inside the commit critical section, so appends
         are naturally serialized in commit order.
         """
+        self.check_fence()
         delta = state_delta(before, after)
         record = JournalRecord(
             seq=seq,
@@ -200,6 +276,7 @@ class Store:
             snapshot_version=snapshot_version,
             delta=delta,
             post_digest=touched_digest(after, delta_touched(delta)),
+            epoch=self._stamp(),
         )
         self.journal.append(record)
         if seq % self.checkpoint_every == 0:
@@ -226,6 +303,7 @@ class Store:
         no checkpoint can truncate a pending prepare out from under its
         outcome.
         """
+        self.check_fence()
         delta = state_delta(before, staged)
         record = JournalRecord(
             seq=seq,
@@ -237,6 +315,7 @@ class Store:
             post_digest=prepare_digest(delta),
             kind="prepare",
             txid=txid,
+            epoch=self._stamp(),
         )
         self.journal.append(record)
         return record
@@ -259,6 +338,7 @@ class Store:
         """
         if decision not in ("commit", "abort"):
             raise ReproError(f"unknown 2PC decision {decision!r}")
+        self.check_fence()
         record = JournalRecord(
             seq=seq,
             label=prepare.label,
@@ -269,6 +349,7 @@ class Store:
             post_digest=touched_digest(state, delta_touched(prepare.delta)),
             kind="outcome",
             txid=prepare.txid,
+            epoch=self._stamp(),
         )
         self.journal.append(record)
         return record
@@ -276,6 +357,7 @@ class Store:
     def checkpoint(self, state: State, seq: int) -> None:
         """Write a snapshot for ``seq`` and truncate the journal to the
         records it does not cover."""
+        self.check_fence()
         started = time.perf_counter() if self.metrics is not None else 0.0
         write_snapshot(
             os.path.join(self.path, snapshot_filename(seq)), seq, state
@@ -347,6 +429,7 @@ class Store:
         seq = snapshot_at
         replayed: list[JournalRecord] = []
         pending: dict[str, JournalRecord] = {}
+        max_epoch = 1
         for record in scan.records:
             if record.seq <= seq:
                 continue  # already inside the snapshot (checkpoint crash)
@@ -357,6 +440,18 @@ class Store:
                     f"but recovery reached {seq}"
                 )
                 break
+            record_epoch = record.epoch if record.epoch is not None else 1
+            if record_epoch < max_epoch:
+                # A frame from a deposed epoch after a newer one: a zombie
+                # primary's append that raced the fence.  Never replay it.
+                clean = False
+                reason = (
+                    f"record {record.seq} carries deposed epoch "
+                    f"{record_epoch} after epoch {max_epoch} (fenced "
+                    f"zombie append)"
+                )
+                break
+            max_epoch = record_epoch
             if record.kind == "prepare":
                 # A staged 2PC delta: verify its integrity, remember it,
                 # but do not apply — its fate is the matching outcome's.
@@ -444,4 +539,5 @@ class Store:
             clean=clean,
             reason=reason,
             pending=in_doubt,
+            epoch=max_epoch,
         )

@@ -27,6 +27,21 @@ from the 2PC window, a forced abort, a torn decision record (the
 coordinator journal truncated mid-frame), or nothing — from
 ``random.Random(f"shard-chaos:{seed}:{i}")``.  Two soaks with the same
 seed crash at the identical points.
+
+The **failover soak** (:func:`run_failover_soak`) exercises the other
+death: not the whole process, but one shard *primary*, killed at every
+2PC crash point.  Its contract adds, on top of the above:
+
+* a refused transaction (:class:`~repro.errors.ShardUnavailable`) is
+  **definitively not committed** — the presumed-abort decision is durable
+  before the refusal surfaces;
+* a cross-shard commit that lost a writer *after* the decision point
+  still commits everywhere: the dead shard's apply is deferred to
+  promotion, which resolves the stashed prepare from the coordinator's
+  decision record;
+* after promotion, **every** write the deposed primary (the zombie)
+  attempts is refused with a typed :class:`~repro.errors.Fenced` — no
+  zombie append ever lands in a journal the new epoch owns.
 """
 
 from __future__ import annotations
@@ -40,7 +55,13 @@ from typing import Optional
 
 from repro.db.schema import Schema
 from repro.db.state import State
-from repro.errors import InDoubt, ReplicaLagExceeded, ReproError
+from repro.errors import (
+    Fenced,
+    InDoubt,
+    ReplicaLagExceeded,
+    ReproError,
+    ShardUnavailable,
+)
 from repro.logic import builder as b
 from repro.sharding.replica import Replica
 from repro.sharding.sharded import ShardedDatabase
@@ -325,3 +346,280 @@ def run_shard_soak(
             matches = False
     report.journals_match_live = matches
     return report
+
+
+# -- failover soak ---------------------------------------------------------
+
+#: How a round heals its killed shard before zombie replay.  ``auto``
+#: drives routed traffic at the dead shard until :meth:`~repro.sharding.
+#: sharded.ShardedDatabase._ensure_up` self-heals it inline; ``tick``
+#: loops :meth:`~repro.sharding.sharded.ShardedDatabase.failover_tick`
+#: (the timer-driven path); ``explicit`` is the operator running
+#: :meth:`~repro.sharding.sharded.ShardedDatabase.promote_shard` by hand.
+HEAL_MODES = ("auto", "tick", "explicit")
+
+
+@dataclass(frozen=True)
+class FailoverChaosConfig:
+    """Fault rates for one failover soak (per cross-shard round)."""
+
+    kill_rate: float = 0.85
+    singles_per_round: int = 4
+    suspect_after: int = 1
+    down_after: int = 2
+    retry_after: float = 0.0
+
+
+@dataclass
+class FailoverChaosReport:
+    """What one failover soak did, and whether the contract held."""
+
+    seed: int
+    shards: int = 0
+    rounds: int = 0
+    committed_single: int = 0
+    committed_cross: int = 0
+    aborted: int = 0
+    kills: int = 0
+    promotions: int = 0
+    unavailable_refusals: int = 0
+    deferred_commits: int = 0
+    zombie_writes: int = 0
+    zombie_fenced: int = 0
+    heal_modes_used: list = field(default_factory=list)
+    untyped_errors: list = field(default_factory=list)
+    wrong_answers: int = 0
+    atomicity_violations: int = 0
+    journals_match_live: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return (
+            not self.untyped_errors
+            and self.wrong_answers == 0
+            and self.atomicity_violations == 0
+            and self.zombie_writes == self.zombie_fenced
+            and self.promotions == self.kills
+            and self.journals_match_live
+        )
+
+    def to_doc(self) -> dict:
+        doc = dataclasses.asdict(self)
+        doc["ok"] = self.ok
+        return doc
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_doc(), indent=indent, sort_keys=True)
+
+
+def run_failover_soak(
+    seed: int,
+    path: str,
+    *,
+    rounds: int = 12,
+    shards: int = 3,
+    stripes: int = 6,
+    config: Optional[FailoverChaosConfig] = None,
+) -> FailoverChaosReport:
+    """One primary-killing soak; returns the evidence as a report.
+
+    Each round runs retried single-shard puts plus one cross-shard
+    transfer whose fault plan may kill one writer's primary at any 2PC
+    crash point (``kill_rate`` of rounds, point and victim drawn from the
+    round's RNG).  A refusal (:class:`~repro.errors.ShardUnavailable`)
+    counts the key as *not* committed; a success counts it committed on
+    both stripes even when the dead writer's apply was deferred.  The
+    round then heals by a drawn interleaving (inline self-heal, detector
+    tick, or explicit promotion), replays a commit **and** a prepare
+    through the zombie's deposed store handle — both must be refused with
+    :class:`~repro.errors.Fenced` — and the final audit demands exact
+    per-stripe counts, all-or-nothing transfers, and journal-replay
+    equality, same as :func:`run_shard_soak`.
+    """
+    cfg = config or FailoverChaosConfig()
+    report = FailoverChaosReport(seed=seed, shards=shards)
+    schema = _shard_soak_schema(stripes)
+    puts, transfers, sizes = _shard_soak_programs(stripes)
+    sdb = ShardedDatabase(schema, shards=shards, path=path)
+    sdb.enable_failover(
+        suspect_after=cfg.suspect_after,
+        down_after=cfg.down_after,
+        retry_after=cfg.retry_after,
+        auto_promote=True,
+    )
+
+    expected: dict[str, set[int]] = {f"R{i}": set() for i in range(stripes)}
+    key = 0
+
+    def _put_with_retry(stripe: int, k: int) -> bool:
+        """A routed put, retried through SUSPECT/DOWN until the shard
+        self-heals; returns whether the put committed."""
+        for _ in range(cfg.down_after + 3):
+            try:
+                sdb.execute(puts[stripe], k, k)
+                return True
+            except ShardUnavailable:
+                report.unavailable_refusals += 1
+            except ReproError as err:
+                report.untyped_errors.append(f"single put refused: {err!r}")
+                return False
+        return False
+
+    stripe_of_shard = {
+        sdb.plan.shard_of(f"R{i}"): i for i in range(stripes)
+    }
+
+    def _heal(dead: list, mode: str) -> bool:
+        """Bring every killed shard back via the drawn interleaving."""
+        nonlocal key
+        if mode == "explicit":
+            for index in dead:
+                sdb.promote_shard(index)
+        elif mode == "tick":
+            for _ in range(cfg.down_after + 3):
+                if all(sdb.shards[i].db is not None for i in dead):
+                    break
+                sdb.failover_tick()
+        else:  # auto: routed traffic drives detection and inline promotion
+            for index in dead:
+                stripe = stripe_of_shard.get(index)
+                if stripe is None:  # no stripe routes there
+                    sdb.promote_shard(index)
+                    continue
+                key += 1
+                if _put_with_retry(stripe, key):
+                    expected[f"R{stripe}"].add(key)
+                    report.committed_single += 1
+        return all(sdb.shards[i].db is not None for i in dead)
+
+    for i in range(rounds):
+        rng = random.Random(f"failover-chaos:{seed}:{i}")
+        report.rounds += 1
+        for _ in range(cfg.singles_per_round):
+            stripe = rng.randrange(stripes)
+            key += 1
+            try:
+                if _put_with_retry(stripe, key):
+                    expected[f"R{stripe}"].add(key)
+                    report.committed_single += 1
+                else:
+                    report.untyped_errors.append(
+                        f"single put for key {key} never healed"
+                    )
+            except BaseException as err:  # noqa: BLE001 - the contract
+                report.untyped_errors.append(repr(err))
+
+        kill = rng.random() < cfg.kill_rate
+        faults = TwoPhaseFaults(
+            kill_primary_at=rng.choice(CRASH_POINTS) if kill else None,
+            kill_writer=rng.randrange(2),
+        )
+        sdb.faults = faults
+        transfer = transfers[rng.randrange(len(transfers))]
+        other = transfer.name.rsplit("-", 1)[1]
+        key += 1
+        deferred_before = _deferred_total(sdb)
+        try:
+            sdb.execute(transfer, key, key)
+            expected["R0"].add(key)
+            expected[other].add(key)
+            report.committed_cross += 1
+            report.deferred_commits += _deferred_total(sdb) - deferred_before
+        except ShardUnavailable:
+            # Durably presumed-aborted before the decision point: the key
+            # is definitively NOT committed on any stripe.
+            report.unavailable_refusals += 1
+        except ReproError:
+            report.aborted += 1
+        except BaseException as err:  # noqa: BLE001
+            report.untyped_errors.append(repr(err))
+        finally:
+            sdb.faults = None
+
+        zombies = list(faults.killed)
+        report.kills += len(zombies)
+        if zombies:
+            mode = HEAL_MODES[rng.randrange(len(HEAL_MODES))]
+            report.heal_modes_used.append(mode)
+            healed = _heal([z.index for z in zombies], mode)
+            if not healed:
+                report.untyped_errors.append(
+                    f"round {i}: shard(s) "
+                    f"{[z.index for z in zombies]} never healed via {mode}"
+                )
+            else:
+                report.promotions += len(zombies)
+            for zombie in zombies:
+                _replay_zombie(zombie, report)
+
+    # -- final audit -------------------------------------------------------
+    for i in range(stripes):
+        live = sdb.query(sizes[i])
+        if live != len(expected[f"R{i}"]):
+            report.wrong_answers += 1
+    final = sdb.combined_state()
+    present = {
+        name: {t.values[0] for t in rel.tuples.values()}
+        for name, rel in final.relations.items()
+    }
+    for i in range(1, stripes):
+        for k in expected[f"R{i}"] & expected["R0"]:
+            if (k in present[f"R{i}"]) != (k in present["R0"]):
+                report.atomicity_violations += 1
+
+    def _content_digest(state) -> str:
+        return state_digest(State(state.relations, state.owner, 0))
+
+    live_digests = {
+        i: _content_digest(sdb.shards[i].db.current) for i in range(shards)
+    }
+    sdb.close()
+    matches = True
+    for i in range(shards):
+        recovery = Store(os.path.join(path, f"shard-{i}")).recover()
+        if recovery.pending or not recovery.clean:
+            matches = False
+        if _content_digest(recovery.state) != live_digests[i]:
+            matches = False
+    report.journals_match_live = matches
+    return report
+
+
+def _deferred_total(sdb: ShardedDatabase) -> int:
+    """Sum of the deferred-commit counters across shards (0 when the
+    metric has never fired)."""
+    rows = sdb.metrics.families().get(
+        "repro_failover_deferred_commits_total", ()
+    )
+    return int(sum(instrument.value for _, instrument in rows))
+
+
+def _replay_zombie(zombie, report: FailoverChaosReport) -> None:
+    """Replay a commit and a PREPARE through the deposed primary's store
+    handle: both must be refused with a typed :class:`Fenced`."""
+    if zombie.store is None or zombie.db is None:
+        return
+    state = zombie.db.current
+    for attempt in ("commit", "prepare"):
+        report.zombie_writes += 1
+        try:
+            if attempt == "commit":
+                zombie.store.log_commit(
+                    state, state, seq=zombie.seq + 1, label="zombie-write"
+                )
+            else:
+                zombie.store.log_prepare(
+                    state,
+                    state,
+                    seq=zombie.seq + 1,
+                    txid="zombie-tx",
+                    label="zombie-prepare",
+                )
+        except Fenced:
+            report.zombie_fenced += 1
+        except BaseException as err:  # noqa: BLE001
+            report.untyped_errors.append(f"zombie write: {err!r}")
+    try:
+        zombie.store.close()
+    except (OSError, ReproError):  # pragma: no cover
+        pass

@@ -187,13 +187,57 @@ class TestShardingBranch:
         assert (err.applied, err.primary, err.max_lag) == (10, 25, 8)
         assert "15" in str(err)  # the lag itself is in the message
 
+    def test_fenced_is_terminal_not_retryable(self):
+        """Fenced means *this writer* was deposed: retrying the same
+        handle can never succeed, so it must not sit in the retry-later
+        (ResourceError) branch."""
+        from repro.errors import Fenced, ShardError
+
+        assert issubclass(Fenced, ShardError)
+        assert not issubclass(Fenced, ResourceError)
+
+    def test_fenced_carries_both_epochs(self):
+        from repro.errors import Fenced
+
+        err = Fenced("/data/shard-0", writer_epoch=1, fence_epoch=3)
+        assert err.path == "/data/shard-0"
+        assert err.writer_epoch == 1
+        assert err.fence_epoch == 3
+        assert "epoch 3" in str(err)
+        assert "promoted" in str(err)
+
+    def test_shard_unavailable_is_the_retry_later_branch(self):
+        """A dead/suspect shard is a capacity condition: admission control
+        and client backoff treat it exactly like Overloaded."""
+        from repro.errors import ShardError, ShardUnavailable
+
+        assert issubclass(ShardUnavailable, ShardError)
+        assert issubclass(ShardUnavailable, ResourceError)
+
+    def test_shard_unavailable_carries_the_backoff_hint(self):
+        from repro.errors import ShardUnavailable
+
+        err = ShardUnavailable(2, retry_after=0.25, state="suspect")
+        assert err.shard == 2
+        assert err.retry_after == 0.25
+        assert err.state == "suspect"
+        assert "0.250" in str(err)
+
     def test_sharding_errors_catchable_as_repro_error(self):
-        from repro.errors import InDoubt, ReplicaLagExceeded, ShardError
+        from repro.errors import (
+            Fenced,
+            InDoubt,
+            ReplicaLagExceeded,
+            ShardError,
+            ShardUnavailable,
+        )
 
         for sample in (
             ShardError("split brain"),
             InDoubt("t1", point="prepare:0"),
             ReplicaLagExceeded(applied=1, primary=9, max_lag=2),
+            Fenced("/s", writer_epoch=1, fence_epoch=2),
+            ShardUnavailable(0, retry_after=0.1),
         ):
             with pytest.raises(ReproError):
                 raise sample

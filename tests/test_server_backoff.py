@@ -16,7 +16,7 @@ import time
 
 import pytest
 
-from repro.errors import Overloaded, SessionClosed
+from repro.errors import Overloaded, SessionClosed, ShardUnavailable
 from repro.server.client import Client, ClientRetry
 from repro.server.protocol import FrameDecoder, encode_message, error_to_doc
 
@@ -143,6 +143,36 @@ class TestReconnectBackoff:
         finally:
             server.close()
 
+    def test_shard_unavailable_handshake_is_retried_like_overloaded(
+        self, recorded_sleeps
+    ):
+        """A handshake refused because a shard is down is the same
+        retry-later contract as admission control."""
+        def unavailable_reply(rid):
+            return {
+                "type": "ERROR",
+                "id": rid,
+                "error": error_to_doc(
+                    ShardUnavailable(1, retry_after=0.6, state="down")
+                ),
+            }
+
+        server = ScriptedServer([unavailable_reply, welcome_reply])
+        try:
+            client = Client(
+                *server.address,
+                retry=ClientRetry(
+                    max_attempts=3, base_delay=0.01, max_delay=0.05
+                ),
+                timeout=5.0,
+            )
+            welcome = client.connect()
+            assert welcome["type"] == "WELCOME"
+            assert 0.6 in recorded_sleeps
+            client.close()
+        finally:
+            server.close()
+
     def test_unreachable_server_backoff_honors_last_hint(
         self, recorded_sleeps
     ):
@@ -163,3 +193,110 @@ class TestReconnectBackoff:
             client.connect()
         assert len(recorded_sleeps) == 2  # attempts 1 and 2 back off
         assert all(s >= 0.9 for s in recorded_sleeps)
+
+
+class SessionServer:
+    """One loopback connection: WELCOME the HELLO, then answer each
+    subsequent request from a scripted reply list."""
+
+    def __init__(self, replies):
+        self.replies = list(replies)
+        self.sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self.sock.bind(("127.0.0.1", 0))
+        self.sock.listen(1)
+        self.address = self.sock.getsockname()
+        self.thread = threading.Thread(target=self._serve, daemon=True)
+        self.thread.start()
+
+    def _serve(self):
+        try:
+            conn, _ = self.sock.accept()
+        except OSError:
+            return
+        with conn:
+            decoder = FrameDecoder()
+            pending = list(self.replies)
+            welcomed = False
+            while pending:
+                data = conn.recv(65536)
+                if not data:
+                    return
+                for message in decoder.feed(data):
+                    if not welcomed:
+                        conn.sendall(
+                            encode_message(welcome_reply(message["id"]))
+                        )
+                        welcomed = True
+                        continue
+                    if not pending:
+                        return
+                    reply_fn = pending.pop(0)
+                    conn.sendall(encode_message(reply_fn(message["id"])))
+
+    def close(self):
+        self.sock.close()
+
+
+class TestExecuteBackoff:
+    def test_shard_unavailable_execute_resubmits_with_the_hint(
+        self, recorded_sleeps
+    ):
+        """An EXECUTE refused with ShardUnavailable is a pre-execution
+        rejection (the routed shard was dead, or the 2PC window durably
+        presumed abort before the decision point): the client records the
+        hint, backs off at least that long, and the resubmission commits."""
+        def unavailable_reply(rid):
+            return {
+                "type": "ERROR",
+                "id": rid,
+                "error": error_to_doc(
+                    ShardUnavailable(0, retry_after=0.4, state="suspect")
+                ),
+            }
+
+        def executed_reply(rid):
+            return {"type": "EXECUTED", "id": rid, "attempts": 1, "seq": 7}
+
+        server = SessionServer([unavailable_reply, executed_reply])
+        try:
+            client = Client(
+                *server.address,
+                retry=ClientRetry(
+                    max_attempts=3, base_delay=0.01, max_delay=0.05
+                ),
+                timeout=5.0,
+            )
+            result = client.execute("put", 1, 1)
+            assert result.seq == 7
+            assert client._last_retry_after == 0.4
+            assert 0.4 in recorded_sleeps
+        finally:
+            server.close()
+
+    def test_shard_unavailable_exhaustion_raises_typed(
+        self, recorded_sleeps
+    ):
+        def unavailable_reply(rid):
+            return {
+                "type": "ERROR",
+                "id": rid,
+                "error": error_to_doc(
+                    ShardUnavailable(0, retry_after=0.2, state="down")
+                ),
+            }
+
+        server = SessionServer([unavailable_reply, unavailable_reply])
+        try:
+            client = Client(
+                *server.address,
+                retry=ClientRetry(
+                    max_attempts=2, base_delay=0.01, max_delay=0.05
+                ),
+                timeout=5.0,
+            )
+            with pytest.raises(ShardUnavailable) as excinfo:
+                client.execute("put", 1, 1)
+            assert excinfo.value.retry_after == 0.2
+            assert excinfo.value.state == "down"
+        finally:
+            server.close()

@@ -174,6 +174,62 @@ class TestShardReplica:
         assert replica.query(n_a) == 1
         sdb2.close()
 
+    def test_second_replica_rebases_across_promotion_truncation(
+        self, tmp_path
+    ):
+        """A follower that polls while a sibling's promotion checkpoints
+        (truncating the journal into the *new* epoch) must re-base cleanly
+        from the promotion snapshot — and must never serve the
+        pre-promotion PREPARE it had stashed."""
+        schema = Schema()
+        schema.add_relation("A", ("k", "v"))
+        schema.add_relation("B", ("k", "v"))
+        sdb = ShardedDatabase(
+            schema, shards=2, path=str(tmp_path),
+            placement={"A": 0, "B": 1},
+        )
+        both = transaction(
+            "both",
+            (x, y),
+            b.seq(
+                b.insert(b.mktuple(x, y), "A"),
+                b.insert(b.mktuple(x, y), "B"),
+            ),
+        )
+        n_a = query("n-a", (), b.size_of(b.rel("A", 2)))
+        shard = sdb.plan.shard_of("A")
+        sdb.execute(both, 1, 1)
+
+        follower = Replica(str(tmp_path / f"shard-{shard}"))
+        assert follower.query(n_a) == 1
+
+        from repro.errors import InDoubt
+
+        sdb.faults = TwoPhaseFaults(crash_at="before-decision")
+        with pytest.raises(InDoubt):
+            sdb.execute(both, 2, 2)
+        sdb.close()
+
+        follower.poll()  # the follower stashes the dangling PREPARE
+        assert follower.pending()
+
+        # A sibling replica promotes: fence, drain, presumed abort,
+        # checkpoint — the journal is truncated into the new epoch.
+        promotion = Replica(str(tmp_path / f"shard-{shard}")).promote()
+        assert promotion.epoch == 2
+        promotion.store.log_commit(
+            promotion.state, promotion.state,
+            seq=promotion.seq + 1, label="post-promotion",
+        )
+
+        # The racing follower's next poll re-bases from the promotion
+        # snapshot; the stashed pre-promotion prepare is gone, never
+        # served, and the aborted write never appears.
+        assert follower.query(n_a) == 1
+        assert not follower.pending()
+        assert follower.journal_epoch == promotion.epoch
+        promotion.store.close()
+
     def test_replica_applies_committed_two_phase_outcome(self, tmp_path):
         schema = Schema()
         schema.add_relation("A", ("k", "v"))
